@@ -1,0 +1,80 @@
+//! End-to-end benchmark: one full simulated federated epoch per policy
+//! (selection + local DANE solves + aggregation + accounting) — the unit
+//! of work every figure multiplies by hundreds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fedl_core::policy::PolicyKind;
+use fedl_core::runner::{ExperimentRunner, ScenarioConfig};
+
+fn scenario() -> ScenarioConfig {
+    let mut s = ScenarioConfig::small_fmnist(20, 1.0e9, 4).with_seed(5);
+    s.train_size = 1000;
+    s.test_size = 100;
+    s.max_epochs = 3;
+    s
+}
+
+fn bench_epochs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("federated_epochs");
+    group.sample_size(10);
+    for kind in PolicyKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("three_epochs", kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut runner = ExperimentRunner::new(scenario(), kind);
+                    std::hint::black_box(runner.run())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_local_solve(c: &mut Criterion) {
+    use fedl_data::synth::small_fmnist;
+    use fedl_linalg::rng::rng_for;
+    use fedl_ml::dane::{local_update, DaneConfig};
+    use fedl_ml::model::{Mlp, Model};
+
+    let (train, _) = small_fmnist(400, 10, 9);
+    let mut rng = rng_for(6, 0);
+    let model = Mlp::new(train.dim(), &[64], train.num_classes, 0.0005, &mut rng);
+    let (x, y) = (train.features.clone(), train.one_hot_labels());
+    let (_, j) = model.loss_and_grad(&x, &y);
+    let cfg = DaneConfig::default();
+
+    c.bench_function("dane_local_update_400samples", |b| {
+        let mut rng = rng_for(7, 0);
+        b.iter(|| std::hint::black_box(local_update(&model, &train, &j, &cfg, &mut rng)));
+    });
+}
+
+fn bench_cnn_forward_backward(c: &mut Criterion) {
+    use fedl_linalg::rng::rng_for;
+    use fedl_linalg::Matrix;
+    use fedl_ml::model::{Cnn, ConvBlockSpec, MapShape, Model};
+
+    let shape = MapShape { c: 1, h: 16, w: 16 };
+    let mut rng = rng_for(8, 0);
+    let cnn = Cnn::new(
+        shape,
+        vec![ConvBlockSpec { out_channels: 6, kernel: 5 }],
+        10,
+        0.0005,
+        &mut rng,
+    );
+    let x = Matrix::uniform(32, shape.len(), 0.5, &mut rng);
+    let mut y = Matrix::zeros(32, 10);
+    for r in 0..32 {
+        y.set(r, r % 10, 1.0);
+    }
+    c.bench_function("cnn_loss_and_grad_batch32", |b| {
+        b.iter(|| std::hint::black_box(cnn.loss_and_grad(&x, &y)));
+    });
+}
+
+criterion_group!(benches, bench_epochs, bench_local_solve, bench_cnn_forward_backward);
+criterion_main!(benches);

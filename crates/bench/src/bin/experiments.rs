@@ -1,0 +1,74 @@
+//! CLI over the figure/ablation entry points. See [`fedl_bench::cli`]
+//! for the grammar; this binary only dispatches.
+
+use std::process::ExitCode;
+
+use fedl_bench::cli::{self, Command};
+use fedl_bench::experiments;
+use fedl_data::synth::TaskKind;
+
+fn main() -> ExitCode {
+    let invocation = match cli::parse(std::env::args().skip(1)) {
+        Ok(inv) => inv,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (profile, out_dir) = (invocation.profile, invocation.out_dir);
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    println!(
+        "profile: {:?} (M={}, n={}), output: {}",
+        profile,
+        profile.num_clients(),
+        profile.min_participants(),
+        out_dir.display()
+    );
+
+    match invocation.command {
+        Command::FigFmnist => {
+            experiments::fig_time_and_round(profile, TaskKind::FmnistLike, &out_dir);
+        }
+        Command::FigCifar => {
+            experiments::fig_time_and_round(profile, TaskKind::CifarLike, &out_dir);
+        }
+        Command::Fig6 => {
+            experiments::fig_budget(profile, TaskKind::FmnistLike, &out_dir);
+        }
+        Command::Fig7 => {
+            experiments::fig_budget(profile, TaskKind::CifarLike, &out_dir);
+        }
+        Command::Headline => experiments::headline(profile, &out_dir),
+        Command::Regret => experiments::regret(profile, &out_dir),
+        Command::Rounding => experiments::rounding_ablation(profile),
+        Command::Stepsize => experiments::stepsize_ablation(profile),
+        Command::Aggregation => experiments::aggregation_ablation(profile),
+        Command::Oracle => experiments::oracle_comparison(profile),
+        Command::Fairness => experiments::fairness_study(profile),
+        Command::Bandwidth => experiments::bandwidth_study(profile),
+        Command::Dropout => experiments::dropout_study(profile),
+        Command::Replicate => experiments::replication_study(profile),
+        Command::All => {
+            let mut results =
+                experiments::fig_time_and_round(profile, TaskKind::FmnistLike, &out_dir);
+            results.extend(experiments::fig_time_and_round(
+                profile,
+                TaskKind::CifarLike,
+                &out_dir,
+            ));
+            experiments::headline_from(&results, &out_dir);
+            experiments::fig_budget(profile, TaskKind::FmnistLike, &out_dir);
+            experiments::fig_budget(profile, TaskKind::CifarLike, &out_dir);
+            experiments::regret(profile, &out_dir);
+            experiments::rounding_ablation(profile);
+            experiments::stepsize_ablation(profile);
+            experiments::aggregation_ablation(profile);
+            experiments::oracle_comparison(profile);
+            experiments::fairness_study(profile);
+            experiments::bandwidth_study(profile);
+            experiments::dropout_study(profile);
+            experiments::replication_study(profile);
+        }
+    }
+    ExitCode::SUCCESS
+}

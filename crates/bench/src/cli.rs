@@ -1,0 +1,166 @@
+//! Argument parsing for the `experiments` binary, kept in the library
+//! so it is unit-testable.
+
+use std::path::PathBuf;
+
+use crate::profile::Profile;
+
+/// The experiments the CLI can dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Figs. 2 & 4 (FMNIST time/round panels).
+    FigFmnist,
+    /// Figs. 3 & 5 (CIFAR time/round panels).
+    FigCifar,
+    /// Fig. 6 (FMNIST budget sweep).
+    Fig6,
+    /// Fig. 7 (CIFAR budget sweep).
+    Fig7,
+    /// §6.2 headline table.
+    Headline,
+    /// Corollary-1 regret/fit validation.
+    Regret,
+    /// RDCS vs independent rounding.
+    Rounding,
+    /// Step-size schedule ablation.
+    Stepsize,
+    /// Aggregation-normalization ablation.
+    Aggregation,
+    /// 1-lookahead latency-oracle reference.
+    Oracle,
+    /// Selection-fairness extension study.
+    Fairness,
+    /// FDMA bandwidth-allocation extension study.
+    Bandwidth,
+    /// Mid-epoch dropout robustness study.
+    Dropout,
+    /// Multi-seed replication of the Fig. 2 comparison.
+    Replicate,
+    /// Everything above.
+    All,
+}
+
+/// A fully parsed invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Invocation {
+    /// Experiment scale.
+    pub profile: Profile,
+    /// Output directory for CSV/JSON.
+    pub out_dir: PathBuf,
+    /// What to run.
+    pub command: Command,
+}
+
+/// Usage string printed on parse errors.
+pub const USAGE: &str = "usage: experiments [--quick] [--out DIR] \
+<fig2|fig3|fig4|fig5|fig6|fig7|headline|regret|rounding|stepsize|aggregation|oracle|fairness|bandwidth|dropout|replicate|all>";
+
+/// Parses the argument list (without the program name).
+pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, String> {
+    let mut profile = Profile::Paper;
+    let mut out_dir = PathBuf::from("results");
+    let mut command: Option<Command> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => profile = Profile::Quick,
+            "--out" => {
+                out_dir = PathBuf::from(
+                    it.next().ok_or_else(|| "--out requires a directory".to_string())?,
+                );
+            }
+            other if command.is_none() => {
+                command = Some(match other {
+                    "fig2" | "fig4" => Command::FigFmnist,
+                    "fig3" | "fig5" => Command::FigCifar,
+                    "fig6" => Command::Fig6,
+                    "fig7" => Command::Fig7,
+                    "headline" => Command::Headline,
+                    "regret" => Command::Regret,
+                    "rounding" => Command::Rounding,
+                    "stepsize" => Command::Stepsize,
+                    "aggregation" => Command::Aggregation,
+                    "oracle" => Command::Oracle,
+                    "fairness" => Command::Fairness,
+                    "bandwidth" => Command::Bandwidth,
+                    "dropout" => Command::Dropout,
+                    "replicate" => Command::Replicate,
+                    "all" => Command::All,
+                    unknown => return Err(format!("unknown experiment: {unknown}")),
+                });
+            }
+            other => return Err(format!("unexpected argument: {other}")),
+        }
+    }
+    let command = command.ok_or_else(|| USAGE.to_string())?;
+    Ok(Invocation { profile, out_dir, command })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_to_paper_profile_and_results_dir() {
+        let inv = parse(args(&["fig2"])).unwrap();
+        assert_eq!(inv.profile, Profile::Paper);
+        assert_eq!(inv.out_dir, PathBuf::from("results"));
+        assert_eq!(inv.command, Command::FigFmnist);
+    }
+
+    #[test]
+    fn quick_and_out_flags() {
+        let inv = parse(args(&["--quick", "--out", "/tmp/x", "fig7"])).unwrap();
+        assert_eq!(inv.profile, Profile::Quick);
+        assert_eq!(inv.out_dir, PathBuf::from("/tmp/x"));
+        assert_eq!(inv.command, Command::Fig7);
+    }
+
+    #[test]
+    fn flag_order_is_free() {
+        let inv = parse(args(&["headline", "--quick"]));
+        // Command first, flags after: flags still apply.
+        let inv = inv.unwrap();
+        assert_eq!(inv.profile, Profile::Quick);
+        assert_eq!(inv.command, Command::Headline);
+    }
+
+    #[test]
+    fn fig_aliases_collapse() {
+        assert_eq!(parse(args(&["fig2"])).unwrap().command, Command::FigFmnist);
+        assert_eq!(parse(args(&["fig4"])).unwrap().command, Command::FigFmnist);
+        assert_eq!(parse(args(&["fig3"])).unwrap().command, Command::FigCifar);
+        assert_eq!(parse(args(&["fig5"])).unwrap().command, Command::FigCifar);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse(args(&[])).unwrap_err().contains("usage"));
+        assert!(parse(args(&["frobnicate"])).unwrap_err().contains("unknown experiment"));
+        assert!(parse(args(&["--out"])).unwrap_err().contains("--out requires"));
+        assert!(parse(args(&["fig2", "fig3"])).unwrap_err().contains("unexpected"));
+    }
+
+    #[test]
+    fn every_named_command_parses() {
+        for (name, cmd) in [
+            ("fig6", Command::Fig6),
+            ("regret", Command::Regret),
+            ("rounding", Command::Rounding),
+            ("stepsize", Command::Stepsize),
+            ("aggregation", Command::Aggregation),
+            ("oracle", Command::Oracle),
+            ("fairness", Command::Fairness),
+            ("bandwidth", Command::Bandwidth),
+            ("dropout", Command::Dropout),
+            ("replicate", Command::Replicate),
+            ("all", Command::All),
+        ] {
+            assert_eq!(parse(args(&[name])).unwrap().command, cmd, "{name}");
+        }
+    }
+}

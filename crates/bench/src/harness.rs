@@ -1,0 +1,219 @@
+//! Running the experiment matrix.
+
+use rayon::prelude::*;
+
+use fedl_core::policy::PolicyKind;
+use fedl_core::runner::{ExperimentRunner, RunOutcome, ScenarioConfig};
+use fedl_data::synth::TaskKind;
+
+use crate::profile::Profile;
+
+/// One cell of the evaluation matrix.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Benchmark task.
+    pub task: TaskKind,
+    /// IID or non-IID split.
+    pub iid: bool,
+    /// Selection policy.
+    pub policy: PolicyKind,
+    /// Long-term budget.
+    pub budget: f64,
+}
+
+/// A completed cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The cell that ran.
+    pub cell: Cell,
+    /// The recorded run.
+    pub outcome: RunOutcome,
+}
+
+/// Runs one scenario/policy pair.
+pub fn run_cell(scenario: ScenarioConfig, cell: Cell) -> CellResult {
+    let mut runner = ExperimentRunner::new(scenario, cell.policy);
+    let outcome = runner.run();
+    CellResult { cell, outcome }
+}
+
+/// Runs all four policies for `(task, iid)` at `budget`, in parallel,
+/// on the *same* environment sample path (same seed).
+pub fn run_policy_matrix(
+    profile: Profile,
+    task: TaskKind,
+    iid: bool,
+    budget: f64,
+    seed: u64,
+) -> Vec<CellResult> {
+    PolicyKind::ALL
+        .par_iter()
+        .map(|&policy| {
+            let scenario = profile.scenario(task, iid, budget, seed);
+            run_cell(scenario, Cell { task, iid, policy, budget })
+        })
+        .collect()
+}
+
+/// Runs the full budget grid for `(task, iid)` across all policies.
+pub fn run_budget_sweep(
+    profile: Profile,
+    task: TaskKind,
+    iid: bool,
+    seed: u64,
+) -> Vec<CellResult> {
+    let grid = profile.budget_grid();
+    let cells: Vec<(f64, PolicyKind)> = grid
+        .iter()
+        .flat_map(|&b| PolicyKind::ALL.iter().map(move |&p| (b, p)))
+        .collect();
+    cells
+        .par_iter()
+        .map(|&(budget, policy)| {
+            let scenario = profile.scenario(task, iid, budget, seed);
+            run_cell(scenario, Cell { task, iid, policy, budget })
+        })
+        .collect()
+}
+
+/// Mean and sample standard deviation of one metric across replications.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanStd {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single replication).
+    pub std: f64,
+}
+
+impl MeanStd {
+    /// Computes mean/std of `values` (NaNs excluded).
+    ///
+    /// # Panics
+    /// Panics when no finite value remains.
+    pub fn of(values: &[f64]) -> MeanStd {
+        let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        assert!(!finite.is_empty(), "no finite values to summarize");
+        let n = finite.len() as f64;
+        let mean = finite.iter().sum::<f64>() / n;
+        let var = if finite.len() < 2 {
+            0.0
+        } else {
+            finite.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0)
+        };
+        MeanStd { mean, std: var.sqrt() }
+    }
+}
+
+/// Per-policy replication summary.
+#[derive(Debug, Clone)]
+pub struct ReplicationSummary {
+    /// Policy legend name.
+    pub policy: String,
+    /// Final accuracy across seeds.
+    pub final_accuracy: MeanStd,
+    /// Total simulated time across seeds.
+    pub total_time: MeanStd,
+    /// Time to the accuracy target across seeds (seeds that miss the
+    /// target are excluded; `None` when all miss).
+    pub time_to_target: Option<MeanStd>,
+    /// Number of replications.
+    pub seeds: usize,
+}
+
+/// Runs the four-policy matrix at each seed and summarizes per policy —
+/// the mean ± std presentation a rigorous evaluation reports.
+pub fn run_replicated(
+    profile: Profile,
+    task: TaskKind,
+    iid: bool,
+    budget: f64,
+    seeds: &[u64],
+    accuracy_target: f64,
+) -> Vec<ReplicationSummary> {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let all: Vec<Vec<CellResult>> = seeds
+        .par_iter()
+        .map(|&seed| run_policy_matrix(profile, task, iid, budget, seed))
+        .collect();
+    PolicyKind::ALL
+        .iter()
+        .map(|&policy| {
+            let name = policy.label().to_string();
+            let runs: Vec<&CellResult> = all
+                .iter()
+                .flat_map(|cells| cells.iter().filter(|c| c.outcome.policy == name))
+                .collect();
+            let acc: Vec<f64> = runs.iter().map(|r| r.outcome.final_accuracy()).collect();
+            let time: Vec<f64> = runs.iter().map(|r| r.outcome.total_sim_time()).collect();
+            let hits: Vec<f64> = runs
+                .iter()
+                .filter_map(|r| r.outcome.time_to_accuracy(accuracy_target))
+                .collect();
+            ReplicationSummary {
+                policy: name,
+                final_accuracy: MeanStd::of(&acc),
+                total_time: MeanStd::of(&time),
+                time_to_target: (!hits.is_empty()).then(|| MeanStd::of(&hits)),
+                seeds: seeds.len(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_basics() {
+        let ms = MeanStd::of(&[1.0, 3.0]);
+        assert!((ms.mean - 2.0).abs() < 1e-12);
+        assert!((ms.std - (2.0f64).sqrt()).abs() < 1e-12);
+        let single = MeanStd::of(&[5.0]);
+        assert_eq!(single.std, 0.0);
+        // NaNs are excluded.
+        let with_nan = MeanStd::of(&[2.0, f64::NAN, 4.0]);
+        assert!((with_nan.mean - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no finite values")]
+    fn mean_std_rejects_all_nan() {
+        let _ = MeanStd::of(&[f64::NAN]);
+    }
+
+    #[test]
+    fn replication_summarizes_all_policies() {
+        let summaries = run_replicated(
+            Profile::Quick,
+            TaskKind::FmnistLike,
+            true,
+            200.0,
+            &[1, 2],
+            0.2,
+        );
+        assert_eq!(summaries.len(), 4);
+        for s in &summaries {
+            assert_eq!(s.seeds, 2);
+            assert!(s.final_accuracy.mean > 0.0);
+            assert!(s.total_time.mean > 0.0);
+            assert!(s.final_accuracy.std >= 0.0);
+        }
+    }
+
+    #[test]
+    fn quick_matrix_runs_all_policies() {
+        let results =
+            run_policy_matrix(Profile::Quick, TaskKind::FmnistLike, true, 300.0, 3);
+        assert_eq!(results.len(), 4);
+        for r in &results {
+            assert!(!r.outcome.epochs.is_empty(), "{:?} ran nothing", r.cell.policy);
+            assert_eq!(r.outcome.budget, 300.0);
+        }
+        // All four policies faced the same availability sample path, so
+        // their first-epoch environments agree on epoch indexing.
+        let names: Vec<&str> =
+            results.iter().map(|r| r.outcome.policy.as_str()).collect();
+        assert!(names.contains(&"FedL") && names.contains(&"Pow-d"));
+    }
+}

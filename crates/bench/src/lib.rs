@@ -1,0 +1,28 @@
+//! Experiment harness for the FedL reproduction.
+//!
+//! One module per concern:
+//!
+//! * [`profile`] — paper-scale vs quick-scale experiment sizing;
+//! * [`harness`] — running the (task × distribution × policy) matrix and
+//!   collecting [`fedl_core::runner::RunOutcome`] series;
+//! * [`report`] — CSV/JSON emission and the human-readable summaries
+//!   (accuracy-at-time, time-to-accuracy, rounds-to-accuracy);
+//! * [`experiments`] — one entry point per paper figure (2–7), the
+//!   headline table, and the ablation/extension studies (regret & fit,
+//!   RDCS vs independent rounding, step sizes, aggregation norm,
+//!   latency oracle, fairness, bandwidth allocation, dropout,
+//!   multi-seed replication);
+//! * [`plot`] — terminal (ASCII) curve rendering of the figure panels;
+//! * [`cli`] — the `experiments` binary's argument grammar.
+//!
+//! The `experiments` binary is a thin CLI over [`experiments`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cli;
+pub mod experiments;
+pub mod harness;
+pub mod plot;
+pub mod profile;
+pub mod report;

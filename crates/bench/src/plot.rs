@@ -1,0 +1,159 @@
+//! Terminal curve rendering for the figure harness.
+//!
+//! The harness's primary outputs are CSV series; this module adds an
+//! at-a-glance ASCII rendering of the same curves so the paper's figure
+//! *shapes* (who leads early, where the crossovers fall) are visible
+//! straight from the terminal, no plotting stack required.
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend name.
+    pub name: String,
+    /// Points, in any order (sorted internally by x).
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Glyphs assigned to series in order.
+const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+/// Renders the series into a `width x height` character canvas with a
+/// shared linear scale, returning the multi-line string (with a legend
+/// and axis ranges). Series beyond the glyph supply reuse glyphs.
+///
+/// # Panics
+/// Panics if `width`/`height` are below 8/4 (unreadably small canvases
+/// are caller bugs).
+pub fn render(series: &[Series], width: usize, height: usize) -> String {
+    assert!(width >= 8 && height >= 4, "canvas too small: {width}x{height}");
+    let finite_points: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if finite_points.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &finite_points {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+
+    let mut canvas = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        let mut pts: Vec<(f64, f64)> = s
+            .points
+            .iter()
+            .copied()
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite xs"));
+        for (x, y) in pts {
+            let col = (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+            let row = (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row.min(height - 1);
+            canvas[row][col.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    for (r, line) in canvas.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{y_max:>9.3} ┤")
+        } else if r == height - 1 {
+            format!("{y_min:>9.3} ┤")
+        } else {
+            format!("{:>9} │", "")
+        };
+        out.push_str(&label);
+        out.extend(line.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>10}└{}\n{:>11}{:<.3}{}{:>.3}\n",
+        "",
+        "─".repeat(width),
+        "",
+        x_min,
+        " ".repeat(width.saturating_sub(14)),
+        x_max
+    ));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(si, s)| format!("{} {}", GLYPHS[si % GLYPHS.len()], s.name))
+        .collect();
+    out.push_str(&format!("{:>11}{}\n", "", legend.join("   ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(name: &str, pts: &[(f64, f64)]) -> Series {
+        Series { name: name.into(), points: pts.to_vec() }
+    }
+
+    #[test]
+    fn renders_extremes_on_border_rows() {
+        let s = series("a", &[(0.0, 0.0), (10.0, 1.0)]);
+        let plot = render(&[s], 20, 6);
+        let lines: Vec<&str> = plot.lines().collect();
+        // Max y labels the first row, min y the last canvas row.
+        assert!(lines[0].contains("1.000"));
+        assert!(lines[5].contains("0.000"));
+        // Top row holds the high point, bottom row the low point.
+        assert!(lines[0].contains('*'));
+        assert!(lines[5].contains('*'));
+    }
+
+    #[test]
+    fn legend_lists_all_series_with_distinct_glyphs() {
+        let plot = render(
+            &[series("FedL", &[(0.0, 1.0)]), series("FedAvg", &[(0.0, 2.0)])],
+            16,
+            5,
+        );
+        assert!(plot.contains("* FedL"));
+        assert!(plot.contains("o FedAvg"));
+    }
+
+    #[test]
+    fn empty_input_is_graceful() {
+        assert_eq!(render(&[series("e", &[])], 16, 5), "(no data)\n");
+    }
+
+    #[test]
+    fn non_finite_points_are_skipped() {
+        let plot = render(
+            &[series("a", &[(0.0, 0.5), (f64::NAN, 1.0), (1.0, f64::INFINITY), (2.0, 0.7)])],
+            16,
+            5,
+        );
+        assert!(plot.contains('*'));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let plot = render(&[series("flat", &[(0.0, 3.0), (5.0, 3.0)])], 16, 5);
+        assert!(plot.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "canvas too small")]
+    fn rejects_tiny_canvas() {
+        let _ = render(&[series("a", &[(0.0, 0.0)])], 2, 2);
+    }
+}

@@ -1,0 +1,251 @@
+//! Result emission: CSV series for plotting, JSON for machines, and the
+//! human-readable tables the paper reports in §6.2 prose.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::harness::CellResult;
+
+/// Writes the per-epoch series of every cell as one tidy CSV
+/// (`policy,task,dist,budget,epoch,round,sim_time,spent,accuracy,test_loss,global_loss`).
+pub fn write_series_csv(path: &Path, results: &[CellResult]) -> io::Result<()> {
+    let mut out = String::from(
+        "policy,task,dist,budget,epoch,round,sim_time,spent,accuracy,test_loss,global_loss\n",
+    );
+    for r in results {
+        let dist = if r.cell.iid { "iid" } else { "non-iid" };
+        let mut round = 0usize;
+        for e in &r.outcome.epochs {
+            round += e.iterations;
+            out.push_str(&format!(
+                "{},{:?},{},{},{},{},{:.4},{:.2},{:.4},{:.4},{:.4}\n",
+                r.outcome.policy,
+                r.cell.task,
+                dist,
+                r.cell.budget,
+                e.epoch,
+                round,
+                e.sim_time,
+                e.spent,
+                e.accuracy,
+                e.test_loss,
+                e.global_loss,
+            ));
+        }
+    }
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    fs::write(path, out)
+}
+
+/// Writes the raw outcomes as JSON for downstream tooling.
+pub fn write_json(path: &Path, results: &[CellResult]) -> io::Result<()> {
+    #[derive(serde::Serialize)]
+    struct Entry<'a> {
+        policy: &'a str,
+        task: String,
+        iid: bool,
+        budget: f64,
+        outcome: &'a fedl_core::runner::RunOutcome,
+    }
+    let entries: Vec<Entry> = results
+        .iter()
+        .map(|r| Entry {
+            policy: &r.outcome.policy,
+            task: format!("{:?}", r.cell.task),
+            iid: r.cell.iid,
+            budget: r.cell.budget,
+            outcome: &r.outcome,
+        })
+        .collect();
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    fs::write(path, serde_json::to_string_pretty(&entries)?)
+}
+
+/// Accuracy each policy had reached by `time` simulated seconds
+/// (last record at or before `time`; 0 if none).
+pub fn accuracy_at_time(result: &CellResult, time: f64) -> f64 {
+    result
+        .outcome
+        .epochs
+        .iter()
+        .take_while(|e| e.sim_time <= time)
+        .last()
+        .map_or(0.0, |e| e.accuracy)
+}
+
+/// Prints the accuracy-vs-time table for one figure panel.
+pub fn print_time_table(title: &str, results: &[CellResult], times: &[f64], targets: &[f64]) {
+    println!("\n── {title} ──");
+    print!("{:<8}", "policy");
+    for t in times {
+        print!("{:>12}", format!("acc@{t:.0}s"));
+    }
+    for a in targets {
+        print!("{:>14}", format!("t→{:.0}% (s)", a * 100.0));
+    }
+    println!();
+    for r in results {
+        print!("{:<8}", r.outcome.policy);
+        for &t in times {
+            print!("{:>12.3}", accuracy_at_time(r, t));
+        }
+        for &a in targets {
+            match r.outcome.time_to_accuracy(a) {
+                Some(t) => print!("{:>14.1}", t),
+                None => print!("{:>14}", "—"),
+            }
+        }
+        println!();
+    }
+}
+
+/// Prints the accuracy-vs-round table for one figure panel.
+pub fn print_round_table(title: &str, results: &[CellResult], rounds: &[usize], targets: &[f64]) {
+    println!("\n── {title} ──");
+    print!("{:<8}", "policy");
+    for r in rounds {
+        print!("{:>12}", format!("acc@r{r}"));
+    }
+    for a in targets {
+        print!("{:>14}", format!("r→{:.0}%", a * 100.0));
+    }
+    println!();
+    for res in results {
+        let by_round = res.outcome.accuracy_by_round();
+        print!("{:<8}", res.outcome.policy);
+        for &target_round in rounds {
+            let acc = by_round
+                .iter()
+                .take_while(|(r, _)| *r <= target_round)
+                .last()
+                .map_or(0.0, |(_, a)| *a);
+            print!("{:>12.3}", acc);
+        }
+        for &a in targets {
+            match res.outcome.rounds_to_accuracy(a) {
+                Some(r) => print!("{:>14}", r),
+                None => print!("{:>14}", "—"),
+            }
+        }
+        println!();
+    }
+}
+
+/// Prints the budget-impact table (final global loss per budget).
+pub fn print_budget_table(title: &str, results: &[CellResult], budgets: &[f64]) {
+    println!("\n── {title} ──");
+    print!("{:<8}", "policy");
+    for b in budgets {
+        print!("{:>12}", format!("C={b:.0}"));
+    }
+    println!("   (final global loss)");
+    for policy in ["FedL", "FedCS", "FedAvg", "Pow-d"] {
+        print!("{:<8}", policy);
+        for &b in budgets {
+            let cell = results
+                .iter()
+                .find(|r| r.outcome.policy == policy && (r.cell.budget - b).abs() < 1e-9);
+            match cell {
+                Some(c) => print!("{:>12.3}", c.outcome.final_loss()),
+                None => print!("{:>12}", "—"),
+            }
+        }
+        println!();
+    }
+}
+
+/// The paper's headline metric: FedL's completion-time saving relative
+/// to the best baseline at the given accuracy target. Returns `None`
+/// when FedL (or every baseline) misses the target.
+pub fn fedl_time_saving(results: &[CellResult], target: f64) -> Option<f64> {
+    let fedl = results.iter().find(|r| r.outcome.policy == "FedL")?;
+    let t_fedl = fedl.outcome.time_to_accuracy(target)?;
+    let best_baseline = results
+        .iter()
+        .filter(|r| r.outcome.policy != "FedL")
+        .filter_map(|r| r.outcome.time_to_accuracy(target))
+        .fold(f64::INFINITY, f64::min);
+    if best_baseline.is_finite() {
+        Some(1.0 - t_fedl / best_baseline)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Cell;
+    use fedl_core::policy::PolicyKind;
+    use fedl_core::runner::{EpochRecord, RunOutcome};
+    use fedl_data::synth::TaskKind;
+
+    fn fake(policy: &str, times: &[(f64, f64)]) -> CellResult {
+        let epochs = times
+            .iter()
+            .enumerate()
+            .map(|(i, &(t, acc))| EpochRecord {
+                epoch: i,
+                cohort_size: 3,
+                iterations: 2,
+                sim_time: t,
+                spent: t * 10.0,
+                accuracy: acc,
+                test_loss: 1.0 - acc,
+                global_loss: 1.0 - acc,
+            })
+            .collect();
+        CellResult {
+            cell: Cell {
+                task: TaskKind::FmnistLike,
+                iid: true,
+                policy: PolicyKind::FedL,
+                budget: 100.0,
+            },
+            outcome: RunOutcome { policy: policy.into(), budget: 100.0, epochs },
+        }
+    }
+
+    #[test]
+    fn accuracy_at_time_takes_last_before() {
+        let r = fake("FedL", &[(1.0, 0.2), (2.0, 0.4), (4.0, 0.6)]);
+        assert_eq!(accuracy_at_time(&r, 0.5), 0.0);
+        assert_eq!(accuracy_at_time(&r, 2.5), 0.4);
+        assert_eq!(accuracy_at_time(&r, 10.0), 0.6);
+    }
+
+    #[test]
+    fn saving_computed_against_best_baseline() {
+        let results = vec![
+            fake("FedL", &[(1.0, 0.2), (2.0, 0.7)]),
+            fake("FedAvg", &[(1.0, 0.1), (8.0, 0.7)]),
+            fake("Pow-d", &[(1.0, 0.1), (4.0, 0.7)]),
+        ];
+        // FedL reaches 0.7 at t=2; best baseline (Pow-d) at t=4 -> 50%.
+        let saving = fedl_time_saving(&results, 0.7).unwrap();
+        assert!((saving - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saving_none_when_target_missed() {
+        let results = vec![fake("FedL", &[(1.0, 0.2)]), fake("FedAvg", &[(1.0, 0.9)])];
+        assert!(fedl_time_saving(&results, 0.8).is_none());
+    }
+
+    #[test]
+    fn csv_writes_header_and_rows() {
+        let dir = std::env::temp_dir().join("fedl_report_test");
+        let path = dir.join("series.csv");
+        let results = vec![fake("FedL", &[(1.0, 0.2), (2.0, 0.3)])];
+        write_series_csv(&path, &results).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("policy,task,dist,budget"));
+        assert_eq!(content.lines().count(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

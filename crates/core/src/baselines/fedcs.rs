@@ -1,0 +1,133 @@
+//! FedCS: deadline-constrained maximal selection (Nishio & Yonetani
+//! [21]).
+//!
+//! FedCS greedily admits as many clients as possible while the estimated
+//! epoch time stays under a fixed deadline. The original uses resource
+//! requests from clients (1-lookahead); this online port uses the
+//! previous epoch's channel/compute estimates, which is the information
+//! a 0-lookahead deployment actually has.
+
+use crate::policy::{EpochContext, SelectionDecision, SelectionPolicy};
+
+use super::BASELINE_ITERATIONS;
+
+/// Greedy deadline-packing selection.
+pub struct FedCsPolicy {
+    /// Per-epoch deadline in simulated seconds.
+    deadline_secs: f64,
+}
+
+impl FedCsPolicy {
+    /// Creates the policy with an explicit per-epoch deadline.
+    ///
+    /// # Panics
+    /// Panics on a non-positive deadline.
+    pub fn new(deadline_secs: f64) -> Self {
+        assert!(deadline_secs > 0.0, "non-positive deadline");
+        Self { deadline_secs }
+    }
+
+    /// The default deadline: tight enough to exclude the cell-edge
+    /// stragglers but loose enough that FedCS still admits most of the
+    /// population — "as many clients as possible" within the round
+    /// deadline, as in the original scheme.
+    pub fn default_deadline() -> Self {
+        Self::new(2.0)
+    }
+}
+
+impl SelectionPolicy for FedCsPolicy {
+    fn name(&self) -> &'static str {
+        "FedCS"
+    }
+
+    fn select(&mut self, ctx: &EpochContext) -> SelectionDecision {
+        ctx.validate();
+        // Sort by estimated latency, fastest first (greedy packing).
+        let mut order: Vec<usize> = (0..ctx.available.len()).collect();
+        order.sort_by(|&a, &b| {
+            ctx.latency_hint[a]
+                .partial_cmp(&ctx.latency_hint[b])
+                .expect("finite latency hints")
+        });
+        let budget_per_epoch = ctx.remaining_budget.max(0.0);
+        let mut cohort = Vec::new();
+        let mut spent = 0.0;
+        for &pos in &order {
+            // Epoch time estimate: slowest admitted client × iterations.
+            let slowest = ctx.latency_hint[pos];
+            let projected = slowest * BASELINE_ITERATIONS as f64;
+            let affordable = spent + ctx.costs[pos] <= budget_per_epoch;
+            if projected <= self.deadline_secs && affordable {
+                spent += ctx.costs[pos];
+                cohort.push(ctx.available[pos]);
+            }
+        }
+        // FedCS still needs a quorum: fall back to the fastest n if the
+        // deadline admitted too few.
+        let n = ctx.effective_n();
+        if cohort.len() < n {
+            cohort = order.iter().take(n).map(|&pos| ctx.available[pos]).collect();
+        }
+        cohort.sort_unstable();
+        SelectionDecision { cohort, iterations: BASELINE_ITERATIONS }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::test_util::ctx;
+
+    #[test]
+    fn admits_everyone_under_generous_deadline() {
+        let c = ctx(vec![0, 1, 2, 3], vec![1.0; 4], 100.0, 2);
+        let mut p = FedCsPolicy::new(1000.0);
+        let d = p.select(&c);
+        assert_eq!(d.cohort.len(), 4, "generous deadline should admit all");
+    }
+
+    #[test]
+    fn excludes_slow_clients_under_tight_deadline() {
+        let mut c = ctx(vec![0, 1, 2, 3], vec![1.0; 4], 100.0, 1);
+        c.latency_hint = vec![0.1, 0.2, 50.0, 60.0];
+        // Deadline 1.0 with 3 iterations -> per-iter must be <= 1/3.
+        let mut p = FedCsPolicy::new(1.0);
+        let d = p.select(&c);
+        assert_eq!(d.cohort, vec![0, 1], "slow clients must be excluded");
+    }
+
+    #[test]
+    fn quorum_fallback_when_deadline_too_tight() {
+        let mut c = ctx(vec![0, 1, 2], vec![1.0; 3], 100.0, 2);
+        c.latency_hint = vec![10.0, 20.0, 30.0];
+        let mut p = FedCsPolicy::new(0.001);
+        let d = p.select(&c);
+        assert_eq!(d.cohort.len(), 2, "must keep the participation floor");
+        assert_eq!(d.cohort, vec![0, 1], "fallback picks the fastest");
+    }
+
+    #[test]
+    fn respects_remaining_budget() {
+        let mut c = ctx(vec![0, 1, 2, 3], vec![5.0, 5.0, 5.0, 5.0], 11.0, 1);
+        c.latency_hint = vec![0.1, 0.2, 0.3, 0.4];
+        let mut p = FedCsPolicy::new(1000.0);
+        let d = p.select(&c);
+        let cost: f64 = d
+            .cohort
+            .iter()
+            .map(|id| {
+                let pos = c.available.iter().position(|a| a == id).unwrap();
+                c.costs[pos]
+            })
+            .sum();
+        assert!(cost <= 11.0, "spent {cost} of 11");
+        assert_eq!(d.cohort.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive deadline")]
+    fn rejects_bad_deadline() {
+        let _ = FedCsPolicy::new(0.0);
+    }
+}

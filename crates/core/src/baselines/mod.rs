@@ -1,0 +1,21 @@
+//! The three comparison policies of the paper's §6.1:
+//! FedAvg [19], FedCS [21], and Pow-d [5].
+//!
+//! All three run online with the same 0-lookahead information FedL gets;
+//! none of them learns from history beyond what its published selection
+//! rule prescribes.
+
+mod fedavg;
+mod fedcs;
+mod oracle;
+mod powd;
+
+pub use fedavg::FedAvgPolicy;
+pub use fedcs::FedCsPolicy;
+pub use oracle::OraclePolicy;
+pub use powd::PowDPolicy;
+
+/// Iterations per epoch used by the fixed-iteration baselines (they do
+/// not control `l_t`; the paper's baselines train with a constant local
+/// schedule).
+pub const BASELINE_ITERATIONS: usize = 3;

@@ -1,0 +1,76 @@
+//! Latency oracle: a 1-lookahead reference policy.
+//!
+//! The paper's dynamic regret compares FedL against per-epoch hindsight
+//! optima. This policy *plays* that comparator: it reads the current
+//! epoch's realized latencies (information no deployable policy has) and
+//! picks the `n` fastest clients. It is excluded from the headline
+//! comparisons ([`crate::policy::PolicyKind::ALL`]) and exists so regret
+//! can be visualized as "FedL vs what an omniscient latency minimizer
+//! would have paid".
+
+use crate::policy::{EpochContext, SelectionDecision, SelectionPolicy};
+
+use super::BASELINE_ITERATIONS;
+
+/// 1-lookahead latency minimizer.
+pub struct OraclePolicy;
+
+impl OraclePolicy {
+    /// Creates the oracle.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Default for OraclePolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SelectionPolicy for OraclePolicy {
+    fn name(&self) -> &'static str {
+        "Oracle"
+    }
+
+    fn select(&mut self, ctx: &EpochContext) -> SelectionDecision {
+        ctx.validate();
+        let n = ctx.effective_n();
+        let mut order: Vec<usize> = (0..ctx.available.len()).collect();
+        order.sort_by(|&a, &b| {
+            ctx.true_latency[a]
+                .partial_cmp(&ctx.true_latency[b])
+                .expect("finite latencies")
+        });
+        let mut cohort: Vec<usize> =
+            order.into_iter().take(n).map(|pos| ctx.available[pos]).collect();
+        cohort.sort_unstable();
+        SelectionDecision { cohort, iterations: BASELINE_ITERATIONS }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::test_util::ctx;
+
+    #[test]
+    fn picks_the_truly_fastest_clients() {
+        let mut c = ctx(vec![0, 1, 2, 3], vec![1.0; 4], 100.0, 2);
+        c.true_latency = vec![5.0, 0.1, 3.0, 0.2];
+        // Hints deliberately disagree with the truth: the oracle must
+        // follow the truth.
+        c.latency_hint = vec![0.1, 5.0, 0.2, 3.0];
+        let mut p = OraclePolicy::new();
+        let d = p.select(&c);
+        assert_eq!(d.cohort, vec![1, 3]);
+    }
+
+    #[test]
+    fn respects_participation_floor() {
+        let c = ctx(vec![4, 9], vec![1.0, 1.0], 10.0, 5);
+        let mut p = OraclePolicy::new();
+        let d = p.select(&c);
+        assert_eq!(d.cohort.len(), 2);
+    }
+}

@@ -1,0 +1,43 @@
+//! FedL — the paper's contribution: online-learning client selection and
+//! iteration control under a long-term budget (ICPP 2022).
+//!
+//! The algorithm (paper §4) runs two coupled loops per epoch:
+//!
+//! 1. **Online learning** ([`online`]): maintain Lagrange multipliers μ
+//!    for the convergence constraints and, at each epoch, solve the
+//!    modified descent step (eq. (8))
+//!
+//!    ```text
+//!    min_Φ  ∇f_t(Φ_t)·(Φ − Φ_t) + μ_{t+1}ᵀ h_t(Φ) + ‖Φ − Φ_t‖²/(2β)
+//!    s.t.   x ∈ [0,1]^K, ρ ≥ 1, Σx ≥ n, Σc·x ≤ C_remaining,
+//!    ```
+//!
+//!    using only quantities observed at epoch `t` (0-lookahead), then
+//!    ascend the duals with `μ ← [μ + δ·h_t(Φ̃_t)]⁺` (eq. (9)).
+//! 2. **Online rounding** ([`rounding`]): turn the fractional selection
+//!    `x̃` into a 0/1 cohort with the randomized dependent client
+//!    selection algorithm RDCS (Alg. 2), which preserves `Σx` exactly
+//!    and each coordinate in expectation (Theorem 3).
+//!
+//! [`regret`] implements the paper's §5 accounting (dynamic regret and
+//! dynamic fit against per-epoch hindsight comparators), [`baselines`]
+//! the three comparison policies (FedAvg, FedCS, Pow-d), and [`runner`]
+//! the experiment loop that drives any [`policy::SelectionPolicy`]
+//! against a [`fedl_sim::EdgeEnvironment`] until the budget is gone.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod baselines;
+pub mod fedl;
+pub mod objective;
+pub mod online;
+pub mod policy;
+pub mod regret;
+pub mod rounding;
+pub mod runner;
+pub mod state;
+
+pub use fedl::{FedLConfig, FedLPolicy};
+pub use policy::{EpochContext, PolicyKind, SelectionDecision, SelectionPolicy};
+pub use runner::{ExperimentRunner, RunOutcome, ScenarioConfig};

@@ -1,0 +1,347 @@
+//! The online learning algorithm (paper §4.3): alternating modified
+//! descent on the primal decision and standard ascent on the Lagrange
+//! multipliers, using only observed information.
+
+use crate::objective::{FracDecision, OneShot};
+use crate::policy::EpochContext;
+use crate::state::LearnerState;
+use fedl_sim::EpochReport;
+
+/// Step sizes β (primal) and δ (dual).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StepSizes {
+    /// Primal (proximal) step size β.
+    pub beta: f64,
+    /// Dual ascent step size δ.
+    pub delta: f64,
+}
+
+impl StepSizes {
+    /// The Corollary-1 schedule `β = δ = scale·T_C^{−1/3}` with the
+    /// stopping-epoch estimate `T̂_C = C/(n·c̄)`.
+    pub fn corollary1(budget: f64, min_participants: usize, mean_cost: f64, scale: f64) -> Self {
+        assert!(budget > 0.0 && mean_cost > 0.0 && min_participants > 0, "bad schedule inputs");
+        assert!(scale > 0.0, "non-positive scale");
+        let t_c = (budget / (min_participants as f64 * mean_cost)).max(1.0);
+        let step = scale * t_c.powf(-1.0 / 3.0);
+        Self { beta: step, delta: step }
+    }
+
+    /// Fixed step sizes (for the step-size ablation).
+    pub fn fixed(beta: f64, delta: f64) -> Self {
+        assert!(beta > 0.0 && delta > 0.0, "non-positive step size");
+        Self { beta, delta }
+    }
+}
+
+/// State of the online learner: per-client observation memory plus the
+/// Lagrange multipliers `μ = [μ⁰, μ¹ … μ^M]` (μ⁰ for the global
+/// convergence constraint (3d), μ^k for each client's local constraint
+/// (3c); a client's multiplier persists across the epochs in which it is
+/// unavailable).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct OnlineLearner {
+    state: LearnerState,
+    mu0: f64,
+    mu: Vec<f64>,
+    steps: StepSizes,
+    theta: f64,
+    rho_max: f64,
+    /// Fairness weight (0 = the paper's FedL; positive values give
+    /// rarely-selected clients a standing objective discount — the
+    /// paper's stated future-work direction).
+    fairness_weight: f64,
+}
+
+impl OnlineLearner {
+    /// Creates the learner with `μ₁ = 0` (the initialization Lemma 2 and
+    /// Theorem 2 assume). `prior_x` is the fractional anchor given to
+    /// never-observed clients — FedL passes `n/M`, the selection rate a
+    /// budget-efficient policy settles at.
+    pub fn new(
+        num_clients: usize,
+        steps: StepSizes,
+        theta: f64,
+        rho_max: f64,
+        prior_x: f64,
+    ) -> Self {
+        assert!(theta > 0.0, "theta must be positive");
+        assert!(rho_max >= 1.0, "rho_max below 1");
+        Self {
+            state: LearnerState::new(num_clients, prior_x),
+            mu0: 0.0,
+            mu: vec![0.0; num_clients],
+            steps,
+            theta,
+            rho_max,
+            fairness_weight: 0.0,
+        }
+    }
+
+    /// Enables the fairness extension with the given weight (see
+    /// [`crate::objective::OneShot::bonus`]).
+    pub fn with_fairness(mut self, weight: f64) -> Self {
+        assert!(weight >= 0.0, "negative fairness weight");
+        self.fairness_weight = weight;
+        self
+    }
+
+    /// Serializes the complete learner state (per-client memory,
+    /// multipliers, step sizes) for checkpointing a long FL campaign.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("learner state serializes")
+    }
+
+    /// Restores a learner from a [`OnlineLearner::to_json`] snapshot.
+    pub fn from_json(snapshot: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(snapshot)
+    }
+
+    /// Current multipliers `(μ⁰, μ^k)` — exposed for the boundedness
+    /// check of Lemma 2 in tests/benches.
+    pub fn multipliers(&self) -> (f64, &[f64]) {
+        (self.mu0, &self.mu)
+    }
+
+    /// The configured step sizes.
+    pub fn steps(&self) -> StepSizes {
+        self.steps
+    }
+
+    /// Per-client observation memory.
+    pub fn state(&self) -> &LearnerState {
+        &self.state
+    }
+
+    /// Assembles the one-shot problem for this epoch from current prices
+    /// and remembered observations.
+    pub fn build_problem(&mut self, ctx: &EpochContext) -> OneShot {
+        ctx.validate();
+        let mut tau = Vec::with_capacity(ctx.available.len());
+        let mut eta = Vec::with_capacity(ctx.available.len());
+        let mut g = Vec::with_capacity(ctx.available.len());
+        let mut bonus = Vec::with_capacity(ctx.available.len());
+        let fairness = self.fairness_weight;
+        for (pos, &k) in ctx.available.iter().enumerate() {
+            let stats = self.state.stats_mut(k, ctx.latency_hint[pos]);
+            // The latency hint is last epoch's realized channel state —
+            // fresh observable data for every available client, selected
+            // or not — so fold it into the estimate before reading it.
+            stats.observe_latency(ctx.latency_hint[pos]);
+            tau.push(stats.tau);
+            eta.push(stats.eta);
+            g.push(stats.g);
+            bonus.push(fairness / (1.0 + stats.observations as f64));
+        }
+        let loss_all = if self.state.last_global_loss.is_finite() {
+            self.state.last_global_loss
+        } else {
+            // No observation yet: seed with the loss hints' mean.
+            ctx.loss_hint.iter().sum::<f64>() / ctx.loss_hint.len().max(1) as f64
+        };
+        OneShot {
+            ids: ctx.available.clone(),
+            tau,
+            costs: ctx.costs.clone(),
+            eta,
+            g,
+            bonus,
+            loss_all,
+            theta: self.theta,
+            min_participants: ctx.min_participants,
+            budget: ctx.remaining_budget,
+            rho_max: self.rho_max,
+        }
+    }
+
+    /// The modified descent step (paper eq. (8)): produces the fractional
+    /// decision for this epoch, anchored at each client's previous
+    /// fractional value.
+    pub fn decide(&mut self, ctx: &EpochContext, problem: &OneShot) -> FracDecision {
+        let anchor_x: Vec<f64> = ctx
+            .available
+            .iter()
+            .enumerate()
+            .map(|(pos, &k)| {
+                self.state.stats_mut(k, ctx.latency_hint[pos]).last_x
+            })
+            .collect();
+        let anchor = FracDecision { x: anchor_x, rho: self.state.last_rho };
+        let mut mu = Vec::with_capacity(ctx.available.len() + 1);
+        mu.push(self.mu0);
+        for &k in &ctx.available {
+            mu.push(self.mu[k]);
+        }
+        problem.descend(&anchor, &mu, self.steps.beta)
+    }
+
+    /// Observation + dual ascent (paper eq. (9)): fold the realized epoch
+    /// into the per-client memory and update
+    /// `μ ← [μ + δ·h_t(Φ̃_t)]⁺` using *observed* constraint values.
+    pub fn observe(
+        &mut self,
+        ctx: &EpochContext,
+        report: &EpochReport,
+        frac: &FracDecision,
+        problem: &OneShot,
+    ) {
+        assert_eq!(frac.x.len(), ctx.available.len(), "decision arity");
+        // Update per-client memory from the realized cohort outcomes.
+        for (slot, &k) in report.cohort.iter().enumerate() {
+            let tau = report.per_client_iter_latency[slot];
+            let eta = report.eta_hats[slot] as f64;
+            let g = report.grad_dot_delta[slot] as f64;
+            // The latency hint position for k (k is available, else it
+            // could not have been selected).
+            let pos = ctx.available.iter().position(|&a| a == k);
+            let hint = pos.map_or(tau, |p| ctx.latency_hint[p]);
+            self.state.stats_mut(k, hint).observe(tau, eta, g);
+        }
+        self.state.last_global_loss = report.global_loss_all;
+
+        // Anchors for the next descent step.
+        for (pos, &k) in ctx.available.iter().enumerate() {
+            self.state.stats_mut(k, ctx.latency_hint[pos]).last_x = frac.x[pos];
+        }
+        self.state.last_rho = frac.rho;
+
+        // Observed constraint vector h_t(Φ̃_t): same structure as the
+        // decision problem but with realized η̂ and realized global loss.
+        let mut observed = problem.clone();
+        observed.loss_all = report.global_loss_all;
+        for (slot, &k) in report.cohort.iter().enumerate() {
+            if let Some(pos) = ctx.available.iter().position(|&a| a == k) {
+                observed.eta[pos] = report.eta_hats[slot] as f64;
+                observed.g[pos] = report.grad_dot_delta[slot] as f64;
+            }
+        }
+        let h = observed.h_value(&frac.x, frac.rho);
+        self.mu0 = (self.mu0 + self.steps.delta * h[0]).max(0.0);
+        for (pos, &k) in ctx.available.iter().enumerate() {
+            self.mu[k] = (self.mu[k] + self.steps.delta * h[1 + pos]).max(0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::test_util::ctx;
+
+    fn learner(n_clients: usize) -> OnlineLearner {
+        OnlineLearner::new(n_clients, StepSizes::fixed(0.5, 0.5), 0.5, 8.0, 0.4)
+    }
+
+    fn fake_report(ctx: &EpochContext, cohort: Vec<usize>, loss: f64) -> EpochReport {
+        let k = cohort.len();
+        let _ = ctx;
+        EpochReport {
+            epoch: ctx.epoch,
+            cohort,
+            iterations: 2,
+            latency_secs: 1.0,
+            per_client_iter_latency: vec![0.4; k],
+            cost: 3.0,
+            eta_hats: vec![0.6; k],
+            global_loss_all: loss,
+            global_loss_selected: loss,
+            grad_dot_delta: vec![-0.3; k],
+            local_losses: vec![loss as f32; k],
+            failed: vec![],
+        }
+    }
+
+    #[test]
+    fn corollary1_schedule_shrinks_with_budget() {
+        let small = StepSizes::corollary1(100.0, 5, 6.0, 1.0);
+        let large = StepSizes::corollary1(10000.0, 5, 6.0, 1.0);
+        assert!(large.beta < small.beta, "bigger T_C -> smaller steps");
+        assert_eq!(small.beta, small.delta);
+    }
+
+    #[test]
+    fn multipliers_start_at_zero_and_stay_nonnegative() {
+        let c = ctx(vec![0, 1, 2], vec![1.0, 2.0, 3.0], 50.0, 2);
+        let mut l = learner(3);
+        let (mu0, mu) = l.multipliers();
+        assert_eq!(mu0, 0.0);
+        assert!(mu.iter().all(|&m| m == 0.0));
+        let p = l.build_problem(&c);
+        let d = l.decide(&c, &p);
+        // Low realized loss: h0 negative, mu0 stays at 0.
+        let r = fake_report(&c, d.x.iter().enumerate().filter(|(_, &x)| x > 0.5).map(|(i, _)| c.available[i]).collect(), 0.1);
+        let cohort = if r.cohort.is_empty() { fake_report(&c, vec![0], 0.1) } else { r };
+        l.observe(&c, &cohort, &d, &p);
+        let (mu0, mu) = l.multipliers();
+        assert_eq!(mu0, 0.0, "satisfied constraint must not grow μ⁰");
+        assert!(mu.iter().all(|&m| m >= 0.0));
+    }
+
+    #[test]
+    fn violated_global_constraint_grows_mu0() {
+        let c = ctx(vec![0, 1, 2], vec![1.0, 2.0, 3.0], 50.0, 2);
+        let mut l = learner(3);
+        let p = l.build_problem(&c);
+        let d = l.decide(&c, &p);
+        let r = fake_report(&c, vec![0, 1], 5.0); // loss 5 >> theta 0.5
+        l.observe(&c, &r, &d, &p);
+        let (mu0, _) = l.multipliers();
+        assert!(mu0 > 0.0, "violated loss constraint must raise μ⁰");
+    }
+
+    #[test]
+    fn dual_pressure_changes_decision() {
+        let c = ctx(vec![0, 1, 2, 3], vec![1.0; 4], 50.0, 2);
+        let mut l = learner(4);
+        let p0 = l.build_problem(&c);
+        let before = l.decide(&c, &p0);
+        // Several epochs of heavy violation.
+        for _ in 0..10 {
+            let p = l.build_problem(&c);
+            let d = l.decide(&c, &p);
+            let r = fake_report(&c, vec![0, 1], 5.0);
+            l.observe(&c, &r, &d, &p);
+        }
+        let p1 = l.build_problem(&c);
+        let after = l.decide(&c, &p1);
+        // Accumulated μ⁰ pushes toward loss-reducing selections and more
+        // iterations; at minimum the decision must have moved.
+        assert!(
+            (after.rho - before.rho).abs() > 1e-6
+                || after
+                    .x
+                    .iter()
+                    .zip(&before.x)
+                    .any(|(a, b)| (a - b).abs() > 1e-6),
+            "dual ascent had no effect on the decision"
+        );
+    }
+
+    #[test]
+    fn memory_prefers_observed_fast_clients() {
+        let c = ctx(vec![0, 1], vec![1.0, 1.0], 100.0, 1);
+        let mut l = learner(2);
+        // Observe client 0 as fast/high-quality repeatedly.
+        for _ in 0..6 {
+            let p = l.build_problem(&c);
+            let d = l.decide(&c, &p);
+            let mut r = fake_report(&c, vec![0], 0.4);
+            r.per_client_iter_latency = vec![0.01];
+            r.eta_hats = vec![0.1];
+            r.grad_dot_delta = vec![-1.0];
+            l.observe(&c, &r, &d, &p);
+        }
+        let p = l.build_problem(&c);
+        // Client 0's remembered latency should now be far below 1's.
+        assert!(p.tau[0] < p.tau[1] * 0.5, "tau {:?}", p.tau);
+        assert!(p.eta[0] < p.eta[1], "eta {:?}", p.eta);
+        let d = l.decide(&c, &p);
+        assert!(d.x[0] >= d.x[1] - 1e-9, "learned preference ignored: {:?}", d.x);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be positive")]
+    fn rejects_bad_theta() {
+        let _ = OnlineLearner::new(2, StepSizes::fixed(0.1, 0.1), 0.0, 4.0, 0.4);
+    }
+}

@@ -1,0 +1,271 @@
+//! Online rounding: the randomized dependent client selection algorithm
+//! RDCS (paper Alg. 2) plus the independent-rounding baseline and the
+//! feasibility repair pass.
+
+use rand::Rng;
+
+/// Tolerance below/above which a coordinate counts as integral.
+const INT_TOL: f64 = 1e-9;
+
+fn is_fractional(v: f64) -> bool {
+    v > INT_TOL && v < 1.0 - INT_TOL
+}
+
+/// Rounds the fractional selection vector in place with RDCS.
+///
+/// While at least two coordinates are fractional, pick a pair `(i, j)`
+/// and shift `ζ₁ = min(1−x_i, x_j)` or `ζ₂ = min(x_i, 1−x_j)` between
+/// them with probabilities `ζ₂/(ζ₁+ζ₂)` and `ζ₁/(ζ₁+ζ₂)` (paper Alg. 2
+/// lines 3–8). Each pass preserves `x_i + x_j` exactly and each
+/// coordinate in expectation, and makes at least one of the pair
+/// integral. A final lone fractional coordinate is rounded up with
+/// probability equal to its value (the classic tail step; preserves the
+/// expectation, moves the sum by less than 1).
+///
+/// Returns the indices rounded to 1.
+///
+/// # Examples
+///
+/// ```
+/// use fedl_core::rounding::rdcs;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// // Fractional mass sums to 2: exactly two clients get selected.
+/// let mut x = vec![0.5, 0.5, 0.5, 0.5];
+/// let selected = rdcs(&mut x, &mut rng);
+/// assert_eq!(selected.len(), 2);
+/// assert!(x.iter().all(|&v| v == 0.0 || v == 1.0));
+/// ```
+pub fn rdcs(x: &mut [f64], rng: &mut impl Rng) -> Vec<usize> {
+    for (i, &v) in x.iter().enumerate() {
+        assert!(
+            (-INT_TOL..=1.0 + INT_TOL).contains(&v),
+            "selection fraction {v} at {i} outside [0,1]"
+        );
+    }
+    loop {
+        // Collect the currently fractional coordinates.
+        let frac: Vec<usize> =
+            (0..x.len()).filter(|&i| is_fractional(x[i])).collect();
+        if frac.len() < 2 {
+            break;
+        }
+        // Randomly choose the pair (Alg. 2 line 1).
+        let a = frac[rng.gen_range(0..frac.len())];
+        let b = loop {
+            let cand = frac[rng.gen_range(0..frac.len())];
+            if cand != a {
+                break cand;
+            }
+        };
+        let zeta1 = (1.0 - x[a]).min(x[b]);
+        let zeta2 = x[a].min(1.0 - x[b]);
+        debug_assert!(zeta1 > 0.0 && zeta2 > 0.0);
+        if rng.gen::<f64>() < zeta2 / (zeta1 + zeta2) {
+            x[a] += zeta1;
+            x[b] -= zeta1;
+        } else {
+            x[a] -= zeta2;
+            x[b] += zeta2;
+        }
+    }
+    // Tail: at most one fractional coordinate remains.
+    if let Some(i) = (0..x.len()).find(|&i| is_fractional(x[i])) {
+        x[i] = if rng.gen::<f64>() < x[i] { 1.0 } else { 0.0 };
+    }
+    // Snap numerical residue.
+    for v in x.iter_mut() {
+        *v = if *v > 0.5 { 1.0 } else { 0.0 };
+    }
+    (0..x.len()).filter(|&i| x[i] == 1.0).collect()
+}
+
+/// Independent rounding: each coordinate up with its own probability —
+/// the strawman the paper contrasts with RDCS (no sum preservation).
+pub fn independent(x: &mut [f64], rng: &mut impl Rng) -> Vec<usize> {
+    for v in x.iter_mut() {
+        *v = if rng.gen::<f64>() < *v { 1.0 } else { 0.0 };
+    }
+    (0..x.len()).filter(|&i| x[i] == 1.0).collect()
+}
+
+/// Feasibility repair after rounding (costs are heterogeneous, so only
+/// `Σx` — not `Σc·x` — is preserved by RDCS):
+///
+/// 1. while the cohort is smaller than `n`, add the cheapest unselected
+///    client;
+/// 2. while the cohort cost exceeds `budget` *and* the cohort is larger
+///    than `n`, drop the most expensive member.
+///
+/// A residual overshoot with exactly `n` members is allowed — it is the
+/// violation dynamic fit charges, and the runner's `while C ≥ 0` loop
+/// ends the run.
+pub fn repair(selected: &mut Vec<usize>, costs: &[f64], n: usize, budget: f64) {
+    let k = costs.len();
+    assert!(selected.iter().all(|&i| i < k), "selection index out of range");
+    let n = n.min(k).max(1);
+
+    let mut chosen = vec![false; k];
+    for &i in selected.iter() {
+        chosen[i] = true;
+    }
+    // Grow to the participation floor, cheapest first.
+    let mut by_cost: Vec<usize> = (0..k).collect();
+    by_cost.sort_by(|&a, &b| costs[a].partial_cmp(&costs[b]).expect("finite costs"));
+    let mut count = selected.len();
+    for &i in &by_cost {
+        if count >= n {
+            break;
+        }
+        if !chosen[i] {
+            chosen[i] = true;
+            count += 1;
+        }
+    }
+    // Shed cost, most expensive first, never below n.
+    let mut total: f64 = (0..k).filter(|&i| chosen[i]).map(|i| costs[i]).sum();
+    for &i in by_cost.iter().rev() {
+        if total <= budget || count <= n {
+            break;
+        }
+        if chosen[i] {
+            chosen[i] = false;
+            count -= 1;
+            total -= costs[i];
+        }
+    }
+    *selected = (0..k).filter(|&i| chosen[i]).collect();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedl_linalg::rng::rng_for;
+
+    #[test]
+    fn output_is_integral() {
+        let mut rng = rng_for(1, 0);
+        for trial in 0..50 {
+            let mut x: Vec<f64> = (0..7).map(|i| ((i + trial) % 10) as f64 / 10.0).collect();
+            let sel = rdcs(&mut x, &mut rng);
+            assert!(x.iter().all(|&v| v == 0.0 || v == 1.0), "{x:?}");
+            assert_eq!(sel.len(), x.iter().filter(|&&v| v == 1.0).count());
+        }
+    }
+
+    #[test]
+    fn integral_inputs_untouched() {
+        let mut rng = rng_for(2, 0);
+        let mut x = vec![1.0, 0.0, 1.0, 0.0];
+        let sel = rdcs(&mut x, &mut rng);
+        assert_eq!(x, vec![1.0, 0.0, 1.0, 0.0]);
+        assert_eq!(sel, vec![0, 2]);
+    }
+
+    /// Sum preservation: the rounded count is within 1 of the fractional
+    /// sum (exact when the sum of fractional parts is integral).
+    #[test]
+    fn sum_preserved_within_one() {
+        let mut rng = rng_for(3, 0);
+        for trial in 0..200u64 {
+            let mut r = rng_for(trial, 99);
+            let x0: Vec<f64> = (0..9).map(|_| r.gen::<f64>()).collect();
+            let sum0: f64 = x0.iter().sum();
+            let mut x = x0.clone();
+            let sel = rdcs(&mut x, &mut rng);
+            let diff = (sel.len() as f64 - sum0).abs();
+            assert!(diff < 1.0 + 1e-9, "sum {sum0} rounded to {}", sel.len());
+        }
+    }
+
+    /// Theorem 3: E[x_i] = x̃_i. Monte-Carlo over many runs.
+    #[test]
+    fn expectation_preserved() {
+        let x0 = [0.15, 0.4, 0.7, 0.9, 0.25, 0.6];
+        let trials = 20000;
+        let mut counts = vec![0usize; x0.len()];
+        let mut rng = rng_for(4, 0);
+        for _ in 0..trials {
+            let mut x = x0.to_vec();
+            for i in rdcs(&mut x, &mut rng) {
+                counts[i] += 1;
+            }
+        }
+        for (i, (&c, &want)) in counts.iter().zip(&x0).enumerate() {
+            let freq = c as f64 / trials as f64;
+            assert!(
+                (freq - want).abs() < 0.02,
+                "coordinate {i}: empirical {freq} vs fractional {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn independent_rounding_also_preserves_expectation_but_not_sum() {
+        let x0 = [0.5; 8];
+        let trials = 5000;
+        let mut rng = rng_for(5, 0);
+        let mut sum_sq_dev = 0.0f64;
+        let mut total = 0usize;
+        for _ in 0..trials {
+            let mut x = x0.to_vec();
+            let sel = independent(&mut x, &mut rng);
+            total += sel.len();
+            sum_sq_dev += (sel.len() as f64 - 4.0).powi(2);
+        }
+        let mean = total as f64 / trials as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+        // Independent rounding's count variance is Binomial(8, .5) = 2;
+        // RDCS would give ~0. This is the measurable difference.
+        let var = sum_sq_dev / trials as f64;
+        assert!(var > 1.0, "independent rounding variance {var} unexpectedly small");
+    }
+
+    #[test]
+    fn rdcs_count_variance_is_tiny() {
+        let x0 = [0.5; 8]; // integral sum -> exact count every time
+        let mut rng = rng_for(6, 0);
+        for _ in 0..200 {
+            let mut x = x0.to_vec();
+            let sel = rdcs(&mut x, &mut rng);
+            assert_eq!(sel.len(), 4, "integral fractional mass must round exactly");
+        }
+    }
+
+    #[test]
+    fn repair_enforces_floor() {
+        let costs = [3.0, 1.0, 2.0, 5.0];
+        let mut sel = vec![];
+        repair(&mut sel, &costs, 2, 100.0);
+        assert_eq!(sel.len(), 2);
+        // Cheapest two: clients 1 and 2.
+        assert_eq!(sel, vec![1, 2]);
+    }
+
+    #[test]
+    fn repair_sheds_cost_but_keeps_floor() {
+        let costs = [3.0, 1.0, 2.0, 5.0];
+        let mut sel = vec![0, 1, 2, 3]; // cost 11
+        repair(&mut sel, &costs, 2, 4.0);
+        let total: f64 = sel.iter().map(|&i| costs[i]).sum();
+        assert!(sel.len() >= 2);
+        assert!(total <= 4.0 + 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn repair_allows_overshoot_at_floor() {
+        let costs = [10.0, 20.0];
+        let mut sel = vec![0, 1];
+        repair(&mut sel, &costs, 2, 5.0);
+        // Cannot shed below n=2; overshoot stands.
+        assert_eq!(sel.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn rdcs_rejects_out_of_range() {
+        let mut x = vec![0.5, 1.5];
+        let _ = rdcs(&mut x, &mut rng_for(7, 0));
+    }
+}

@@ -1,0 +1,508 @@
+//! The experiment loop: drive any selection policy against a simulated
+//! federation until the budget is exhausted (paper Alg. 1's outer
+//! `while C ≥ 0` loop), recording the curves the figures plot.
+
+use serde::Serialize;
+
+use fedl_data::synth::{SyntheticSpec, TaskKind};
+use fedl_data::Partition;
+use fedl_linalg::rng::rng_for;
+use fedl_ml::dane::DaneConfig;
+use fedl_ml::model::{Cnn, ConvBlockSpec, MapShape, Mlp, Model, SoftmaxRegression};
+use fedl_sim::trace::RunTrace;
+use fedl_sim::{BudgetLedger, EdgeEnvironment, EnvConfig};
+
+use crate::fedl::FedLConfig;
+use crate::policy::{EpochContext, PolicyKind, SelectionPolicy};
+
+/// Global-model architecture.
+#[derive(Debug, Clone)]
+pub enum ModelArch {
+    /// Softmax regression (convex reference model).
+    Linear {
+        /// L2 regularization coefficient.
+        l2: f32,
+    },
+    /// ReLU MLP — the fast substitute for the paper's CNNs.
+    Mlp {
+        /// Hidden-layer widths.
+        hidden: Vec<usize>,
+        /// L2 regularization coefficient.
+        l2: f32,
+    },
+    /// Convolutional network (the paper's actual model family:
+    /// conv → ReLU → maxpool blocks with a softmax head). Slower than
+    /// the MLP; the input dimension must equal `c·h·w`.
+    Cnn {
+        /// Input map `(channels, height, width)`.
+        shape: (usize, usize, usize),
+        /// `(out_channels, kernel)` per block.
+        blocks: Vec<(usize, usize)>,
+        /// L2 regularization coefficient.
+        l2: f32,
+    },
+}
+
+/// Everything needed to reproduce one experiment run.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Federation/environment parameters.
+    pub env: EnvConfig,
+    /// Which benchmark the synthetic data imitates.
+    pub task: TaskKind,
+    /// Optional feature-dimension override (speeds up CI-scale runs).
+    pub dim_override: Option<usize>,
+    /// Global training-pool size.
+    pub train_size: usize,
+    /// Held-out test-set size.
+    pub test_size: usize,
+    /// IID or non-IID split.
+    pub partition: Partition,
+    /// Model architecture.
+    pub model: ModelArch,
+    /// Local-solver hyper-parameters.
+    pub dane: DaneConfig,
+    /// Long-term budget `C`.
+    pub budget: f64,
+    /// Participation floor `n` per epoch.
+    pub min_participants: usize,
+    /// FedL hyper-parameters (ignored by baseline policies).
+    pub fedl: FedLConfig,
+    /// Safety cap on epochs (the budget normally stops the run first).
+    pub max_epochs: usize,
+}
+
+impl ScenarioConfig {
+    /// A laptop-scale FMNIST-like scenario: reduced dimension, small
+    /// cohorts, seconds-scale runtime.
+    pub fn small_fmnist(num_clients: usize, budget: f64, min_participants: usize) -> Self {
+        Self {
+            env: EnvConfig::small(num_clients, 1),
+            task: TaskKind::FmnistLike,
+            dim_override: Some(64),
+            train_size: 2000,
+            test_size: 500,
+            partition: Partition::Iid,
+            model: ModelArch::Mlp { hidden: vec![64], l2: 0.0005 },
+            // lr is sized so a *full-population* aggregate step (the
+            // paper's 1/|E_t| rule makes the effective step proportional
+            // to cohort size) stays stable: 6 local steps × 0.12 ≈ 0.7.
+            dane: DaneConfig { local_steps: 6, lr: 0.12, ..Default::default() },
+            budget,
+            min_participants,
+            fedl: FedLConfig::default(),
+            max_epochs: 400,
+        }
+    }
+
+    /// An FMNIST-like scenario with the paper's actual model family: a
+    /// conv → ReLU → maxpool block on 16×16 single-channel images plus a
+    /// softmax head. Noticeably slower per epoch than the MLP scenarios;
+    /// used to confirm the substitution argument of DESIGN.md §2.
+    pub fn small_fmnist_cnn(num_clients: usize, budget: f64, min_participants: usize) -> Self {
+        let mut s = Self::small_fmnist(num_clients, budget, min_participants);
+        s.dim_override = Some(256); // 1 x 16 x 16
+        s.model = ModelArch::Cnn { shape: (1, 16, 16), blocks: vec![(6, 5)], l2: 0.0005 };
+        s
+    }
+
+    /// A laptop-scale CIFAR-like scenario (harder task, MLP model).
+    pub fn small_cifar(num_clients: usize, budget: f64, min_participants: usize) -> Self {
+        Self {
+            task: TaskKind::CifarLike,
+            dim_override: Some(128),
+            model: ModelArch::Mlp { hidden: vec![64], l2: 0.0005 },
+            ..Self::small_fmnist(num_clients, budget, min_participants)
+        }
+    }
+
+    /// Overrides every seed in the scenario.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.env.seed = seed;
+        self
+    }
+
+    /// Switches to a non-IID partition (the paper's principal-mix
+    /// scheme with 80 % principal-class data).
+    pub fn non_iid(mut self) -> Self {
+        self.partition = Partition::PrincipalMix { principal_frac: 0.8 };
+        self
+    }
+
+    fn build_model(&self, input_dim: usize, classes: usize) -> Box<dyn Model> {
+        let mut rng = rng_for(self.env.seed, 0x40DE1);
+        match &self.model {
+            ModelArch::Linear { l2 } => {
+                Box::new(SoftmaxRegression::new(input_dim, classes, *l2))
+            }
+            ModelArch::Mlp { hidden, l2 } => {
+                Box::new(Mlp::new(input_dim, hidden, classes, *l2, &mut rng))
+            }
+            ModelArch::Cnn { shape, blocks, l2 } => {
+                let map = MapShape { c: shape.0, h: shape.1, w: shape.2 };
+                assert_eq!(
+                    map.len(),
+                    input_dim,
+                    "CNN shape {shape:?} does not match the dataset dimension"
+                );
+                let specs = blocks
+                    .iter()
+                    .map(|&(out_channels, kernel)| ConvBlockSpec { out_channels, kernel })
+                    .collect();
+                Box::new(Cnn::new(map, specs, classes, *l2, &mut rng))
+            }
+        }
+    }
+
+    /// Builds the simulated environment for this scenario.
+    pub fn build_env(&self) -> EdgeEnvironment {
+        let mut spec =
+            SyntheticSpec::new(self.task, self.train_size, self.test_size, self.env.seed);
+        if let Some(dim) = self.dim_override {
+            spec = spec.with_dim(dim);
+        }
+        let (train, test) = spec.generate();
+        let model = self.build_model(train.dim(), train.num_classes);
+        EdgeEnvironment::new(
+            self.env.clone(),
+            train,
+            test,
+            self.partition,
+            model,
+            self.dane,
+        )
+    }
+}
+
+/// One epoch's recorded outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct EpochRecord {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Cohort size.
+    pub cohort_size: usize,
+    /// Iterations run (`l_t`).
+    pub iterations: usize,
+    /// Cumulative simulated training time (seconds).
+    pub sim_time: f64,
+    /// Cumulative spend.
+    pub spent: f64,
+    /// Test-set accuracy after the epoch.
+    pub accuracy: f64,
+    /// Test-set loss after the epoch.
+    pub test_loss: f64,
+    /// Global training loss over all available clients.
+    pub global_loss: f64,
+}
+
+/// A completed run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunOutcome {
+    /// Policy legend name.
+    pub policy: String,
+    /// Budget the run started with.
+    pub budget: f64,
+    /// Per-epoch records.
+    pub epochs: Vec<EpochRecord>,
+}
+
+impl RunOutcome {
+    /// Accuracy after the final epoch (0 when no epoch ran).
+    pub fn final_accuracy(&self) -> f64 {
+        self.epochs.last().map_or(0.0, |r| r.accuracy)
+    }
+
+    /// Global loss after the final epoch.
+    pub fn final_loss(&self) -> f64 {
+        self.epochs.last().map_or(f64::NAN, |r| r.global_loss)
+    }
+
+    /// Total simulated training time.
+    pub fn total_sim_time(&self) -> f64 {
+        self.epochs.last().map_or(0.0, |r| r.sim_time)
+    }
+
+    /// First simulated time at which `target` accuracy was reached.
+    pub fn time_to_accuracy(&self, target: f64) -> Option<f64> {
+        self.epochs.iter().find(|r| r.accuracy >= target).map(|r| r.sim_time)
+    }
+
+    /// First federated round at which `target` accuracy was reached
+    /// (counting every epoch as `iterations` rounds, matching the
+    /// paper's "federated round" axis).
+    pub fn rounds_to_accuracy(&self, target: f64) -> Option<usize> {
+        let mut rounds = 0usize;
+        for r in &self.epochs {
+            rounds += r.iterations;
+            if r.accuracy >= target {
+                return Some(rounds);
+            }
+        }
+        None
+    }
+
+    /// Accuracy at each cumulative federated round (for the round-axis
+    /// figures).
+    pub fn accuracy_by_round(&self) -> Vec<(usize, f64)> {
+        let mut rounds = 0usize;
+        self.epochs
+            .iter()
+            .map(|r| {
+                rounds += r.iterations;
+                (rounds, r.accuracy)
+            })
+            .collect()
+    }
+}
+
+/// Drives one policy through one scenario.
+pub struct ExperimentRunner {
+    scenario: ScenarioConfig,
+    env: EdgeEnvironment,
+    policy: Box<dyn SelectionPolicy>,
+    ledger: BudgetLedger,
+    /// Last-known local loss per client (Pow-d hint; ln 10 ≈ the
+    /// untrained 10-class loss).
+    loss_hints: Vec<f64>,
+    /// Structured event log of the run.
+    trace: RunTrace,
+}
+
+impl ExperimentRunner {
+    /// Builds the runner for `kind` on `scenario`.
+    pub fn new(scenario: ScenarioConfig, kind: PolicyKind) -> Self {
+        let env = scenario.build_env();
+        let policy = kind.build(
+            scenario.env.num_clients,
+            scenario.budget,
+            scenario.min_participants,
+            scenario.fedl,
+        );
+        Self::with_policy(scenario, env, policy)
+    }
+
+    /// Builds the runner around an already-constructed policy (used by
+    /// the ablation benches).
+    pub fn with_policy(
+        scenario: ScenarioConfig,
+        env: EdgeEnvironment,
+        policy: Box<dyn SelectionPolicy>,
+    ) -> Self {
+        let ledger = BudgetLedger::new(scenario.budget);
+        let loss_hints = vec![(10.0f64).ln(); scenario.env.num_clients];
+        Self { scenario, env, policy, ledger, loss_hints, trace: RunTrace::new() }
+    }
+
+    /// The structured per-epoch event log recorded by [`Self::run`].
+    pub fn trace(&self) -> &RunTrace {
+        &self.trace
+    }
+
+    /// The environment (exposed for inspection in tests/benches).
+    pub fn env(&self) -> &EdgeEnvironment {
+        &self.env
+    }
+
+    /// The policy being driven.
+    pub fn policy(&self) -> &dyn SelectionPolicy {
+        self.policy.as_ref()
+    }
+
+    fn context_for(&self, epoch: usize) -> Option<EpochContext> {
+        let views = self.env.views(epoch);
+        let available: Vec<usize> =
+            views.iter().filter(|v| v.available).map(|v| v.id).collect();
+        if available.is_empty() {
+            return None;
+        }
+        let costs: Vec<f64> = available.iter().map(|&k| views[k].cost).collect();
+        let data_volumes: Vec<usize> =
+            available.iter().map(|&k| views[k].data_volume).collect();
+        // Latency estimates from the previous epoch's channel state
+        // (epoch 0 uses its own state as the prior), under a nominal
+        // FDMA share of n.
+        let hint_epoch = epoch.saturating_sub(1);
+        let latency_hint = self.env.latency_with_share(
+            hint_epoch,
+            &available,
+            self.scenario.min_participants.max(1),
+        );
+        let loss_hint: Vec<f64> =
+            available.iter().map(|&k| self.loss_hints[k]).collect();
+        // Current-epoch realized latencies: oracle-only 1-lookahead data.
+        let true_latency = self.env.latency_with_share(
+            epoch,
+            &available,
+            self.scenario.min_participants.max(1),
+        );
+        Some(EpochContext {
+            epoch,
+            num_clients: self.scenario.env.num_clients,
+            available,
+            costs,
+            data_volumes,
+            latency_hint,
+            loss_hint,
+            true_latency,
+            remaining_budget: self.ledger.remaining(),
+            min_participants: self.scenario.min_participants,
+            seed: self.scenario.env.seed,
+        })
+    }
+
+    /// Runs the experiment to budget exhaustion (or the epoch cap) and
+    /// returns the recorded curves.
+    pub fn run(&mut self) -> RunOutcome {
+        let mut records = Vec::new();
+        let mut sim_time = 0.0f64;
+        let mut epoch = 0usize;
+        while !self.ledger.exhausted() && epoch < self.scenario.max_epochs {
+            let Some(ctx) = self.context_for(epoch) else {
+                epoch += 1;
+                continue;
+            };
+            let mut decision = self.policy.select(&ctx);
+            sanitize_decision(&mut decision.cohort, &ctx.available);
+            if decision.cohort.is_empty() {
+                // Defensive fallback: the floor-n cheapest clients.
+                decision.cohort = ctx.available.iter().copied().take(ctx.effective_n()).collect();
+            }
+            let iterations = decision.iterations.clamp(1, 50);
+            let report = self.env.run_epoch(epoch, &decision.cohort, iterations);
+            self.ledger.charge(report.cost);
+            self.trace.record(&report, self.ledger.remaining());
+            for (slot, &k) in report.cohort.iter().enumerate() {
+                self.loss_hints[k] = report.local_losses[slot] as f64;
+            }
+            self.policy.observe(&ctx, &report);
+            sim_time += report.latency_secs;
+            records.push(EpochRecord {
+                epoch,
+                cohort_size: report.cohort.len(),
+                iterations,
+                sim_time,
+                spent: self.ledger.spent(),
+                accuracy: self.env.test_accuracy(),
+                test_loss: self.env.test_loss(),
+                global_loss: report.global_loss_all,
+            });
+            epoch += 1;
+        }
+        RunOutcome {
+            policy: self.policy.name().to_string(),
+            budget: self.scenario.budget,
+            epochs: records,
+        }
+    }
+}
+
+/// Drops out-of-availability ids and duplicates (policy bugs must not
+/// crash the simulator; the per-policy tests assert they don't happen).
+fn sanitize_decision(cohort: &mut Vec<usize>, available: &[usize]) {
+    cohort.retain(|id| available.contains(id));
+    cohort.sort_unstable();
+    cohort.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario() -> ScenarioConfig {
+        let mut s = ScenarioConfig::small_fmnist(8, 150.0, 2).with_seed(11);
+        s.train_size = 600;
+        s.test_size = 200;
+        s.max_epochs = 60;
+        // The convex model learns within the few epochs this budget
+        // buys; the MLP default needs the longer figure-scale runs. The
+        // higher solver lr is stable here because cohorts are tiny.
+        s.model = ModelArch::Linear { l2: 0.001 };
+        s.dane.lr = 0.3;
+        s
+    }
+
+    #[test]
+    fn run_stops_at_budget() {
+        let mut runner = ExperimentRunner::new(scenario(), PolicyKind::FedAvg);
+        let out = runner.run();
+        assert!(!out.epochs.is_empty());
+        let last = out.epochs.last().unwrap();
+        assert!(last.spent >= 150.0 || out.epochs.len() == 60, "run must end on budget or cap");
+        // Monotone cumulative series.
+        for w in out.epochs.windows(2) {
+            assert!(w[1].sim_time >= w[0].sim_time);
+            assert!(w[1].spent >= w[0].spent);
+        }
+    }
+
+    #[test]
+    fn all_policies_complete_and_learn() {
+        for kind in PolicyKind::ALL {
+            let mut runner = ExperimentRunner::new(scenario(), kind);
+            let out = runner.run();
+            assert!(!out.epochs.is_empty(), "{:?} ran no epochs", kind);
+            assert!(
+                out.final_accuracy() > 0.3,
+                "{:?} failed to learn: accuracy {}",
+                kind,
+                out.final_accuracy()
+            );
+        }
+    }
+
+    #[test]
+    fn outcome_helpers_consistent() {
+        let mut runner = ExperimentRunner::new(scenario(), PolicyKind::FedL);
+        let out = runner.run();
+        assert_eq!(out.policy, "FedL");
+        if let Some(t) = out.time_to_accuracy(0.3) {
+            assert!(t <= out.total_sim_time());
+        }
+        let by_round = out.accuracy_by_round();
+        assert_eq!(by_round.len(), out.epochs.len());
+        assert!(by_round.windows(2).all(|w| w[1].0 > w[0].0));
+    }
+
+    #[test]
+    fn same_seed_same_environment_draws() {
+        // Two runners on the same scenario see the same availability
+        // pattern (policies may differ in what they do with it).
+        let r1 = ExperimentRunner::new(scenario(), PolicyKind::FedAvg);
+        let r2 = ExperimentRunner::new(scenario(), PolicyKind::FedL);
+        for t in 0..10 {
+            assert_eq!(r1.env.available(t), r2.env.available(t));
+        }
+    }
+
+    #[test]
+    fn cnn_scenario_trains_end_to_end() {
+        let mut s = ScenarioConfig::small_fmnist_cnn(6, 60.0, 2).with_seed(19);
+        s.train_size = 300;
+        s.test_size = 100;
+        s.max_epochs = 8;
+        s.dane.local_steps = 3;
+        let mut runner = ExperimentRunner::new(s, PolicyKind::FedAvg);
+        let out = runner.run();
+        assert!(!out.epochs.is_empty());
+        assert!(out.final_accuracy().is_finite());
+        // Loss must move (the CNN is actually training, not inert).
+        let first = out.epochs.first().unwrap().global_loss;
+        let last = out.epochs.last().unwrap().global_loss;
+        assert!(last < first, "CNN global loss did not improve: {first} -> {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the dataset dimension")]
+    fn cnn_shape_mismatch_rejected() {
+        let mut s = ScenarioConfig::small_fmnist_cnn(4, 50.0, 2);
+        s.dim_override = Some(64); // contradicts the (1,16,16) shape
+        let _ = s.build_env();
+    }
+
+    #[test]
+    fn sanitize_removes_bad_ids() {
+        let mut cohort = vec![5, 1, 1, 9, 3];
+        sanitize_decision(&mut cohort, &[1, 3, 5]);
+        assert_eq!(cohort, vec![1, 3, 5]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Per-client observation state maintained by the online learner.
+//!
+//! FedL is 0-lookahead: decisions for epoch `t+1` may use only what was
+//! observed up to epoch `t`. This module holds that memory — per-client
+//! exponential moving averages of the quantities that enter the one-shot
+//! objective (latency τ, local convergence accuracy η̂, loss-impact
+//! coefficient g = J·d) plus the last fractional decision (the proximal
+//! anchor Φ_t of eq. (8)).
+
+/// EMA smoothing factor: weight of the newest observation.
+const EMA_ALPHA: f64 = 0.5;
+
+/// Observation memory for one client.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ClientStats {
+    /// Smoothed per-iteration latency estimate (seconds).
+    pub tau: f64,
+    /// Smoothed local convergence accuracy η̂ ∈ [0, 1).
+    pub eta: f64,
+    /// Smoothed loss-impact coefficient `g_k = J·d_k` (negative = the
+    /// client's updates reduce the global loss).
+    pub g: f64,
+    /// Last fractional selection value for this client.
+    pub last_x: f64,
+    /// How many times this client has been observed in a cohort.
+    pub observations: usize,
+}
+
+impl ClientStats {
+    /// Optimistic prior for a never-observed client: moderate latency
+    /// hint supplied by the caller, mid-range η̂ (unknown quality), zero
+    /// loss impact, and the caller's fractional anchor prior (FedL uses
+    /// `n/M` — the selection rate a budget-efficient policy settles at).
+    pub fn prior(tau_hint: f64, x0: f64) -> Self {
+        Self {
+            tau: tau_hint.max(1e-6),
+            eta: 0.5,
+            g: 0.0,
+            last_x: x0.clamp(0.0, 1.0),
+            observations: 0,
+        }
+    }
+
+    /// Folds in a cohort observation.
+    pub fn observe(&mut self, tau: f64, eta: f64, g: f64) {
+        self.tau = ema(self.tau, tau);
+        self.eta = ema(self.eta, eta.clamp(0.0, 0.999));
+        self.g = ema(self.g, g);
+        self.observations += 1;
+    }
+
+    /// Updates only the latency estimate (available for all listed
+    /// clients each epoch, selected or not, from the channel model).
+    pub fn observe_latency(&mut self, tau: f64) {
+        self.tau = ema(self.tau, tau);
+    }
+}
+
+#[inline]
+fn ema(old: f64, new: f64) -> f64 {
+    (1.0 - EMA_ALPHA) * old + EMA_ALPHA * new
+}
+
+/// The whole federation's observation memory, indexed by client id.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct LearnerState {
+    clients: Vec<Option<ClientStats>>,
+    /// Anchor prior for never-observed clients.
+    prior_x: f64,
+    /// Last observed global loss `F_t(w_t^{l_t})` over all clients.
+    pub last_global_loss: f64,
+    /// Last fractional iteration-control variable ρ.
+    pub last_rho: f64,
+}
+
+impl LearnerState {
+    /// Fresh state for `num_clients` clients with the given fractional
+    /// anchor prior.
+    pub fn new(num_clients: usize, prior_x: f64) -> Self {
+        Self {
+            clients: vec![None; num_clients],
+            prior_x: prior_x.clamp(0.0, 1.0),
+            last_global_loss: f64::NAN,
+            last_rho: 2.0,
+        }
+    }
+
+    /// Number of clients tracked.
+    pub fn len(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// `true` when tracking no clients.
+    pub fn is_empty(&self) -> bool {
+        self.clients.is_empty()
+    }
+
+    /// Stats for client `k`, creating the prior on first touch.
+    pub fn stats_mut(&mut self, k: usize, tau_hint: f64) -> &mut ClientStats {
+        assert!(k < self.clients.len(), "unknown client {k}");
+        let prior_x = self.prior_x;
+        self.clients[k].get_or_insert_with(|| ClientStats::prior(tau_hint, prior_x))
+    }
+
+    /// Read-only stats for client `k` if ever touched.
+    pub fn stats(&self, k: usize) -> Option<&ClientStats> {
+        self.clients.get(k).and_then(Option::as_ref)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prior_is_sane() {
+        let s = ClientStats::prior(0.1, 0.5);
+        assert_eq!(s.tau, 0.1);
+        assert_eq!(s.eta, 0.5);
+        assert_eq!(s.g, 0.0);
+        assert_eq!(s.observations, 0);
+    }
+
+    #[test]
+    fn observe_moves_toward_new_values() {
+        let mut s = ClientStats::prior(1.0, 0.5);
+        s.observe(3.0, 0.9, -2.0);
+        assert!(s.tau > 1.0 && s.tau < 3.0);
+        assert!(s.eta > 0.5 && s.eta < 0.9);
+        assert!(s.g < 0.0 && s.g > -2.0);
+        assert_eq!(s.observations, 1);
+        // Repeated observation converges.
+        for _ in 0..50 {
+            s.observe(3.0, 0.9, -2.0);
+        }
+        assert!((s.tau - 3.0).abs() < 1e-6);
+        assert!((s.eta - 0.9).abs() < 1e-6);
+        assert!((s.g + 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eta_clamped_below_one() {
+        let mut s = ClientStats::prior(1.0, 0.5);
+        for _ in 0..100 {
+            s.observe(1.0, 5.0, 0.0);
+        }
+        assert!(s.eta < 1.0);
+    }
+
+    #[test]
+    fn state_creates_priors_lazily() {
+        let mut st = LearnerState::new(4, 0.3);
+        assert!(st.stats(2).is_none());
+        st.stats_mut(2, 0.7).observe(1.0, 0.3, 0.0);
+        assert!(st.stats(2).is_some());
+        assert!(st.stats(1).is_none());
+        assert_eq!(st.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown client")]
+    fn out_of_range_client_rejected() {
+        let mut st = LearnerState::new(2, 0.3);
+        let _ = st.stats_mut(5, 0.1);
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests of the FedL core: RDCS invariants (Theorem 3's
+//! building blocks), descent-step feasibility, repair guarantees, and
+//! the h/f algebra, under randomized problem instances.
+
+use fedl_core::objective::{FracDecision, OneShot};
+use fedl_core::regret::hindsight_optimum;
+use fedl_core::rounding;
+use fedl_linalg::rng::rng_for;
+use proptest::prelude::*;
+
+fn frac_vec(k: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..=1.0, k)
+}
+
+fn problem_strategy() -> impl Strategy<Value = OneShot> {
+    (2usize..10, 0u64..500).prop_map(|(k, seed)| {
+        use rand::Rng;
+        let mut rng = rng_for(seed, k as u64);
+        OneShot {
+            ids: (0..k).collect(),
+            tau: (0..k).map(|_| rng.gen_range(0.01..3.0)).collect(),
+            costs: (0..k).map(|_| rng.gen_range(0.1..12.0)).collect(),
+            eta: (0..k).map(|_| rng.gen_range(0.05..0.95)).collect(),
+            g: (0..k).map(|_| rng.gen_range(-1.0..0.2)).collect(),
+            bonus: vec![0.0; k],
+            loss_all: rng.gen_range(0.2..2.5),
+            theta: rng.gen_range(0.5..1.5),
+            min_participants: rng.gen_range(1..=k),
+            budget: rng.gen_range(5.0..200.0),
+            rho_max: rng.gen_range(2.0..12.0),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rdcs_sum_within_one_and_integral(x0 in frac_vec(8), seed in 0u64..1000) {
+        let mut rng = rng_for(seed, 1);
+        let mut x = x0.clone();
+        let selected = rounding::rdcs(&mut x, &mut rng);
+        prop_assert!(x.iter().all(|&v| v == 0.0 || v == 1.0));
+        let sum0: f64 = x0.iter().sum();
+        prop_assert!((selected.len() as f64 - sum0).abs() < 1.0 + 1e-9);
+        // Returned indices are exactly the ones set to 1.
+        for (i, &v) in x.iter().enumerate() {
+            prop_assert_eq!(v == 1.0, selected.contains(&i));
+        }
+    }
+
+    #[test]
+    fn rdcs_pairwise_step_preserves_certain_coordinates(
+        x0 in frac_vec(6),
+        seed in 0u64..1000,
+    ) {
+        // Coordinates that start integral must never change.
+        let mut rng = rng_for(seed, 2);
+        let mut x = x0.clone();
+        // Force a couple of integral coordinates.
+        x[0] = 1.0;
+        x[5] = 0.0;
+        let sel = rounding::rdcs(&mut x, &mut rng);
+        prop_assert!(sel.contains(&0));
+        prop_assert!(!sel.contains(&5));
+    }
+
+    #[test]
+    fn repair_always_feasible_when_possible(
+        costs in proptest::collection::vec(0.1f64..12.0, 3..12),
+        selected_bits in proptest::collection::vec(any::<bool>(), 3..12),
+        n in 1usize..5,
+        budget in 1.0f64..60.0,
+    ) {
+        let k = costs.len().min(selected_bits.len());
+        let costs = &costs[..k];
+        let mut selected: Vec<usize> =
+            (0..k).filter(|&i| selected_bits[i]).collect();
+        rounding::repair(&mut selected, costs, n, budget);
+        let n_eff = n.min(k).max(1);
+        prop_assert!(selected.len() >= n_eff, "floor violated");
+        let total: f64 = selected.iter().map(|&i| costs[i]).sum();
+        // Either within budget, or already at the minimum cohort size
+        // (overshoot allowed only at the floor).
+        prop_assert!(
+            total <= budget + 1e-9 || selected.len() == n_eff,
+            "cost {total} over budget {budget} with {} > n {} members",
+            selected.len(),
+            n_eff
+        );
+        // No duplicates, all in range.
+        let mut sorted = selected.clone();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), selected.len());
+        prop_assert!(selected.iter().all(|&i| i < k));
+    }
+
+    #[test]
+    fn descent_stays_in_box_and_floor(p in problem_strategy(), seed in 0u64..200) {
+        use rand::Rng;
+        let k = p.ids.len();
+        let mut rng = rng_for(seed, 3);
+        let anchor = FracDecision {
+            x: (0..k).map(|_| rng.gen_range(0.0..1.0)).collect(),
+            rho: rng.gen_range(1.0..p.rho_max),
+        };
+        let mu: Vec<f64> = (0..=k).map(|_| rng.gen_range(0.0..5.0)).collect();
+        let d = p.descend(&anchor, &mu, 0.4);
+        prop_assert_eq!(d.x.len(), k);
+        prop_assert!(d.x.iter().all(|&x| (0.0..=1.0).contains(&x)), "{:?}", d.x);
+        prop_assert!(d.rho >= 1.0 && d.rho <= p.rho_max);
+        let sum: f64 = d.x.iter().sum();
+        prop_assert!(
+            sum >= p.effective_n() as f64 - 5e-2,
+            "participation {} < n {}",
+            sum,
+            p.effective_n()
+        );
+        prop_assert!(d.iterations() >= 1);
+    }
+
+    #[test]
+    fn hindsight_is_feasible_and_no_worse_than_descent(
+        p in problem_strategy(),
+        seed in 0u64..200,
+    ) {
+        use rand::Rng;
+        let k = p.ids.len();
+        let mut rng = rng_for(seed, 4);
+        let anchor = FracDecision {
+            x: (0..k).map(|_| rng.gen_range(0.0..1.0)).collect(),
+            rho: 2.0f64.min(p.rho_max),
+        };
+        let online = p.descend(&anchor, &vec![0.0; k + 1], 0.4);
+        let star = hindsight_optimum(&p);
+        prop_assert!(star.x.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        let sum: f64 = star.x.iter().sum();
+        prop_assert!(sum >= p.effective_n() as f64 - 5e-2);
+        // The comparator minimizes f with penalties; when the online
+        // point satisfies all h-constraints the comparator must not be
+        // substantially worse on f.
+        let h_online = p.h_value(&online.x, online.rho);
+        if h_online.iter().all(|&h| h <= 0.0) {
+            let f_star = p.f_value(&star.x, star.rho);
+            let f_online = p.f_value(&online.x, online.rho);
+            prop_assert!(
+                f_star <= f_online + 0.05 * f_online.abs() + 1e-3,
+                "comparator f {} > online f {}",
+                f_star,
+                f_online
+            );
+        }
+    }
+
+    #[test]
+    fn h_and_f_respond_to_their_inputs(p in problem_strategy()) {
+        let k = p.ids.len();
+        let x_none = vec![0.0; k];
+        let x_all = vec![1.0; k];
+        // f grows with selection and with rho.
+        let f0 = p.f_value(&x_none, 2.0);
+        let f1 = p.f_value(&x_all, 2.0);
+        prop_assert!(f0 == 0.0 && f1 > 0.0);
+        prop_assert!(p.f_value(&x_all, 3.0) > f1);
+        // Local constraints are satisfied when nothing is selected.
+        let h = p.h_value(&x_none, 2.0);
+        for &v in &h[1..] {
+            prop_assert!(v <= 0.0);
+        }
+        // And tighten as rho falls to 1 with everything selected.
+        let h_lo = p.h_value(&x_all, 1.0);
+        for (i, &v) in h_lo[1..].iter().enumerate() {
+            prop_assert!((v - p.eta[i]).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Online per-epoch data arrival.
+//!
+//! The paper transforms all client data "into online data followed by
+//! Poisson distribution" (§6.1): at each epoch a client works on a
+//! freshly arrived batch whose size is Poisson-distributed, which is what
+//! makes the data volumes `D_{t,k}` — and hence the computation latencies
+//! — time-varying and unpredictable for the selector.
+
+use rand::Rng;
+use rand_distr::{Distribution, Poisson};
+
+use fedl_linalg::rng::rng_for;
+
+use crate::Dataset;
+
+/// Per-client online data source: each epoch yields a Poisson-sized
+/// multiset of sample indices drawn from the client's partition pool.
+#[derive(Debug, Clone)]
+pub struct OnlineStream {
+    /// The client's index pool within the global training set.
+    pool: Vec<usize>,
+    /// Mean per-epoch arrival count λ.
+    lambda: f64,
+    /// Root seed (per-client).
+    seed: u64,
+    /// Arrivals are clamped to `[1, max_batch]` so a selected client is
+    /// never idle and memory stays bounded.
+    max_batch: usize,
+}
+
+impl OnlineStream {
+    /// Creates the stream.
+    ///
+    /// # Panics
+    /// Panics on an empty pool or non-positive λ.
+    pub fn new(pool: Vec<usize>, lambda: f64, seed: u64) -> Self {
+        assert!(!pool.is_empty(), "online stream needs a non-empty pool");
+        assert!(lambda > 0.0, "Poisson rate must be positive, got {lambda}");
+        let max_batch = (lambda * 4.0).ceil() as usize + 8;
+        Self { pool, lambda, seed, max_batch }
+    }
+
+    /// Mean arrival rate.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Number of distinct samples the client can ever draw.
+    pub fn pool_len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// The sample indices available to this client at `epoch`.
+    ///
+    /// Deterministic in `(seed, epoch)`: re-querying the same epoch gives
+    /// the same arrivals, so selection policies can be compared on
+    /// identical inputs.
+    pub fn arrivals(&self, epoch: usize) -> Vec<usize> {
+        let mut rng = rng_for(self.seed, 0x57EA ^ (epoch as u64));
+        let poisson = Poisson::new(self.lambda).expect("validated rate");
+        let count = (poisson.sample(&mut rng) as usize).clamp(1, self.max_batch);
+        (0..count).map(|_| self.pool[rng.gen_range(0..self.pool.len())]).collect()
+    }
+
+    /// Materializes the epoch-`epoch` working set as a dataset.
+    pub fn epoch_dataset(&self, source: &Dataset, epoch: usize) -> Dataset {
+        source.subset(&self.arrivals(epoch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::small_fmnist;
+
+    fn stream() -> OnlineStream {
+        OnlineStream::new((0..50).collect(), 12.0, 99)
+    }
+
+    #[test]
+    fn deterministic_per_epoch() {
+        let s = stream();
+        assert_eq!(s.arrivals(3), s.arrivals(3));
+        assert_ne!(s.arrivals(3), s.arrivals(4));
+    }
+
+    #[test]
+    fn arrivals_within_pool_and_bounds() {
+        let s = stream();
+        for epoch in 0..50 {
+            let a = s.arrivals(epoch);
+            assert!(!a.is_empty());
+            assert!(a.len() <= s.max_batch);
+            assert!(a.iter().all(|&i| i < 50));
+        }
+    }
+
+    #[test]
+    fn mean_volume_tracks_lambda() {
+        let s = stream();
+        let n = 400;
+        let mean: f64 =
+            (0..n).map(|e| s.arrivals(e).len() as f64).sum::<f64>() / n as f64;
+        assert!((mean - 12.0).abs() < 1.5, "empirical mean {mean} far from λ=12");
+    }
+
+    #[test]
+    fn volumes_actually_vary() {
+        let s = stream();
+        let sizes: Vec<usize> = (0..50).map(|e| s.arrivals(e).len()).collect();
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        assert!(max > min, "Poisson volumes should fluctuate: {sizes:?}");
+    }
+
+    #[test]
+    fn epoch_dataset_matches_arrivals() {
+        let (train, _) = small_fmnist(50, 5, 7);
+        let s = OnlineStream::new((0..train.len()).collect(), 6.0, 1);
+        let ds = s.epoch_dataset(&train, 2);
+        let arr = s.arrivals(2);
+        assert_eq!(ds.len(), arr.len());
+        for (r, &i) in arr.iter().enumerate() {
+            assert_eq!(ds.features.row(r), train.features.row(i));
+            assert_eq!(ds.labels[r], train.labels[i]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty pool")]
+    fn empty_pool_rejected() {
+        let _ = OnlineStream::new(vec![], 3.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Poisson rate")]
+    fn bad_lambda_rejected() {
+        let _ = OnlineStream::new(vec![0], 0.0, 0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Rayon-parallel GEMM kernels.
+//!
+//! The training substrate's hot loop is `batch × weights` products. The
+//! kernel here is a classic row-parallel, k-outer "axpy" formulation that
+//! vectorizes well: for each output row we accumulate `a[r][k] * b[k][..]`
+//! into the row, which walks both `b` and the output contiguously (unit
+//! stride), avoiding the column gather of a naive inner-product GEMM.
+//! Rows are distributed across the rayon pool above a size threshold;
+//! small products stay sequential to avoid fork-join overhead.
+
+use rayon::prelude::*;
+
+use crate::Matrix;
+
+/// Below this many multiply-adds the parallel dispatch costs more than it
+/// saves, so the kernel runs sequentially. Chosen by the `linalg` Criterion
+/// bench on an 8-core box; correctness does not depend on it.
+const PAR_THRESHOLD_FLOPS: usize = 64 * 64 * 64;
+
+#[inline]
+fn matmul_row(a_row: &[f32], b: &Matrix, out_row: &mut [f32]) {
+    out_row.fill(0.0);
+    for (k, &aik) in a_row.iter().enumerate() {
+        if aik == 0.0 {
+            continue;
+        }
+        let b_row = b.row(k);
+        for (o, &bkj) in out_row.iter_mut().zip(b_row) {
+            *o += aik * bkj;
+        }
+    }
+}
+
+impl Matrix {
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            rhs.rows(),
+            "matmul shape mismatch: {:?} * {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        let mut out = Matrix::zeros(self.rows(), rhs.cols());
+        let flops = self.rows() * self.cols() * rhs.cols();
+        let cols = rhs.cols().max(1);
+        if flops >= PAR_THRESHOLD_FLOPS {
+            let a_cols = self.cols().max(1);
+            out.as_mut_slice()
+                .par_chunks_exact_mut(cols)
+                .zip(self.as_slice().par_chunks_exact(a_cols))
+                .for_each(|(out_row, a_row)| matmul_row(a_row, rhs, out_row));
+        } else {
+            for (out_row, a_row) in out
+                .as_mut_slice()
+                .chunks_exact_mut(cols)
+                .zip(self.as_slice().chunks_exact(self.cols().max(1)))
+            {
+                matmul_row(a_row, rhs, out_row);
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ * rhs` without materializing the transpose.
+    ///
+    /// This is the shape that appears in backprop (`activationsᵀ × delta`),
+    /// where `self` and `rhs` share the batch dimension as their rows.
+    pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows(),
+            rhs.rows(),
+            "t_matmul batch mismatch: {:?}ᵀ * {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        let mut out = Matrix::zeros(self.cols(), rhs.cols());
+        // Accumulate outer products row by row of the shared batch axis.
+        for (a_row, b_row) in self.row_iter().zip(rhs.row_iter()) {
+            for (i, &ai) in a_row.iter().enumerate() {
+                if ai == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &bj) in out_row.iter_mut().zip(b_row) {
+                    *o += ai * bj;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self * rhsᵀ` without materializing the transpose.
+    ///
+    /// Appears in backprop as `delta × weightsᵀ`. Each output element is an
+    /// inner product of two contiguous rows, so this needs no gather.
+    pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            rhs.cols(),
+            "matmul_t inner mismatch: {:?} * {:?}ᵀ",
+            self.shape(),
+            rhs.shape()
+        );
+        let mut out = Matrix::zeros(self.rows(), rhs.rows());
+        let flops = self.rows() * self.cols() * rhs.rows();
+        let out_cols = rhs.rows().max(1);
+        let body = |(out_row, a_row): (&mut [f32], &[f32])| {
+            for (j, b_row) in rhs.row_iter().enumerate() {
+                out_row[j] = a_row.iter().zip(b_row).map(|(x, y)| x * y).sum();
+            }
+        };
+        if flops >= PAR_THRESHOLD_FLOPS {
+            out.as_mut_slice()
+                .par_chunks_exact_mut(out_cols)
+                .zip(self.as_slice().par_chunks_exact(self.cols().max(1)))
+                .for_each(body);
+        } else {
+            out.as_mut_slice()
+                .chunks_exact_mut(out_cols)
+                .zip(self.as_slice().chunks_exact(self.cols().max(1)))
+                .for_each(body);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for r in 0..a.rows() {
+            for c in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a.get(r, k) * b.get(k, c);
+                }
+                out.set(r, c, acc);
+            }
+        }
+        out
+    }
+
+    fn test_mat(rows: usize, cols: usize, seed: f32) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            ((r as f32 * 31.0 + c as f32 * 17.0 + seed) % 7.0) - 3.0
+        })
+    }
+
+    #[test]
+    fn matmul_matches_naive_small() {
+        let a = test_mat(3, 4, 1.0);
+        let b = test_mat(4, 5, 2.0);
+        assert_eq!(a.matmul(&b), naive(&a, &b));
+    }
+
+    #[test]
+    fn matmul_matches_naive_above_parallel_threshold() {
+        let a = test_mat(70, 70, 1.0);
+        let b = test_mat(70, 70, 2.0);
+        let fast = a.matmul(&b);
+        let slow = naive(&a, &b);
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!(crate::approx_eq(*x, *y, 1e-3), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = test_mat(4, 4, 3.0);
+        let i = Matrix::identity(4);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let a = test_mat(6, 3, 1.0);
+        let b = test_mat(6, 4, 2.0);
+        assert_eq!(a.t_matmul(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let a = test_mat(5, 3, 1.0);
+        let b = test_mat(7, 3, 2.0);
+        assert_eq!(a.matmul_t(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        let a = Matrix::zeros(0, 3);
+        let b = Matrix::zeros(3, 2);
+        let out = a.matmul(&b);
+        assert_eq!(out.shape(), (0, 2));
+    }
+}

@@ -1,0 +1,72 @@
+//! Dense linear algebra substrate for the FedL reproduction.
+//!
+//! The federated-learning training loop in the paper runs real gradient
+//! descent on per-client datasets, so the reproduction needs a small but
+//! fast dense-matrix layer. This crate provides:
+//!
+//! * [`Matrix`] — a row-major `f32` matrix with rayon-parallel GEMM,
+//!   element-wise kernels, and row/column reductions, sized for the
+//!   batch-times-weights products that dominate model training.
+//! * [`dvec`] — `f64` vector helpers used by the convex-optimization side
+//!   (the online decision problem is tiny but needs double precision).
+//! * [`rng`] — deterministic seeding utilities so every experiment in the
+//!   harness is reproducible from a single seed.
+//!
+//! Everything is implemented from scratch (no BLAS, no ndarray) per the
+//! reproduction ground rules; the GEMM kernel blocks over rows and uses
+//! rayon's work stealing to scale across cores.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dvec;
+mod gemm;
+mod matrix;
+pub mod ops;
+pub mod rng;
+
+pub use matrix::Matrix;
+
+/// Absolute tolerance used by the crate's approximate float comparisons.
+pub const DEFAULT_TOL: f32 = 1e-5;
+
+/// Returns `true` when `a` and `b` agree to within `tol` absolutely or
+/// `tol` relative to the larger magnitude, whichever is looser.
+///
+/// The dual criterion keeps comparisons meaningful both near zero and for
+/// large accumulated sums (e.g. losses summed over thousands of samples).
+#[inline]
+pub fn approx_eq(a: f32, b: f32, tol: f32) -> bool {
+    let diff = (a - b).abs();
+    diff <= tol || diff <= tol * a.abs().max(b.abs())
+}
+
+/// `f64` twin of [`approx_eq`] for the optimization-side code.
+#[inline]
+pub fn approx_eq_f64(a: f64, b: f64, tol: f64) -> bool {
+    let diff = (a - b).abs();
+    diff <= tol || diff <= tol * a.abs().max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_near_zero() {
+        assert!(approx_eq(0.0, 1e-7, 1e-5));
+        assert!(!approx_eq(0.0, 1e-3, 1e-5));
+    }
+
+    #[test]
+    fn approx_eq_relative_for_large_values() {
+        assert!(approx_eq(1_000_000.0, 1_000_001.0, 1e-5));
+        assert!(!approx_eq(1_000_000.0, 1_100_000.0, 1e-5));
+    }
+
+    #[test]
+    fn approx_eq_f64_symmetric() {
+        assert!(approx_eq_f64(3.0, 3.0 + 1e-12, 1e-9));
+        assert!(approx_eq_f64(3.0 + 1e-12, 3.0, 1e-9));
+    }
+}

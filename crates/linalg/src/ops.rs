@@ -1,0 +1,159 @@
+//! Numerically careful element-wise and row-wise kernels shared by the
+//! training substrate: softmax, log-sum-exp, ReLU, and broadcast helpers.
+
+use crate::Matrix;
+
+/// Row-wise softmax with the max-subtraction trick.
+///
+/// Each row of the result is a probability distribution; rows of all
+/// `-inf`/huge magnitudes stay finite because the row maximum is
+/// subtracted before exponentiation.
+pub fn softmax_rows(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for row in out.as_mut_slice().chunks_exact_mut(logits.cols().max(1)) {
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        if sum > 0.0 {
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+    }
+    out
+}
+
+/// Row-wise `log(sum(exp(row)))`, stabilized by max subtraction.
+pub fn log_sum_exp_rows(logits: &Matrix) -> Vec<f32> {
+    logits
+        .row_iter()
+        .map(|row| {
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            if !max.is_finite() {
+                return max;
+            }
+            let sum: f32 = row.iter().map(|v| (v - max).exp()).sum();
+            max + sum.ln()
+        })
+        .collect()
+}
+
+/// ReLU applied element-wise, returning a new matrix.
+pub fn relu(m: &Matrix) -> Matrix {
+    m.map(|v| v.max(0.0))
+}
+
+/// Derivative mask of ReLU at the *pre-activation* values: 1 where
+/// `pre > 0`, else 0.
+pub fn relu_grad_mask(pre: &Matrix) -> Matrix {
+    pre.map(|v| if v > 0.0 { 1.0 } else { 0.0 })
+}
+
+/// Adds the `1 x cols` row `bias` to every row of `m` in place.
+///
+/// # Panics
+/// Panics if `bias` is not `1 x m.cols()`.
+pub fn add_row_broadcast(m: &mut Matrix, bias: &Matrix) {
+    assert_eq!(bias.rows(), 1, "bias must be a row vector");
+    assert_eq!(bias.cols(), m.cols(), "bias width mismatch");
+    let cols = m.cols().max(1);
+    let b = bias.row(0);
+    for row in m.as_mut_slice().chunks_exact_mut(cols) {
+        for (v, &bv) in row.iter_mut().zip(b) {
+            *v += bv;
+        }
+    }
+}
+
+/// Clips every element of `m` into `[-limit, limit]` in place and returns
+/// the number of clipped elements. Gradient clipping keeps the DANE local
+/// solves stable when a client draws a pathological mini-batch.
+pub fn clip_inplace(m: &mut Matrix, limit: f32) -> usize {
+    assert!(limit > 0.0, "clip limit must be positive");
+    let mut clipped = 0;
+    for v in m.as_mut_slice() {
+        if *v > limit {
+            *v = limit;
+            clipped += 1;
+        } else if *v < -limit {
+            *v = -limit;
+            clipped += 1;
+        }
+    }
+    clipped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn softmax_rows_are_distributions() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let s = softmax_rows(&m);
+        for row in s.row_iter() {
+            let sum: f32 = row.iter().sum();
+            assert!(approx_eq(sum, 1.0, 1e-6), "row sums to {sum}");
+            assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+        // Monotone: larger logit, larger probability.
+        assert!(s.get(0, 2) > s.get(0, 1));
+    }
+
+    #[test]
+    fn softmax_stable_for_huge_logits() {
+        let m = Matrix::from_vec(1, 3, vec![1000.0, 1000.0, 999.0]);
+        let s = softmax_rows(&m);
+        assert!(!s.has_non_finite());
+        assert!(approx_eq(s.sum(), 1.0, 1e-6));
+    }
+
+    #[test]
+    fn softmax_shift_invariant() {
+        let a = Matrix::from_vec(1, 3, vec![0.0, 1.0, 2.0]);
+        let b = Matrix::from_vec(1, 3, vec![10.0, 11.0, 12.0]);
+        let sa = softmax_rows(&a);
+        let sb = softmax_rows(&b);
+        for (x, y) in sa.as_slice().iter().zip(sb.as_slice()) {
+            assert!(approx_eq(*x, *y, 1e-6));
+        }
+    }
+
+    #[test]
+    fn log_sum_exp_matches_naive_in_safe_range() {
+        let m = Matrix::from_vec(1, 3, vec![0.1, 0.2, 0.3]);
+        let lse = log_sum_exp_rows(&m)[0];
+        let naive: f32 = m.as_slice().iter().map(|v| v.exp()).sum::<f32>().ln();
+        assert!(approx_eq(lse, naive, 1e-6));
+    }
+
+    #[test]
+    fn relu_and_mask_agree() {
+        let m = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 0.5, 2.0]);
+        let r = relu(&m);
+        assert_eq!(r.as_slice(), &[0.0, 0.0, 0.5, 2.0]);
+        let g = relu_grad_mask(&m);
+        assert_eq!(g.as_slice(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn broadcast_adds_bias_to_each_row() {
+        let mut m = Matrix::zeros(2, 2);
+        let b = Matrix::row_vector(vec![1.0, -2.0]);
+        add_row_broadcast(&mut m, &b);
+        assert_eq!(m.row(0), &[1.0, -2.0]);
+        assert_eq!(m.row(1), &[1.0, -2.0]);
+    }
+
+    #[test]
+    fn clip_counts_and_bounds() {
+        let mut m = Matrix::from_vec(1, 4, vec![-5.0, -0.5, 0.5, 5.0]);
+        let n = clip_inplace(&mut m, 1.0);
+        assert_eq!(n, 2);
+        assert_eq!(m.as_slice(), &[-1.0, -0.5, 0.5, 1.0]);
+    }
+}

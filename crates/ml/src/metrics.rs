@@ -1,0 +1,92 @@
+//! Evaluation metrics: accuracy, loss, and per-class breakdowns.
+
+use fedl_data::Dataset;
+
+use crate::model::Model;
+
+/// Classification accuracy of `model` on `data` in `[0, 1]`.
+pub fn accuracy(model: &dyn Model, data: &Dataset) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let preds = model.forward(&data.features).row_argmax();
+    let correct = preds.iter().zip(&data.labels).filter(|(p, l)| p == l).count();
+    correct as f64 / data.len() as f64
+}
+
+/// Regularized loss of `model` on `data`.
+pub fn loss(model: &dyn Model, data: &Dataset) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    model.loss(&data.features, &data.one_hot_labels()) as f64
+}
+
+/// Per-class recall (diagonal of the row-normalized confusion matrix).
+/// Classes absent from `data` report recall 0.
+pub fn per_class_recall(model: &dyn Model, data: &Dataset) -> Vec<f64> {
+    let mut correct = vec![0usize; data.num_classes];
+    let mut total = vec![0usize; data.num_classes];
+    if !data.is_empty() {
+        let preds = model.forward(&data.features).row_argmax();
+        for (p, &l) in preds.iter().zip(&data.labels) {
+            total[l] += 1;
+            if *p == l {
+                correct[l] += 1;
+            }
+        }
+    }
+    correct
+        .iter()
+        .zip(&total)
+        .map(|(&c, &t)| if t == 0 { 0.0 } else { c as f64 / t as f64 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SoftmaxRegression;
+    use crate::sgd::{run, SgdConfig};
+    use fedl_data::synth::small_fmnist;
+    use fedl_linalg::rng::rng_for;
+
+    #[test]
+    fn untrained_model_near_chance() {
+        let (_, test) = small_fmnist(10, 500, 1);
+        let model = SoftmaxRegression::new(test.dim(), test.num_classes, 0.0);
+        let acc = accuracy(&model, &test);
+        // Zero weights -> uniform logits -> argmax is class 0 everywhere;
+        // with balanced classes that's ~10%.
+        assert!(acc < 0.2, "{acc}");
+    }
+
+    #[test]
+    fn trained_model_beats_chance_substantially() {
+        let (train, test) = small_fmnist(1500, 400, 2);
+        let mut model = SoftmaxRegression::new(train.dim(), train.num_classes, 0.001);
+        let cfg = SgdConfig { lr: 0.5, batch: 32, steps: 600, clip: Some(10.0) };
+        run(&mut model, &train, &cfg, &mut rng_for(1, 0));
+        let acc = accuracy(&model, &test);
+        assert!(acc > 0.6, "trained accuracy only {acc}");
+        assert!(loss(&model, &test) < (10.0f64).ln());
+    }
+
+    #[test]
+    fn per_class_recall_shape_and_range() {
+        let (train, test) = small_fmnist(200, 100, 3);
+        let model = SoftmaxRegression::new(train.dim(), train.num_classes, 0.0);
+        let recall = per_class_recall(&model, &test);
+        assert_eq!(recall.len(), 10);
+        assert!(recall.iter().all(|r| (0.0..=1.0).contains(r)));
+    }
+
+    #[test]
+    fn empty_dataset_conventions() {
+        let (train, _) = small_fmnist(10, 5, 4);
+        let model = SoftmaxRegression::new(train.dim(), train.num_classes, 0.0);
+        let empty = train.subset(&[]);
+        assert_eq!(accuracy(&model, &empty), 0.0);
+        assert_eq!(loss(&model, &empty), 0.0);
+    }
+}

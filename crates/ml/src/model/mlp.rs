@@ -1,0 +1,231 @@
+//! Fully connected ReLU network of arbitrary depth.
+
+use fedl_linalg::{ops, Matrix};
+use rand::Rng;
+
+use crate::loss::{cross_entropy, cross_entropy_with_grad};
+use crate::params::ParamSet;
+
+use super::{check_shapes, Model};
+
+/// Multi-layer perceptron: `x → [Linear → ReLU]* → Linear → logits`,
+/// cross-entropy loss, L2 regularization on all weight matrices.
+///
+/// This is the reproduction's substitute for the paper's two small CNNs
+/// (DESIGN.md §2): it exercises exactly the same federated code path
+/// (non-convex local loss, SGD surrogate solves, direction upload,
+/// server averaging) at a fraction of the implementation and runtime
+/// cost. Parameter layout inside the [`ParamSet`]:
+/// `[W₁, b₁, W₂, b₂, …]`.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    params: ParamSet,
+    layer_dims: Vec<usize>, // [input, hidden..., classes]
+    l2: f32,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given hidden widths; `hidden` may be empty,
+    /// in which case the model degenerates to (randomly initialized)
+    /// softmax regression.
+    pub fn new(input_dim: usize, hidden: &[usize], classes: usize, l2: f32, rng: &mut impl Rng) -> Self {
+        assert!(input_dim > 0 && classes >= 2, "bad architecture");
+        assert!(hidden.iter().all(|&h| h > 0), "zero-width hidden layer");
+        assert!(l2 >= 0.0, "negative regularization");
+        let mut layer_dims = Vec::with_capacity(hidden.len() + 2);
+        layer_dims.push(input_dim);
+        layer_dims.extend_from_slice(hidden);
+        layer_dims.push(classes);
+
+        let mut tensors = Vec::with_capacity(2 * (layer_dims.len() - 1));
+        for w in layer_dims.windows(2) {
+            tensors.push(Matrix::glorot(w[0], w[1], rng));
+            tensors.push(Matrix::zeros(1, w[1]));
+        }
+        Self { params: ParamSet::new(tensors), layer_dims, l2 }
+    }
+
+    /// Number of linear layers.
+    pub fn depth(&self) -> usize {
+        self.layer_dims.len() - 1
+    }
+
+    /// Layer widths including input and output.
+    pub fn layer_dims(&self) -> &[usize] {
+        &self.layer_dims
+    }
+
+    fn weight(&self, layer: usize) -> &Matrix {
+        &self.params.tensors()[2 * layer]
+    }
+
+    fn bias(&self, layer: usize) -> &Matrix {
+        &self.params.tensors()[2 * layer + 1]
+    }
+
+    fn l2_term(&self) -> f32 {
+        let w_norm: f32 = (0..self.depth()).map(|l| self.weight(l).norm_sq()).sum();
+        0.5 * self.l2 * w_norm
+    }
+
+    /// Forward pass caching pre-activations (needed by backprop).
+    /// Returns `(activations, pre_activations)` where `activations[0]` is
+    /// the input and `pre_activations[l]` is layer `l`'s linear output.
+    fn forward_cached(&self, x: &Matrix) -> (Vec<Matrix>, Vec<Matrix>) {
+        assert_eq!(x.cols(), self.layer_dims[0], "input dimension mismatch");
+        let depth = self.depth();
+        let mut activations = Vec::with_capacity(depth + 1);
+        let mut pres = Vec::with_capacity(depth);
+        activations.push(x.clone());
+        for l in 0..depth {
+            let mut z = activations[l].matmul(self.weight(l));
+            ops::add_row_broadcast(&mut z, self.bias(l));
+            if l + 1 < depth {
+                activations.push(ops::relu(&z));
+            } else {
+                activations.push(z.clone());
+            }
+            pres.push(z);
+        }
+        (activations, pres)
+    }
+}
+
+impl Model for Mlp {
+    fn forward(&self, x: &Matrix) -> Matrix {
+        let (mut activations, _) = self.forward_cached(x);
+        activations.pop().expect("at least one layer")
+    }
+
+    fn params(&self) -> &ParamSet {
+        &self.params
+    }
+
+    fn set_params(&mut self, params: ParamSet) {
+        check_shapes(&self.params, &params);
+        self.params = params;
+    }
+
+    fn loss_and_grad(&self, x: &Matrix, y: &Matrix) -> (f32, ParamSet) {
+        let depth = self.depth();
+        let (activations, pres) = self.forward_cached(x);
+        let logits = activations.last().expect("non-empty network");
+        let (ce, mut delta) = cross_entropy_with_grad(logits, y);
+
+        let mut grads: Vec<Option<(Matrix, Matrix)>> = (0..depth).map(|_| None).collect();
+        for l in (0..depth).rev() {
+            // dW_l = a_lᵀ · delta + l2·W_l ; db_l = col sums of delta.
+            let mut dw = activations[l].t_matmul(&delta);
+            dw.axpy(self.l2, self.weight(l));
+            let db = delta.col_sums();
+            grads[l] = Some((dw, db));
+            if l > 0 {
+                // delta_{l-1} = (delta · W_lᵀ) ⊙ relu'(z_{l-1}).
+                let upstream = delta.matmul_t(self.weight(l));
+                delta = upstream.hadamard(&ops::relu_grad_mask(&pres[l - 1]));
+            }
+        }
+        let mut tensors = Vec::with_capacity(2 * depth);
+        for g in grads.into_iter().flatten() {
+            tensors.push(g.0);
+            tensors.push(g.1);
+        }
+        (ce + self.l2_term(), ParamSet::new(tensors))
+    }
+
+    fn loss(&self, x: &Matrix, y: &Matrix) -> f32 {
+        cross_entropy(&self.forward(x), y) + self.l2_term()
+    }
+
+    fn clone_model(&self) -> Box<dyn Model> {
+        Box::new(self.clone())
+    }
+
+    fn input_dim(&self) -> usize {
+        self.layer_dims[0]
+    }
+
+    fn num_classes(&self) -> usize {
+        *self.layer_dims.last().expect("non-empty dims")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::test_util::gradient_check;
+    use fedl_linalg::rng::rng_for;
+
+    fn batch(classes: usize) -> (Matrix, Matrix) {
+        let mut rng = rng_for(11, 0);
+        let x = Matrix::uniform(8, 5, 1.0, &mut rng);
+        let mut y = Matrix::zeros(8, classes);
+        for r in 0..8 {
+            y.set(r, r % classes, 1.0);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn gradient_check_one_hidden_layer() {
+        let (x, y) = batch(3);
+        let mut rng = rng_for(1, 1);
+        let mut m = Mlp::new(5, &[7], 3, 0.01, &mut rng);
+        gradient_check(&mut m, &x, &y);
+    }
+
+    #[test]
+    fn gradient_check_two_hidden_layers() {
+        let (x, y) = batch(4);
+        let mut rng = rng_for(2, 1);
+        let mut m = Mlp::new(5, &[6, 5], 4, 0.05, &mut rng);
+        gradient_check(&mut m, &x, &y);
+    }
+
+    #[test]
+    fn gradient_check_no_hidden_layer() {
+        let (x, y) = batch(3);
+        let mut rng = rng_for(3, 1);
+        let mut m = Mlp::new(5, &[], 3, 0.0, &mut rng);
+        gradient_check(&mut m, &x, &y);
+    }
+
+    #[test]
+    fn training_fits_a_small_batch() {
+        let (x, y) = batch(3);
+        let mut rng = rng_for(4, 1);
+        let mut m = Mlp::new(5, &[16], 3, 0.0, &mut rng);
+        let before = m.loss(&x, &y);
+        for _ in 0..300 {
+            let (_, g) = m.loss_and_grad(&x, &y);
+            let p = m.params().added(-0.5, &g);
+            m.set_params(p);
+        }
+        let after = m.loss(&x, &y);
+        assert!(after < 0.05, "loss {before} -> {after}: failed to overfit 8 samples");
+    }
+
+    #[test]
+    fn architecture_accessors() {
+        let mut rng = rng_for(5, 1);
+        let m = Mlp::new(10, &[8, 6], 4, 0.0, &mut rng);
+        assert_eq!(m.depth(), 3);
+        assert_eq!(m.layer_dims(), &[10, 8, 6, 4]);
+        assert_eq!(m.input_dim(), 10);
+        assert_eq!(m.num_classes(), 4);
+        assert_eq!(m.params().len(), 6);
+    }
+
+    #[test]
+    fn deterministic_given_rng_seed() {
+        let a = Mlp::new(4, &[3], 2, 0.0, &mut rng_for(7, 1));
+        let b = Mlp::new(4, &[3], 2, 0.0, &mut rng_for(7, 1));
+        assert_eq!(a.params(), b.params());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-width")]
+    fn rejects_zero_width_layer() {
+        let _ = Mlp::new(4, &[0], 2, 0.0, &mut rng_for(8, 1));
+    }
+}

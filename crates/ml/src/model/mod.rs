@@ -1,0 +1,106 @@
+//! Models with hand-derived backprop.
+
+mod cnn;
+mod linear;
+mod mlp;
+
+pub use cnn::{Cnn, ConvBlockSpec, MapShape};
+pub use linear::SoftmaxRegression;
+pub use mlp::Mlp;
+
+use fedl_linalg::Matrix;
+
+use crate::params::ParamSet;
+
+/// An object-safe trainable classifier.
+///
+/// The federated machinery only ever needs four things from a model:
+/// score a batch, read/replace its parameters as a [`ParamSet`], and
+/// compute loss+gradient on a batch. The gradient includes the model's
+/// own L2 regularization term, which is what gives the per-client loss
+/// the γ-strong convexity the paper assumes for its convergence bounds
+/// (exactly true for [`SoftmaxRegression`], a standard idealization for
+/// the MLP).
+pub trait Model: Send + Sync {
+    /// Class logits for a batch (`batch x classes`).
+    fn forward(&self, x: &Matrix) -> Matrix;
+
+    /// Current parameters.
+    fn params(&self) -> &ParamSet;
+
+    /// Replaces the parameters.
+    ///
+    /// # Panics
+    /// Implementations panic if the shapes don't match the architecture.
+    fn set_params(&mut self, params: ParamSet);
+
+    /// Regularized loss and gradient on a batch of features `x` and
+    /// one-hot targets `y`.
+    fn loss_and_grad(&self, x: &Matrix, y: &Matrix) -> (f32, ParamSet);
+
+    /// Regularized loss only (cheaper: skips the backward pass).
+    fn loss(&self, x: &Matrix, y: &Matrix) -> f32;
+
+    /// Deep copy behind the trait object.
+    fn clone_model(&self) -> Box<dyn Model>;
+
+    /// Input dimensionality.
+    fn input_dim(&self) -> usize;
+
+    /// Number of classes.
+    fn num_classes(&self) -> usize;
+}
+
+impl Clone for Box<dyn Model> {
+    fn clone(&self) -> Self {
+        self.clone_model()
+    }
+}
+
+/// Validates that a replacement [`ParamSet`] matches the architecture's
+/// tensor shapes; shared by `set_params` implementations.
+pub(crate) fn check_shapes(current: &ParamSet, incoming: &ParamSet) {
+    assert_eq!(current.len(), incoming.len(), "param arity mismatch");
+    for (i, (a, b)) in current.tensors().iter().zip(incoming.tensors()).enumerate() {
+        assert_eq!(a.shape(), b.shape(), "param tensor {i} shape mismatch");
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::*;
+    use fedl_linalg::approx_eq;
+
+    /// Central finite-difference check of `loss_and_grad` for any model —
+    /// the single most load-bearing correctness test in the ML substrate.
+    pub fn gradient_check(model: &mut dyn Model, x: &Matrix, y: &Matrix) {
+        let (_, grad) = model.loss_and_grad(x, y);
+        let base = model.params().clone();
+        let eps = 2e-3f32;
+        for t in 0..base.len() {
+            // Probe a handful of coordinates per tensor to keep it fast.
+            let len = base.tensors()[t].len();
+            let probes = [0, len / 2, len.saturating_sub(1)];
+            for &i in &probes {
+                let mut plus = base.clone();
+                let v = plus.tensors()[t].as_slice()[i];
+                plus.tensors_mut()[t].as_mut_slice()[i] = v + eps;
+                model.set_params(plus);
+                let f_plus = model.loss(x, y);
+
+                let mut minus = base.clone();
+                minus.tensors_mut()[t].as_mut_slice()[i] = v - eps;
+                model.set_params(minus);
+                let f_minus = model.loss(x, y);
+
+                let fd = (f_plus - f_minus) / (2.0 * eps);
+                let an = grad.tensors()[t].as_slice()[i];
+                assert!(
+                    approx_eq(an, fd, 0.05) || (an - fd).abs() < 5e-3,
+                    "tensor {t} coord {i}: analytic {an} vs finite-diff {fd}"
+                );
+            }
+        }
+        model.set_params(base);
+    }
+}

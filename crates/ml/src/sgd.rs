@@ -1,0 +1,109 @@
+//! Mini-batch stochastic gradient descent.
+
+use fedl_linalg::Matrix;
+use rand::Rng;
+
+use fedl_data::Dataset;
+
+use crate::model::Model;
+
+/// SGD hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SgdConfig {
+    /// Step size α.
+    pub lr: f32,
+    /// Mini-batch size (capped at the dataset size per step).
+    pub batch: usize,
+    /// Number of gradient steps.
+    pub steps: usize,
+    /// Gradient clipping threshold (`None` disables).
+    pub clip: Option<f32>,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        Self { lr: 0.1, batch: 32, steps: 10, clip: Some(10.0) }
+    }
+}
+
+/// Draws a mini-batch (indices with replacement) as feature/one-hot pair.
+pub fn sample_batch(data: &Dataset, batch: usize, rng: &mut impl Rng) -> (Matrix, Matrix) {
+    assert!(!data.is_empty(), "cannot batch an empty dataset");
+    let b = batch.clamp(1, data.len());
+    let idx: Vec<usize> = (0..b).map(|_| rng.gen_range(0..data.len())).collect();
+    let sub = data.subset(&idx);
+    let y = sub.one_hot_labels();
+    (sub.features, y)
+}
+
+/// Runs `config.steps` SGD steps on `model` over `data`, returning the
+/// final mini-batch loss observed.
+pub fn run(model: &mut dyn Model, data: &Dataset, config: &SgdConfig, rng: &mut impl Rng) -> f32 {
+    assert!(config.lr > 0.0, "non-positive learning rate");
+    let mut last = f32::INFINITY;
+    for _ in 0..config.steps {
+        let (x, y) = sample_batch(data, config.batch, rng);
+        let (loss, mut grad) = model.loss_and_grad(&x, &y);
+        if let Some(limit) = config.clip {
+            grad.clip(limit);
+        }
+        let updated = model.params().added(-config.lr, &grad);
+        model.set_params(updated);
+        last = loss;
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SoftmaxRegression;
+    use fedl_data::synth::small_fmnist;
+    use fedl_linalg::rng::rng_for;
+
+    #[test]
+    fn sgd_reduces_training_loss() {
+        let (train, _) = small_fmnist(300, 10, 1);
+        let mut model = SoftmaxRegression::new(train.dim(), train.num_classes, 0.001);
+        let x = train.features.clone();
+        let y = train.one_hot_labels();
+        let before = model.loss(&x, &y);
+        let mut rng = rng_for(1, 0);
+        let cfg = SgdConfig { lr: 0.5, batch: 32, steps: 200, clip: Some(10.0) };
+        run(&mut model, &train, &cfg, &mut rng);
+        let after = model.loss(&x, &y);
+        assert!(after < before * 0.7, "loss {before} -> {after}");
+    }
+
+    #[test]
+    fn batch_shapes_and_cap() {
+        let (train, _) = small_fmnist(10, 5, 2);
+        let mut rng = rng_for(2, 0);
+        let (x, y) = sample_batch(&train, 64, &mut rng);
+        assert_eq!(x.rows(), 10); // capped at dataset size
+        assert_eq!(y.shape(), (10, 10));
+        let (x2, _) = sample_batch(&train, 4, &mut rng);
+        assert_eq!(x2.rows(), 4);
+    }
+
+    #[test]
+    fn deterministic_under_same_rng_stream() {
+        let (train, _) = small_fmnist(100, 5, 3);
+        let run_once = || {
+            let mut model = SoftmaxRegression::new(train.dim(), train.num_classes, 0.0);
+            let mut rng = rng_for(9, 9);
+            run(&mut model, &train, &SgdConfig::default(), &mut rng);
+            model.params().clone()
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive learning rate")]
+    fn rejects_bad_lr() {
+        let (train, _) = small_fmnist(10, 5, 4);
+        let mut model = SoftmaxRegression::new(train.dim(), train.num_classes, 0.0);
+        let cfg = SgdConfig { lr: 0.0, ..Default::default() };
+        run(&mut model, &train, &cfg, &mut rng_for(0, 0));
+    }
+}

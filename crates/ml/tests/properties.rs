@@ -1,0 +1,150 @@
+//! Property-based tests of the ML substrate: gradient correctness on
+//! random architectures/batches (the single most load-bearing invariant)
+//! and the vector-space laws of `ParamSet`.
+
+use fedl_linalg::rng::rng_for;
+use fedl_linalg::Matrix;
+use fedl_ml::model::{Mlp, Model, SoftmaxRegression};
+use fedl_ml::params::ParamSet;
+use proptest::prelude::*;
+
+fn batch(rows: usize, dim: usize, classes: usize, seed: u64) -> (Matrix, Matrix) {
+    let mut rng = rng_for(seed, 0xBA7C);
+    let x = Matrix::uniform(rows, dim, 1.0, &mut rng);
+    let mut y = Matrix::zeros(rows, classes);
+    for r in 0..rows {
+        y.set(r, r % classes, 1.0);
+    }
+    (x, y)
+}
+
+/// Central finite differences against the analytic gradient at a few
+/// random coordinates.
+fn check_gradient(model: &mut dyn Model, x: &Matrix, y: &Matrix, seed: u64) {
+    use rand::Rng;
+    let (_, grad) = model.loss_and_grad(x, y);
+    let base = model.params().clone();
+    let mut rng = rng_for(seed, 0xF1D);
+    let eps = 2e-3f32;
+    for _ in 0..6 {
+        let t = rng.gen_range(0..base.len());
+        let len = base.tensors()[t].len();
+        let i = rng.gen_range(0..len);
+        let v = base.tensors()[t].as_slice()[i];
+
+        let mut plus = base.clone();
+        plus.tensors_mut()[t].as_mut_slice()[i] = v + eps;
+        model.set_params(plus);
+        let f_plus = model.loss(x, y);
+
+        let mut minus = base.clone();
+        minus.tensors_mut()[t].as_mut_slice()[i] = v - eps;
+        model.set_params(minus);
+        let f_minus = model.loss(x, y);
+
+        let fd = (f_plus - f_minus) / (2.0 * eps);
+        let an = grad.tensors()[t].as_slice()[i];
+        assert!(
+            (an - fd).abs() < 0.05 * (1.0 + an.abs().max(fd.abs())),
+            "tensor {t} coord {i}: analytic {an} vs fd {fd}"
+        );
+    }
+    model.set_params(base);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn softmax_regression_gradients_correct(
+        dim in 2usize..10,
+        classes in 2usize..6,
+        rows in 2usize..10,
+        l2 in 0.0f32..0.2,
+        seed in 0u64..500,
+    ) {
+        let (x, y) = batch(rows, dim, classes, seed);
+        let mut rng = rng_for(seed, 1);
+        let mut m = SoftmaxRegression::new_random(dim, classes, l2, &mut rng);
+        check_gradient(&mut m, &x, &y, seed);
+    }
+
+    #[test]
+    fn mlp_gradients_correct(
+        dim in 2usize..8,
+        hidden in 1usize..8,
+        classes in 2usize..5,
+        rows in 2usize..8,
+        seed in 0u64..500,
+    ) {
+        let (x, y) = batch(rows, dim, classes, seed);
+        let mut rng = rng_for(seed, 2);
+        let mut m = Mlp::new(dim, &[hidden], classes, 0.01, &mut rng);
+        check_gradient(&mut m, &x, &y, seed);
+    }
+
+    #[test]
+    fn param_set_vector_space_laws(
+        vals_a in proptest::collection::vec(-5.0f32..5.0, 6),
+        vals_b in proptest::collection::vec(-5.0f32..5.0, 6),
+        alpha in -3.0f32..3.0,
+    ) {
+        let make = |v: &[f32]| {
+            ParamSet::new(vec![
+                Matrix::from_vec(2, 2, v[..4].to_vec()),
+                Matrix::from_vec(1, 2, v[4..6].to_vec()),
+            ])
+        };
+        let a = make(&vals_a);
+        let b = make(&vals_b);
+        // Bilinearity of dot.
+        let lhs = a.added(alpha, &b).dot(&a);
+        let rhs = a.dot(&a) + alpha * b.dot(&a);
+        prop_assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+        // Symmetry.
+        prop_assert!((a.dot(&b) - b.dot(&a)).abs() < 1e-5);
+        // Cauchy–Schwarz.
+        prop_assert!(a.dot(&b).abs() <= a.norm() * b.norm() + 1e-4);
+        // Average of {a, a} is a.
+        let avg = ParamSet::average(&[&a, &a]);
+        prop_assert!(avg.added(-1.0, &a).norm() < 1e-6);
+    }
+
+    #[test]
+    fn loss_decreases_under_gradient_steps(
+        dim in 3usize..8,
+        classes in 2usize..5,
+        seed in 0u64..300,
+    ) {
+        let (x, y) = batch(12, dim, classes, seed);
+        let mut rng = rng_for(seed, 3);
+        let mut m = Mlp::new(dim, &[8], classes, 0.001, &mut rng);
+        let before = m.loss(&x, &y);
+        for _ in 0..25 {
+            let (_, g) = m.loss_and_grad(&x, &y);
+            let p = m.params().added(-0.2, &g);
+            m.set_params(p);
+        }
+        let after = m.loss(&x, &y);
+        prop_assert!(after < before + 1e-5, "{before} -> {after}");
+    }
+
+    #[test]
+    fn eta_hat_always_in_unit_interval(
+        seed in 0u64..200,
+        local_steps in 1usize..12,
+    ) {
+        use fedl_data::synth::small_fmnist;
+        use fedl_ml::dane::{local_update, DaneConfig};
+        let (train, _) = small_fmnist(60, 5, seed);
+        let model = SoftmaxRegression::new(train.dim(), train.num_classes, 0.01);
+        let (x, y) = (train.features.clone(), train.one_hot_labels());
+        let (_, j) = model.loss_and_grad(&x, &y);
+        let cfg = DaneConfig { local_steps, ..Default::default() };
+        let mut rng = rng_for(seed, 4);
+        let out = local_update(&model, &train, &j, &cfg, &mut rng);
+        prop_assert!((0.0..1.0).contains(&out.eta_hat), "eta {}", out.eta_hat);
+        prop_assert!(!out.delta.has_non_finite());
+        prop_assert!(out.loss_at_w.is_finite() && out.loss_after.is_finite());
+    }
+}

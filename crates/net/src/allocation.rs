@@ -1,0 +1,261 @@
+//! Optimal FDMA bandwidth allocation.
+//!
+//! The paper takes the per-client bandwidths `b_{t,k}` as given subject
+//! to `Σ b = B` (the simulator's default splits equally). Its reference
+//! [24] (Shi et al.) *jointly optimizes* the split; this module provides
+//! that upgrade: the min-makespan allocation that equalizes completion
+//! times.
+//!
+//! Formally: client `k` finishes at `t_k + s / r_k(b_k)` where `t_k` is
+//! its compute time and `r_k(b) = b·log₂(1 + p_k/(N₀·b))` its rate.
+//! `r_k` is increasing and concave in `b`, so for any deadline `T` the
+//! minimum bandwidth `b_k(T)` that meets it is well defined and
+//! decreasing in `T` — the feasibility frontier `Σ_k b_k(T) ≤ B` is
+//! monotone and the optimal makespan is found by bisection, with an
+//! inner bisection inverting `r_k`.
+
+use crate::channel::ClientRadio;
+use crate::fdma::rate_bps;
+
+/// Result of a min-makespan allocation.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    /// Bandwidth per client in Hz, summing to (at most) the total.
+    pub bandwidth_hz: Vec<f64>,
+    /// The achieved makespan in seconds (max over clients of
+    /// compute + upload).
+    pub makespan_secs: f64,
+}
+
+/// Smallest bandwidth at which `radio` reaches `target_rate` bps, found
+/// by bisection over `[lo_hint, total]`; `None` if even the full band is
+/// not enough.
+fn bandwidth_for_rate(
+    radio: &ClientRadio,
+    target_rate: f64,
+    total_hz: f64,
+    n0: f64,
+) -> Option<f64> {
+    debug_assert!(target_rate > 0.0);
+    if rate_bps(radio, total_hz, n0) < target_rate {
+        return None;
+    }
+    let mut lo = 1e-3;
+    let mut hi = total_hz;
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if rate_bps(radio, mid, n0) >= target_rate {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+/// Computes the min-makespan bandwidth split for one federated upload
+/// round.
+///
+/// # Examples
+///
+/// ```
+/// use fedl_net::{dbm_to_watts, min_makespan, ClientRadio};
+///
+/// let near = ClientRadio { distance_m: 50.0, tx_power_dbm: 10.0, gain: 1e-8 };
+/// let far = ClientRadio { distance_m: 450.0, tx_power_dbm: 10.0, gain: 1e-11 };
+/// let alloc = min_makespan(
+///     &[&near, &far],
+///     &[0.0, 0.0],
+///     1e6,
+///     20e6,
+///     dbm_to_watts(-174.0),
+/// )
+/// .unwrap();
+/// // The weak channel receives the larger share.
+/// assert!(alloc.bandwidth_hz[1] > alloc.bandwidth_hz[0]);
+/// ```
+///
+/// * `radios` — cohort channel states;
+/// * `compute_secs[k]` — client `k`'s computation time this iteration;
+/// * `upload_bits` — payload size `s` (identical for all clients, §3.2);
+/// * `total_hz` — the cell bandwidth `B`;
+/// * `n0_watts_per_hz` — noise density.
+///
+/// Returns `None` for an empty cohort.
+///
+/// # Panics
+/// Panics on non-positive bandwidth/payload or mismatched lengths.
+pub fn min_makespan(
+    radios: &[&ClientRadio],
+    compute_secs: &[f64],
+    upload_bits: f64,
+    total_hz: f64,
+    n0_watts_per_hz: f64,
+) -> Option<Allocation> {
+    assert_eq!(radios.len(), compute_secs.len(), "radio/compute arity");
+    assert!(total_hz > 0.0 && upload_bits > 0.0, "non-positive inputs");
+    assert!(n0_watts_per_hz > 0.0, "non-positive noise density");
+    if radios.is_empty() {
+        return None;
+    }
+
+    // Feasibility of a deadline T: every client needs rate
+    // s/(T - t_k); infeasible if T <= t_k for any k.
+    let demand = |deadline: f64| -> Option<Vec<f64>> {
+        let mut bands = Vec::with_capacity(radios.len());
+        let mut used = 0.0;
+        for (radio, &t_k) in radios.iter().zip(compute_secs) {
+            let slack = deadline - t_k;
+            if slack <= 0.0 {
+                return None;
+            }
+            let b = bandwidth_for_rate(radio, upload_bits / slack, total_hz, n0_watts_per_hz)?;
+            used += b;
+            if used > total_hz * (1.0 + 1e-9) {
+                return None;
+            }
+            bands.push(b);
+        }
+        Some(bands)
+    };
+
+    // Bracket the optimal deadline: the equal-share makespan is always
+    // feasible, so it upper-bounds the optimum.
+    let share = total_hz / radios.len() as f64;
+    let mut hi = radios
+        .iter()
+        .zip(compute_secs)
+        .map(|(r, &t)| t + upload_bits / rate_bps(r, share, n0_watts_per_hz).max(1e-9))
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let mut lo = compute_secs.iter().copied().fold(0.0f64, f64::max);
+    // Track the tightest feasible allocation seen — the bisection
+    // endpoint itself can graze the boundary within float error.
+    let mut best = demand(hi * (1.0 + 1e-9));
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        match demand(mid) {
+            Some(bands) => {
+                best = Some(bands);
+                hi = mid;
+            }
+            None => lo = mid,
+        }
+    }
+    let mut bandwidth_hz = best.expect("equal share is always feasible");
+    // Hand out any numerical leftovers proportionally (never hurts).
+    let used: f64 = bandwidth_hz.iter().sum();
+    if used < total_hz {
+        let scale = total_hz / used;
+        for b in &mut bandwidth_hz {
+            *b *= scale;
+        }
+    }
+    let makespan_secs = radios
+        .iter()
+        .zip(compute_secs)
+        .zip(&bandwidth_hz)
+        .map(|((r, &t), &b)| t + upload_bits / rate_bps(r, b, n0_watts_per_hz))
+        .fold(0.0f64, f64::max);
+    Some(Allocation { bandwidth_hz, makespan_secs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelModel;
+    use crate::dbm_to_watts;
+    use fedl_linalg::rng::rng_for;
+
+    fn cohort(n: usize, seed: u64) -> Vec<ClientRadio> {
+        let m = ChannelModel::default();
+        let mut rng = rng_for(seed, 0);
+        (0..n)
+            .map(|i| m.make_radio(50.0 + 80.0 * i as f64, 10.0, &mut rng))
+            .collect()
+    }
+
+    fn equal_share_makespan(radios: &[&ClientRadio], compute: &[f64], s: f64, b: f64, n0: f64) -> f64 {
+        let share = b / radios.len() as f64;
+        radios
+            .iter()
+            .zip(compute)
+            .map(|(r, &t)| t + s / rate_bps(r, share, n0))
+            .fold(0.0f64, f64::max)
+    }
+
+    #[test]
+    fn never_worse_than_equal_share() {
+        let n0 = dbm_to_watts(-174.0);
+        for seed in 0..10 {
+            let radios = cohort(5, seed);
+            let refs: Vec<&ClientRadio> = radios.iter().collect();
+            let compute = vec![0.01, 0.05, 0.002, 0.03, 0.08];
+            let alloc = min_makespan(&refs, &compute, 1e6, 20e6, n0).unwrap();
+            let baseline = equal_share_makespan(&refs, &compute, 1e6, 20e6, n0);
+            assert!(
+                alloc.makespan_secs <= baseline * (1.0 + 1e-6),
+                "seed {seed}: optimal {} > equal {}",
+                alloc.makespan_secs,
+                baseline
+            );
+        }
+    }
+
+    #[test]
+    fn allocation_sums_to_total_and_is_positive() {
+        let n0 = dbm_to_watts(-174.0);
+        let radios = cohort(4, 3);
+        let refs: Vec<&ClientRadio> = radios.iter().collect();
+        let alloc = min_makespan(&refs, &[0.0; 4], 1e6, 20e6, n0).unwrap();
+        let total: f64 = alloc.bandwidth_hz.iter().sum();
+        assert!((total - 20e6).abs() < 20e6 * 1e-6, "total {total}");
+        assert!(alloc.bandwidth_hz.iter().all(|&b| b > 0.0));
+    }
+
+    #[test]
+    fn weak_channels_get_more_bandwidth() {
+        let n0 = dbm_to_watts(-174.0);
+        let strong = ClientRadio { distance_m: 50.0, tx_power_dbm: 10.0, gain: 1e-8 };
+        let weak = ClientRadio { distance_m: 450.0, tx_power_dbm: 10.0, gain: 1e-11 };
+        let alloc =
+            min_makespan(&[&strong, &weak], &[0.0, 0.0], 1e6, 20e6, n0).unwrap();
+        assert!(
+            alloc.bandwidth_hz[1] > alloc.bandwidth_hz[0],
+            "weak channel should receive more bandwidth: {:?}",
+            alloc.bandwidth_hz
+        );
+    }
+
+    #[test]
+    fn completion_times_are_equalized() {
+        // At the optimum (with no compute skew) everyone finishes
+        // together — the classic makespan balance condition.
+        let n0 = dbm_to_watts(-174.0);
+        let radios = cohort(4, 5);
+        let refs: Vec<&ClientRadio> = radios.iter().collect();
+        let alloc = min_makespan(&refs, &[0.0; 4], 1e6, 20e6, n0).unwrap();
+        let times: Vec<f64> = refs
+            .iter()
+            .zip(&alloc.bandwidth_hz)
+            .map(|(r, &b)| 1e6 / rate_bps(r, b, n0))
+            .collect();
+        let max = times.iter().copied().fold(0.0f64, f64::max);
+        let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(max / min < 1.05, "unbalanced completion times {times:?}");
+    }
+
+    #[test]
+    fn empty_cohort_is_none() {
+        assert!(min_makespan(&[], &[], 1e6, 20e6, 1e-20).is_none());
+    }
+
+    #[test]
+    fn single_client_gets_everything() {
+        let n0 = dbm_to_watts(-174.0);
+        let radios = cohort(1, 7);
+        let alloc = min_makespan(&[&radios[0]], &[0.02], 1e6, 20e6, n0).unwrap();
+        assert!((alloc.bandwidth_hz[0] - 20e6).abs() < 20e6 * 1e-6);
+        assert!(alloc.makespan_secs > 0.02);
+    }
+}

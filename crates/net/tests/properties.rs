@@ -1,0 +1,78 @@
+//! Property-based tests of the wireless model: physical monotonicities
+//! (more distance → more loss, more bandwidth → more rate) that must
+//! hold for every parameter draw.
+
+use fedl_net::{dbm_to_watts, rate_bps, ChannelModel, ClientRadio, ComputeProfile, LatencyModel};
+use proptest::prelude::*;
+
+fn radio(gain: f64, power_dbm: f64) -> ClientRadio {
+    ClientRadio { distance_m: 100.0, tx_power_dbm: power_dbm, gain }
+}
+
+proptest! {
+    #[test]
+    fn path_loss_monotone(d1 in 20.0f64..5000.0, factor in 1.01f64..10.0) {
+        let m = ChannelModel::default();
+        prop_assert!(m.path_loss_db(d1 * factor) > m.path_loss_db(d1));
+    }
+
+    #[test]
+    fn rate_monotone_in_power_and_gain(
+        gain in 1e-14f64..1e-6,
+        power in -10.0f64..20.0,
+        bw in 1e4f64..2e7,
+    ) {
+        let n0 = dbm_to_watts(-174.0);
+        let base = rate_bps(&radio(gain, power), bw, n0);
+        prop_assert!(base > 0.0 && base.is_finite());
+        prop_assert!(rate_bps(&radio(gain * 2.0, power), bw, n0) > base);
+        prop_assert!(rate_bps(&radio(gain, power + 3.0), bw, n0) > base);
+    }
+
+    #[test]
+    fn rate_increases_with_bandwidth(
+        gain in 1e-12f64..1e-7,
+        bw in 1e5f64..1e7,
+        factor in 1.1f64..5.0,
+    ) {
+        // Total rate grows with bandwidth (though sub-linearly in SNR).
+        let n0 = dbm_to_watts(-174.0);
+        let r1 = rate_bps(&radio(gain, 10.0), bw, n0);
+        let r2 = rate_bps(&radio(gain, 10.0), bw * factor, n0);
+        prop_assert!(r2 > r1, "{r2} <= {r1}");
+        // But not super-linearly.
+        prop_assert!(r2 < r1 * factor + 1e-6);
+    }
+
+    #[test]
+    fn compute_latency_scales_linearly(
+        cycles in 10.0f64..30.0,
+        cpu in 0.5e9f64..2e9,
+        bits in 1e3f64..1e7,
+        k in 2.0f64..10.0,
+    ) {
+        let c = ComputeProfile { cycles_per_bit: cycles, cpu_hz: cpu };
+        let t1 = c.local_update_secs(bits);
+        let tk = c.local_update_secs(bits * k);
+        prop_assert!((tk - k * t1).abs() < 1e-9 * tk.max(1.0));
+    }
+
+    #[test]
+    fn epoch_latency_dominated_by_slowest(
+        gains in proptest::collection::vec(1e-12f64..1e-8, 2..6),
+        samples in proptest::collection::vec(1usize..200, 2..6),
+    ) {
+        let n = gains.len().min(samples.len());
+        let radios: Vec<ClientRadio> = gains[..n].iter().map(|&g| radio(g, 10.0)).collect();
+        let computes: Vec<ComputeProfile> =
+            (0..n).map(|_| ComputeProfile { cycles_per_bit: 20.0, cpu_hz: 1e9 }).collect();
+        let model = LatencyModel::paper_defaults(1e5, 6272.0);
+        let r: Vec<&ClientRadio> = radios.iter().collect();
+        let c: Vec<&ComputeProfile> = computes.iter().collect();
+        let per = model.per_iteration_secs(&r, &c, &samples[..n]);
+        let epoch = model.epoch_secs(&r, &c, &samples[..n], 4);
+        let max = per.iter().copied().fold(0.0f64, f64::max);
+        prop_assert!((epoch - 4.0 * max).abs() < 1e-9);
+        prop_assert!(per.iter().all(|&t| t > 0.0 && t.is_finite()));
+    }
+}

@@ -1,0 +1,277 @@
+//! Static client profiles and their per-epoch realizations.
+
+use rand::Rng;
+
+use fedl_data::stream::OnlineStream;
+use fedl_linalg::rng::{derive_seed, rng_for};
+use fedl_net::{ChannelModel, ClientRadio, ComputeProfile};
+
+use crate::config::{AvailabilityModel, EnvConfig};
+
+/// Everything about a client that does not change over time.
+#[derive(Debug, Clone)]
+pub struct ClientProfile {
+    /// Stable identifier `k ∈ [0, M)`.
+    pub id: usize,
+    /// Distance from the server in metres.
+    pub distance_m: f64,
+    /// Transmit power in dBm.
+    pub tx_power_dbm: f64,
+    /// Base channel gain drawn at creation (used when the channel is not
+    /// time-varying).
+    pub base_gain: f64,
+    /// Computation capability.
+    pub compute: ComputeProfile,
+    /// Online data source (partition pool + Poisson arrival process).
+    pub stream: OnlineStream,
+    /// Seed for this client's per-epoch draws.
+    pub seed: u64,
+}
+
+/// What the time axis does to a client at one epoch: the realized
+/// availability, rental cost, channel, and data volume.
+#[derive(Debug, Clone)]
+pub struct EpochClientView {
+    /// Client id.
+    pub id: usize,
+    /// Whether the client is reachable this epoch (Bernoulli, §6.1).
+    pub available: bool,
+    /// Rental cost `c_{t,k}` (uniform in the configured range).
+    pub cost: f64,
+    /// This epoch's radio state (shadowing re-drawn when the channel is
+    /// time-varying).
+    pub radio: ClientRadio,
+    /// Data volume `D_{t,k}` (number of freshly arrived samples).
+    pub data_volume: usize,
+}
+
+impl ClientProfile {
+    /// Builds the full population from the environment config and the
+    /// per-client partition pools.
+    ///
+    /// # Panics
+    /// Panics if `pools.len()` differs from `config.num_clients` or any
+    /// pool is empty (every paper client owns data).
+    pub fn build_population(
+        config: &EnvConfig,
+        channel: &ChannelModel,
+        pools: Vec<Vec<usize>>,
+    ) -> Vec<ClientProfile> {
+        assert_eq!(pools.len(), config.num_clients, "one partition pool per client");
+        let mut rng = rng_for(config.seed, 0xC11E);
+        pools
+            .into_iter()
+            .enumerate()
+            .map(|(id, pool)| {
+                assert!(!pool.is_empty(), "client {id} has an empty data pool");
+                // Uniform placement over the disk: sqrt for area uniformity.
+                let r = config.cell_radius_m * rng.gen::<f64>().sqrt();
+                let distance_m = r.max(channel.min_distance_m);
+                let base_gain = channel.sample_gain(distance_m, &mut rng);
+                let compute = ComputeProfile {
+                    cycles_per_bit: rng
+                        .gen_range(config.cycles_per_bit_range.0..=config.cycles_per_bit_range.1),
+                    cpu_hz: rng.gen_range(config.cpu_hz_range.0..=config.cpu_hz_range.1),
+                };
+                let lambda =
+                    rng.gen_range(config.lambda_range.0..=config.lambda_range.1);
+                let seed = derive_seed(config.seed, 0xC11E_0000 + id as u64);
+                let stream = OnlineStream::new(pool, lambda, seed);
+                ClientProfile {
+                    id,
+                    distance_m,
+                    tx_power_dbm: config.tx_power_dbm,
+                    base_gain,
+                    compute,
+                    stream,
+                    seed,
+                }
+            })
+            .collect()
+    }
+
+    /// Realizes this client's epoch-`t` state. Deterministic in
+    /// `(client seed, t)`, so policies can be compared on identical
+    /// sample paths.
+    pub fn epoch_view(
+        &self,
+        epoch: usize,
+        config: &EnvConfig,
+        channel: &ChannelModel,
+    ) -> EpochClientView {
+        let mut rng = rng_for(self.seed, 0xE90C ^ (epoch as u64));
+        let available = match config.availability {
+            AvailabilityModel::Bernoulli => rng.gen::<f64>() < config.p_available,
+            AvailabilityModel::Markov { p_stay_on, p_stay_off } => {
+                // Replay the chain from epoch 0 so the answer is the same
+                // whichever epoch is queried first. Each step's draw is
+                // seeded independently, keeping the whole path a pure
+                // function of (client seed, epoch).
+                let mut on =
+                    rng_for(self.seed, 0xA40F).gen::<f64>() < config.p_available;
+                for e in 1..=epoch {
+                    let u = rng_for(self.seed, 0xA40F ^ (e as u64) << 1).gen::<f64>();
+                    on = if on { u < p_stay_on } else { u >= p_stay_off };
+                }
+                // Consume the Bernoulli draw anyway so the cost/channel
+                // stream is identical across availability models.
+                let _ = rng.gen::<f64>();
+                on
+            }
+        };
+        let cost = rng.gen_range(config.cost_range.0..=config.cost_range.1);
+        let gain = if config.time_varying_channel {
+            channel.sample_gain(self.distance_m, &mut rng)
+        } else {
+            self.base_gain
+        };
+        let radio =
+            ClientRadio { distance_m: self.distance_m, tx_power_dbm: self.tx_power_dbm, gain };
+        let data_volume = self.stream.arrivals(epoch).len();
+        EpochClientView { id: self.id, available, cost, radio, data_volume }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn population(n: usize, seed: u64) -> (EnvConfig, ChannelModel, Vec<ClientProfile>) {
+        let config = EnvConfig::small(n, seed);
+        let channel = ChannelModel::default();
+        let pools = (0..n).map(|k| vec![k, k + n]).collect();
+        let clients = ClientProfile::build_population(&config, &channel, pools);
+        (config, channel, clients)
+    }
+
+    #[test]
+    fn population_has_expected_shape() {
+        let (config, _, clients) = population(10, 1);
+        assert_eq!(clients.len(), 10);
+        for (i, c) in clients.iter().enumerate() {
+            assert_eq!(c.id, i);
+            assert!(c.distance_m <= config.cell_radius_m);
+            assert!(c.distance_m >= 10.0); // channel min distance
+            assert!((config.cycles_per_bit_range.0..=config.cycles_per_bit_range.1)
+                .contains(&c.compute.cycles_per_bit));
+            assert!((config.cpu_hz_range.0..=config.cpu_hz_range.1).contains(&c.compute.cpu_hz));
+        }
+    }
+
+    #[test]
+    fn clients_are_heterogeneous() {
+        let (_, _, clients) = population(20, 2);
+        let d0 = clients[0].distance_m;
+        assert!(clients.iter().any(|c| (c.distance_m - d0).abs() > 1.0));
+        let e0 = clients[0].compute.cycles_per_bit;
+        assert!(clients.iter().any(|c| (c.compute.cycles_per_bit - e0).abs() > 1.0));
+    }
+
+    #[test]
+    fn epoch_views_deterministic_and_time_varying() {
+        let (config, channel, clients) = population(5, 3);
+        let a = clients[0].epoch_view(7, &config, &channel);
+        let b = clients[0].epoch_view(7, &config, &channel);
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.available, b.available);
+        assert_eq!(a.radio.gain, b.radio.gain);
+        let c = clients[0].epoch_view(8, &config, &channel);
+        assert_ne!(a.cost, c.cost);
+    }
+
+    #[test]
+    fn cost_in_configured_range() {
+        let (config, channel, clients) = population(5, 4);
+        for epoch in 0..50 {
+            for cl in &clients {
+                let v = cl.epoch_view(epoch, &config, &channel);
+                assert!(
+                    (config.cost_range.0..=config.cost_range.1).contains(&v.cost),
+                    "cost {} out of range",
+                    v.cost
+                );
+                assert!(v.data_volume >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn availability_rate_close_to_p() {
+        let (config, channel, clients) = population(10, 5);
+        let mut avail = 0usize;
+        let mut total = 0usize;
+        for epoch in 0..200 {
+            for cl in &clients {
+                total += 1;
+                if cl.epoch_view(epoch, &config, &channel).available {
+                    avail += 1;
+                }
+            }
+        }
+        let rate = avail as f64 / total as f64;
+        assert!((rate - config.p_available).abs() < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn frozen_channel_when_not_time_varying() {
+        let (mut config, channel, _) = population(3, 6);
+        config.time_varying_channel = false;
+        let pools = (0..3).map(|k| vec![k]).collect();
+        let clients = ClientProfile::build_population(&config, &channel, pools);
+        let a = clients[1].epoch_view(0, &config, &channel);
+        let b = clients[1].epoch_view(9, &config, &channel);
+        assert_eq!(a.radio.gain, b.radio.gain);
+        assert_eq!(a.radio.gain, clients[1].base_gain);
+    }
+
+    #[test]
+    fn markov_availability_is_deterministic_and_bursty() {
+        let (mut config, channel, clients) = population(6, 9);
+        config.availability =
+            crate::config::AvailabilityModel::Markov { p_stay_on: 0.95, p_stay_off: 0.95 };
+        // Deterministic across queries, including out-of-order ones.
+        let late = clients[0].epoch_view(30, &config, &channel).available;
+        let early = clients[0].epoch_view(5, &config, &channel).available;
+        assert_eq!(clients[0].epoch_view(30, &config, &channel).available, late);
+        assert_eq!(clients[0].epoch_view(5, &config, &channel).available, early);
+        // Bursty: with sticky transitions, consecutive epochs agree far
+        // more often than independent Bernoulli draws would.
+        let mut same = 0usize;
+        let mut total = 0usize;
+        for c in &clients {
+            let mut prev = c.epoch_view(0, &config, &channel).available;
+            for e in 1..80 {
+                let cur = c.epoch_view(e, &config, &channel).available;
+                total += 1;
+                if cur == prev {
+                    same += 1;
+                }
+                prev = cur;
+            }
+        }
+        let agreement = same as f64 / total as f64;
+        assert!(agreement > 0.85, "Markov chain not sticky: agreement {agreement}");
+    }
+
+    #[test]
+    fn markov_and_bernoulli_share_cost_streams() {
+        // Switching the availability model must not perturb the cost or
+        // channel sample paths (everything else stays comparable).
+        let (mut config, channel, clients) = population(4, 10);
+        let bern = clients[1].epoch_view(7, &config, &channel);
+        config.availability =
+            crate::config::AvailabilityModel::Markov { p_stay_on: 0.9, p_stay_off: 0.7 };
+        let markov = clients[1].epoch_view(7, &config, &channel);
+        assert_eq!(bern.cost, markov.cost);
+        assert_eq!(bern.radio.gain, markov.radio.gain);
+        assert_eq!(bern.data_volume, markov.data_volume);
+    }
+
+    #[test]
+    #[should_panic(expected = "one partition pool per client")]
+    fn pool_count_mismatch_rejected() {
+        let config = EnvConfig::small(3, 0);
+        let channel = ChannelModel::default();
+        let _ = ClientProfile::build_population(&config, &channel, vec![vec![0]]);
+    }
+}

@@ -1,0 +1,209 @@
+//! Environment configuration — the paper's §6.1 constants, overridable
+//! for scaled-down tests.
+
+use serde::{Deserialize, Serialize};
+
+/// How the server normalizes the summed client directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggregationNorm {
+    /// Divide by the number of *available* clients `|E_t|` — the paper's
+    /// aggregation rule (w^i = w^{i−1} + (1/|E_t|)·Σ x_k·d_k). Selecting
+    /// more clients genuinely enlarges the aggregate step, which is what
+    /// gives FedCS its strong early rounds in Figs. 2–5.
+    Available,
+    /// Divide by the cohort size — the FedAvg-style rule, provided for
+    /// the aggregation ablation.
+    Cohort,
+}
+
+/// How client availability evolves over epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AvailabilityModel {
+    /// Independent Bernoulli draw each epoch with probability
+    /// `p_available` — the paper's §6.1 setting.
+    Bernoulli,
+    /// Two-state Markov chain (bursty availability: a device that just
+    /// dropped off tends to stay off — battery charging, night time).
+    /// The initial state is Bernoulli(`p_available`).
+    Markov {
+        /// P(on at t+1 | on at t).
+        p_stay_on: f64,
+        /// P(off at t+1 | off at t).
+        p_stay_off: f64,
+    },
+}
+
+impl AvailabilityModel {
+    /// Validates probability ranges.
+    pub fn validate(&self) {
+        if let AvailabilityModel::Markov { p_stay_on, p_stay_off } = *self {
+            assert!(
+                (0.0..=1.0).contains(&p_stay_on) && (0.0..=1.0).contains(&p_stay_off),
+                "Markov probabilities must be in [0, 1]: {p_stay_on}, {p_stay_off}"
+            );
+        }
+    }
+}
+
+/// Full specification of a simulated edge federation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnvConfig {
+    /// Number of clients `M` (paper: 100).
+    pub num_clients: usize,
+    /// Cell radius in metres (paper: 500, server at the centre).
+    pub cell_radius_m: f64,
+    /// Availability probability per client per epoch (Bernoulli model)
+    /// or the initial on-probability (Markov model).
+    pub p_available: f64,
+    /// Availability dynamics.
+    pub availability: AvailabilityModel,
+    /// Probability that a *selected* client fails mid-epoch (battery
+    /// death, connection drop — the paper's §1 motivating uncertainty).
+    /// The server aggregates without the casualty; its rent is still
+    /// paid (the failure happens after commitment).
+    pub p_dropout: f64,
+    /// Per-epoch rental cost range, uniform (paper: [0.1, 12], modelling
+    /// Amazon dynamic prices).
+    pub cost_range: (f64, f64),
+    /// Range of per-client mean data-arrival rates λ (Poisson, §6.1).
+    pub lambda_range: (f64, f64),
+    /// Transmit power in dBm (paper: 10 for every client).
+    pub tx_power_dbm: f64,
+    /// CPU frequency range in Hz (paper: up to 2 GHz).
+    pub cpu_hz_range: (f64, f64),
+    /// Cycles-per-bit range (paper: U[10, 30]).
+    pub cycles_per_bit_range: (f64, f64),
+    /// Upload payload in bits (model size `s`, constant across clients).
+    pub upload_bits: f64,
+    /// Whether shadow fading is re-drawn each epoch (time-varying
+    /// channels) or frozen at client creation.
+    pub time_varying_channel: bool,
+    /// Aggregation normalization.
+    pub aggregation: AggregationNorm,
+    /// Use the min-makespan FDMA bandwidth split
+    /// ([`fedl_net::allocation::min_makespan`], the joint-allocation
+    /// upgrade of the paper's reference [24]) instead of the default
+    /// equal share.
+    pub optimal_bandwidth: bool,
+    /// Root seed for every stochastic process in the environment.
+    pub seed: u64,
+}
+
+impl EnvConfig {
+    /// The paper's full-scale setting (M = 100 in a 500 m cell).
+    pub fn paper_scale(seed: u64) -> Self {
+        Self {
+            num_clients: 100,
+            cell_radius_m: 500.0,
+            p_available: 0.8,
+            availability: AvailabilityModel::Bernoulli,
+            p_dropout: 0.0,
+            cost_range: (0.1, 12.0),
+            lambda_range: (20.0, 60.0),
+            tx_power_dbm: 10.0,
+            cpu_hz_range: (0.5e9, 2.0e9),
+            cycles_per_bit_range: (10.0, 30.0),
+            // ~1 Mbit model update: far/deep-shadowed clients take
+            // seconds to upload while cell-centre clients take tens of
+            // milliseconds — the stable heterogeneity a latency-aware
+            // selector can exploit.
+            upload_bits: 1e6,
+            time_varying_channel: true,
+            aggregation: AggregationNorm::Available,
+            optimal_bandwidth: false,
+            seed,
+        }
+    }
+
+    /// A scaled-down setting for unit tests and examples: everything is
+    /// the same shape, just smaller.
+    pub fn small(num_clients: usize, seed: u64) -> Self {
+        Self {
+            num_clients,
+            lambda_range: (8.0, 24.0),
+            ..Self::paper_scale(seed)
+        }
+    }
+
+    /// Validates internal consistency; called by the environment
+    /// constructor.
+    ///
+    /// # Panics
+    /// Panics with a description of the first violated requirement.
+    pub fn validate(&self) {
+        assert!(self.num_clients > 0, "need at least one client");
+        assert!(self.cell_radius_m > 0.0, "non-positive cell radius");
+        assert!(
+            self.p_available > 0.0 && self.p_available <= 1.0,
+            "availability probability must be in (0, 1]"
+        );
+        self.availability.validate();
+        assert!(
+            (0.0..1.0).contains(&self.p_dropout),
+            "dropout probability must be in [0, 1), got {}",
+            self.p_dropout
+        );
+        assert!(
+            self.cost_range.0 > 0.0 && self.cost_range.0 <= self.cost_range.1,
+            "bad cost range {:?}",
+            self.cost_range
+        );
+        assert!(
+            self.lambda_range.0 > 0.0 && self.lambda_range.0 <= self.lambda_range.1,
+            "bad lambda range {:?}",
+            self.lambda_range
+        );
+        assert!(
+            self.cpu_hz_range.0 > 0.0 && self.cpu_hz_range.0 <= self.cpu_hz_range.1,
+            "bad cpu range {:?}",
+            self.cpu_hz_range
+        );
+        assert!(
+            self.cycles_per_bit_range.0 > 0.0
+                && self.cycles_per_bit_range.0 <= self.cycles_per_bit_range.1,
+            "bad cycles/bit range {:?}",
+            self.cycles_per_bit_range
+        );
+        assert!(self.upload_bits > 0.0, "non-positive upload size");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_section_6_1() {
+        let c = EnvConfig::paper_scale(0);
+        assert_eq!(c.num_clients, 100);
+        assert_eq!(c.cell_radius_m, 500.0);
+        assert_eq!(c.cost_range, (0.1, 12.0));
+        assert_eq!(c.tx_power_dbm, 10.0);
+        assert_eq!(c.cpu_hz_range.1, 2.0e9);
+        assert_eq!(c.cycles_per_bit_range, (10.0, 30.0));
+        c.validate();
+    }
+
+    #[test]
+    fn small_shrinks_but_validates() {
+        let c = EnvConfig::small(5, 1);
+        assert_eq!(c.num_clients, 5);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "availability probability")]
+    fn validate_rejects_zero_availability() {
+        let mut c = EnvConfig::small(3, 0);
+        c.p_available = 0.0;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "bad cost range")]
+    fn validate_rejects_inverted_costs() {
+        let mut c = EnvConfig::small(3, 0);
+        c.cost_range = (5.0, 1.0);
+        c.validate();
+    }
+}

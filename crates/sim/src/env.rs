@@ -1,0 +1,546 @@
+//! [`EdgeEnvironment`] — the facade the experiment runner drives.
+//!
+//! One environment = one federation: a population of clients over a
+//! shared wireless cell, a global train/test dataset pair partitioned
+//! across the clients, and the server's global model. The environment
+//! realizes the paper's stochastic processes deterministically per seed,
+//! so two policies evaluated on the same seed face *identical* client
+//! availability, costs, data arrivals, and channels.
+
+use fedl_data::{Dataset, Partition};
+use fedl_ml::dane::DaneConfig;
+use fedl_ml::metrics;
+use fedl_ml::model::Model;
+use fedl_net::{ChannelModel, ClientRadio, ComputeProfile, LatencyModel};
+
+use crate::client::{ClientProfile, EpochClientView};
+use crate::config::EnvConfig;
+use crate::server::FederatedServer;
+
+/// Outcome of running one epoch (everything FedL's online update needs,
+/// plus bookkeeping for the figures).
+#[derive(Debug, Clone)]
+pub struct EpochReport {
+    /// Epoch index `t`.
+    pub epoch: usize,
+    /// Selected client ids.
+    pub cohort: Vec<usize>,
+    /// Iterations executed (`l_t`).
+    pub iterations: usize,
+    /// Epoch wall-clock latency `d(E_t)` in simulated seconds
+    /// (slowest cohort client × iterations).
+    pub latency_secs: f64,
+    /// Per-iteration latency of each cohort client, same order as
+    /// `cohort`.
+    pub per_client_iter_latency: Vec<f64>,
+    /// Total rental cost charged this epoch.
+    pub cost: f64,
+    /// Max measured local accuracy `η̂_{t,k}` per cohort client over the
+    /// epoch's iterations (eq. (1) takes the max over iterations).
+    pub eta_hats: Vec<f32>,
+    /// Global loss `F_t(w_t^{l_t})` over *all available* clients' epoch
+    /// data (constraint (3d) is stated on all clients).
+    pub global_loss_all: f64,
+    /// Loss over the selected cohort only (`F̃_t`).
+    pub global_loss_selected: f64,
+    /// `J·d_k` per cohort client from the final iteration — the
+    /// first-order coefficients of the `h_t⁰` linearization.
+    pub grad_dot_delta: Vec<f32>,
+    /// Each cohort client's local loss at the last broadcast model
+    /// (Pow-d's selection signal).
+    pub local_losses: Vec<f32>,
+    /// Selected clients that failed mid-epoch (battery death, drop-off;
+    /// see [`crate::config::EnvConfig::p_dropout`]). Their rent was
+    /// paid but they contributed nothing and produced no observations;
+    /// `cohort` holds only the survivors.
+    pub failed: Vec<usize>,
+}
+
+/// A simulated federated edge-learning deployment.
+pub struct EdgeEnvironment {
+    config: EnvConfig,
+    channel: ChannelModel,
+    latency: LatencyModel,
+    clients: Vec<ClientProfile>,
+    train: Dataset,
+    test: Dataset,
+    server: FederatedServer,
+}
+
+impl EdgeEnvironment {
+    /// Builds the environment: partitions `train` across
+    /// `config.num_clients` clients, places them in the cell, and seats
+    /// `model` on the server.
+    pub fn new(
+        config: EnvConfig,
+        train: Dataset,
+        test: Dataset,
+        partition: Partition,
+        model: Box<dyn Model>,
+        dane: DaneConfig,
+    ) -> Self {
+        config.validate();
+        assert_eq!(model.input_dim(), train.dim(), "model/dataset dimension mismatch");
+        let channel = ChannelModel::default();
+        let pools = partition.split(&train, config.num_clients, config.seed);
+        let clients = ClientProfile::build_population(&config, &channel, pools);
+        let latency = LatencyModel {
+            bandwidth_hz: 20e6,
+            noise_dbm_per_hz: -174.0,
+            upload_bits: config.upload_bits,
+            bits_per_sample: train.dim() as f64 * 8.0,
+        };
+        let server = FederatedServer::new(model, dane, config.seed);
+        Self { config, channel, latency, clients, train, test, server }
+    }
+
+    /// The environment configuration.
+    pub fn config(&self) -> &EnvConfig {
+        &self.config
+    }
+
+    /// Number of clients `M`.
+    pub fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// The client profiles.
+    pub fn clients(&self) -> &[ClientProfile] {
+        &self.clients
+    }
+
+    /// Read access to the global model.
+    pub fn model(&self) -> &dyn Model {
+        self.server.model()
+    }
+
+    /// Mutable access to the server (offline comparators roll back the
+    /// model through this).
+    pub fn server_mut(&mut self) -> &mut FederatedServer {
+        &mut self.server
+    }
+
+    /// Everything the time axis does to every client at epoch `t`
+    /// (availability, cost, channel, data volume). Deterministic in the
+    /// environment seed.
+    pub fn views(&self, epoch: usize) -> Vec<EpochClientView> {
+        self.clients
+            .iter()
+            .map(|c| c.epoch_view(epoch, &self.config, &self.channel))
+            .collect()
+    }
+
+    /// Ids of the clients available at epoch `t` (`E_t`).
+    pub fn available(&self, epoch: usize) -> Vec<usize> {
+        self.views(epoch)
+            .into_iter()
+            .filter(|v| v.available)
+            .map(|v| v.id)
+            .collect()
+    }
+
+    /// Realized per-iteration latency `τ^loc + τ^cm` of each listed
+    /// client at epoch `t`, under equal FDMA sharing among exactly those
+    /// clients. Policies use the *previous* epoch's values (0-lookahead);
+    /// the environment also uses this for the current epoch's outcome.
+    pub fn per_iteration_latency(&self, epoch: usize, ids: &[usize]) -> Vec<f64> {
+        let views = self.views(epoch);
+        let radios: Vec<&ClientRadio> = ids.iter().map(|&k| &views[k].radio).collect();
+        let computes: Vec<&ComputeProfile> =
+            ids.iter().map(|&k| &self.clients[k].compute).collect();
+        let samples: Vec<usize> = ids.iter().map(|&k| views[k].data_volume).collect();
+        if self.config.optimal_bandwidth && !ids.is_empty() {
+            let compute_secs: Vec<f64> = computes
+                .iter()
+                .zip(&samples)
+                .map(|(c, &n)| c.local_update_secs(n as f64 * self.latency.bits_per_sample))
+                .collect();
+            let n0 = fedl_net::dbm_to_watts(self.latency.noise_dbm_per_hz);
+            let alloc = fedl_net::min_makespan(
+                &radios,
+                &compute_secs,
+                self.latency.upload_bits,
+                self.latency.bandwidth_hz,
+                n0,
+            )
+            .expect("non-empty cohort");
+            return radios
+                .iter()
+                .zip(&compute_secs)
+                .zip(&alloc.bandwidth_hz)
+                .map(|((r, &t), &b)| {
+                    t + self.latency.upload_bits / fedl_net::rate_bps(r, b, n0)
+                })
+                .collect();
+        }
+        self.latency.per_iteration_secs(&radios, &computes, &samples)
+    }
+
+    /// Per-iteration latency of each listed client at epoch `t` assuming
+    /// a *nominal* FDMA share of `B / share_count` each, independent of
+    /// how many clients are listed. Policies use this as a comparable
+    /// per-client latency estimate (e.g. "how slow would k be in a
+    /// cohort of n?") without coupling the estimates through the
+    /// cohort-size-dependent bandwidth split.
+    pub fn latency_with_share(&self, epoch: usize, ids: &[usize], share_count: usize) -> Vec<f64> {
+        assert!(share_count > 0, "share count must be positive");
+        let views = self.views(epoch);
+        let share_model = LatencyModel {
+            bandwidth_hz: self.latency.bandwidth_hz / share_count as f64,
+            ..self.latency
+        };
+        ids.iter()
+            .map(|&k| {
+                share_model.per_iteration_secs(
+                    &[&views[k].radio],
+                    &[&self.clients[k].compute],
+                    &[views[k].data_volume],
+                )[0]
+            })
+            .collect()
+    }
+
+    /// Runs epoch `t` with the given cohort for `iterations` global
+    /// iterations, mutating the global model, and reports everything the
+    /// online algorithm and the figures consume.
+    ///
+    /// # Panics
+    /// Panics if the cohort is empty or contains an unavailable client —
+    /// selecting an offline client is a policy bug the simulator surfaces
+    /// immediately.
+    pub fn run_epoch(&mut self, epoch: usize, cohort: &[usize], iterations: usize) -> EpochReport {
+        assert!(!cohort.is_empty(), "epoch with empty cohort");
+        assert!(iterations > 0, "epoch needs at least one iteration");
+        let views = self.views(epoch);
+        for &k in cohort {
+            assert!(k < self.clients.len(), "unknown client {k}");
+            assert!(views[k].available, "client {k} is unavailable at epoch {epoch}");
+        }
+        let available: Vec<usize> =
+            views.iter().filter(|v| v.available).map(|v| v.id).collect();
+
+        // Mid-epoch failures: each selected client independently drops
+        // out with probability p_dropout. At least one client survives
+        // (a fully dead epoch would stall the FL process; the last
+        // selected client is deemed to have completed).
+        let full_cohort = cohort;
+        let mut failed = Vec::new();
+        let mut cohort: Vec<usize> = Vec::with_capacity(full_cohort.len());
+        if self.config.p_dropout > 0.0 {
+            use rand::Rng;
+            for &k in full_cohort {
+                let label = (epoch as u64) << 32 | k as u64;
+                let mut rng = fedl_linalg::rng::rng_for(
+                    fedl_linalg::rng::derive_seed(self.config.seed, 0xDEAD),
+                    label,
+                );
+                if rng.gen::<f64>() < self.config.p_dropout {
+                    failed.push(k);
+                } else {
+                    cohort.push(k);
+                }
+            }
+            if cohort.is_empty() {
+                let survivor = failed.pop().expect("non-empty cohort");
+                cohort.push(survivor);
+            }
+        } else {
+            cohort.extend_from_slice(full_cohort);
+        }
+        let cohort = &cohort[..];
+
+        // Materialize each cohort client's epoch working set once.
+        let cohort_data: Vec<(usize, Dataset)> = cohort
+            .iter()
+            .map(|&k| (k, self.clients[k].stream.epoch_dataset(&self.train, epoch)))
+            .collect();
+        let cohort_refs: Vec<(usize, &Dataset)> =
+            cohort_data.iter().map(|(k, d)| (*k, d)).collect();
+
+        let mut eta_max = vec![0.0f32; cohort.len()];
+        let mut last_deltas = Vec::new();
+        let mut local_losses = vec![0.0f32; cohort.len()];
+        for it in 0..iterations {
+            let stats = self.server.run_iteration(
+                &cohort_refs,
+                available.len(),
+                self.config.aggregation,
+                epoch,
+                it,
+            );
+            for (m, &e) in eta_max.iter_mut().zip(&stats.eta_hats) {
+                *m = m.max(e);
+            }
+            if it + 1 == iterations {
+                last_deltas = stats.deltas;
+                local_losses = stats.losses_at_w;
+            }
+        }
+
+        // h_t⁰ linearization coefficients: J · d_k on the final iteration.
+        let j = self.server.j_agg();
+        let grad_dot_delta: Vec<f32> = last_deltas.iter().map(|d| j.dot(d)).collect();
+
+        // Latency and cost are realized from the same epoch views.
+        // Rent is owed for the *full* selection (failures happen after
+        // commitment); time is gated by the surviving stragglers.
+        let per_client_iter_latency = self.per_iteration_latency(epoch, cohort);
+        let latency_secs = per_client_iter_latency.iter().copied().fold(0.0f64, f64::max)
+            * iterations as f64;
+        let cost: f64 = full_cohort.iter().map(|&k| views[k].cost).sum();
+
+        // Global losses at the epoch-final model.
+        let global_loss_selected = weighted_loss(
+            self.server.model(),
+            cohort_data.iter().map(|(_, d)| d),
+        );
+        let all_data: Vec<Dataset> = available
+            .iter()
+            .map(|&k| self.clients[k].stream.epoch_dataset(&self.train, epoch))
+            .collect();
+        let global_loss_all = weighted_loss(self.server.model(), all_data.iter());
+
+        EpochReport {
+            epoch,
+            cohort: cohort.to_vec(),
+            iterations,
+            latency_secs,
+            per_client_iter_latency,
+            cost,
+            eta_hats: eta_max,
+            global_loss_all,
+            global_loss_selected,
+            grad_dot_delta,
+            local_losses,
+            failed,
+        }
+    }
+
+    /// Test-set accuracy of the current global model.
+    pub fn test_accuracy(&self) -> f64 {
+        metrics::accuracy(self.server.model(), &self.test)
+    }
+
+    /// Test-set loss of the current global model.
+    pub fn test_loss(&self) -> f64 {
+        metrics::loss(self.server.model(), &self.test)
+    }
+}
+
+/// Data-volume-weighted loss `Σ θ_k F_k(w)` with `θ_k = D_k / Σ D`
+/// (paper §3.1, "Loss").
+fn weighted_loss<'a>(model: &dyn Model, datasets: impl Iterator<Item = &'a Dataset>) -> f64 {
+    let mut total_samples = 0usize;
+    let mut acc = 0.0f64;
+    for d in datasets {
+        if d.is_empty() {
+            continue;
+        }
+        total_samples += d.len();
+        acc += metrics::loss(model, d) * d.len() as f64;
+    }
+    if total_samples == 0 {
+        0.0
+    } else {
+        acc / total_samples as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedl_data::synth::small_fmnist;
+    use fedl_ml::model::SoftmaxRegression;
+
+    fn env(seed: u64) -> EdgeEnvironment {
+        let (train, test) = small_fmnist(600, 150, seed);
+        let model = SoftmaxRegression::new(train.dim(), train.num_classes, 0.001);
+        let dane = DaneConfig { local_steps: 6, lr: 0.3, ..Default::default() };
+        EdgeEnvironment::new(
+            EnvConfig::small(8, seed),
+            train,
+            test,
+            Partition::Iid,
+            Box::new(model),
+            dane,
+        )
+    }
+
+    #[test]
+    fn construction_and_views() {
+        let e = env(1);
+        assert_eq!(e.num_clients(), 8);
+        let views = e.views(0);
+        assert_eq!(views.len(), 8);
+        let avail = e.available(0);
+        assert!(avail.iter().all(|&k| views[k].available));
+    }
+
+    #[test]
+    fn run_epoch_produces_consistent_report() {
+        let mut e = env(2);
+        let avail = e.available(0);
+        assert!(avail.len() >= 2, "seed should give >=2 available clients");
+        let cohort = &avail[..2];
+        let report = e.run_epoch(0, cohort, 3);
+        assert_eq!(report.cohort, cohort);
+        assert_eq!(report.iterations, 3);
+        assert_eq!(report.per_client_iter_latency.len(), 2);
+        assert_eq!(report.eta_hats.len(), 2);
+        assert_eq!(report.grad_dot_delta.len(), 2);
+        assert!(report.latency_secs > 0.0);
+        assert!(report.cost > 0.0);
+        let max_iter = report
+            .per_client_iter_latency
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max);
+        assert!((report.latency_secs - 3.0 * max_iter).abs() < 1e-9);
+        assert!(report.global_loss_all.is_finite());
+        assert!(report.global_loss_selected.is_finite());
+    }
+
+    #[test]
+    fn training_improves_accuracy_over_epochs() {
+        let mut e = env(3);
+        let before = e.test_accuracy();
+        for t in 0..12 {
+            let avail = e.available(t);
+            if avail.is_empty() {
+                continue;
+            }
+            let cohort: Vec<usize> = avail.iter().copied().take(4).collect();
+            e.run_epoch(t, &cohort, 3);
+        }
+        let after = e.test_accuracy();
+        assert!(
+            after > before + 0.15,
+            "federated training should lift accuracy: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_sample_path() {
+        let a = env(4).views(5);
+        let b = env(4).views(5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.available, y.available);
+            assert_eq!(x.cost, y.cost);
+            assert_eq!(x.data_volume, y.data_volume);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unavailable at epoch")]
+    fn selecting_unavailable_client_panics() {
+        let mut e = env(5);
+        // Find an unavailable client at some epoch.
+        for t in 0..50 {
+            let views = e.views(t);
+            if let Some(v) = views.iter().find(|v| !v.available) {
+                let id = v.id;
+                e.run_epoch(t, &[id], 1);
+                return; // should have panicked
+            }
+        }
+        panic!("unavailable at epoch (fallback: no unavailable client found)");
+    }
+
+    #[test]
+    fn dropout_drops_clients_but_still_charges_them() {
+        let (train, test) = small_fmnist(400, 100, 44);
+        let model = SoftmaxRegression::new(train.dim(), train.num_classes, 0.001);
+        let mut config = EnvConfig::small(8, 44);
+        config.p_dropout = 0.5;
+        let mut e = EdgeEnvironment::new(
+            config,
+            train,
+            test,
+            Partition::Iid,
+            Box::new(model),
+            DaneConfig { local_steps: 3, ..Default::default() },
+        );
+        let mut saw_failure = false;
+        for t in 0..12 {
+            let avail = e.available(t);
+            if avail.len() < 3 {
+                continue;
+            }
+            let views = e.views(t);
+            let cohort = &avail[..3];
+            let expected_cost: f64 = cohort.iter().map(|&k| views[k].cost).sum();
+            let report = e.run_epoch(t, cohort, 2);
+            // Survivors + failures partition the selection.
+            assert_eq!(report.cohort.len() + report.failed.len(), 3);
+            assert!(!report.cohort.is_empty(), "at least one client survives");
+            // Rent is owed for everyone selected.
+            assert!((report.cost - expected_cost).abs() < 1e-9);
+            // Observation vectors align with the survivors only.
+            assert_eq!(report.eta_hats.len(), report.cohort.len());
+            assert_eq!(report.per_client_iter_latency.len(), report.cohort.len());
+            saw_failure |= !report.failed.is_empty();
+        }
+        assert!(saw_failure, "p_dropout=0.5 over 12 epochs must fail someone");
+    }
+
+    #[test]
+    fn optimal_bandwidth_never_slower_than_equal_share() {
+        let (train, test) = small_fmnist(300, 50, 45);
+        let model = SoftmaxRegression::new(train.dim(), train.num_classes, 0.001);
+        let build = |optimal: bool| {
+            let mut config = EnvConfig::small(6, 45);
+            config.optimal_bandwidth = optimal;
+            let m = SoftmaxRegression::new(model.input_dim(), 10, 0.001);
+            EdgeEnvironment::new(
+                config,
+                train.clone(),
+                test.clone(),
+                Partition::Iid,
+                Box::new(m),
+                DaneConfig::default(),
+            )
+        };
+        let equal = build(false);
+        let optimal = build(true);
+        for t in 0..5 {
+            let avail = equal.available(t);
+            if avail.len() < 3 {
+                continue;
+            }
+            let ids = &avail[..3];
+            let slow_eq =
+                equal.per_iteration_latency(t, ids).into_iter().fold(0.0f64, f64::max);
+            let slow_opt =
+                optimal.per_iteration_latency(t, ids).into_iter().fold(0.0f64, f64::max);
+            assert!(
+                slow_opt <= slow_eq * (1.0 + 1e-6),
+                "epoch {t}: optimal {slow_opt} > equal {slow_eq}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_dropout_never_fails_anyone() {
+        let mut e = env(7);
+        for t in 0..6 {
+            let avail = e.available(t);
+            if avail.len() < 2 {
+                continue;
+            }
+            let report = e.run_epoch(t, &avail[..2], 1);
+            assert!(report.failed.is_empty());
+            assert_eq!(report.cohort.len(), 2);
+        }
+    }
+
+    #[test]
+    fn latency_reflects_cohort_size_effects() {
+        let e = env(6);
+        let avail = e.available(0);
+        assert!(avail.len() >= 3);
+        let solo = e.per_iteration_latency(0, &avail[..1]);
+        let many = e.per_iteration_latency(0, &avail.clone());
+        // Same client in a bigger FDMA cohort is never faster.
+        assert!(many[0] >= solo[0]);
+    }
+}

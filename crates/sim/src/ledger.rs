@@ -1,0 +1,129 @@
+//! The long-term budget account (constraint (3a), Alg. 1's `while C ≥ 0`).
+
+use serde::{Deserialize, Serialize};
+
+/// Tracks spending against the long-term budget `C`.
+///
+/// # Examples
+///
+/// ```
+/// use fedl_sim::BudgetLedger;
+///
+/// let mut ledger = BudgetLedger::new(100.0);
+/// ledger.charge(60.0);
+/// assert_eq!(ledger.remaining(), 40.0);
+/// assert!(!ledger.exhausted());
+/// ledger.charge(45.0); // the final epoch may overshoot (Alg. 1)
+/// assert!(ledger.exhausted());
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BudgetLedger {
+    initial: f64,
+    spent: f64,
+    charges: Vec<f64>,
+}
+
+impl BudgetLedger {
+    /// Opens a ledger with budget `C`.
+    ///
+    /// # Panics
+    /// Panics on a non-positive budget.
+    pub fn new(budget: f64) -> Self {
+        assert!(budget > 0.0, "budget must be positive, got {budget}");
+        Self { initial: budget, spent: 0.0, charges: Vec::new() }
+    }
+
+    /// The initial budget `C`.
+    pub fn initial(&self) -> f64 {
+        self.initial
+    }
+
+    /// Total spent so far.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Remaining budget (may go negative if the last cohort overshot —
+    /// that overshoot is exactly what dynamic fit charges).
+    pub fn remaining(&self) -> f64 {
+        self.initial - self.spent
+    }
+
+    /// Records one epoch's cohort payment. Charging is always allowed;
+    /// the *stopping* rule is [`BudgetLedger::exhausted`], mirroring the
+    /// paper's Alg. 1 where the final epoch may spend past zero.
+    ///
+    /// # Panics
+    /// Panics on a negative charge.
+    pub fn charge(&mut self, amount: f64) {
+        assert!(amount >= 0.0, "negative charge {amount}");
+        self.spent += amount;
+        self.charges.push(amount);
+    }
+
+    /// `true` once the budget is gone (FL must stop).
+    pub fn exhausted(&self) -> bool {
+        self.remaining() <= 0.0
+    }
+
+    /// Number of epochs charged so far.
+    pub fn epochs(&self) -> usize {
+        self.charges.len()
+    }
+
+    /// Per-epoch charge history.
+    pub fn history(&self) -> &[f64] {
+        &self.charges
+    }
+
+    /// The paper's bounds on the stopping epoch for budget `C` with at
+    /// least `n` participants per epoch and per-client costs in
+    /// `[min_cost, max_cost]`:
+    /// `C/(n·max_cost) ≤ T_C ≤ C/(n·min_cost)`.
+    pub fn stopping_epoch_bounds(budget: f64, n: usize, min_cost: f64, max_cost: f64) -> (f64, f64) {
+        assert!(n > 0 && min_cost > 0.0 && max_cost >= min_cost, "bad bound inputs");
+        (budget / (n as f64 * max_cost), budget / (n as f64 * min_cost))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_basics() {
+        let mut l = BudgetLedger::new(100.0);
+        assert_eq!(l.remaining(), 100.0);
+        l.charge(30.0);
+        l.charge(50.0);
+        assert_eq!(l.spent(), 80.0);
+        assert_eq!(l.remaining(), 20.0);
+        assert_eq!(l.epochs(), 2);
+        assert!(!l.exhausted());
+        l.charge(25.0);
+        assert!(l.exhausted());
+        assert_eq!(l.remaining(), -5.0);
+        assert_eq!(l.history(), &[30.0, 50.0, 25.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be positive")]
+    fn zero_budget_rejected() {
+        let _ = BudgetLedger::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative charge")]
+    fn negative_charge_rejected() {
+        let mut l = BudgetLedger::new(1.0);
+        l.charge(-0.5);
+    }
+
+    #[test]
+    fn stopping_bounds_match_paper_formula() {
+        let (lo, hi) = BudgetLedger::stopping_epoch_bounds(1200.0, 10, 0.1, 12.0);
+        assert!((lo - 10.0).abs() < 1e-12);
+        assert!((hi - 1200.0).abs() < 1e-12);
+        assert!(lo <= hi);
+    }
+}

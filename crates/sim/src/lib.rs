@@ -1,0 +1,36 @@
+//! Federated edge-learning simulator (paper §3.1 and §6.1).
+//!
+//! This crate is the "testbed": it owns the client population, all the
+//! stochastic processes the paper declares (Bernoulli availability,
+//! uniform rental costs, Poisson data arrival, log-normal shadowing), the
+//! budget ledger, and the federated training loop itself (broadcast →
+//! local DANE solves → aggregation, `l_t` times per epoch). Selection
+//! *policies* live in `fedl-core`; the simulator exposes exactly the
+//! observable information a 0-lookahead online policy is allowed to see
+//! and separately realizes the outcomes.
+//!
+//! Module map:
+//!
+//! * [`config`] — [`EnvConfig`], all §6.1 constants in one place;
+//! * [`client`] — static per-client profiles and per-epoch realizations;
+//! * [`ledger`] — the long-term budget account of constraint (3a);
+//! * [`server`] — model aggregation (`w ← w + Σ d_k / norm`) and the
+//!   aggregated-gradient state `J`;
+//! * [`env`] — [`EdgeEnvironment`], the facade the runner drives;
+//! * [`trace`] — structured per-epoch event logs (selection, payments,
+//!   latency, fairness accounting) with JSONL export.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod config;
+pub mod env;
+pub mod ledger;
+pub mod server;
+pub mod trace;
+
+pub use client::{ClientProfile, EpochClientView};
+pub use config::{AggregationNorm, EnvConfig};
+pub use env::{EdgeEnvironment, EpochReport};
+pub use ledger::BudgetLedger;

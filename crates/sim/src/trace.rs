@@ -1,0 +1,218 @@
+//! Structured event traces of a federated run.
+//!
+//! Long simulations are hard to debug from aggregate curves alone; this
+//! module records a per-epoch event log (selection, payments, latency,
+//! convergence measurements) that can be exported as JSON lines or CSV
+//! and diffed across policy variants.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::env::EpochReport;
+
+/// One epoch's trace entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpochEvent {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Selected client ids.
+    pub cohort: Vec<usize>,
+    /// Iterations run.
+    pub iterations: usize,
+    /// Epoch latency in simulated seconds.
+    pub latency_secs: f64,
+    /// Rental cost paid.
+    pub cost: f64,
+    /// Remaining budget after payment.
+    pub remaining_budget: f64,
+    /// Max observed local accuracy per cohort client.
+    pub eta_hats: Vec<f32>,
+    /// Global loss over all available clients after the epoch.
+    pub global_loss: f64,
+}
+
+/// Append-only run trace.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunTrace {
+    events: Vec<EpochEvent>,
+}
+
+impl RunTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an epoch from its report and the post-payment budget.
+    pub fn record(&mut self, report: &EpochReport, remaining_budget: f64) {
+        self.events.push(EpochEvent {
+            epoch: report.epoch,
+            cohort: report.cohort.clone(),
+            iterations: report.iterations,
+            latency_secs: report.latency_secs,
+            cost: report.cost,
+            remaining_budget,
+            eta_hats: report.eta_hats.clone(),
+            global_loss: report.global_loss_all,
+        });
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[EpochEvent] {
+        &self.events
+    }
+
+    /// Number of recorded epochs.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Per-client selection counts over the whole run (index = client
+    /// id; clients never selected report 0).
+    pub fn selection_counts(&self, num_clients: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; num_clients];
+        for e in &self.events {
+            for &k in &e.cohort {
+                if k < num_clients {
+                    counts[k] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Selection-fairness summary: Jain's fairness index of the
+    /// selection counts, in `(0, 1]` (1 = perfectly even). The paper
+    /// lists fairness as future work; this metric makes the trade-off
+    /// FedL makes observable.
+    pub fn jain_fairness(&self, num_clients: usize) -> f64 {
+        let counts = self.selection_counts(num_clients);
+        let sum: f64 = counts.iter().map(|&c| c as f64).sum();
+        let sum_sq: f64 = counts.iter().map(|&c| (c as f64) * (c as f64)).sum();
+        if sum_sq == 0.0 {
+            return 1.0;
+        }
+        sum * sum / (num_clients as f64 * sum_sq)
+    }
+
+    /// Serializes as JSON lines (one event per line).
+    pub fn to_jsonl(&self) -> String {
+        self.events
+            .iter()
+            .map(|e| serde_json::to_string(e).expect("event serializes"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Parses a JSON-lines trace (inverse of [`RunTrace::to_jsonl`]).
+    pub fn from_jsonl(text: &str) -> Result<Self, serde_json::Error> {
+        let events = text
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(serde_json::from_str)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { events })
+    }
+
+    /// Writes the trace to disk as JSON lines.
+    pub fn write_jsonl(&self, path: &Path) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        fs::write(path, self.to_jsonl())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(epoch: usize, cohort: Vec<usize>) -> EpochReport {
+        let k = cohort.len();
+        EpochReport {
+            epoch,
+            cohort,
+            iterations: 2,
+            latency_secs: 0.5,
+            per_client_iter_latency: vec![0.25; k],
+            cost: k as f64,
+            eta_hats: vec![0.4; k],
+            global_loss_all: 1.5,
+            global_loss_selected: 1.4,
+            grad_dot_delta: vec![-0.1; k],
+            local_losses: vec![1.5; k],
+            failed: vec![],
+        }
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut tr = RunTrace::new();
+        assert!(tr.is_empty());
+        tr.record(&report(0, vec![1, 2]), 90.0);
+        tr.record(&report(1, vec![2, 3]), 80.0);
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.events()[0].epoch, 0);
+        assert_eq!(tr.events()[1].remaining_budget, 80.0);
+    }
+
+    #[test]
+    fn selection_counts_and_fairness() {
+        let mut tr = RunTrace::new();
+        tr.record(&report(0, vec![0, 1]), 1.0);
+        tr.record(&report(1, vec![0, 2]), 1.0);
+        tr.record(&report(2, vec![0, 1]), 1.0);
+        let counts = tr.selection_counts(4);
+        assert_eq!(counts, vec![3, 2, 1, 0]);
+        let fairness = tr.jain_fairness(4);
+        assert!(fairness > 0.0 && fairness < 1.0);
+        // Perfectly even selection -> fairness 1.
+        let mut even = RunTrace::new();
+        even.record(&report(0, vec![0, 1]), 1.0);
+        even.record(&report(1, vec![2, 3]), 1.0);
+        assert!((even.jain_fairness(4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_fairness_is_one() {
+        assert_eq!(RunTrace::new().jain_fairness(5), 1.0);
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let mut tr = RunTrace::new();
+        tr.record(&report(0, vec![0]), 5.0);
+        tr.record(&report(1, vec![1, 2]), 2.5);
+        let text = tr.to_jsonl();
+        assert_eq!(text.lines().count(), 2);
+        let back = RunTrace::from_jsonl(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.events()[1].cohort, vec![1, 2]);
+        assert_eq!(back.events()[1].remaining_budget, 2.5);
+    }
+
+    #[test]
+    fn jsonl_rejects_garbage() {
+        assert!(RunTrace::from_jsonl("not json").is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("fedl_trace_test");
+        let path = dir.join("trace.jsonl");
+        let mut tr = RunTrace::new();
+        tr.record(&report(0, vec![0]), 1.0);
+        tr.write_jsonl(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(RunTrace::from_jsonl(&text).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

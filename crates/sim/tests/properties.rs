@@ -1,0 +1,91 @@
+//! Property-based tests of the simulator: per-epoch realizations stay in
+//! their declared ranges, are deterministic per seed, and the ledger
+//! arithmetic is exact.
+
+use fedl_sim::{BudgetLedger, ClientProfile, EnvConfig};
+use fedl_net::ChannelModel;
+use proptest::prelude::*;
+
+fn population(n: usize, seed: u64) -> (EnvConfig, ChannelModel, Vec<ClientProfile>) {
+    let config = EnvConfig::small(n, seed);
+    let channel = ChannelModel::default();
+    let pools = (0..n).map(|k| vec![k, k + n, k + 2 * n]).collect();
+    let clients = ClientProfile::build_population(&config, &channel, pools);
+    (config, channel, clients)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn epoch_views_in_declared_ranges(
+        n in 1usize..12,
+        seed in 0u64..500,
+        epoch in 0usize..200,
+    ) {
+        let (config, channel, clients) = population(n, seed);
+        for c in &clients {
+            let v = c.epoch_view(epoch, &config, &channel);
+            prop_assert!(v.cost >= config.cost_range.0 && v.cost <= config.cost_range.1);
+            prop_assert!(v.data_volume >= 1);
+            prop_assert!(v.radio.gain > 0.0 && v.radio.gain.is_finite());
+            prop_assert_eq!(v.id, c.id);
+        }
+    }
+
+    #[test]
+    fn views_deterministic_per_seed(n in 1usize..8, seed in 0u64..200, epoch in 0usize..50) {
+        let (config, channel, clients) = population(n, seed);
+        let (config2, channel2, clients2) = population(n, seed);
+        for (a, b) in clients.iter().zip(&clients2) {
+            let va = a.epoch_view(epoch, &config, &channel);
+            let vb = b.epoch_view(epoch, &config2, &channel2);
+            prop_assert_eq!(va.available, vb.available);
+            prop_assert!((va.cost - vb.cost).abs() < 1e-15);
+            prop_assert!((va.radio.gain - vb.radio.gain).abs() < 1e-25);
+            prop_assert_eq!(va.data_volume, vb.data_volume);
+        }
+    }
+
+    #[test]
+    fn ledger_arithmetic_is_exact(charges in proptest::collection::vec(0.0f64..50.0, 0..20)) {
+        let mut ledger = BudgetLedger::new(1000.0);
+        let mut manual = 0.0;
+        for &c in &charges {
+            ledger.charge(c);
+            manual += c;
+        }
+        prop_assert!((ledger.spent() - manual).abs() < 1e-9);
+        prop_assert!((ledger.remaining() - (1000.0 - manual)).abs() < 1e-9);
+        prop_assert_eq!(ledger.epochs(), charges.len());
+        prop_assert_eq!(ledger.exhausted(), manual >= 1000.0);
+    }
+
+    #[test]
+    fn stopping_bounds_ordered(
+        budget in 10.0f64..10_000.0,
+        n in 1usize..50,
+        min_cost in 0.1f64..5.0,
+        spread in 1.0f64..10.0,
+    ) {
+        let max_cost = min_cost * spread;
+        let (lo, hi) = BudgetLedger::stopping_epoch_bounds(budget, n, min_cost, max_cost);
+        prop_assert!(lo <= hi);
+        prop_assert!(lo > 0.0);
+        // The bounds bracket the uniform-cost case.
+        let mid_cost = 0.5 * (min_cost + max_cost);
+        let t_mid = budget / (n as f64 * mid_cost);
+        prop_assert!(lo <= t_mid + 1e-9 && t_mid <= hi + 1e-9);
+    }
+
+    #[test]
+    fn clients_stay_inside_the_cell(n in 1usize..20, seed in 0u64..300) {
+        let (config, _, clients) = population(n, seed);
+        for c in &clients {
+            prop_assert!(c.distance_m <= config.cell_radius_m + 1e-9);
+            prop_assert!(c.distance_m >= 10.0 - 1e-9); // channel min distance
+            prop_assert!(c.compute.cpu_hz >= config.cpu_hz_range.0);
+            prop_assert!(c.compute.cpu_hz <= config.cpu_hz_range.1);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the projection toolkit: the metric identities
+//! every Euclidean projection must satisfy, plus feasibility of composed
+//! sets under arbitrary inputs.
+
+use fedl_solver::{BoxHalfspace, BoxSet, DykstraIntersection, Halfspace, Project};
+use proptest::prelude::*;
+
+fn vec3() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-20.0f64..20.0, 3)
+}
+
+fn fedl_set() -> DykstraIntersection {
+    DykstraIntersection::new(vec![
+        Box::new(BoxSet::unit(3)),
+        Box::new(Halfspace::at_least(vec![1.0, 1.0, 1.0], 1.0)),
+        Box::new(Halfspace::new(vec![2.0, 1.0, 0.5], 3.0)),
+    ])
+}
+
+proptest! {
+    #[test]
+    fn box_projection_idempotent_and_nonexpansive(a in vec3(), b in vec3()) {
+        let set = BoxSet::unit(3);
+        let mut pa = a.clone();
+        let mut pb = b.clone();
+        set.project(&mut pa);
+        set.project(&mut pb);
+        // Idempotent.
+        let mut ppa = pa.clone();
+        set.project(&mut ppa);
+        prop_assert_eq!(&pa, &ppa);
+        // Nonexpansive: ||P(a)-P(b)|| <= ||a-b||.
+        let d_proj = fedl_linalg::dvec::dist(&pa, &pb);
+        let d_orig = fedl_linalg::dvec::dist(&a, &b);
+        prop_assert!(d_proj <= d_orig + 1e-12);
+    }
+
+    #[test]
+    fn halfspace_projection_idempotent_and_nonexpansive(a in vec3(), b in vec3()) {
+        let set = Halfspace::new(vec![1.0, -2.0, 0.5], 1.0);
+        let mut pa = a.clone();
+        let mut pb = b.clone();
+        set.project(&mut pa);
+        set.project(&mut pb);
+        prop_assert!(set.contains(&pa, 1e-9));
+        let mut ppa = pa.clone();
+        set.project(&mut ppa);
+        prop_assert!(fedl_linalg::dvec::dist(&pa, &ppa) < 1e-12);
+        prop_assert!(
+            fedl_linalg::dvec::dist(&pa, &pb) <= fedl_linalg::dvec::dist(&a, &b) + 1e-12
+        );
+    }
+
+    #[test]
+    fn box_halfspace_is_optimal_vs_dykstra(v in vec3()) {
+        // The closed-form bisection projection and the iterative Dykstra
+        // projection must agree on the same two-set geometry.
+        let exact = BoxHalfspace::new(
+            BoxSet::unit(3),
+            Halfspace::new(vec![1.0, 1.0, 1.0], 1.5),
+        );
+        let dyk = DykstraIntersection::new(vec![
+            Box::new(BoxSet::unit(3)),
+            Box::new(Halfspace::new(vec![1.0, 1.0, 1.0], 1.5)),
+        ]);
+        let mut a = v.clone();
+        let mut b = v.clone();
+        exact.project(&mut a);
+        dyk.project(&mut b);
+        prop_assert!(exact.contains(&a, 1e-7), "exact infeasible {:?}", a);
+        prop_assert!(dyk.contains(&b, 1e-6), "dykstra infeasible {:?}", b);
+        prop_assert!(
+            fedl_linalg::dvec::dist(&a, &b) < 1e-4,
+            "exact {:?} vs dykstra {:?}", a, b
+        );
+    }
+
+    #[test]
+    fn composed_fedl_set_always_feasible(v in vec3()) {
+        let set = fedl_set();
+        let mut p = v.clone();
+        set.project(&mut p);
+        prop_assert!(set.contains(&p, 1e-6), "infeasible projection {:?} of {:?}", p, v);
+    }
+
+    #[test]
+    fn projection_no_worse_than_any_feasible_witness(v in vec3(), w in vec3()) {
+        // For the *exact* two-set projection: distance(v, P(v)) must be
+        // <= distance(v, z) for every feasible z; we use a projected
+        // witness z = P(w) as the feasible comparator.
+        let set = BoxHalfspace::new(
+            BoxSet::unit(3),
+            Halfspace::new(vec![1.0, 2.0, 3.0], 2.0),
+        );
+        let mut pv = v.clone();
+        set.project(&mut pv);
+        let mut z = w.clone();
+        set.project(&mut z);
+        let d_opt = fedl_linalg::dvec::dist(&v, &pv);
+        let d_wit = fedl_linalg::dvec::dist(&v, &z);
+        prop_assert!(d_opt <= d_wit + 1e-6, "opt {} vs witness {}", d_opt, d_wit);
+    }
+}

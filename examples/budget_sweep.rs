@@ -1,0 +1,31 @@
+//! Budget-impact sweep (a miniature of the paper's Figs. 6–7): final
+//! global loss as a function of the long-term budget, for FedL and the
+//! baselines.
+//!
+//! The expected shape: the baselines need large budgets before their
+//! loss comes down, while FedL stays low even when money is tight.
+//!
+//! ```bash
+//! cargo run --release --example budget_sweep
+//! ```
+
+use fedl::prelude::*;
+
+fn main() {
+    let budgets = [150.0, 300.0, 600.0, 1200.0];
+    println!(
+        "{:<8} {}",
+        "policy",
+        budgets.iter().map(|b| format!("{:>10}", format!("C={b}"))).collect::<String>()
+    );
+    for kind in [PolicyKind::FedL, PolicyKind::FedCS, PolicyKind::FedAvg, PolicyKind::PowD] {
+        let mut row = format!("{:<8}", kind.label());
+        for &budget in &budgets {
+            let scenario = ScenarioConfig::small_fmnist(25, budget, 4).with_seed(9);
+            let mut runner = ExperimentRunner::new(scenario, kind);
+            let out = runner.run();
+            row.push_str(&format!("{:>10.3}", out.final_loss()));
+        }
+        println!("{row}");
+    }
+}

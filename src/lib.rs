@@ -1,0 +1,58 @@
+//! # FedL — online client selection for federated edge learning under a budget constraint
+//!
+//! A from-scratch Rust reproduction of *"An Online Learning Approach for
+//! Client Selection in Federated Edge Learning under Budget Constraint"*
+//! (Su, Zhou, Wang, Fang, Li — ICPP 2022).
+//!
+//! This facade crate re-exports the workspace so downstream users can
+//! depend on a single crate:
+//!
+//! * [`linalg`] — dense matrix substrate (rayon-parallel GEMM);
+//! * [`solver`] — projection-based convex solver for the online step;
+//! * [`data`] — synthetic FMNIST/CIFAR-like datasets, non-IID partitioning,
+//!   online Poisson streams, IDX/CIFAR binary loaders;
+//! * [`ml`] — models, losses, SGD, and the DANE/FEDL local surrogate;
+//! * [`net`] — the wireless edge-network latency model;
+//! * [`sim`] — client population, availability, costs, budget ledger, and
+//!   the federated epoch loop;
+//! * [`core`] — the FedL online-learning algorithm, RDCS rounding,
+//!   dynamic regret/fit accounting, and the FedAvg/FedCS/Pow-d baselines.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use fedl::prelude::*;
+//!
+//! // A small federated system: 20 clients, budget 400, >=4 per epoch.
+//! let scenario = ScenarioConfig::small_fmnist(20, 400.0, 4).with_seed(7);
+//! let mut runner = ExperimentRunner::new(scenario, PolicyKind::FedL);
+//! let outcome = runner.run();
+//! println!(
+//!     "final accuracy {:.3} after {} epochs and {:.1} simulated seconds",
+//!     outcome.final_accuracy(),
+//!     outcome.epochs.len(),
+//!     outcome.total_sim_time(),
+//! );
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use fedl_core as core;
+pub use fedl_data as data;
+pub use fedl_linalg as linalg;
+pub use fedl_ml as ml;
+pub use fedl_net as net;
+pub use fedl_sim as sim;
+pub use fedl_solver as solver;
+
+/// Commonly used types, re-exported for `use fedl::prelude::*`.
+pub mod prelude {
+    pub use fedl_core::policy::PolicyKind;
+    pub use fedl_core::runner::{ExperimentRunner, RunOutcome, ScenarioConfig};
+    pub use fedl_core::FedLConfig;
+    pub use fedl_data::synth::{SyntheticSpec, TaskKind};
+    pub use fedl_data::Partition;
+    pub use fedl_ml::model::Model;
+    pub use fedl_sim::EdgeEnvironment;
+}

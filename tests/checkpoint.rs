@@ -1,0 +1,123 @@
+//! Integration test of learner-state checkpointing: a restored FedL
+//! policy must continue from exactly the learned estimates and
+//! multipliers of the original.
+
+use fedl::core::fedl::{FedLConfig, FedLPolicy};
+use fedl::core::policy::{EpochContext, SelectionPolicy};
+use fedl::prelude::*;
+use fedl::sim::EdgeEnvironment;
+
+fn context_for(env: &EdgeEnvironment, epoch: usize, budget: f64) -> Option<EpochContext> {
+    let views = env.views(epoch);
+    let available: Vec<usize> = views.iter().filter(|v| v.available).map(|v| v.id).collect();
+    if available.is_empty() {
+        return None;
+    }
+    let hints = env.latency_with_share(epoch.saturating_sub(1), &available, 3);
+    let truth = env.latency_with_share(epoch, &available, 3);
+    Some(EpochContext {
+        epoch,
+        num_clients: env.num_clients(),
+        costs: available.iter().map(|&k| views[k].cost).collect(),
+        data_volumes: available.iter().map(|&k| views[k].data_volume).collect(),
+        latency_hint: hints,
+        loss_hint: vec![2.3; available.len()],
+        true_latency: truth,
+        available,
+        remaining_budget: budget,
+        min_participants: 3,
+        seed: 51,
+    })
+}
+
+/// Drives `policy` for `epochs` federated epochs by hand (keeping
+/// ownership, unlike `ExperimentRunner`, so the state stays inspectable).
+fn drive(policy: &mut FedLPolicy, env: &mut EdgeEnvironment, epochs: usize) {
+    let mut budget = 350.0;
+    for t in 0..epochs {
+        let Some(ctx) = context_for(env, t, budget) else { continue };
+        let mut decision = policy.select(&ctx);
+        decision.cohort.retain(|id| ctx.available.contains(id));
+        if decision.cohort.is_empty() {
+            decision.cohort = ctx.available.iter().copied().take(3).collect();
+        }
+        let report = env.run_epoch(t, &decision.cohort, decision.iterations.clamp(1, 10));
+        budget -= report.cost;
+        policy.observe(&ctx, &report);
+        if budget <= 0.0 {
+            break;
+        }
+    }
+}
+
+#[test]
+fn checkpoint_round_trips_learner_state() {
+    let scenario = ScenarioConfig::small_fmnist(10, 350.0, 3).with_seed(51);
+    let mut env = scenario.build_env();
+    let mut original = FedLPolicy::new(FedLConfig::default(), 10, 350.0, 3);
+    drive(&mut original, &mut env, 12);
+
+    let snapshot = original.checkpoint();
+    assert!(snapshot.contains("mu0"), "snapshot should carry multipliers");
+    let restored = FedLPolicy::restore(&snapshot, 10).expect("valid snapshot");
+
+    // Learned state must match exactly.
+    // JSON round-trips floats to within an ULP (shortest-representation
+    // printing), so compare with a tight relative tolerance.
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-12 * (1.0 + a.abs().max(b.abs()));
+    let (mu0_a, mu_a) = original.learner().multipliers();
+    let (mu0_b, mu_b) = restored.learner().multipliers();
+    assert!(close(mu0_a, mu0_b));
+    assert!(mu_a.iter().zip(mu_b).all(|(&x, &y)| close(x, y)));
+    assert!(mu_a.iter().any(|&m| m > 0.0) || mu0_a > 0.0, "run should have built duals");
+    for k in 0..10 {
+        let a = original.learner().state().stats(k).map(|s| (s.tau, s.eta, s.g, s.last_x));
+        let b = restored.learner().state().stats(k).map(|s| (s.tau, s.eta, s.g, s.last_x));
+        match (a, b) {
+            (None, None) => {}
+            (Some(x), Some(y)) => {
+                assert!(
+                    close(x.0, y.0) && close(x.1, y.1) && close(x.2, y.2) && close(x.3, y.3),
+                    "client {k} state diverged: {x:?} vs {y:?}"
+                );
+            }
+            other => panic!("client {k} presence diverged: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn restored_policy_continues_with_identical_estimates() {
+    // The restored policy's *fractional* decision (pre-rounding state is
+    // what the snapshot carries) must be reproducible: both copies,
+    // given the same context, build the same one-shot problem.
+    let scenario = ScenarioConfig::small_fmnist(10, 350.0, 3).with_seed(52);
+    let mut env = scenario.build_env();
+    let mut original = FedLPolicy::new(FedLConfig::default(), 10, 350.0, 3);
+    drive(&mut original, &mut env, 8);
+    let restored = FedLPolicy::restore(&original.checkpoint(), 10).unwrap();
+    // Compare remembered per-client latency estimates directly.
+    for k in 0..10 {
+        let a = original.learner().state().stats(k).map(|s| s.tau);
+        let b = restored.learner().state().stats(k).map(|s| s.tau);
+        match (a, b) {
+            (None, None) => {}
+            (Some(x), Some(y)) => {
+                assert!((x - y).abs() <= 1e-12 * (1.0 + x.abs()), "{x} vs {y}")
+            }
+            other => panic!("presence diverged: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn restore_rejects_wrong_federation_size() {
+    let policy = FedLPolicy::new(FedLConfig::default(), 6, 100.0, 2);
+    let snapshot = policy.checkpoint();
+    assert!(FedLPolicy::restore(&snapshot, 12).is_err(), "size mismatch must be rejected");
+}
+
+#[test]
+fn restore_rejects_garbage() {
+    assert!(FedLPolicy::restore("not a snapshot", 4).is_err());
+}

@@ -1,0 +1,148 @@
+//! Cross-crate integration tests: full experiment runs through the
+//! public facade, exercising every subsystem together (data synthesis →
+//! partitioning → wireless model → federated training → online
+//! selection → budget accounting).
+
+use fedl::prelude::*;
+
+fn tiny_scenario(kind_seed: u64) -> ScenarioConfig {
+    let mut s = ScenarioConfig::small_fmnist(10, 250.0, 3).with_seed(kind_seed);
+    s.train_size = 800;
+    s.test_size = 200;
+    s.max_epochs = 40;
+    s
+}
+
+#[test]
+fn fedl_full_run_learns_and_respects_budget() {
+    let mut runner = ExperimentRunner::new(tiny_scenario(1), PolicyKind::FedL);
+    let out = runner.run();
+    assert!(!out.epochs.is_empty());
+    let last = out.epochs.last().unwrap();
+    // The run stops once the ledger is exhausted; one epoch of overshoot
+    // is permitted (Alg. 1 pays, then stops).
+    assert!(last.spent >= out.budget || out.epochs.len() == 40);
+    let max_epoch_cost = 12.0 * 10.0; // worst case: every client at max cost
+    assert!(last.spent < out.budget + max_epoch_cost);
+    // Learning happened.
+    assert!(
+        out.final_accuracy() > out.epochs[0].accuracy,
+        "accuracy {} -> {}",
+        out.epochs[0].accuracy,
+        out.final_accuracy()
+    );
+}
+
+#[test]
+fn all_four_policies_run_on_the_same_sample_path() {
+    let outcomes: Vec<RunOutcome> = [
+        PolicyKind::FedL,
+        PolicyKind::FedCS,
+        PolicyKind::FedAvg,
+        PolicyKind::PowD,
+    ]
+    .into_iter()
+    .map(|kind| ExperimentRunner::new(tiny_scenario(2), kind).run())
+    .collect();
+    for out in &outcomes {
+        assert!(!out.epochs.is_empty(), "{} ran no epochs", out.policy);
+        assert!(out.total_sim_time() > 0.0);
+        // Cumulative series are monotone.
+        for w in out.epochs.windows(2) {
+            assert!(w[1].sim_time >= w[0].sim_time, "{}", out.policy);
+            assert!(w[1].spent >= w[0].spent, "{}", out.policy);
+        }
+    }
+    // Distinct policies genuinely behave differently.
+    let final_accs: Vec<f64> = outcomes.iter().map(|o| o.final_accuracy()).collect();
+    assert!(
+        final_accs.windows(2).any(|w| (w[0] - w[1]).abs() > 1e-9),
+        "all policies produced identical outcomes: {final_accs:?}"
+    );
+}
+
+#[test]
+fn runs_are_reproducible_per_seed() {
+    let run = || {
+        let mut runner = ExperimentRunner::new(tiny_scenario(3), PolicyKind::FedL);
+        runner.run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.epochs.len(), b.epochs.len());
+    for (x, y) in a.epochs.iter().zip(&b.epochs) {
+        assert_eq!(x.cohort_size, y.cohort_size);
+        assert_eq!(x.iterations, y.iterations);
+        assert!((x.accuracy - y.accuracy).abs() < 1e-12);
+        assert!((x.sim_time - y.sim_time).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn different_seeds_give_different_runs() {
+    let a = ExperimentRunner::new(tiny_scenario(4), PolicyKind::FedAvg).run();
+    let b = ExperimentRunner::new(tiny_scenario(5), PolicyKind::FedAvg).run();
+    let same = a.epochs.len() == b.epochs.len()
+        && a.epochs
+            .iter()
+            .zip(&b.epochs)
+            .all(|(x, y)| (x.sim_time - y.sim_time).abs() < 1e-12);
+    assert!(!same, "independent seeds produced identical sample paths");
+}
+
+#[test]
+fn non_iid_scenario_runs_end_to_end() {
+    let mut runner =
+        ExperimentRunner::new(tiny_scenario(6).non_iid(), PolicyKind::FedL);
+    let out = runner.run();
+    assert!(!out.epochs.is_empty());
+    assert!(out.final_accuracy() > 0.1, "non-IID run collapsed");
+}
+
+#[test]
+fn fedl_regret_tracker_populated_through_facade() {
+    let scenario = tiny_scenario(7);
+    let env = scenario.build_env();
+    let policy = Box::new(fedl::core::FedLPolicy::new(
+        scenario.fedl,
+        scenario.env.num_clients,
+        scenario.budget,
+        scenario.min_participants,
+    ));
+    let mut runner = ExperimentRunner::with_policy(scenario, env, policy);
+    let out = runner.run();
+    let tracker = runner.policy().regret_tracker().expect("FedL tracks regret");
+    assert_eq!(tracker.epochs(), out.epochs.len());
+    // Fit is non-negative and finite.
+    assert!(tracker.fit().iter().all(|&v| v >= 0.0 && v.is_finite()));
+    assert!(tracker.cumulative_regret().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn budget_scales_run_length() {
+    let short = ExperimentRunner::new(
+        {
+            let mut s = tiny_scenario(8);
+            s.budget = 100.0;
+            s
+        },
+        PolicyKind::FedAvg,
+    )
+    .run();
+    let long = ExperimentRunner::new(
+        {
+            let mut s = tiny_scenario(8);
+            s.budget = 400.0;
+            s.max_epochs = 200;
+            s
+        },
+        PolicyKind::FedAvg,
+    )
+    .run();
+    assert!(
+        long.epochs.len() > short.epochs.len(),
+        "4x budget must buy more epochs: {} vs {}",
+        long.epochs.len(),
+        short.epochs.len()
+    );
+}

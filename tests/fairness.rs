@@ -1,0 +1,55 @@
+//! Integration test of the selection-fairness extension (the paper's
+//! stated future-work direction): a positive fairness weight must spread
+//! selection across clients, measured by Jain's index on the run trace.
+
+use fedl::core::fedl::{FedLConfig, FedLPolicy};
+use fedl::prelude::*;
+
+fn fairness_of(weight: f64) -> (f64, f64) {
+    let scenario = ScenarioConfig::small_fmnist(14, 500.0, 3).with_seed(41);
+    let env = scenario.build_env();
+    let policy = Box::new(FedLPolicy::new(
+        FedLConfig { fairness_weight: weight, ..scenario.fedl },
+        scenario.env.num_clients,
+        scenario.budget,
+        scenario.min_participants,
+    ));
+    let mut runner = ExperimentRunner::with_policy(scenario, env, policy);
+    let outcome = runner.run();
+    (runner.trace().jain_fairness(14), outcome.final_accuracy())
+}
+
+#[test]
+fn fairness_weight_spreads_selection() {
+    let (jain_plain, acc_plain) = fairness_of(0.0);
+    let (jain_fair, acc_fair) = fairness_of(5.0);
+    assert!(
+        jain_fair > jain_plain + 0.02,
+        "fairness weight did not spread selection: {jain_plain:.3} -> {jain_fair:.3}"
+    );
+    // The fair variant must still learn (fairness trades some speed, not
+    // all of it).
+    assert!(
+        acc_fair > acc_plain * 0.6,
+        "fairness collapsed learning: {acc_plain:.3} -> {acc_fair:.3}"
+    );
+}
+
+#[test]
+fn zero_weight_reproduces_plain_fedl() {
+    // fairness_weight = 0 must be bit-identical to the default config.
+    let run = |config: FedLConfig| {
+        let scenario = ScenarioConfig::small_fmnist(10, 300.0, 3).with_seed(43);
+        let env = scenario.build_env();
+        let policy = Box::new(FedLPolicy::new(config, 10, 300.0, 3));
+        let mut runner = ExperimentRunner::with_policy(scenario, env, policy);
+        runner.run()
+    };
+    let a = run(FedLConfig::default());
+    let b = run(FedLConfig { fairness_weight: 0.0, ..FedLConfig::default() });
+    assert_eq!(a.epochs.len(), b.epochs.len());
+    for (x, y) in a.epochs.iter().zip(&b.epochs) {
+        assert_eq!(x.cohort_size, y.cohort_size);
+        assert!((x.accuracy - y.accuracy).abs() < 1e-12);
+    }
+}
