@@ -2,8 +2,7 @@
 //! (selection + local DANE solves + aggregation + accounting) — the unit
 //! of work every figure multiplies by hundreds.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use fedl_bench::timing::{bench, group};
 use fedl_core::policy::PolicyKind;
 use fedl_core::runner::{ExperimentRunner, ScenarioConfig};
 
@@ -15,25 +14,17 @@ fn scenario() -> ScenarioConfig {
     s
 }
 
-fn bench_epochs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("federated_epochs");
-    group.sample_size(10);
+fn bench_epochs() {
+    group("federated_epochs");
     for kind in PolicyKind::ALL {
-        group.bench_with_input(
-            BenchmarkId::new("three_epochs", kind.label()),
-            &kind,
-            |b, &kind| {
-                b.iter(|| {
-                    let mut runner = ExperimentRunner::new(scenario(), kind);
-                    std::hint::black_box(runner.run())
-                });
-            },
-        );
+        bench(&format!("three_epochs/{}", kind.label()), || {
+            let mut runner = ExperimentRunner::new(scenario(), kind);
+            std::hint::black_box(runner.run())
+        });
     }
-    group.finish();
 }
 
-fn bench_local_solve(c: &mut Criterion) {
+fn bench_local_solve() {
     use fedl_data::synth::small_fmnist;
     use fedl_linalg::rng::rng_for;
     use fedl_ml::dane::{local_update, DaneConfig};
@@ -46,13 +37,14 @@ fn bench_local_solve(c: &mut Criterion) {
     let (_, j) = model.loss_and_grad(&x, &y);
     let cfg = DaneConfig::default();
 
-    c.bench_function("dane_local_update_400samples", |b| {
-        let mut rng = rng_for(7, 0);
-        b.iter(|| std::hint::black_box(local_update(&model, &train, &j, &cfg, &mut rng)));
+    group("local_solve");
+    let mut rng = rng_for(7, 0);
+    bench("dane_local_update_400samples", || {
+        std::hint::black_box(local_update(&model, &train, &j, &cfg, &mut rng))
     });
 }
 
-fn bench_cnn_forward_backward(c: &mut Criterion) {
+fn bench_cnn_forward_backward() {
     use fedl_linalg::rng::rng_for;
     use fedl_linalg::Matrix;
     use fedl_ml::model::{Cnn, ConvBlockSpec, MapShape, Model};
@@ -71,10 +63,14 @@ fn bench_cnn_forward_backward(c: &mut Criterion) {
     for r in 0..32 {
         y.set(r, r % 10, 1.0);
     }
-    c.bench_function("cnn_loss_and_grad_batch32", |b| {
-        b.iter(|| std::hint::black_box(cnn.loss_and_grad(&x, &y)));
+    group("cnn");
+    bench("cnn_loss_and_grad_batch32", || {
+        std::hint::black_box(cnn.loss_and_grad(&x, &y))
     });
 }
 
-criterion_group!(benches, bench_epochs, bench_local_solve, bench_cnn_forward_backward);
-criterion_main!(benches);
+fn main() {
+    bench_epochs();
+    bench_local_solve();
+    bench_cnn_forward_backward();
+}

@@ -2,48 +2,40 @@
 //! the training loop actually uses (batch × weights and the fused
 //! transpose kernels of backprop).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
+use fedl_bench::timing::{bench, bench_throughput, group};
 use fedl_linalg::rng::rng_for;
 use fedl_linalg::Matrix;
 
-fn bench_gemm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gemm");
+fn bench_gemm() {
+    group("gemm");
     for &n in &[32usize, 128, 256] {
         let mut rng = rng_for(1, n as u64);
         let a = Matrix::uniform(n, n, 1.0, &mut rng);
         let b = Matrix::uniform(n, n, 1.0, &mut rng);
-        group.throughput(Throughput::Elements((n * n * n) as u64));
-        group.bench_with_input(BenchmarkId::new("square", n), &n, |bench, _| {
-            bench.iter(|| std::hint::black_box(a.matmul(&b)));
+        bench_throughput(&format!("square/{n}"), (n * n * n) as u64, || {
+            std::hint::black_box(a.matmul(&b))
         });
     }
-    group.finish();
 }
 
-fn bench_training_shapes(c: &mut Criterion) {
+fn bench_training_shapes() {
     // batch 32 x dim 128 against dim 128 x hidden 96: one forward layer.
     let mut rng = rng_for(2, 0);
     let x = Matrix::uniform(32, 128, 1.0, &mut rng);
     let w = Matrix::uniform(128, 96, 0.1, &mut rng);
     let delta = Matrix::uniform(32, 96, 0.1, &mut rng);
 
-    let mut group = c.benchmark_group("training_shapes");
-    group.bench_function("forward_32x128x96", |b| {
-        b.iter(|| std::hint::black_box(x.matmul(&w)));
+    group("training_shapes");
+    bench("forward_32x128x96", || std::hint::black_box(x.matmul(&w)));
+    bench("backprop_t_matmul", || std::hint::black_box(x.t_matmul(&delta)));
+    // delta (32x96) x Wᵀ (96x128): the upstream-gradient product.
+    bench("backprop_matmul_t", || std::hint::black_box(delta.matmul_t(&w)));
+    bench("softmax_rows", || {
+        std::hint::black_box(fedl_linalg::ops::softmax_rows(&delta))
     });
-    group.bench_function("backprop_t_matmul", |b| {
-        b.iter(|| std::hint::black_box(x.t_matmul(&delta)));
-    });
-    group.bench_function("backprop_matmul_t", |b| {
-        // delta (32x96) x Wᵀ (96x128): the upstream-gradient product.
-        b.iter(|| std::hint::black_box(delta.matmul_t(&w)));
-    });
-    group.bench_function("softmax_rows", |b| {
-        b.iter(|| std::hint::black_box(fedl_linalg::ops::softmax_rows(&delta)));
-    });
-    group.finish();
 }
 
-criterion_group!(benches, bench_gemm, bench_training_shapes);
-criterion_main!(benches);
+fn main() {
+    bench_gemm();
+    bench_training_shapes();
+}

@@ -1,51 +1,43 @@
 //! Microbenchmarks of the online rounding algorithms (RDCS vs
 //! independent) across cohort sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use fedl_bench::timing::{bench, group};
 use fedl_core::rounding;
-use fedl_linalg::rng::rng_for;
-use rand::Rng;
+use fedl_linalg::rng::{rng_for, Rng};
 
-fn bench_rounding(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rounding");
+fn bench_rounding() {
+    group("rounding");
     for &k in &[10usize, 100, 1000] {
         let mut seed_rng = rng_for(11, k as u64);
-        let x0: Vec<f64> = (0..k).map(|_| seed_rng.gen::<f64>()).collect();
-        group.bench_with_input(BenchmarkId::new("rdcs", k), &k, |b, _| {
-            let mut rng = rng_for(12, k as u64);
-            b.iter(|| {
-                let mut x = x0.clone();
-                std::hint::black_box(rounding::rdcs(&mut x, &mut rng))
-            });
+        let x0: Vec<f64> = (0..k).map(|_| seed_rng.next_f64()).collect();
+        let mut rng = rng_for(12, k as u64);
+        bench(&format!("rdcs/{k}"), || {
+            let mut x = x0.clone();
+            std::hint::black_box(rounding::rdcs(&mut x, &mut rng))
         });
-        group.bench_with_input(BenchmarkId::new("independent", k), &k, |b, _| {
-            let mut rng = rng_for(13, k as u64);
-            b.iter(|| {
-                let mut x = x0.clone();
-                std::hint::black_box(rounding::independent(&mut x, &mut rng))
-            });
+        let mut rng = rng_for(13, k as u64);
+        bench(&format!("independent/{k}"), || {
+            let mut x = x0.clone();
+            std::hint::black_box(rounding::independent(&mut x, &mut rng))
         });
     }
-    group.finish();
 }
 
-fn bench_repair(c: &mut Criterion) {
-    let mut group = c.benchmark_group("repair");
+fn bench_repair() {
+    group("repair");
     for &k in &[10usize, 100, 1000] {
         let mut rng = rng_for(14, k as u64);
         let costs: Vec<f64> = (0..k).map(|_| rng.gen_range(0.1..12.0)).collect();
-        let selected: Vec<usize> = (0..k).filter(|_| rng.gen::<bool>()).collect();
-        group.bench_with_input(BenchmarkId::new("repair", k), &k, |b, _| {
-            b.iter(|| {
-                let mut sel = selected.clone();
-                rounding::repair(&mut sel, &costs, k / 10 + 1, k as f64);
-                std::hint::black_box(sel)
-            });
+        let selected: Vec<usize> = (0..k).filter(|_| rng.gen_bool(0.5)).collect();
+        bench(&format!("repair/{k}"), || {
+            let mut sel = selected.clone();
+            rounding::repair(&mut sel, &costs, k / 10 + 1, k as f64);
+            std::hint::black_box(sel)
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_rounding, bench_repair);
-criterion_main!(benches);
+fn main() {
+    bench_rounding();
+    bench_repair();
+}

@@ -1,12 +1,10 @@
 //! Microbenchmarks of the projection toolkit and the one-shot descent
 //! step at realistic problem sizes (K ≈ number of available clients).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use fedl_bench::timing::{bench, group};
 use fedl_core::objective::{FracDecision, OneShot};
-use fedl_linalg::rng::rng_for;
+use fedl_linalg::rng::{rng_for, Rng};
 use fedl_solver::{BoxHalfspace, BoxSet, DykstraIntersection, Halfspace, Project};
-use rand::Rng;
 
 fn problem(k: usize, seed: u64) -> OneShot {
     let mut rng = rng_for(seed, k as u64);
@@ -25,8 +23,8 @@ fn problem(k: usize, seed: u64) -> OneShot {
     }
 }
 
-fn bench_projections(c: &mut Criterion) {
-    let mut group = c.benchmark_group("projection");
+fn bench_projections() {
+    group("projection");
     for &k in &[16usize, 64, 128] {
         let exact = BoxHalfspace::new(
             BoxSet::unit(k),
@@ -39,40 +37,35 @@ fn bench_projections(c: &mut Criterion) {
         ]);
         let mut rng = rng_for(3, k as u64);
         let v: Vec<f64> = (0..k).map(|_| rng.gen_range(-1.0..2.0)).collect();
-        group.bench_with_input(BenchmarkId::new("box_halfspace_exact", k), &k, |b, _| {
-            b.iter(|| {
-                let mut x = v.clone();
-                exact.project(&mut x);
-                std::hint::black_box(x)
-            });
+        bench(&format!("box_halfspace_exact/{k}"), || {
+            let mut x = v.clone();
+            exact.project(&mut x);
+            std::hint::black_box(x)
         });
-        group.bench_with_input(BenchmarkId::new("dykstra_3set", k), &k, |b, _| {
-            b.iter(|| {
-                let mut x = v.clone();
-                dyk.project(&mut x);
-                std::hint::black_box(x)
-            });
+        bench(&format!("dykstra_3set/{k}"), || {
+            let mut x = v.clone();
+            dyk.project(&mut x);
+            std::hint::black_box(x)
         });
     }
-    group.finish();
 }
 
-fn bench_descent(c: &mut Criterion) {
-    let mut group = c.benchmark_group("one_shot_descent");
-    group.sample_size(20);
+fn bench_descent() {
+    group("one_shot_descent");
     for &k in &[20usize, 80] {
         let p = problem(k, 7);
         let anchor = FracDecision { x: vec![0.2; k], rho: 2.0 };
         let mu = vec![0.5; k + 1];
-        group.bench_with_input(BenchmarkId::new("descend", k), &k, |b, _| {
-            b.iter(|| std::hint::black_box(p.descend(&anchor, &mu, 0.3)));
+        bench(&format!("descend/{k}"), || {
+            std::hint::black_box(p.descend(&anchor, &mu, 0.3))
         });
-        group.bench_with_input(BenchmarkId::new("hindsight", k), &k, |b, _| {
-            b.iter(|| std::hint::black_box(fedl_core::regret::hindsight_optimum(&p)));
+        bench(&format!("hindsight/{k}"), || {
+            std::hint::black_box(fedl_core::regret::hindsight_optimum(&p))
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_projections, bench_descent);
-criterion_main!(benches);
+fn main() {
+    bench_projections();
+    bench_descent();
+}

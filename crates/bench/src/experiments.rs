@@ -376,7 +376,7 @@ pub fn replication_study(profile: Profile) {
 
 /// Extension study: equal-share FDMA (the simulator default, implied by
 /// the paper) vs the min-makespan joint allocation of the paper's
-/// reference [24].
+/// reference \[24\].
 pub fn bandwidth_study(profile: Profile) {
     println!("\n── Extension: FDMA bandwidth allocation ──");
     println!(

@@ -1,10 +1,9 @@
 //! Running the experiment matrix.
 
-use rayon::prelude::*;
-
 use fedl_core::policy::PolicyKind;
 use fedl_core::runner::{ExperimentRunner, RunOutcome, ScenarioConfig};
 use fedl_data::synth::TaskKind;
+use fedl_linalg::par::par_map;
 
 use crate::profile::Profile;
 
@@ -46,13 +45,10 @@ pub fn run_policy_matrix(
     budget: f64,
     seed: u64,
 ) -> Vec<CellResult> {
-    PolicyKind::ALL
-        .par_iter()
-        .map(|&policy| {
-            let scenario = profile.scenario(task, iid, budget, seed);
-            run_cell(scenario, Cell { task, iid, policy, budget })
-        })
-        .collect()
+    par_map(&PolicyKind::ALL, |&policy| {
+        let scenario = profile.scenario(task, iid, budget, seed);
+        run_cell(scenario, Cell { task, iid, policy, budget })
+    })
 }
 
 /// Runs the full budget grid for `(task, iid)` across all policies.
@@ -67,13 +63,10 @@ pub fn run_budget_sweep(
         .iter()
         .flat_map(|&b| PolicyKind::ALL.iter().map(move |&p| (b, p)))
         .collect();
-    cells
-        .par_iter()
-        .map(|&(budget, policy)| {
-            let scenario = profile.scenario(task, iid, budget, seed);
-            run_cell(scenario, Cell { task, iid, policy, budget })
-        })
-        .collect()
+    par_map(&cells, |&(budget, policy)| {
+        let scenario = profile.scenario(task, iid, budget, seed);
+        run_cell(scenario, Cell { task, iid, policy, budget })
+    })
 }
 
 /// Mean and sample standard deviation of one metric across replications.
@@ -131,10 +124,8 @@ pub fn run_replicated(
     accuracy_target: f64,
 ) -> Vec<ReplicationSummary> {
     assert!(!seeds.is_empty(), "need at least one seed");
-    let all: Vec<Vec<CellResult>> = seeds
-        .par_iter()
-        .map(|&seed| run_policy_matrix(profile, task, iid, budget, seed))
-        .collect();
+    let all: Vec<Vec<CellResult>> =
+        par_map(seeds, |&seed| run_policy_matrix(profile, task, iid, budget, seed));
     PolicyKind::ALL
         .iter()
         .map(|&policy| {

@@ -13,9 +13,13 @@
 //!   latency oracle, fairness, bandwidth allocation, dropout,
 //!   multi-seed replication);
 //! * [`plot`] — terminal (ASCII) curve rendering of the figure panels;
-//! * [`cli`] — the `experiments` binary's argument grammar.
+//! * [`cli`] — the `experiments` binary's argument grammar;
+//! * [`timing`] — the measured-iterations micro-benchmark harness used
+//!   by the `benches/` targets (offline replacement for criterion).
 //!
 //! The `experiments` binary is a thin CLI over [`experiments`].
+//!
+//! System-inventory row **S9** in DESIGN.md §1.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -26,3 +30,4 @@ pub mod harness;
 pub mod plot;
 pub mod profile;
 pub mod report;
+pub mod timing;

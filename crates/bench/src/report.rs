@@ -40,30 +40,30 @@ pub fn write_series_csv(path: &Path, results: &[CellResult]) -> io::Result<()> {
     fs::write(path, out)
 }
 
-/// Writes the raw outcomes as JSON for downstream tooling.
+/// Writes the raw outcomes as JSON for downstream tooling. The layout
+/// (entry fields, 2-space pretty-printing) matches what the original
+/// serde_json pipeline emitted, so existing result files stay readable
+/// by the same consumers.
 pub fn write_json(path: &Path, results: &[CellResult]) -> io::Result<()> {
-    #[derive(serde::Serialize)]
-    struct Entry<'a> {
-        policy: &'a str,
-        task: String,
-        iid: bool,
-        budget: f64,
-        outcome: &'a fedl_core::runner::RunOutcome,
-    }
-    let entries: Vec<Entry> = results
-        .iter()
-        .map(|r| Entry {
-            policy: &r.outcome.policy,
-            task: format!("{:?}", r.cell.task),
-            iid: r.cell.iid,
-            budget: r.cell.budget,
-            outcome: &r.outcome,
-        })
-        .collect();
+    use fedl_json::{obj, ToJson, Value};
+    let entries = Value::Arr(
+        results
+            .iter()
+            .map(|r| {
+                obj(vec![
+                    ("policy", r.outcome.policy.to_json_value()),
+                    ("task", format!("{:?}", r.cell.task).to_json_value()),
+                    ("iid", r.cell.iid.to_json_value()),
+                    ("budget", r.cell.budget.to_json_value()),
+                    ("outcome", r.outcome.to_json_value()),
+                ])
+            })
+            .collect(),
+    );
     if let Some(dir) = path.parent() {
         fs::create_dir_all(dir)?;
     }
-    fs::write(path, serde_json::to_string_pretty(&entries)?)
+    fs::write(path, entries.to_json_pretty())
 }
 
 /// Accuracy each policy had reached by `time` simulated seconds

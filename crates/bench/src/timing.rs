@@ -1,0 +1,126 @@
+//! A minimal measured-iterations benchmark harness — the offline,
+//! zero-dependency replacement for criterion.
+//!
+//! Each benchmark closure is warmed up, calibrated to a fixed wall-clock
+//! budget, then timed over several samples of many iterations; the
+//! median per-iteration time (and the best sample, as a noise floor) is
+//! printed in a fixed-width table. Usage from a `harness = false` bench
+//! target:
+//!
+//! ```no_run
+//! use fedl_bench::timing::{bench, group};
+//!
+//! group("gemm");
+//! bench("square/32", || 2 + 2);
+//! ```
+//!
+//! Set `FEDL_BENCH_FAST=1` to shrink the measurement budget (useful for
+//! smoke-testing that every bench target still runs).
+
+use std::time::{Duration, Instant};
+
+/// Number of timed samples per benchmark.
+const SAMPLES: usize = 5;
+
+fn target_budget() -> Duration {
+    if std::env::var_os("FEDL_BENCH_FAST").is_some() {
+        Duration::from_millis(50)
+    } else {
+        Duration::from_millis(400)
+    }
+}
+
+/// Prints a group header (visual separator between benchmark families).
+pub fn group(name: &str) {
+    println!("\n── {name} ──");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Times `f` and prints one table row: median per-iteration time over
+/// a handful of samples, plus the fastest sample as the noise floor.
+pub fn bench<R>(label: &str, mut f: impl FnMut() -> R) {
+    let budget = target_budget();
+    // Warm-up (fills caches, triggers lazy initialization).
+    for _ in 0..2 {
+        std::hint::black_box(f());
+    }
+    // Calibrate: double the batch size until one batch is long enough to
+    // time reliably, then size batches to fit the per-sample budget.
+    let mut iters: u64 = 1;
+    let per_iter_ns = loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= Duration::from_millis(10) || iters >= 1 << 24 {
+            break (elapsed.as_nanos().max(1) as f64 / iters as f64).max(1.0);
+        }
+        iters *= 2;
+    };
+    let sample_budget_ns = budget.as_nanos() as f64 / SAMPLES as f64;
+    let iters = ((sample_budget_ns / per_iter_ns) as u64).max(1);
+
+    let mut times: Vec<f64> = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        times.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = times[times.len() / 2];
+    let best = times[0];
+    println!(
+        "{label:<44} {:>12}/iter   (best {:>12}, {iters}×{SAMPLES} iters)",
+        fmt_ns(median),
+        fmt_ns(best)
+    );
+}
+
+/// Times `f` with a per-iteration element count and prints throughput
+/// next to the latency (the criterion `Throughput::Elements` analogue).
+pub fn bench_throughput<R>(label: &str, elements: u64, mut f: impl FnMut() -> R) {
+    let start = Instant::now();
+    std::hint::black_box(f());
+    let one = start.elapsed().as_nanos().max(1) as f64;
+    let rate = elements as f64 / (one / 1e9);
+    bench(&format!("{label} [{:.2} Melem/s]", rate / 1e6), f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(12.3), "12.3 ns");
+        assert_eq!(fmt_ns(12_300.0), "12.30 µs");
+        assert_eq!(fmt_ns(12_300_000.0), "12.30 ms");
+        assert_eq!(fmt_ns(2_000_000_000.0), "2.000 s");
+    }
+
+    #[test]
+    fn bench_runs_closure() {
+        // Smoke: the harness itself must not panic on a trivial closure.
+        std::env::set_var("FEDL_BENCH_FAST", "1");
+        let mut count = 0u64;
+        bench("unit/trivial", || {
+            count += 1;
+            count
+        });
+        assert!(count > 0);
+    }
+}

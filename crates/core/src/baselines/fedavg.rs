@@ -1,10 +1,6 @@
 //! FedAvg-style random selection (McMahan et al. [19]).
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-
-use fedl_linalg::rng::derive_seed;
+use fedl_linalg::rng::{derive_seed, SliceRandom, Xoshiro256pp};
 
 use crate::policy::{EpochContext, SelectionDecision, SelectionPolicy};
 
@@ -13,13 +9,13 @@ use super::BASELINE_ITERATIONS;
 /// Uniformly random cohort of size `n` per epoch, constant iteration
 /// count — the original FL selection rule.
 pub struct FedAvgPolicy {
-    rng: StdRng,
+    rng: Xoshiro256pp,
 }
 
 impl FedAvgPolicy {
     /// Creates the policy.
     pub fn new() -> Self {
-        Self { rng: StdRng::seed_from_u64(derive_seed(0xFEDA, 0)) }
+        Self { rng: Xoshiro256pp::seed_from_u64(derive_seed(0xFEDA, 0)) }
     }
 }
 

@@ -1,5 +1,5 @@
 //! The three comparison policies of the paper's §6.1:
-//! FedAvg [19], FedCS [21], and Pow-d [5].
+//! FedAvg \[19\], FedCS \[21\], and Pow-d \[5\].
 //!
 //! All three run online with the same 0-lookahead information FedL gets;
 //! none of them learns from history beyond what its published selection

@@ -4,11 +4,7 @@
 //! `n` candidates with the largest (last known) local losses — biasing
 //! toward clients whose data the current model fits worst.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-
-use fedl_linalg::rng::derive_seed;
+use fedl_linalg::rng::{derive_seed, SliceRandom, Xoshiro256pp};
 use fedl_sim::EpochReport;
 
 use crate::policy::{EpochContext, SelectionDecision, SelectionPolicy};
@@ -19,7 +15,7 @@ use super::BASELINE_ITERATIONS;
 pub struct PowDPolicy {
     /// Candidate multiplier: `d = factor·n` candidates are sampled.
     factor: usize,
-    rng: StdRng,
+    rng: Xoshiro256pp,
     /// Last observed local loss per client id (None = never seen).
     last_loss: Vec<Option<f64>>,
 }
@@ -30,7 +26,7 @@ impl PowDPolicy {
         assert!(factor >= 1, "candidate factor must be at least 1");
         Self {
             factor,
-            rng: StdRng::seed_from_u64(derive_seed(0x90D, 0)),
+            rng: Xoshiro256pp::seed_from_u64(derive_seed(0x90D, 0)),
             last_loss: Vec::new(),
         }
     }

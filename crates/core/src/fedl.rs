@@ -2,10 +2,7 @@
 //! (Alg. 2) + feasibility repair, behind the common
 //! [`crate::policy::SelectionPolicy`] interface.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-use fedl_linalg::rng::derive_seed;
+use fedl_linalg::rng::{derive_seed, Xoshiro256pp};
 use fedl_sim::EpochReport;
 
 use crate::objective::{FracDecision, OneShot};
@@ -64,7 +61,7 @@ impl Default for FedLConfig {
 pub struct FedLPolicy {
     learner: OnlineLearner,
     tracker: RegretTracker,
-    rng: StdRng,
+    rng: Xoshiro256pp,
     independent_rounding: bool,
     /// `(problem, fractional decision)` awaiting the epoch's outcome.
     pending: Option<(OneShot, FracDecision)>,
@@ -102,7 +99,7 @@ impl FedLPolicy {
         Self {
             learner,
             tracker: RegretTracker::new(num_clients),
-            rng: StdRng::seed_from_u64(derive_seed(0xFED1, num_clients as u64)),
+            rng: Xoshiro256pp::seed_from_u64(derive_seed(0xFED1, num_clients as u64)),
             independent_rounding: config.independent_rounding,
             pending: None,
         }
@@ -132,10 +129,10 @@ impl FedLPolicy {
     pub fn restore(
         snapshot: &str,
         num_clients: usize,
-    ) -> Result<Self, serde_json::Error> {
+    ) -> Result<Self, fedl_json::Error> {
         let learner = OnlineLearner::from_json(snapshot)?;
         if learner.state().len() != num_clients {
-            return Err(serde::de::Error::custom(format!(
+            return Err(fedl_json::Error::msg(format!(
                 "checkpoint is for {} clients, not {num_clients}",
                 learner.state().len()
             )));
@@ -143,7 +140,7 @@ impl FedLPolicy {
         Ok(Self {
             learner,
             tracker: RegretTracker::new(num_clients),
-            rng: StdRng::seed_from_u64(derive_seed(0xFED1, num_clients as u64)),
+            rng: Xoshiro256pp::seed_from_u64(derive_seed(0xFED1, num_clients as u64)),
             independent_rounding: false,
             pending: None,
         })

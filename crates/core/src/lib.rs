@@ -24,6 +24,9 @@
 //! the three comparison policies (FedAvg, FedCS, Pow-d), and [`runner`]
 //! the experiment loop that drives any [`policy::SelectionPolicy`]
 //! against a [`fedl_sim::EdgeEnvironment`] until the budget is gone.
+//!
+//! System-inventory rows **S7** (FedL core) and **S8** (baselines) in
+//! DESIGN.md §1.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -5,10 +5,11 @@
 use crate::objective::{FracDecision, OneShot};
 use crate::policy::EpochContext;
 use crate::state::LearnerState;
+use fedl_json::{obj, read_field, FromJson, ToJson, Value};
 use fedl_sim::EpochReport;
 
 /// Step sizes β (primal) and δ (dual).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StepSizes {
     /// Primal (proximal) step size β.
     pub beta: f64,
@@ -34,12 +35,27 @@ impl StepSizes {
     }
 }
 
+impl ToJson for StepSizes {
+    fn to_json_value(&self) -> Value {
+        obj(vec![
+            ("beta", self.beta.to_json_value()),
+            ("delta", self.delta.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for StepSizes {
+    fn from_json_value(v: &Value) -> Result<Self, fedl_json::Error> {
+        Ok(Self { beta: read_field(v, "beta")?, delta: read_field(v, "delta")? })
+    }
+}
+
 /// State of the online learner: per-client observation memory plus the
 /// Lagrange multipliers `μ = [μ⁰, μ¹ … μ^M]` (μ⁰ for the global
 /// convergence constraint (3d), μ^k for each client's local constraint
 /// (3c); a client's multiplier persists across the epochs in which it is
 /// unavailable).
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OnlineLearner {
     state: LearnerState,
     mu0: f64,
@@ -89,12 +105,30 @@ impl OnlineLearner {
     /// Serializes the complete learner state (per-client memory,
     /// multipliers, step sizes) for checkpointing a long FL campaign.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("learner state serializes")
+        obj(vec![
+            ("state", self.state.to_json_value()),
+            ("mu0", self.mu0.to_json_value()),
+            ("mu", self.mu.to_json_value()),
+            ("steps", self.steps.to_json_value()),
+            ("theta", self.theta.to_json_value()),
+            ("rho_max", self.rho_max.to_json_value()),
+            ("fairness_weight", self.fairness_weight.to_json_value()),
+        ])
+        .to_json()
     }
 
     /// Restores a learner from a [`OnlineLearner::to_json`] snapshot.
-    pub fn from_json(snapshot: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(snapshot)
+    pub fn from_json(snapshot: &str) -> Result<Self, fedl_json::Error> {
+        let v = Value::parse(snapshot)?;
+        Ok(Self {
+            state: read_field(&v, "state")?,
+            mu0: read_field(&v, "mu0")?,
+            mu: read_field(&v, "mu")?,
+            steps: read_field(&v, "steps")?,
+            theta: read_field(&v, "theta")?,
+            rho_max: read_field(&v, "rho_max")?,
+            fairness_weight: read_field(&v, "fairness_weight")?,
+        })
     }
 
     /// Current multipliers `(μ⁰, μ^k)` — exposed for the boundedness

@@ -97,11 +97,11 @@ pub trait SelectionPolicy: Send {
 pub enum PolicyKind {
     /// The paper's contribution (online learning + RDCS).
     FedL,
-    /// Random selection (McMahan et al. [19]).
+    /// Random selection (McMahan et al. \[19\]).
     FedAvg,
-    /// Deadline-constrained maximal selection (Nishio & Yonetani [21]).
+    /// Deadline-constrained maximal selection (Nishio & Yonetani \[21\]).
     FedCS,
-    /// Power-of-choice by local loss (Cho et al. [5]).
+    /// Power-of-choice by local loss (Cho et al. \[5\]).
     PowD,
     /// Latency oracle: sees the current epoch's realized latencies
     /// (1-lookahead) and picks the `n` fastest clients — the hindsight

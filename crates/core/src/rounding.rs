@@ -2,7 +2,7 @@
 //! RDCS (paper Alg. 2) plus the independent-rounding baseline and the
 //! feasibility repair pass.
 
-use rand::Rng;
+use fedl_linalg::rng::Rng;
 
 /// Tolerance below/above which a coordinate counts as integral.
 const INT_TOL: f64 = 1e-9;
@@ -28,9 +28,8 @@ fn is_fractional(v: f64) -> bool {
 ///
 /// ```
 /// use fedl_core::rounding::rdcs;
-/// use rand::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut rng = fedl_linalg::rng::Xoshiro256pp::seed_from_u64(7);
 /// // Fractional mass sums to 2: exactly two clients get selected.
 /// let mut x = vec![0.5, 0.5, 0.5, 0.5];
 /// let selected = rdcs(&mut x, &mut rng);

@@ -7,11 +7,13 @@
 //! coefficient g = J·d) plus the last fractional decision (the proximal
 //! anchor Φ_t of eq. (8)).
 
+use fedl_json::{obj, read_field, FromJson, ToJson, Value};
+
 /// EMA smoothing factor: weight of the newest observation.
 const EMA_ALPHA: f64 = 0.5;
 
 /// Observation memory for one client.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ClientStats {
     /// Smoothed per-iteration latency estimate (seconds).
     pub tau: f64,
@@ -56,13 +58,37 @@ impl ClientStats {
     }
 }
 
+impl ToJson for ClientStats {
+    fn to_json_value(&self) -> Value {
+        obj(vec![
+            ("tau", self.tau.to_json_value()),
+            ("eta", self.eta.to_json_value()),
+            ("g", self.g.to_json_value()),
+            ("last_x", self.last_x.to_json_value()),
+            ("observations", self.observations.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for ClientStats {
+    fn from_json_value(v: &Value) -> Result<Self, fedl_json::Error> {
+        Ok(Self {
+            tau: read_field(v, "tau")?,
+            eta: read_field(v, "eta")?,
+            g: read_field(v, "g")?,
+            last_x: read_field(v, "last_x")?,
+            observations: read_field(v, "observations")?,
+        })
+    }
+}
+
 #[inline]
 fn ema(old: f64, new: f64) -> f64 {
     (1.0 - EMA_ALPHA) * old + EMA_ALPHA * new
 }
 
 /// The whole federation's observation memory, indexed by client id.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LearnerState {
     clients: Vec<Option<ClientStats>>,
     /// Anchor prior for never-observed clients.
@@ -105,6 +131,28 @@ impl LearnerState {
     /// Read-only stats for client `k` if ever touched.
     pub fn stats(&self, k: usize) -> Option<&ClientStats> {
         self.clients.get(k).and_then(Option::as_ref)
+    }
+}
+
+impl ToJson for LearnerState {
+    fn to_json_value(&self) -> Value {
+        obj(vec![
+            ("clients", self.clients.to_json_value()),
+            ("prior_x", self.prior_x.to_json_value()),
+            ("last_global_loss", self.last_global_loss.to_json_value()),
+            ("last_rho", self.last_rho.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for LearnerState {
+    fn from_json_value(v: &Value) -> Result<Self, fedl_json::Error> {
+        Ok(Self {
+            clients: read_field(v, "clients")?,
+            prior_x: read_field(v, "prior_x")?,
+            last_global_loss: read_field(v, "last_global_loss")?,
+            last_rho: read_field(v, "last_rho")?,
+        })
     }
 }
 

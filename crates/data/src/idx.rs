@@ -11,8 +11,6 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-use bytes::{Buf, BufMut};
-
 use fedl_linalg::Matrix;
 
 use crate::Dataset;
@@ -67,14 +65,12 @@ impl IdxTensor {
 const U8_DTYPE: u8 = 0x08;
 
 /// Parses an IDX payload from bytes.
-pub fn parse(mut buf: &[u8]) -> Result<IdxTensor, IdxError> {
+pub fn parse(buf: &[u8]) -> Result<IdxTensor, IdxError> {
     if buf.len() < 4 {
         return Err(IdxError::Malformed("shorter than magic".into()));
     }
-    let zero0 = buf.get_u8();
-    let zero1 = buf.get_u8();
-    let dtype = buf.get_u8();
-    let ndims = buf.get_u8() as usize;
+    let (zero0, zero1, dtype, ndims) = (buf[0], buf[1], buf[2], buf[3] as usize);
+    let mut buf = &buf[4..];
     if zero0 != 0 || zero1 != 0 {
         return Err(IdxError::Malformed("magic must start with two zero bytes".into()));
     }
@@ -90,7 +86,8 @@ pub fn parse(mut buf: &[u8]) -> Result<IdxTensor, IdxError> {
     let mut dims = Vec::with_capacity(ndims);
     let mut total: usize = 1;
     for _ in 0..ndims {
-        let d = buf.get_u32();
+        let d = u32::from_be_bytes(buf[..4].try_into().expect("length checked above"));
+        buf = &buf[4..];
         total = total
             .checked_mul(d as usize)
             .ok_or_else(|| IdxError::Malformed("dimension product overflow".into()))?;
@@ -109,12 +106,9 @@ pub fn parse(mut buf: &[u8]) -> Result<IdxTensor, IdxError> {
 /// Serializes a tensor back into IDX bytes (inverse of [`parse`]).
 pub fn serialize(t: &IdxTensor) -> Vec<u8> {
     let mut out = Vec::with_capacity(4 + 4 * t.dims.len() + t.data.len());
-    out.put_u8(0);
-    out.put_u8(0);
-    out.put_u8(U8_DTYPE);
-    out.put_u8(t.dims.len() as u8);
+    out.extend_from_slice(&[0, 0, U8_DTYPE, t.dims.len() as u8]);
     for &d in &t.dims {
-        out.put_u32(d);
+        out.extend_from_slice(&d.to_be_bytes());
     }
     out.extend_from_slice(&t.data);
     out

@@ -20,6 +20,8 @@
 //! * [`idx`] / [`cifar`] — parsers and writers for the real on-disk
 //!   formats (IDX for FMNIST, CIFAR-10 binary batches), so the harness
 //!   runs on the genuine datasets when the files are present.
+//!
+//! System-inventory row **S3** in DESIGN.md §1.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -1,9 +1,6 @@
 //! Splitting a dataset across federated clients, IID or non-IID.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
-
-use fedl_linalg::rng::rng_for;
+use fedl_linalg::rng::{rng_for, Rng, SliceRandom};
 
 use crate::Dataset;
 
@@ -53,7 +50,7 @@ impl Partition {
     /// Every sample index appears in exactly one pool for [`Partition::Iid`]
     /// and [`Partition::Shards`]; `PrincipalMix` samples with replacement
     /// (clients may share samples), matching "randomly select the
-    /// remaining data from another [dataset]".
+    /// remaining data from another \[dataset\]".
     ///
     /// # Panics
     /// Panics if `num_clients == 0` or the dataset is empty.
@@ -125,8 +122,8 @@ impl Partition {
                 // For each class, split its samples across clients with
                 // proportions ~ Dir(alpha): draw Gamma(alpha, 1) per
                 // client and normalize.
-                use rand_distr::{Distribution, Gamma};
-                let gamma = Gamma::new(alpha, 1.0).expect("validated alpha");
+                use fedl_linalg::rng::{Distribution, Gamma};
+                let gamma = Gamma::new(alpha, 1.0);
                 let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); dataset.num_classes];
                 for (i, &l) in dataset.labels.iter().enumerate() {
                     by_class[l].push(i);

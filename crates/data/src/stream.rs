@@ -6,10 +6,7 @@
 //! makes the data volumes `D_{t,k}` — and hence the computation latencies
 //! — time-varying and unpredictable for the selector.
 
-use rand::Rng;
-use rand_distr::{Distribution, Poisson};
-
-use fedl_linalg::rng::rng_for;
+use fedl_linalg::rng::{rng_for, Distribution, Poisson, Rng};
 
 use crate::Dataset;
 
@@ -57,7 +54,7 @@ impl OnlineStream {
     /// identical inputs.
     pub fn arrivals(&self, epoch: usize) -> Vec<usize> {
         let mut rng = rng_for(self.seed, 0x57EA ^ (epoch as u64));
-        let poisson = Poisson::new(self.lambda).expect("validated rate");
+        let poisson = Poisson::new(self.lambda);
         let count = (poisson.sample(&mut rng) as usize).clamp(1, self.max_batch);
         (0..count).map(|_| self.pool[rng.gen_range(0..self.pool.len())]).collect()
     }

@@ -14,10 +14,8 @@
 //! task, mirroring CIFAR-10's difficulty in the paper (Figs. 3/5
 //! plateau lower than Figs. 2/4).
 
-use rand::Rng;
-use rand_distr::{Distribution, Normal};
-
-use fedl_linalg::{rng::rng_for, Matrix};
+use fedl_linalg::rng::{rng_for, Distribution, Normal, Rng};
+use fedl_linalg::Matrix;
 
 use crate::Dataset;
 
@@ -130,7 +128,7 @@ impl SyntheticSpec {
         let classes = templates.len();
         let modes = self.task.modes();
         let mut rng = rng_for(self.seed, 0xDA7A ^ (label << 8));
-        let noise = Normal::new(0.0f32, self.task.noise_std()).expect("valid std");
+        let noise = Normal::new(0.0, self.task.noise_std() as f64);
         let leak = self.task.leak();
 
         let mut features = Matrix::zeros(n, dim);
@@ -153,7 +151,7 @@ impl SyntheticSpec {
             for (j, val) in row.iter_mut().enumerate() {
                 let raw = (1.0 - leak) * templates[c][v][j]
                     + leak * templates[other][ov][j]
-                    + noise.sample(&mut rng);
+                    + noise.sample(&mut rng) as f32;
                 *val = raw.clamp(0.0, 1.0);
             }
             labels.push(c);

@@ -1,51 +1,63 @@
-//! Property-based tests for the data substrate: format round-trips and
-//! partition invariants under arbitrary inputs.
+//! Property-style tests for the data substrate: format round-trips and
+//! partition invariants, driven by seeded RNG loops (the offline
+//! replacement for proptest — every case derives from a fixed seed).
 
 use fedl_data::synth::{SyntheticSpec, TaskKind};
 use fedl_data::{cifar, idx, Partition};
-use proptest::prelude::*;
+use fedl_linalg::rng::{rng_for, Rng};
 
-proptest! {
-    #[test]
-    fn idx_round_trips_arbitrary_tensors(
-        dims in proptest::collection::vec(1u32..6, 1..4),
-        fill in any::<u8>(),
-    ) {
+const CASES: u64 = 48;
+
+#[test]
+fn idx_round_trips_arbitrary_tensors() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed, 0x1D);
+        let ndims = rng.gen_range(1..4usize);
+        let dims: Vec<u32> = (0..ndims).map(|_| rng.gen_range(1..6u32)).collect();
+        let fill = (rng.next_u64() & 0xFF) as u8;
         let total: usize = dims.iter().map(|&d| d as usize).product();
         let t = idx::IdxTensor { dims: dims.clone(), data: vec![fill; total] };
         let bytes = idx::serialize(&t);
         let back = idx::parse(&bytes).unwrap();
-        prop_assert_eq!(t, back);
+        assert_eq!(t, back);
     }
+}
 
-    #[test]
-    fn idx_rejects_any_truncation(cut in 1usize..20) {
-        let t = idx::IdxTensor { dims: vec![2, 3], data: (0..6).collect() };
-        let mut bytes = idx::serialize(&t);
-        let cut = cut.min(bytes.len() - 1);
-        bytes.truncate(bytes.len() - cut);
-        prop_assert!(idx::parse(&bytes).is_err());
+#[test]
+fn idx_rejects_any_truncation() {
+    let t = idx::IdxTensor { dims: vec![2, 3], data: (0..6).collect() };
+    let full = idx::serialize(&t);
+    for cut in 1..full.len() {
+        let mut bytes = full.clone();
+        bytes.truncate(full.len() - cut);
+        assert!(idx::parse(&bytes).is_err(), "truncation by {cut} must fail");
     }
+}
 
-    #[test]
-    fn cifar_round_trips(labels in proptest::collection::vec(0u8..10, 1..5)) {
+#[test]
+fn cifar_round_trips() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed, 0xC1F);
+        let n = rng.gen_range(1..5usize);
+        let labels: Vec<u8> = (0..n).map(|_| rng.gen_range(0..10u32) as u8).collect();
         let recs: Vec<(u8, Vec<u8>)> = labels
             .iter()
             .map(|&l| (l, vec![l.wrapping_mul(25); cifar::IMAGE_BYTES]))
             .collect();
         let bytes = cifar::serialize(&recs).unwrap();
         let ds = cifar::parse(&bytes).unwrap();
-        prop_assert_eq!(ds.len(), labels.len());
+        assert_eq!(ds.len(), labels.len());
         let parsed: Vec<u8> = ds.labels.iter().map(|&l| l as u8).collect();
-        prop_assert_eq!(parsed, labels);
+        assert_eq!(parsed, labels);
     }
+}
 
-    #[test]
-    fn iid_partition_is_exact_cover(
-        clients in 1usize..12,
-        n in 20usize..80,
-        seed in 0u64..100,
-    ) {
+#[test]
+fn iid_partition_is_exact_cover() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed, 0x11D);
+        let clients = rng.gen_range(1..12usize);
+        let n = rng.gen_range(20..80usize);
         let (train, _) = SyntheticSpec::new(TaskKind::FmnistLike, n, 1, seed)
             .with_dim(4)
             .generate();
@@ -53,38 +65,40 @@ proptest! {
         let mut all: Vec<usize> = pools.iter().flatten().copied().collect();
         all.sort_unstable();
         let expect: Vec<usize> = (0..n).collect();
-        prop_assert_eq!(all, expect);
+        assert_eq!(all, expect);
     }
+}
 
-    #[test]
-    fn principal_mix_pools_have_requested_size(
-        clients in 1usize..8,
-        frac in 0.1f64..1.0,
-        seed in 0u64..50,
-    ) {
+#[test]
+fn principal_mix_pools_have_requested_size() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed, 0x913);
+        let clients = rng.gen_range(1..8usize);
+        let frac = rng.gen_range(0.1f64..1.0);
         let (train, _) = SyntheticSpec::new(TaskKind::FmnistLike, 120, 1, seed)
             .with_dim(4)
             .generate();
-        let pools = Partition::PrincipalMix { principal_frac: frac }
-            .split(&train, clients, seed);
+        let pools =
+            Partition::PrincipalMix { principal_frac: frac }.split(&train, clients, seed);
         let per_client = 120 / clients;
         for pool in &pools {
-            prop_assert_eq!(pool.len(), per_client);
-            prop_assert!(pool.iter().all(|&i| i < train.len()));
+            assert_eq!(pool.len(), per_client);
+            assert!(pool.iter().all(|&i| i < train.len()));
         }
     }
+}
 
-    #[test]
-    fn streams_are_deterministic_and_in_range(
-        lambda in 1.0f64..30.0,
-        seed in 0u64..100,
-        epoch in 0usize..200,
-    ) {
+#[test]
+fn streams_are_deterministic_and_in_range() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed, 0x57E);
+        let lambda = rng.gen_range(1.0f64..30.0);
+        let epoch = rng.gen_range(0..200usize);
         let stream = fedl_data::stream::OnlineStream::new((0..40).collect(), lambda, seed);
         let a = stream.arrivals(epoch);
         let b = stream.arrivals(epoch);
-        prop_assert_eq!(&a, &b);
-        prop_assert!(!a.is_empty());
-        prop_assert!(a.iter().all(|&i| i < 40));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.iter().all(|&i| i < 40));
     }
 }

@@ -1,20 +1,20 @@
-//! Rayon-parallel GEMM kernels.
+//! Thread-parallel GEMM kernels.
 //!
 //! The training substrate's hot loop is `batch × weights` products. The
 //! kernel here is a classic row-parallel, k-outer "axpy" formulation that
 //! vectorizes well: for each output row we accumulate `a[r][k] * b[k][..]`
 //! into the row, which walks both `b` and the output contiguously (unit
 //! stride), avoiding the column gather of a naive inner-product GEMM.
-//! Rows are distributed across the rayon pool above a size threshold;
-//! small products stay sequential to avoid fork-join overhead.
+//! Rows are distributed across the [`crate::par`] scoped thread team
+//! above a size threshold; small products stay sequential to avoid
+//! fork-join overhead.
 
-use rayon::prelude::*;
-
+use crate::par;
 use crate::Matrix;
 
 /// Below this many multiply-adds the parallel dispatch costs more than it
-/// saves, so the kernel runs sequentially. Chosen by the `linalg` Criterion
-/// bench on an 8-core box; correctness does not depend on it.
+/// saves, so the kernel runs sequentially. Chosen by the `linalg` bench
+/// on an 8-core box; correctness does not depend on it.
 const PAR_THRESHOLD_FLOPS: usize = 64 * 64 * 64;
 
 #[inline]
@@ -49,10 +49,13 @@ impl Matrix {
         let cols = rhs.cols().max(1);
         if flops >= PAR_THRESHOLD_FLOPS {
             let a_cols = self.cols().max(1);
-            out.as_mut_slice()
-                .par_chunks_exact_mut(cols)
-                .zip(self.as_slice().par_chunks_exact(a_cols))
-                .for_each(|(out_row, a_row)| matmul_row(a_row, rhs, out_row));
+            par::par_zip_chunks(
+                out.as_mut_slice(),
+                cols,
+                self.as_slice(),
+                a_cols,
+                |_, out_row, a_row| matmul_row(a_row, rhs, out_row),
+            );
         } else {
             for (out_row, a_row) in out
                 .as_mut_slice()
@@ -108,21 +111,24 @@ impl Matrix {
         let mut out = Matrix::zeros(self.rows(), rhs.rows());
         let flops = self.rows() * self.cols() * rhs.rows();
         let out_cols = rhs.rows().max(1);
-        let body = |(out_row, a_row): (&mut [f32], &[f32])| {
+        let body = |out_row: &mut [f32], a_row: &[f32]| {
             for (j, b_row) in rhs.row_iter().enumerate() {
                 out_row[j] = a_row.iter().zip(b_row).map(|(x, y)| x * y).sum();
             }
         };
         if flops >= PAR_THRESHOLD_FLOPS {
-            out.as_mut_slice()
-                .par_chunks_exact_mut(out_cols)
-                .zip(self.as_slice().par_chunks_exact(self.cols().max(1)))
-                .for_each(body);
+            par::par_zip_chunks(
+                out.as_mut_slice(),
+                out_cols,
+                self.as_slice(),
+                self.cols().max(1),
+                |_, out_row, a_row| body(out_row, a_row),
+            );
         } else {
             out.as_mut_slice()
                 .chunks_exact_mut(out_cols)
                 .zip(self.as_slice().chunks_exact(self.cols().max(1)))
-                .for_each(body);
+                .for_each(|(out_row, a_row)| body(out_row, a_row));
         }
         out
     }

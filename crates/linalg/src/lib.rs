@@ -1,20 +1,28 @@
-//! Dense linear algebra substrate for the FedL reproduction.
+//! Dense linear algebra and zero-dependency substrate for the FedL
+//! reproduction (paper §5.1 "local training" compute model and every
+//! stochastic component of §6's experiment setup sit on this crate).
 //!
 //! The federated-learning training loop in the paper runs real gradient
 //! descent on per-client datasets, so the reproduction needs a small but
 //! fast dense-matrix layer. This crate provides:
 //!
-//! * [`Matrix`] — a row-major `f32` matrix with rayon-parallel GEMM,
+//! * [`Matrix`] — a row-major `f32` matrix with thread-parallel GEMM,
 //!   element-wise kernels, and row/column reductions, sized for the
 //!   batch-times-weights products that dominate model training.
 //! * [`dvec`] — `f64` vector helpers used by the convex-optimization side
 //!   (the online decision problem is tiny but needs double precision).
-//! * [`rng`] — deterministic seeding utilities so every experiment in the
-//!   harness is reproducible from a single seed.
+//! * [`rng`] — a from-scratch xoshiro256++ generator, distribution
+//!   samplers, and deterministic seed derivation so every experiment in
+//!   the harness is reproducible from a single seed.
+//! * [`par`] — scoped-thread data-parallel primitives (the workspace's
+//!   rayon replacement).
 //!
-//! Everything is implemented from scratch (no BLAS, no ndarray) per the
-//! reproduction ground rules; the GEMM kernel blocks over rows and uses
-//! rayon's work stealing to scale across cores.
+//! Everything is implemented from scratch (no BLAS, no ndarray, no
+//! registry crates at all) per the reproduction's hermetic-build ground
+//! rules (`docs/BUILD.md`); the GEMM kernel splits rows contiguously
+//! across a scoped thread team.
+//!
+//! System-inventory row **S1** in DESIGN.md §1.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -23,6 +31,7 @@ pub mod dvec;
 mod gemm;
 mod matrix;
 pub mod ops;
+pub mod par;
 pub mod rng;
 
 pub use matrix::Matrix;

@@ -3,8 +3,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// A dense, row-major `f32` matrix.
 ///
 /// This is the workhorse type of the training substrate: model weights,
@@ -27,7 +25,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(a.transpose().get(0, 1), 3.0);
 /// assert_eq!(a.row(1), &[3.0, 4.0]);
 /// ```
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,

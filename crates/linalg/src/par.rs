@@ -1,0 +1,188 @@
+//! Minimal data-parallel primitives over `std::thread::scope`.
+//!
+//! A from-scratch replacement for the rayon call sites in this workspace
+//! (GEMM row loops, per-client local solves, replication fan-out). The
+//! work shapes here are coarse and regular — a few dozen to a few
+//! thousand equally sized items — so static contiguous splitting across
+//! a scoped thread team matches work stealing in practice while keeping
+//! the substrate dependency-free.
+//!
+//! All entry points fall back to the serial path when the input is small
+//! or only one hardware thread is available, so callers never pay
+//! fork-join overhead on tiny inputs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Thread-team size: `FEDL_THREADS` when set to a positive integer,
+/// otherwise [`std::thread::available_parallelism`].
+pub fn max_threads() -> usize {
+    static CACHED: AtomicUsize = AtomicUsize::new(0);
+    let cached = CACHED.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = std::env::var("FEDL_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    CACHED.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Splits `len` items into at most `teams` contiguous index ranges of
+/// near-equal size (first ranges get the remainder).
+fn split_ranges(len: usize, teams: usize) -> Vec<std::ops::Range<usize>> {
+    let teams = teams.min(len).max(1);
+    let base = len / teams;
+    let extra = len % teams;
+    let mut ranges = Vec::with_capacity(teams);
+    let mut start = 0;
+    for t in 0..teams {
+        let size = base + usize::from(t < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+/// Maps `f` over `items` in parallel, preserving order.
+///
+/// Equivalent to `items.iter().map(f).collect()` but with the items
+/// statically split across a scoped thread team. `f` runs exactly once
+/// per item; panics propagate to the caller.
+pub fn par_map<T: Sync, U: Send, F: Fn(&T) -> U + Sync>(items: &[T], f: F) -> Vec<U> {
+    let threads = max_threads();
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let ranges = split_ranges(items.len(), threads);
+    let f = &f;
+    let mut chunks: Vec<Vec<U>> = Vec::with_capacity(ranges.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| scope.spawn(move || items[range].iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for h in handles {
+            chunks.push(h.join().expect("par_map worker panicked"));
+        }
+    });
+    chunks.into_iter().flatten().collect()
+}
+
+/// Runs `f(i, out_chunk, in_chunk)` for every aligned pair of the `i`-th
+/// `out_chunk`-sized slice of `out` and `in_chunk`-sized slice of
+/// `input`, in parallel.
+///
+/// This is the GEMM row loop: `out` is split into disjoint row slices
+/// (so each worker gets exclusive `&mut` access to its rows), `input`
+/// into the matching read-only slices. Trailing elements that do not
+/// fill a complete chunk are ignored, matching
+/// `chunks_exact_mut`/`chunks_exact` semantics.
+///
+/// # Panics
+/// Panics if either chunk size is zero.
+pub fn par_zip_chunks<F>(out: &mut [f32], out_chunk: usize, input: &[f32], in_chunk: usize, f: F)
+where
+    F: Fn(usize, &mut [f32], &[f32]) + Sync,
+{
+    assert!(out_chunk > 0 && in_chunk > 0, "chunk sizes must be positive");
+    let pairs = (out.len() / out_chunk).min(input.len() / in_chunk);
+    let threads = max_threads();
+    if threads <= 1 || pairs <= 1 {
+        for (i, (o, inp)) in
+            out.chunks_exact_mut(out_chunk).zip(input.chunks_exact(in_chunk)).enumerate()
+        {
+            f(i, o, inp);
+        }
+        return;
+    }
+    let ranges = split_ranges(pairs, threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let mut consumed = 0usize;
+        for range in ranges {
+            let rows = range.len();
+            let (mine, tail) = rest.split_at_mut(rows * out_chunk);
+            rest = tail;
+            let in_slice = &input[range.start * in_chunk..range.end * in_chunk];
+            let first = consumed;
+            scope.spawn(move || {
+                for (j, (o, inp)) in
+                    mine.chunks_exact_mut(out_chunk).zip(in_slice.chunks_exact(in_chunk)).enumerate()
+                {
+                    f(first + j, o, inp);
+                }
+            });
+            consumed += rows;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order_and_values() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_uneven_split() {
+        // A length that does not divide evenly by any typical team size.
+        let items: Vec<usize> = (0..1013).collect();
+        let out = par_map(&items, |&x| x + 1);
+        assert_eq!(out.len(), 1013);
+        assert_eq!(out[0], 1);
+        assert_eq!(out[1012], 1013);
+    }
+
+    #[test]
+    fn par_zip_chunks_matches_serial() {
+        let rows = 37;
+        let out_chunk = 5;
+        let in_chunk = 3;
+        let input: Vec<f32> = (0..rows * in_chunk).map(|i| i as f32).collect();
+        let mut par_out = vec![0.0f32; rows * out_chunk];
+        let mut ser_out = vec![0.0f32; rows * out_chunk];
+        let body = |i: usize, o: &mut [f32], inp: &[f32]| {
+            for (j, slot) in o.iter_mut().enumerate() {
+                *slot = inp.iter().sum::<f32>() + (i * j) as f32;
+            }
+        };
+        par_zip_chunks(&mut par_out, out_chunk, &input, in_chunk, body);
+        for (i, (o, inp)) in
+            ser_out.chunks_exact_mut(out_chunk).zip(input.chunks_exact(in_chunk)).enumerate()
+        {
+            body(i, o, inp);
+        }
+        assert_eq!(par_out, ser_out);
+    }
+
+    #[test]
+    fn split_ranges_cover_everything_in_order() {
+        for len in [0usize, 1, 7, 16, 1000] {
+            for teams in [1usize, 2, 3, 8, 64] {
+                let ranges = split_ranges(len, teams);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    next = r.end;
+                }
+                assert_eq!(next, len);
+            }
+        }
+    }
+}

@@ -1,15 +1,35 @@
-//! Deterministic seeding utilities.
+//! Self-contained deterministic random-number substrate.
 //!
 //! Every stochastic component in the reproduction (dataset synthesis,
 //! client placement, availability draws, SGD batching, RDCS rounding)
 //! derives its RNG from one experiment seed through [`derive_seed`], so a
 //! whole figure is reproducible from a single `u64` while streams for
 //! different purposes stay statistically independent.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The module is a from-scratch replacement for the `rand`/`rand_distr`
+//! crates so the workspace builds offline with zero registry
+//! dependencies. It provides:
+//!
+//! * [`Xoshiro256pp`] — the xoshiro256++ generator (Blackman & Vigna),
+//!   seeded through a SplitMix64 expansion of a single `u64`;
+//! * the [`Rng`] trait — `next_u64`, [`Rng::gen`], [`Rng::gen_range`],
+//!   [`Rng::gen_bool`] — plus [`SliceRandom`] for `shuffle`/`choose`;
+//! * [`Distribution`] samplers: [`Normal`] (Box–Muller), [`Poisson`]
+//!   (Knuth product method with splitting for large rates),
+//!   [`Bernoulli`], [`Exponential`] (inversion), and [`Gamma`]
+//!   (Marsaglia–Tsang squeeze) for Dirichlet partitioning.
+//!
+//! Determinism contract: for a fixed crate version, a fixed seed produces
+//! the same stream on every platform (only integer ops and IEEE-754
+//! double arithmetic are used). The `derive_seed` mix is pinned by a
+//! regression test and must never change — it is the root of every
+//! experiment's reproducibility story.
 
 use crate::Matrix;
+
+// ---------------------------------------------------------------------------
+// Seed derivation
+// ---------------------------------------------------------------------------
 
 /// Derives an independent child seed from `(root, label)`.
 ///
@@ -24,10 +44,528 @@ pub fn derive_seed(root: u64, label: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// A `StdRng` seeded from `(root, label)` via [`derive_seed`].
-pub fn rng_for(root: u64, label: u64) -> StdRng {
-    StdRng::seed_from_u64(derive_seed(root, label))
+/// One step of the SplitMix64 sequence generator (state advance + mix),
+/// used to expand a single `u64` into the 256-bit xoshiro state.
+#[inline]
+fn splitmix64_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
+
+/// A [`Xoshiro256pp`] seeded from `(root, label)` via [`derive_seed`].
+pub fn rng_for(root: u64, label: u64) -> Xoshiro256pp {
+    Xoshiro256pp::seed_from_u64(derive_seed(root, label))
+}
+
+// ---------------------------------------------------------------------------
+// Generator core
+// ---------------------------------------------------------------------------
+
+/// The xoshiro256++ pseudo-random generator (Blackman & Vigna, 2019).
+///
+/// 256 bits of state, period `2^256 − 1`, passes BigCrush, and needs only
+/// xor/shift/rotate/add — fast everywhere and trivially portable. This is
+/// the single generator used by the whole workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Seeds the 256-bit state by running SplitMix64 from `seed`, the
+    /// expansion the xoshiro authors recommend (never yields the
+    /// all-zero state).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64_next(&mut sm),
+            splitmix64_next(&mut sm),
+            splitmix64_next(&mut sm),
+            splitmix64_next(&mut sm),
+        ];
+        Self { s }
+    }
+
+    /// Next raw 64-bit output (the `++` scrambler).
+    #[inline]
+    pub fn next_raw(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl Rng for Xoshiro256pp {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.next_raw()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The Rng trait
+// ---------------------------------------------------------------------------
+
+/// Minimal random-generator interface: one required method
+/// (`next_u64`), everything else derived from it.
+pub trait Rng {
+    /// Next uniformly distributed 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform `f64` in `[0, 1)` with 53 random mantissa bits.
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)` with 24 random mantissa bits.
+    #[inline]
+    fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// A uniformly random value of a primitive type (`f32`, `f64` in
+    /// `[0, 1)`; `bool` fair coin; full-range unsigned integers).
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::gen_from(self)
+    }
+
+    /// A uniform draw from `range` (`a..b` or `a..=b`; integer and float
+    /// endpoints).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    #[inline]
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types [`Rng::gen`] can produce uniformly without extra parameters.
+pub trait Standard: Sized {
+    /// Draws one uniform value from `rng`.
+    fn gen_from<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn gen_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_f64()
+    }
+}
+impl Standard for f32 {
+    #[inline]
+    fn gen_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_f32()
+    }
+}
+impl Standard for bool {
+    #[inline]
+    fn gen_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Standard for u64 {
+    #[inline]
+    fn gen_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl Standard for u32 {
+    #[inline]
+    fn gen_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+impl Standard for usize {
+    #[inline]
+    fn gen_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ranges
+// ---------------------------------------------------------------------------
+
+/// Types that support uniform sampling from a half-open or inclusive
+/// interval.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[low, high)`.
+    fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Uniform draw from `[low, high]`.
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+/// Uniform `u64` in `[0, span)` via the fixed-point multiply method
+/// (Lemire). The residual bias is at most `span / 2^64` — irrelevant for
+/// the simulation-scale spans used here.
+#[inline]
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "empty range {low}..{high}");
+                let span = (high as i128 - low as i128) as u64;
+                low.wrapping_add(uniform_below(rng, span) as $t)
+            }
+            #[inline]
+            fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "empty range {low}..={high}");
+                let span = (high as i128 - low as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                low.wrapping_add(uniform_below(rng, span as u64) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(usize, u64, u32, i64, i32);
+
+macro_rules! impl_sample_uniform_float {
+    ($t:ty, $draw:ident) => {
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "empty range {low}..{high}");
+                let u = rng.$draw();
+                low + u * (high - low)
+            }
+            #[inline]
+            fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "empty range {low}..={high}");
+                let u = rng.$draw();
+                low + u * (high - low)
+            }
+        }
+    };
+}
+impl_sample_uniform_float!(f64, next_f64);
+impl_sample_uniform_float!(f32, next_f32);
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for core::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Slice helpers
+// ---------------------------------------------------------------------------
+
+/// Shuffling and random element selection on slices.
+pub trait SliceRandom {
+    /// Element type of the slice.
+    type Item;
+
+    /// In-place Fisher–Yates shuffle.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Uniformly random element, or `None` when empty.
+    fn choose<'a, R: Rng + ?Sized>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = uniform_below(rng, i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<'a, R: Rng + ?Sized>(&'a self, rng: &mut R) -> Option<&'a Self::Item> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[uniform_below(rng, self.len() as u64) as usize])
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Distributions
+// ---------------------------------------------------------------------------
+
+/// A parameterized distribution that can be sampled with any [`Rng`].
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Gaussian `N(mean, std²)` sampled by the Box–Muller transform.
+///
+/// Both variates of each Box–Muller pair are consumed (the second is
+/// cached), so a stream of draws costs one `sin`/`cos` pair per two
+/// samples. The cache lives in a `Cell` so sampling needs only `&self`,
+/// matching the [`Distribution`] contract.
+#[derive(Debug, Clone)]
+pub struct Normal {
+    mean: f64,
+    std: f64,
+    spare: core::cell::Cell<Option<f64>>,
+}
+
+impl Normal {
+    /// `N(mean, std²)`.
+    ///
+    /// # Panics
+    /// Panics if `std` is negative or either parameter is non-finite.
+    pub fn new(mean: f64, std: f64) -> Self {
+        assert!(
+            mean.is_finite() && std.is_finite() && std >= 0.0,
+            "Normal requires finite mean and non-negative std (got {mean}, {std})"
+        );
+        Self { mean, std, spare: core::cell::Cell::new(None) }
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Self::new(0.0, 1.0)
+    }
+
+    /// One standard-normal variate.
+    fn sample_standard<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Box–Muller on (0,1] × [0,1) to avoid ln(0).
+        let u1 = 1.0 - rng.next_f64();
+        let u2 = rng.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * core::f64::consts::PI * u2;
+        self.spare.set(Some(r * theta.sin()));
+        r * theta.cos()
+    }
+}
+
+impl Distribution<f64> for Normal {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std * self.sample_standard(rng)
+    }
+}
+
+/// Poisson with rate `λ`, sampled by Knuth's product-of-uniforms method.
+///
+/// For `λ > 30` the draw is split into independent Poisson components
+/// (`Poisson(a + b) = Poisson(a) + Poisson(b)`) so `exp(-λ)` never
+/// underflows; total work stays `O(λ)`, which is fine at the arrival
+/// rates the simulator uses.
+#[derive(Debug, Clone, Copy)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+/// Chunk size for splitting large Poisson rates; `exp(-30)` is
+/// comfortably inside `f64` range.
+const POISSON_CHUNK: f64 = 30.0;
+
+impl Poisson {
+    /// Poisson with the given positive, finite rate.
+    ///
+    /// # Panics
+    /// Panics if `lambda` is not finite and positive.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda.is_finite() && lambda > 0.0, "Poisson requires λ > 0 (got {lambda})");
+        Self { lambda }
+    }
+
+    fn sample_chunk<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> u64 {
+        let limit = (-lambda).exp();
+        let mut product = rng.next_f64();
+        let mut count = 0u64;
+        while product > limit {
+            product *= rng.next_f64();
+            count += 1;
+        }
+        count
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let mut remaining = self.lambda;
+        let mut total = 0u64;
+        while remaining > POISSON_CHUNK {
+            total += Self::sample_chunk(POISSON_CHUNK, rng);
+            remaining -= POISSON_CHUNK;
+        }
+        total += Self::sample_chunk(remaining, rng);
+        total as f64
+    }
+}
+
+/// Bernoulli with success probability `p`.
+#[derive(Debug, Clone, Copy)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Bernoulli(`p`) with `p ∈ [0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1]` or NaN.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "Bernoulli requires p in [0,1] (got {p})");
+        Self { p }
+    }
+}
+
+impl Distribution<bool> for Bernoulli {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_f64() < self.p
+    }
+}
+
+/// Exponential with rate `λ` (mean `1/λ`), sampled by inversion.
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Exponential with the given positive rate.
+    ///
+    /// # Panics
+    /// Panics if `lambda` is not finite and positive.
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "Exponential requires λ > 0 (got {lambda})"
+        );
+        Self { lambda }
+    }
+}
+
+impl Distribution<f64> for Exponential {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 1 − U ∈ (0, 1] keeps ln away from zero.
+        -(1.0 - rng.next_f64()).ln() / self.lambda
+    }
+}
+
+/// Gamma with shape `k` and scale `θ`, sampled by the Marsaglia–Tsang
+/// squeeze method (with the `U^{1/k}` boost for shape below one).
+///
+/// Used to draw Dirichlet weights for the non-IID partitioner: a
+/// normalized vector of `Gamma(α, 1)` draws is `Dirichlet(α)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Gamma with positive shape and scale.
+    ///
+    /// # Panics
+    /// Panics if either parameter is not finite and positive.
+    pub fn new(shape: f64, scale: f64) -> Self {
+        assert!(
+            shape.is_finite() && shape > 0.0 && scale.is_finite() && scale > 0.0,
+            "Gamma requires positive shape and scale (got {shape}, {scale})"
+        );
+        Self { shape, scale }
+    }
+
+    /// Marsaglia–Tsang for shape ≥ 1.
+    fn sample_large<R: Rng + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        let normal = Normal::standard();
+        loop {
+            let x = normal.sample(rng);
+            let v = 1.0 + c * x;
+            if v <= 0.0 {
+                continue;
+            }
+            let v3 = v * v * v;
+            let u = 1.0 - rng.next_f64(); // (0, 1]
+            // Squeeze, then full acceptance check.
+            if u < 1.0 - 0.0331 * (x * x) * (x * x) {
+                return d * v3;
+            }
+            if u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln()) {
+                return d * v3;
+            }
+        }
+    }
+}
+
+impl Distribution<f64> for Gamma {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let draw = if self.shape >= 1.0 {
+            Self::sample_large(self.shape, rng)
+        } else {
+            // Gamma(k) = Gamma(k + 1) · U^{1/k} for k < 1.
+            let boost = (1.0 - rng.next_f64()).powf(1.0 / self.shape);
+            Self::sample_large(self.shape + 1.0, rng) * boost
+        };
+        draw * self.scale
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Matrix constructors
+// ---------------------------------------------------------------------------
 
 impl Matrix {
     /// Matrix with i.i.d. `U(-scale, scale)` entries.
@@ -35,11 +573,10 @@ impl Matrix {
         Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-scale..scale))
     }
 
-    /// Matrix with i.i.d. `N(0, std²)` entries (Box–Muller via rand_distr).
+    /// Matrix with i.i.d. `N(0, std²)` entries (Box–Muller).
     pub fn gaussian(rows: usize, cols: usize, std: f32, rng: &mut impl Rng) -> Matrix {
-        use rand_distr::{Distribution, Normal};
-        let normal = Normal::new(0.0f32, std).expect("std must be finite and non-negative");
-        Matrix::from_fn(rows, cols, |_, _| normal.sample(rng))
+        let normal = Normal::new(0.0, std as f64);
+        Matrix::from_fn(rows, cols, |_, _| normal.sample(rng) as f32)
     }
 
     /// Glorot/Xavier-uniform initialization for a `fan_in x fan_out` layer.
@@ -64,9 +601,19 @@ mod tests {
         assert_ne!(derive_seed(42, 1), derive_seed(43, 1));
     }
 
+    /// Pins `derive_seed` outputs so an RNG refactor can never silently
+    /// reshuffle every experiment stream in the repo.
+    #[test]
+    fn derive_seed_outputs_are_pinned() {
+        assert_eq!(derive_seed(0, 0), 0);
+        assert_eq!(derive_seed(42, 1), 0xBDD7_3226_2FEB_6E95);
+        assert_eq!(derive_seed(0xFED1, 100), 0xA37B_D992_E6BB_3A39);
+        assert_eq!(derive_seed(u64::MAX, u64::MAX), 0xE4D9_7177_1B65_2C20);
+    }
+
     #[test]
     fn rng_streams_reproduce() {
-        let a: Vec<u32> = (0..4).map(|_| rng_for(7, 3).gen()).collect();
+        let a: Vec<u32> = (0..4).map(|_| rng_for(7, 3).gen::<u32>()).collect();
         // Same seed/label -> same first draw each time.
         assert!(a.windows(2).all(|w| w[0] == w[1]));
         let mut r1 = rng_for(7, 3);
@@ -74,6 +621,71 @@ mod tests {
         for _ in 0..16 {
             assert_eq!(r1.gen::<u64>(), r2.gen::<u64>());
         }
+    }
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // First outputs of xoshiro256++ from the all-explicit state
+        // {1, 2, 3, 4}, cross-checked against the public reference
+        // implementation (prng.di.unimi.it).
+        let mut rng = Xoshiro256pp { s: [1, 2, 3, 4] };
+        let got: Vec<u64> = (0..4).map(|_| rng.next_raw()).collect();
+        assert_eq!(got, vec![41943041, 58720359, 3588806011781223, 3591011842654386]);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = rng_for(11, 0);
+        for _ in 0..1000 {
+            let i = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&i));
+            let f = rng.gen_range(-2.5..7.5f64);
+            assert!((-2.5..7.5).contains(&f));
+            let g = rng.gen_range(1.0..=2.0f64);
+            assert!((1.0..=2.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn gen_range_integer_mean_is_central() {
+        let mut rng = rng_for(12, 0);
+        let n = 40_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_range(0..10usize) as f64).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 4.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn gen_range_rejects_empty() {
+        let mut rng = rng_for(1, 1);
+        let _ = rng.gen_range(5..5usize);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = rng_for(13, 0);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        // A 50-element shuffle virtually never returns the identity.
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = rng_for(14, 0);
+        let items = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let &x = items.choose(&mut rng).unwrap();
+            seen[x - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
     }
 
     #[test]
@@ -100,5 +712,73 @@ mod tests {
         let wide = Matrix::glorot(1000, 1000, &mut rng);
         let bound = (6.0f32 / 2000.0).sqrt();
         assert!(wide.as_slice().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn normal_moments_match_parameters() {
+        let mut rng = rng_for(2, 1);
+        let dist = Normal::new(3.0, 1.5);
+        let n = 60_000;
+        let draws: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / (n - 1) as f64;
+        assert!((mean - 3.0).abs() < 0.02, "mean {mean}");
+        assert!((var - 2.25).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn poisson_moments_match_rate_small_and_large() {
+        let mut rng = rng_for(2, 2);
+        for &lambda in &[0.5, 4.0, 75.0] {
+            let dist = Poisson::new(lambda);
+            let n = 40_000;
+            let draws: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+            let mean = draws.iter().sum::<f64>() / n as f64;
+            let var =
+                draws.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / (n - 1) as f64;
+            // Poisson: mean = var = λ.
+            let tol = 4.0 * (lambda / n as f64).sqrt() + 0.01;
+            assert!((mean - lambda).abs() < tol, "λ={lambda}: mean {mean}");
+            assert!((var - lambda).abs() < 20.0 * tol, "λ={lambda}: var {var}");
+            assert!(draws.iter().all(|&d| d >= 0.0 && d.fract() == 0.0));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_inverse_rate() {
+        let mut rng = rng_for(2, 3);
+        let dist = Exponential::new(2.0);
+        let n = 60_000;
+        let mean = (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn bernoulli_frequency_matches_p() {
+        let mut rng = rng_for(2, 4);
+        let dist = Bernoulli::new(0.3);
+        let n = 60_000;
+        let hits = (0..n).filter(|_| dist.sample(&mut rng)).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.3).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn gamma_moments_match_parameters() {
+        let mut rng = rng_for(2, 5);
+        // Gamma(k, θ): mean kθ, variance kθ².
+        for &(shape, scale) in &[(0.5, 1.0), (2.0, 3.0), (9.0, 0.5)] {
+            let dist = Gamma::new(shape, scale);
+            let n = 60_000;
+            let draws: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+            let mean = draws.iter().sum::<f64>() / n as f64;
+            let var =
+                draws.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / (n - 1) as f64;
+            let want_mean = shape * scale;
+            let want_var = shape * scale * scale;
+            assert!((mean - want_mean).abs() < 0.05 * want_mean.max(1.0), "mean {mean}");
+            assert!((var - want_var).abs() < 0.15 * want_var.max(1.0), "var {var}");
+            assert!(draws.iter().all(|&d| d > 0.0));
+        }
     }
 }

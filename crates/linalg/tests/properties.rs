@@ -1,18 +1,17 @@
-//! Property-based tests for the linear-algebra substrate.
+//! Property-style tests for the linear-algebra substrate, driven by
+//! seeded RNG loops (the workspace's offline replacement for proptest:
+//! every case is enumerated from a fixed seed, so failures reproduce
+//! exactly and the suite needs no registry dependency).
 
+use fedl_linalg::rng::{rng_for, Rng, Xoshiro256pp};
 use fedl_linalg::{approx_eq, ops, Matrix};
-use proptest::prelude::*;
 
-/// Strategy: a matrix with the given shape and bounded entries.
-fn mat(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(-10.0f32..10.0, rows * cols)
-        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
-}
+const CASES: u64 = 64;
 
-/// Shape triple for chained products, kept small so the naive reference
-/// stays fast.
-fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
-    (1usize..8, 1usize..8, 1usize..8)
+/// Random shape triple for chained products, kept small so the naive
+/// reference stays fast.
+fn dims(rng: &mut Xoshiro256pp) -> (usize, usize, usize) {
+    (rng.gen_range(1..8usize), rng.gen_range(1..8usize), rng.gen_range(1..8usize))
 }
 
 fn assert_mat_close(a: &Matrix, b: &Matrix, tol: f32) {
@@ -22,10 +21,11 @@ fn assert_mat_close(a: &Matrix, b: &Matrix, tol: f32) {
     }
 }
 
-proptest! {
-    #[test]
-    fn matmul_distributes_over_addition((m, k, n) in dims(), seed in 0u64..1000) {
-        let mut rng = fedl_linalg::rng::rng_for(seed, 0);
+#[test]
+fn matmul_distributes_over_addition() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed, 0);
+        let (m, k, n) = dims(&mut rng);
         let a = Matrix::uniform(m, k, 2.0, &mut rng);
         let b = Matrix::uniform(k, n, 2.0, &mut rng);
         let c = Matrix::uniform(k, n, 2.0, &mut rng);
@@ -33,69 +33,98 @@ proptest! {
         let rhs = &a.matmul(&b) + &a.matmul(&c);
         assert_mat_close(&lhs, &rhs, 1e-3);
     }
+}
 
-    #[test]
-    fn transpose_of_product_is_reversed_product((m, k, n) in dims(), seed in 0u64..1000) {
-        let mut rng = fedl_linalg::rng::rng_for(seed, 1);
+#[test]
+fn transpose_of_product_is_reversed_product() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed, 1);
+        let (m, k, n) = dims(&mut rng);
         let a = Matrix::uniform(m, k, 2.0, &mut rng);
         let b = Matrix::uniform(k, n, 2.0, &mut rng);
         let lhs = a.matmul(&b).transpose();
         let rhs = b.transpose().matmul(&a.transpose());
         assert_mat_close(&lhs, &rhs, 1e-3);
     }
+}
 
-    #[test]
-    fn fused_transpose_kernels_match((m, k, n) in dims(), seed in 0u64..1000) {
-        let mut rng = fedl_linalg::rng::rng_for(seed, 2);
+#[test]
+fn fused_transpose_kernels_match() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed, 2);
+        let (m, k, n) = dims(&mut rng);
         let a = Matrix::uniform(m, k, 2.0, &mut rng);
         let b = Matrix::uniform(m, n, 2.0, &mut rng);
         assert_mat_close(&a.t_matmul(&b), &a.transpose().matmul(&b), 1e-3);
         let c = Matrix::uniform(n, k, 2.0, &mut rng);
         assert_mat_close(&a.matmul_t(&c), &a.matmul(&c.transpose()), 1e-3);
     }
+}
 
-    #[test]
-    fn softmax_rows_sum_to_one(m in mat(4, 6)) {
+#[test]
+fn softmax_rows_sum_to_one() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed, 3);
+        let m = Matrix::uniform(4, 6, 10.0, &mut rng);
         let s = ops::softmax_rows(&m);
         for row in s.row_iter() {
             let sum: f32 = row.iter().sum();
-            prop_assert!(approx_eq(sum, 1.0, 1e-5));
-            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            assert!(approx_eq(sum, 1.0, 1e-5));
+            assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
         }
     }
+}
 
-    #[test]
-    fn axpy_then_inverse_axpy_is_identity(m in mat(3, 5), alpha in -4.0f32..4.0) {
+#[test]
+fn axpy_then_inverse_axpy_is_identity() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed, 4);
+        let m = Matrix::uniform(3, 5, 10.0, &mut rng);
+        let alpha = rng.gen_range(-4.0f32..4.0);
         let mut work = m.clone();
         let delta = Matrix::full(3, 5, 1.0);
         work.axpy(alpha, &delta);
         work.axpy(-alpha, &delta);
         assert_mat_close(&work, &m, 1e-4);
     }
+}
 
-    #[test]
-    fn dot_is_symmetric_and_norm_consistent(m in mat(2, 7)) {
+#[test]
+fn dot_is_symmetric_and_norm_consistent() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed, 5);
+        let m = Matrix::uniform(2, 7, 10.0, &mut rng);
         let n2 = m.norm_sq();
-        prop_assert!(approx_eq(m.dot(&m), n2, 1e-4));
-        prop_assert!(n2 >= 0.0);
-        prop_assert!(approx_eq(m.norm() * m.norm(), n2, 1e-3));
+        assert!(approx_eq(m.dot(&m), n2, 1e-4));
+        assert!(n2 >= 0.0);
+        assert!(approx_eq(m.norm() * m.norm(), n2, 1e-3));
     }
+}
 
-    #[test]
-    fn select_rows_preserves_content(idx in proptest::collection::vec(0usize..5, 0..10)) {
+#[test]
+fn select_rows_preserves_content() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed, 6);
+        let len = rng.gen_range(0..10usize);
+        let idx: Vec<usize> = (0..len).map(|_| rng.gen_range(0..5usize)).collect();
         let m = Matrix::from_fn(5, 3, |r, c| (r * 3 + c) as f32);
         let sel = m.select_rows(&idx);
-        prop_assert_eq!(sel.rows(), idx.len());
+        assert_eq!(sel.rows(), idx.len());
         for (out_r, &src) in idx.iter().enumerate() {
-            prop_assert_eq!(sel.row(out_r), m.row(src));
+            assert_eq!(sel.row(out_r), m.row(src));
         }
     }
+}
 
-    #[test]
-    fn clip_never_increases_norm(mut m in mat(3, 3), limit in 0.1f32..5.0) {
+#[test]
+fn clip_never_increases_norm() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed, 7);
+        let mut m = Matrix::uniform(3, 3, 10.0, &mut rng);
+        let limit = rng.gen_range(0.1f32..5.0);
         let before = m.norm();
         ops::clip_inplace(&mut m, limit);
-        prop_assert!(m.norm() <= before + 1e-6);
-        prop_assert!(m.as_slice().iter().all(|v| v.abs() <= limit));
+        assert!(m.norm() <= before + 1e-6);
+        assert!(m.as_slice().iter().all(|v| v.abs() <= limit));
     }
 }

@@ -20,7 +20,7 @@
 //! participation.
 //!
 //! The paper's `J_t` notation aggregates `F_{t,k}` values; following the
-//! FEDL system it cites ([7], [25]) we aggregate client *gradients* —
+//! FEDL system it cites (\[7\], \[25\]) we aggregate client *gradients* —
 //! loss values carry no direction and could not drive the surrogate.
 //!
 //! The solve also reports the measured local convergence accuracy
@@ -33,7 +33,7 @@
 //! `G(d) − G* ≤ η·[G(0) − G*]` criterion. FedL's constraint (3c) compares
 //! this observed value against the iteration-control decision ηₜ.
 
-use rand::Rng;
+use fedl_linalg::rng::Rng;
 
 use fedl_data::Dataset;
 use fedl_linalg::Matrix;
@@ -61,7 +61,7 @@ pub struct DaneConfig {
     /// Momentum coefficient for the local SGD steps, in `[0, 1)`.
     /// `0` is the paper's plain SGD; positive values give the
     /// Momentum-FL-style accelerated local solve (Liu et al., cited as
-    /// [17] in the paper's related work).
+    /// \[17\] in the paper's related work).
     pub momentum: f32,
 }
 
@@ -253,7 +253,7 @@ mod tests {
         let (mut model, data) = setup();
         let (x, y) = (data.features.clone(), data.one_hot_labels());
         let mut j = model.params().zeros_like();
-        let cfg = DaneConfig { local_steps: 15, lr: 0.3, ..Default::default() };
+        let cfg = DaneConfig { local_steps: 25, lr: 0.2, ..Default::default() };
         let before = model.loss(&x, &y);
         let mut rng = rng_for(4, 0);
         for it in 0..5 {

@@ -24,6 +24,8 @@
 //!   local convergence accuracy `η̂_{t,k}` that FedL's constraint (3c)
 //!   consumes;
 //! * [`metrics`] — accuracy/loss evaluation on held-out data.
+//!
+//! System-inventory row **S2** in DESIGN.md §1.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -5,7 +5,7 @@
 //! family from scratch on top of the crate's GEMM:
 //!
 //! * convolution is evaluated as a matrix product over an *im2col* patch
-//!   matrix (the standard reduction; it reuses the rayon-parallel GEMM);
+//!   matrix (the standard reduction; it reuses the thread-pooled GEMM in `fedl-linalg`);
 //! * max-pooling records argmax indices on the forward pass and
 //!   scatters gradients back through them;
 //! * the fully connected head shares the MLP's backprop algebra.
@@ -15,7 +15,7 @@
 //! format and the flattened IDX images.
 
 use fedl_linalg::{ops, Matrix};
-use rand::Rng;
+use fedl_linalg::rng::Rng;
 
 use crate::loss::{cross_entropy, cross_entropy_with_grad};
 use crate::params::ParamSet;

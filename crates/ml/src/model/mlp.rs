@@ -1,7 +1,7 @@
 //! Fully connected ReLU network of arbitrary depth.
 
 use fedl_linalg::{ops, Matrix};
-use rand::Rng;
+use fedl_linalg::rng::Rng;
 
 use crate::loss::{cross_entropy, cross_entropy_with_grad};
 use crate::params::ParamSet;

@@ -1,7 +1,6 @@
 //! Flat vector-space view over a model's parameter tensors.
 
 use fedl_linalg::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// An ordered collection of parameter tensors treated as one big vector.
 ///
@@ -22,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(updated.tensors()[0].get(0, 0), 1.5);
 /// assert_eq!(w.dot(&d), 2.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParamSet(Vec<Matrix>);
 
 impl ParamSet {

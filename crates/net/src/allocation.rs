@@ -2,7 +2,7 @@
 //!
 //! The paper takes the per-client bandwidths `b_{t,k}` as given subject
 //! to `Σ b = B` (the simulator's default splits equally). Its reference
-//! [24] (Shi et al.) *jointly optimizes* the split; this module provides
+//! \[24\] (Shi et al.) *jointly optimizes* the split; this module provides
 //! that upgrade: the min-makespan allocation that equalizes completion
 //! times.
 //!

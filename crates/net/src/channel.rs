@@ -1,13 +1,11 @@
 //! Path loss, shadow fading, and per-client channel gains.
 
-use rand::Rng;
-use rand_distr::{Distribution, Normal};
-use serde::{Deserialize, Serialize};
+use fedl_linalg::rng::{Distribution, Normal, Rng};
 
 use crate::dbm_to_watts;
 
 /// Static radio parameters of one client.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ClientRadio {
     /// Distance to the server in metres.
     pub distance_m: f64,
@@ -30,7 +28,7 @@ impl ClientRadio {
 }
 
 /// The cell's propagation model (paper §6.1).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ChannelModel {
     /// Shadow-fading standard deviation in dB (paper: 8 dB).
     pub shadowing_std_db: f64,
@@ -56,9 +54,7 @@ impl ChannelModel {
     /// Samples a channel gain at `distance_m`, combining path loss with a
     /// fresh log-normal shadowing draw.
     pub fn sample_gain(&self, distance_m: f64, rng: &mut impl Rng) -> f64 {
-        let shadow = Normal::new(0.0, self.shadowing_std_db)
-            .expect("valid std")
-            .sample(rng);
+        let shadow = Normal::new(0.0, self.shadowing_std_db).sample(rng);
         let loss_db = self.path_loss_db(distance_m) + shadow;
         10f64.powf(-loss_db / 10.0)
     }
@@ -105,7 +101,7 @@ mod tests {
     fn gains_positive_and_distance_ordered_on_average() {
         let m = ChannelModel::default();
         let mut rng = rng_for(1, 0);
-        let mean_gain = |d: f64, rng: &mut rand::rngs::StdRng| {
+        let mean_gain = |d: f64, rng: &mut fedl_linalg::rng::Xoshiro256pp| {
             (0..400).map(|_| m.sample_gain(d, rng)).sum::<f64>() / 400.0
         };
         let near = mean_gain(50.0, &mut rng);

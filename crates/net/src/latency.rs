@@ -1,13 +1,11 @@
 //! Per-client latency: local computation plus uplink transmission
 //! (paper §3.2).
 
-use serde::{Deserialize, Serialize};
-
 use crate::channel::ClientRadio;
 use crate::fdma::equal_share_rates;
 
 /// A client's computation capability.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ComputeProfile {
     /// CPU cycles needed per *bit* of training data (paper: U[10, 30]).
     pub cycles_per_bit: f64,
@@ -28,7 +26,7 @@ impl ComputeProfile {
 }
 
 /// The full latency model for one epoch's selected cohort.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct LatencyModel {
     /// Total uplink bandwidth `B` in Hz (paper: 20 MHz).
     pub bandwidth_hz: f64,

@@ -16,6 +16,8 @@
 //! achievable rates, and [`latency`] combines them with the computation
 //! model `τ^loc = e_k·bits(D_{t,k})/π_k` into the per-client epoch
 //! latency `d_k(t) = l_t·(τ^loc + τ^cm)`.
+//!
+//! System-inventory row **S4** in DESIGN.md §1.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

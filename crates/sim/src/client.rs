@@ -1,9 +1,7 @@
 //! Static client profiles and their per-epoch realizations.
 
-use rand::Rng;
-
 use fedl_data::stream::OnlineStream;
-use fedl_linalg::rng::{derive_seed, rng_for};
+use fedl_linalg::rng::{derive_seed, rng_for, Rng};
 use fedl_net::{ChannelModel, ClientRadio, ComputeProfile};
 
 use crate::config::{AvailabilityModel, EnvConfig};

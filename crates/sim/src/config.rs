@@ -1,10 +1,8 @@
 //! Environment configuration — the paper's §6.1 constants, overridable
 //! for scaled-down tests.
 
-use serde::{Deserialize, Serialize};
-
 /// How the server normalizes the summed client directions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AggregationNorm {
     /// Divide by the number of *available* clients `|E_t|` — the paper's
     /// aggregation rule (w^i = w^{i−1} + (1/|E_t|)·Σ x_k·d_k). Selecting
@@ -17,7 +15,7 @@ pub enum AggregationNorm {
 }
 
 /// How client availability evolves over epochs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AvailabilityModel {
     /// Independent Bernoulli draw each epoch with probability
     /// `p_available` — the paper's §6.1 setting.
@@ -46,7 +44,7 @@ impl AvailabilityModel {
 }
 
 /// Full specification of a simulated edge federation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EnvConfig {
     /// Number of clients `M` (paper: 100).
     pub num_clients: usize,
@@ -82,7 +80,7 @@ pub struct EnvConfig {
     pub aggregation: AggregationNorm,
     /// Use the min-makespan FDMA bandwidth split
     /// ([`fedl_net::allocation::min_makespan`], the joint-allocation
-    /// upgrade of the paper's reference [24]) instead of the default
+    /// upgrade of the paper's reference \[24\]) instead of the default
     /// equal share.
     pub optimal_bandwidth: bool,
     /// Root seed for every stochastic process in the environment.

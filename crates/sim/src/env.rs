@@ -227,7 +227,7 @@ impl EdgeEnvironment {
         let mut failed = Vec::new();
         let mut cohort: Vec<usize> = Vec::with_capacity(full_cohort.len());
         if self.config.p_dropout > 0.0 {
-            use rand::Rng;
+            use fedl_linalg::rng::Rng;
             for &k in full_cohort {
                 let label = (epoch as u64) << 32 | k as u64;
                 let mut rng = fedl_linalg::rng::rng_for(

@@ -1,7 +1,5 @@
 //! The long-term budget account (constraint (3a), Alg. 1's `while C ≥ 0`).
 
-use serde::{Deserialize, Serialize};
-
 /// Tracks spending against the long-term budget `C`.
 ///
 /// # Examples
@@ -16,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// ledger.charge(45.0); // the final epoch may overshoot (Alg. 1)
 /// assert!(ledger.exhausted());
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BudgetLedger {
     initial: f64,
     spent: f64,

@@ -16,9 +16,11 @@
 //! * [`ledger`] — the long-term budget account of constraint (3a);
 //! * [`server`] — model aggregation (`w ← w + Σ d_k / norm`) and the
 //!   aggregated-gradient state `J`;
-//! * [`env`] — [`EdgeEnvironment`], the facade the runner drives;
+//! * [`env`](mod@env) — [`EdgeEnvironment`], the facade the runner drives;
 //! * [`trace`] — structured per-epoch event logs (selection, payments,
 //!   latency, fairness accounting) with JSONL export.
+//!
+//! System-inventory row **S5** in DESIGN.md §1.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -1,8 +1,6 @@
 //! Server-side aggregation: global model state, the aggregated gradient
 //! `J`, and one federated iteration (paper §3.1, "Aggregation on Server").
 
-use rayon::prelude::*;
-
 use fedl_data::Dataset;
 use fedl_linalg::rng::{derive_seed, rng_for};
 use fedl_ml::dane::{local_update, DaneConfig};
@@ -62,9 +60,10 @@ impl FederatedServer {
 
     /// Runs one federated iteration over the cohort's working sets.
     ///
-    /// Every cohort client runs its DANE local solve in parallel (rayon —
-    /// the solves are embarrassingly parallel, exactly like the real
-    /// devices), then the server updates
+    /// Every cohort client runs its DANE local solve in parallel (via the
+    /// scoped thread pool in `fedl_linalg::par` — the solves are
+    /// embarrassingly parallel, exactly like the real devices), then the
+    /// server updates
     /// `w ← w + (1/norm)·Σ d_k` and `J ← (1/|cohort|)·Σ ∇F_k(w)`.
     ///
     /// `available_count` feeds the paper's `1/|E_t|` normalization when
@@ -87,14 +86,11 @@ impl FederatedServer {
         let j_agg = &self.j_agg;
         let dane = &self.dane;
         let seed = self.seed;
-        let outcomes: Vec<_> = cohort
-            .par_iter()
-            .map(|(id, data)| {
-                let label = (epoch as u64) << 32 | (iteration as u64) << 16 | (*id as u64);
-                let mut rng = rng_for(derive_seed(seed, 0x10CA1), label);
-                local_update(model.as_ref(), data, j_agg, dane, &mut rng)
-            })
-            .collect();
+        let outcomes: Vec<_> = fedl_linalg::par::par_map(cohort, |(id, data)| {
+            let label = (epoch as u64) << 32 | (iteration as u64) << 16 | (*id as u64);
+            let mut rng = rng_for(derive_seed(seed, 0x10CA1), label);
+            local_update(model.as_ref(), data, j_agg, dane, &mut rng)
+        });
 
         let norm = match aggregation {
             AggregationNorm::Available => available_count as f32,

@@ -9,12 +9,12 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
+use fedl_json::{obj, read_field, FromJson, ToJson, Value};
 
 use crate::env::EpochReport;
 
 /// One epoch's trace entry.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EpochEvent {
     /// Epoch index.
     pub epoch: usize,
@@ -34,8 +34,38 @@ pub struct EpochEvent {
     pub global_loss: f64,
 }
 
+impl ToJson for EpochEvent {
+    fn to_json_value(&self) -> Value {
+        obj(vec![
+            ("epoch", self.epoch.to_json_value()),
+            ("cohort", self.cohort.to_json_value()),
+            ("iterations", self.iterations.to_json_value()),
+            ("latency_secs", self.latency_secs.to_json_value()),
+            ("cost", self.cost.to_json_value()),
+            ("remaining_budget", self.remaining_budget.to_json_value()),
+            ("eta_hats", self.eta_hats.to_json_value()),
+            ("global_loss", self.global_loss.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for EpochEvent {
+    fn from_json_value(v: &Value) -> Result<Self, fedl_json::Error> {
+        Ok(Self {
+            epoch: read_field(v, "epoch")?,
+            cohort: read_field(v, "cohort")?,
+            iterations: read_field(v, "iterations")?,
+            latency_secs: read_field(v, "latency_secs")?,
+            cost: read_field(v, "cost")?,
+            remaining_budget: read_field(v, "remaining_budget")?,
+            eta_hats: read_field(v, "eta_hats")?,
+            global_loss: read_field(v, "global_loss")?,
+        })
+    }
+}
+
 /// Append-only run trace.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RunTrace {
     events: Vec<EpochEvent>,
 }
@@ -107,17 +137,17 @@ impl RunTrace {
     pub fn to_jsonl(&self) -> String {
         self.events
             .iter()
-            .map(|e| serde_json::to_string(e).expect("event serializes"))
+            .map(|e| e.to_json_value().to_json())
             .collect::<Vec<_>>()
             .join("\n")
     }
 
     /// Parses a JSON-lines trace (inverse of [`RunTrace::to_jsonl`]).
-    pub fn from_jsonl(text: &str) -> Result<Self, serde_json::Error> {
+    pub fn from_jsonl(text: &str) -> Result<Self, fedl_json::Error> {
         let events = text
             .lines()
             .filter(|l| !l.trim().is_empty())
-            .map(serde_json::from_str)
+            .map(|l| EpochEvent::from_json_value(&Value::parse(l)?))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Self { events })
     }

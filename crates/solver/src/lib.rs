@@ -2,7 +2,7 @@
 //! decision step.
 //!
 //! The paper solves its one-shot subproblem (eq. (8)) with the
-//! interior-point filter line-search solver of Wächter & Biegler [26].
+//! interior-point filter line-search solver of Wächter & Biegler \[26\].
 //! That subproblem is tiny — at most `K + 1` variables (one selection
 //! fraction per available client plus the iteration-control variable ρ) —
 //! and its feasible region is an intersection of simple convex sets:
@@ -24,6 +24,8 @@
 //!
 //! Everything is `f64`: the decision problem is small, so precision is
 //! cheap and keeps the regret accounting clean.
+//!
+//! System-inventory row **S6** in DESIGN.md §1.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification: hermetic offline build + tests + docs.
+#
+# --offline is load-bearing: the workspace must never need the crates.io
+# registry (see docs/BUILD.md). A PR that introduces a registry
+# dependency fails here at dependency resolution, before compiling.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "==> cargo doc --no-deps --offline"
+RUSTDOCFLAGS="${RUSTDOCFLAGS:--D warnings}" cargo doc --no-deps --offline --workspace
+
+echo "==> OK"

@@ -7,7 +7,8 @@
 //! This facade crate re-exports the workspace so downstream users can
 //! depend on a single crate:
 //!
-//! * [`linalg`] — dense matrix substrate (rayon-parallel GEMM);
+//! * [`linalg`] — dense matrix substrate (thread-pooled GEMM) plus the
+//!   in-tree PRNG/distribution and parallel-map substrates;
 //! * [`solver`] — projection-based convex solver for the online step;
 //! * [`data`] — synthetic FMNIST/CIFAR-like datasets, non-IID partitioning,
 //!   online Poisson streams, IDX/CIFAR binary loaders;
