@@ -6,6 +6,28 @@ use std::process::ExitCode;
 use fedl_bench::cli::{self, Command};
 use fedl_bench::experiments;
 use fedl_data::synth::TaskKind;
+use fedl_telemetry::{log_line, RunLog};
+
+/// Loads a JSONL run log, prints the per-phase timing report, and fails
+/// when any `--require`d event kind is absent.
+fn telemetry_report(invocation: &cli::Invocation) -> ExitCode {
+    let path = invocation.input.as_deref().expect("parser guarantees a file");
+    let log = match RunLog::read(path) {
+        Ok(log) => log,
+        Err(err) => {
+            eprintln!("failed to load run log {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", log.render_report());
+    let required: Vec<&str> = invocation.require.iter().map(String::as_str).collect();
+    let missing = log.missing_kinds(&required);
+    if !missing.is_empty() {
+        eprintln!("run log is missing required event kinds: {}", missing.join(", "));
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
 
 fn main() -> ExitCode {
     let invocation = match cli::parse(std::env::args().skip(1)) {
@@ -15,9 +37,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if invocation.command == Command::TelemetryReport {
+        return telemetry_report(&invocation);
+    }
     let (profile, out_dir) = (invocation.profile, invocation.out_dir);
     std::fs::create_dir_all(&out_dir).expect("create output directory");
-    println!(
+    log_line!(
         "profile: {:?} (M={}, n={}), output: {}",
         profile,
         profile.num_clients(),
@@ -69,6 +94,7 @@ fn main() -> ExitCode {
             experiments::dropout_study(profile);
             experiments::replication_study(profile);
         }
+        Command::TelemetryReport => unreachable!("dispatched before the experiment match"),
     }
     ExitCode::SUCCESS
 }

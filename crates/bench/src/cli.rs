@@ -38,6 +38,8 @@ pub enum Command {
     Replicate,
     /// Everything above.
     All,
+    /// Offline analysis of a telemetry JSONL run log.
+    TelemetryReport,
 }
 
 /// A fully parsed invocation.
@@ -49,17 +51,24 @@ pub struct Invocation {
     pub out_dir: PathBuf,
     /// What to run.
     pub command: Command,
+    /// Input file for [`Command::TelemetryReport`].
+    pub input: Option<PathBuf>,
+    /// Event kinds that must appear in the log (`--require`).
+    pub require: Vec<String>,
 }
 
 /// Usage string printed on parse errors.
 pub const USAGE: &str = "usage: experiments [--quick] [--out DIR] \
-<fig2|fig3|fig4|fig5|fig6|fig7|headline|regret|rounding|stepsize|aggregation|oracle|fairness|bandwidth|dropout|replicate|all>";
+<fig2|fig3|fig4|fig5|fig6|fig7|headline|regret|rounding|stepsize|aggregation|oracle|fairness|bandwidth|dropout|replicate|all>\n\
+       experiments telemetry-report FILE [--require kind1,kind2,...]";
 
 /// Parses the argument list (without the program name).
 pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, String> {
     let mut profile = Profile::Paper;
     let mut out_dir = PathBuf::from("results");
     let mut command: Option<Command> = None;
+    let mut input: Option<PathBuf> = None;
+    let mut require: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -67,6 +76,14 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, Stri
             "--out" => {
                 out_dir = PathBuf::from(
                     it.next().ok_or_else(|| "--out requires a directory".to_string())?,
+                );
+            }
+            "--require" => {
+                let list = it
+                    .next()
+                    .ok_or_else(|| "--require needs a comma-separated kind list".to_string())?;
+                require.extend(
+                    list.split(',').filter(|k| !k.is_empty()).map(str::to_string),
                 );
             }
             other if command.is_none() => {
@@ -86,14 +103,24 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, Stri
                     "dropout" => Command::Dropout,
                     "replicate" => Command::Replicate,
                     "all" => Command::All,
+                    "telemetry-report" => Command::TelemetryReport,
                     unknown => return Err(format!("unknown experiment: {unknown}")),
                 });
+            }
+            other if command == Some(Command::TelemetryReport) && input.is_none() => {
+                input = Some(PathBuf::from(other));
             }
             other => return Err(format!("unexpected argument: {other}")),
         }
     }
     let command = command.ok_or_else(|| USAGE.to_string())?;
-    Ok(Invocation { profile, out_dir, command })
+    if command == Command::TelemetryReport && input.is_none() {
+        return Err("telemetry-report requires a JSONL run-log file".to_string());
+    }
+    if command != Command::TelemetryReport && !require.is_empty() {
+        return Err("--require only applies to telemetry-report".to_string());
+    }
+    Ok(Invocation { profile, out_dir, command, input, require })
 }
 
 #[cfg(test)]
@@ -143,6 +170,36 @@ mod tests {
         assert!(parse(args(&["frobnicate"])).unwrap_err().contains("unknown experiment"));
         assert!(parse(args(&["--out"])).unwrap_err().contains("--out requires"));
         assert!(parse(args(&["fig2", "fig3"])).unwrap_err().contains("unexpected"));
+    }
+
+    #[test]
+    fn telemetry_report_takes_a_file_and_required_kinds() {
+        let inv = parse(args(&[
+            "telemetry-report",
+            "results/run.jsonl",
+            "--require",
+            "run_start,epoch,run_end",
+        ]))
+        .unwrap();
+        assert_eq!(inv.command, Command::TelemetryReport);
+        assert_eq!(inv.input, Some(PathBuf::from("results/run.jsonl")));
+        assert_eq!(inv.require, vec!["run_start", "epoch", "run_end"]);
+    }
+
+    #[test]
+    fn telemetry_report_rejects_bad_shapes() {
+        assert!(parse(args(&["telemetry-report"]))
+            .unwrap_err()
+            .contains("requires a JSONL run-log file"));
+        assert!(parse(args(&["telemetry-report", "a.jsonl", "b.jsonl"]))
+            .unwrap_err()
+            .contains("unexpected"));
+        assert!(parse(args(&["fig2", "--require", "epoch"]))
+            .unwrap_err()
+            .contains("only applies to telemetry-report"));
+        assert!(parse(args(&["telemetry-report", "a.jsonl", "--require"]))
+            .unwrap_err()
+            .contains("--require needs"));
     }
 
     #[test]

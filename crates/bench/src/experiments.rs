@@ -1,12 +1,14 @@
 //! One entry point per paper figure, plus the headline table and the
 //! design ablations called out in DESIGN.md.
 
+use std::fmt::Write as _;
 use std::path::Path;
 
 use fedl_core::fedl::{FedLConfig, FedLPolicy};
 use fedl_core::policy::PolicyKind;
 use fedl_core::runner::ExperimentRunner;
 use fedl_data::synth::TaskKind;
+use fedl_telemetry::log_line;
 
 use crate::harness::{run_budget_sweep, run_policy_matrix, CellResult};
 use crate::profile::{accuracy_targets, Profile};
@@ -73,7 +75,7 @@ pub fn fig_time_and_round(profile: Profile, task: TaskKind, out_dir: &Path) -> V
                     .collect(),
             })
             .collect();
-        println!("{}", crate::plot::render(&curves, 72, 16));
+        log_line!("{}", crate::plot::render(&curves, 72, 16));
         let stem = format!("fig{fig_t}_{}", if iid { "iid" } else { "noniid" });
         report::write_series_csv(&out_dir.join(format!("{stem}.csv")), &results)
             .expect("write csv");
@@ -134,7 +136,7 @@ pub fn headline(profile: Profile, out_dir: &Path) {
 /// Summarizes already-computed figure matrices into the headline table
 /// (used by `all` to avoid re-running the runs figs 2–5 just produced).
 pub fn headline_from(results: &[CellResult], out_dir: &Path) {
-    println!("\n════ Headline metrics (paper §6.2 prose) ════");
+    log_line!("\n════ Headline metrics (paper §6.2 prose) ════");
     for task in [TaskKind::FmnistLike, TaskKind::CifarLike] {
         for iid in [true, false] {
             let cell: Vec<CellResult> = results
@@ -147,15 +149,15 @@ pub fn headline_from(results: &[CellResult], out_dir: &Path) {
             }
             let dist = if iid { "IID" } else { "Non-IID" };
             let targets = accuracy_targets(task);
-            println!("\n{} {dist}:", task_name(task));
+            log_line!("\n{} {dist}:", task_name(task));
             for &target in targets {
                 match report::fedl_time_saving(&cell, target) {
-                    Some(s) => println!(
+                    Some(s) => log_line!(
                         "  time-to-{:.0}%: FedL saves {:.0}% vs best baseline",
                         target * 100.0,
                         s * 100.0
                     ),
-                    None => println!("  time-to-{:.0}%: target not reached", target * 100.0),
+                    None => log_line!("  time-to-{:.0}%: target not reached", target * 100.0),
                 }
             }
             // Accuracy at the common final time (min of the total times).
@@ -163,11 +165,16 @@ pub fn headline_from(results: &[CellResult], out_dir: &Path) {
                 .iter()
                 .map(|r| r.outcome.total_sim_time())
                 .fold(f64::INFINITY, f64::min);
-            print!("  accuracy@{t_common:.0}s:");
+            let mut line = format!("  accuracy@{t_common:.0}s:");
             for r in &cell {
-                print!(" {}={:.3}", r.outcome.policy, report::accuracy_at_time(r, t_common));
+                let _ = write!(
+                    line,
+                    " {}={:.3}",
+                    r.outcome.policy,
+                    report::accuracy_at_time(r, t_common)
+                );
             }
-            println!();
+            log_line!("{line}");
             let stem = format!(
                 "headline_{}_{}",
                 task_name(task).to_lowercase().replace('-', ""),
@@ -200,12 +207,12 @@ pub fn regret(profile: Profile, out_dir: &Path) {
         .expect("FedL maintains a tracker");
     let regret = tracker.cumulative_regret();
     let fit = tracker.fit();
-    println!("\n── Theory validation: dynamic regret & fit ──");
-    println!("epochs run: {}", outcome.epochs.len());
-    println!("{:<8}{:>14}{:>14}", "t", "Reg(t)", "Fit(t)");
+    log_line!("\n── Theory validation: dynamic regret & fit ──");
+    log_line!("epochs run: {}", outcome.epochs.len());
+    log_line!("{:<8}{:>14}{:>14}", "t", "Reg(t)", "Fit(t)");
     let n = regret.len();
     for i in (0..n).step_by((n / 12).max(1)) {
-        println!("{:<8}{:>14.3}{:>14.3}", i + 1, regret[i], fit[i]);
+        log_line!("{:<8}{:>14.3}{:>14.3}", i + 1, regret[i], fit[i]);
     }
     let exponent = |series: &[f64]| -> Option<f64> {
         // Least-squares slope of log(value) on log(t) over the second
@@ -229,10 +236,10 @@ pub fn regret(profile: Profile, out_dir: &Path) {
         (denom.abs() > 1e-12).then(|| (n * sxy - sx * sy) / denom)
     };
     if let Some(e) = exponent(regret) {
-        println!("regret growth exponent ≈ {e:.2} (sub-linear when < 1)");
+        log_line!("regret growth exponent ≈ {e:.2} (sub-linear when < 1)");
     }
     if let Some(e) = exponent(fit) {
-        println!("fit growth exponent ≈ {e:.2} (sub-linear when < 1)");
+        log_line!("fit growth exponent ≈ {e:.2} (sub-linear when < 1)");
     }
     // CSV for plotting.
     let mut csv = String::from("t,regret,fit\n");
@@ -246,8 +253,8 @@ pub fn regret(profile: Profile, out_dir: &Path) {
 /// Ablation: RDCS (Alg. 2) vs independent rounding — budget overshoot
 /// and cohort-size dispersion.
 pub fn rounding_ablation(profile: Profile) {
-    println!("\n── Ablation: RDCS vs independent rounding ──");
-    println!(
+    log_line!("\n── Ablation: RDCS vs independent rounding ──");
+    log_line!(
         "{:<14}{:>10}{:>12}{:>14}{:>14}",
         "rounding", "epochs", "final acc", "overspend", "cohort σ"
     );
@@ -264,7 +271,7 @@ pub fn rounding_ablation(profile: Profile) {
         let mean = sizes.iter().sum::<f64>() / sizes.len().max(1) as f64;
         let var = sizes.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
             / sizes.len().max(1) as f64;
-        println!(
+        log_line!(
             "{:<14}{:>10}{:>12.3}{:>14.2}{:>14.2}",
             if independent { "independent" } else { "RDCS" },
             outcome.epochs.len(),
@@ -280,8 +287,8 @@ pub fn rounding_ablation(profile: Profile) {
 /// out as the mechanism behind FedCS's early per-round advantage.
 pub fn aggregation_ablation(profile: Profile) {
     use fedl_sim::AggregationNorm;
-    println!("\n── Ablation: aggregation normalization ──");
-    println!(
+    log_line!("\n── Ablation: aggregation normalization ──");
+    log_line!(
         "{:<12}{:<12}{:>10}{:>12}{:>14}{:>14}",
         "norm", "policy", "epochs", "final acc", "final loss", "sim time"
     );
@@ -296,7 +303,7 @@ pub fn aggregation_ablation(profile: Profile) {
             scenario.env.aggregation = norm;
             let mut runner = ExperimentRunner::new(scenario, policy);
             let outcome = runner.run();
-            println!(
+            log_line!(
                 "{:<12}{:<12}{:>10}{:>12.3}{:>14.3}{:>14.1}",
                 format!("{norm:?}"),
                 outcome.policy,
@@ -312,8 +319,8 @@ pub fn aggregation_ablation(profile: Profile) {
 /// Reference comparison: FedL against the 1-lookahead latency oracle —
 /// an empirical view of the dynamic-regret comparator.
 pub fn oracle_comparison(profile: Profile) {
-    println!("\n── Reference: FedL vs 1-lookahead latency oracle ──");
-    println!(
+    log_line!("\n── Reference: FedL vs 1-lookahead latency oracle ──");
+    log_line!(
         "{:<8}{:>10}{:>14}{:>14}{:>12}",
         "policy", "epochs", "sim time (s)", "s/epoch", "final acc"
     );
@@ -323,7 +330,7 @@ pub fn oracle_comparison(profile: Profile) {
         let mut runner = ExperimentRunner::new(scenario, policy);
         let outcome = runner.run();
         let per_epoch = outcome.total_sim_time() / outcome.epochs.len().max(1) as f64;
-        println!(
+        log_line!(
             "{:<8}{:>10}{:>14.1}{:>14.3}{:>12.3}",
             outcome.policy,
             outcome.epochs.len(),
@@ -341,12 +348,12 @@ pub fn replication_study(profile: Profile) {
     use crate::harness::run_replicated;
     let seeds = [FIGURE_SEED, 7, 42, 1337];
     let target = accuracy_targets(TaskKind::FmnistLike)[1];
-    println!(
+    log_line!(
         "\n── Replication: FMNIST IID over {} seeds (target {:.0}%) ──",
         seeds.len(),
         target * 100.0
     );
-    println!(
+    log_line!(
         "{:<8}{:>22}{:>24}{:>26}",
         "policy", "final acc (μ±σ)", "sim time (μ±σ)", "time→target (μ±σ)"
     );
@@ -362,7 +369,7 @@ pub fn replication_study(profile: Profile) {
         let tt = s
             .time_to_target
             .map_or("never".to_string(), |m| format!("{:.1} ± {:.1}", m.mean, m.std));
-        println!(
+        log_line!(
             "{:<8}{:>14.3} ± {:.3}{:>16.1} ± {:.1}{:>26}",
             s.policy,
             s.final_accuracy.mean,
@@ -378,8 +385,8 @@ pub fn replication_study(profile: Profile) {
 /// the paper) vs the min-makespan joint allocation of the paper's
 /// reference \[24\].
 pub fn bandwidth_study(profile: Profile) {
-    println!("\n── Extension: FDMA bandwidth allocation ──");
-    println!(
+    log_line!("\n── Extension: FDMA bandwidth allocation ──");
+    log_line!(
         "{:<14}{:>10}{:>14}{:>14}{:>12}",
         "allocation", "epochs", "sim time (s)", "s/epoch", "final acc"
     );
@@ -389,7 +396,7 @@ pub fn bandwidth_study(profile: Profile) {
         scenario.env.optimal_bandwidth = optimal;
         let mut runner = ExperimentRunner::new(scenario, PolicyKind::FedL);
         let outcome = runner.run();
-        println!(
+        log_line!(
             "{:<14}{:>10}{:>14.1}{:>14.3}{:>12.3}",
             if optimal { "min-makespan" } else { "equal-share" },
             outcome.epochs.len(),
@@ -403,8 +410,8 @@ pub fn bandwidth_study(profile: Profile) {
 /// Robustness study: mid-epoch client dropout (the paper's §1
 /// "battery failure, device offline" uncertainty) at increasing rates.
 pub fn dropout_study(profile: Profile) {
-    println!("\n── Robustness: mid-epoch client dropout ──");
-    println!(
+    log_line!("\n── Robustness: mid-epoch client dropout ──");
+    log_line!(
         "{:<10}{:<8}{:>10}{:>12}{:>14}{:>14}",
         "p_drop", "policy", "epochs", "final acc", "final loss", "sim time"
     );
@@ -419,7 +426,7 @@ pub fn dropout_study(profile: Profile) {
             scenario.env.p_dropout = p;
             let mut runner = ExperimentRunner::new(scenario, policy);
             let outcome = runner.run();
-            println!(
+            log_line!(
                 "{:<10}{:<8}{:>10}{:>12.3}{:>14.3}{:>14.1}",
                 p,
                 outcome.policy,
@@ -435,8 +442,8 @@ pub fn dropout_study(profile: Profile) {
 /// Extension study: the selection-fairness weight (the paper's stated
 /// future work) — Jain index of selection counts vs performance.
 pub fn fairness_study(profile: Profile) {
-    println!("\n── Extension: selection fairness ──");
-    println!(
+    log_line!("\n── Extension: selection fairness ──");
+    log_line!(
         "{:<10}{:>12}{:>12}{:>14}{:>14}",
         "weight", "Jain index", "final acc", "final loss", "sim time"
     );
@@ -453,7 +460,7 @@ pub fn fairness_study(profile: Profile) {
         ));
         let mut runner = ExperimentRunner::with_policy(scenario, env, policy);
         let outcome = runner.run();
-        println!(
+        log_line!(
             "{:<10}{:>12.3}{:>12.3}{:>14.3}{:>14.1}",
             weight,
             runner.trace().jain_fairness(m),
@@ -466,8 +473,8 @@ pub fn fairness_study(profile: Profile) {
 
 /// Ablation: Corollary-1 step-size schedule vs fixed step sizes.
 pub fn stepsize_ablation(profile: Profile) {
-    println!("\n── Ablation: step sizes β = δ ──");
-    println!("{:<18}{:>10}{:>12}{:>14}", "steps", "epochs", "final acc", "final loss");
+    log_line!("\n── Ablation: step sizes β = δ ──");
+    log_line!("{:<18}{:>10}{:>12}{:>14}", "steps", "epochs", "final acc", "final loss");
     let mut variants: Vec<(String, FedLConfig)> = vec![(
         "corollary-1".into(),
         FedLConfig::default(),
@@ -484,7 +491,7 @@ pub fn stepsize_ablation(profile: Profile) {
         scenario.fedl = fedl;
         let mut runner = ExperimentRunner::new(scenario, PolicyKind::FedL);
         let outcome = runner.run();
-        println!(
+        log_line!(
             "{:<18}{:>10}{:>12.3}{:>14.3}",
             name,
             outcome.epochs.len(),

@@ -13,11 +13,14 @@
 //!   latency oracle, fairness, bandwidth allocation, dropout,
 //!   multi-seed replication);
 //! * [`plot`] — terminal (ASCII) curve rendering of the figure panels;
-//! * [`cli`] — the `experiments` binary's argument grammar;
+//! * [`cli`] — the `experiments` binary's argument grammar, including
+//!   the `telemetry-report` run-log analysis subcommand;
 //! * [`timing`] — the measured-iterations micro-benchmark harness used
 //!   by the `benches/` targets (offline replacement for criterion).
 //!
-//! The `experiments` binary is a thin CLI over [`experiments`].
+//! The `experiments` binary is a thin CLI over [`experiments`]. All
+//! console tables go through `fedl_telemetry::log_line!`, so
+//! `FEDL_QUIET=1` silences them.
 //!
 //! System-inventory row **S9** in DESIGN.md §1.
 

@@ -1,9 +1,12 @@
 //! Result emission: CSV series for plotting, JSON for machines, and the
 //! human-readable tables the paper reports in §6.2 prose.
 
+use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::Path;
+
+use fedl_telemetry::log_line;
 
 use crate::harness::CellResult;
 
@@ -80,82 +83,94 @@ pub fn accuracy_at_time(result: &CellResult, time: f64) -> f64 {
 
 /// Prints the accuracy-vs-time table for one figure panel.
 pub fn print_time_table(title: &str, results: &[CellResult], times: &[f64], targets: &[f64]) {
-    println!("\n── {title} ──");
-    print!("{:<8}", "policy");
+    log_line!("\n── {title} ──");
+    let mut header = format!("{:<8}", "policy");
     for t in times {
-        print!("{:>12}", format!("acc@{t:.0}s"));
+        let _ = write!(header, "{:>12}", format!("acc@{t:.0}s"));
     }
     for a in targets {
-        print!("{:>14}", format!("t→{:.0}% (s)", a * 100.0));
+        let _ = write!(header, "{:>14}", format!("t→{:.0}% (s)", a * 100.0));
     }
-    println!();
+    log_line!("{header}");
     for r in results {
-        print!("{:<8}", r.outcome.policy);
+        let mut row = format!("{:<8}", r.outcome.policy);
         for &t in times {
-            print!("{:>12.3}", accuracy_at_time(r, t));
+            let _ = write!(row, "{:>12.3}", accuracy_at_time(r, t));
         }
         for &a in targets {
             match r.outcome.time_to_accuracy(a) {
-                Some(t) => print!("{:>14.1}", t),
-                None => print!("{:>14}", "—"),
+                Some(t) => {
+                    let _ = write!(row, "{:>14.1}", t);
+                }
+                None => {
+                    let _ = write!(row, "{:>14}", "—");
+                }
             }
         }
-        println!();
+        log_line!("{row}");
     }
 }
 
 /// Prints the accuracy-vs-round table for one figure panel.
 pub fn print_round_table(title: &str, results: &[CellResult], rounds: &[usize], targets: &[f64]) {
-    println!("\n── {title} ──");
-    print!("{:<8}", "policy");
+    log_line!("\n── {title} ──");
+    let mut header = format!("{:<8}", "policy");
     for r in rounds {
-        print!("{:>12}", format!("acc@r{r}"));
+        let _ = write!(header, "{:>12}", format!("acc@r{r}"));
     }
     for a in targets {
-        print!("{:>14}", format!("r→{:.0}%", a * 100.0));
+        let _ = write!(header, "{:>14}", format!("r→{:.0}%", a * 100.0));
     }
-    println!();
+    log_line!("{header}");
     for res in results {
         let by_round = res.outcome.accuracy_by_round();
-        print!("{:<8}", res.outcome.policy);
+        let mut row = format!("{:<8}", res.outcome.policy);
         for &target_round in rounds {
             let acc = by_round
                 .iter()
                 .take_while(|(r, _)| *r <= target_round)
                 .last()
                 .map_or(0.0, |(_, a)| *a);
-            print!("{:>12.3}", acc);
+            let _ = write!(row, "{:>12.3}", acc);
         }
         for &a in targets {
             match res.outcome.rounds_to_accuracy(a) {
-                Some(r) => print!("{:>14}", r),
-                None => print!("{:>14}", "—"),
+                Some(r) => {
+                    let _ = write!(row, "{:>14}", r);
+                }
+                None => {
+                    let _ = write!(row, "{:>14}", "—");
+                }
             }
         }
-        println!();
+        log_line!("{row}");
     }
 }
 
 /// Prints the budget-impact table (final global loss per budget).
 pub fn print_budget_table(title: &str, results: &[CellResult], budgets: &[f64]) {
-    println!("\n── {title} ──");
-    print!("{:<8}", "policy");
+    log_line!("\n── {title} ──");
+    let mut header = format!("{:<8}", "policy");
     for b in budgets {
-        print!("{:>12}", format!("C={b:.0}"));
+        let _ = write!(header, "{:>12}", format!("C={b:.0}"));
     }
-    println!("   (final global loss)");
+    log_line!("{header}   (final global loss)");
     for policy in ["FedL", "FedCS", "FedAvg", "Pow-d"] {
-        print!("{:<8}", policy);
+        let mut row = format!("{:<8}", policy);
         for &b in budgets {
             let cell = results
                 .iter()
                 .find(|r| r.outcome.policy == policy && (r.cell.budget - b).abs() < 1e-9);
             match cell {
-                Some(c) => print!("{:>12.3}", c.outcome.final_loss()),
-                None => print!("{:>12}", "—"),
+                Some(c) => {
+                    let _ = write!(row, "{:>12.3}", c.outcome.final_loss());
+                }
+                None => {
+                    let _ = write!(row, "{:>12}", "—");
+                }
             }
         }
-        println!();
+        log_line!("{row}");
     }
 }
 

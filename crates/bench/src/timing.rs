@@ -19,6 +19,8 @@
 
 use std::time::{Duration, Instant};
 
+use fedl_telemetry::log_line;
+
 /// Number of timed samples per benchmark.
 const SAMPLES: usize = 5;
 
@@ -32,7 +34,7 @@ fn target_budget() -> Duration {
 
 /// Prints a group header (visual separator between benchmark families).
 pub fn group(name: &str) {
-    println!("\n── {name} ──");
+    log_line!("\n── {name} ──");
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -83,7 +85,7 @@ pub fn bench<R>(label: &str, mut f: impl FnMut() -> R) {
     times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
     let median = times[times.len() / 2];
     let best = times[0];
-    println!(
+    log_line!(
         "{label:<44} {:>12}/iter   (best {:>12}, {iters}×{SAMPLES} iters)",
         fmt_ns(median),
         fmt_ns(best)

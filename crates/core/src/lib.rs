@@ -25,6 +25,13 @@
 //! the experiment loop that drives any [`policy::SelectionPolicy`]
 //! against a [`fedl_sim::EdgeEnvironment`] until the budget is gone.
 //!
+//! The runner accepts a [`fedl_telemetry::Telemetry`] handle via
+//! [`runner::ExperimentRunner::with_telemetry`]: an enabled handle
+//! captures the whole run as a structured JSONL event log
+//! (`run_start` → per-epoch `epoch`/`train`/`ledger`/`span` events →
+//! `run_end` + a `metrics` registry snapshot); the default disabled
+//! handle costs nothing. See `docs/TELEMETRY.md` for the event schema.
+//!
 //! System-inventory rows **S7** (FedL core) and **S8** (baselines) in
 //! DESIGN.md §1.
 
@@ -43,4 +50,4 @@ pub mod state;
 
 pub use fedl::{FedLConfig, FedLPolicy};
 pub use policy::{EpochContext, PolicyKind, SelectionDecision, SelectionPolicy};
-pub use runner::{ExperimentRunner, RunOutcome, ScenarioConfig};
+pub use runner::{ExperimentRunner, RunOutcome, ScenarioConfig, ScenarioError};

@@ -2,17 +2,72 @@
 //! federation until the budget is exhausted (paper Alg. 1's outer
 //! `while C ≥ 0` loop), recording the curves the figures plot.
 
+use std::fmt;
+
 use fedl_data::synth::{SyntheticSpec, TaskKind};
 use fedl_data::Partition;
-use fedl_json::ToJson;
+use fedl_json::{ToJson, Value};
 use fedl_linalg::rng::rng_for;
 use fedl_ml::dane::DaneConfig;
 use fedl_ml::model::{Cnn, ConvBlockSpec, MapShape, Mlp, Model, SoftmaxRegression};
 use fedl_sim::trace::RunTrace;
-use fedl_sim::{BudgetLedger, EdgeEnvironment, EnvConfig};
+use fedl_sim::{BudgetLedger, EdgeEnvironment, EnvConfig, SimError};
+use fedl_telemetry::Telemetry;
 
 use crate::fedl::FedLConfig;
 use crate::policy::{EpochContext, PolicyKind, SelectionPolicy};
+
+/// A scenario configuration the runner cannot execute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The environment configuration or budget was invalid.
+    Env(SimError),
+    /// The CNN input map disagrees with the dataset's feature dimension.
+    ModelShape {
+        /// Configured `(channels, height, width)`.
+        shape: (usize, usize, usize),
+        /// The dataset's actual feature dimension.
+        dim: usize,
+    },
+    /// The participation floor `n` exceeds the population size `M`.
+    ParticipationFloor {
+        /// Configured floor.
+        min_participants: usize,
+        /// Number of clients.
+        num_clients: usize,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Env(e) => write!(f, "{e}"),
+            ScenarioError::ModelShape { shape, dim } => write!(
+                f,
+                "CNN shape {shape:?} does not match the dataset dimension {dim}"
+            ),
+            ScenarioError::ParticipationFloor { min_participants, num_clients } => write!(
+                f,
+                "participation floor {min_participants} exceeds the {num_clients}-client population"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Env(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for ScenarioError {
+    fn from(e: SimError) -> Self {
+        ScenarioError::Env(e)
+    }
+}
 
 /// Global-model architecture.
 #[derive(Debug, Clone)]
@@ -128,9 +183,13 @@ impl ScenarioConfig {
         self
     }
 
-    fn build_model(&self, input_dim: usize, classes: usize) -> Box<dyn Model> {
+    fn try_build_model(
+        &self,
+        input_dim: usize,
+        classes: usize,
+    ) -> Result<Box<dyn Model>, ScenarioError> {
         let mut rng = rng_for(self.env.seed, 0x40DE1);
-        match &self.model {
+        Ok(match &self.model {
             ModelArch::Linear { l2 } => {
                 Box::new(SoftmaxRegression::new(input_dim, classes, *l2))
             }
@@ -139,37 +198,53 @@ impl ScenarioConfig {
             }
             ModelArch::Cnn { shape, blocks, l2 } => {
                 let map = MapShape { c: shape.0, h: shape.1, w: shape.2 };
-                assert_eq!(
-                    map.len(),
-                    input_dim,
-                    "CNN shape {shape:?} does not match the dataset dimension"
-                );
+                if map.len() != input_dim {
+                    return Err(ScenarioError::ModelShape { shape: *shape, dim: input_dim });
+                }
                 let specs = blocks
                     .iter()
                     .map(|&(out_channels, kernel)| ConvBlockSpec { out_channels, kernel })
                     .collect();
                 Box::new(Cnn::new(map, specs, classes, *l2, &mut rng))
             }
-        }
+        })
     }
 
-    /// Builds the simulated environment for this scenario.
-    pub fn build_env(&self) -> EdgeEnvironment {
+    /// Builds the simulated environment for this scenario, reporting
+    /// configuration problems as a [`ScenarioError`] instead of
+    /// panicking.
+    pub fn try_build_env(&self) -> Result<EdgeEnvironment, ScenarioError> {
+        self.env.try_validate()?;
+        if self.min_participants > self.env.num_clients {
+            return Err(ScenarioError::ParticipationFloor {
+                min_participants: self.min_participants,
+                num_clients: self.env.num_clients,
+            });
+        }
         let mut spec =
             SyntheticSpec::new(self.task, self.train_size, self.test_size, self.env.seed);
         if let Some(dim) = self.dim_override {
             spec = spec.with_dim(dim);
         }
         let (train, test) = spec.generate();
-        let model = self.build_model(train.dim(), train.num_classes);
-        EdgeEnvironment::new(
+        let model = self.try_build_model(train.dim(), train.num_classes)?;
+        Ok(EdgeEnvironment::new(
             self.env.clone(),
             train,
             test,
             self.partition,
             model,
             self.dane,
-        )
+        ))
+    }
+
+    /// Builds the simulated environment for this scenario.
+    ///
+    /// # Panics
+    /// Panics with the [`Self::try_build_env`] error message on an
+    /// invalid configuration.
+    pub fn build_env(&self) -> EdgeEnvironment {
+        self.try_build_env().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -290,19 +365,31 @@ pub struct ExperimentRunner {
     loss_hints: Vec<f64>,
     /// Structured event log of the run.
     trace: RunTrace,
+    telemetry: Telemetry,
 }
 
 impl ExperimentRunner {
-    /// Builds the runner for `kind` on `scenario`.
-    pub fn new(scenario: ScenarioConfig, kind: PolicyKind) -> Self {
-        let env = scenario.build_env();
+    /// Builds the runner for `kind` on `scenario`, reporting
+    /// configuration problems as a [`ScenarioError`].
+    pub fn try_new(scenario: ScenarioConfig, kind: PolicyKind) -> Result<Self, ScenarioError> {
+        BudgetLedger::try_new(scenario.budget)?;
+        let env = scenario.try_build_env()?;
         let policy = kind.build(
             scenario.env.num_clients,
             scenario.budget,
             scenario.min_participants,
             scenario.fedl,
         );
-        Self::with_policy(scenario, env, policy)
+        Ok(Self::with_policy(scenario, env, policy))
+    }
+
+    /// Builds the runner for `kind` on `scenario`.
+    ///
+    /// # Panics
+    /// Panics with the [`Self::try_new`] error message on an invalid
+    /// configuration.
+    pub fn new(scenario: ScenarioConfig, kind: PolicyKind) -> Self {
+        Self::try_new(scenario, kind).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Builds the runner around an already-constructed policy (used by
@@ -314,7 +401,27 @@ impl ExperimentRunner {
     ) -> Self {
         let ledger = BudgetLedger::new(scenario.budget);
         let loss_hints = vec![(10.0f64).ln(); scenario.env.num_clients];
-        Self { scenario, env, policy, ledger, loss_hints, trace: RunTrace::new() }
+        Self {
+            scenario,
+            env,
+            policy,
+            ledger,
+            loss_hints,
+            trace: RunTrace::new(),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Routes the whole run's observability through `telemetry`: the
+    /// runner emits `run_start`/`epoch`/`run_end` events and the
+    /// `epoch`/`select`/`evaluate` spans, and forwards clones to the
+    /// environment (→ `train`/`round` spans, `sim.*`/`ml.*` metrics)
+    /// and the budget ledger (→ `ledger` events, `budget.*` metrics).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.env.set_telemetry(telemetry.clone());
+        self.ledger.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+        self
     }
 
     /// The structured per-epoch event log recorded by [`Self::run`].
@@ -377,11 +484,28 @@ impl ExperimentRunner {
     /// Runs the experiment to budget exhaustion (or the epoch cap) and
     /// returns the recorded curves.
     pub fn run(&mut self) -> RunOutcome {
+        self.telemetry.emit(
+            "run_start",
+            vec![
+                ("policy", Value::from(self.policy.name())),
+                ("budget", Value::Float(self.scenario.budget)),
+                ("num_clients", Value::from(self.scenario.env.num_clients)),
+                ("min_participants", Value::from(self.scenario.min_participants)),
+                ("seed", Value::Int(self.scenario.env.seed as i64)),
+                ("max_epochs", Value::from(self.scenario.max_epochs)),
+            ],
+        );
         let mut records = Vec::new();
         let mut sim_time = 0.0f64;
         let mut epoch = 0usize;
         while !self.ledger.exhausted() && epoch < self.scenario.max_epochs {
+            let epoch_span = self.telemetry.span("epoch");
+            let select_span = self.telemetry.span("select");
             let Some(ctx) = self.context_for(epoch) else {
+                // Nobody was available: no phase ran, so neither timer
+                // should contribute a sample.
+                select_span.cancel();
+                epoch_span.cancel();
                 epoch += 1;
                 continue;
             };
@@ -391,6 +515,7 @@ impl ExperimentRunner {
                 // Defensive fallback: the floor-n cheapest clients.
                 decision.cohort = ctx.available.iter().copied().take(ctx.effective_n()).collect();
             }
+            drop(select_span);
             let iterations = decision.iterations.clamp(1, 50);
             let report = self.env.run_epoch(epoch, &decision.cohort, iterations);
             self.ledger.charge(report.cost);
@@ -400,23 +525,100 @@ impl ExperimentRunner {
             }
             self.policy.observe(&ctx, &report);
             sim_time += report.latency_secs;
+            let evaluate_span = self.telemetry.span("evaluate");
+            let accuracy = self.env.test_accuracy();
+            let test_loss = self.env.test_loss();
+            drop(evaluate_span);
+            self.emit_epoch_event(&ctx, &report, iterations, accuracy, test_loss);
             records.push(EpochRecord {
                 epoch,
                 cohort_size: report.cohort.len(),
                 iterations,
                 sim_time,
                 spent: self.ledger.spent(),
-                accuracy: self.env.test_accuracy(),
-                test_loss: self.env.test_loss(),
+                accuracy,
+                test_loss,
                 global_loss: report.global_loss_all,
             });
+            drop(epoch_span);
             epoch += 1;
         }
-        RunOutcome {
+        let outcome = RunOutcome {
             policy: self.policy.name().to_string(),
             budget: self.scenario.budget,
             epochs: records,
+        };
+        self.telemetry.emit(
+            "run_end",
+            vec![
+                ("epochs", Value::from(outcome.epochs.len())),
+                ("spent", Value::Float(self.ledger.spent())),
+                ("sim_time", Value::Float(outcome.total_sim_time())),
+                ("final_accuracy", Value::Float(outcome.final_accuracy())),
+            ],
+        );
+        self.telemetry.emit_metrics();
+        self.telemetry.flush();
+        outcome
+    }
+
+    /// Emits the per-epoch `epoch` event: the selection set, estimated
+    /// vs realized per-iteration latencies, cost and budget state,
+    /// measured local accuracies η̂, and the policy's regret/fit terms
+    /// (NaN for policies without a tracker).
+    fn emit_epoch_event(
+        &self,
+        ctx: &EpochContext,
+        report: &fedl_sim::EpochReport,
+        iterations: usize,
+        accuracy: f64,
+        test_loss: f64,
+    ) {
+        if !self.telemetry.enabled() {
+            return;
         }
+        // The policy selected using `ctx.latency_hint` (previous-epoch
+        // estimates, aligned with `ctx.available`); the report carries
+        // what the same clients actually took this epoch.
+        let est_latency: Vec<f64> = report
+            .cohort
+            .iter()
+            .map(|&k| {
+                ctx.available
+                    .iter()
+                    .position(|&a| a == k)
+                    .map_or(f64::NAN, |slot| ctx.latency_hint[slot])
+            })
+            .collect();
+        let (regret, fit) = self.policy.regret_tracker().map_or((f64::NAN, f64::NAN), |t| {
+            (
+                t.cumulative_regret().last().copied().unwrap_or(f64::NAN),
+                t.fit().last().copied().unwrap_or(f64::NAN),
+            )
+        });
+        let eta_hats: Vec<f64> = report.eta_hats.iter().map(|&e| e as f64).collect();
+        self.telemetry.emit(
+            "epoch",
+            vec![
+                ("epoch", Value::from(report.epoch)),
+                ("cohort", report.cohort.clone().to_json_value()),
+                ("failed", report.failed.clone().to_json_value()),
+                ("iterations", Value::from(iterations)),
+                ("cost", Value::Float(report.cost)),
+                ("budget_remaining", Value::Float(self.ledger.remaining())),
+                ("latency_secs", Value::Float(report.latency_secs)),
+                ("est_iter_latency", est_latency.to_json_value()),
+                ("realized_iter_latency", report.per_client_iter_latency.clone().to_json_value()),
+                ("eta_hats", eta_hats.to_json_value()),
+                ("accuracy", Value::Float(accuracy)),
+                ("test_loss", Value::Float(test_loss)),
+                ("global_loss", Value::Float(report.global_loss_all)),
+                ("regret", Value::Float(regret)),
+                ("fit", Value::Float(fit)),
+            ],
+        );
+        self.telemetry.gauge("run.accuracy").set(accuracy);
+        self.telemetry.histogram("run.epoch_cost").record(report.cost);
     }
 }
 
@@ -528,5 +730,47 @@ mod tests {
         let mut cohort = vec![5, 1, 1, 9, 3];
         sanitize_decision(&mut cohort, &[1, 3, 5]);
         assert_eq!(cohort, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn try_new_reports_config_problems_as_values() {
+        let mut s = scenario();
+        s.budget = -5.0;
+        match ExperimentRunner::try_new(s, PolicyKind::FedAvg).err() {
+            Some(ScenarioError::Env(e)) => {
+                assert!(e.to_string().contains("budget must be positive"))
+            }
+            other => panic!("expected budget error, got {other:?}"),
+        }
+
+        let mut s = scenario();
+        s.min_participants = 99;
+        match ExperimentRunner::try_new(s, PolicyKind::FedAvg).err() {
+            Some(ScenarioError::ParticipationFloor { min_participants: 99, num_clients: 8 }) => {}
+            other => panic!("expected floor error, got {other:?}"),
+        }
+
+        let mut s = scenario();
+        s.env.cost_range = (3.0, 1.0);
+        let err = ExperimentRunner::try_new(s, PolicyKind::FedAvg)
+            .err()
+            .expect("inverted cost range must be rejected");
+        assert!(err.to_string().contains("bad cost range"), "{err}");
+
+        let mut s = ScenarioConfig::small_fmnist_cnn(4, 50.0, 2);
+        s.dim_override = Some(64);
+        match s.try_build_env().err() {
+            Some(e @ ScenarioError::ModelShape { shape: (1, 16, 16), dim: 64 }) => {
+                assert!(e.to_string().contains("does not match the dataset dimension"))
+            }
+            other => panic!("expected shape error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn valid_scenario_passes_try_new() {
+        if let Err(e) = ExperimentRunner::try_new(scenario(), PolicyKind::FedL) {
+            panic!("valid scenario rejected: {e}");
+        }
     }
 }

@@ -37,6 +37,7 @@ use fedl_linalg::rng::Rng;
 
 use fedl_data::Dataset;
 use fedl_linalg::Matrix;
+use fedl_telemetry::Telemetry;
 
 use crate::model::Model;
 use crate::params::ParamSet;
@@ -190,6 +191,34 @@ pub fn local_update(
     LocalOutcome { delta, grad_at_w, eta_hat, loss_at_w, loss_after }
 }
 
+/// [`local_update`] with the solve's observables recorded into
+/// `telemetry`: counters `ml.local_updates` / `ml.local_steps` and
+/// histograms `ml.eta_hat` (the measured accuracy η̂, dimensionless),
+/// `ml.local_loss` (loss at the broadcast model), and
+/// `ml.solve_secs` (wall-clock solve time).
+///
+/// The workspace simulator calls this from its worker threads — the
+/// [`Telemetry`] handle is `Sync`, and every recording is a few atomic
+/// operations, so instrumentation does not serialise the parallel
+/// solves. A disabled handle makes this exactly [`local_update`].
+pub fn local_update_observed(
+    model_at_w: &dyn Model,
+    data: &Dataset,
+    j_agg: &ParamSet,
+    cfg: &DaneConfig,
+    rng: &mut impl Rng,
+    telemetry: &Telemetry,
+) -> LocalOutcome {
+    let start = std::time::Instant::now();
+    let outcome = local_update(model_at_w, data, j_agg, cfg, rng);
+    telemetry.counter("ml.local_updates").incr();
+    telemetry.counter("ml.local_steps").add(cfg.local_steps as u64);
+    telemetry.histogram("ml.eta_hat").record(outcome.eta_hat as f64);
+    telemetry.histogram("ml.local_loss").record(outcome.loss_at_w as f64);
+    telemetry.histogram("ml.solve_secs").record(start.elapsed().as_secs_f64());
+    outcome
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,6 +336,26 @@ mod tests {
         let j = model.params().zeros_like();
         let cfg = DaneConfig { momentum: 1.0, ..Default::default() };
         let _ = local_update(&model, &data, &j, &cfg, &mut rng_for(0, 0));
+    }
+
+    #[test]
+    fn observed_update_matches_plain_and_records_metrics() {
+        let (model, data) = setup();
+        let (x, y) = (data.features.clone(), data.one_hot_labels());
+        let (_, j) = model.loss_and_grad(&x, &y);
+        let cfg = DaneConfig { local_steps: 4, ..Default::default() };
+        let plain = local_update(&model, &data, &j, &cfg, &mut rng_for(9, 0));
+        let (tel, _handle) = Telemetry::in_memory();
+        let observed =
+            local_update_observed(&model, &data, &j, &cfg, &mut rng_for(9, 0), &tel);
+        // Instrumentation must not change the numerics.
+        assert_eq!(observed.delta, plain.delta);
+        assert_eq!(observed.eta_hat, plain.eta_hat);
+        assert_eq!(tel.counter("ml.local_updates").value(), 1);
+        assert_eq!(tel.counter("ml.local_steps").value(), 4);
+        assert_eq!(tel.histogram("ml.eta_hat").count(), 1);
+        assert_eq!(tel.histogram("ml.local_loss").count(), 1);
+        assert_eq!(tel.histogram("ml.solve_secs").count(), 1);
     }
 
     #[test]

@@ -40,6 +40,23 @@ pub struct LatencyModel {
     pub bits_per_sample: f64,
 }
 
+/// One client's per-iteration latency, separated into its two phases
+/// (paper §3.2: `τ = τ^loc + τ^cm`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySplit {
+    /// Local-computation time `τ^loc` in seconds.
+    pub compute_secs: f64,
+    /// Uplink transmission time `τ^cm` in seconds.
+    pub upload_secs: f64,
+}
+
+impl LatencySplit {
+    /// Total per-iteration latency `τ^loc + τ^cm`.
+    pub fn total_secs(&self) -> f64 {
+        self.compute_secs + self.upload_secs
+    }
+}
+
 impl LatencyModel {
     /// Paper-default parameters for a model with `upload_bits` payload
     /// and `bits_per_sample` sample width.
@@ -47,10 +64,36 @@ impl LatencyModel {
         Self { bandwidth_hz: 20e6, noise_dbm_per_hz: -174.0, upload_bits, bits_per_sample }
     }
 
-    /// Per-iteration latency of each selected client:
-    /// `τ^loc_{t,k} + τ^cm_{t,k}`, where the FDMA bandwidth is shared
-    /// equally among the cohort. `samples[k]` is client `k`'s current
-    /// data volume `D_{t,k}`.
+    /// Per-iteration latency of each selected client, split into
+    /// computation and upload components (`τ^loc_{t,k}`, `τ^cm_{t,k}`),
+    /// where the FDMA bandwidth is shared equally among the cohort.
+    /// `samples[k]` is client `k`'s current data volume `D_{t,k}`.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths disagree.
+    pub fn per_iteration_split(
+        &self,
+        radios: &[&ClientRadio],
+        computes: &[&ComputeProfile],
+        samples: &[usize],
+    ) -> Vec<LatencySplit> {
+        assert_eq!(radios.len(), computes.len(), "radio/compute length mismatch");
+        assert_eq!(radios.len(), samples.len(), "radio/sample length mismatch");
+        let rates = equal_share_rates(radios, self.bandwidth_hz, self.noise_dbm_per_hz);
+        rates
+            .iter()
+            .zip(computes)
+            .zip(samples)
+            .map(|((&rate, compute), &n)| LatencySplit {
+                compute_secs: compute.local_update_secs(n as f64 * self.bits_per_sample),
+                upload_secs: self.upload_bits / rate.max(1e-3),
+            })
+            .collect()
+    }
+
+    /// Per-iteration total latency `τ^loc_{t,k} + τ^cm_{t,k}` of each
+    /// selected client (the sum of the [`Self::per_iteration_split`]
+    /// components).
     ///
     /// # Panics
     /// Panics if the slice lengths disagree.
@@ -60,18 +103,9 @@ impl LatencyModel {
         computes: &[&ComputeProfile],
         samples: &[usize],
     ) -> Vec<f64> {
-        assert_eq!(radios.len(), computes.len(), "radio/compute length mismatch");
-        assert_eq!(radios.len(), samples.len(), "radio/sample length mismatch");
-        let rates = equal_share_rates(radios, self.bandwidth_hz, self.noise_dbm_per_hz);
-        rates
-            .iter()
-            .zip(computes)
-            .zip(samples)
-            .map(|((&rate, compute), &n)| {
-                let tau_loc = compute.local_update_secs(n as f64 * self.bits_per_sample);
-                let tau_cm = self.upload_bits / rate.max(1e-3);
-                tau_loc + tau_cm
-            })
+        self.per_iteration_split(radios, computes, samples)
+            .into_iter()
+            .map(|s| s.total_secs())
             .collect()
     }
 
@@ -161,5 +195,22 @@ mod tests {
     fn empty_cohort_zero_latency() {
         let model = LatencyModel::paper_defaults(1e5, 6272.0);
         assert_eq!(model.epoch_secs(&[], &[], &[], 7), 0.0);
+    }
+
+    #[test]
+    fn split_components_sum_to_total() {
+        let (radios, computes) = cohort(4);
+        let model = LatencyModel::paper_defaults(1e6, 6272.0);
+        let r: Vec<&ClientRadio> = radios.iter().collect();
+        let c: Vec<&ComputeProfile> = computes.iter().collect();
+        let samples = [10, 200, 40, 5];
+        let splits = model.per_iteration_split(&r, &c, &samples);
+        let totals = model.per_iteration_secs(&r, &c, &samples);
+        assert_eq!(splits.len(), 4);
+        for (split, total) in splits.iter().zip(&totals) {
+            assert!(split.compute_secs > 0.0);
+            assert!(split.upload_secs > 0.0);
+            assert!((split.total_secs() - total).abs() < 1e-15);
+        }
     }
 }

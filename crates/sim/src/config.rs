@@ -1,6 +1,8 @@
 //! Environment configuration — the paper's §6.1 constants, overridable
 //! for scaled-down tests.
 
+use crate::error::SimError;
+
 /// How the server normalizes the summed client directions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AggregationNorm {
@@ -32,13 +34,25 @@ pub enum AvailabilityModel {
 }
 
 impl AvailabilityModel {
-    /// Validates probability ranges.
-    pub fn validate(&self) {
+    /// Checks probability ranges, returning the violation as a value.
+    pub fn try_validate(&self) -> Result<(), SimError> {
         if let AvailabilityModel::Markov { p_stay_on, p_stay_off } = *self {
-            assert!(
-                (0.0..=1.0).contains(&p_stay_on) && (0.0..=1.0).contains(&p_stay_off),
-                "Markov probabilities must be in [0, 1]: {p_stay_on}, {p_stay_off}"
-            );
+            if !(0.0..=1.0).contains(&p_stay_on) || !(0.0..=1.0).contains(&p_stay_off) {
+                return Err(SimError::InvalidConfig(format!(
+                    "Markov probabilities must be in [0, 1]: {p_stay_on}, {p_stay_off}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates probability ranges.
+    ///
+    /// # Panics
+    /// Panics with the [`Self::try_validate`] error message.
+    pub fn validate(&self) {
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
         }
     }
 }
@@ -123,46 +137,59 @@ impl EnvConfig {
         }
     }
 
+    /// Checks internal consistency, returning the first violated
+    /// requirement as a [`SimError`] instead of panicking.
+    pub fn try_validate(&self) -> Result<(), SimError> {
+        let fail = |msg: String| Err(SimError::InvalidConfig(msg));
+        if self.num_clients == 0 {
+            return fail("need at least one client".into());
+        }
+        if !(self.cell_radius_m > 0.0) {
+            return fail(format!("non-positive cell radius {}", self.cell_radius_m));
+        }
+        if !(self.p_available > 0.0 && self.p_available <= 1.0) {
+            return fail(format!(
+                "availability probability must be in (0, 1], got {}",
+                self.p_available
+            ));
+        }
+        self.availability.try_validate()?;
+        if !(0.0..1.0).contains(&self.p_dropout) {
+            return fail(format!(
+                "dropout probability must be in [0, 1), got {}",
+                self.p_dropout
+            ));
+        }
+        if !(self.cost_range.0 > 0.0 && self.cost_range.0 <= self.cost_range.1) {
+            return fail(format!("bad cost range {:?}", self.cost_range));
+        }
+        if !(self.lambda_range.0 > 0.0 && self.lambda_range.0 <= self.lambda_range.1) {
+            return fail(format!("bad lambda range {:?}", self.lambda_range));
+        }
+        if !(self.cpu_hz_range.0 > 0.0 && self.cpu_hz_range.0 <= self.cpu_hz_range.1) {
+            return fail(format!("bad cpu range {:?}", self.cpu_hz_range));
+        }
+        if !(self.cycles_per_bit_range.0 > 0.0
+            && self.cycles_per_bit_range.0 <= self.cycles_per_bit_range.1)
+        {
+            return fail(format!("bad cycles/bit range {:?}", self.cycles_per_bit_range));
+        }
+        if !(self.upload_bits > 0.0) {
+            return fail(format!("non-positive upload size {}", self.upload_bits));
+        }
+        Ok(())
+    }
+
     /// Validates internal consistency; called by the environment
     /// constructor.
     ///
     /// # Panics
-    /// Panics with a description of the first violated requirement.
+    /// Panics with a description of the first violated requirement (the
+    /// [`Self::try_validate`] error message).
     pub fn validate(&self) {
-        assert!(self.num_clients > 0, "need at least one client");
-        assert!(self.cell_radius_m > 0.0, "non-positive cell radius");
-        assert!(
-            self.p_available > 0.0 && self.p_available <= 1.0,
-            "availability probability must be in (0, 1]"
-        );
-        self.availability.validate();
-        assert!(
-            (0.0..1.0).contains(&self.p_dropout),
-            "dropout probability must be in [0, 1), got {}",
-            self.p_dropout
-        );
-        assert!(
-            self.cost_range.0 > 0.0 && self.cost_range.0 <= self.cost_range.1,
-            "bad cost range {:?}",
-            self.cost_range
-        );
-        assert!(
-            self.lambda_range.0 > 0.0 && self.lambda_range.0 <= self.lambda_range.1,
-            "bad lambda range {:?}",
-            self.lambda_range
-        );
-        assert!(
-            self.cpu_hz_range.0 > 0.0 && self.cpu_hz_range.0 <= self.cpu_hz_range.1,
-            "bad cpu range {:?}",
-            self.cpu_hz_range
-        );
-        assert!(
-            self.cycles_per_bit_range.0 > 0.0
-                && self.cycles_per_bit_range.0 <= self.cycles_per_bit_range.1,
-            "bad cycles/bit range {:?}",
-            self.cycles_per_bit_range
-        );
-        assert!(self.upload_bits > 0.0, "non-positive upload size");
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -203,5 +230,34 @@ mod tests {
         let mut c = EnvConfig::small(3, 0);
         c.cost_range = (5.0, 1.0);
         c.validate();
+    }
+
+    #[test]
+    fn try_validate_returns_typed_errors() {
+        let mut c = EnvConfig::small(3, 0);
+        assert_eq!(c.try_validate(), Ok(()));
+        c.num_clients = 0;
+        let err = c.try_validate().unwrap_err();
+        assert!(err.to_string().contains("need at least one client"), "{err}");
+        let mut c = EnvConfig::small(3, 0);
+        c.lambda_range = (0.0, 5.0);
+        assert!(c.try_validate().unwrap_err().to_string().contains("bad lambda range"));
+        let mut c = EnvConfig::small(3, 0);
+        c.availability = AvailabilityModel::Markov { p_stay_on: 1.5, p_stay_off: 0.5 };
+        assert!(c
+            .try_validate()
+            .unwrap_err()
+            .to_string()
+            .contains("Markov probabilities"));
+    }
+
+    #[test]
+    fn try_validate_rejects_nan_fields() {
+        let mut c = EnvConfig::small(3, 0);
+        c.p_dropout = f64::NAN;
+        assert!(c.try_validate().is_err());
+        let mut c = EnvConfig::small(3, 0);
+        c.cell_radius_m = f64::NAN;
+        assert!(c.try_validate().is_err());
     }
 }

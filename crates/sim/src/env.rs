@@ -8,10 +8,12 @@
 //! availability, costs, data arrivals, and channels.
 
 use fedl_data::{Dataset, Partition};
+use fedl_json::{ToJson, Value};
 use fedl_ml::dane::DaneConfig;
 use fedl_ml::metrics;
 use fedl_ml::model::Model;
 use fedl_net::{ChannelModel, ClientRadio, ComputeProfile, LatencyModel};
+use fedl_telemetry::Telemetry;
 
 use crate::client::{ClientProfile, EpochClientView};
 use crate::config::EnvConfig;
@@ -65,6 +67,7 @@ pub struct EdgeEnvironment {
     train: Dataset,
     test: Dataset,
     server: FederatedServer,
+    telemetry: Telemetry,
 }
 
 impl EdgeEnvironment {
@@ -91,7 +94,25 @@ impl EdgeEnvironment {
             bits_per_sample: train.dim() as f64 * 8.0,
         };
         let server = FederatedServer::new(model, dane, config.seed);
-        Self { config, channel, latency, clients, train, test, server }
+        Self {
+            config,
+            channel,
+            latency,
+            clients,
+            train,
+            test,
+            server,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Routes the environment's (and its server's) observability through
+    /// `telemetry`: every epoch opens a `train` span, emits a `train`
+    /// event, and records `sim.*` metrics; the server adds the
+    /// iteration-level spans and `ml.*` metrics.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.server.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
     }
 
     /// The environment configuration.
@@ -257,6 +278,7 @@ impl EdgeEnvironment {
         let cohort_refs: Vec<(usize, &Dataset)> =
             cohort_data.iter().map(|(k, d)| (*k, d)).collect();
 
+        let train_span = self.telemetry.span("train");
         let mut eta_max = vec![0.0f32; cohort.len()];
         let mut last_deltas = Vec::new();
         let mut local_losses = vec![0.0f32; cohort.len()];
@@ -276,6 +298,7 @@ impl EdgeEnvironment {
                 local_losses = stats.losses_at_w;
             }
         }
+        drop(train_span);
 
         // h_t⁰ linearization coefficients: J · d_k on the final iteration.
         let j = self.server.j_agg();
@@ -299,6 +322,43 @@ impl EdgeEnvironment {
             .map(|&k| self.clients[k].stream.epoch_dataset(&self.train, epoch))
             .collect();
         let global_loss_all = weighted_loss(self.server.model(), all_data.iter());
+
+        if self.telemetry.enabled() {
+            self.telemetry.emit(
+                "train",
+                vec![
+                    ("epoch", Value::from(epoch)),
+                    ("cohort", cohort.to_vec().to_json_value()),
+                    ("failed", failed.to_json_value()),
+                    ("iterations", Value::from(iterations)),
+                    ("latency_secs", Value::Float(latency_secs)),
+                    ("per_client_iter_latency", per_client_iter_latency.to_json_value()),
+                    ("cost", Value::Float(cost)),
+                ],
+            );
+            self.telemetry.histogram("sim.epoch_latency_secs").record(latency_secs);
+            let iter_hist = self.telemetry.histogram("sim.client_iter_latency_secs");
+            for &l in &per_client_iter_latency {
+                iter_hist.record(l);
+            }
+            self.telemetry.counter("sim.failed_clients").add(failed.len() as u64);
+            // Phase split of the realized latencies (equal-share FDMA
+            // only; the min-makespan allocator interleaves the phases).
+            if !self.config.optimal_bandwidth {
+                let radios: Vec<&ClientRadio> =
+                    cohort.iter().map(|&k| &views[k].radio).collect();
+                let computes: Vec<&ComputeProfile> =
+                    cohort.iter().map(|&k| &self.clients[k].compute).collect();
+                let samples: Vec<usize> =
+                    cohort.iter().map(|&k| views[k].data_volume).collect();
+                let compute_hist = self.telemetry.histogram("net.compute_secs");
+                let upload_hist = self.telemetry.histogram("net.upload_secs");
+                for split in self.latency.per_iteration_split(&radios, &computes, &samples) {
+                    compute_hist.record(split.compute_secs);
+                    upload_hist.record(split.upload_secs);
+                }
+            }
+        }
 
         EpochReport {
             epoch,
@@ -531,6 +591,51 @@ mod tests {
             assert!(report.failed.is_empty());
             assert_eq!(report.cohort.len(), 2);
         }
+    }
+
+    #[test]
+    fn telemetry_records_epoch_spans_and_events() {
+        use fedl_telemetry::Telemetry;
+        let mut e = env(8);
+        let (tel, handle) = Telemetry::in_memory();
+        e.set_telemetry(tel.clone());
+        let avail = e.available(0);
+        assert!(avail.len() >= 2);
+        let report = e.run_epoch(0, &avail[..2], 3);
+        let events = handle.events().unwrap();
+        let train = events
+            .iter()
+            .find(|ev| ev.get("kind").unwrap().as_str() == Some("train"))
+            .expect("run_epoch must emit a train event");
+        assert_eq!(train.get("epoch").unwrap().as_i64(), Some(0));
+        assert_eq!(train.get("iterations").unwrap().as_i64(), Some(3));
+        assert_eq!(train.get("latency_secs").unwrap().as_f64(), Some(report.latency_secs));
+        assert_eq!(train.get("cohort").unwrap().as_arr().unwrap().len(), 2);
+        // 3 iterations => 3 round spans, each with local-train + aggregate.
+        assert_eq!(tel.histogram("span.round").count(), 3);
+        assert_eq!(tel.histogram("span.local-train").count(), 3);
+        assert_eq!(tel.histogram("span.aggregate").count(), 3);
+        assert_eq!(tel.histogram("span.train").count(), 1);
+        assert_eq!(tel.counter("sim.iterations").value(), 3);
+        // 2 cohort clients x 3 iterations of local solves.
+        assert_eq!(tel.counter("ml.local_updates").value(), 6);
+        assert_eq!(tel.histogram("sim.epoch_latency_secs").count(), 1);
+        assert_eq!(tel.histogram("net.compute_secs").count(), 2);
+    }
+
+    #[test]
+    fn disabled_telemetry_leaves_results_identical() {
+        let mut plain = env(9);
+        let mut instrumented = env(9);
+        instrumented.set_telemetry(fedl_telemetry::Telemetry::in_memory().0);
+        let avail = plain.available(0);
+        assert!(avail.len() >= 2);
+        let a = plain.run_epoch(0, &avail[..2], 2);
+        let b = instrumented.run_epoch(0, &avail[..2], 2);
+        assert_eq!(a.eta_hats, b.eta_hats);
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.latency_secs, b.latency_secs);
+        assert_eq!(a.global_loss_all, b.global_loss_all);
     }
 
     #[test]

@@ -1,0 +1,51 @@
+//! Typed errors for configuration-reachable failures.
+//!
+//! The simulator historically reported bad configurations by panicking
+//! inside `validate()`/constructor asserts. Those panics are fine for
+//! programming bugs (empty cohorts mid-run), but budget and environment
+//! parameters come straight from user-facing scenario configs, so the
+//! fallible entry points ([`crate::BudgetLedger::try_new`],
+//! [`crate::EnvConfig::try_validate`]) return a [`SimError`] instead.
+//! The panicking methods remain and delegate, with identical message
+//! text, so existing callers and `should_panic` tests are untouched.
+
+use std::fmt;
+
+/// A configuration problem detected before any simulation ran.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The long-term budget `C` was zero, negative, or NaN.
+    InvalidBudget(f64),
+    /// An [`crate::EnvConfig`] field violated its documented range. The
+    /// payload names the field and the offending value.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidBudget(b) => {
+                write!(f, "budget must be positive, got {b}")
+            }
+            SimError::InvalidConfig(msg) => write!(f, "invalid environment config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_keeps_legacy_panic_text() {
+        // The panicking wrappers format these errors with `{e}`; the
+        // historical assert messages must stay substrings so existing
+        // `should_panic(expected = ...)` tests keep passing.
+        let e = SimError::InvalidBudget(-1.0);
+        assert!(e.to_string().contains("budget must be positive"));
+        let e = SimError::InvalidConfig("bad cost range (5.0, 1.0)".into());
+        assert!(e.to_string().contains("bad cost range"));
+    }
+}

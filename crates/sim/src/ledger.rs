@@ -1,5 +1,10 @@
 //! The long-term budget account (constraint (3a), Alg. 1's `while C ≥ 0`).
 
+use fedl_json::Value;
+use fedl_telemetry::Telemetry;
+
+use crate::error::SimError;
+
 /// Tracks spending against the long-term budget `C`.
 ///
 /// # Examples
@@ -19,16 +24,37 @@ pub struct BudgetLedger {
     initial: f64,
     spent: f64,
     charges: Vec<f64>,
+    telemetry: Telemetry,
 }
 
 impl BudgetLedger {
+    /// Opens a ledger with budget `C`, rejecting non-positive (or NaN)
+    /// budgets as a typed error.
+    pub fn try_new(budget: f64) -> Result<Self, SimError> {
+        if !(budget > 0.0 && budget.is_finite()) {
+            return Err(SimError::InvalidBudget(budget));
+        }
+        Ok(Self {
+            initial: budget,
+            spent: 0.0,
+            charges: Vec::new(),
+            telemetry: Telemetry::disabled(),
+        })
+    }
+
     /// Opens a ledger with budget `C`.
     ///
     /// # Panics
-    /// Panics on a non-positive budget.
+    /// Panics on a non-positive budget (the [`Self::try_new`] error
+    /// message).
     pub fn new(budget: f64) -> Self {
-        assert!(budget > 0.0, "budget must be positive, got {budget}");
-        Self { initial: budget, spent: 0.0, charges: Vec::new() }
+        Self::try_new(budget).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Routes the ledger's observability through `telemetry`: each
+    /// charge emits a `ledger` event and updates the `budget.*` metrics.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The initial budget `C`.
@@ -57,6 +83,17 @@ impl BudgetLedger {
         assert!(amount >= 0.0, "negative charge {amount}");
         self.spent += amount;
         self.charges.push(amount);
+        self.telemetry.emit(
+            "ledger",
+            vec![
+                ("index", Value::from(self.charges.len() - 1)),
+                ("charge", Value::Float(amount)),
+                ("remaining", Value::Float(self.remaining())),
+            ],
+        );
+        self.telemetry.gauge("budget.remaining").set(self.remaining());
+        self.telemetry.counter("budget.epochs_charged").incr();
+        self.telemetry.histogram("budget.epoch_charge").record(amount);
     }
 
     /// `true` once the budget is gone (FL must stop).
@@ -115,6 +152,33 @@ mod tests {
     fn negative_charge_rejected() {
         let mut l = BudgetLedger::new(1.0);
         l.charge(-0.5);
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        assert!(BudgetLedger::try_new(10.0).is_ok());
+        assert_eq!(BudgetLedger::try_new(0.0).unwrap_err(), SimError::InvalidBudget(0.0));
+        assert_eq!(BudgetLedger::try_new(-3.0).unwrap_err(), SimError::InvalidBudget(-3.0));
+        assert!(BudgetLedger::try_new(f64::NAN).is_err());
+        assert!(BudgetLedger::try_new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn charges_emit_ledger_events_and_metrics() {
+        let (tel, handle) = Telemetry::in_memory();
+        let mut l = BudgetLedger::new(100.0);
+        l.set_telemetry(tel.clone());
+        l.charge(30.0);
+        l.charge(45.0);
+        let events = handle.events().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("kind").unwrap().as_str(), Some("ledger"));
+        assert_eq!(events[1].get("index").unwrap().as_i64(), Some(1));
+        assert_eq!(events[1].get("charge").unwrap().as_f64(), Some(45.0));
+        assert_eq!(events[1].get("remaining").unwrap().as_f64(), Some(25.0));
+        assert_eq!(tel.gauge("budget.remaining").value(), 25.0);
+        assert_eq!(tel.counter("budget.epochs_charged").value(), 2);
+        assert_eq!(tel.histogram("budget.epoch_charge").count(), 2);
     }
 
     #[test]

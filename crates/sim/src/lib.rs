@@ -17,8 +17,17 @@
 //! * [`server`] — model aggregation (`w ← w + Σ d_k / norm`) and the
 //!   aggregated-gradient state `J`;
 //! * [`env`](mod@env) — [`EdgeEnvironment`], the facade the runner drives;
+//! * [`error`](mod@error) — [`SimError`], typed configuration errors
+//!   behind the fallible `try_*` entry points;
 //! * [`trace`] — structured per-epoch event logs (selection, payments,
 //!   latency, fairness accounting) with JSONL export.
+//!
+//! The environment, server, and ledger all accept a
+//! [`fedl_telemetry::Telemetry`] handle (`set_telemetry`): when enabled
+//! it receives `train`/`round`/`local-train`/`aggregate` span timings,
+//! per-epoch `train` and `ledger` events, and `sim.*`/`budget.*`/`net.*`
+//! metrics. The default is the disabled no-op handle, so untelemetered
+//! use pays nothing.
 //!
 //! System-inventory row **S5** in DESIGN.md §1.
 
@@ -28,6 +37,7 @@
 pub mod client;
 pub mod config;
 pub mod env;
+pub mod error;
 pub mod ledger;
 pub mod server;
 pub mod trace;
@@ -35,4 +45,5 @@ pub mod trace;
 pub use client::{ClientProfile, EpochClientView};
 pub use config::{AggregationNorm, EnvConfig};
 pub use env::{EdgeEnvironment, EpochReport};
+pub use error::SimError;
 pub use ledger::BudgetLedger;

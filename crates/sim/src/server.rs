@@ -3,9 +3,10 @@
 
 use fedl_data::Dataset;
 use fedl_linalg::rng::{derive_seed, rng_for};
-use fedl_ml::dane::{local_update, DaneConfig};
+use fedl_ml::dane::{local_update_observed, DaneConfig};
 use fedl_ml::model::Model;
 use fedl_ml::params::ParamSet;
+use fedl_telemetry::Telemetry;
 
 use crate::config::AggregationNorm;
 
@@ -28,13 +29,21 @@ pub struct FederatedServer {
     j_agg: ParamSet,
     dane: DaneConfig,
     seed: u64,
+    telemetry: Telemetry,
 }
 
 impl FederatedServer {
     /// Creates a server around an initial global model.
     pub fn new(model: Box<dyn Model>, dane: DaneConfig, seed: u64) -> Self {
         let j_agg = model.params().zeros_like();
-        Self { model, j_agg, dane, seed }
+        Self { model, j_agg, dane, seed, telemetry: Telemetry::disabled() }
+    }
+
+    /// Routes the server's observability through `telemetry`: each
+    /// iteration opens `round` / `local-train` / `aggregate` spans and
+    /// the local solves record `ml.*` metrics.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Read access to the global model.
@@ -81,17 +90,22 @@ impl FederatedServer {
     ) -> IterationStats {
         assert!(!cohort.is_empty(), "iteration with empty cohort");
         assert!(available_count >= cohort.len(), "cohort larger than availability");
+        let _round = self.telemetry.span("round");
 
         let model = &self.model;
         let j_agg = &self.j_agg;
         let dane = &self.dane;
         let seed = self.seed;
+        let telemetry = &self.telemetry;
+        let local_train = telemetry.span("local-train");
         let outcomes: Vec<_> = fedl_linalg::par::par_map(cohort, |(id, data)| {
             let label = (epoch as u64) << 32 | (iteration as u64) << 16 | (*id as u64);
             let mut rng = rng_for(derive_seed(seed, 0x10CA1), label);
-            local_update(model.as_ref(), data, j_agg, dane, &mut rng)
+            local_update_observed(model.as_ref(), data, j_agg, dane, &mut rng, telemetry)
         });
+        drop(local_train);
 
+        let aggregate = self.telemetry.span("aggregate");
         let norm = match aggregation {
             AggregationNorm::Available => available_count as f32,
             AggregationNorm::Cohort => cohort.len() as f32,
@@ -104,6 +118,8 @@ impl FederatedServer {
 
         let grads: Vec<&ParamSet> = outcomes.iter().map(|o| &o.grad_at_w).collect();
         self.j_agg = ParamSet::average(&grads);
+        drop(aggregate);
+        self.telemetry.counter("sim.iterations").incr();
 
         IterationStats {
             eta_hats: outcomes.iter().map(|o| o.eta_hat).collect(),

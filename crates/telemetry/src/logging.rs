@@ -1,0 +1,50 @@
+//! Console logging for the workspace binaries.
+//!
+//! The bench/report binaries used to call `println!` directly. Routing
+//! them through [`log_line!`](crate::log_line) keeps the console
+//! output but adds a single global switch: set `FEDL_QUIET=1` (or any
+//! non-empty value other than `0`) to silence progress chatter, e.g.
+//! when the JSONL telemetry log is the output that matters.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+static QUIET: OnceLock<bool> = OnceLock::new();
+
+/// `true` when `FEDL_QUIET` asks for silence on stdout.
+pub fn quiet() -> bool {
+    *QUIET.get_or_init(|| {
+        std::env::var("FEDL_QUIET").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+    })
+}
+
+/// Prints one line to stdout unless [`quiet`] is set. Prefer the
+/// [`log_line!`](crate::log_line) macro, which forwards here.
+pub fn log(args: fmt::Arguments<'_>) {
+    if !quiet() {
+        println!("{args}");
+    }
+}
+
+/// `println!` that respects the `FEDL_QUIET` environment switch.
+///
+/// ```
+/// fedl_telemetry::log_line!("epoch {} done in {:.2}s", 3, 0.25);
+/// ```
+#[macro_export]
+macro_rules! log_line {
+    ($($arg:tt)*) => {
+        $crate::logging::log(::std::format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn log_line_formats_without_panicking() {
+        // The quiet flag is process-global (env + OnceLock), so the
+        // test only exercises the formatting path.
+        crate::log_line!("value {} and {:>5.1}", 1, 2.0);
+        let _ = super::quiet();
+    }
+}

@@ -1,0 +1,396 @@
+//! Named metric instruments — counters, gauges, and log-bucketed
+//! histograms — behind a get-or-create [`Registry`].
+//!
+//! Everything here is lock-free on the record path: a counter add is one
+//! `fetch_add`, a gauge set is one `store`, and a histogram record is a
+//! bucket `fetch_add` plus a handful of CAS loops for the running
+//! sum/min/max. Name resolution (`Registry::counter` etc.) takes a
+//! short mutex; hot paths should resolve once and cache the returned
+//! handle, which is a cheap `Arc` clone.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use fedl_json::Value;
+
+/// Number of histogram buckets.
+const BUCKETS: usize = 368;
+/// Lower edge of the first bucket (values at or below land in bucket 0).
+const MIN_VALUE: f64 = 1e-9;
+/// `ln(1e18)` — the log-width of the covered range `[1e-9, 1e9)`.
+const LN_SPAN: f64 = 41.446_531_673_892_82;
+
+/// Locks a mutex, recovering from poisoning (telemetry must never add a
+/// second panic on an unwinding thread).
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn atomic_f64_update(cell: &AtomicU64, v: f64, combine: impl Fn(f64, f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let new = combine(f64::from_bits(cur), v).to_bits();
+        match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// A monotonically increasing event count. The handle is a no-op when
+/// obtained from a disabled [`crate::Telemetry`].
+#[derive(Clone, Default)]
+pub struct Counter(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current count (0 for a disabled handle).
+    pub fn value(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-write-wins float value (e.g. "budget remaining").
+#[derive(Clone, Default)]
+pub struct Gauge(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        if let Some(cell) = &self.0 {
+            cell.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0.0 for a disabled handle).
+    pub fn value(&self) -> f64 {
+        self.0.as_ref().map_or(0.0, |c| f64::from_bits(c.load(Ordering::Relaxed)))
+    }
+}
+
+/// Shared storage of one histogram (see [`Histogram`]).
+pub struct HistogramCell {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl HistogramCell {
+    fn new() -> Self {
+        Self {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    fn bucket_index(v: f64) -> usize {
+        if v <= MIN_VALUE {
+            return 0;
+        }
+        let idx = ((v / MIN_VALUE).ln() / LN_SPAN * BUCKETS as f64) as usize;
+        idx.min(BUCKETS - 1)
+    }
+
+    /// Geometric midpoint of bucket `i`.
+    fn bucket_mid(i: usize) -> f64 {
+        MIN_VALUE * ((i as f64 + 0.5) * LN_SPAN / BUCKETS as f64).exp()
+    }
+}
+
+/// A log-bucketed histogram of non-negative values.
+///
+/// Buckets are geometric over `[1e-9, 1e9)` with ratio
+/// `1e18^(1/368) ≈ 1.12` per bucket, so a quantile estimate is within
+/// ~6 % relative error of the true sample quantile (values outside the
+/// range clamp into the edge buckets; exact min/max are tracked
+/// separately and bound every estimate). Negative and non-finite
+/// samples are ignored.
+#[derive(Clone, Default)]
+pub struct Histogram(pub(crate) Option<Arc<HistogramCell>>);
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, v: f64) {
+        let Some(cell) = &self.0 else { return };
+        if !v.is_finite() || v < 0.0 {
+            return;
+        }
+        cell.buckets[HistogramCell::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        cell.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_update(&cell.sum_bits, v, |a, b| a + b);
+        atomic_f64_update(&cell.min_bits, v, f64::min);
+        atomic_f64_update(&cell.max_bits, v, f64::max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.count.load(Ordering::Relaxed))
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> f64 {
+        self.0.as_ref().map_or(0.0, |c| f64::from_bits(c.sum_bits.load(Ordering::Relaxed)))
+    }
+
+    /// Mean of the recorded samples (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.sum() / n as f64)
+    }
+
+    /// Smallest recorded sample (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        let cell = self.0.as_ref()?;
+        (self.count() > 0).then(|| f64::from_bits(cell.min_bits.load(Ordering::Relaxed)))
+    }
+
+    /// Largest recorded sample (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        let cell = self.0.as_ref()?;
+        (self.count() > 0).then(|| f64::from_bits(cell.max_bits.load(Ordering::Relaxed)))
+    }
+
+    /// The `q`-quantile estimate, `q ∈ [0, 1]` (`None` when empty).
+    /// `quantile(0.5)` is the median, `quantile(0.99)` the p99.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let cell = self.0.as_ref()?;
+        let count = cell.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            return self.min();
+        }
+        if q == 1.0 {
+            return self.max();
+        }
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cum = 0u64;
+        for (i, b) in cell.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= target {
+                let lo = f64::from_bits(cell.min_bits.load(Ordering::Relaxed));
+                let hi = f64::from_bits(cell.max_bits.load(Ordering::Relaxed));
+                return Some(HistogramCell::bucket_mid(i).clamp(lo, hi));
+            }
+        }
+        self.max() // unreachable unless counts raced; the max is safe
+    }
+
+    /// Compact JSON summary (`count`, `mean`, `p50`, `p90`, `p99`,
+    /// `min`, `max`) for metric-snapshot events.
+    pub fn summary(&self) -> Value {
+        fedl_json::obj(vec![
+            ("count", Value::Int(self.count() as i64)),
+            ("mean", opt_f(self.mean())),
+            ("p50", opt_f(self.quantile(0.5))),
+            ("p90", opt_f(self.quantile(0.9))),
+            ("p99", opt_f(self.quantile(0.99))),
+            ("min", opt_f(self.min())),
+            ("max", opt_f(self.max())),
+        ])
+    }
+}
+
+fn opt_f(v: Option<f64>) -> Value {
+    v.map_or(Value::Null, Value::Float)
+}
+
+/// Get-or-create store of named instruments. Two lookups of the same
+/// name return handles over the same storage.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<Vec<(String, Arc<AtomicU64>)>>,
+    gauges: Mutex<Vec<(String, Arc<AtomicU64>)>>,
+    histograms: Mutex<Vec<(String, Arc<HistogramCell>)>>,
+}
+
+fn get_or_insert<T>(
+    table: &Mutex<Vec<(String, Arc<T>)>>,
+    name: &str,
+    make: impl FnOnce() -> T,
+) -> Arc<T> {
+    let mut table = lock(table);
+    if let Some((_, cell)) = table.iter().find(|(n, _)| n == name) {
+        return cell.clone();
+    }
+    let cell = Arc::new(make());
+    table.push((name.to_string(), cell.clone()));
+    cell
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name` (created on first use).
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(Some(get_or_insert(&self.counters, name, || AtomicU64::new(0))))
+    }
+
+    /// The gauge named `name` (created on first use).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge(Some(get_or_insert(&self.gauges, name, || AtomicU64::new(0f64.to_bits()))))
+    }
+
+    /// The histogram named `name` (created on first use).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        Histogram(Some(get_or_insert(&self.histograms, name, HistogramCell::new)))
+    }
+
+    /// One JSON object per instrument family, keys sorted by name:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+    pub fn snapshot(&self) -> Value {
+        let mut counters: Vec<(String, Value)> = lock(&self.counters)
+            .iter()
+            .map(|(n, c)| (n.clone(), Value::Int(c.load(Ordering::Relaxed) as i64)))
+            .collect();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut gauges: Vec<(String, Value)> = lock(&self.gauges)
+            .iter()
+            .map(|(n, c)| {
+                (n.clone(), Value::Float(f64::from_bits(c.load(Ordering::Relaxed))))
+            })
+            .collect();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut histograms: Vec<(String, Value)> = lock(&self.histograms)
+            .iter()
+            .map(|(n, c)| (n.clone(), Histogram(Some(c.clone())).summary()))
+            .collect();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Obj(vec![
+            ("counters".to_string(), Value::Obj(counters)),
+            ("gauges".to_string(), Value::Obj(gauges)),
+            ("histograms".to_string(), Value::Obj(histograms)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let r = Registry::new();
+        let c = r.counter("epochs");
+        c.incr();
+        c.add(4);
+        assert_eq!(c.value(), 5);
+        // Same name -> same storage.
+        assert_eq!(r.counter("epochs").value(), 5);
+        let g = r.gauge("budget");
+        g.set(12.5);
+        assert_eq!(g.value(), 12.5);
+        g.set(-3.0);
+        assert_eq!(r.gauge("budget").value(), -3.0);
+    }
+
+    #[test]
+    fn disabled_handles_are_noops() {
+        let c = Counter::default();
+        c.incr();
+        assert_eq!(c.value(), 0);
+        let g = Gauge::default();
+        g.set(9.0);
+        assert_eq!(g.value(), 0.0);
+        let h = Histogram::default();
+        h.record(1.0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_tracks_exact_moments() {
+        let r = Registry::new();
+        let h = r.histogram("lat");
+        for v in [0.5, 1.5, 2.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert!((h.sum() - 4.0).abs() < 1e-12);
+        assert_eq!(h.min(), Some(0.5));
+        assert_eq!(h.max(), Some(2.0));
+        assert!((h.mean().unwrap() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_order_correct() {
+        let r = Registry::new();
+        let h = r.histogram("q");
+        for i in 1..=1000 {
+            h.record(i as f64 / 100.0); // 0.01 .. 10.0
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let p90 = h.quantile(0.9).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        assert!((p50 - 5.0).abs() / 5.0 < 0.07, "p50 {p50}");
+        assert!((p90 - 9.0).abs() / 9.0 < 0.07, "p90 {p90}");
+        assert!((p99 - 9.9).abs() / 9.9 < 0.07, "p99 {p99}");
+    }
+
+    #[test]
+    fn histogram_ignores_bad_samples() {
+        let r = Registry::new();
+        let h = r.histogram("bad");
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(-1.0);
+        assert_eq!(h.count(), 0);
+        h.record(0.0); // clamps into the first bucket, min/max exact
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(0.5), Some(0.0));
+    }
+
+    #[test]
+    fn extreme_values_clamp_into_edge_buckets() {
+        let r = Registry::new();
+        let h = r.histogram("edge");
+        h.record(1e-15);
+        h.record(1e15);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(0.0), Some(1e-15));
+        assert_eq!(h.quantile(1.0), Some(1e15));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let r = Registry::new();
+        r.counter("b").incr();
+        r.counter("a").add(2);
+        r.gauge("g").set(1.0);
+        r.histogram("h").record(0.5);
+        let snap = r.snapshot();
+        let counters = snap.get("counters").unwrap();
+        match counters {
+            Value::Obj(pairs) => {
+                assert_eq!(pairs[0].0, "a");
+                assert_eq!(pairs[1].0, "b");
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+        assert_eq!(snap.get("gauges").unwrap().get("g").unwrap().as_f64(), Some(1.0));
+        let h = snap.get("histograms").unwrap().get("h").unwrap();
+        assert_eq!(h.get("count").unwrap().as_i64(), Some(1));
+    }
+}

@@ -1,0 +1,248 @@
+//! Offline analysis of a telemetry run log.
+//!
+//! [`RunLog`] parses a JSONL event stream (from [`crate::FileSink`] or
+//! a [`crate::MemoryHandle`]) back into `fedl-json` values and answers
+//! the questions the `experiments telemetry-report` subcommand asks:
+//! which event kinds appeared, and how long each phase took. Phase
+//! quantiles here are exact (computed from the raw per-span durations
+//! in the log), unlike the ~6% bucketed estimates the live
+//! [`crate::Histogram`] gives.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+use fedl_json::Value;
+
+/// A parsed telemetry event stream.
+#[derive(Debug, Clone)]
+pub struct RunLog {
+    events: Vec<Value>,
+}
+
+/// Timing summary for one span name (a training phase).
+#[derive(Debug, Clone)]
+pub struct PhaseStats {
+    /// Span name, e.g. `local-train`.
+    pub name: String,
+    /// Number of times the phase ran.
+    pub count: usize,
+    /// Total seconds across all runs.
+    pub total_secs: f64,
+    /// Median duration in seconds.
+    pub p50: f64,
+    /// 90th-percentile duration in seconds.
+    pub p90: f64,
+    /// 99th-percentile duration in seconds.
+    pub p99: f64,
+    /// Longest single run in seconds.
+    pub max: f64,
+}
+
+impl RunLog {
+    /// Parses JSONL text: one event object per non-blank line.
+    pub fn parse(text: &str) -> Result<Self, fedl_json::Error> {
+        let events = text
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(Value::parse)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { events })
+    }
+
+    /// Reads and parses a JSONL log file.
+    pub fn read(path: impl AsRef<Path>) -> io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        Self::parse(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// The parsed events, in log order.
+    pub fn events(&self) -> &[Value] {
+        &self.events
+    }
+
+    /// How many events of each `kind` the log holds, sorted by kind.
+    pub fn kind_counts(&self) -> Vec<(String, usize)> {
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        for event in &self.events {
+            let kind = event
+                .get("kind")
+                .and_then(Value::as_str)
+                .unwrap_or("<missing kind>");
+            *counts.entry(kind.to_string()).or_default() += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    /// The subset of `required` kinds absent from the log.
+    pub fn missing_kinds(&self, required: &[&str]) -> Vec<String> {
+        let present: Vec<_> =
+            self.kind_counts().into_iter().map(|(kind, _)| kind).collect();
+        required
+            .iter()
+            .filter(|kind| !present.iter().any(|p| p == *kind))
+            .map(|kind| kind.to_string())
+            .collect()
+    }
+
+    /// Per-phase timing statistics from the `span` events, with exact
+    /// quantiles, sorted by total time descending.
+    pub fn phase_stats(&self) -> Vec<PhaseStats> {
+        let mut durations: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        for event in &self.events {
+            if event.get("kind").and_then(Value::as_str) != Some("span") {
+                continue;
+            }
+            let (Some(name), Some(secs)) = (
+                event.get("name").and_then(Value::as_str),
+                event.get("secs").and_then(Value::as_f64),
+            ) else {
+                continue;
+            };
+            durations.entry(name.to_string()).or_default().push(secs);
+        }
+        let mut stats: Vec<PhaseStats> = durations
+            .into_iter()
+            .map(|(name, mut secs)| {
+                secs.sort_by(|a, b| a.total_cmp(b));
+                PhaseStats {
+                    name,
+                    count: secs.len(),
+                    total_secs: secs.iter().sum(),
+                    p50: exact_quantile(&secs, 0.50),
+                    p90: exact_quantile(&secs, 0.90),
+                    p99: exact_quantile(&secs, 0.99),
+                    max: *secs.last().expect("entry implies at least one sample"),
+                }
+            })
+            .collect();
+        stats.sort_by(|a, b| b.total_secs.total_cmp(&a.total_secs));
+        stats
+    }
+
+    /// Renders the human-readable report: event-kind counts followed by
+    /// the per-phase timing table.
+    pub fn render_report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("events: {}\n", self.events.len()));
+        for (kind, count) in self.kind_counts() {
+            out.push_str(&format!("  {kind:<12} {count:>6}\n"));
+        }
+        let stats = self.phase_stats();
+        if stats.is_empty() {
+            out.push_str("no span events in log\n");
+            return out;
+        }
+        out.push_str(&format!(
+            "\n{:<14} {:>7} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+            "phase", "count", "total", "p50", "p90", "p99", "max"
+        ));
+        for s in &stats {
+            out.push_str(&format!(
+                "{:<14} {:>7} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+                s.name,
+                s.count,
+                fmt_secs(s.total_secs),
+                fmt_secs(s.p50),
+                fmt_secs(s.p90),
+                fmt_secs(s.p99),
+                fmt_secs(s.max),
+            ));
+        }
+        out
+    }
+}
+
+/// Linear-interpolated quantile over an ascending-sorted slice.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    match sorted {
+        [] => f64::NAN,
+        [only] => *only,
+        _ => {
+            let rank = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            let frac = rank - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        }
+    }
+}
+
+/// Scales seconds to a readable unit (s / ms / µs).
+fn fmt_secs(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3}s")
+    } else if secs >= 1e-3 {
+        format!("{:.3}ms", secs * 1e3)
+    } else {
+        format!("{:.1}µs", secs * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span_line(name: &str, secs: f64) -> String {
+        format!(r#"{{"kind":"span","name":"{name}","parent":null,"depth":0,"secs":{secs}}}"#)
+    }
+
+    #[test]
+    fn parses_and_counts_kinds() {
+        let text = format!(
+            "{}\n{}\n\n{}\n",
+            r#"{"kind":"run_start","seed":7}"#,
+            span_line("epoch", 0.5),
+            r#"{"kind":"run_end","epochs":1}"#
+        );
+        let log = RunLog::parse(&text).unwrap();
+        assert_eq!(log.events().len(), 3);
+        assert_eq!(
+            log.kind_counts(),
+            vec![
+                ("run_end".to_string(), 1),
+                ("run_start".to_string(), 1),
+                ("span".to_string(), 1)
+            ]
+        );
+        assert_eq!(log.missing_kinds(&["run_start", "ledger"]), vec!["ledger".to_string()]);
+    }
+
+    #[test]
+    fn phase_stats_are_exact_and_sorted_by_total() {
+        let mut text = String::new();
+        for i in 1..=100 {
+            text.push_str(&span_line("fast", i as f64 / 1000.0));
+            text.push('\n');
+        }
+        text.push_str(&span_line("slow", 60.0));
+        text.push('\n');
+        let log = RunLog::parse(&text).unwrap();
+        let stats = log.phase_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].name, "slow", "sorted by total time descending");
+        assert_eq!(stats[0].count, 1);
+        assert_eq!(stats[0].p50, 60.0);
+        let fast = &stats[1];
+        assert_eq!(fast.count, 100);
+        assert!((fast.p50 - 0.0505).abs() < 1e-9, "p50 was {}", fast.p50);
+        assert!((fast.p90 - 0.0901).abs() < 1e-9, "p90 was {}", fast.p90);
+        assert!((fast.max - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_renders_counts_and_table() {
+        let text = format!("{}\n{}\n", span_line("epoch", 1.5), span_line("epoch", 0.5));
+        let log = RunLog::parse(&text).unwrap();
+        let report = log.render_report();
+        assert!(report.contains("events: 2"));
+        assert!(report.contains("span"));
+        assert!(report.contains("epoch"));
+        assert!(report.contains("2.000s"), "total column: {report}");
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(RunLog::parse("{\"kind\":\"x\"}\nnot json\n").is_err());
+    }
+}

@@ -1,0 +1,153 @@
+//! RAII span timers with parent/child nesting.
+//!
+//! A [`Span`] measures the wall-clock time between its creation
+//! (via [`crate::Telemetry::span`]) and its drop. On close it records
+//! the duration into the histogram `span.<name>` and emits a `span`
+//! event carrying the parent span's name and the nesting depth, so a
+//! run log reconstructs the phase tree
+//! (`epoch` → `select` / `train` → `round` → `local-train` /
+//! `aggregate`).
+//!
+//! Nesting is tracked on a per-[`crate::Telemetry`] stack: the
+//! orchestration path that opens spans is single-threaded in this
+//! workspace (worker threads record plain metrics instead), and a span
+//! closed out of order simply removes itself from wherever it sits in
+//! the stack.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use fedl_json::Value;
+
+use crate::metrics::lock;
+use crate::Inner;
+
+/// A live phase timer; the measurement is taken when it drops.
+#[must_use = "a span measures until it is dropped; binding it to _ closes it immediately"]
+pub struct Span {
+    active: Option<ActiveSpan>,
+}
+
+struct ActiveSpan {
+    inner: Arc<Inner>,
+    id: u64,
+    name: &'static str,
+    start: Instant,
+}
+
+impl Span {
+    /// A span that records nothing (what a disabled
+    /// [`crate::Telemetry`] hands out).
+    pub fn noop() -> Self {
+        Self { active: None }
+    }
+
+    pub(crate) fn start(inner: Arc<Inner>, id: u64, name: &'static str) -> Self {
+        Self { active: Some(ActiveSpan { inner, id, name, start: Instant::now() }) }
+    }
+
+    /// Discards the span without recording it (used when the phase it
+    /// was opened for turns out not to happen).
+    pub fn cancel(mut self) {
+        if let Some(span) = self.active.take() {
+            let mut stack = lock(&span.inner.span_stack);
+            if let Some(pos) = stack.iter().position(|(id, _)| *id == span.id) {
+                stack.remove(pos);
+            }
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(span) = self.active.take() else { return };
+        let secs = span.start.elapsed().as_secs_f64();
+        let (depth, parent) = {
+            let mut stack = lock(&span.inner.span_stack);
+            match stack.iter().position(|(id, _)| *id == span.id) {
+                Some(pos) => {
+                    let parent = (pos > 0).then(|| stack[pos - 1].1.clone());
+                    stack.remove(pos);
+                    (pos, parent)
+                }
+                None => (0, None), // already cancelled elsewhere; still record
+            }
+        };
+        span.inner.registry.histogram(&format!("span.{}", span.name)).record(secs);
+        span.inner.emit(
+            "span",
+            vec![
+                ("name".to_string(), Value::from(span.name)),
+                ("parent".to_string(), parent.map_or(Value::Null, Value::from)),
+                ("depth".to_string(), Value::from(depth)),
+                ("secs".to_string(), Value::Float(secs)),
+            ],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Telemetry;
+
+    #[test]
+    fn spans_nest_and_report_parents() {
+        let (tel, handle) = Telemetry::in_memory();
+        {
+            let _outer = tel.span("outer");
+            {
+                let _inner = tel.span("inner");
+            }
+        }
+        let events = handle.events().unwrap();
+        assert_eq!(events.len(), 2, "inner closes first, then outer");
+        let inner = &events[0];
+        assert_eq!(inner.get("name").unwrap().as_str(), Some("inner"));
+        assert_eq!(inner.get("parent").unwrap().as_str(), Some("outer"));
+        assert_eq!(inner.get("depth").unwrap().as_i64(), Some(1));
+        let outer = &events[1];
+        assert_eq!(outer.get("name").unwrap().as_str(), Some("outer"));
+        assert!(outer.get("parent").unwrap().is_null());
+        assert_eq!(outer.get("depth").unwrap().as_i64(), Some(0));
+        // Durations recorded into span histograms, outer >= inner.
+        let outer_h = tel.histogram("span.outer");
+        let inner_h = tel.histogram("span.inner");
+        assert_eq!(outer_h.count(), 1);
+        assert_eq!(inner_h.count(), 1);
+        assert!(outer_h.sum() >= inner_h.sum());
+    }
+
+    #[test]
+    fn sibling_spans_share_a_parent() {
+        let (tel, handle) = Telemetry::in_memory();
+        {
+            let _epoch = tel.span("epoch");
+            tel.span("select").cancel();
+            {
+                let _a = tel.span("select");
+            }
+            {
+                let _b = tel.span("evaluate");
+            }
+        }
+        let events = handle.events().unwrap();
+        let names: Vec<_> = events
+            .iter()
+            .map(|e| e.get("name").unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(names, vec!["select", "evaluate", "epoch"]);
+        assert_eq!(events[0].get("parent").unwrap().as_str(), Some("epoch"));
+        assert_eq!(events[1].get("parent").unwrap().as_str(), Some("epoch"));
+        // The cancelled span left no event and no histogram sample.
+        assert_eq!(tel.histogram("span.select").count(), 1);
+    }
+
+    #[test]
+    fn disabled_spans_do_nothing() {
+        let tel = Telemetry::disabled();
+        let span = tel.span("phase");
+        drop(span);
+        tel.span("phase").cancel();
+        assert!(!tel.enabled());
+    }
+}

@@ -1,14 +1,22 @@
 //! Theory validation and run forensics through the public API: drive a
-//! FedL run, then inspect (1) the dynamic regret and fit curves whose
-//! sub-linear growth Corollary 1 guarantees, and (2) the structured
-//! event trace — who got selected, how often, how fairly.
+//! FedL run with a telemetry handle attached, then inspect (1) the
+//! dynamic regret and fit curves whose sub-linear growth Corollary 1
+//! guarantees, (2) the structured event trace — who got selected, how
+//! often, how fairly — and (3) the JSONL run log's per-phase timing
+//! report.
 //!
 //! ```bash
 //! cargo run --release --example regret_and_trace
 //! ```
+//!
+//! The run log lands in `results/regret_trace_run.jsonl`; inspect it
+//! later with `experiments telemetry-report results/regret_trace_run.jsonl`.
 
 use fedl::core::fedl::FedLPolicy;
 use fedl::prelude::*;
+use fedl::telemetry::RunLog;
+
+const RUN_LOG: &str = "results/regret_trace_run.jsonl";
 
 fn main() {
     let scenario = ScenarioConfig::small_fmnist(15, 700.0, 4).with_seed(33);
@@ -19,7 +27,9 @@ fn main() {
         scenario.budget,
         scenario.min_participants,
     ));
-    let mut runner = ExperimentRunner::with_policy(scenario, env, policy);
+    let telemetry = Telemetry::to_file(RUN_LOG).expect("create run log");
+    let mut runner =
+        ExperimentRunner::with_policy(scenario, env, policy).with_telemetry(telemetry);
     let outcome = runner.run();
 
     // ── Corollary 1: dynamic regret / fit curves ──
@@ -56,4 +66,9 @@ fn main() {
         outcome.budget,
         outcome.final_accuracy()
     );
+
+    // ── Per-phase timing from the JSONL run log ──
+    let log = RunLog::read(RUN_LOG).expect("read back run log");
+    println!("\nrun log: {RUN_LOG}");
+    print!("{}", log.render_report());
 }

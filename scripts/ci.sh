@@ -16,4 +16,13 @@ cargo test -q --offline --workspace
 echo "==> cargo doc --no-deps --offline"
 RUSTDOCFLAGS="${RUSTDOCFLAGS:--D warnings}" cargo doc --no-deps --offline --workspace
 
+# Telemetry smoke: a real run must emit a parseable JSONL log holding
+# every event kind in the schema (docs/TELEMETRY.md), and the
+# telemetry-report subcommand must accept it.
+echo "==> telemetry run log round-trip"
+cargo run --release --offline --example regret_and_trace > /dev/null
+cargo run --release --offline -p fedl-bench --bin experiments -- \
+    telemetry-report results/regret_trace_run.jsonl \
+    --require run_start,epoch,train,ledger,span,metrics,run_end
+
 echo "==> OK"

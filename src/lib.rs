@@ -17,7 +17,10 @@
 //! * [`sim`] — client population, availability, costs, budget ledger, and
 //!   the federated epoch loop;
 //! * [`core`] — the FedL online-learning algorithm, RDCS rounding,
-//!   dynamic regret/fit accounting, and the FedAvg/FedCS/Pow-d baselines.
+//!   dynamic regret/fit accounting, and the FedAvg/FedCS/Pow-d baselines;
+//! * [`telemetry`] — metrics registry, phase spans, and the structured
+//!   JSONL run log (see `docs/TELEMETRY.md`); attach a handle with
+//!   [`core::runner::ExperimentRunner::with_telemetry`].
 //!
 //! ## Quickstart
 //!
@@ -46,6 +49,7 @@ pub use fedl_ml as ml;
 pub use fedl_net as net;
 pub use fedl_sim as sim;
 pub use fedl_solver as solver;
+pub use fedl_telemetry as telemetry;
 
 /// Commonly used types, re-exported for `use fedl::prelude::*`.
 pub mod prelude {
@@ -56,4 +60,5 @@ pub mod prelude {
     pub use fedl_data::Partition;
     pub use fedl_ml::model::Model;
     pub use fedl_sim::EdgeEnvironment;
+    pub use fedl_telemetry::Telemetry;
 }
