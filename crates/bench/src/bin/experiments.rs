@@ -5,8 +5,9 @@ use std::process::ExitCode;
 
 use fedl_bench::cli::{self, Command};
 use fedl_bench::experiments;
+use fedl_bench::harness::RunCache;
 use fedl_data::synth::TaskKind;
-use fedl_telemetry::{log_line, RunLog};
+use fedl_telemetry::{log_line, RunLog, Telemetry};
 
 /// Loads a JSONL run log, prints the per-phase timing report, and fails
 /// when any `--require`d event kind is absent.
@@ -40,7 +41,7 @@ fn main() -> ExitCode {
     if invocation.command == Command::TelemetryReport {
         return telemetry_report(&invocation);
     }
-    let (profile, out_dir) = (invocation.profile, invocation.out_dir);
+    let (profile, out_dir) = (invocation.profile, invocation.out_dir.clone());
     std::fs::create_dir_all(&out_dir).expect("create output directory");
     log_line!(
         "profile: {:?} (M={}, n={}), output: {}",
@@ -50,20 +51,34 @@ fn main() -> ExitCode {
         out_dir.display()
     );
 
+    // The result cache (--cache-dir/--resume): completed figure cells
+    // are served from disk, with cache.hit/cache.miss telemetry
+    // streamed to <out_dir>/cache_run.jsonl for telemetry-report.
+    let cache_telemetry = invocation.effective_cache_dir().map(|dir| {
+        let tel = Telemetry::to_file(out_dir.join("cache_run.jsonl"))
+            .expect("create cache telemetry log");
+        let cache = RunCache::open(&dir)
+            .expect("open result cache")
+            .with_telemetry(tel.clone());
+        log_line!("result cache: {}", cache.dir().display());
+        (cache, tel)
+    });
+    let cache = cache_telemetry.as_ref().map(|(c, _)| c);
+
     match invocation.command {
         Command::FigFmnist => {
-            experiments::fig_time_and_round(profile, TaskKind::FmnistLike, &out_dir);
+            experiments::fig_time_and_round(profile, TaskKind::FmnistLike, &out_dir, cache);
         }
         Command::FigCifar => {
-            experiments::fig_time_and_round(profile, TaskKind::CifarLike, &out_dir);
+            experiments::fig_time_and_round(profile, TaskKind::CifarLike, &out_dir, cache);
         }
         Command::Fig6 => {
-            experiments::fig_budget(profile, TaskKind::FmnistLike, &out_dir);
+            experiments::fig_budget(profile, TaskKind::FmnistLike, &out_dir, cache);
         }
         Command::Fig7 => {
-            experiments::fig_budget(profile, TaskKind::CifarLike, &out_dir);
+            experiments::fig_budget(profile, TaskKind::CifarLike, &out_dir, cache);
         }
-        Command::Headline => experiments::headline(profile, &out_dir),
+        Command::Headline => experiments::headline(profile, &out_dir, cache),
         Command::Regret => experiments::regret(profile, &out_dir),
         Command::Rounding => experiments::rounding_ablation(profile),
         Command::Stepsize => experiments::stepsize_ablation(profile),
@@ -75,15 +90,16 @@ fn main() -> ExitCode {
         Command::Replicate => experiments::replication_study(profile),
         Command::All => {
             let mut results =
-                experiments::fig_time_and_round(profile, TaskKind::FmnistLike, &out_dir);
+                experiments::fig_time_and_round(profile, TaskKind::FmnistLike, &out_dir, cache);
             results.extend(experiments::fig_time_and_round(
                 profile,
                 TaskKind::CifarLike,
                 &out_dir,
+                cache,
             ));
             experiments::headline_from(&results, &out_dir);
-            experiments::fig_budget(profile, TaskKind::FmnistLike, &out_dir);
-            experiments::fig_budget(profile, TaskKind::CifarLike, &out_dir);
+            experiments::fig_budget(profile, TaskKind::FmnistLike, &out_dir, cache);
+            experiments::fig_budget(profile, TaskKind::CifarLike, &out_dir, cache);
             experiments::regret(profile, &out_dir);
             experiments::rounding_ablation(profile);
             experiments::stepsize_ablation(profile);
@@ -95,6 +111,10 @@ fn main() -> ExitCode {
             experiments::replication_study(profile);
         }
         Command::TelemetryReport => unreachable!("dispatched before the experiment match"),
+    }
+    if let Some((_, tel)) = &cache_telemetry {
+        tel.emit_metrics();
+        tel.flush();
     }
     ExitCode::SUCCESS
 }

@@ -55,10 +55,37 @@ pub struct Invocation {
     pub input: Option<PathBuf>,
     /// Event kinds that must appear in the log (`--require`).
     pub require: Vec<String>,
+    /// Result-cache directory (`--cache-dir`); enables the cache.
+    pub cache_dir: Option<PathBuf>,
+    /// `--no-cache`: never consult or write the result cache.
+    pub no_cache: bool,
+    /// `--resume`: enable the cache at its default location so a
+    /// re-invocation skips already-completed cells.
+    pub resume: bool,
+}
+
+impl Invocation {
+    /// The directory the result cache should use, or `None` when
+    /// caching is disabled for this invocation.
+    ///
+    /// The cache is on iff `--cache-dir` or `--resume` was given and
+    /// `--no-cache` was not; `--resume` without an explicit directory
+    /// defaults to `<out_dir>/cache`.
+    pub fn effective_cache_dir(&self) -> Option<PathBuf> {
+        if self.no_cache {
+            return None;
+        }
+        match (&self.cache_dir, self.resume) {
+            (Some(dir), _) => Some(dir.clone()),
+            (None, true) => Some(self.out_dir.join("cache")),
+            (None, false) => None,
+        }
+    }
 }
 
 /// Usage string printed on parse errors.
 pub const USAGE: &str = "usage: experiments [--quick] [--out DIR] \
+[--cache-dir DIR] [--resume] [--no-cache] \
 <fig2|fig3|fig4|fig5|fig6|fig7|headline|regret|rounding|stepsize|aggregation|oracle|fairness|bandwidth|dropout|replicate|all>\n\
        experiments telemetry-report FILE [--require kind1,kind2,...]";
 
@@ -69,6 +96,9 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, Stri
     let mut command: Option<Command> = None;
     let mut input: Option<PathBuf> = None;
     let mut require: Vec<String> = Vec::new();
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut no_cache = false;
+    let mut resume = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -78,6 +108,14 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, Stri
                     it.next().ok_or_else(|| "--out requires a directory".to_string())?,
                 );
             }
+            "--cache-dir" => {
+                cache_dir = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--cache-dir requires a directory".to_string())?,
+                ));
+            }
+            "--no-cache" => no_cache = true,
+            "--resume" => resume = true,
             "--require" => {
                 let list = it
                     .next()
@@ -120,7 +158,19 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, Stri
     if command != Command::TelemetryReport && !require.is_empty() {
         return Err("--require only applies to telemetry-report".to_string());
     }
-    Ok(Invocation { profile, out_dir, command, input, require })
+    if command == Command::TelemetryReport && (cache_dir.is_some() || no_cache || resume) {
+        return Err("cache flags do not apply to telemetry-report".to_string());
+    }
+    Ok(Invocation {
+        profile,
+        out_dir,
+        command,
+        input,
+        require,
+        cache_dir,
+        no_cache,
+        resume,
+    })
 }
 
 #[cfg(test)]
@@ -200,6 +250,51 @@ mod tests {
         assert!(parse(args(&["telemetry-report", "a.jsonl", "--require"]))
             .unwrap_err()
             .contains("--require needs"));
+    }
+
+    #[test]
+    fn cache_is_off_by_default() {
+        let inv = parse(args(&["fig2"])).unwrap();
+        assert_eq!(inv.cache_dir, None);
+        assert!(!inv.no_cache && !inv.resume);
+        assert_eq!(inv.effective_cache_dir(), None);
+    }
+
+    #[test]
+    fn cache_dir_flag_enables_the_cache() {
+        let inv = parse(args(&["--cache-dir", "/tmp/c", "fig2"])).unwrap();
+        assert_eq!(inv.effective_cache_dir(), Some(PathBuf::from("/tmp/c")));
+    }
+
+    #[test]
+    fn resume_defaults_the_cache_under_out_dir() {
+        let inv = parse(args(&["--resume", "--out", "/tmp/r", "fig6"])).unwrap();
+        assert_eq!(inv.effective_cache_dir(), Some(PathBuf::from("/tmp/r/cache")));
+        // An explicit directory wins over the default.
+        let inv = parse(args(&["--resume", "--cache-dir", "/tmp/c", "fig6"])).unwrap();
+        assert_eq!(inv.effective_cache_dir(), Some(PathBuf::from("/tmp/c")));
+    }
+
+    #[test]
+    fn no_cache_overrides_everything() {
+        let inv =
+            parse(args(&["--no-cache", "--resume", "--cache-dir", "/tmp/c", "all"])).unwrap();
+        assert_eq!(inv.effective_cache_dir(), None);
+    }
+
+    #[test]
+    fn cache_flags_are_rejected_for_telemetry_report() {
+        for flags in [&["--resume"][..], &["--no-cache"], &["--cache-dir", "/tmp/c"]] {
+            let mut a = vec!["telemetry-report", "run.jsonl"];
+            a.extend_from_slice(flags);
+            assert!(
+                parse(args(&a)).unwrap_err().contains("do not apply"),
+                "{flags:?} should be rejected"
+            );
+        }
+        assert!(parse(args(&["fig2", "--cache-dir"]))
+            .unwrap_err()
+            .contains("--cache-dir requires"));
     }
 
     #[test]

@@ -10,7 +10,9 @@ use fedl_core::runner::ExperimentRunner;
 use fedl_data::synth::TaskKind;
 use fedl_telemetry::log_line;
 
-use crate::harness::{run_budget_sweep, run_policy_matrix, CellResult};
+use crate::harness::{
+    run_budget_sweep_cached, run_policy_matrix_cached, CellResult, RunCache,
+};
 use crate::profile::{accuracy_targets, Profile};
 use crate::report;
 
@@ -28,8 +30,14 @@ fn task_name(task: TaskKind) -> &'static str {
 /// Figures 2/4 (FMNIST) or 3/5 (CIFAR): accuracy vs simulated time and
 /// accuracy vs federated round, IID (left panel) and non-IID (right
 /// panel), all four policies. One run per (dist, policy) yields both
-/// axes, exactly as in the paper.
-pub fn fig_time_and_round(profile: Profile, task: TaskKind, out_dir: &Path) -> Vec<CellResult> {
+/// axes, exactly as in the paper. Completed cells are served from
+/// `cache` when one is attached.
+pub fn fig_time_and_round(
+    profile: Profile,
+    task: TaskKind,
+    out_dir: &Path,
+    cache: Option<&RunCache>,
+) -> Vec<CellResult> {
     let budget = profile.figure_budget();
     let mut all = Vec::new();
     let (fig_t, fig_r) = match task {
@@ -37,7 +45,8 @@ pub fn fig_time_and_round(profile: Profile, task: TaskKind, out_dir: &Path) -> V
         TaskKind::CifarLike => (3, 5),
     };
     for iid in [true, false] {
-        let results = run_policy_matrix(profile, task, iid, budget, FIGURE_SEED);
+        let results =
+            run_policy_matrix_cached(profile, task, iid, budget, FIGURE_SEED, cache);
         let dist = if iid { "IID" } else { "Non-IID" };
         let max_t = results
             .iter()
@@ -90,8 +99,14 @@ pub fn fig_time_and_round(profile: Profile, task: TaskKind, out_dir: &Path) -> V
 }
 
 /// Figures 6 (FMNIST) or 7 (CIFAR): final global loss vs budget, IID and
-/// non-IID panels.
-pub fn fig_budget(profile: Profile, task: TaskKind, out_dir: &Path) -> Vec<CellResult> {
+/// non-IID panels. Completed cells are served from `cache` when one is
+/// attached.
+pub fn fig_budget(
+    profile: Profile,
+    task: TaskKind,
+    out_dir: &Path,
+    cache: Option<&RunCache>,
+) -> Vec<CellResult> {
     let fig = match task {
         TaskKind::FmnistLike => 6,
         TaskKind::CifarLike => 7,
@@ -99,7 +114,7 @@ pub fn fig_budget(profile: Profile, task: TaskKind, out_dir: &Path) -> Vec<CellR
     let budgets = profile.budget_grid();
     let mut all = Vec::new();
     for iid in [true, false] {
-        let results = run_budget_sweep(profile, task, iid, FIGURE_SEED);
+        let results = run_budget_sweep_cached(profile, task, iid, FIGURE_SEED, cache);
         let dist = if iid { "IID" } else { "Non-IID" };
         report::print_budget_table(
             &format!("Fig {fig} — {} {dist}: loss vs budget", task_name(task)),
@@ -117,16 +132,17 @@ pub fn fig_budget(profile: Profile, task: TaskKind, out_dir: &Path) -> Vec<CellR
 /// The §6.2 headline table: completion-time savings and accuracy
 /// advantages of FedL over the baselines, per task and distribution.
 /// Runs the figure matrices and summarizes them.
-pub fn headline(profile: Profile, out_dir: &Path) {
+pub fn headline(profile: Profile, out_dir: &Path, cache: Option<&RunCache>) {
     let mut all = Vec::new();
     for task in [TaskKind::FmnistLike, TaskKind::CifarLike] {
         for iid in [true, false] {
-            all.extend(run_policy_matrix(
+            all.extend(run_policy_matrix_cached(
                 profile,
                 task,
                 iid,
                 profile.figure_budget(),
                 FIGURE_SEED,
+                cache,
             ));
         }
     }

@@ -1,11 +1,122 @@
 //! Running the experiment matrix.
 
+use std::path::Path;
+
 use fedl_core::policy::PolicyKind;
-use fedl_core::runner::{ExperimentRunner, RunOutcome, ScenarioConfig};
+use fedl_core::runner::{
+    ExperimentRunner, RunOutcome, ScenarioConfig, SNAPSHOT_SCHEMA_VERSION,
+};
 use fedl_data::synth::TaskKind;
+use fedl_json::{FromJson, ToJson, Value};
 use fedl_linalg::par::par_map;
+use fedl_store::{ResultCache, StoreError};
+use fedl_telemetry::{log_line, Telemetry};
 
 use crate::profile::Profile;
+
+/// A content-addressed cache of completed figure cells, so re-invoking
+/// `experiments` skips runs it has already produced.
+///
+/// Wraps [`fedl_store::ResultCache`]: the key text is the cell's full
+/// identity (snapshot schema version + policy label + canonical
+/// scenario JSON — see [`RunCache::cell_key`]) and the payload is the
+/// [`RunOutcome`] JSON. Hits and misses are reported as `cache.hit` /
+/// `cache.miss` events and counters on the attached [`Telemetry`].
+///
+/// Corrupt or incompatible entries are never fatal: they are logged,
+/// counted as misses, and repaired by the fresh run's `put`.
+#[derive(Debug, Clone)]
+pub struct RunCache {
+    cache: ResultCache,
+    telemetry: Telemetry,
+}
+
+impl RunCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Ok(Self {
+            cache: ResultCache::open(dir.as_ref())?,
+            telemetry: Telemetry::disabled(),
+        })
+    }
+
+    /// Routes `cache.hit`/`cache.miss` events and counters through
+    /// `telemetry`.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The directory entries live in.
+    pub fn dir(&self) -> &Path {
+        self.cache.dir()
+    }
+
+    /// Canonical key text for one `(scenario, policy)` cell.
+    ///
+    /// This is the cache-key contract (docs/CHECKPOINT.md): the
+    /// snapshot schema version, the policy label, and the canonical
+    /// scenario JSON, in that order. Any change to a scenario
+    /// parameter, to the policy, or to the serialized run schema
+    /// produces a different key and therefore a fresh run.
+    pub fn cell_key(scenario: &ScenarioConfig, policy_label: &str) -> String {
+        format!(
+            "fedl-cell v{SNAPSHOT_SCHEMA_VERSION}\npolicy={policy_label}\n{}",
+            scenario.canonical_json()
+        )
+    }
+
+    /// Looks up a completed run. `None` means a miss — absent entry,
+    /// or a corrupt/incompatible one (logged and left for `put` to
+    /// repair).
+    pub fn get(&self, scenario: &ScenarioConfig, policy_label: &str) -> Option<RunOutcome> {
+        let key = Self::cell_key(scenario, policy_label);
+        let outcome = match self.cache.get(&key) {
+            Ok(Some(payload)) => match RunOutcome::from_json_value(&payload) {
+                Ok(outcome) => Some(outcome),
+                Err(err) => {
+                    log_line!("cache entry for {policy_label} has a stale schema ({err}); rerunning");
+                    None
+                }
+            },
+            Ok(None) => None,
+            Err(err) => {
+                log_line!("cache entry for {policy_label} is unreadable ({err}); rerunning");
+                None
+            }
+        };
+        match &outcome {
+            Some(_) => {
+                self.telemetry.counter("cache.hit").incr();
+                self.telemetry.emit(
+                    "cache.hit",
+                    vec![
+                        ("policy", Value::from(policy_label)),
+                        ("address", Value::from(ResultCache::address(&key).as_str())),
+                    ],
+                );
+            }
+            None => {
+                self.telemetry.counter("cache.miss").incr();
+                self.telemetry.emit(
+                    "cache.miss",
+                    vec![("policy", Value::from(policy_label))],
+                );
+            }
+        }
+        outcome
+    }
+
+    /// Stores a completed run. Write failures are reported and
+    /// swallowed — a cold cache next time costs a re-run, aborting
+    /// costs this run's results.
+    pub fn put(&self, scenario: &ScenarioConfig, outcome: &RunOutcome) {
+        let key = Self::cell_key(scenario, &outcome.policy);
+        if let Err(err) = self.cache.put(&key, &outcome.to_json_value()) {
+            log_line!("failed to cache run for {}: {err}", outcome.policy);
+        }
+    }
+}
 
 /// One cell of the evaluation matrix.
 #[derive(Debug, Clone)]
@@ -31,8 +142,27 @@ pub struct CellResult {
 
 /// Runs one scenario/policy pair.
 pub fn run_cell(scenario: ScenarioConfig, cell: Cell) -> CellResult {
-    let mut runner = ExperimentRunner::new(scenario, cell.policy);
+    run_cell_cached(scenario, cell, None)
+}
+
+/// Runs one scenario/policy pair, consulting `cache` first when given.
+/// A hit returns the stored [`RunOutcome`] without building the
+/// environment; a miss runs fresh and stores the result.
+pub fn run_cell_cached(
+    scenario: ScenarioConfig,
+    cell: Cell,
+    cache: Option<&RunCache>,
+) -> CellResult {
+    if let Some(cache) = cache {
+        if let Some(outcome) = cache.get(&scenario, cell.policy.label()) {
+            return CellResult { cell, outcome };
+        }
+    }
+    let mut runner = ExperimentRunner::new(scenario.clone(), cell.policy);
     let outcome = runner.run();
+    if let Some(cache) = cache {
+        cache.put(&scenario, &outcome);
+    }
     CellResult { cell, outcome }
 }
 
@@ -45,9 +175,21 @@ pub fn run_policy_matrix(
     budget: f64,
     seed: u64,
 ) -> Vec<CellResult> {
+    run_policy_matrix_cached(profile, task, iid, budget, seed, None)
+}
+
+/// [`run_policy_matrix`] with an optional result cache.
+pub fn run_policy_matrix_cached(
+    profile: Profile,
+    task: TaskKind,
+    iid: bool,
+    budget: f64,
+    seed: u64,
+    cache: Option<&RunCache>,
+) -> Vec<CellResult> {
     par_map(&PolicyKind::ALL, |&policy| {
         let scenario = profile.scenario(task, iid, budget, seed);
-        run_cell(scenario, Cell { task, iid, policy, budget })
+        run_cell_cached(scenario, Cell { task, iid, policy, budget }, cache)
     })
 }
 
@@ -58,6 +200,17 @@ pub fn run_budget_sweep(
     iid: bool,
     seed: u64,
 ) -> Vec<CellResult> {
+    run_budget_sweep_cached(profile, task, iid, seed, None)
+}
+
+/// [`run_budget_sweep`] with an optional result cache.
+pub fn run_budget_sweep_cached(
+    profile: Profile,
+    task: TaskKind,
+    iid: bool,
+    seed: u64,
+    cache: Option<&RunCache>,
+) -> Vec<CellResult> {
     let grid = profile.budget_grid();
     let cells: Vec<(f64, PolicyKind)> = grid
         .iter()
@@ -65,7 +218,7 @@ pub fn run_budget_sweep(
         .collect();
     par_map(&cells, |&(budget, policy)| {
         let scenario = profile.scenario(task, iid, budget, seed);
-        run_cell(scenario, Cell { task, iid, policy, budget })
+        run_cell_cached(scenario, Cell { task, iid, policy, budget }, cache)
     })
 }
 
@@ -174,6 +327,23 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "no finite values")]
+    fn mean_std_rejects_zero_replications() {
+        let _ = MeanStd::of(&[]);
+    }
+
+    #[test]
+    fn mean_std_over_many_replications() {
+        // n = 5 values with a known sample variance.
+        let ms = MeanStd::of(&[2.0, 4.0, 4.0, 4.0, 6.0]);
+        assert!((ms.mean - 4.0).abs() < 1e-12);
+        assert!((ms.std - 2.0f64.sqrt()).abs() < 1e-12);
+        // Infinities are excluded alongside NaNs.
+        let filtered = MeanStd::of(&[1.0, f64::INFINITY, 3.0]);
+        assert!((filtered.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn replication_summarizes_all_policies() {
         let summaries = run_replicated(
             Profile::Quick,
@@ -190,6 +360,76 @@ mod tests {
             assert!(s.total_time.mean > 0.0);
             assert!(s.final_accuracy.std >= 0.0);
         }
+    }
+
+    #[test]
+    fn same_seed_reruns_are_identical() {
+        // Pins the cache-key contract: everything a run depends on is
+        // in (profile scenario, policy, seed), so re-running the same
+        // cell must reproduce the outcome bit-for-bit — which is what
+        // makes serving it from the result cache sound.
+        let a = run_policy_matrix(Profile::Quick, TaskKind::FmnistLike, true, 250.0, 11);
+        let b = run_policy_matrix(Profile::Quick, TaskKind::FmnistLike, true, 250.0, 11);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.outcome, y.outcome, "{:?} diverged across reruns", x.cell.policy);
+        }
+    }
+
+    #[test]
+    fn warm_cache_serves_identical_outcomes_and_reports_hits() {
+        let dir = std::env::temp_dir().join("fedl_bench_cache_tests").join("warm");
+        std::fs::remove_dir_all(&dir).ok();
+        let (tel, _handle) = Telemetry::in_memory();
+        let cache = RunCache::open(&dir).unwrap().with_telemetry(tel.clone());
+        let cold = run_policy_matrix_cached(
+            Profile::Quick, TaskKind::FmnistLike, true, 250.0, 5, Some(&cache),
+        );
+        assert_eq!(tel.counter("cache.miss").value(), 4);
+        assert_eq!(tel.counter("cache.hit").value(), 0);
+        let warm = run_policy_matrix_cached(
+            Profile::Quick, TaskKind::FmnistLike, true, 250.0, 5, Some(&cache),
+        );
+        assert_eq!(tel.counter("cache.hit").value(), 4);
+        for (x, y) in cold.iter().zip(&warm) {
+            assert_eq!(x.outcome, y.outcome);
+        }
+        // A different seed is a different key: all misses again.
+        run_policy_matrix_cached(
+            Profile::Quick, TaskKind::FmnistLike, true, 250.0, 6, Some(&cache),
+        );
+        assert_eq!(tel.counter("cache.miss").value(), 8);
+    }
+
+    #[test]
+    fn corrupt_cache_entries_fall_back_to_a_fresh_run() {
+        let dir = std::env::temp_dir().join("fedl_bench_cache_tests").join("corrupt");
+        std::fs::remove_dir_all(&dir).ok();
+        let (tel, _handle) = Telemetry::in_memory();
+        let cache = RunCache::open(&dir).unwrap().with_telemetry(tel.clone());
+        let scenario = Profile::Quick.scenario(TaskKind::FmnistLike, true, 250.0, 9);
+        let cell = Cell {
+            task: TaskKind::FmnistLike,
+            iid: true,
+            policy: PolicyKind::FedAvg,
+            budget: 250.0,
+        };
+        let first = run_cell_cached(scenario.clone(), cell.clone(), Some(&cache));
+        // Damage the single entry on disk.
+        let entry = std::fs::read_dir(cache.dir())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .find(|e| e.path().extension().is_some_and(|x| x == "fedlstore"))
+            .expect("one cache entry written")
+            .path();
+        std::fs::write(&entry, "fedl-store v1 kind=cache-entry crc=0000000000000000\n{}")
+            .unwrap();
+        let again = run_cell_cached(scenario, cell, Some(&cache));
+        // The damaged entry read as a miss (not a crash), the run
+        // reproduced the outcome, and the entry was repaired.
+        assert_eq!(tel.counter("cache.miss").value(), 2);
+        assert_eq!(tel.counter("cache.hit").value(), 0);
+        assert_eq!(first.outcome, again.outcome);
     }
 
     #[test]

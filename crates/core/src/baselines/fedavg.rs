@@ -1,8 +1,10 @@
 //! FedAvg-style random selection (McMahan et al. [19]).
 
+use fedl_json::{obj, Value};
 use fedl_linalg::rng::{derive_seed, SliceRandom, Xoshiro256pp};
 
 use crate::policy::{EpochContext, SelectionDecision, SelectionPolicy};
+use crate::snapshot;
 
 use super::BASELINE_ITERATIONS;
 
@@ -38,6 +40,16 @@ impl SelectionPolicy for FedAvgPolicy {
         pool.truncate(n);
         pool.sort_unstable();
         SelectionDecision { cohort: pool, iterations: BASELINE_ITERATIONS }
+    }
+
+    /// The shuffle RNG is the policy's only cross-epoch state.
+    fn snapshot_state(&self) -> Value {
+        obj(vec![("rng", snapshot::rng_to_json(&self.rng))])
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), fedl_json::Error> {
+        self.rng = snapshot::rng_from_json(state.field("rng")?)?;
+        Ok(())
     }
 }
 

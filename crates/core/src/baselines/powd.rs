@@ -4,10 +4,12 @@
 //! `n` candidates with the largest (last known) local losses — biasing
 //! toward clients whose data the current model fits worst.
 
+use fedl_json::{obj, Error, Value};
 use fedl_linalg::rng::{derive_seed, SliceRandom, Xoshiro256pp};
 use fedl_sim::EpochReport;
 
 use crate::policy::{EpochContext, SelectionDecision, SelectionPolicy};
+use crate::snapshot;
 
 use super::BASELINE_ITERATIONS;
 
@@ -71,6 +73,40 @@ impl SelectionPolicy for PowDPolicy {
             }
             self.last_loss[id] = Some(report.local_losses[slot] as f64);
         }
+    }
+
+    /// Cross-epoch state: the candidate-sampling RNG and the per-client
+    /// loss memory (never-observed clients stored as `null`).
+    fn snapshot_state(&self) -> Value {
+        let losses = self
+            .last_loss
+            .iter()
+            .map(|l| l.map_or(Value::Null, Value::Float))
+            .collect();
+        obj(vec![
+            ("rng", snapshot::rng_to_json(&self.rng)),
+            ("last_loss", Value::Arr(losses)),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), Error> {
+        let rng = snapshot::rng_from_json(state.field("rng")?)?;
+        let losses = state
+            .field("last_loss")?
+            .as_arr()
+            .ok_or_else(|| Error::msg("last_loss must be an array"))?;
+        let mut last_loss = Vec::with_capacity(losses.len());
+        for v in losses {
+            last_loss.push(match v {
+                Value::Null => None,
+                other => Some(other.as_f64().ok_or_else(|| {
+                    Error::msg("last_loss entries must be numbers or null")
+                })?),
+            });
+        }
+        self.rng = rng;
+        self.last_loss = last_loss;
+        Ok(())
     }
 }
 

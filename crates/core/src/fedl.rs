@@ -2,6 +2,7 @@
 //! (Alg. 2) + feasibility repair, behind the common
 //! [`crate::policy::SelectionPolicy`] interface.
 
+use fedl_json::{obj, read_field, ToJson, Value};
 use fedl_linalg::rng::{derive_seed, Xoshiro256pp};
 use fedl_sim::EpochReport;
 
@@ -10,6 +11,7 @@ use crate::online::{OnlineLearner, StepSizes};
 use crate::policy::{EpochContext, SelectionDecision, SelectionPolicy};
 use crate::regret::RegretTracker;
 use crate::rounding;
+use crate::snapshot;
 
 /// FedL hyper-parameters.
 #[derive(Debug, Clone, Copy)]
@@ -54,6 +56,30 @@ impl Default for FedLConfig {
             independent_rounding: false,
             fairness_weight: 0.0,
         }
+    }
+}
+
+impl ToJson for FedLConfig {
+    /// Canonical field order — part of the result-cache key contract
+    /// (docs/CHECKPOINT.md), so reordering or renaming fields
+    /// invalidates existing caches.
+    fn to_json_value(&self) -> Value {
+        let fixed_steps = match self.fixed_steps {
+            Some((beta, delta)) => {
+                Value::Arr(vec![Value::Float(beta), Value::Float(delta)])
+            }
+            None => Value::Null,
+        };
+        obj(vec![
+            ("theta", self.theta.to_json_value()),
+            ("rho_max", self.rho_max.to_json_value()),
+            ("step_scale", self.step_scale.to_json_value()),
+            ("dual_scale", self.dual_scale.to_json_value()),
+            ("fixed_steps", fixed_steps),
+            ("mean_cost_estimate", self.mean_cost_estimate.to_json_value()),
+            ("independent_rounding", self.independent_rounding.to_json_value()),
+            ("fairness_weight", self.fairness_weight.to_json_value()),
+        ])
     }
 }
 
@@ -189,6 +215,45 @@ impl SelectionPolicy for FedLPolicy {
 
     fn regret_tracker(&self) -> Option<&RegretTracker> {
         Some(&self.tracker)
+    }
+
+    /// Unlike the legacy [`FedLPolicy::checkpoint`] (which keeps only
+    /// the learner), this captures *everything* that feeds future
+    /// decisions — learner, regret tracker, the RDCS rounding RNG's
+    /// exact stream position, and the rounding mode — so a restored run
+    /// is bit-identical to an uninterrupted one.
+    ///
+    /// # Panics
+    /// Panics when called between a `select` and its `observe`; the
+    /// runner only checkpoints at epoch boundaries.
+    fn snapshot_state(&self) -> Value {
+        assert!(
+            self.pending.is_none(),
+            "FedL snapshot mid-epoch: select() is awaiting observe()"
+        );
+        obj(vec![
+            ("learner", self.learner.to_json_value()),
+            ("tracker", self.tracker.to_json_value()),
+            ("rng", snapshot::rng_to_json(&self.rng)),
+            ("independent_rounding", self.independent_rounding.to_json_value()),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), fedl_json::Error> {
+        let learner: OnlineLearner = read_field(state, "learner")?;
+        if learner.state().len() != self.learner.state().len() {
+            return Err(fedl_json::Error::msg(format!(
+                "checkpoint is for {} clients, not {}",
+                learner.state().len(),
+                self.learner.state().len()
+            )));
+        }
+        self.learner = learner;
+        self.tracker = read_field(state, "tracker")?;
+        self.rng = snapshot::rng_from_json(state.field("rng")?)?;
+        self.independent_rounding = read_field(state, "independent_rounding")?;
+        self.pending = None;
+        Ok(())
     }
 }
 

@@ -46,8 +46,11 @@ pub mod policy;
 pub mod regret;
 pub mod rounding;
 pub mod runner;
+pub mod snapshot;
 pub mod state;
 
 pub use fedl::{FedLConfig, FedLPolicy};
 pub use policy::{EpochContext, PolicyKind, SelectionDecision, SelectionPolicy};
-pub use runner::{ExperimentRunner, RunOutcome, ScenarioConfig, ScenarioError};
+pub use runner::{
+    ExperimentRunner, ResumeError, RunOutcome, ScenarioConfig, ScenarioError,
+};

@@ -105,30 +105,12 @@ impl OnlineLearner {
     /// Serializes the complete learner state (per-client memory,
     /// multipliers, step sizes) for checkpointing a long FL campaign.
     pub fn to_json(&self) -> String {
-        obj(vec![
-            ("state", self.state.to_json_value()),
-            ("mu0", self.mu0.to_json_value()),
-            ("mu", self.mu.to_json_value()),
-            ("steps", self.steps.to_json_value()),
-            ("theta", self.theta.to_json_value()),
-            ("rho_max", self.rho_max.to_json_value()),
-            ("fairness_weight", self.fairness_weight.to_json_value()),
-        ])
-        .to_json()
+        self.to_json_value().to_json()
     }
 
     /// Restores a learner from a [`OnlineLearner::to_json`] snapshot.
     pub fn from_json(snapshot: &str) -> Result<Self, fedl_json::Error> {
-        let v = Value::parse(snapshot)?;
-        Ok(Self {
-            state: read_field(&v, "state")?,
-            mu0: read_field(&v, "mu0")?,
-            mu: read_field(&v, "mu")?,
-            steps: read_field(&v, "steps")?,
-            theta: read_field(&v, "theta")?,
-            rho_max: read_field(&v, "rho_max")?,
-            fairness_weight: read_field(&v, "fairness_weight")?,
-        })
+        Self::from_json_value(&Value::parse(snapshot)?)
     }
 
     /// Current multipliers `(μ⁰, μ^k)` — exposed for the boundedness
@@ -254,6 +236,34 @@ impl OnlineLearner {
         for (pos, &k) in ctx.available.iter().enumerate() {
             self.mu[k] = (self.mu[k] + self.steps.delta * h[1 + pos]).max(0.0);
         }
+    }
+}
+
+impl ToJson for OnlineLearner {
+    fn to_json_value(&self) -> Value {
+        obj(vec![
+            ("state", self.state.to_json_value()),
+            ("mu0", self.mu0.to_json_value()),
+            ("mu", self.mu.to_json_value()),
+            ("steps", self.steps.to_json_value()),
+            ("theta", self.theta.to_json_value()),
+            ("rho_max", self.rho_max.to_json_value()),
+            ("fairness_weight", self.fairness_weight.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for OnlineLearner {
+    fn from_json_value(v: &Value) -> Result<Self, fedl_json::Error> {
+        Ok(Self {
+            state: read_field(v, "state")?,
+            mu0: read_field(v, "mu0")?,
+            mu: read_field(v, "mu")?,
+            steps: read_field(v, "steps")?,
+            theta: read_field(v, "theta")?,
+            rho_max: read_field(v, "rho_max")?,
+            fairness_weight: read_field(v, "fairness_weight")?,
+        })
     }
 }
 

@@ -89,6 +89,31 @@ pub trait SelectionPolicy: Send {
     fn regret_tracker(&self) -> Option<&crate::regret::RegretTracker> {
         None
     }
+
+    /// Serializes every piece of cross-epoch mutable state (learned
+    /// estimates, multipliers, RNG streams) for a run checkpoint, such
+    /// that a freshly built policy of the same kind and configuration
+    /// restored from it continues the run identically (the `fedl-store`
+    /// contract; schema in docs/CHECKPOINT.md). Policies with no
+    /// cross-epoch state keep the default, which snapshots to `null`.
+    fn snapshot_state(&self) -> fedl_json::Value {
+        fedl_json::Value::Null
+    }
+
+    /// Restores state produced by [`SelectionPolicy::snapshot_state`].
+    ///
+    /// Must only be called between epochs (never between a `select` and
+    /// its `observe`) on a policy built with the same configuration that
+    /// produced the snapshot.
+    fn restore_state(&mut self, state: &fedl_json::Value) -> Result<(), fedl_json::Error> {
+        match state {
+            fedl_json::Value::Null => Ok(()),
+            _ => Err(fedl_json::Error::msg(format!(
+                "policy {} is stateless but the checkpoint carries policy state",
+                self.name()
+            ))),
+        }
+    }
 }
 
 /// The schemes evaluated in the paper's §6, plus a 1-lookahead oracle

@@ -3,19 +3,32 @@
 //! `while C ≥ 0` loop), recording the curves the figures plot.
 
 use std::fmt;
+use std::path::{Path, PathBuf};
 
 use fedl_data::synth::{SyntheticSpec, TaskKind};
 use fedl_data::Partition;
-use fedl_json::{ToJson, Value};
+use fedl_json::{obj, read_field, FromJson, ToJson, Value};
 use fedl_linalg::rng::rng_for;
 use fedl_ml::dane::DaneConfig;
 use fedl_ml::model::{Cnn, ConvBlockSpec, MapShape, Mlp, Model, SoftmaxRegression};
-use fedl_sim::trace::RunTrace;
+use fedl_ml::params::ParamSet;
+use fedl_sim::trace::{EpochEvent, RunTrace};
 use fedl_sim::{BudgetLedger, EdgeEnvironment, EnvConfig, SimError};
+use fedl_store::{content_address, read_envelope, write_envelope, StoreError};
 use fedl_telemetry::Telemetry;
 
 use crate::fedl::FedLConfig;
 use crate::policy::{EpochContext, PolicyKind, SelectionPolicy};
+
+/// Version of the run-snapshot / cache-key schema. Bumped whenever the
+/// canonical scenario serialization or the checkpoint payload layout
+/// changes, so stale snapshots are rejected and stale cache entries
+/// miss instead of resurrecting results under a different contract
+/// (docs/CHECKPOINT.md).
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 1;
+
+/// Envelope kind tag for run checkpoints.
+const CHECKPOINT_KIND: &str = "checkpoint";
 
 /// A scenario configuration the runner cannot execute.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,6 +79,71 @@ impl std::error::Error for ScenarioError {
 impl From<SimError> for ScenarioError {
     fn from(e: SimError) -> Self {
         ScenarioError::Env(e)
+    }
+}
+
+/// Why [`ExperimentRunner::resume_from`] could not rebuild a run from a
+/// checkpoint. Every variant is a value, never a panic, so callers can
+/// fall back to a fresh run.
+#[derive(Debug)]
+pub enum ResumeError {
+    /// The snapshot file was unreadable, truncated, corrupt, or of a
+    /// foreign format version.
+    Store(StoreError),
+    /// The scenario itself cannot be executed (same failures as
+    /// [`ExperimentRunner::try_new`]).
+    Scenario(ScenarioError),
+    /// The payload parsed but did not match the snapshot schema.
+    Schema(fedl_json::Error),
+    /// The snapshot was taken under a different scenario, policy, or
+    /// schema version than the one being resumed.
+    Fingerprint {
+        /// Fingerprint of the scenario/policy being resumed.
+        expected: String,
+        /// Fingerprint recorded in the snapshot.
+        found: String,
+    },
+}
+
+impl fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResumeError::Store(e) => write!(f, "{e}"),
+            ResumeError::Scenario(e) => write!(f, "{e}"),
+            ResumeError::Schema(e) => write!(f, "snapshot schema mismatch: {e}"),
+            ResumeError::Fingerprint { expected, found } => write!(
+                f,
+                "snapshot fingerprint {found} does not match the scenario/policy being resumed ({expected})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ResumeError::Store(e) => Some(e),
+            ResumeError::Scenario(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for ResumeError {
+    fn from(e: StoreError) -> Self {
+        ResumeError::Store(e)
+    }
+}
+
+impl From<ScenarioError> for ResumeError {
+    fn from(e: ScenarioError) -> Self {
+        ResumeError::Scenario(e)
+    }
+}
+
+impl From<fedl_json::Error> for ResumeError {
+    fn from(e: fedl_json::Error) -> Self {
+        ResumeError::Schema(e)
     }
 }
 
@@ -183,6 +261,82 @@ impl ScenarioConfig {
         self
     }
 
+    /// Canonical serialization of the complete scenario, used for
+    /// checkpoint fingerprints and result-cache keys. Field names and
+    /// order are a compatibility contract (docs/CHECKPOINT.md): two
+    /// scenarios produce the same text iff every parameter that can
+    /// change a run's outcome is identical.
+    pub fn canonical_json(&self) -> String {
+        let task = match self.task {
+            TaskKind::FmnistLike => "fmnist-like",
+            TaskKind::CifarLike => "cifar-like",
+        };
+        let partition = match self.partition {
+            Partition::Iid => obj(vec![("kind", Value::from("iid"))]),
+            Partition::PrincipalMix { principal_frac } => obj(vec![
+                ("kind", Value::from("principal-mix")),
+                ("principal_frac", Value::Float(principal_frac)),
+            ]),
+            Partition::Shards => obj(vec![("kind", Value::from("shards"))]),
+            Partition::Dirichlet { alpha } => obj(vec![
+                ("kind", Value::from("dirichlet")),
+                ("alpha", Value::Float(alpha)),
+            ]),
+        };
+        let model = match &self.model {
+            ModelArch::Linear { l2 } => obj(vec![
+                ("kind", Value::from("linear")),
+                ("l2", l2.to_json_value()),
+            ]),
+            ModelArch::Mlp { hidden, l2 } => obj(vec![
+                ("kind", Value::from("mlp")),
+                ("hidden", hidden.clone().to_json_value()),
+                ("l2", l2.to_json_value()),
+            ]),
+            ModelArch::Cnn { shape, blocks, l2 } => obj(vec![
+                ("kind", Value::from("cnn")),
+                (
+                    "shape",
+                    Value::Arr(vec![
+                        Value::from(shape.0),
+                        Value::from(shape.1),
+                        Value::from(shape.2),
+                    ]),
+                ),
+                (
+                    "blocks",
+                    Value::Arr(
+                        blocks
+                            .iter()
+                            .map(|&(oc, k)| {
+                                Value::Arr(vec![Value::from(oc), Value::from(k)])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("l2", l2.to_json_value()),
+            ]),
+        };
+        obj(vec![
+            ("env", self.env.to_json_value()),
+            ("task", Value::from(task)),
+            (
+                "dim_override",
+                self.dim_override.map_or(Value::Null, Value::from),
+            ),
+            ("train_size", self.train_size.to_json_value()),
+            ("test_size", self.test_size.to_json_value()),
+            ("partition", partition),
+            ("model", model),
+            ("dane", self.dane.to_json_value()),
+            ("budget", self.budget.to_json_value()),
+            ("min_participants", self.min_participants.to_json_value()),
+            ("fedl", self.fedl.to_json_value()),
+            ("max_epochs", self.max_epochs.to_json_value()),
+        ])
+        .to_json()
+    }
+
     fn try_build_model(
         &self,
         input_dim: usize,
@@ -249,7 +403,7 @@ impl ScenarioConfig {
 }
 
 /// One epoch's recorded outcome.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EpochRecord {
     /// Epoch index.
     pub epoch: usize,
@@ -284,8 +438,23 @@ impl ToJson for EpochRecord {
     }
 }
 
+impl FromJson for EpochRecord {
+    fn from_json_value(v: &Value) -> Result<Self, fedl_json::Error> {
+        Ok(Self {
+            epoch: read_field(v, "epoch")?,
+            cohort_size: read_field(v, "cohort_size")?,
+            iterations: read_field(v, "iterations")?,
+            sim_time: read_field(v, "sim_time")?,
+            spent: read_field(v, "spent")?,
+            accuracy: read_field(v, "accuracy")?,
+            test_loss: read_field(v, "test_loss")?,
+            global_loss: read_field(v, "global_loss")?,
+        })
+    }
+}
+
 /// A completed run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunOutcome {
     /// Policy legend name.
     pub policy: String,
@@ -302,6 +471,16 @@ impl ToJson for RunOutcome {
             ("budget", self.budget.to_json_value()),
             ("epochs", self.epochs.to_json_value()),
         ])
+    }
+}
+
+impl FromJson for RunOutcome {
+    fn from_json_value(v: &Value) -> Result<Self, fedl_json::Error> {
+        Ok(Self {
+            policy: read_field(v, "policy")?,
+            budget: read_field(v, "budget")?,
+            epochs: read_field(v, "epochs")?,
+        })
     }
 }
 
@@ -366,6 +545,17 @@ pub struct ExperimentRunner {
     /// Structured event log of the run.
     trace: RunTrace,
     telemetry: Telemetry,
+    /// Per-epoch records accumulated so far (struct state rather than a
+    /// `run()` local so checkpoints can capture a half-finished run).
+    records: Vec<EpochRecord>,
+    /// Cumulative simulated training time.
+    sim_time: f64,
+    /// The next epoch `run()` will execute.
+    next_epoch: usize,
+    /// `Some((n, path))` = snapshot to `path` every `n` epochs.
+    checkpoint: Option<(usize, PathBuf)>,
+    /// Set by [`Self::resume_from`] so `run()` can report the restore.
+    restored_from_epoch: Option<usize>,
 }
 
 impl ExperimentRunner {
@@ -409,7 +599,131 @@ impl ExperimentRunner {
             loss_hints,
             trace: RunTrace::new(),
             telemetry: Telemetry::disabled(),
+            records: Vec::new(),
+            sim_time: 0.0,
+            next_epoch: 0,
+            checkpoint: None,
+            restored_from_epoch: None,
         }
+    }
+
+    /// Snapshots the complete run state to `path` after every `every`
+    /// epochs (atomic write; the previous snapshot is replaced). A run
+    /// interrupted at any point and resumed from its latest snapshot
+    /// via [`Self::resume_from`] produces a [`RunOutcome`] identical to
+    /// the uninterrupted run.
+    ///
+    /// # Panics
+    /// Panics when `every` is zero.
+    pub fn checkpoint_every(mut self, every: usize, path: impl Into<PathBuf>) -> Self {
+        assert!(every > 0, "checkpoint interval must be positive");
+        self.checkpoint = Some((every, path.into()));
+        self
+    }
+
+    /// The fingerprint binding a snapshot to one (scenario, policy,
+    /// schema-version) triple.
+    fn fingerprint(scenario: &ScenarioConfig, policy_name: &str) -> String {
+        content_address(
+            format!(
+                "fedl-snapshot v{SNAPSHOT_SCHEMA_VERSION}\npolicy={policy_name}\n{}",
+                scenario.canonical_json()
+            )
+            .as_bytes(),
+        )
+    }
+
+    /// Serializes the complete mid-run state — model, aggregated
+    /// gradient `J`, budget ledger, per-epoch records, policy internals
+    /// (including exact RNG stream positions), and the event trace —
+    /// into a checksummed envelope at `path`.
+    pub fn save_checkpoint(&self, path: &Path) -> Result<(), StoreError> {
+        let trace_events =
+            Value::Arr(self.trace.events().iter().map(ToJson::to_json_value).collect());
+        let payload = obj(vec![
+            (
+                "fingerprint",
+                Value::Str(Self::fingerprint(&self.scenario, self.policy.name())),
+            ),
+            ("policy", Value::from(self.policy.name())),
+            ("next_epoch", self.next_epoch.to_json_value()),
+            ("sim_time", self.sim_time.to_json_value()),
+            ("records", self.records.to_json_value()),
+            ("loss_hints", self.loss_hints.to_json_value()),
+            (
+                "ledger",
+                obj(vec![
+                    ("initial", self.ledger.initial().to_json_value()),
+                    ("charges", self.ledger.history().to_vec().to_json_value()),
+                ]),
+            ),
+            (
+                "server",
+                obj(vec![
+                    ("model", self.env.server().model().params().to_json_value()),
+                    ("j_agg", self.env.server().j_agg().to_json_value()),
+                ]),
+            ),
+            ("policy_state", self.policy.snapshot_state()),
+            ("trace", trace_events),
+        ]);
+        write_envelope(path, CHECKPOINT_KIND, &payload)?;
+        self.telemetry.emit(
+            "checkpoint.saved",
+            vec![
+                ("path", Value::Str(path.display().to_string())),
+                ("next_epoch", Value::from(self.next_epoch)),
+            ],
+        );
+        self.telemetry.counter("checkpoint.saved").incr();
+        Ok(())
+    }
+
+    /// Rebuilds a runner mid-run from a [`Self::save_checkpoint`]
+    /// snapshot. The scenario and policy kind must be exactly the ones
+    /// the snapshot was taken under (verified via the fingerprint);
+    /// calling [`Self::run`] on the result continues from the next
+    /// unexecuted epoch and returns the same [`RunOutcome`] the
+    /// uninterrupted run would have.
+    pub fn resume_from(
+        scenario: ScenarioConfig,
+        kind: PolicyKind,
+        path: &Path,
+    ) -> Result<Self, ResumeError> {
+        let payload = read_envelope(path, CHECKPOINT_KIND)?;
+        let mut runner = Self::try_new(scenario, kind)?;
+        let expected = Self::fingerprint(&runner.scenario, runner.policy.name());
+        let found: String = read_field(&payload, "fingerprint")?;
+        if found != expected {
+            return Err(ResumeError::Fingerprint { expected, found });
+        }
+        runner.next_epoch = read_field(&payload, "next_epoch")?;
+        runner.sim_time = read_field(&payload, "sim_time")?;
+        runner.records = read_field(&payload, "records")?;
+        runner.loss_hints = read_field(&payload, "loss_hints")?;
+        if runner.loss_hints.len() != runner.scenario.env.num_clients {
+            return Err(ResumeError::Schema(fedl_json::Error::msg(format!(
+                "snapshot carries {} loss hints for {} clients",
+                runner.loss_hints.len(),
+                runner.scenario.env.num_clients
+            ))));
+        }
+        let ledger_v = payload.field("ledger")?;
+        runner.ledger = BudgetLedger::restore(
+            read_field(ledger_v, "initial")?,
+            read_field(ledger_v, "charges")?,
+        )
+        .map_err(|e| ResumeError::Scenario(ScenarioError::Env(e)))?;
+        let server_v = payload.field("server")?;
+        let model: ParamSet = read_field(server_v, "model")?;
+        let j_agg: ParamSet = read_field(server_v, "j_agg")?;
+        runner.env.server_mut().set_model_params(model);
+        runner.env.server_mut().set_j_agg(j_agg);
+        runner.policy.restore_state(payload.field("policy_state")?)?;
+        let events: Vec<EpochEvent> = read_field(&payload, "trace")?;
+        runner.trace = RunTrace::from_events(events);
+        runner.restored_from_epoch = Some(runner.next_epoch);
+        Ok(runner)
     }
 
     /// Routes the whole run's observability through `telemetry`: the
@@ -482,7 +796,8 @@ impl ExperimentRunner {
     }
 
     /// Runs the experiment to budget exhaustion (or the epoch cap) and
-    /// returns the recorded curves.
+    /// returns the recorded curves. On a runner rebuilt with
+    /// [`Self::resume_from`], continues from the checkpointed epoch.
     pub fn run(&mut self) -> RunOutcome {
         self.telemetry.emit(
             "run_start",
@@ -495,58 +810,21 @@ impl ExperimentRunner {
                 ("max_epochs", Value::from(self.scenario.max_epochs)),
             ],
         );
-        let mut records = Vec::new();
-        let mut sim_time = 0.0f64;
-        let mut epoch = 0usize;
-        while !self.ledger.exhausted() && epoch < self.scenario.max_epochs {
-            let epoch_span = self.telemetry.span("epoch");
-            let select_span = self.telemetry.span("select");
-            let Some(ctx) = self.context_for(epoch) else {
-                // Nobody was available: no phase ran, so neither timer
-                // should contribute a sample.
-                select_span.cancel();
-                epoch_span.cancel();
-                epoch += 1;
-                continue;
-            };
-            let mut decision = self.policy.select(&ctx);
-            sanitize_decision(&mut decision.cohort, &ctx.available);
-            if decision.cohort.is_empty() {
-                // Defensive fallback: the floor-n cheapest clients.
-                decision.cohort = ctx.available.iter().copied().take(ctx.effective_n()).collect();
-            }
-            drop(select_span);
-            let iterations = decision.iterations.clamp(1, 50);
-            let report = self.env.run_epoch(epoch, &decision.cohort, iterations);
-            self.ledger.charge(report.cost);
-            self.trace.record(&report, self.ledger.remaining());
-            for (slot, &k) in report.cohort.iter().enumerate() {
-                self.loss_hints[k] = report.local_losses[slot] as f64;
-            }
-            self.policy.observe(&ctx, &report);
-            sim_time += report.latency_secs;
-            let evaluate_span = self.telemetry.span("evaluate");
-            let accuracy = self.env.test_accuracy();
-            let test_loss = self.env.test_loss();
-            drop(evaluate_span);
-            self.emit_epoch_event(&ctx, &report, iterations, accuracy, test_loss);
-            records.push(EpochRecord {
-                epoch,
-                cohort_size: report.cohort.len(),
-                iterations,
-                sim_time,
-                spent: self.ledger.spent(),
-                accuracy,
-                test_loss,
-                global_loss: report.global_loss_all,
-            });
-            drop(epoch_span);
-            epoch += 1;
+        if let Some(epoch) = self.restored_from_epoch.take() {
+            self.telemetry.emit(
+                "checkpoint.restored",
+                vec![
+                    ("next_epoch", Value::from(epoch)),
+                    ("epochs_already_recorded", Value::from(self.records.len())),
+                ],
+            );
+            self.telemetry.counter("checkpoint.restored").incr();
         }
+        while self.step() {}
         let outcome = RunOutcome {
             policy: self.policy.name().to_string(),
             budget: self.scenario.budget,
-            epochs: records,
+            epochs: self.records.clone(),
         };
         self.telemetry.emit(
             "run_end",
@@ -560,6 +838,87 @@ impl ExperimentRunner {
         self.telemetry.emit_metrics();
         self.telemetry.flush();
         outcome
+    }
+
+    /// Executes the next epoch (selection → training → payment →
+    /// feedback → evaluation), or skips it when no client is available.
+    /// Returns `false` once the budget is exhausted or the epoch cap is
+    /// reached. [`Self::run`] is the normal entry point; `step` is
+    /// exposed so drivers can interrupt a run at an arbitrary epoch
+    /// boundary and later continue it from a snapshot
+    /// ([`Self::save_checkpoint`] / [`Self::resume_from`]).
+    pub fn step(&mut self) -> bool {
+        if self.ledger.exhausted() || self.next_epoch >= self.scenario.max_epochs {
+            return false;
+        }
+        let epoch = self.next_epoch;
+        let epoch_span = self.telemetry.span("epoch");
+        let select_span = self.telemetry.span("select");
+        if let Some(ctx) = self.context_for(epoch) {
+            let mut decision = self.policy.select(&ctx);
+            sanitize_decision(&mut decision.cohort, &ctx.available);
+            if decision.cohort.is_empty() {
+                // Defensive fallback: the floor-n cheapest clients.
+                decision.cohort =
+                    ctx.available.iter().copied().take(ctx.effective_n()).collect();
+            }
+            drop(select_span);
+            let iterations = decision.iterations.clamp(1, 50);
+            let report = self.env.run_epoch(epoch, &decision.cohort, iterations);
+            self.ledger.charge(report.cost);
+            self.trace.record(&report, self.ledger.remaining());
+            for (slot, &k) in report.cohort.iter().enumerate() {
+                self.loss_hints[k] = report.local_losses[slot] as f64;
+            }
+            self.policy.observe(&ctx, &report);
+            self.sim_time += report.latency_secs;
+            let evaluate_span = self.telemetry.span("evaluate");
+            let accuracy = self.env.test_accuracy();
+            let test_loss = self.env.test_loss();
+            drop(evaluate_span);
+            self.emit_epoch_event(&ctx, &report, iterations, accuracy, test_loss);
+            self.records.push(EpochRecord {
+                epoch,
+                cohort_size: report.cohort.len(),
+                iterations,
+                sim_time: self.sim_time,
+                spent: self.ledger.spent(),
+                accuracy,
+                test_loss,
+                global_loss: report.global_loss_all,
+            });
+            drop(epoch_span);
+        } else {
+            // Nobody was available: no phase ran, so neither timer
+            // should contribute a sample.
+            select_span.cancel();
+            epoch_span.cancel();
+        }
+        self.next_epoch += 1;
+        self.maybe_checkpoint();
+        !self.ledger.exhausted() && self.next_epoch < self.scenario.max_epochs
+    }
+
+    /// Saves a snapshot when an interval is configured and the epoch
+    /// counter hits it. A failed save is reported through telemetry but
+    /// never interrupts the run — losing a checkpoint only costs resume
+    /// granularity, while aborting would lose the run itself.
+    fn maybe_checkpoint(&mut self) {
+        let Some((every, path)) = self.checkpoint.clone() else {
+            return;
+        };
+        if self.next_epoch % every != 0 {
+            return;
+        }
+        if let Err(e) = self.save_checkpoint(&path) {
+            self.telemetry.emit(
+                "checkpoint.save_failed",
+                vec![
+                    ("path", Value::Str(path.display().to_string())),
+                    ("error", Value::Str(e.to_string())),
+                ],
+            );
+        }
     }
 
     /// Emits the per-epoch `epoch` event: the selection set, estimated
@@ -772,5 +1131,136 @@ mod tests {
         if let Err(e) = ExperimentRunner::try_new(scenario(), PolicyKind::FedL) {
             panic!("valid scenario rejected: {e}");
         }
+    }
+
+    fn checkpoint_scenario() -> ScenarioConfig {
+        let mut s = scenario();
+        s.budget = 90.0;
+        s.max_epochs = 12;
+        s
+    }
+
+    #[test]
+    fn resume_reproduces_the_uninterrupted_run_exactly() {
+        let dir = std::env::temp_dir().join("fedl_runner_resume_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for kind in [PolicyKind::FedL, PolicyKind::FedAvg, PolicyKind::PowD] {
+            let s = checkpoint_scenario();
+            let full = ExperimentRunner::new(s.clone(), kind).run();
+            assert!(full.epochs.len() > 5, "{kind:?} run too short to interrupt");
+
+            // Interrupt after 5 epochs, snapshot, throw the runner away.
+            let path = dir.join(format!("{kind:?}.fedlstore"));
+            let mut first = ExperimentRunner::new(s.clone(), kind);
+            for _ in 0..5 {
+                assert!(first.step());
+            }
+            first.save_checkpoint(&path).unwrap();
+            drop(first);
+
+            // Resume in a fresh process-equivalent and finish.
+            let mut second = ExperimentRunner::resume_from(s, kind, &path).unwrap();
+            let resumed = second.run();
+            assert_eq!(full, resumed, "{kind:?} resumed run diverged");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_rejects_foreign_fingerprints_and_corruption() {
+        let dir = std::env::temp_dir().join("fedl_runner_resume_err_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.fedlstore");
+        let s = checkpoint_scenario();
+        let mut runner = ExperimentRunner::new(s.clone(), PolicyKind::FedAvg);
+        runner.step();
+        runner.save_checkpoint(&path).unwrap();
+
+        // Different policy → fingerprint mismatch.
+        match ExperimentRunner::resume_from(s.clone(), PolicyKind::FedL, &path).err() {
+            Some(ResumeError::Fingerprint { .. }) => {}
+            other => panic!("expected fingerprint error, got {other:?}"),
+        }
+        // Different scenario (seed) → fingerprint mismatch.
+        let reseeded = checkpoint_scenario().with_seed(99);
+        match ExperimentRunner::resume_from(reseeded, PolicyKind::FedAvg, &path).err() {
+            Some(ResumeError::Fingerprint { .. }) => {}
+            other => panic!("expected fingerprint error, got {other:?}"),
+        }
+        // Bit flip in the body → typed checksum error.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 2;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        match ExperimentRunner::resume_from(s.clone(), PolicyKind::FedAvg, &path).err() {
+            Some(ResumeError::Store(StoreError::ChecksumMismatch { .. })) => {}
+            other => panic!("expected checksum error, got {other:?}"),
+        }
+        // Truncation → typed truncation error.
+        std::fs::write(&path, "fedl-store").unwrap();
+        match ExperimentRunner::resume_from(s, PolicyKind::FedAvg, &path).err() {
+            Some(ResumeError::Store(StoreError::Truncated { .. })) => {}
+            other => panic!("expected truncation error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_every_writes_and_telemetry_reports() {
+        let dir = std::env::temp_dir().join("fedl_runner_ckpt_interval_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("auto.fedlstore");
+        let (tel, handle) = Telemetry::in_memory();
+        let mut runner = ExperimentRunner::new(checkpoint_scenario(), PolicyKind::FedAvg)
+            .checkpoint_every(2, &path)
+            .with_telemetry(tel.clone());
+        let out = runner.run();
+        assert!(path.exists(), "interval checkpointing never wrote a snapshot");
+        let saves = handle
+            .events()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("kind").and_then(|k| k.as_str()) == Some("checkpoint.saved"))
+            .count();
+        assert!(saves >= out.epochs.len() / 2, "expected periodic saves, got {saves}");
+        assert_eq!(tel.counter("checkpoint.saved").value(), saves as u64);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn canonical_json_is_stable_and_parameter_sensitive() {
+        let s = checkpoint_scenario();
+        let a = s.canonical_json();
+        assert_eq!(a, checkpoint_scenario().canonical_json(), "must be deterministic");
+        assert!(a.contains("\"env\":") && a.contains("\"fedl\":"), "{a}");
+        let mut t = checkpoint_scenario();
+        t.budget += 1.0;
+        assert_ne!(a, t.canonical_json(), "budget must be part of the key");
+        let reseeded = checkpoint_scenario().with_seed(1234);
+        assert_ne!(a, reseeded.canonical_json(), "seed must be part of the key");
+    }
+
+    #[test]
+    fn epoch_record_and_outcome_json_round_trip() {
+        let rec = EpochRecord {
+            epoch: 3,
+            cohort_size: 4,
+            iterations: 2,
+            sim_time: 12.5,
+            spent: 33.25,
+            accuracy: 0.875,
+            test_loss: 0.4375,
+            global_loss: 0.75,
+        };
+        let out = RunOutcome {
+            policy: "FedL".to_string(),
+            budget: 200.0,
+            epochs: vec![rec.clone(), EpochRecord { epoch: 4, ..rec.clone() }],
+        };
+        let back = RunOutcome::from_json_value(&out.to_json_value()).unwrap();
+        assert_eq!(out, back);
+        let rec_back =
+            EpochRecord::from_json_value(&rec.to_json_value()).unwrap();
+        assert_eq!(rec, rec_back);
     }
 }

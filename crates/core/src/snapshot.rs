@@ -1,0 +1,80 @@
+//! Helpers for serializing policy-internal state into run checkpoints
+//! (consumed by the `fedl-store` snapshot machinery; see
+//! docs/CHECKPOINT.md for the on-disk schema).
+
+use fedl_json::{Error, Value};
+use fedl_linalg::rng::Xoshiro256pp;
+
+/// Encodes an RNG's full state as an array of four 16-hex-digit words.
+///
+/// The state words are full-range `u64`s, but [`Value::Int`] carries an
+/// `i64` — values at or above `2^63` would not survive an integer
+/// encoding, so each word is written as fixed-width hex text instead.
+pub fn rng_to_json(rng: &Xoshiro256pp) -> Value {
+    Value::Arr(
+        rng.state().iter().map(|w| Value::Str(format!("{w:016x}"))).collect(),
+    )
+}
+
+/// Decodes [`rng_to_json`] output back into an RNG that continues the
+/// exact stream.
+pub fn rng_from_json(v: &Value) -> Result<Xoshiro256pp, Error> {
+    let arr = v
+        .as_arr()
+        .ok_or_else(|| Error::msg("rng state must be an array"))?;
+    if arr.len() != 4 {
+        return Err(Error::msg(format!(
+            "rng state must have 4 words, found {}",
+            arr.len()
+        )));
+    }
+    let mut s = [0u64; 4];
+    for (slot, word) in s.iter_mut().zip(arr) {
+        let text = word
+            .as_str()
+            .ok_or_else(|| Error::msg("rng state word must be a hex string"))?;
+        *slot = u64::from_str_radix(text, 16)
+            .map_err(|e| Error::msg(format!("bad rng state word {text:?}: {e}")))?;
+    }
+    Ok(Xoshiro256pp::from_state(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedl_linalg::rng::Rng;
+
+    #[test]
+    fn rng_state_round_trips_exactly() {
+        let mut rng = Xoshiro256pp::seed_from_u64(42);
+        for _ in 0..7 {
+            rng.next_f64();
+        }
+        let snap = rng_to_json(&rng);
+        let mut restored = rng_from_json(&snap).unwrap();
+        for _ in 0..16 {
+            assert_eq!(rng.next_f64().to_bits(), restored.next_f64().to_bits());
+        }
+    }
+
+    #[test]
+    fn high_bit_words_survive_the_text_encoding() {
+        let rng = Xoshiro256pp::from_state([u64::MAX, 1 << 63, 0, 42]);
+        let restored = rng_from_json(&rng_to_json(&rng)).unwrap();
+        assert_eq!(restored.state(), [u64::MAX, 1 << 63, 0, 42]);
+    }
+
+    #[test]
+    fn malformed_states_are_rejected() {
+        assert!(rng_from_json(&Value::Null).is_err());
+        assert!(rng_from_json(&Value::Arr(vec![Value::Str("ff".into()); 3])).is_err());
+        assert!(rng_from_json(&Value::Arr(vec![Value::Int(3); 4])).is_err());
+        let bad = Value::Arr(vec![
+            Value::Str("zz".into()),
+            Value::Str("0".into()),
+            Value::Str("0".into()),
+            Value::Str("0".into()),
+        ]);
+        assert!(rng_from_json(&bad).is_err());
+    }
+}

@@ -1,5 +1,6 @@
 //! Flat vector-space view over a model's parameter tensors.
 
+use fedl_json::{obj, read_field, FromJson, ToJson, Value};
 use fedl_linalg::Matrix;
 
 /// An ordered collection of parameter tensors treated as one big vector.
@@ -123,6 +124,52 @@ impl ParamSet {
     }
 }
 
+impl ToJson for ParamSet {
+    fn to_json_value(&self) -> Value {
+        // Shape + flat data per tensor. f32 scalars survive the JSON
+        // round trip exactly: the f32→f64 widening is exact and the
+        // writer prints shortest-round-trip digits, so checkpointed
+        // model parameters restore bit-for-bit.
+        let tensors: Vec<Value> = self
+            .0
+            .iter()
+            .map(|m| {
+                obj(vec![
+                    ("rows", m.rows().to_json_value()),
+                    ("cols", m.cols().to_json_value()),
+                    ("data", m.as_slice().to_vec().to_json_value()),
+                ])
+            })
+            .collect();
+        obj(vec![("tensors", Value::Arr(tensors))])
+    }
+}
+
+impl FromJson for ParamSet {
+    fn from_json_value(v: &Value) -> Result<Self, fedl_json::Error> {
+        let arr = v
+            .field("tensors")?
+            .as_arr()
+            .ok_or_else(|| fedl_json::Error::msg("tensors must be an array"))?;
+        let tensors = arr
+            .iter()
+            .map(|t| {
+                let rows: usize = read_field(t, "rows")?;
+                let cols: usize = read_field(t, "cols")?;
+                let data: Vec<f32> = read_field(t, "data")?;
+                if data.len() != rows * cols {
+                    return Err(fedl_json::Error::msg(format!(
+                        "tensor data length {} does not match shape {rows}x{cols}",
+                        data.len()
+                    )));
+                }
+                Ok(Matrix::from_vec(rows, cols, data))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ParamSet::new(tensors))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +207,33 @@ mod tests {
         let z = a.zeros_like();
         assert_eq!(z.tensors()[0].shape(), (1, 2));
         assert_eq!(z.norm(), 0.0);
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        // Deliberately awkward scalars: non-dyadic, tiny, huge, negative.
+        let p = ParamSet::new(vec![
+            Matrix::from_vec(2, 2, vec![0.1, -3.75e-39, 1.0e38, -0.333_333_34]),
+            Matrix::from_vec(1, 3, vec![f32::MIN_POSITIVE, -0.0, 42.5]),
+        ]);
+        let text = p.to_json_value().to_json();
+        let back = ParamSet::from_json_value(&Value::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.len(), 2);
+        for (a, b) in p.tensors().iter().zip(back.tensors()) {
+            assert_eq!(a.shape(), b.shape());
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{x} round-tripped to {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn json_rejects_shape_mismatch() {
+        let v = Value::parse(
+            r#"{"tensors":[{"rows":2,"cols":2,"data":[1.0,2.0,3.0]}]}"#,
+        )
+        .unwrap();
+        assert!(ParamSet::from_json_value(&v).is_err());
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Environment configuration — the paper's §6.1 constants, overridable
 //! for scaled-down tests.
 
+use fedl_json::{obj, ToJson, Value};
+
 use crate::error::SimError;
 
 /// How the server normalizes the summed client directions.
@@ -193,6 +195,56 @@ impl EnvConfig {
     }
 }
 
+impl ToJson for AggregationNorm {
+    fn to_json_value(&self) -> Value {
+        Value::from(match self {
+            AggregationNorm::Available => "available",
+            AggregationNorm::Cohort => "cohort",
+        })
+    }
+}
+
+impl ToJson for AvailabilityModel {
+    fn to_json_value(&self) -> Value {
+        match *self {
+            AvailabilityModel::Bernoulli => obj(vec![("kind", Value::from("bernoulli"))]),
+            AvailabilityModel::Markov { p_stay_on, p_stay_off } => obj(vec![
+                ("kind", Value::from("markov")),
+                ("p_stay_on", p_stay_on.to_json_value()),
+                ("p_stay_off", p_stay_off.to_json_value()),
+            ]),
+        }
+    }
+}
+
+impl ToJson for EnvConfig {
+    /// Canonical serialization: every field, in declaration order. This
+    /// is part of the result-cache key contract (docs/CHECKPOINT.md) —
+    /// two configs produce the same JSON iff a run under one is
+    /// interchangeable with a run under the other, so adding a field
+    /// here (or reordering) deliberately invalidates cached results.
+    fn to_json_value(&self) -> Value {
+        let pair = |(a, b): (f64, f64)| Value::Arr(vec![Value::Float(a), Value::Float(b)]);
+        obj(vec![
+            ("num_clients", self.num_clients.to_json_value()),
+            ("cell_radius_m", self.cell_radius_m.to_json_value()),
+            ("p_available", self.p_available.to_json_value()),
+            ("availability", self.availability.to_json_value()),
+            ("p_dropout", self.p_dropout.to_json_value()),
+            ("cost_range", pair(self.cost_range)),
+            ("lambda_range", pair(self.lambda_range)),
+            ("tx_power_dbm", self.tx_power_dbm.to_json_value()),
+            ("cpu_hz_range", pair(self.cpu_hz_range)),
+            ("cycles_per_bit_range", pair(self.cycles_per_bit_range)),
+            ("upload_bits", self.upload_bits.to_json_value()),
+            ("time_varying_channel", self.time_varying_channel.to_json_value()),
+            ("aggregation", self.aggregation.to_json_value()),
+            ("optimal_bandwidth", self.optimal_bandwidth.to_json_value()),
+            ("seed", Value::Int(self.seed as i64)),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +259,21 @@ mod tests {
         assert_eq!(c.cpu_hz_range.1, 2.0e9);
         assert_eq!(c.cycles_per_bit_range, (10.0, 30.0));
         c.validate();
+    }
+
+    #[test]
+    fn canonical_json_is_stable_and_field_sensitive() {
+        let a = EnvConfig::small(5, 7).to_json_value().to_json();
+        assert_eq!(a, EnvConfig::small(5, 7).to_json_value().to_json());
+        assert_ne!(a, EnvConfig::small(5, 8).to_json_value().to_json(), "seed must be keyed");
+        let mut c = EnvConfig::small(5, 7);
+        c.aggregation = AggregationNorm::Cohort;
+        assert_ne!(a, c.to_json_value().to_json());
+        let mut c = EnvConfig::small(5, 7);
+        c.availability = AvailabilityModel::Markov { p_stay_on: 0.9, p_stay_off: 0.6 };
+        let markov = c.to_json_value().to_json();
+        assert_ne!(a, markov);
+        assert!(markov.contains("p_stay_on"));
     }
 
     #[test]

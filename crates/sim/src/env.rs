@@ -135,6 +135,12 @@ impl EdgeEnvironment {
         self.server.model()
     }
 
+    /// Read access to the server (checkpointing reads the model and the
+    /// aggregated gradient `J` through this).
+    pub fn server(&self) -> &FederatedServer {
+        &self.server
+    }
+
     /// Mutable access to the server (offline comparators roll back the
     /// model through this).
     pub fn server_mut(&mut self) -> &mut FederatedServer {

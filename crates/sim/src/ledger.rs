@@ -96,6 +96,22 @@ impl BudgetLedger {
         self.telemetry.histogram("budget.epoch_charge").record(amount);
     }
 
+    /// Rebuilds a ledger from checkpointed state: the initial budget and
+    /// the per-epoch charge history. Unlike [`BudgetLedger::charge`],
+    /// replaying the history emits no `ledger` events and touches no
+    /// metrics — the original run already reported those epochs.
+    pub fn restore(budget: f64, charges: Vec<f64>) -> Result<Self, SimError> {
+        let mut ledger = Self::try_new(budget)?;
+        if charges.iter().any(|&c| !(c >= 0.0)) {
+            return Err(SimError::InvalidConfig(format!(
+                "checkpointed charge history contains a negative or NaN charge: {charges:?}"
+            )));
+        }
+        ledger.spent = charges.iter().sum();
+        ledger.charges = charges;
+        Ok(ledger)
+    }
+
     /// `true` once the budget is gone (FL must stop).
     pub fn exhausted(&self) -> bool {
         self.remaining() <= 0.0
@@ -161,6 +177,28 @@ mod tests {
         assert_eq!(BudgetLedger::try_new(-3.0).unwrap_err(), SimError::InvalidBudget(-3.0));
         assert!(BudgetLedger::try_new(f64::NAN).is_err());
         assert!(BudgetLedger::try_new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn restore_replays_history_without_telemetry() {
+        let (tel, handle) = Telemetry::in_memory();
+        let mut restored = BudgetLedger::restore(100.0, vec![30.0, 50.0]).unwrap();
+        restored.set_telemetry(tel);
+        assert_eq!(restored.spent(), 80.0);
+        assert_eq!(restored.remaining(), 20.0);
+        assert_eq!(restored.epochs(), 2);
+        assert!(handle.events().unwrap().is_empty(), "restore must not re-emit ledger events");
+        // Continues accounting normally from the restored position.
+        restored.charge(25.0);
+        assert!(restored.exhausted());
+        assert_eq!(handle.events().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn restore_rejects_bad_history() {
+        assert!(BudgetLedger::restore(0.0, vec![]).is_err());
+        assert!(BudgetLedger::restore(10.0, vec![1.0, -2.0]).is_err());
+        assert!(BudgetLedger::restore(10.0, vec![f64::NAN]).is_err());
     }
 
     #[test]

@@ -67,6 +67,13 @@ impl FederatedServer {
         self.model.set_params(params);
     }
 
+    /// Replaces the aggregated gradient `J` (checkpoint restore: `J` is
+    /// the one piece of DANE solver state that persists across epochs,
+    /// so resuming a run must reinstate it alongside the model).
+    pub fn set_j_agg(&mut self, j_agg: ParamSet) {
+        self.j_agg = j_agg;
+    }
+
     /// Runs one federated iteration over the cohort's working sets.
     ///
     /// Every cohort client runs its DANE local solve in parallel (via the

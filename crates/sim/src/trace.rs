@@ -76,6 +76,12 @@ impl RunTrace {
         Self::default()
     }
 
+    /// Rebuilds a trace from already-recorded events (checkpoint
+    /// restore; the in-memory twin of [`RunTrace::from_jsonl`]).
+    pub fn from_events(events: Vec<EpochEvent>) -> Self {
+        Self { events }
+    }
+
     /// Records an epoch from its report and the post-payment budget.
     pub fn record(&mut self, report: &EpochReport, remaining_budget: f64) {
         self.events.push(EpochEvent {

@@ -1,0 +1,65 @@
+//! Dependency-free content hashing: FNV-1a/64 for envelope checksums
+//! and a doubled 128-bit variant for cache addressing.
+//!
+//! FNV-1a is not cryptographic — the store defends against *accidents*
+//! (truncation, bit rot, concurrent half-writes), not adversaries. For
+//! cache keys the two independent 64-bit passes make accidental
+//! collisions across a few thousand experiment configs negligible, and
+//! [`crate::cache::ResultCache`] additionally stores the full canonical
+//! key text so even a collision degrades to a cache miss, never a wrong
+//! result.
+
+const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const PRIME: u64 = 0x100_0000_01B3;
+
+/// FNV-1a/64 of `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_seeded(OFFSET, bytes)
+}
+
+fn fnv1a64_seeded(seed: u64, bytes: &[u8]) -> u64 {
+    let mut hash = seed;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// A 128-bit content address as 32 lowercase hex digits: the standard
+/// FNV-1a/64 pass concatenated with a second pass from a perturbed
+/// offset basis (equivalent to hashing a one-byte domain prefix).
+pub fn content_address(bytes: &[u8]) -> String {
+    let first = fnv1a64_seeded(OFFSET, bytes);
+    let second = fnv1a64_seeded(OFFSET.wrapping_mul(PRIME) ^ 0xA5, bytes);
+    format!("{first:016x}{second:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_reference_vectors() {
+        // Published FNV-1a/64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171F73967E8);
+    }
+
+    #[test]
+    fn single_bit_changes_the_hash() {
+        assert_ne!(fnv1a64(b"epoch=12"), fnv1a64(b"epoch=13"));
+    }
+
+    #[test]
+    fn content_address_is_stable_and_input_sensitive() {
+        let a = content_address(b"scenario-a");
+        assert_eq!(a, content_address(b"scenario-a"));
+        assert_eq!(a.len(), 32);
+        assert!(a.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_ne!(a, content_address(b"scenario-b"));
+        // The two halves are independent passes, not copies.
+        assert_ne!(a[..16], a[16..]);
+    }
+}

@@ -1,0 +1,193 @@
+//! The versioned, checksummed file envelope every store artifact uses.
+//!
+//! Layout (text, two sections):
+//!
+//! ```text
+//! fedl-store v1 kind=<kind> crc=<16 hex digits>\n
+//! <payload: one compact JSON document>
+//! ```
+//!
+//! The first line is the header; everything after the first newline is
+//! the payload. The checksum is FNV-1a/64 over the raw payload bytes as
+//! stored, so verification never depends on JSON canonicalization.
+//! Writes go through a temp file + rename so a crash mid-write leaves
+//! either the old file or no file — never a half-written envelope.
+
+use std::fs;
+use std::path::Path;
+
+use fedl_json::Value;
+
+use crate::checksum::fnv1a64;
+use crate::error::StoreError;
+
+/// The envelope format version this build reads and writes. Bump on any
+/// incompatible header or payload-layout change; readers reject foreign
+/// versions with [`StoreError::Version`].
+pub const FORMAT_VERSION: u32 = 1;
+
+const MAGIC: &str = "fedl-store";
+
+/// Serializes `payload` under a `kind`-tagged, checksummed header and
+/// writes it atomically (temp file + rename) to `path`.
+pub fn write_envelope(path: &Path, kind: &str, payload: &Value) -> Result<(), StoreError> {
+    assert!(
+        !kind.is_empty() && kind.chars().all(|c| c.is_ascii_graphic() && c != '='),
+        "envelope kind must be non-empty printable ASCII without '=': {kind:?}"
+    );
+    let body = payload.to_json();
+    let text = format!(
+        "{MAGIC} v{FORMAT_VERSION} kind={kind} crc={:016x}\n{body}",
+        fnv1a64(body.as_bytes())
+    );
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            fs::create_dir_all(dir).map_err(|e| StoreError::io(dir, &e))?;
+        }
+    }
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, text).map_err(|e| StoreError::io(&tmp, &e))?;
+    fs::rename(&tmp, path).map_err(|e| StoreError::io(path, &e))
+}
+
+/// Reads, verifies, and parses an envelope written by
+/// [`write_envelope`]. The header's magic, version, `kind`, and
+/// checksum are all checked before the payload is parsed.
+pub fn read_envelope(path: &Path, kind: &str) -> Result<Value, StoreError> {
+    let text = fs::read_to_string(path).map_err(|e| StoreError::io(path, &e))?;
+    let display = path.display().to_string();
+    let corrupt = |reason: String| StoreError::Corrupt { path: display.clone(), reason };
+    let Some((header, body)) = text.split_once('\n') else {
+        // No newline: either an empty/partial file or something that was
+        // never an envelope.
+        if text.starts_with(MAGIC) || text.is_empty() {
+            return Err(StoreError::Truncated { path: display });
+        }
+        return Err(corrupt("missing envelope header".into()));
+    };
+    let fields: Vec<&str> = header.split(' ').collect();
+    if fields.len() != 4 || fields[0] != MAGIC {
+        return Err(corrupt(format!("bad header {header:?}")));
+    }
+    let version: u32 = fields[1]
+        .strip_prefix('v')
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| corrupt(format!("bad version field {:?}", fields[1])))?;
+    if version != FORMAT_VERSION {
+        return Err(StoreError::Version {
+            path: display,
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let found_kind = fields[2]
+        .strip_prefix("kind=")
+        .ok_or_else(|| corrupt(format!("bad kind field {:?}", fields[2])))?;
+    if found_kind != kind {
+        return Err(corrupt(format!("expected kind {kind:?}, found {found_kind:?}")));
+    }
+    let expected = fields[3]
+        .strip_prefix("crc=")
+        .and_then(|v| u64::from_str_radix(v, 16).ok())
+        .ok_or_else(|| corrupt(format!("bad checksum field {:?}", fields[3])))?;
+    if body.is_empty() {
+        return Err(StoreError::Truncated { path: display });
+    }
+    let actual = fnv1a64(body.as_bytes());
+    if actual != expected {
+        return Err(StoreError::ChecksumMismatch { path: display, expected, actual });
+    }
+    Value::parse(body).map_err(|e| StoreError::Schema { path: display, reason: e.to_string() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedl_json::obj;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("fedl_store_envelope_tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn payload() -> Value {
+        obj(vec![
+            ("epoch", Value::Int(7)),
+            ("spent", Value::Float(12.5)),
+            ("name", Value::from("snapshot")),
+        ])
+    }
+
+    #[test]
+    fn round_trips_payload() {
+        let path = tmp("roundtrip.fedlstore");
+        write_envelope(&path, "test", &payload()).unwrap();
+        let back = read_envelope(&path, "test").unwrap();
+        assert_eq!(back.get("epoch").unwrap().as_i64(), Some(7));
+        assert_eq!(back.get("spent").unwrap().as_f64(), Some(12.5));
+    }
+
+    #[test]
+    fn truncated_file_is_a_typed_error() {
+        let path = tmp("truncated.fedlstore");
+        write_envelope(&path, "test", &payload()).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        let header_only = &text[..text.find('\n').unwrap() + 1];
+        fs::write(&path, header_only).unwrap();
+        match read_envelope(&path, "test") {
+            Err(StoreError::Truncated { .. }) => {}
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        // A file cut inside the header (no newline at all) is also
+        // truncation, not garbage.
+        fs::write(&path, "fedl-store v1").unwrap();
+        assert!(matches!(read_envelope(&path, "test"), Err(StoreError::Truncated { .. })));
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_checksum() {
+        let path = tmp("bitflip.fedlstore");
+        write_envelope(&path, "test", &payload()).unwrap();
+        let mut text = fs::read_to_string(&path).unwrap();
+        // Corrupt the payload (change 7 -> 8) without touching the header.
+        let body_start = text.find('\n').unwrap() + 1;
+        let idx = body_start + text[body_start..].find('7').unwrap();
+        text.replace_range(idx..idx + 1, "8");
+        fs::write(&path, text).unwrap();
+        match read_envelope(&path, "test") {
+            Err(StoreError::ChecksumMismatch { expected, actual, .. }) => {
+                assert_ne!(expected, actual)
+            }
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn foreign_version_and_kind_rejected() {
+        let path = tmp("version.fedlstore");
+        write_envelope(&path, "test", &payload()).unwrap();
+        let text = fs::read_to_string(&path).unwrap().replacen("v1", "v99", 1);
+        fs::write(&path, text).unwrap();
+        match read_envelope(&path, "test") {
+            Err(StoreError::Version { found: 99, supported: FORMAT_VERSION, .. }) => {}
+            other => panic!("expected Version, got {other:?}"),
+        }
+        write_envelope(&path, "test", &payload()).unwrap();
+        assert!(matches!(
+            read_envelope(&path, "other-kind"),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn non_envelope_file_is_corrupt_and_missing_file_is_io() {
+        let path = tmp("garbage.fedlstore");
+        fs::write(&path, "{\"just\":\"json\"}\nmore").unwrap();
+        assert!(matches!(read_envelope(&path, "test"), Err(StoreError::Corrupt { .. })));
+        let missing = tmp("never-written.fedlstore");
+        fs::remove_file(&missing).ok();
+        assert!(matches!(read_envelope(&missing, "test"), Err(StoreError::Io { .. })));
+    }
+}

@@ -1,0 +1,69 @@
+//! Deterministic interrupt/resume round trip (docs/CHECKPOINT.md).
+//!
+//! Runs the same scenario twice: once uninterrupted, and once
+//! "killed" mid-run after a few epochs, snapshotted, and resumed from
+//! the checkpoint file. The two [`RunOutcome`]s must be identical —
+//! bit-for-bit, including every float — or the process exits non-zero,
+//! which is how `scripts/ci.sh` uses it as a verification stage.
+//!
+//! ```bash
+//! cargo run --release --example checkpoint_resume
+//! ```
+//!
+//! Side effects: writes `results/checkpoint_demo.fedlstore` (the
+//! snapshot) and `results/checkpoint_run.jsonl` (a telemetry log
+//! carrying the `checkpoint.saved` / `checkpoint.restored` events).
+
+use std::path::Path;
+
+use fedl::prelude::*;
+
+fn main() {
+    let out = Path::new("results");
+    std::fs::create_dir_all(out).expect("create results dir");
+    let snapshot = out.join("checkpoint_demo.fedlstore");
+
+    let scenario = ScenarioConfig::small_fmnist(20, 400.0, 4).with_seed(7);
+
+    // Reference: the uninterrupted run.
+    let mut reference = ExperimentRunner::new(scenario.clone(), PolicyKind::FedL);
+    let expected = reference.run();
+    println!(
+        "uninterrupted: {} epochs, final accuracy {:.3}",
+        expected.epochs.len(),
+        expected.final_accuracy()
+    );
+
+    // The same run, killed after 7 epochs. Periodic snapshots land
+    // every 3 epochs; one explicit save marks the interruption point.
+    let telemetry =
+        Telemetry::to_file(out.join("checkpoint_run.jsonl")).expect("create run log");
+    let mut interrupted = ExperimentRunner::new(scenario.clone(), PolicyKind::FedL)
+        .checkpoint_every(3, &snapshot)
+        .with_telemetry(telemetry.clone());
+    for _ in 0..7 {
+        if !interrupted.step() {
+            break;
+        }
+    }
+    interrupted.save_checkpoint(&snapshot).expect("write snapshot");
+    drop(interrupted); // the "power loss"
+
+    // Resume from disk and run to completion.
+    let mut resumed = ExperimentRunner::resume_from(scenario, PolicyKind::FedL, &snapshot)
+        .expect("resume from snapshot")
+        .with_telemetry(telemetry.clone());
+    let actual = resumed.run();
+    telemetry.flush();
+    println!(
+        "resumed:       {} epochs, final accuracy {:.3}",
+        actual.epochs.len(),
+        actual.final_accuracy()
+    );
+
+    if actual != expected {
+        eprintln!("FAIL: resumed outcome diverged from the uninterrupted run");
+        std::process::exit(1);
+    }
+    println!("OK: resumed run is identical to the uninterrupted run");
+}

@@ -25,4 +25,32 @@ cargo run --release --offline -p fedl-bench --bin experiments -- \
     telemetry-report results/regret_trace_run.jsonl \
     --require run_start,epoch,train,ledger,span,metrics,run_end
 
+# Checkpoint round-trip (docs/CHECKPOINT.md): run a few epochs, "kill"
+# the process, resume from the snapshot, and demand a bit-identical
+# RunOutcome. The example exits non-zero on any divergence; the report
+# then proves the save/restore events actually flowed through telemetry.
+echo "==> checkpoint interrupt/resume round-trip"
+cargo run --release --offline --example checkpoint_resume > /dev/null
+cargo run --release --offline -p fedl-bench --bin experiments -- \
+    telemetry-report results/checkpoint_run.jsonl \
+    --require checkpoint.saved,checkpoint.restored,epoch,run_start,run_end
+
+# Warm result cache: a repeat figure invocation must be served from the
+# content-addressed cache (cache.hit required in the run log) and must
+# regenerate byte-identical CSVs.
+echo "==> warm result cache serves identical figures"
+CACHE_OUT=target/ci_cache_stage
+rm -rf "$CACHE_OUT"
+cargo run --release --offline -p fedl-bench --bin experiments -- \
+    --quick --out "$CACHE_OUT" --resume fig6 > /dev/null
+cp "$CACHE_OUT"/fig6_iid.csv "$CACHE_OUT"/fig6_iid.cold.csv
+cp "$CACHE_OUT"/fig6_noniid.csv "$CACHE_OUT"/fig6_noniid.cold.csv
+cargo run --release --offline -p fedl-bench --bin experiments -- \
+    --quick --out "$CACHE_OUT" --resume fig6 > /dev/null
+cmp "$CACHE_OUT"/fig6_iid.cold.csv "$CACHE_OUT"/fig6_iid.csv
+cmp "$CACHE_OUT"/fig6_noniid.cold.csv "$CACHE_OUT"/fig6_noniid.csv
+cargo run --release --offline -p fedl-bench --bin experiments -- \
+    telemetry-report "$CACHE_OUT"/cache_run.jsonl --require cache.hit
+rm -rf "$CACHE_OUT"
+
 echo "==> OK"

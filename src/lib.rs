@@ -20,7 +20,12 @@
 //!   dynamic regret/fit accounting, and the FedAvg/FedCS/Pow-d baselines;
 //! * [`telemetry`] — metrics registry, phase spans, and the structured
 //!   JSONL run log (see `docs/TELEMETRY.md`); attach a handle with
-//!   [`core::runner::ExperimentRunner::with_telemetry`].
+//!   [`core::runner::ExperimentRunner::with_telemetry`];
+//! * [`store`] — checksummed snapshot envelopes and the
+//!   content-addressed result cache behind deterministic
+//!   checkpoint/resume (see `docs/CHECKPOINT.md`); drive it with
+//!   [`core::runner::ExperimentRunner::checkpoint_every`] /
+//!   [`core::runner::ExperimentRunner::resume_from`].
 //!
 //! ## Quickstart
 //!
@@ -49,6 +54,7 @@ pub use fedl_ml as ml;
 pub use fedl_net as net;
 pub use fedl_sim as sim;
 pub use fedl_solver as solver;
+pub use fedl_store as store;
 pub use fedl_telemetry as telemetry;
 
 /// Commonly used types, re-exported for `use fedl::prelude::*`.
