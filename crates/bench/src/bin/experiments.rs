@@ -6,8 +6,9 @@ use std::process::ExitCode;
 use fedl_bench::cli::{self, Command};
 use fedl_bench::experiments;
 use fedl_bench::harness::RunCache;
+use fedl_bench::perf::{self, BenchSnapshot};
 use fedl_data::synth::TaskKind;
-use fedl_telemetry::{log_line, RunLog, Telemetry};
+use fedl_telemetry::{dashboard, log_line, RunLog, Telemetry};
 
 /// Loads a JSONL run log, prints the per-phase timing report, and fails
 /// when any `--require`d event kind is absent.
@@ -30,6 +31,80 @@ fn telemetry_report(invocation: &cli::Invocation) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Runs the perf-snapshot suite and writes `BENCH.json`.
+fn bench(invocation: &cli::Invocation) -> ExitCode {
+    let snapshot = perf::run_suite(invocation.profile);
+    let path = invocation.bench_snapshot_path();
+    if let Err(err) = snapshot.write(&path) {
+        eprintln!("failed to write {}: {err}", path.display());
+        return ExitCode::FAILURE;
+    }
+    log_line!("wrote perf snapshot: {} ({} kernels)", path.display(), snapshot.kernels.len());
+    ExitCode::SUCCESS
+}
+
+/// Compares two `BENCH.json` snapshots; non-zero exit on regression so
+/// `scripts/ci.sh` can gate on it.
+fn bench_compare(invocation: &cli::Invocation) -> ExitCode {
+    let load = |path: &std::path::Path| BenchSnapshot::read(path);
+    let base = invocation.input.as_deref().expect("parser guarantees BASE.json");
+    let new = invocation.input2.as_deref().expect("parser guarantees NEW.json");
+    let (base, new) = match (load(base), load(new)) {
+        (Ok(b), Ok(n)) => (b, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match perf::compare(&base, &new, invocation.threshold) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render());
+    if report.has_regression() {
+        eprintln!(
+            "perf regression: at least one kernel slowed down beyond {:.0} % and its noise band",
+            invocation.threshold * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Renders the per-client attribution dashboard (ASCII, plus a
+/// self-contained HTML file with `--html`).
+fn dashboard(invocation: &cli::Invocation) -> ExitCode {
+    let path = invocation.input.as_deref().expect("parser guarantees a file");
+    let log = match RunLog::read(path) {
+        Ok(log) => log,
+        Err(err) => {
+            eprintln!("failed to load run log {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", log.render_client_table());
+    if let Some(html_path) = &invocation.html {
+        let html = dashboard::render_html(&log);
+        if let Some(dir) = html_path.parent() {
+            if !dir.as_os_str().is_empty() {
+                if let Err(err) = std::fs::create_dir_all(dir) {
+                    eprintln!("failed to create {}: {err}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if let Err(err) = std::fs::write(html_path, html) {
+            eprintln!("failed to write {}: {err}", html_path.display());
+            return ExitCode::FAILURE;
+        }
+        log_line!("wrote dashboard: {}", html_path.display());
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let invocation = match cli::parse(std::env::args().skip(1)) {
         Ok(inv) => inv,
@@ -38,8 +113,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if invocation.command == Command::TelemetryReport {
-        return telemetry_report(&invocation);
+    match invocation.command {
+        Command::TelemetryReport => return telemetry_report(&invocation),
+        Command::Bench => return bench(&invocation),
+        Command::BenchCompare => return bench_compare(&invocation),
+        Command::Dashboard => return dashboard(&invocation),
+        _ => {}
     }
     let (profile, out_dir) = (invocation.profile, invocation.out_dir.clone());
     std::fs::create_dir_all(&out_dir).expect("create output directory");
@@ -110,7 +189,9 @@ fn main() -> ExitCode {
             experiments::dropout_study(profile);
             experiments::replication_study(profile);
         }
-        Command::TelemetryReport => unreachable!("dispatched before the experiment match"),
+        Command::TelemetryReport | Command::Bench | Command::BenchCompare | Command::Dashboard => {
+            unreachable!("dispatched before the experiment match")
+        }
     }
     if let Some((_, tel)) = &cache_telemetry {
         tel.emit_metrics();

@@ -40,21 +40,56 @@ pub enum Command {
     All,
     /// Offline analysis of a telemetry JSONL run log.
     TelemetryReport,
+    /// Perf snapshot: run the seeded kernel suite, write `BENCH.json`.
+    Bench,
+    /// Noise-aware comparison of two `BENCH.json` snapshots (the CI
+    /// regression gate).
+    BenchCompare,
+    /// Per-client attribution dashboard (ASCII + optional HTML) from a
+    /// telemetry JSONL run log.
+    Dashboard,
+}
+
+impl Command {
+    /// Whether the result cache makes sense for this command (it only
+    /// applies to experiment runs, not to offline analysis or the
+    /// bench suite).
+    fn takes_cache(self) -> bool {
+        !matches!(
+            self,
+            Command::TelemetryReport
+                | Command::Bench
+                | Command::BenchCompare
+                | Command::Dashboard
+        )
+    }
 }
 
 /// A fully parsed invocation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Invocation {
     /// Experiment scale.
     pub profile: Profile,
-    /// Output directory for CSV/JSON.
+    /// Output directory for CSV/JSON (for [`Command::Bench`], `--out`
+    /// may instead name the snapshot file — see
+    /// [`Invocation::bench_snapshot_path`]).
     pub out_dir: PathBuf,
     /// What to run.
     pub command: Command,
-    /// Input file for [`Command::TelemetryReport`].
+    /// First input file: the run log for [`Command::TelemetryReport`]
+    /// and [`Command::Dashboard`], the baseline snapshot for
+    /// [`Command::BenchCompare`].
     pub input: Option<PathBuf>,
+    /// Second input file: the new snapshot for
+    /// [`Command::BenchCompare`].
+    pub input2: Option<PathBuf>,
     /// Event kinds that must appear in the log (`--require`).
     pub require: Vec<String>,
+    /// Relative slowdown tolerance for [`Command::BenchCompare`]
+    /// (`--threshold PCT`, as a fraction: 0.25 = 25 %).
+    pub threshold: f64,
+    /// HTML output file for [`Command::Dashboard`] (`--html`).
+    pub html: Option<PathBuf>,
     /// Result-cache directory (`--cache-dir`); enables the cache.
     pub cache_dir: Option<PathBuf>,
     /// `--no-cache`: never consult or write the result cache.
@@ -63,6 +98,11 @@ pub struct Invocation {
     /// re-invocation skips already-completed cells.
     pub resume: bool,
 }
+
+/// Default `--threshold` for `bench-compare`: 25 % — generous because
+/// the CI gate compares two quick runs taken seconds apart on a shared
+/// machine.
+pub const DEFAULT_COMPARE_THRESHOLD: f64 = 0.25;
 
 impl Invocation {
     /// The directory the result cache should use, or `None` when
@@ -81,13 +121,27 @@ impl Invocation {
             (None, false) => None,
         }
     }
+
+    /// Where [`Command::Bench`] writes its snapshot: `--out` names the
+    /// file directly when it ends in `.json`, otherwise it is treated
+    /// as a directory and the snapshot lands at `<out>/BENCH.json`.
+    pub fn bench_snapshot_path(&self) -> PathBuf {
+        if self.out_dir.extension().is_some_and(|e| e == "json") {
+            self.out_dir.clone()
+        } else {
+            self.out_dir.join("BENCH.json")
+        }
+    }
 }
 
 /// Usage string printed on parse errors.
 pub const USAGE: &str = "usage: experiments [--quick] [--out DIR] \
 [--cache-dir DIR] [--resume] [--no-cache] \
 <fig2|fig3|fig4|fig5|fig6|fig7|headline|regret|rounding|stepsize|aggregation|oracle|fairness|bandwidth|dropout|replicate|all>\n\
-       experiments telemetry-report FILE [--require kind1,kind2,...]";
+       experiments telemetry-report FILE [--require kind1,kind2,...]\n\
+       experiments bench [--quick] [--out FILE.json|DIR]\n\
+       experiments bench-compare BASE.json NEW.json [--threshold PCT]\n\
+       experiments dashboard RUN.jsonl [--html FILE.html]";
 
 /// Parses the argument list (without the program name).
 pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, String> {
@@ -95,7 +149,11 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, Stri
     let mut out_dir = PathBuf::from("results");
     let mut command: Option<Command> = None;
     let mut input: Option<PathBuf> = None;
+    let mut input2: Option<PathBuf> = None;
     let mut require: Vec<String> = Vec::new();
+    let mut threshold = DEFAULT_COMPARE_THRESHOLD;
+    let mut threshold_given = false;
+    let mut html: Option<PathBuf> = None;
     let mut cache_dir: Option<PathBuf> = None;
     let mut no_cache = false;
     let mut resume = false;
@@ -124,6 +182,24 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, Stri
                     list.split(',').filter(|k| !k.is_empty()).map(str::to_string),
                 );
             }
+            "--threshold" => {
+                let pct = it
+                    .next()
+                    .ok_or_else(|| "--threshold requires a percentage".to_string())?;
+                let pct: f64 = pct
+                    .parse()
+                    .map_err(|_| format!("--threshold: not a number: {pct}"))?;
+                if !(pct > 0.0 && pct.is_finite()) {
+                    return Err("--threshold must be a positive percentage".to_string());
+                }
+                threshold = pct / 100.0;
+                threshold_given = true;
+            }
+            "--html" => {
+                html = Some(PathBuf::from(
+                    it.next().ok_or_else(|| "--html requires a file".to_string())?,
+                ));
+            }
             other if command.is_none() => {
                 command = Some(match other {
                     "fig2" | "fig4" => Command::FigFmnist,
@@ -142,11 +218,24 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, Stri
                     "replicate" => Command::Replicate,
                     "all" => Command::All,
                     "telemetry-report" => Command::TelemetryReport,
+                    "bench" => Command::Bench,
+                    "bench-compare" => Command::BenchCompare,
+                    "dashboard" => Command::Dashboard,
                     unknown => return Err(format!("unknown experiment: {unknown}")),
                 });
             }
-            other if command == Some(Command::TelemetryReport) && input.is_none() => {
+            other
+                if matches!(
+                    command,
+                    Some(Command::TelemetryReport)
+                        | Some(Command::BenchCompare)
+                        | Some(Command::Dashboard)
+                ) && input.is_none() =>
+            {
                 input = Some(PathBuf::from(other));
+            }
+            other if command == Some(Command::BenchCompare) && input2.is_none() => {
+                input2 = Some(PathBuf::from(other));
             }
             other => return Err(format!("unexpected argument: {other}")),
         }
@@ -155,18 +244,33 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, Stri
     if command == Command::TelemetryReport && input.is_none() {
         return Err("telemetry-report requires a JSONL run-log file".to_string());
     }
+    if command == Command::Dashboard && input.is_none() {
+        return Err("dashboard requires a JSONL run-log file".to_string());
+    }
+    if command == Command::BenchCompare && (input.is_none() || input2.is_none()) {
+        return Err("bench-compare requires BASE.json and NEW.json".to_string());
+    }
     if command != Command::TelemetryReport && !require.is_empty() {
         return Err("--require only applies to telemetry-report".to_string());
     }
-    if command == Command::TelemetryReport && (cache_dir.is_some() || no_cache || resume) {
-        return Err("cache flags do not apply to telemetry-report".to_string());
+    if threshold_given && command != Command::BenchCompare {
+        return Err("--threshold only applies to bench-compare".to_string());
+    }
+    if html.is_some() && command != Command::Dashboard {
+        return Err("--html only applies to dashboard".to_string());
+    }
+    if !command.takes_cache() && (cache_dir.is_some() || no_cache || resume) {
+        return Err("cache flags do not apply to this command".to_string());
     }
     Ok(Invocation {
         profile,
         out_dir,
         command,
         input,
+        input2,
         require,
+        threshold,
+        html,
         cache_dir,
         no_cache,
         resume,
@@ -295,6 +399,87 @@ mod tests {
         assert!(parse(args(&["fig2", "--cache-dir"]))
             .unwrap_err()
             .contains("--cache-dir requires"));
+    }
+
+    #[test]
+    fn bench_resolves_out_to_file_or_directory() {
+        let inv = parse(args(&["bench", "--quick"])).unwrap();
+        assert_eq!(inv.command, Command::Bench);
+        assert_eq!(inv.profile, Profile::Quick);
+        assert_eq!(inv.bench_snapshot_path(), PathBuf::from("results/BENCH.json"));
+        // --out ending in .json names the snapshot file itself...
+        let inv = parse(args(&["bench", "--out", "results/BENCH_quick.json"])).unwrap();
+        assert_eq!(
+            inv.bench_snapshot_path(),
+            PathBuf::from("results/BENCH_quick.json")
+        );
+        // ...anything else is a directory.
+        let inv = parse(args(&["bench", "--out", "/tmp/perf"])).unwrap();
+        assert_eq!(inv.bench_snapshot_path(), PathBuf::from("/tmp/perf/BENCH.json"));
+    }
+
+    #[test]
+    fn bench_compare_takes_two_snapshots_and_a_threshold() {
+        let inv = parse(args(&["bench-compare", "a.json", "b.json"])).unwrap();
+        assert_eq!(inv.command, Command::BenchCompare);
+        assert_eq!(inv.input, Some(PathBuf::from("a.json")));
+        assert_eq!(inv.input2, Some(PathBuf::from("b.json")));
+        assert_eq!(inv.threshold, DEFAULT_COMPARE_THRESHOLD);
+        let inv =
+            parse(args(&["bench-compare", "a.json", "b.json", "--threshold", "40"])).unwrap();
+        assert!((inv.threshold - 0.40).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bench_compare_rejects_bad_shapes() {
+        assert!(parse(args(&["bench-compare", "a.json"]))
+            .unwrap_err()
+            .contains("requires BASE.json and NEW.json"));
+        assert!(parse(args(&["bench-compare", "a.json", "b.json", "c.json"]))
+            .unwrap_err()
+            .contains("unexpected"));
+        assert!(parse(args(&["bench-compare", "a.json", "b.json", "--threshold", "x"]))
+            .unwrap_err()
+            .contains("not a number"));
+        assert!(parse(args(&["bench-compare", "a.json", "b.json", "--threshold", "-5"]))
+            .unwrap_err()
+            .contains("positive percentage"));
+        assert!(parse(args(&["fig2", "--threshold", "10"]))
+            .unwrap_err()
+            .contains("only applies to bench-compare"));
+    }
+
+    #[test]
+    fn dashboard_takes_a_log_and_optional_html() {
+        let inv = parse(args(&["dashboard", "run.jsonl"])).unwrap();
+        assert_eq!(inv.command, Command::Dashboard);
+        assert_eq!(inv.input, Some(PathBuf::from("run.jsonl")));
+        assert_eq!(inv.html, None);
+        let inv =
+            parse(args(&["dashboard", "run.jsonl", "--html", "dash.html"])).unwrap();
+        assert_eq!(inv.html, Some(PathBuf::from("dash.html")));
+        assert!(parse(args(&["dashboard"]))
+            .unwrap_err()
+            .contains("requires a JSONL run-log file"));
+        assert!(parse(args(&["fig2", "--html", "x.html"]))
+            .unwrap_err()
+            .contains("only applies to dashboard"));
+    }
+
+    #[test]
+    fn cache_flags_are_rejected_for_observatory_commands() {
+        for cmd in [
+            &["bench"][..],
+            &["bench-compare", "a.json", "b.json"],
+            &["dashboard", "run.jsonl"],
+        ] {
+            let mut a = cmd.to_vec();
+            a.push("--resume");
+            assert!(
+                parse(args(&a)).unwrap_err().contains("do not apply"),
+                "{cmd:?} should reject cache flags"
+            );
+        }
     }
 
     #[test]

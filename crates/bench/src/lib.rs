@@ -16,7 +16,10 @@
 //! * [`cli`] — the `experiments` binary's argument grammar, including
 //!   the `telemetry-report` run-log analysis subcommand;
 //! * [`timing`] — the measured-iterations micro-benchmark harness used
-//!   by the `benches/` targets (offline replacement for criterion).
+//!   by the `benches/` targets (offline replacement for criterion);
+//! * [`perf`] — the `experiments bench` perf-snapshot suite
+//!   (`BENCH.json`) and the `bench-compare` noise-aware regression gate
+//!   (DESIGN.md row **S13**, docs/OBSERVATORY.md).
 //!
 //! The `experiments` binary is a thin CLI over [`experiments`]. All
 //! console tables go through `fedl_telemetry::log_line!`, so
@@ -30,6 +33,7 @@
 pub mod cli;
 pub mod experiments;
 pub mod harness;
+pub mod perf;
 pub mod plot;
 pub mod profile;
 pub mod report;

@@ -1,0 +1,627 @@
+//! Perf snapshots and cross-run regression gating — the repo's
+//! benchmark trajectory (`experiments bench` / `bench-compare`,
+//! DESIGN.md row **S13**, schema in docs/OBSERVATORY.md).
+//!
+//! [`run_suite`] times a fixed, seeded set of micro- and macro-kernels
+//! — GEMM and softmax (S1), a DANE local solve (S2), RDCS dependent
+//! rounding (S5/S6), the FedL online-learner score update, and one full
+//! quick-profile federated epoch end-to-end — on the in-tree
+//! [`crate::timing`] harness, and packages the per-kernel statistics
+//! into a [`BenchSnapshot`] serialisable to `BENCH.json` via
+//! `fedl-json`. [`compare`] loads two snapshots and applies a
+//! noise-aware slowdown test so `scripts/ci.sh` can gate on perf
+//! regressions.
+
+use std::path::Path;
+use std::time::Duration;
+
+use fedl_json::{obj, read_field, FromJson, ToJson, Value};
+use fedl_telemetry::log_line;
+
+use crate::profile::Profile;
+use crate::timing::{self, measure_with_budget, Measurement};
+
+/// Version of the `BENCH.json` schema. Bump when kernel names, fields,
+/// or measurement semantics change; `bench-compare` refuses to compare
+/// snapshots across versions.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// Half-width multiplier of the noise band `mean ± K·std` used by the
+/// regression test.
+const NOISE_BAND_STDS: f64 = 2.0;
+
+/// Per-kernel timing statistics over the measured samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelStats {
+    /// Kernel label, e.g. `gemm/square_96`.
+    pub name: String,
+    /// Mean per-iteration nanoseconds over the samples.
+    pub mean_ns: f64,
+    /// Population standard deviation of the per-sample times.
+    pub std_ns: f64,
+    /// Fastest sample (noise floor).
+    pub min_ns: f64,
+    /// Iterations per sample (calibrated).
+    pub iters: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+impl KernelStats {
+    fn from_measurement(name: &str, m: &Measurement) -> Self {
+        Self {
+            name: name.to_string(),
+            mean_ns: m.mean_ns(),
+            std_ns: m.std_ns(),
+            min_ns: m.min_ns(),
+            iters: m.iters,
+            samples: m.per_iter_ns.len(),
+        }
+    }
+}
+
+impl ToJson for KernelStats {
+    fn to_json_value(&self) -> Value {
+        obj(vec![
+            ("name", self.name.to_json_value()),
+            ("mean_ns", self.mean_ns.to_json_value()),
+            ("std_ns", self.std_ns.to_json_value()),
+            ("min_ns", self.min_ns.to_json_value()),
+            ("iters", (self.iters as usize).to_json_value()),
+            ("samples", self.samples.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for KernelStats {
+    fn from_json_value(v: &Value) -> Result<Self, fedl_json::Error> {
+        let iters: usize = read_field(v, "iters")?;
+        Ok(Self {
+            name: read_field(v, "name")?,
+            mean_ns: read_field(v, "mean_ns")?,
+            std_ns: read_field(v, "std_ns")?,
+            min_ns: read_field(v, "min_ns")?,
+            iters: iters as u64,
+            samples: read_field(v, "samples")?,
+        })
+    }
+}
+
+/// One machine-readable perf snapshot (`BENCH.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSnapshot {
+    /// [`BENCH_SCHEMA_VERSION`] at write time.
+    pub schema_version: u32,
+    /// Suite sizing (`"quick"` or `"paper"`).
+    pub profile: String,
+    /// Hardware parallelism of the measuring machine.
+    pub threads: usize,
+    /// Per-kernel statistics, in suite order.
+    pub kernels: Vec<KernelStats>,
+}
+
+impl ToJson for BenchSnapshot {
+    fn to_json_value(&self) -> Value {
+        obj(vec![
+            ("schema_version", (self.schema_version as usize).to_json_value()),
+            ("profile", self.profile.to_json_value()),
+            ("threads", self.threads.to_json_value()),
+            ("kernels", self.kernels.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for BenchSnapshot {
+    fn from_json_value(v: &Value) -> Result<Self, fedl_json::Error> {
+        let schema_version: usize = read_field(v, "schema_version")?;
+        Ok(Self {
+            schema_version: schema_version as u32,
+            profile: read_field(v, "profile")?,
+            threads: read_field(v, "threads")?,
+            kernels: read_field(v, "kernels")?,
+        })
+    }
+}
+
+impl BenchSnapshot {
+    /// Serialises the snapshot to `path` (creating parent directories).
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, self.to_json_value().to_json_pretty())
+    }
+
+    /// Reads a snapshot back from `path`.
+    pub fn read(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let value = Value::parse(&text)
+            .map_err(|e| format!("{} is not valid JSON: {e}", path.display()))?;
+        Self::from_json_value(&value)
+            .map_err(|e| format!("{} is not a BENCH.json snapshot: {e}", path.display()))
+    }
+
+    /// The stats for `name`, if the suite measured it.
+    pub fn kernel(&self, name: &str) -> Option<&KernelStats> {
+        self.kernels.iter().find(|k| k.name == name)
+    }
+}
+
+/// Per-kernel measurement budget for the profile.
+fn kernel_budget(profile: Profile) -> Duration {
+    match profile {
+        Profile::Paper => Duration::from_millis(400),
+        Profile::Quick => Duration::from_millis(80),
+    }
+}
+
+fn measure_kernel<R>(
+    kernels: &mut Vec<KernelStats>,
+    budget: Duration,
+    name: &str,
+    f: impl FnMut() -> R,
+) {
+    let m = measure_with_budget(budget, f);
+    log_line!(
+        "{name:<44} {:>12}/iter  ±{:>10}  (min {:>12})",
+        timing::fmt_ns(m.mean_ns()),
+        timing::fmt_ns(m.std_ns()),
+        timing::fmt_ns(m.min_ns()),
+    );
+    kernels.push(KernelStats::from_measurement(name, &m));
+}
+
+/// GEMM + softmax kernels (linear-algebra substrate, S1).
+fn suite_linalg(kernels: &mut Vec<KernelStats>, budget: Duration, profile: Profile) {
+    use fedl_linalg::rng::rng_for;
+    use fedl_linalg::Matrix;
+
+    let n = match profile {
+        Profile::Paper => 96,
+        Profile::Quick => 48,
+    };
+    let mut rng = rng_for(0xBE1, n as u64);
+    let a = Matrix::uniform(n, n, 1.0, &mut rng);
+    let b = Matrix::uniform(n, n, 1.0, &mut rng);
+    measure_kernel(kernels, budget, &format!("gemm/square_{n}"), || {
+        std::hint::black_box(a.matmul(&b))
+    });
+
+    let (rows, cols) = match profile {
+        Profile::Paper => (256, 96),
+        Profile::Quick => (128, 64),
+    };
+    let logits = Matrix::uniform(rows, cols, 1.0, &mut rng);
+    measure_kernel(
+        kernels,
+        budget,
+        &format!("linalg/softmax_rows_{rows}x{cols}"),
+        || std::hint::black_box(fedl_linalg::ops::softmax_rows(&logits)),
+    );
+}
+
+/// One DANE local solve on a seeded synthetic client shard (S2).
+fn suite_dane(kernels: &mut Vec<KernelStats>, budget: Duration, profile: Profile) {
+    use fedl_data::synth::small_fmnist;
+    use fedl_linalg::rng::rng_for;
+    use fedl_ml::dane::{local_update, DaneConfig};
+    use fedl_ml::model::{Mlp, Model};
+
+    let samples = match profile {
+        Profile::Paper => 400,
+        Profile::Quick => 160,
+    };
+    let (train, _) = small_fmnist(samples, 10, 0xBE2);
+    let mut rng = rng_for(0xBE3, 0);
+    let model = Mlp::new(train.dim(), &[64], train.num_classes, 0.0005, &mut rng);
+    let (x, y) = (train.features.clone(), train.one_hot_labels());
+    let (_, j) = model.loss_and_grad(&x, &y);
+    let cfg = DaneConfig::default();
+    let mut rng = rng_for(0xBE4, 0);
+    measure_kernel(
+        kernels,
+        budget,
+        &format!("ml/dane_local_solve_{samples}"),
+        || std::hint::black_box(local_update(&model, &train, &j, &cfg, &mut rng)),
+    );
+}
+
+/// RDCS dependent rounding over a seeded fractional vector (S5/S6).
+fn suite_rounding(kernels: &mut Vec<KernelStats>, budget: Duration, profile: Profile) {
+    use fedl_core::rounding;
+    use fedl_linalg::rng::rng_for;
+    use fedl_linalg::rng::Rng;
+
+    let k = match profile {
+        Profile::Paper => 1024,
+        Profile::Quick => 256,
+    };
+    let mut seed_rng = rng_for(0xBE5, k as u64);
+    let x0: Vec<f64> = (0..k).map(|_| seed_rng.next_f64()).collect();
+    let mut rng = rng_for(0xBE6, k as u64);
+    measure_kernel(kernels, budget, &format!("core/rdcs_round_{k}"), || {
+        let mut x = x0.clone();
+        std::hint::black_box(rounding::rdcs(&mut x, &mut rng))
+    });
+}
+
+/// The FedL online-learner score update: assemble the one-shot problem
+/// from the per-client estimates, take the descent step, and fold a
+/// realized epoch back into the EMA memory and dual multipliers.
+fn suite_score_update(kernels: &mut Vec<KernelStats>, budget: Duration, profile: Profile) {
+    use fedl_core::online::{OnlineLearner, StepSizes};
+    use fedl_core::policy::EpochContext;
+    use fedl_sim::EpochReport;
+
+    let m = match profile {
+        Profile::Paper => 128,
+        Profile::Quick => 64,
+    };
+    let n = m / 8;
+    let ctx = EpochContext {
+        epoch: 0,
+        num_clients: m,
+        available: (0..m).collect(),
+        costs: (0..m).map(|i| 0.5 + (i % 11) as f64).collect(),
+        data_volumes: vec![20; m],
+        latency_hint: (0..m).map(|i| 0.1 + 0.01 * (i % 7) as f64).collect(),
+        loss_hint: vec![2.0; m],
+        true_latency: (0..m).map(|i| 0.1 + 0.01 * (i % 7) as f64).collect(),
+        remaining_budget: 10_000.0,
+        min_participants: n,
+        seed: 0xBE7,
+    };
+    let cohort: Vec<usize> = (0..n).collect();
+    let report = EpochReport {
+        epoch: 0,
+        cohort: cohort.clone(),
+        iterations: 2,
+        latency_secs: 0.4,
+        per_client_iter_latency: vec![0.2; n],
+        cost: n as f64,
+        eta_hats: vec![0.4f32; n],
+        global_loss_all: 1.4,
+        global_loss_selected: 1.3,
+        grad_dot_delta: vec![-0.2f32; n],
+        local_losses: vec![1.4f32; n],
+        failed: vec![],
+    };
+    let mut learner =
+        OnlineLearner::new(m, StepSizes::fixed(0.3, 0.3), 1.0, 10.0, 0.1);
+    measure_kernel(
+        kernels,
+        budget,
+        &format!("core/ucb_score_update_{m}"),
+        || {
+            let problem = learner.build_problem(&ctx);
+            let frac = learner.decide(&ctx, &problem);
+            learner.observe(&ctx, &report, &frac, &problem);
+            std::hint::black_box(frac.rho)
+        },
+    );
+}
+
+/// One full quick-profile federated epoch end-to-end: selection, local
+/// DANE solves, aggregation, payment, and evaluation — the unit of work
+/// every figure multiplies by hundreds. Always measured at quick scale
+/// so the macro-kernel stays comparable across profiles.
+fn suite_epoch(kernels: &mut Vec<KernelStats>, budget: Duration) {
+    use fedl_core::policy::PolicyKind;
+    use fedl_core::runner::{ExperimentRunner, ScenarioConfig};
+
+    let mut s = ScenarioConfig::small_fmnist(20, 1.0e12, 4).with_seed(0xBE8);
+    s.train_size = 1000;
+    s.test_size = 200;
+    s.max_epochs = usize::MAX / 2;
+    let mut runner = ExperimentRunner::new(s, PolicyKind::FedL);
+    measure_kernel(kernels, budget, "epoch/full_quick_epoch", || {
+        std::hint::black_box(runner.step())
+    });
+}
+
+/// Runs the whole seeded suite and packages the snapshot.
+pub fn run_suite(profile: Profile) -> BenchSnapshot {
+    let budget = kernel_budget(profile);
+    let profile_name = match profile {
+        Profile::Paper => "paper",
+        Profile::Quick => "quick",
+    };
+    log_line!("── perf snapshot suite ({profile_name}) ──");
+    let mut kernels = Vec::new();
+    suite_linalg(&mut kernels, budget, profile);
+    suite_dane(&mut kernels, budget, profile);
+    suite_rounding(&mut kernels, budget, profile);
+    suite_score_update(&mut kernels, budget, profile);
+    suite_epoch(&mut kernels, budget);
+    BenchSnapshot {
+        schema_version: BENCH_SCHEMA_VERSION,
+        profile: profile_name.to_string(),
+        threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        kernels,
+    }
+}
+
+/// Verdict for one kernel of a [`compare`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within noise of the baseline (or a tolerable slowdown).
+    Ok,
+    /// Slower than the baseline beyond both the threshold and the noise
+    /// bands — fails the gate.
+    Regressed,
+    /// Faster than the baseline beyond the threshold and the noise
+    /// bands.
+    Improved,
+    /// Present only in the baseline snapshot.
+    OnlyBase,
+    /// Present only in the new snapshot.
+    OnlyNew,
+}
+
+impl Verdict {
+    fn label(self) -> &'static str {
+        match self {
+            Verdict::Ok => "ok",
+            Verdict::Regressed => "REGRESSED",
+            Verdict::Improved => "improved",
+            Verdict::OnlyBase => "only-base",
+            Verdict::OnlyNew => "only-new",
+        }
+    }
+}
+
+/// One row of the comparison table.
+#[derive(Debug, Clone)]
+pub struct CompareRow {
+    /// Kernel label.
+    pub name: String,
+    /// Baseline stats, absent for [`Verdict::OnlyNew`].
+    pub base: Option<KernelStats>,
+    /// New stats, absent for [`Verdict::OnlyBase`].
+    pub new: Option<KernelStats>,
+    /// `new.mean / base.mean` when both sides exist.
+    pub ratio: Option<f64>,
+    /// The noise-aware verdict.
+    pub verdict: Verdict,
+}
+
+/// The result of comparing two snapshots.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    /// Per-kernel rows, baseline suite order first, then new-only rows.
+    pub rows: Vec<CompareRow>,
+    /// Relative slowdown threshold used (e.g. `0.25` for 25 %).
+    pub threshold: f64,
+}
+
+impl CompareReport {
+    /// `true` when any kernel regressed (the CI gate condition).
+    pub fn has_regression(&self) -> bool {
+        self.rows.iter().any(|r| r.verdict == Verdict::Regressed)
+    }
+
+    /// The fixed-width per-kernel table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<34} {:>22} {:>22} {:>7}  {}\n",
+            "kernel", "base mean±std", "new mean±std", "ratio", "verdict"
+        ));
+        for row in &self.rows {
+            let fmt_side = |s: &Option<KernelStats>| match s {
+                Some(k) => format!(
+                    "{}±{}",
+                    timing::fmt_ns(k.mean_ns),
+                    timing::fmt_ns(k.std_ns)
+                ),
+                None => "—".to_string(),
+            };
+            let ratio = row
+                .ratio
+                .map_or("—".to_string(), |r| format!("{r:.2}×"));
+            out.push_str(&format!(
+                "{:<34} {:>22} {:>22} {:>7}  {}\n",
+                row.name,
+                fmt_side(&row.base),
+                fmt_side(&row.new),
+                ratio,
+                row.verdict.label()
+            ));
+        }
+        out
+    }
+}
+
+/// Noise-aware comparison of two snapshots: a kernel regresses only
+/// when its mean slowed down by more than `threshold` (relative) *and*
+/// the `mean ± 2·std` noise bands of the two measurements do not
+/// overlap — so a noisy kernel whose bands still touch never fails the
+/// gate spuriously. Kernels present on only one side are reported but
+/// never gate. Snapshots of different schema versions refuse to
+/// compare.
+pub fn compare(
+    base: &BenchSnapshot,
+    new: &BenchSnapshot,
+    threshold: f64,
+) -> Result<CompareReport, String> {
+    if base.schema_version != new.schema_version {
+        return Err(format!(
+            "snapshot schema versions differ: base v{}, new v{}",
+            base.schema_version, new.schema_version
+        ));
+    }
+    let mut rows = Vec::new();
+    for b in &base.kernels {
+        let row = match new.kernel(&b.name) {
+            None => CompareRow {
+                name: b.name.clone(),
+                base: Some(b.clone()),
+                new: None,
+                ratio: None,
+                verdict: Verdict::OnlyBase,
+            },
+            Some(n) => {
+                let ratio = n.mean_ns / b.mean_ns.max(f64::MIN_POSITIVE);
+                let base_hi = b.mean_ns + NOISE_BAND_STDS * b.std_ns;
+                let new_lo = n.mean_ns - NOISE_BAND_STDS * n.std_ns;
+                let bands_separate = new_lo > base_hi;
+                let verdict = if ratio > 1.0 + threshold && bands_separate {
+                    Verdict::Regressed
+                } else if ratio < 1.0 / (1.0 + threshold)
+                    && b.mean_ns - NOISE_BAND_STDS * b.std_ns
+                        > n.mean_ns + NOISE_BAND_STDS * n.std_ns
+                {
+                    Verdict::Improved
+                } else {
+                    Verdict::Ok
+                };
+                CompareRow {
+                    name: b.name.clone(),
+                    base: Some(b.clone()),
+                    new: Some(n.clone()),
+                    ratio: Some(ratio),
+                    verdict,
+                }
+            }
+        };
+        rows.push(row);
+    }
+    for n in &new.kernels {
+        if base.kernel(&n.name).is_none() {
+            rows.push(CompareRow {
+                name: n.name.clone(),
+                base: None,
+                new: Some(n.clone()),
+                ratio: None,
+                verdict: Verdict::OnlyNew,
+            });
+        }
+    }
+    Ok(CompareReport { rows, threshold })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(name: &str, mean: f64, std: f64) -> KernelStats {
+        KernelStats {
+            name: name.to_string(),
+            mean_ns: mean,
+            std_ns: std,
+            min_ns: mean - std,
+            iters: 100,
+            samples: 5,
+        }
+    }
+
+    fn snapshot(kernels: Vec<KernelStats>) -> BenchSnapshot {
+        BenchSnapshot {
+            schema_version: BENCH_SCHEMA_VERSION,
+            profile: "quick".to_string(),
+            threads: 4,
+            kernels,
+        }
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let snap = snapshot(vec![stats("gemm/square_48", 1500.0, 30.0)]);
+        let back =
+            BenchSnapshot::from_json_value(&snap.to_json_value()).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn identical_snapshots_pass() {
+        let snap = snapshot(vec![
+            stats("a", 1000.0, 20.0),
+            stats("b", 5000.0, 100.0),
+        ]);
+        let report = compare(&snap, &snap.clone(), 0.25).unwrap();
+        assert!(!report.has_regression());
+        assert!(report.rows.iter().all(|r| r.verdict == Verdict::Ok));
+    }
+
+    #[test]
+    fn two_x_slowdown_regresses() {
+        let base = snapshot(vec![stats("a", 1000.0, 20.0)]);
+        let slowed = snapshot(vec![stats("a", 2000.0, 20.0)]);
+        let report = compare(&base, &slowed, 0.25).unwrap();
+        assert!(report.has_regression());
+        assert_eq!(report.rows[0].verdict, Verdict::Regressed);
+        assert!((report.rows[0].ratio.unwrap() - 2.0).abs() < 1e-12);
+        // The same 2x in the other direction is an improvement.
+        let report = compare(&slowed, &base, 0.25).unwrap();
+        assert!(!report.has_regression());
+        assert_eq!(report.rows[0].verdict, Verdict::Improved);
+    }
+
+    #[test]
+    fn noisy_slowdown_within_bands_does_not_regress() {
+        // 40% slower but with std so large the 2-sigma bands overlap:
+        // noise, not a regression.
+        let base = snapshot(vec![stats("a", 1000.0, 300.0)]);
+        let noisy = snapshot(vec![stats("a", 1400.0, 300.0)]);
+        let report = compare(&base, &noisy, 0.25).unwrap();
+        assert!(!report.has_regression());
+        assert_eq!(report.rows[0].verdict, Verdict::Ok);
+    }
+
+    #[test]
+    fn asymmetric_kernels_are_reported_not_gated() {
+        let base = snapshot(vec![stats("a", 1000.0, 10.0), stats("gone", 1.0, 0.1)]);
+        let new = snapshot(vec![stats("a", 1000.0, 10.0), stats("fresh", 1.0, 0.1)]);
+        let report = compare(&base, &new, 0.25).unwrap();
+        assert!(!report.has_regression());
+        let verdicts: Vec<(String, Verdict)> = report
+            .rows
+            .iter()
+            .map(|r| (r.name.clone(), r.verdict))
+            .collect();
+        assert!(verdicts.contains(&("gone".to_string(), Verdict::OnlyBase)));
+        assert!(verdicts.contains(&("fresh".to_string(), Verdict::OnlyNew)));
+        let table = report.render();
+        assert!(table.contains("only-base") && table.contains("only-new"));
+    }
+
+    #[test]
+    fn schema_version_mismatch_refuses() {
+        let base = snapshot(vec![]);
+        let mut new = snapshot(vec![]);
+        new.schema_version = BENCH_SCHEMA_VERSION + 1;
+        assert!(compare(&base, &new, 0.25).unwrap_err().contains("schema versions"));
+    }
+
+    #[test]
+    fn quick_suite_covers_the_five_kernel_families() {
+        // FEDL_BENCH_FAST-equivalent: the quick suite itself is the
+        // smallest configuration; just run it once end-to-end.
+        let snap = run_suite(Profile::Quick);
+        assert_eq!(snap.schema_version, BENCH_SCHEMA_VERSION);
+        assert_eq!(snap.profile, "quick");
+        assert!(snap.threads >= 1);
+        for prefix in ["gemm/", "linalg/softmax", "ml/dane", "core/rdcs", "core/ucb", "epoch/"] {
+            assert!(
+                snap.kernels.iter().any(|k| k.name.starts_with(prefix)),
+                "suite is missing a {prefix} kernel: {:?}",
+                snap.kernels.iter().map(|k| &k.name).collect::<Vec<_>>()
+            );
+        }
+        for k in &snap.kernels {
+            assert!(k.mean_ns > 0.0 && k.min_ns > 0.0, "{} timed nothing", k.name);
+            assert!(k.samples >= 3, "{} has too few samples", k.name);
+        }
+        // And the snapshot must survive a disk round-trip.
+        let dir = std::env::temp_dir().join("fedl_perf_suite_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH.json");
+        snap.write(&path).unwrap();
+        let back = BenchSnapshot::read(&path).unwrap();
+        assert_eq!(snap, back);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -37,7 +37,7 @@ pub fn group(name: &str) {
     log_line!("\n── {name} ──");
 }
 
-fn fmt_ns(ns: f64) -> String {
+pub(crate) fn fmt_ns(ns: f64) -> String {
     if ns < 1e3 {
         format!("{ns:.1} ns")
     } else if ns < 1e6 {
@@ -49,10 +49,50 @@ fn fmt_ns(ns: f64) -> String {
     }
 }
 
-/// Times `f` and prints one table row: median per-iteration time over
-/// a handful of samples, plus the fastest sample as the noise floor.
-pub fn bench<R>(label: &str, mut f: impl FnMut() -> R) {
-    let budget = target_budget();
+/// One benchmark's raw timings: per-iteration nanoseconds for each
+/// measured sample (ascending), plus the calibrated batch size. This is
+/// what [`bench()`] prints and what the `experiments bench` perf-snapshot
+/// suite serialises into `BENCH.json` (see [`crate::perf`]).
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Per-iteration time of each sample, nanoseconds, sorted ascending.
+    pub per_iter_ns: Vec<f64>,
+    /// Iterations per sample (calibrated to the measurement budget).
+    pub iters: u64,
+}
+
+impl Measurement {
+    /// Mean per-iteration time over the samples.
+    pub fn mean_ns(&self) -> f64 {
+        self.per_iter_ns.iter().sum::<f64>() / self.per_iter_ns.len().max(1) as f64
+    }
+
+    /// Population standard deviation of the per-sample times.
+    pub fn std_ns(&self) -> f64 {
+        let mean = self.mean_ns();
+        let var = self
+            .per_iter_ns
+            .iter()
+            .map(|t| (t - mean) * (t - mean))
+            .sum::<f64>()
+            / self.per_iter_ns.len().max(1) as f64;
+        var.sqrt()
+    }
+
+    /// Fastest sample (the noise floor).
+    pub fn min_ns(&self) -> f64 {
+        self.per_iter_ns.first().copied().unwrap_or(f64::NAN)
+    }
+
+    /// Median sample.
+    pub fn median_ns(&self) -> f64 {
+        self.per_iter_ns.get(self.per_iter_ns.len() / 2).copied().unwrap_or(f64::NAN)
+    }
+}
+
+/// Warms up, calibrates, and times `f` over a fixed number of samples
+/// inside `budget` of wall clock, returning the raw per-sample timings.
+pub fn measure_with_budget<R>(budget: Duration, mut f: impl FnMut() -> R) -> Measurement {
     // Warm-up (fills caches, triggers lazy initialization).
     for _ in 0..2 {
         std::hint::black_box(f());
@@ -83,12 +123,23 @@ pub fn bench<R>(label: &str, mut f: impl FnMut() -> R) {
         times.push(start.elapsed().as_nanos() as f64 / iters as f64);
     }
     times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    let median = times[times.len() / 2];
-    let best = times[0];
+    Measurement { per_iter_ns: times, iters }
+}
+
+/// [`measure_with_budget`] under the default (env-tunable) budget.
+pub fn measure<R>(f: impl FnMut() -> R) -> Measurement {
+    measure_with_budget(target_budget(), f)
+}
+
+/// Times `f` and prints one table row: median per-iteration time over
+/// a handful of samples, plus the fastest sample as the noise floor.
+pub fn bench<R>(label: &str, f: impl FnMut() -> R) {
+    let m = measure(f);
     log_line!(
-        "{label:<44} {:>12}/iter   (best {:>12}, {iters}×{SAMPLES} iters)",
-        fmt_ns(median),
-        fmt_ns(best)
+        "{label:<44} {:>12}/iter   (best {:>12}, {}×{SAMPLES} iters)",
+        fmt_ns(m.median_ns()),
+        fmt_ns(m.min_ns()),
+        m.iters
     );
 }
 
@@ -124,5 +175,26 @@ mod tests {
             count
         });
         assert!(count > 0);
+    }
+
+    #[test]
+    fn measurement_statistics_are_consistent() {
+        let m = Measurement { per_iter_ns: vec![1.0, 2.0, 3.0, 4.0, 10.0], iters: 7 };
+        assert!((m.mean_ns() - 4.0).abs() < 1e-12);
+        assert_eq!(m.min_ns(), 1.0);
+        assert_eq!(m.median_ns(), 3.0);
+        // population std of [1,2,3,4,10] around 4: sqrt((9+4+1+0+36)/5)
+        assert!((m.std_ns() - (50.0f64 / 5.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measure_returns_sorted_positive_samples() {
+        let m = measure_with_budget(Duration::from_millis(20), || {
+            std::hint::black_box(3u64.wrapping_mul(17))
+        });
+        assert_eq!(m.per_iter_ns.len(), SAMPLES);
+        assert!(m.iters >= 1);
+        assert!(m.per_iter_ns.windows(2).all(|w| w[0] <= w[1]));
+        assert!(m.per_iter_ns.iter().all(|&t| t > 0.0));
     }
 }

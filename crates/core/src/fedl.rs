@@ -217,6 +217,10 @@ impl SelectionPolicy for FedLPolicy {
         Some(&self.tracker)
     }
 
+    fn client_estimate(&self, client: usize) -> Option<f64> {
+        self.learner.state().stats(client).map(|s| s.eta)
+    }
+
     /// Unlike the legacy [`FedLPolicy::checkpoint`] (which keeps only
     /// the learner), this captures *everything* that feeds future
     /// decisions — learner, regret tracker, the RDCS rounding RNG's

@@ -90,6 +90,16 @@ pub trait SelectionPolicy: Send {
         None
     }
 
+    /// The policy's current scalar quality estimate for `client` —
+    /// FedL reports its smoothed local-convergence accuracy η̂ₖ; the
+    /// memoryless baselines keep the default `None`. The runner records
+    /// this on the per-epoch `select` telemetry event so offline
+    /// analysis (the attribution dashboard) can show what the policy
+    /// believed about each client it rented.
+    fn client_estimate(&self, _client: usize) -> Option<f64> {
+        None
+    }
+
     /// Serializes every piece of cross-epoch mutable state (learned
     /// estimates, multipliers, RNG streams) for a run checkpoint, such
     /// that a freshly built policy of the same kind and configuration

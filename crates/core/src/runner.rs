@@ -863,6 +863,7 @@ impl ExperimentRunner {
                     ctx.available.iter().copied().take(ctx.effective_n()).collect();
             }
             drop(select_span);
+            self.emit_select_event(epoch, &decision.cohort);
             let iterations = decision.iterations.clamp(1, 50);
             let report = self.env.run_epoch(epoch, &decision.cohort, iterations);
             self.ledger.charge(report.cost);
@@ -919,6 +920,30 @@ impl ExperimentRunner {
                 ],
             );
         }
+    }
+
+    /// Emits the per-epoch `select` event: which clients the policy
+    /// committed to renting this epoch, together with the policy's
+    /// current per-client quality estimates (FedL's smoothed η̂ₖ; `null`
+    /// for baselines without per-client memory). This is the decision
+    /// *before* mid-epoch dropouts, so the dashboard can attribute
+    /// payments to every rented client, survivor or not.
+    fn emit_select_event(&self, epoch: usize, cohort: &[usize]) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        let estimates: Vec<f64> = cohort
+            .iter()
+            .map(|&k| self.policy.client_estimate(k).unwrap_or(f64::NAN))
+            .collect();
+        self.telemetry.emit(
+            "select",
+            vec![
+                ("epoch", Value::from(epoch)),
+                ("cohort", cohort.to_vec().to_json_value()),
+                ("estimates", estimates.to_json_value()),
+            ],
+        );
     }
 
     /// Emits the per-epoch `epoch` event: the selection set, estimated

@@ -36,11 +36,34 @@ fn full_run_emits_complete_event_stream() {
     assert_eq!(kind_of(events.last().unwrap()), "metrics");
     assert_eq!(kind_of(&events[events.len() - 2]), "run_end");
 
-    // One epoch/train/ledger event per executed epoch.
+    // One select/epoch/train/ledger event per executed epoch.
     let n = outcome.epochs.len();
-    for kind in ["epoch", "train", "ledger"] {
+    for kind in ["select", "epoch", "train", "ledger"] {
         let count = events.iter().filter(|e| kind_of(e) == kind).count();
         assert_eq!(count, n, "expected {n} `{kind}` events");
+    }
+
+    // Every select event pairs the cohort with aligned estimates.
+    for event in events.iter().filter(|e| kind_of(e) == "select") {
+        let cohort = event.get("cohort").unwrap().as_arr().unwrap();
+        let estimates = event.get("estimates").unwrap().as_arr().unwrap();
+        assert!(!cohort.is_empty());
+        assert_eq!(estimates.len(), cohort.len());
+    }
+
+    // Every train event attributes rent and latency splits per client.
+    for event in events.iter().filter(|e| kind_of(e) == "train") {
+        let cohort = event.get("cohort").unwrap().as_arr().unwrap();
+        let charged = event.get("charged").unwrap().as_arr().unwrap();
+        let costs = event.get("per_client_cost").unwrap().as_arr().unwrap();
+        assert!(charged.len() >= cohort.len(), "charged covers dropouts too");
+        assert_eq!(costs.len(), charged.len());
+        let total: f64 = costs.iter().map(|c| c.as_f64().unwrap()).sum();
+        assert!((total - event.get("cost").unwrap().as_f64().unwrap()).abs() < 1e-9);
+        let compute = event.get("per_client_compute_secs").unwrap().as_arr().unwrap();
+        let upload = event.get("per_client_upload_secs").unwrap().as_arr().unwrap();
+        assert_eq!(compute.len(), cohort.len(), "equal-share FDMA has a split");
+        assert_eq!(upload.len(), cohort.len());
     }
 
     // Every epoch event carries the full schema with sane values.
@@ -76,10 +99,24 @@ fn full_run_emits_complete_event_stream() {
     );
 
     // Phase spans: every executed epoch times epoch/select/train/evaluate.
-    let log = RunLog::parse(&handle.lines().join("\n")).unwrap();
+    let log = RunLog::parse(&handle.lines().join("\n"));
     assert!(log
-        .missing_kinds(&["run_start", "epoch", "train", "ledger", "span", "metrics", "run_end"])
+        .missing_kinds(&[
+            "run_start", "select", "epoch", "train", "ledger", "span", "metrics", "run_end"
+        ])
         .is_empty());
+
+    // The dashboard aggregation sees real rent and, for FedL, per-client
+    // quality estimates, once the policy has observed a client.
+    let usage = log.client_usage();
+    assert!(!usage.is_empty());
+    assert!(usage.iter().all(|u| u.selections > 0));
+    assert!(usage.iter().any(|u| u.payment > 0.0));
+    assert!(usage.iter().any(|u| u.total_secs > 0.0));
+    assert!(
+        usage.iter().any(|u| u.last_estimate.is_some()),
+        "FedL must surface η̂ estimates in the select events"
+    );
     let stats = log.phase_stats();
     for phase in ["epoch", "select", "train", "evaluate"] {
         let s = stats.iter().find(|s| s.name == phase).unwrap_or_else(|| {

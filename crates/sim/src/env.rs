@@ -330,6 +330,27 @@ impl EdgeEnvironment {
         let global_loss_all = weighted_loss(self.server.model(), all_data.iter());
 
         if self.telemetry.enabled() {
+            // Per-client payment attribution: rent is owed for the full
+            // selection (failures happen after commitment), so `charged`
+            // lists every rented client, survivor or not.
+            let charged: Vec<usize> = full_cohort.to_vec();
+            let per_client_cost: Vec<f64> =
+                full_cohort.iter().map(|&k| views[k].cost).collect();
+            // Phase split of the realized latencies (equal-share FDMA
+            // only; the min-makespan allocator interleaves the phases).
+            let splits = if self.config.optimal_bandwidth {
+                Vec::new()
+            } else {
+                let radios: Vec<&ClientRadio> =
+                    cohort.iter().map(|&k| &views[k].radio).collect();
+                let computes: Vec<&ComputeProfile> =
+                    cohort.iter().map(|&k| &self.clients[k].compute).collect();
+                let samples: Vec<usize> =
+                    cohort.iter().map(|&k| views[k].data_volume).collect();
+                self.latency.per_iteration_split(&radios, &computes, &samples)
+            };
+            let compute_split: Vec<f64> = splits.iter().map(|s| s.compute_secs).collect();
+            let upload_split: Vec<f64> = splits.iter().map(|s| s.upload_secs).collect();
             self.telemetry.emit(
                 "train",
                 vec![
@@ -340,6 +361,10 @@ impl EdgeEnvironment {
                     ("latency_secs", Value::Float(latency_secs)),
                     ("per_client_iter_latency", per_client_iter_latency.to_json_value()),
                     ("cost", Value::Float(cost)),
+                    ("charged", charged.to_json_value()),
+                    ("per_client_cost", per_client_cost.to_json_value()),
+                    ("per_client_compute_secs", compute_split.to_json_value()),
+                    ("per_client_upload_secs", upload_split.to_json_value()),
                 ],
             );
             self.telemetry.histogram("sim.epoch_latency_secs").record(latency_secs);
@@ -348,21 +373,11 @@ impl EdgeEnvironment {
                 iter_hist.record(l);
             }
             self.telemetry.counter("sim.failed_clients").add(failed.len() as u64);
-            // Phase split of the realized latencies (equal-share FDMA
-            // only; the min-makespan allocator interleaves the phases).
-            if !self.config.optimal_bandwidth {
-                let radios: Vec<&ClientRadio> =
-                    cohort.iter().map(|&k| &views[k].radio).collect();
-                let computes: Vec<&ComputeProfile> =
-                    cohort.iter().map(|&k| &self.clients[k].compute).collect();
-                let samples: Vec<usize> =
-                    cohort.iter().map(|&k| views[k].data_volume).collect();
-                let compute_hist = self.telemetry.histogram("net.compute_secs");
-                let upload_hist = self.telemetry.histogram("net.upload_secs");
-                for split in self.latency.per_iteration_split(&radios, &computes, &samples) {
-                    compute_hist.record(split.compute_secs);
-                    upload_hist.record(split.upload_secs);
-                }
+            let compute_hist = self.telemetry.histogram("net.compute_secs");
+            let upload_hist = self.telemetry.histogram("net.upload_secs");
+            for split in &splits {
+                compute_hist.record(split.compute_secs);
+                upload_hist.record(split.upload_secs);
             }
         }
 

@@ -1,0 +1,444 @@
+//! Self-contained HTML dashboard for a telemetry run log.
+//!
+//! [`render_html`] turns a parsed [`RunLog`] into a single HTML file
+//! with **no external assets** — styles are inline and every chart is
+//! an inline SVG — so the file can be attached to a CI run or mailed
+//! around and still render. Four panels (each with a stable `id` that
+//! `scripts/ci.sh` asserts on):
+//!
+//! * `regret-curve` — cumulative regret vs epoch (`epoch.regret`);
+//! * `budget-burndown` — remaining budget vs epoch
+//!   (`epoch.budget_remaining`);
+//! * `selection-heatmap` — client × epoch selection frequency
+//!   (`select.cohort`);
+//! * `phase-breakdown` — total seconds per phase (`span` events).
+//!
+//! Below the charts sits the same per-client attribution table the
+//! `experiments dashboard` subcommand prints as ASCII
+//! ([`RunLog::client_usage`]).
+
+use fedl_json::Value;
+
+use crate::report::RunLog;
+
+/// Chart plot-area geometry (pixels).
+const PLOT_W: f64 = 560.0;
+const PLOT_H: f64 = 200.0;
+/// Margins: left for y tick labels, bottom for x tick labels.
+const M_LEFT: f64 = 70.0;
+const M_TOP: f64 = 10.0;
+const M_RIGHT: f64 = 10.0;
+const M_BOTTOM: f64 = 30.0;
+/// Heatmap caps: more rows/columns than this are bucketed so the SVG
+/// stays small no matter how long the campaign ran.
+const HEAT_MAX_ROWS: usize = 64;
+const HEAT_MAX_COLS: usize = 120;
+
+fn svg_open(id: &str) -> String {
+    let w = M_LEFT + PLOT_W + M_RIGHT;
+    let h = M_TOP + PLOT_H + M_BOTTOM;
+    format!(
+        r#"<svg id="{id}" viewBox="0 0 {w} {h}" width="{w}" height="{h}" xmlns="http://www.w3.org/2000/svg">"#
+    )
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{:.0}", v)
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// A line chart over `(x, y)` points (non-finite points dropped).
+/// Returns a placeholder panel when fewer than two finite points exist.
+fn line_chart(id: &str, color: &str, points: &[(f64, f64)]) -> String {
+    let pts: Vec<(f64, f64)> =
+        points.iter().copied().filter(|(x, y)| x.is_finite() && y.is_finite()).collect();
+    if pts.len() < 2 {
+        return format!(
+            "{}<text x=\"{}\" y=\"{}\" text-anchor=\"middle\" class=\"empty\">no data</text></svg>",
+            svg_open(id),
+            M_LEFT + PLOT_W / 2.0,
+            M_TOP + PLOT_H / 2.0
+        );
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &pts {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if x_max == x_min {
+        x_max = x_min + 1.0;
+    }
+    if y_max == y_min {
+        y_max = y_min + 1.0;
+    }
+    let sx = |x: f64| M_LEFT + (x - x_min) / (x_max - x_min) * PLOT_W;
+    let sy = |y: f64| M_TOP + (1.0 - (y - y_min) / (y_max - y_min)) * PLOT_H;
+    let path: Vec<String> =
+        pts.iter().map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y))).collect();
+    let mut out = svg_open(id);
+    // Frame + the polyline + min/max tick labels on both axes.
+    out.push_str(&format!(
+        r#"<rect x="{M_LEFT}" y="{M_TOP}" width="{PLOT_W}" height="{PLOT_H}" class="frame"/>"#
+    ));
+    out.push_str(&format!(
+        r#"<polyline fill="none" stroke="{color}" stroke-width="1.5" points="{}"/>"#,
+        path.join(" ")
+    ));
+    out.push_str(&format!(
+        r#"<text x="{:.1}" y="{:.1}" text-anchor="end" class="tick">{}</text>"#,
+        M_LEFT - 4.0,
+        M_TOP + 10.0,
+        fmt_tick(y_max)
+    ));
+    out.push_str(&format!(
+        r#"<text x="{:.1}" y="{:.1}" text-anchor="end" class="tick">{}</text>"#,
+        M_LEFT - 4.0,
+        M_TOP + PLOT_H,
+        fmt_tick(y_min)
+    ));
+    out.push_str(&format!(
+        r#"<text x="{M_LEFT}" y="{:.1}" class="tick">{}</text>"#,
+        M_TOP + PLOT_H + 16.0,
+        fmt_tick(x_min)
+    ));
+    out.push_str(&format!(
+        r#"<text x="{:.1}" y="{:.1}" text-anchor="end" class="tick">{}</text>"#,
+        M_LEFT + PLOT_W,
+        M_TOP + PLOT_H + 16.0,
+        fmt_tick(x_max)
+    ));
+    out.push_str("</svg>");
+    out
+}
+
+/// Pulls `(epoch, field)` series from the `epoch` events.
+fn epoch_series(log: &RunLog, field: &str) -> Vec<(f64, f64)> {
+    log.events()
+        .iter()
+        .filter(|e| e.get("kind").and_then(Value::as_str) == Some("epoch"))
+        .filter_map(|e| {
+            let x = e.get("epoch")?.as_f64()?;
+            let y = e.get(field).and_then(Value::as_f64).unwrap_or(f64::NAN);
+            Some((x, y))
+        })
+        .collect()
+}
+
+/// The client × epoch selection-frequency heatmap. Rows are clients in
+/// attribution (payment-descending) order, columns are epoch buckets;
+/// cell intensity is the fraction of the bucket's epochs in which the
+/// client was selected.
+fn selection_heatmap(log: &RunLog) -> String {
+    // (epoch, cohort) pairs from the select events.
+    let selections: Vec<(usize, Vec<usize>)> = log
+        .events()
+        .iter()
+        .filter(|e| e.get("kind").and_then(Value::as_str) == Some("select"))
+        .filter_map(|e| {
+            let epoch = e.get("epoch")?.as_usize()?;
+            let cohort = e
+                .get("cohort")?
+                .as_arr()?
+                .iter()
+                .filter_map(Value::as_usize)
+                .collect();
+            Some((epoch, cohort))
+        })
+        .collect();
+    if selections.is_empty() {
+        return format!(
+            "{}<text x=\"{}\" y=\"{}\" text-anchor=\"middle\" class=\"empty\">no select events</text></svg>",
+            svg_open("selection-heatmap"),
+            M_LEFT + PLOT_W / 2.0,
+            M_TOP + PLOT_H / 2.0
+        );
+    }
+    let max_epoch = selections.iter().map(|(e, _)| *e).max().unwrap_or(0);
+    let n_cols = (max_epoch + 1).min(HEAT_MAX_COLS);
+    let epochs_per_col = (max_epoch + 1).div_ceil(n_cols);
+    let rows: Vec<usize> = log
+        .client_usage()
+        .iter()
+        .map(|u| u.client)
+        .take(HEAT_MAX_ROWS)
+        .collect();
+    let truncated = log.client_usage().len() > rows.len();
+    let row_of = |k: usize| rows.iter().position(|&r| r == k);
+
+    // counts[row][col] = number of selections; denominator is the
+    // bucket width in epochs.
+    let mut counts = vec![vec![0usize; n_cols]; rows.len()];
+    for (epoch, cohort) in &selections {
+        let col = (epoch / epochs_per_col).min(n_cols - 1);
+        for &k in cohort {
+            if let Some(row) = row_of(k) {
+                counts[row][col] += 1;
+            }
+        }
+    }
+    let cell_w = PLOT_W / n_cols as f64;
+    let cell_h = PLOT_H / rows.len() as f64;
+    let mut out = svg_open("selection-heatmap");
+    out.push_str(&format!(
+        r#"<rect x="{M_LEFT}" y="{M_TOP}" width="{PLOT_W}" height="{PLOT_H}" class="frame"/>"#
+    ));
+    for (row, row_counts) in counts.iter().enumerate() {
+        for (col, &count) in row_counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let opacity = (count as f64 / epochs_per_col as f64).min(1.0);
+            out.push_str(&format!(
+                r##"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="#2563eb" fill-opacity="{opacity:.2}"/>"##,
+                M_LEFT + col as f64 * cell_w,
+                M_TOP + row as f64 * cell_h,
+                cell_w.max(1.0),
+                cell_h.max(1.0),
+            ));
+        }
+    }
+    // Row labels: first and last client id shown (rows follow the
+    // attribution table order).
+    if let (Some(first), Some(last)) = (rows.first(), rows.last()) {
+        out.push_str(&format!(
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="end" class="tick">k={first}</text>"#,
+            M_LEFT - 4.0,
+            M_TOP + 10.0
+        ));
+        out.push_str(&format!(
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="end" class="tick">k={last}{}</text>"#,
+            M_LEFT - 4.0,
+            M_TOP + PLOT_H,
+            if truncated { "…" } else { "" }
+        ));
+    }
+    out.push_str(&format!(
+        r#"<text x="{M_LEFT}" y="{:.1}" class="tick">epoch 0</text>"#,
+        M_TOP + PLOT_H + 16.0
+    ));
+    out.push_str(&format!(
+        r#"<text x="{:.1}" y="{:.1}" text-anchor="end" class="tick">{max_epoch}</text>"#,
+        M_LEFT + PLOT_W,
+        M_TOP + PLOT_H + 16.0
+    ));
+    out.push_str("</svg>");
+    out
+}
+
+/// Horizontal bars of total seconds per phase (descending, as in the
+/// `telemetry-report` table).
+fn phase_breakdown(log: &RunLog) -> String {
+    let stats = log.phase_stats();
+    if stats.is_empty() {
+        return format!(
+            "{}<text x=\"{}\" y=\"{}\" text-anchor=\"middle\" class=\"empty\">no span events</text></svg>",
+            svg_open("phase-breakdown"),
+            M_LEFT + PLOT_W / 2.0,
+            M_TOP + PLOT_H / 2.0
+        );
+    }
+    let max_total = stats.iter().map(|s| s.total_secs).fold(0.0f64, f64::max).max(1e-12);
+    let bar_h = (PLOT_H / stats.len() as f64).min(28.0);
+    let mut out = svg_open("phase-breakdown");
+    for (i, s) in stats.iter().enumerate() {
+        let y = M_TOP + i as f64 * bar_h;
+        let w = s.total_secs / max_total * PLOT_W;
+        out.push_str(&format!(
+            r##"<rect x="{M_LEFT}" y="{:.1}" width="{:.1}" height="{:.1}" fill="#059669"/>"##,
+            y + 2.0,
+            w.max(1.0),
+            bar_h - 4.0,
+        ));
+        out.push_str(&format!(
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="end" class="tick">{}</text>"#,
+            M_LEFT - 4.0,
+            y + bar_h / 2.0 + 4.0,
+            escape(&s.name)
+        ));
+        out.push_str(&format!(
+            r#"<text x="{:.1}" y="{:.1}" class="tick">{:.3}s ×{}</text>"#,
+            M_LEFT + w.max(1.0) + 6.0,
+            y + bar_h / 2.0 + 4.0,
+            s.total_secs,
+            s.count
+        ));
+    }
+    out.push_str("</svg>");
+    out
+}
+
+/// The per-client attribution table as HTML rows.
+fn client_table(log: &RunLog) -> String {
+    let usage = log.client_usage();
+    if usage.is_empty() {
+        return "<p>no select/train events in log — nothing to attribute</p>".to_string();
+    }
+    let mut out = String::from(
+        "<table><thead><tr><th>client</th><th>selected</th><th>failed</th>\
+         <th>paid</th><th>busy&nbsp;s</th><th>compute&nbsp;s</th>\
+         <th>upload&nbsp;s</th><th>est</th></tr></thead><tbody>",
+    );
+    for u in &usage {
+        let est = u.last_estimate.map_or("—".to_string(), |e| format!("{e:.4}"));
+        out.push_str(&format!(
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{:.2}</td>\
+             <td>{:.3}</td><td>{:.3}</td><td>{:.3}</td><td>{est}</td></tr>",
+            u.client, u.selections, u.failures, u.payment, u.total_secs,
+            u.compute_secs, u.upload_secs,
+        ));
+    }
+    out.push_str("</tbody></table>");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Renders the complete self-contained dashboard document.
+pub fn render_html(log: &RunLog) -> String {
+    let mut body = String::new();
+    if log.skipped_lines() > 0 {
+        body.push_str(&format!(
+            "<p class=\"warn\">skipped {} malformed line(s) while parsing the log</p>",
+            log.skipped_lines()
+        ));
+    }
+    body.push_str(&format!("<p>{} events</p>", log.events().len()));
+    for (title, chart) in [
+        ("Cumulative regret", line_chart("regret-curve", "#dc2626", &epoch_series(log, "regret"))),
+        (
+            "Budget burn-down",
+            line_chart("budget-burndown", "#7c3aed", &epoch_series(log, "budget_remaining")),
+        ),
+        ("Client-selection frequency", selection_heatmap(log)),
+        ("Phase-time breakdown", phase_breakdown(log)),
+    ] {
+        body.push_str(&format!("<section><h2>{title}</h2>{chart}</section>"));
+    }
+    body.push_str(&format!(
+        "<section><h2>Per-client attribution</h2>{}</section>",
+        client_table(log)
+    ));
+    format!(
+        "<!doctype html><html><head><meta charset=\"utf-8\">\
+         <title>FedL run dashboard</title><style>\
+         body{{font-family:system-ui,sans-serif;max-width:720px;margin:2rem auto;color:#111}}\
+         h2{{font-size:1rem;margin:1.2rem 0 0.3rem}}\
+         .frame{{fill:none;stroke:#9ca3af;stroke-width:1}}\
+         .tick{{font-size:10px;fill:#6b7280}}\
+         .empty{{font-size:12px;fill:#6b7280}}\
+         .warn{{color:#b45309}}\
+         table{{border-collapse:collapse;font-size:0.85rem}}\
+         th,td{{border:1px solid #d1d5db;padding:2px 8px;text-align:right}}\
+         </style></head><body><h1>FedL run dashboard</h1>{body}</body></html>"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_log() -> RunLog {
+        let mut text = String::new();
+        for epoch in 0..6 {
+            text.push_str(&format!(
+                r#"{{"kind":"select","epoch":{epoch},"cohort":[0,2],"estimates":[0.3,0.5]}}"#
+            ));
+            text.push('\n');
+            text.push_str(&format!(
+                concat!(
+                    r#"{{"kind":"train","epoch":{},"cohort":[0,2],"failed":[],"iterations":2,"#,
+                    r#""per_client_iter_latency":[0.4,0.6],"cost":3.0,"charged":[0,2],"#,
+                    r#""per_client_cost":[1.0,2.0],"per_client_compute_secs":[0.3,0.5],"#,
+                    r#""per_client_upload_secs":[0.1,0.1]}}"#
+                ),
+                epoch
+            ));
+            text.push('\n');
+            text.push_str(&format!(
+                concat!(
+                    r#"{{"kind":"epoch","epoch":{},"cohort":[0,2],"cost":3.0,"#,
+                    r#""budget_remaining":{},"regret":{}}}"#
+                ),
+                epoch,
+                100.0 - 3.0 * (epoch + 1) as f64,
+                0.5 * (epoch + 1) as f64,
+            ));
+            text.push('\n');
+            text.push_str(&format!(
+                r#"{{"kind":"span","name":"train","parent":"epoch","depth":1,"secs":0.0{epoch}1}}"#
+            ));
+            text.push('\n');
+        }
+        RunLog::parse(&text)
+    }
+
+    #[test]
+    fn dashboard_contains_all_four_charts_and_the_table() {
+        let html = render_html(&demo_log());
+        for id in ["regret-curve", "budget-burndown", "selection-heatmap", "phase-breakdown"] {
+            assert!(html.contains(&format!("<svg id=\"{id}\"")), "missing chart {id}");
+        }
+        assert!(html.contains("<table>"));
+        assert!(html.contains("Per-client attribution"));
+        // Self-contained: no external references of any kind.
+        for needle in ["http://", "https://", "<script", "<link", "src="] {
+            let allowed = needle == "http://" && html.contains("http://www.w3.org/2000/svg");
+            if allowed {
+                assert_eq!(html.matches("http://").count(), 4, "only the SVG xmlns");
+                continue;
+            }
+            assert!(!html.contains(needle), "external reference via {needle}");
+        }
+        // The polylines carry real data points.
+        assert!(html.contains("polyline"));
+    }
+
+    #[test]
+    fn empty_log_renders_placeholders_not_panics() {
+        let html = render_html(&RunLog::parse(""));
+        for id in ["regret-curve", "budget-burndown", "selection-heatmap", "phase-breakdown"] {
+            assert!(html.contains(&format!("<svg id=\"{id}\"")), "missing chart {id}");
+        }
+        assert!(html.contains("no data") || html.contains("no select events"));
+        assert!(html.contains("nothing to attribute"));
+    }
+
+    #[test]
+    fn long_campaigns_are_bucketed_to_bounded_svg_size() {
+        // 1000 epochs × 80 clients must not emit 80 000 cells.
+        let mut text = String::new();
+        for epoch in 0..1000usize {
+            let k = epoch % 80;
+            text.push_str(&format!(
+                r#"{{"kind":"select","epoch":{epoch},"cohort":[{k}],"estimates":[0.1]}}"#
+            ));
+            text.push('\n');
+            text.push_str(&format!(
+                concat!(
+                    r#"{{"kind":"train","epoch":{},"cohort":[{}],"failed":[],"iterations":1,"#,
+                    r#""per_client_iter_latency":[0.1],"cost":1.0,"charged":[{}],"#,
+                    r#""per_client_cost":[1.0],"per_client_compute_secs":[0.05],"#,
+                    r#""per_client_upload_secs":[0.05]}}"#
+                ),
+                epoch, k, k
+            ));
+            text.push('\n');
+        }
+        let html = render_html(&RunLog::parse(&text));
+        let cells = html.matches("fill=\"#2563eb\"").count();
+        assert!(cells <= HEAT_MAX_ROWS * HEAT_MAX_COLS, "{cells} cells");
+        assert!(html.contains("…"), "row truncation must be visible");
+    }
+}

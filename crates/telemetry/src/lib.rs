@@ -53,6 +53,7 @@
 pub mod event;
 pub mod logging;
 pub mod metrics;
+pub mod dashboard;
 pub mod report;
 mod span;
 
@@ -66,7 +67,7 @@ use fedl_json::Value;
 
 pub use event::{EventSink, FileSink, MemoryHandle, MemorySink};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
-pub use report::{PhaseStats, RunLog};
+pub use report::{ClientUsage, PhaseStats, RunLog};
 pub use span::Span;
 
 use metrics::lock;

@@ -18,6 +18,38 @@ use fedl_json::Value;
 #[derive(Debug, Clone)]
 pub struct RunLog {
     events: Vec<Value>,
+    skipped: usize,
+}
+
+/// Everything the log attributes to one client: how often it was
+/// rented, what it was paid, where its time went, and the policy's
+/// latest quality estimate for it. Aggregated by
+/// [`RunLog::client_usage`] from the `select` and `train` events
+/// (see docs/TELEMETRY.md).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientUsage {
+    /// Client id `k`.
+    pub client: usize,
+    /// Epochs in which the policy committed to renting this client
+    /// (pre-dropout, from `select.cohort`, falling back to
+    /// `train.charged` for logs predating the `select` event).
+    pub selections: usize,
+    /// Epochs in which the client was rented but dropped out mid-epoch.
+    pub failures: usize,
+    /// Cumulative rent paid to the client (`train.per_client_cost`).
+    pub payment: f64,
+    /// Cumulative busy time in simulated seconds
+    /// (`per_client_iter_latency × iterations` over surviving epochs).
+    pub total_secs: f64,
+    /// Compute share of [`ClientUsage::total_secs`] (absent under the
+    /// min-makespan bandwidth allocator, which interleaves phases).
+    pub compute_secs: f64,
+    /// Upload share of [`ClientUsage::total_secs`].
+    pub upload_secs: f64,
+    /// The policy's most recent quality estimate for this client
+    /// (FedL's smoothed η̂ₖ); `None` for policies without per-client
+    /// memory.
+    pub last_estimate: Option<f64>,
 }
 
 /// Timing summary for one span name (a training phase).
@@ -41,24 +73,41 @@ pub struct PhaseStats {
 
 impl RunLog {
     /// Parses JSONL text: one event object per non-blank line.
-    pub fn parse(text: &str) -> Result<Self, fedl_json::Error> {
-        let events = text
-            .lines()
-            .filter(|l| !l.trim().is_empty())
-            .map(Value::parse)
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self { events })
+    ///
+    /// Malformed lines — a truncated tail from a killed run, an
+    /// interleaved write — are skipped and counted
+    /// ([`RunLog::skipped_lines`]), never fatal: a crash report is
+    /// exactly when the rest of the log matters most.
+    pub fn parse(text: &str) -> Self {
+        let mut events = Vec::new();
+        let mut skipped = 0usize;
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match Value::parse(line) {
+                Ok(event) => events.push(event),
+                Err(_) => skipped += 1,
+            }
+        }
+        Self { events, skipped }
     }
 
     /// Reads and parses a JSONL log file.
     pub fn read(path: impl AsRef<Path>) -> io::Result<Self> {
         let text = std::fs::read_to_string(path)?;
-        Self::parse(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+        Ok(Self::parse(&text))
     }
 
     /// The parsed events, in log order.
     pub fn events(&self) -> &[Value] {
         &self.events
+    }
+
+    /// Number of malformed (unparseable) lines [`RunLog::parse`]
+    /// skipped.
+    pub fn skipped_lines(&self) -> usize {
+        self.skipped
     }
 
     /// How many events of each `kind` the log holds, sorted by kind.
@@ -120,11 +169,161 @@ impl RunLog {
         stats
     }
 
+    /// Per-client aggregation of the `select` / `train` events, sorted
+    /// by cumulative payment descending (budget attribution order),
+    /// ties by client id. Clients the log never mentions do not appear.
+    pub fn client_usage(&self) -> Vec<ClientUsage> {
+        let mut usage: BTreeMap<usize, ClientUsage> = BTreeMap::new();
+        fn entry(usage: &mut BTreeMap<usize, ClientUsage>, k: usize) -> &mut ClientUsage {
+            usage.entry(k).or_insert(ClientUsage {
+                client: k,
+                selections: 0,
+                failures: 0,
+                payment: 0.0,
+                total_secs: 0.0,
+                compute_secs: 0.0,
+                upload_secs: 0.0,
+                last_estimate: None,
+            })
+        }
+        let ids = |event: &Value, field: &str| -> Vec<usize> {
+            event
+                .get(field)
+                .and_then(Value::as_arr)
+                .map(|arr| arr.iter().filter_map(Value::as_usize).collect())
+                .unwrap_or_default()
+        };
+        let floats = |event: &Value, field: &str| -> Vec<f64> {
+            event
+                .get(field)
+                .and_then(Value::as_arr)
+                .map(|arr| {
+                    arr.iter().map(|v| v.as_f64().unwrap_or(f64::NAN)).collect()
+                })
+                .unwrap_or_default()
+        };
+        let has_select_events = self
+            .events
+            .iter()
+            .any(|e| e.get("kind").and_then(Value::as_str) == Some("select"));
+        for event in &self.events {
+            match event.get("kind").and_then(Value::as_str) {
+                Some("select") => {
+                    let cohort = ids(event, "cohort");
+                    let estimates = floats(event, "estimates");
+                    for (slot, &k) in cohort.iter().enumerate() {
+                        let u = entry(&mut usage, k);
+                        u.selections += 1;
+                        if let Some(&est) = estimates.get(slot) {
+                            if est.is_finite() {
+                                u.last_estimate = Some(est);
+                            }
+                        }
+                    }
+                }
+                Some("train") => {
+                    // Rent: owed for the full commitment (`charged`),
+                    // survivor or not.
+                    let charged = ids(event, "charged");
+                    let costs = floats(event, "per_client_cost");
+                    for (slot, &k) in charged.iter().enumerate() {
+                        let u = entry(&mut usage, k);
+                        u.payment += costs.get(slot).copied().unwrap_or(0.0);
+                        // Older logs have no `select` events; count the
+                        // rental itself as the selection then.
+                        if !has_select_events {
+                            u.selections += 1;
+                        }
+                    }
+                    for k in ids(event, "failed") {
+                        entry(&mut usage, k).failures += 1;
+                    }
+                    // Time: survivors only (`cohort`), per-iteration
+                    // latencies × iterations.
+                    let iters = event
+                        .get("iterations")
+                        .and_then(Value::as_f64)
+                        .unwrap_or(1.0);
+                    let cohort = ids(event, "cohort");
+                    let latency = floats(event, "per_client_iter_latency");
+                    let compute = floats(event, "per_client_compute_secs");
+                    let upload = floats(event, "per_client_upload_secs");
+                    for (slot, &k) in cohort.iter().enumerate() {
+                        let u = entry(&mut usage, k);
+                        if let Some(&l) = latency.get(slot) {
+                            if l.is_finite() {
+                                u.total_secs += l * iters;
+                            }
+                        }
+                        if let Some(&c) = compute.get(slot) {
+                            if c.is_finite() {
+                                u.compute_secs += c * iters;
+                            }
+                        }
+                        if let Some(&up) = upload.get(slot) {
+                            if up.is_finite() {
+                                u.upload_secs += up * iters;
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut usage: Vec<ClientUsage> = usage.into_values().collect();
+        usage.sort_by(|a, b| {
+            b.payment.total_cmp(&a.payment).then(a.client.cmp(&b.client))
+        });
+        usage
+    }
+
+    /// Renders the per-client attribution table (the `experiments
+    /// dashboard` ASCII output).
+    pub fn render_client_table(&self) -> String {
+        let usage = self.client_usage();
+        let mut out = String::new();
+        if self.skipped > 0 {
+            out.push_str(&format!("skipped {} malformed line(s)\n", self.skipped));
+        }
+        if usage.is_empty() {
+            out.push_str("no select/train events in log — nothing to attribute\n");
+            return out;
+        }
+        let total_paid: f64 = usage.iter().map(|u| u.payment).sum();
+        out.push_str(&format!(
+            "per-client attribution: {} clients, {:.2} paid\n",
+            usage.len(),
+            total_paid
+        ));
+        out.push_str(&format!(
+            "{:>7} {:>9} {:>7} {:>10} {:>12} {:>12} {:>12} {:>10}\n",
+            "client", "selected", "failed", "paid", "busy", "compute", "upload", "est"
+        ));
+        for u in &usage {
+            let est = u.last_estimate.map_or("—".to_string(), |e| format!("{e:.4}"));
+            out.push_str(&format!(
+                "{:>7} {:>9} {:>7} {:>10.2} {:>12} {:>12} {:>12} {:>10}\n",
+                u.client,
+                u.selections,
+                u.failures,
+                u.payment,
+                fmt_secs(u.total_secs),
+                fmt_secs(u.compute_secs),
+                fmt_secs(u.upload_secs),
+                est,
+            ));
+        }
+        out
+    }
+
     /// Renders the human-readable report: event-kind counts followed by
     /// the per-phase timing table.
     pub fn render_report(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("events: {}\n", self.events.len()));
+        if self.skipped > 0 {
+            out.push_str(&format!("skipped {} malformed line(s)\n", self.skipped));
+        }
         for (kind, count) in self.kind_counts() {
             out.push_str(&format!("  {kind:<12} {count:>6}\n"));
         }
@@ -195,8 +394,9 @@ mod tests {
             span_line("epoch", 0.5),
             r#"{"kind":"run_end","epochs":1}"#
         );
-        let log = RunLog::parse(&text).unwrap();
+        let log = RunLog::parse(&text);
         assert_eq!(log.events().len(), 3);
+        assert_eq!(log.skipped_lines(), 0);
         assert_eq!(
             log.kind_counts(),
             vec![
@@ -217,7 +417,7 @@ mod tests {
         }
         text.push_str(&span_line("slow", 60.0));
         text.push('\n');
-        let log = RunLog::parse(&text).unwrap();
+        let log = RunLog::parse(&text);
         let stats = log.phase_stats();
         assert_eq!(stats.len(), 2);
         assert_eq!(stats[0].name, "slow", "sorted by total time descending");
@@ -233,7 +433,7 @@ mod tests {
     #[test]
     fn report_renders_counts_and_table() {
         let text = format!("{}\n{}\n", span_line("epoch", 1.5), span_line("epoch", 0.5));
-        let log = RunLog::parse(&text).unwrap();
+        let log = RunLog::parse(&text);
         let report = log.render_report();
         assert!(report.contains("events: 2"));
         assert!(report.contains("span"));
@@ -242,7 +442,89 @@ mod tests {
     }
 
     #[test]
-    fn rejects_malformed_lines() {
-        assert!(RunLog::parse("{\"kind\":\"x\"}\nnot json\n").is_err());
+    fn skips_and_counts_malformed_lines() {
+        let log = RunLog::parse("{\"kind\":\"x\"}\nnot json\n{\"kind\":\"y\"}\n");
+        assert_eq!(log.events().len(), 2, "good lines around the bad one survive");
+        assert_eq!(log.skipped_lines(), 1);
+        assert!(log.render_report().contains("skipped 1 malformed line"));
+        assert!(log.render_client_table().contains("skipped 1 malformed line"));
+    }
+
+    #[test]
+    fn truncated_tail_is_skipped_not_fatal() {
+        // A run killed mid-write leaves a partial final line.
+        let text = format!("{}\n{}", span_line("epoch", 0.5), r#"{"kind":"epoch","coh"#);
+        let log = RunLog::parse(&text);
+        assert_eq!(log.events().len(), 1);
+        assert_eq!(log.skipped_lines(), 1);
+        assert_eq!(log.phase_stats().len(), 1, "analysis still works on the rest");
+    }
+
+    fn select_line(epoch: usize, cohort: &str, estimates: &str) -> String {
+        format!(
+            r#"{{"kind":"select","epoch":{epoch},"cohort":{cohort},"estimates":{estimates}}}"#
+        )
+    }
+
+    fn train_line(epoch: usize) -> String {
+        // Clients 3 and 7 rented; 7 drops out mid-epoch (pays rent,
+        // contributes no time). Two iterations each.
+        format!(
+            concat!(
+                r#"{{"kind":"train","epoch":{},"cohort":[3],"failed":[7],"iterations":2,"#,
+                r#""per_client_iter_latency":[0.5],"cost":3.0,"charged":[3,7],"#,
+                r#""per_client_cost":[1.0,2.0],"per_client_compute_secs":[0.4],"#,
+                r#""per_client_upload_secs":[0.1]}}"#
+            ),
+            epoch
+        )
+    }
+
+    #[test]
+    fn client_usage_aggregates_rent_time_and_estimates() {
+        let text = format!(
+            "{}\n{}\n{}\n{}\n",
+            select_line(0, "[3,7]", "[0.2,0.3]"),
+            train_line(0),
+            select_line(1, "[3,7]", "[0.25,null]"),
+            train_line(1),
+        );
+        let log = RunLog::parse(&text);
+        let usage = log.client_usage();
+        assert_eq!(usage.len(), 2);
+        // Sorted by payment descending: 7 paid 4.0, 3 paid 2.0.
+        let seven = &usage[0];
+        assert_eq!((seven.client, seven.selections, seven.failures), (7, 2, 2));
+        assert!((seven.payment - 4.0).abs() < 1e-12);
+        assert_eq!(seven.total_secs, 0.0, "dropouts contribute no time");
+        // null estimate (NaN at emit time) keeps the last finite one.
+        assert_eq!(seven.last_estimate, Some(0.3));
+        let three = &usage[1];
+        assert_eq!((three.client, three.selections, three.failures), (3, 2, 0));
+        assert!((three.payment - 2.0).abs() < 1e-12);
+        assert!((three.total_secs - 2.0).abs() < 1e-12, "0.5 × 2 iters × 2 epochs");
+        assert!((three.compute_secs - 1.6).abs() < 1e-12);
+        assert!((three.upload_secs - 0.4).abs() < 1e-12);
+        assert_eq!(three.last_estimate, Some(0.25));
+
+        let table = log.render_client_table();
+        assert!(table.contains("per-client attribution: 2 clients"));
+        assert!(table.contains("0.2500"), "estimate column: {table}");
+    }
+
+    #[test]
+    fn client_usage_falls_back_to_charged_without_select_events() {
+        let log = RunLog::parse(&format!("{}\n", train_line(0)));
+        let usage = log.client_usage();
+        assert_eq!(usage.len(), 2);
+        assert!(usage.iter().all(|u| u.selections == 1));
+        assert!(usage.iter().all(|u| u.last_estimate.is_none()));
+    }
+
+    #[test]
+    fn empty_log_renders_an_explanation() {
+        let log = RunLog::parse("");
+        assert!(log.client_usage().is_empty());
+        assert!(log.render_client_table().contains("nothing to attribute"));
     }
 }

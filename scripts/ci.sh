@@ -53,4 +53,31 @@ cargo run --release --offline -p fedl-bench --bin experiments -- \
     telemetry-report "$CACHE_OUT"/cache_run.jsonl --require cache.hit
 rm -rf "$CACHE_OUT"
 
+# Perf snapshot + regression gate (docs/OBSERVATORY.md): two quick
+# snapshots taken back-to-back on the same machine must compare clean —
+# the noise-aware gate exists precisely so this stage is not flaky.
+echo "==> bench snapshot + regression gate"
+BENCH_OUT=target/ci_bench_stage
+rm -rf "$BENCH_OUT"
+cargo run --release --offline -p fedl-bench --bin experiments -- \
+    bench --quick --out "$BENCH_OUT/BENCH_base.json" > /dev/null
+cargo run --release --offline -p fedl-bench --bin experiments -- \
+    bench --quick --out "$BENCH_OUT/BENCH_new.json" > /dev/null
+cargo run --release --offline -p fedl-bench --bin experiments -- \
+    bench-compare "$BENCH_OUT/BENCH_base.json" "$BENCH_OUT/BENCH_new.json"
+rm -rf "$BENCH_OUT"
+
+# Attribution dashboard: the telemetry round-trip log above must render
+# an HTML dashboard containing all four chart panels.
+echo "==> attribution dashboard renders all four charts"
+DASH_HTML=target/ci_dashboard.html
+rm -f "$DASH_HTML"
+cargo run --release --offline -p fedl-bench --bin experiments -- \
+    dashboard results/regret_trace_run.jsonl --html "$DASH_HTML" > /dev/null
+for chart in regret-curve budget-burndown selection-heatmap phase-breakdown; do
+    grep -q "svg id=\"$chart\"" "$DASH_HTML" \
+        || { echo "dashboard HTML is missing chart '$chart'" >&2; exit 1; }
+done
+rm -f "$DASH_HTML"
+
 echo "==> OK"

@@ -20,7 +20,9 @@
 //!   dynamic regret/fit accounting, and the FedAvg/FedCS/Pow-d baselines;
 //! * [`telemetry`] — metrics registry, phase spans, and the structured
 //!   JSONL run log (see `docs/TELEMETRY.md`); attach a handle with
-//!   [`core::runner::ExperimentRunner::with_telemetry`];
+//!   [`core::runner::ExperimentRunner::with_telemetry`]; analyze a
+//!   captured log offline with [`telemetry::RunLog`] (per-client
+//!   attribution, HTML dashboard — see `docs/OBSERVATORY.md`);
 //! * [`store`] — checksummed snapshot envelopes and the
 //!   content-addressed result cache behind deterministic
 //!   checkpoint/resume (see `docs/CHECKPOINT.md`); drive it with
@@ -66,5 +68,5 @@ pub mod prelude {
     pub use fedl_data::Partition;
     pub use fedl_ml::model::Model;
     pub use fedl_sim::EdgeEnvironment;
-    pub use fedl_telemetry::Telemetry;
+    pub use fedl_telemetry::{RunLog, Telemetry};
 }
