@@ -51,22 +51,15 @@ fn bench_cnn_forward_backward() {
 
     let shape = MapShape { c: 1, h: 16, w: 16 };
     let mut rng = rng_for(8, 0);
-    let cnn = Cnn::new(
-        shape,
-        vec![ConvBlockSpec { out_channels: 6, kernel: 5 }],
-        10,
-        0.0005,
-        &mut rng,
-    );
+    let cnn =
+        Cnn::new(shape, vec![ConvBlockSpec { out_channels: 6, kernel: 5 }], 10, 0.0005, &mut rng);
     let x = Matrix::uniform(32, shape.len(), 0.5, &mut rng);
     let mut y = Matrix::zeros(32, 10);
     for r in 0..32 {
         y.set(r, r % 10, 1.0);
     }
     group("cnn");
-    bench("cnn_loss_and_grad_batch32", || {
-        std::hint::black_box(cnn.loss_and_grad(&x, &y))
-    });
+    bench("cnn_loss_and_grad_batch32", || std::hint::black_box(cnn.loss_and_grad(&x, &y)));
 }
 
 fn main() {

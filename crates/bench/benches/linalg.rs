@@ -30,9 +30,7 @@ fn bench_training_shapes() {
     bench("backprop_t_matmul", || std::hint::black_box(x.t_matmul(&delta)));
     // delta (32x96) x Wᵀ (96x128): the upstream-gradient product.
     bench("backprop_matmul_t", || std::hint::black_box(delta.matmul_t(&w)));
-    bench("softmax_rows", || {
-        std::hint::black_box(fedl_linalg::ops::softmax_rows(&delta))
-    });
+    bench("softmax_rows", || std::hint::black_box(fedl_linalg::ops::softmax_rows(&delta)));
 }
 
 fn main() {

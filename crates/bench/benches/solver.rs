@@ -26,10 +26,8 @@ fn problem(k: usize, seed: u64) -> OneShot {
 fn bench_projections() {
     group("projection");
     for &k in &[16usize, 64, 128] {
-        let exact = BoxHalfspace::new(
-            BoxSet::unit(k),
-            Halfspace::new(vec![1.0; k], k as f64 / 3.0),
-        );
+        let exact =
+            BoxHalfspace::new(BoxSet::unit(k), Halfspace::new(vec![1.0; k], k as f64 / 3.0));
         let dyk = DykstraIntersection::new(vec![
             Box::new(BoxSet::unit(k)),
             Box::new(Halfspace::new(vec![1.0; k], k as f64 / 3.0)),
@@ -56,9 +54,7 @@ fn bench_descent() {
         let p = problem(k, 7);
         let anchor = FracDecision { x: vec![0.2; k], rho: 2.0 };
         let mu = vec![0.5; k + 1];
-        bench(&format!("descend/{k}"), || {
-            std::hint::black_box(p.descend(&anchor, &mu, 0.3))
-        });
+        bench(&format!("descend/{k}"), || std::hint::black_box(p.descend(&anchor, &mu, 0.3)));
         bench(&format!("hindsight/{k}"), || {
             std::hint::black_box(fedl_core::regret::hindsight_optimum(&p))
         });

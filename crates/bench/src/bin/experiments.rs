@@ -6,6 +6,7 @@ use std::process::ExitCode;
 use fedl_bench::cli::{self, Command};
 use fedl_bench::experiments;
 use fedl_bench::harness::RunCache;
+use fedl_bench::history::{self, BenchHistory, HistoryEntry};
 use fedl_bench::perf::{self, BenchSnapshot};
 use fedl_data::synth::TaskKind;
 use fedl_telemetry::{dashboard, log_line, RunLog, Telemetry};
@@ -74,35 +75,150 @@ fn bench_compare(invocation: &cli::Invocation) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Renders the per-client attribution dashboard (ASCII, plus a
-/// self-contained HTML file with `--html`).
-fn dashboard(invocation: &cli::Invocation) -> ExitCode {
-    let path = invocation.input.as_deref().expect("parser guarantees a file");
-    let log = match RunLog::read(path) {
-        Ok(log) => log,
-        Err(err) => {
-            eprintln!("failed to load run log {}: {err}", path.display());
-            return ExitCode::FAILURE;
-        }
-    };
-    print!("{}", log.render_client_table());
-    if let Some(html_path) = &invocation.html {
-        let html = dashboard::render_html(&log);
-        if let Some(dir) = html_path.parent() {
-            if !dir.as_os_str().is_empty() {
-                if let Err(err) = std::fs::create_dir_all(dir) {
-                    eprintln!("failed to create {}: {err}", dir.display());
-                    return ExitCode::FAILURE;
-                }
+/// Writes `text` to `path`, creating parent directories.
+fn write_html(path: &std::path::Path, text: String) -> ExitCode {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(err) = std::fs::create_dir_all(dir) {
+                eprintln!("failed to create {}: {err}", dir.display());
+                return ExitCode::FAILURE;
             }
         }
-        if let Err(err) = std::fs::write(html_path, html) {
-            eprintln!("failed to write {}: {err}", html_path.display());
+    }
+    if let Err(err) = std::fs::write(path, text) {
+        eprintln!("failed to write {}: {err}", path.display());
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Renders the per-client attribution dashboard (ASCII, plus a
+/// self-contained HTML file with `--html`). Two or more run logs
+/// switch to the multi-run overlay mode: per-policy summary table,
+/// overlaid regret curves and budget burn-down.
+fn dashboard(invocation: &cli::Invocation) -> ExitCode {
+    let mut runs: Vec<(String, RunLog)> = Vec::new();
+    for path in &invocation.inputs {
+        let log = match RunLog::read(path) {
+            Ok(log) => log,
+            Err(err) => {
+                eprintln!("failed to load run log {}: {err}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let stem = path
+            .file_stem()
+            .map_or_else(|| path.display().to_string(), |s| s.to_string_lossy().into_owned());
+        runs.push((stem, log));
+    }
+    let html = if runs.len() == 1 {
+        let (_, log) = &runs[0];
+        print!("{}", log.render_client_table());
+        dashboard::render_html(log)
+    } else {
+        match dashboard::render_overlay_table(&runs) {
+            Ok(table) => print!("{table}"),
+            Err(err) => {
+                eprintln!("{err}");
+                return ExitCode::FAILURE;
+            }
+        }
+        match dashboard::render_overlay_html(&runs) {
+            Ok(html) => html,
+            Err(err) => {
+                eprintln!("{err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    if let Some(html_path) = &invocation.html {
+        if write_html(html_path, html) == ExitCode::FAILURE {
             return ExitCode::FAILURE;
         }
         log_line!("wrote dashboard: {}", html_path.display());
     }
     ExitCode::SUCCESS
+}
+
+/// The `bench-history` actions: append a snapshot to the history file,
+/// render the trend report, or gate a snapshot against the rolling
+/// baseline (docs/OBSERVATORY.md).
+fn bench_history(invocation: &cli::Invocation) -> ExitCode {
+    let history_path = invocation.history_path();
+    match invocation.command {
+        Command::BenchHistoryAppend => {
+            let snap_path = invocation.input.as_deref().expect("parser guarantees a snapshot");
+            let snapshot = match BenchSnapshot::read(snap_path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let entry = HistoryEntry::capture(snapshot);
+            if let Err(err) = BenchHistory::append(&history_path, &entry) {
+                eprintln!("failed to append to {}: {err}", history_path.display());
+                return ExitCode::FAILURE;
+            }
+            log_line!(
+                "appended snapshot ({} kernels, {}, commit {}) to {}",
+                entry.snapshot.kernels.len(),
+                entry.fingerprint,
+                entry.commit,
+                history_path.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Command::BenchHistoryReport => {
+            let history = match BenchHistory::load(&history_path) {
+                Ok(h) => h,
+                Err(err) => {
+                    eprintln!("failed to read {}: {err}", history_path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            print!("{}", history::render_trend_table(&history, history::DEFAULT_BASELINE_WINDOW));
+            if let Some(html_path) = &invocation.html {
+                let html = history::render_trend_html(&history);
+                if write_html(html_path, html) == ExitCode::FAILURE {
+                    return ExitCode::FAILURE;
+                }
+                log_line!("wrote trend report: {}", html_path.display());
+            }
+            ExitCode::SUCCESS
+        }
+        Command::BenchHistoryGate => {
+            let snap_path = invocation.input.as_deref().expect("parser guarantees a snapshot");
+            let snapshot = match BenchSnapshot::read(snap_path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let history = match BenchHistory::load(&history_path) {
+                Ok(h) => h,
+                Err(err) => {
+                    eprintln!("failed to read {}: {err}", history_path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            let report =
+                history::gate(&history, &snapshot, invocation.window, invocation.threshold);
+            print!("{}", report.render());
+            if report.passes() {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "perf regression: at least one kernel slowed down beyond {:.0} % and \
+                     its noise band vs the rolling baseline",
+                    invocation.threshold * 100.0
+                );
+                ExitCode::FAILURE
+            }
+        }
+        _ => unreachable!("bench_history only handles the bench-history actions"),
+    }
 }
 
 fn main() -> ExitCode {
@@ -117,6 +233,9 @@ fn main() -> ExitCode {
         Command::TelemetryReport => return telemetry_report(&invocation),
         Command::Bench => return bench(&invocation),
         Command::BenchCompare => return bench_compare(&invocation),
+        Command::BenchHistoryAppend | Command::BenchHistoryReport | Command::BenchHistoryGate => {
+            return bench_history(&invocation)
+        }
         Command::Dashboard => return dashboard(&invocation),
         _ => {}
     }
@@ -136,9 +255,7 @@ fn main() -> ExitCode {
     let cache_telemetry = invocation.effective_cache_dir().map(|dir| {
         let tel = Telemetry::to_file(out_dir.join("cache_run.jsonl"))
             .expect("create cache telemetry log");
-        let cache = RunCache::open(&dir)
-            .expect("open result cache")
-            .with_telemetry(tel.clone());
+        let cache = RunCache::open(&dir).expect("open result cache").with_telemetry(tel.clone());
         log_line!("result cache: {}", cache.dir().display());
         (cache, tel)
     });
@@ -189,7 +306,13 @@ fn main() -> ExitCode {
             experiments::dropout_study(profile);
             experiments::replication_study(profile);
         }
-        Command::TelemetryReport | Command::Bench | Command::BenchCompare | Command::Dashboard => {
+        Command::TelemetryReport
+        | Command::Bench
+        | Command::BenchCompare
+        | Command::BenchHistoryAppend
+        | Command::BenchHistoryReport
+        | Command::BenchHistoryGate
+        | Command::Dashboard => {
             unreachable!("dispatched before the experiment match")
         }
     }

@@ -45,8 +45,16 @@ pub enum Command {
     /// Noise-aware comparison of two `BENCH.json` snapshots (the CI
     /// regression gate).
     BenchCompare,
+    /// Append a `BENCH.json` snapshot to `BENCH_HISTORY.jsonl`.
+    BenchHistoryAppend,
+    /// Per-kernel trend tables/charts over the snapshot history.
+    BenchHistoryReport,
+    /// Gate a snapshot against the rolling baseline (median of the
+    /// last K compatible history entries).
+    BenchHistoryGate,
     /// Per-client attribution dashboard (ASCII + optional HTML) from a
-    /// telemetry JSONL run log.
+    /// telemetry JSONL run log; two or more logs switch to the
+    /// multi-run policy-overlay mode.
     Dashboard,
 }
 
@@ -60,7 +68,19 @@ impl Command {
             Command::TelemetryReport
                 | Command::Bench
                 | Command::BenchCompare
+                | Command::BenchHistoryAppend
+                | Command::BenchHistoryReport
+                | Command::BenchHistoryGate
                 | Command::Dashboard
+        )
+    }
+
+    /// Whether this is one of the `bench-history` actions (which share
+    /// the `--history` flag).
+    fn is_bench_history(self) -> bool {
+        matches!(
+            self,
+            Command::BenchHistoryAppend | Command::BenchHistoryReport | Command::BenchHistoryGate
         )
     }
 }
@@ -78,18 +98,31 @@ pub struct Invocation {
     pub command: Command,
     /// First input file: the run log for [`Command::TelemetryReport`]
     /// and [`Command::Dashboard`], the baseline snapshot for
-    /// [`Command::BenchCompare`].
+    /// [`Command::BenchCompare`], the snapshot for
+    /// [`Command::BenchHistoryAppend`] / [`Command::BenchHistoryGate`].
     pub input: Option<PathBuf>,
     /// Second input file: the new snapshot for
     /// [`Command::BenchCompare`].
     pub input2: Option<PathBuf>,
+    /// Every input file, in order — [`Command::Dashboard`] accepts two
+    /// or more run logs for the multi-run overlay mode.
+    /// `inputs[0] == input` whenever both are set.
+    pub inputs: Vec<PathBuf>,
     /// Event kinds that must appear in the log (`--require`).
     pub require: Vec<String>,
-    /// Relative slowdown tolerance for [`Command::BenchCompare`]
-    /// (`--threshold PCT`, as a fraction: 0.25 = 25 %).
+    /// Relative slowdown tolerance for [`Command::BenchCompare`] and
+    /// [`Command::BenchHistoryGate`] (`--threshold PCT`, as a
+    /// fraction: 0.25 = 25 %).
     pub threshold: f64,
-    /// HTML output file for [`Command::Dashboard`] (`--html`).
+    /// HTML output file for [`Command::Dashboard`] and
+    /// [`Command::BenchHistoryReport`] (`--html`).
     pub html: Option<PathBuf>,
+    /// History file for the `bench-history` actions (`--history`);
+    /// defaults to [`DEFAULT_HISTORY_PATH`].
+    pub history: Option<PathBuf>,
+    /// Rolling-baseline window K for [`Command::BenchHistoryGate`]
+    /// (`--window K`).
+    pub window: usize,
     /// Result-cache directory (`--cache-dir`); enables the cache.
     pub cache_dir: Option<PathBuf>,
     /// `--no-cache`: never consult or write the result cache.
@@ -99,10 +132,14 @@ pub struct Invocation {
     pub resume: bool,
 }
 
-/// Default `--threshold` for `bench-compare`: 25 % — generous because
-/// the CI gate compares two quick runs taken seconds apart on a shared
-/// machine.
+/// Default `--threshold` for `bench-compare` and `bench-history gate`:
+/// 25 % — generous because the CI gate compares quick runs taken
+/// seconds apart on a shared machine.
 pub const DEFAULT_COMPARE_THRESHOLD: f64 = 0.25;
+
+/// Default `--history` file for the `bench-history` actions. Lives
+/// under `results/` so the standard `.gitignore` globs cover it.
+pub const DEFAULT_HISTORY_PATH: &str = "results/BENCH_HISTORY.jsonl";
 
 impl Invocation {
     /// The directory the result cache should use, or `None` when
@@ -120,6 +157,12 @@ impl Invocation {
             (None, true) => Some(self.out_dir.join("cache")),
             (None, false) => None,
         }
+    }
+
+    /// The history file the `bench-history` actions operate on:
+    /// `--history` when given, [`DEFAULT_HISTORY_PATH`] otherwise.
+    pub fn history_path(&self) -> PathBuf {
+        self.history.clone().unwrap_or_else(|| PathBuf::from(DEFAULT_HISTORY_PATH))
     }
 
     /// Where [`Command::Bench`] writes its snapshot: `--out` names the
@@ -141,7 +184,10 @@ pub const USAGE: &str = "usage: experiments [--quick] [--out DIR] \
        experiments telemetry-report FILE [--require kind1,kind2,...]\n\
        experiments bench [--quick] [--out FILE.json|DIR]\n\
        experiments bench-compare BASE.json NEW.json [--threshold PCT]\n\
-       experiments dashboard RUN.jsonl [--html FILE.html]";
+       experiments bench-history append SNAP.json [--history FILE]\n\
+       experiments bench-history report [--history FILE] [--html FILE.html]\n\
+       experiments bench-history gate NEW.json [--history FILE] [--window K] [--threshold PCT]\n\
+       experiments dashboard RUN.jsonl [RUN2.jsonl ...] [--html FILE.html]";
 
 /// Parses the argument list (without the program name).
 pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, String> {
@@ -157,6 +203,13 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, Stri
     let mut cache_dir: Option<PathBuf> = None;
     let mut no_cache = false;
     let mut resume = false;
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    let mut history: Option<PathBuf> = None;
+    let mut window = crate::history::DEFAULT_BASELINE_WINDOW;
+    let mut window_given = false;
+    // `bench-history` is a two-word command: the flag marks that the
+    // action word (`append` / `report` / `gate`) is still pending.
+    let mut history_action_pending = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -168,8 +221,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, Stri
             }
             "--cache-dir" => {
                 cache_dir = Some(PathBuf::from(
-                    it.next()
-                        .ok_or_else(|| "--cache-dir requires a directory".to_string())?,
+                    it.next().ok_or_else(|| "--cache-dir requires a directory".to_string())?,
                 ));
             }
             "--no-cache" => no_cache = true,
@@ -178,17 +230,13 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, Stri
                 let list = it
                     .next()
                     .ok_or_else(|| "--require needs a comma-separated kind list".to_string())?;
-                require.extend(
-                    list.split(',').filter(|k| !k.is_empty()).map(str::to_string),
-                );
+                require.extend(list.split(',').filter(|k| !k.is_empty()).map(str::to_string));
             }
             "--threshold" => {
-                let pct = it
-                    .next()
-                    .ok_or_else(|| "--threshold requires a percentage".to_string())?;
-                let pct: f64 = pct
-                    .parse()
-                    .map_err(|_| format!("--threshold: not a number: {pct}"))?;
+                let pct =
+                    it.next().ok_or_else(|| "--threshold requires a percentage".to_string())?;
+                let pct: f64 =
+                    pct.parse().map_err(|_| format!("--threshold: not a number: {pct}"))?;
                 if !(pct > 0.0 && pct.is_finite()) {
                     return Err("--threshold must be a positive percentage".to_string());
                 }
@@ -200,7 +248,38 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, Stri
                     it.next().ok_or_else(|| "--html requires a file".to_string())?,
                 ));
             }
+            "--history" => {
+                history = Some(PathBuf::from(
+                    it.next().ok_or_else(|| "--history requires a file".to_string())?,
+                ));
+            }
+            "--window" => {
+                let k = it.next().ok_or_else(|| "--window requires an entry count".to_string())?;
+                let k: usize = k.parse().map_err(|_| format!("--window: not a number: {k}"))?;
+                if k == 0 {
+                    return Err("--window must be at least 1".to_string());
+                }
+                window = k;
+                window_given = true;
+            }
+            other if history_action_pending => {
+                history_action_pending = false;
+                command = Some(match other {
+                    "append" => Command::BenchHistoryAppend,
+                    "report" => Command::BenchHistoryReport,
+                    "gate" => Command::BenchHistoryGate,
+                    unknown => {
+                        return Err(format!(
+                            "unknown bench-history action: {unknown} (expected append, report, or gate)"
+                        ))
+                    }
+                });
+            }
             other if command.is_none() => {
+                if other == "bench-history" {
+                    history_action_pending = true;
+                    continue;
+                }
                 command = Some(match other {
                     "fig2" | "fig4" => Command::FigFmnist,
                     "fig3" | "fig5" => Command::FigCifar,
@@ -224,12 +303,16 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, Stri
                     unknown => return Err(format!("unknown experiment: {unknown}")),
                 });
             }
+            other if command == Some(Command::Dashboard) => {
+                inputs.push(PathBuf::from(other));
+            }
             other
                 if matches!(
                     command,
                     Some(Command::TelemetryReport)
                         | Some(Command::BenchCompare)
-                        | Some(Command::Dashboard)
+                        | Some(Command::BenchHistoryAppend)
+                        | Some(Command::BenchHistoryGate)
                 ) && input.is_none() =>
             {
                 input = Some(PathBuf::from(other));
@@ -240,24 +323,44 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, Stri
             other => return Err(format!("unexpected argument: {other}")),
         }
     }
+    if history_action_pending {
+        return Err("bench-history requires an action: append, report, or gate".to_string());
+    }
     let command = command.ok_or_else(|| USAGE.to_string())?;
+    if command == Command::Dashboard {
+        if inputs.is_empty() {
+            return Err(
+                "dashboard requires a JSONL run-log file (one, or several to overlay)".to_string()
+            );
+        }
+        input = inputs.first().cloned();
+    }
     if command == Command::TelemetryReport && input.is_none() {
         return Err("telemetry-report requires a JSONL run-log file".to_string());
-    }
-    if command == Command::Dashboard && input.is_none() {
-        return Err("dashboard requires a JSONL run-log file".to_string());
     }
     if command == Command::BenchCompare && (input.is_none() || input2.is_none()) {
         return Err("bench-compare requires BASE.json and NEW.json".to_string());
     }
+    if command == Command::BenchHistoryAppend && input.is_none() {
+        return Err("bench-history append requires a BENCH.json snapshot".to_string());
+    }
+    if command == Command::BenchHistoryGate && input.is_none() {
+        return Err("bench-history gate requires a NEW.json snapshot".to_string());
+    }
     if command != Command::TelemetryReport && !require.is_empty() {
         return Err("--require only applies to telemetry-report".to_string());
     }
-    if threshold_given && command != Command::BenchCompare {
-        return Err("--threshold only applies to bench-compare".to_string());
+    if threshold_given && !matches!(command, Command::BenchCompare | Command::BenchHistoryGate) {
+        return Err("--threshold only applies to bench-compare and bench-history gate".to_string());
     }
-    if html.is_some() && command != Command::Dashboard {
-        return Err("--html only applies to dashboard".to_string());
+    if html.is_some() && !matches!(command, Command::Dashboard | Command::BenchHistoryReport) {
+        return Err("--html only applies to dashboard and bench-history report".to_string());
+    }
+    if history.is_some() && !command.is_bench_history() {
+        return Err("--history only applies to the bench-history actions".to_string());
+    }
+    if window_given && command != Command::BenchHistoryGate {
+        return Err("--window only applies to bench-history gate".to_string());
     }
     if !command.takes_cache() && (cache_dir.is_some() || no_cache || resume) {
         return Err("cache flags do not apply to this command".to_string());
@@ -268,9 +371,12 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, Stri
         command,
         input,
         input2,
+        inputs,
         require,
         threshold,
         html,
+        history,
+        window,
         cache_dir,
         no_cache,
         resume,
@@ -381,8 +487,7 @@ mod tests {
 
     #[test]
     fn no_cache_overrides_everything() {
-        let inv =
-            parse(args(&["--no-cache", "--resume", "--cache-dir", "/tmp/c", "all"])).unwrap();
+        let inv = parse(args(&["--no-cache", "--resume", "--cache-dir", "/tmp/c", "all"])).unwrap();
         assert_eq!(inv.effective_cache_dir(), None);
     }
 
@@ -409,10 +514,7 @@ mod tests {
         assert_eq!(inv.bench_snapshot_path(), PathBuf::from("results/BENCH.json"));
         // --out ending in .json names the snapshot file itself...
         let inv = parse(args(&["bench", "--out", "results/BENCH_quick.json"])).unwrap();
-        assert_eq!(
-            inv.bench_snapshot_path(),
-            PathBuf::from("results/BENCH_quick.json")
-        );
+        assert_eq!(inv.bench_snapshot_path(), PathBuf::from("results/BENCH_quick.json"));
         // ...anything else is a directory.
         let inv = parse(args(&["bench", "--out", "/tmp/perf"])).unwrap();
         assert_eq!(inv.bench_snapshot_path(), PathBuf::from("/tmp/perf/BENCH.json"));
@@ -425,8 +527,7 @@ mod tests {
         assert_eq!(inv.input, Some(PathBuf::from("a.json")));
         assert_eq!(inv.input2, Some(PathBuf::from("b.json")));
         assert_eq!(inv.threshold, DEFAULT_COMPARE_THRESHOLD);
-        let inv =
-            parse(args(&["bench-compare", "a.json", "b.json", "--threshold", "40"])).unwrap();
+        let inv = parse(args(&["bench-compare", "a.json", "b.json", "--threshold", "40"])).unwrap();
         assert!((inv.threshold - 0.40).abs() < 1e-12);
     }
 
@@ -455,15 +556,112 @@ mod tests {
         assert_eq!(inv.command, Command::Dashboard);
         assert_eq!(inv.input, Some(PathBuf::from("run.jsonl")));
         assert_eq!(inv.html, None);
-        let inv =
-            parse(args(&["dashboard", "run.jsonl", "--html", "dash.html"])).unwrap();
+        let inv = parse(args(&["dashboard", "run.jsonl", "--html", "dash.html"])).unwrap();
         assert_eq!(inv.html, Some(PathBuf::from("dash.html")));
-        assert!(parse(args(&["dashboard"]))
-            .unwrap_err()
-            .contains("requires a JSONL run-log file"));
+        assert!(parse(args(&["dashboard"])).unwrap_err().contains("requires a JSONL run-log file"));
         assert!(parse(args(&["fig2", "--html", "x.html"]))
             .unwrap_err()
             .contains("only applies to dashboard"));
+    }
+
+    #[test]
+    fn dashboard_accepts_multiple_logs_for_the_overlay_mode() {
+        let inv = parse(args(&["dashboard", "a.jsonl", "b.jsonl", "c.jsonl"])).unwrap();
+        assert_eq!(inv.command, Command::Dashboard);
+        assert_eq!(
+            inv.inputs,
+            vec![PathBuf::from("a.jsonl"), PathBuf::from("b.jsonl"), PathBuf::from("c.jsonl")]
+        );
+        assert_eq!(inv.input, Some(PathBuf::from("a.jsonl")), "first log mirrors input");
+        let inv = parse(args(&["dashboard", "a.jsonl", "b.jsonl", "--html", "o.html"])).unwrap();
+        assert_eq!(inv.inputs.len(), 2);
+        assert_eq!(inv.html, Some(PathBuf::from("o.html")));
+    }
+
+    #[test]
+    fn bench_history_append_takes_a_snapshot_and_optional_history() {
+        let inv = parse(args(&["bench-history", "append", "BENCH.json"])).unwrap();
+        assert_eq!(inv.command, Command::BenchHistoryAppend);
+        assert_eq!(inv.input, Some(PathBuf::from("BENCH.json")));
+        assert_eq!(inv.history, None);
+        assert_eq!(inv.history_path(), PathBuf::from(DEFAULT_HISTORY_PATH));
+        let inv =
+            parse(args(&["bench-history", "append", "BENCH.json", "--history", "/tmp/h.jsonl"]))
+                .unwrap();
+        assert_eq!(inv.history_path(), PathBuf::from("/tmp/h.jsonl"));
+    }
+
+    #[test]
+    fn bench_history_report_takes_optional_html() {
+        let inv = parse(args(&["bench-history", "report"])).unwrap();
+        assert_eq!(inv.command, Command::BenchHistoryReport);
+        assert_eq!(inv.html, None);
+        let inv = parse(args(&["bench-history", "report", "--html", "trend.html"])).unwrap();
+        assert_eq!(inv.html, Some(PathBuf::from("trend.html")));
+    }
+
+    #[test]
+    fn bench_history_gate_takes_window_and_threshold() {
+        let inv = parse(args(&["bench-history", "gate", "NEW.json"])).unwrap();
+        assert_eq!(inv.command, Command::BenchHistoryGate);
+        assert_eq!(inv.input, Some(PathBuf::from("NEW.json")));
+        assert_eq!(inv.window, crate::history::DEFAULT_BASELINE_WINDOW);
+        assert_eq!(inv.threshold, DEFAULT_COMPARE_THRESHOLD);
+        let inv = parse(args(&[
+            "bench-history",
+            "gate",
+            "NEW.json",
+            "--window",
+            "9",
+            "--threshold",
+            "40",
+        ]))
+        .unwrap();
+        assert_eq!(inv.window, 9);
+        assert!((inv.threshold - 0.40).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bench_history_rejects_bad_shapes() {
+        assert!(parse(args(&["bench-history"])).unwrap_err().contains("requires an action"));
+        assert!(parse(args(&["bench-history", "frobnicate"]))
+            .unwrap_err()
+            .contains("unknown bench-history action"));
+        assert!(parse(args(&["bench-history", "append"]))
+            .unwrap_err()
+            .contains("requires a BENCH.json snapshot"));
+        assert!(parse(args(&["bench-history", "gate"]))
+            .unwrap_err()
+            .contains("requires a NEW.json snapshot"));
+        assert!(parse(args(&["bench-history", "report", "extra.json"]))
+            .unwrap_err()
+            .contains("unexpected"));
+        assert!(parse(args(&["bench-history", "gate", "a.json", "b.json"]))
+            .unwrap_err()
+            .contains("unexpected"));
+        assert!(parse(args(&["bench-history", "gate", "a.json", "--window", "0"]))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(args(&["bench-history", "gate", "a.json", "--window", "x"]))
+            .unwrap_err()
+            .contains("not a number"));
+        assert!(parse(args(&["bench-history", "append", "a.json", "--window", "3"]))
+            .unwrap_err()
+            .contains("only applies to bench-history gate"));
+        assert!(parse(args(&["fig2", "--history", "h.jsonl"]))
+            .unwrap_err()
+            .contains("only applies to the bench-history actions"));
+        assert!(parse(args(&["bench-compare", "a.json", "b.json", "--history", "h"]))
+            .unwrap_err()
+            .contains("only applies to the bench-history actions"));
+        // --threshold grew a second home; the old rejection still holds
+        // elsewhere, and --html now also serves the trend report.
+        assert!(parse(args(&["bench-history", "append", "a.json", "--threshold", "10"]))
+            .unwrap_err()
+            .contains("only applies to bench-compare and bench-history gate"));
+        assert!(parse(args(&["bench-history", "gate", "a.json", "--html", "x.html"]))
+            .unwrap_err()
+            .contains("only applies to dashboard and bench-history report"));
     }
 
     #[test]
@@ -471,6 +669,9 @@ mod tests {
         for cmd in [
             &["bench"][..],
             &["bench-compare", "a.json", "b.json"],
+            &["bench-history", "append", "a.json"],
+            &["bench-history", "report"],
+            &["bench-history", "gate", "a.json"],
             &["dashboard", "run.jsonl"],
         ] {
             let mut a = cmd.to_vec();

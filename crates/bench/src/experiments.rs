@@ -10,9 +10,7 @@ use fedl_core::runner::ExperimentRunner;
 use fedl_data::synth::TaskKind;
 use fedl_telemetry::log_line;
 
-use crate::harness::{
-    run_budget_sweep_cached, run_policy_matrix_cached, CellResult, RunCache,
-};
+use crate::harness::{run_budget_sweep_cached, run_policy_matrix_cached, CellResult, RunCache};
 use crate::profile::{accuracy_targets, Profile};
 use crate::report;
 
@@ -45,13 +43,9 @@ pub fn fig_time_and_round(
         TaskKind::CifarLike => (3, 5),
     };
     for iid in [true, false] {
-        let results =
-            run_policy_matrix_cached(profile, task, iid, budget, FIGURE_SEED, cache);
+        let results = run_policy_matrix_cached(profile, task, iid, budget, FIGURE_SEED, cache);
         let dist = if iid { "IID" } else { "Non-IID" };
-        let max_t = results
-            .iter()
-            .map(|r| r.outcome.total_sim_time())
-            .fold(0.0f64, f64::max);
+        let max_t = results.iter().map(|r| r.outcome.total_sim_time()).fold(0.0f64, f64::max);
         let times = [max_t * 0.25, max_t * 0.5, max_t];
         report::print_time_table(
             &format!("Fig {fig_t} — {} {dist}: accuracy vs time", task_name(task)),
@@ -76,12 +70,7 @@ pub fn fig_time_and_round(
             .iter()
             .map(|r| crate::plot::Series {
                 name: r.outcome.policy.clone(),
-                points: r
-                    .outcome
-                    .epochs
-                    .iter()
-                    .map(|e| (e.sim_time, e.accuracy))
-                    .collect(),
+                points: r.outcome.epochs.iter().map(|e| (e.sim_time, e.accuracy)).collect(),
             })
             .collect();
         log_line!("{}", crate::plot::render(&curves, 72, 16));
@@ -90,11 +79,8 @@ pub fn fig_time_and_round(
             .expect("write csv");
         all.extend(results);
     }
-    report::write_json(
-        &out_dir.join(format!("fig{fig_t}_fig{fig_r}.json")),
-        &all,
-    )
-    .expect("write json");
+    report::write_json(&out_dir.join(format!("fig{fig_t}_fig{fig_r}.json")), &all)
+        .expect("write json");
     all
 }
 
@@ -177,10 +163,8 @@ pub fn headline_from(results: &[CellResult], out_dir: &Path) {
                 }
             }
             // Accuracy at the common final time (min of the total times).
-            let t_common = cell
-                .iter()
-                .map(|r| r.outcome.total_sim_time())
-                .fold(f64::INFINITY, f64::min);
+            let t_common =
+                cell.iter().map(|r| r.outcome.total_sim_time()).fold(f64::INFINITY, f64::min);
             let mut line = format!("  accuracy@{t_common:.0}s:");
             for r in &cell {
                 let _ = write!(
@@ -217,10 +201,7 @@ pub fn regret(profile: Profile, out_dir: &Path) {
     ));
     let mut runner = ExperimentRunner::with_policy(scenario, env, policy);
     let outcome = runner.run();
-    let tracker = runner
-        .policy()
-        .regret_tracker()
-        .expect("FedL maintains a tracker");
+    let tracker = runner.policy().regret_tracker().expect("FedL maintains a tracker");
     let regret = tracker.cumulative_regret();
     let fit = tracker.fit();
     log_line!("\n── Theory validation: dynamic regret & fit ──");
@@ -272,7 +253,11 @@ pub fn rounding_ablation(profile: Profile) {
     log_line!("\n── Ablation: RDCS vs independent rounding ──");
     log_line!(
         "{:<14}{:>10}{:>12}{:>14}{:>14}",
-        "rounding", "epochs", "final acc", "overspend", "cohort σ"
+        "rounding",
+        "epochs",
+        "final acc",
+        "overspend",
+        "cohort σ"
     );
     for independent in [false, true] {
         let mut scenario =
@@ -282,11 +267,10 @@ pub fn rounding_ablation(profile: Profile) {
         let outcome = runner.run();
         let spent = outcome.epochs.last().map_or(0.0, |e| e.spent);
         let overspend = (spent - outcome.budget).max(0.0);
-        let sizes: Vec<f64> =
-            outcome.epochs.iter().map(|e| e.cohort_size as f64).collect();
+        let sizes: Vec<f64> = outcome.epochs.iter().map(|e| e.cohort_size as f64).collect();
         let mean = sizes.iter().sum::<f64>() / sizes.len().max(1) as f64;
-        let var = sizes.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
-            / sizes.len().max(1) as f64;
+        let var =
+            sizes.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / sizes.len().max(1) as f64;
         log_line!(
             "{:<14}{:>10}{:>12.3}{:>14.2}{:>14.2}",
             if independent { "independent" } else { "RDCS" },
@@ -306,16 +290,17 @@ pub fn aggregation_ablation(profile: Profile) {
     log_line!("\n── Ablation: aggregation normalization ──");
     log_line!(
         "{:<12}{:<12}{:>10}{:>12}{:>14}{:>14}",
-        "norm", "policy", "epochs", "final acc", "final loss", "sim time"
+        "norm",
+        "policy",
+        "epochs",
+        "final acc",
+        "final loss",
+        "sim time"
     );
     for norm in [AggregationNorm::Available, AggregationNorm::Cohort] {
         for policy in [PolicyKind::FedL, PolicyKind::FedCS] {
-            let mut scenario = profile.scenario(
-                TaskKind::FmnistLike,
-                true,
-                profile.figure_budget(),
-                FIGURE_SEED,
-            );
+            let mut scenario =
+                profile.scenario(TaskKind::FmnistLike, true, profile.figure_budget(), FIGURE_SEED);
             scenario.env.aggregation = norm;
             let mut runner = ExperimentRunner::new(scenario, policy);
             let outcome = runner.run();
@@ -338,7 +323,11 @@ pub fn oracle_comparison(profile: Profile) {
     log_line!("\n── Reference: FedL vs 1-lookahead latency oracle ──");
     log_line!(
         "{:<8}{:>10}{:>14}{:>14}{:>12}",
-        "policy", "epochs", "sim time (s)", "s/epoch", "final acc"
+        "policy",
+        "epochs",
+        "sim time (s)",
+        "s/epoch",
+        "final acc"
     );
     for policy in [PolicyKind::FedL, PolicyKind::Oracle] {
         let scenario =
@@ -371,7 +360,10 @@ pub fn replication_study(profile: Profile) {
     );
     log_line!(
         "{:<8}{:>22}{:>24}{:>26}",
-        "policy", "final acc (μ±σ)", "sim time (μ±σ)", "time→target (μ±σ)"
+        "policy",
+        "final acc (μ±σ)",
+        "sim time (μ±σ)",
+        "time→target (μ±σ)"
     );
     let summaries = run_replicated(
         profile,
@@ -404,7 +396,11 @@ pub fn bandwidth_study(profile: Profile) {
     log_line!("\n── Extension: FDMA bandwidth allocation ──");
     log_line!(
         "{:<14}{:>10}{:>14}{:>14}{:>12}",
-        "allocation", "epochs", "sim time (s)", "s/epoch", "final acc"
+        "allocation",
+        "epochs",
+        "sim time (s)",
+        "s/epoch",
+        "final acc"
     );
     for optimal in [false, true] {
         let mut scenario =
@@ -429,16 +425,17 @@ pub fn dropout_study(profile: Profile) {
     log_line!("\n── Robustness: mid-epoch client dropout ──");
     log_line!(
         "{:<10}{:<8}{:>10}{:>12}{:>14}{:>14}",
-        "p_drop", "policy", "epochs", "final acc", "final loss", "sim time"
+        "p_drop",
+        "policy",
+        "epochs",
+        "final acc",
+        "final loss",
+        "sim time"
     );
     for &p in &[0.0, 0.1, 0.3] {
         for policy in [PolicyKind::FedL, PolicyKind::FedAvg] {
-            let mut scenario = profile.scenario(
-                TaskKind::FmnistLike,
-                true,
-                profile.figure_budget(),
-                FIGURE_SEED,
-            );
+            let mut scenario =
+                profile.scenario(TaskKind::FmnistLike, true, profile.figure_budget(), FIGURE_SEED);
             scenario.env.p_dropout = p;
             let mut runner = ExperimentRunner::new(scenario, policy);
             let outcome = runner.run();
@@ -461,7 +458,11 @@ pub fn fairness_study(profile: Profile) {
     log_line!("\n── Extension: selection fairness ──");
     log_line!(
         "{:<10}{:>12}{:>12}{:>14}{:>14}",
-        "weight", "Jain index", "final acc", "final loss", "sim time"
+        "weight",
+        "Jain index",
+        "final acc",
+        "final loss",
+        "sim time"
     );
     for &weight in &[0.0, 0.5, 2.0, 8.0] {
         let scenario =
@@ -491,10 +492,8 @@ pub fn fairness_study(profile: Profile) {
 pub fn stepsize_ablation(profile: Profile) {
     log_line!("\n── Ablation: step sizes β = δ ──");
     log_line!("{:<18}{:>10}{:>12}{:>14}", "steps", "epochs", "final acc", "final loss");
-    let mut variants: Vec<(String, FedLConfig)> = vec![(
-        "corollary-1".into(),
-        FedLConfig::default(),
-    )];
+    let mut variants: Vec<(String, FedLConfig)> =
+        vec![("corollary-1".into(), FedLConfig::default())];
     for &s in &[0.01, 0.1, 1.0, 10.0] {
         variants.push((
             format!("fixed {s}"),

@@ -3,9 +3,7 @@
 use std::path::Path;
 
 use fedl_core::policy::PolicyKind;
-use fedl_core::runner::{
-    ExperimentRunner, RunOutcome, ScenarioConfig, SNAPSHOT_SCHEMA_VERSION,
-};
+use fedl_core::runner::{ExperimentRunner, RunOutcome, ScenarioConfig, SNAPSHOT_SCHEMA_VERSION};
 use fedl_data::synth::TaskKind;
 use fedl_json::{FromJson, ToJson, Value};
 use fedl_linalg::par::par_map;
@@ -34,10 +32,7 @@ pub struct RunCache {
 impl RunCache {
     /// Opens (creating if needed) a cache rooted at `dir`.
     pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
-        Ok(Self {
-            cache: ResultCache::open(dir.as_ref())?,
-            telemetry: Telemetry::disabled(),
-        })
+        Ok(Self { cache: ResultCache::open(dir.as_ref())?, telemetry: Telemetry::disabled() })
     }
 
     /// Routes `cache.hit`/`cache.miss` events and counters through
@@ -75,7 +70,9 @@ impl RunCache {
             Ok(Some(payload)) => match RunOutcome::from_json_value(&payload) {
                 Ok(outcome) => Some(outcome),
                 Err(err) => {
-                    log_line!("cache entry for {policy_label} has a stale schema ({err}); rerunning");
+                    log_line!(
+                        "cache entry for {policy_label} has a stale schema ({err}); rerunning"
+                    );
                     None
                 }
             },
@@ -98,10 +95,7 @@ impl RunCache {
             }
             None => {
                 self.telemetry.counter("cache.miss").incr();
-                self.telemetry.emit(
-                    "cache.miss",
-                    vec![("policy", Value::from(policy_label))],
-                );
+                self.telemetry.emit("cache.miss", vec![("policy", Value::from(policy_label))]);
             }
         }
         outcome
@@ -194,12 +188,7 @@ pub fn run_policy_matrix_cached(
 }
 
 /// Runs the full budget grid for `(task, iid)` across all policies.
-pub fn run_budget_sweep(
-    profile: Profile,
-    task: TaskKind,
-    iid: bool,
-    seed: u64,
-) -> Vec<CellResult> {
+pub fn run_budget_sweep(profile: Profile, task: TaskKind, iid: bool, seed: u64) -> Vec<CellResult> {
     run_budget_sweep_cached(profile, task, iid, seed, None)
 }
 
@@ -212,10 +201,8 @@ pub fn run_budget_sweep_cached(
     cache: Option<&RunCache>,
 ) -> Vec<CellResult> {
     let grid = profile.budget_grid();
-    let cells: Vec<(f64, PolicyKind)> = grid
-        .iter()
-        .flat_map(|&b| PolicyKind::ALL.iter().map(move |&p| (b, p)))
-        .collect();
+    let cells: Vec<(f64, PolicyKind)> =
+        grid.iter().flat_map(|&b| PolicyKind::ALL.iter().map(move |&p| (b, p))).collect();
     par_map(&cells, |&(budget, policy)| {
         let scenario = profile.scenario(task, iid, budget, seed);
         run_cell_cached(scenario, Cell { task, iid, policy, budget }, cache)
@@ -289,10 +276,8 @@ pub fn run_replicated(
                 .collect();
             let acc: Vec<f64> = runs.iter().map(|r| r.outcome.final_accuracy()).collect();
             let time: Vec<f64> = runs.iter().map(|r| r.outcome.total_sim_time()).collect();
-            let hits: Vec<f64> = runs
-                .iter()
-                .filter_map(|r| r.outcome.time_to_accuracy(accuracy_target))
-                .collect();
+            let hits: Vec<f64> =
+                runs.iter().filter_map(|r| r.outcome.time_to_accuracy(accuracy_target)).collect();
             ReplicationSummary {
                 policy: name,
                 final_accuracy: MeanStd::of(&acc),
@@ -345,14 +330,8 @@ mod tests {
 
     #[test]
     fn replication_summarizes_all_policies() {
-        let summaries = run_replicated(
-            Profile::Quick,
-            TaskKind::FmnistLike,
-            true,
-            200.0,
-            &[1, 2],
-            0.2,
-        );
+        let summaries =
+            run_replicated(Profile::Quick, TaskKind::FmnistLike, true, 200.0, &[1, 2], 0.2);
         assert_eq!(summaries.len(), 4);
         for s in &summaries {
             assert_eq!(s.seeds, 2);
@@ -383,12 +362,22 @@ mod tests {
         let (tel, _handle) = Telemetry::in_memory();
         let cache = RunCache::open(&dir).unwrap().with_telemetry(tel.clone());
         let cold = run_policy_matrix_cached(
-            Profile::Quick, TaskKind::FmnistLike, true, 250.0, 5, Some(&cache),
+            Profile::Quick,
+            TaskKind::FmnistLike,
+            true,
+            250.0,
+            5,
+            Some(&cache),
         );
         assert_eq!(tel.counter("cache.miss").value(), 4);
         assert_eq!(tel.counter("cache.hit").value(), 0);
         let warm = run_policy_matrix_cached(
-            Profile::Quick, TaskKind::FmnistLike, true, 250.0, 5, Some(&cache),
+            Profile::Quick,
+            TaskKind::FmnistLike,
+            true,
+            250.0,
+            5,
+            Some(&cache),
         );
         assert_eq!(tel.counter("cache.hit").value(), 4);
         for (x, y) in cold.iter().zip(&warm) {
@@ -396,7 +385,12 @@ mod tests {
         }
         // A different seed is a different key: all misses again.
         run_policy_matrix_cached(
-            Profile::Quick, TaskKind::FmnistLike, true, 250.0, 6, Some(&cache),
+            Profile::Quick,
+            TaskKind::FmnistLike,
+            true,
+            250.0,
+            6,
+            Some(&cache),
         );
         assert_eq!(tel.counter("cache.miss").value(), 8);
     }
@@ -422,8 +416,7 @@ mod tests {
             .find(|e| e.path().extension().is_some_and(|x| x == "fedlstore"))
             .expect("one cache entry written")
             .path();
-        std::fs::write(&entry, "fedl-store v1 kind=cache-entry crc=0000000000000000\n{}")
-            .unwrap();
+        std::fs::write(&entry, "fedl-store v1 kind=cache-entry crc=0000000000000000\n{}").unwrap();
         let again = run_cell_cached(scenario, cell, Some(&cache));
         // The damaged entry read as a miss (not a crash), the run
         // reproduced the outcome, and the entry was repaired.
@@ -434,8 +427,7 @@ mod tests {
 
     #[test]
     fn quick_matrix_runs_all_policies() {
-        let results =
-            run_policy_matrix(Profile::Quick, TaskKind::FmnistLike, true, 300.0, 3);
+        let results = run_policy_matrix(Profile::Quick, TaskKind::FmnistLike, true, 300.0, 3);
         assert_eq!(results.len(), 4);
         for r in &results {
             assert!(!r.outcome.epochs.is_empty(), "{:?} ran nothing", r.cell.policy);
@@ -443,8 +435,7 @@ mod tests {
         }
         // All four policies faced the same availability sample path, so
         // their first-epoch environments agree on epoch indexing.
-        let names: Vec<&str> =
-            results.iter().map(|r| r.outcome.policy.as_str()).collect();
+        let names: Vec<&str> = results.iter().map(|r| r.outcome.policy.as_str()).collect();
         assert!(names.contains(&"FedL") && names.contains(&"Pow-d"));
     }
 }

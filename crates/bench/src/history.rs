@@ -1,0 +1,816 @@
+//! Benchmark history: longitudinal storage of `BENCH.json` snapshots
+//! plus the rolling-baseline regression gate and trend reports
+//! (`experiments bench-history`, DESIGN.md row **S13**, schema in
+//! docs/OBSERVATORY.md).
+//!
+//! Where [`crate::perf::compare`] gates one snapshot against one other
+//! snapshot, this module maintains `BENCH_HISTORY.jsonl` — one
+//! [`HistoryEntry`] per line, each carrying a machine/config
+//! fingerprint and the commit it was measured at — and gates a new
+//! snapshot against the **median of the last K compatible entries**,
+//! so CI fails on drift, not on single-pair luck. Parsing is lenient
+//! like `RunLog`: malformed lines are skipped and counted, and an
+//! empty or fully corrupt history degrades to "no baseline, gate
+//! passes with a warning".
+
+use std::io;
+use std::path::Path;
+
+use fedl_json::{obj, read_field, FromJson, ToJson, Value};
+
+use crate::perf::{self, BenchSnapshot, CompareReport, KernelStats};
+use crate::timing;
+
+/// Version of the `BENCH_HISTORY.jsonl` entry envelope. Entries of
+/// other versions still parse (the file stays readable) but are never
+/// folded into a rolling baseline.
+pub const HISTORY_SCHEMA_VERSION: u32 = 1;
+
+/// Default `K` for the rolling baseline: the median of the last 5
+/// compatible entries.
+pub const DEFAULT_BASELINE_WINDOW: usize = 5;
+
+/// One line of `BENCH_HISTORY.jsonl`: a perf snapshot plus the context
+/// needed to decide which other entries it may be compared against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryEntry {
+    /// [`HISTORY_SCHEMA_VERSION`] at write time.
+    pub schema_version: u32,
+    /// Machine/config fingerprint ([`fingerprint_of`]); only entries
+    /// with identical fingerprints are comparable.
+    pub fingerprint: String,
+    /// Commit the snapshot was measured at (`FEDL_COMMIT`, else
+    /// `git rev-parse`, else `"unknown"`) — provenance, never gated on.
+    pub commit: String,
+    /// The snapshot itself.
+    pub snapshot: BenchSnapshot,
+}
+
+impl HistoryEntry {
+    /// Wraps a freshly measured snapshot with this machine's
+    /// fingerprint and the current commit.
+    pub fn capture(snapshot: BenchSnapshot) -> Self {
+        Self {
+            schema_version: HISTORY_SCHEMA_VERSION,
+            fingerprint: fingerprint_of(&snapshot),
+            commit: current_commit(),
+            snapshot,
+        }
+    }
+}
+
+impl ToJson for HistoryEntry {
+    fn to_json_value(&self) -> Value {
+        obj(vec![
+            ("schema_version", (self.schema_version as usize).to_json_value()),
+            ("fingerprint", self.fingerprint.to_json_value()),
+            ("commit", self.commit.to_json_value()),
+            ("snapshot", self.snapshot.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for HistoryEntry {
+    fn from_json_value(v: &Value) -> Result<Self, fedl_json::Error> {
+        let schema_version: usize = read_field(v, "schema_version")?;
+        Ok(Self {
+            schema_version: schema_version as u32,
+            fingerprint: read_field(v, "fingerprint")?,
+            commit: read_field(v, "commit")?,
+            snapshot: BenchSnapshot::from_json_value(v.field("snapshot")?)?,
+        })
+    }
+}
+
+/// The comparability fingerprint of a snapshot: OS, architecture,
+/// hardware parallelism, suite profile, and the `BENCH.json` schema
+/// version. Two snapshots with different fingerprints were measured
+/// under different conditions and must never be folded into one
+/// baseline.
+pub fn fingerprint_of(snap: &BenchSnapshot) -> String {
+    format!(
+        "{}-{}/t{}/{}/bench-v{}",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        snap.threads,
+        snap.profile,
+        snap.schema_version
+    )
+}
+
+/// Best-effort commit id: `FEDL_COMMIT` when set (CI), else a short
+/// `git rev-parse HEAD`, else `"unknown"`. Provenance only — nothing
+/// gates on it.
+fn current_commit() -> String {
+    if let Ok(c) = std::env::var("FEDL_COMMIT") {
+        let c = c.trim().to_string();
+        if !c.is_empty() {
+            return c;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// A parsed `BENCH_HISTORY.jsonl` file.
+#[derive(Debug, Clone)]
+pub struct BenchHistory {
+    entries: Vec<HistoryEntry>,
+    skipped: usize,
+}
+
+/// The rolling baseline [`BenchHistory::rolling_baseline`] derives:
+/// a synthetic snapshot whose per-kernel statistics are the medians
+/// over the window entries.
+#[derive(Debug, Clone)]
+pub struct RollingBaseline {
+    /// The synthetic median snapshot.
+    pub snapshot: BenchSnapshot,
+    /// How many history entries the medians were taken over (≤ K).
+    pub entries: usize,
+}
+
+impl BenchHistory {
+    /// An empty history (no file yet — first `append` creates it).
+    pub fn empty() -> Self {
+        Self { entries: Vec::new(), skipped: 0 }
+    }
+
+    /// Parses JSONL text: one [`HistoryEntry`] per non-blank line.
+    /// Malformed lines — a truncated tail, a hand-edited typo — are
+    /// skipped and counted, never fatal, exactly like `RunLog`.
+    pub fn parse(text: &str) -> Self {
+        let mut entries = Vec::new();
+        let mut skipped = 0usize;
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match Value::parse(line).and_then(|v| HistoryEntry::from_json_value(&v)) {
+                Ok(entry) => entries.push(entry),
+                Err(_) => skipped += 1,
+            }
+        }
+        Self { entries, skipped }
+    }
+
+    /// Reads a history file; a file that does not exist yet is an
+    /// empty history, not an error.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Ok(Self::parse(&text)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Self::empty()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Appends one entry as a single JSONL line (creating parent
+    /// directories and the file itself as needed).
+    pub fn append(path: &Path, entry: &HistoryEntry) -> io::Result<()> {
+        use std::io::Write as _;
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        writeln!(file, "{}", entry.to_json_value().to_json())
+    }
+
+    /// The parsed entries, oldest first (file order).
+    pub fn entries(&self) -> &[HistoryEntry] {
+        &self.entries
+    }
+
+    /// Number of malformed lines [`BenchHistory::parse`] skipped.
+    pub fn skipped_lines(&self) -> usize {
+        self.skipped
+    }
+
+    /// The entries comparable to `fingerprint` (same fingerprint, same
+    /// envelope version), oldest first.
+    pub fn compatible(&self, fingerprint: &str) -> Vec<&HistoryEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.schema_version == HISTORY_SCHEMA_VERSION && e.fingerprint == fingerprint)
+            .collect()
+    }
+
+    /// The rolling baseline for `fingerprint`: per-kernel medians over
+    /// the last `window` compatible entries. `None` when no compatible
+    /// entry exists (a fresh machine, a bumped schema, an empty file).
+    pub fn rolling_baseline(&self, fingerprint: &str, window: usize) -> Option<RollingBaseline> {
+        let compatible = self.compatible(fingerprint);
+        if compatible.is_empty() || window == 0 {
+            return None;
+        }
+        let tail: Vec<&HistoryEntry> =
+            compatible.iter().rev().take(window).rev().copied().collect();
+        let newest = tail.last().expect("tail is non-empty");
+        // Kernel order: the newest entry's order, then any name only
+        // older window entries know about.
+        let mut names: Vec<String> =
+            newest.snapshot.kernels.iter().map(|k| k.name.clone()).collect();
+        for e in &tail {
+            for k in &e.snapshot.kernels {
+                if !names.contains(&k.name) {
+                    names.push(k.name.clone());
+                }
+            }
+        }
+        let kernels = names
+            .iter()
+            .map(|name| {
+                let series: Vec<&KernelStats> =
+                    tail.iter().filter_map(|e| e.snapshot.kernel(name)).collect();
+                KernelStats {
+                    name: name.clone(),
+                    mean_ns: median(series.iter().map(|k| k.mean_ns)),
+                    std_ns: median(series.iter().map(|k| k.std_ns)),
+                    min_ns: median(series.iter().map(|k| k.min_ns)),
+                    iters: median(series.iter().map(|k| k.iters as f64)).round() as u64,
+                    samples: median(series.iter().map(|k| k.samples as f64)).round() as usize,
+                }
+            })
+            .collect();
+        Some(RollingBaseline {
+            snapshot: BenchSnapshot {
+                schema_version: newest.snapshot.schema_version,
+                profile: newest.snapshot.profile.clone(),
+                threads: newest.snapshot.threads,
+                kernels,
+            },
+            entries: tail.len(),
+        })
+    }
+}
+
+/// Median of a (possibly empty) series; even counts average the two
+/// middle values.
+fn median(values: impl Iterator<Item = f64>) -> f64 {
+    let mut v: Vec<f64> = values.filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    v.sort_by(|a, b| a.total_cmp(b));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+/// The result of gating one snapshot against the rolling baseline.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Fingerprint of the gated snapshot.
+    pub fingerprint: String,
+    /// How many history entries formed the baseline (0 = no baseline).
+    pub baseline_entries: usize,
+    /// The per-kernel comparison, absent when no baseline existed.
+    pub compare: Option<CompareReport>,
+    /// Degradations that did not fail the gate (empty history,
+    /// skipped lines, fingerprint mismatches).
+    pub warnings: Vec<String>,
+}
+
+impl GateReport {
+    /// `true` when CI should pass: no baseline at all, or a comparison
+    /// with no regressed kernel.
+    pub fn passes(&self) -> bool {
+        self.compare.as_ref().is_none_or(|c| !c.has_regression())
+    }
+
+    /// Human-readable rendering (warnings, then the comparison table).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for w in &self.warnings {
+            out.push_str(&format!("warning: {w}\n"));
+        }
+        match &self.compare {
+            None => out.push_str(&format!(
+                "no baseline for fingerprint {} — gate passes with warning\n",
+                self.fingerprint
+            )),
+            Some(c) => {
+                out.push_str(&format!(
+                    "rolling baseline: median of {} entr{} for {}\n",
+                    self.baseline_entries,
+                    if self.baseline_entries == 1 { "y" } else { "ies" },
+                    self.fingerprint
+                ));
+                out.push_str(&c.render());
+            }
+        }
+        out
+    }
+}
+
+/// Gates `new` against the rolling baseline of its fingerprint:
+/// median of the last `window` compatible entries, compared with the
+/// same noise-aware rule as `bench-compare`
+/// ([`perf::compare`]: regression ⇔ mean slowdown beyond `threshold`
+/// *and* disjoint mean±2σ bands). No compatible history — empty file,
+/// corrupt file, new machine, bumped schema — passes with a warning:
+/// a gate that fails on its own cold start would just be deleted.
+pub fn gate(
+    history: &BenchHistory,
+    new: &BenchSnapshot,
+    window: usize,
+    threshold: f64,
+) -> GateReport {
+    let fingerprint = fingerprint_of(new);
+    let mut warnings = Vec::new();
+    if history.skipped_lines() > 0 {
+        warnings.push(format!("skipped {} malformed history line(s)", history.skipped_lines()));
+    }
+    if history.entries.is_empty() {
+        warnings.push("history holds no entries".to_string());
+    } else if history.compatible(&fingerprint).is_empty() {
+        warnings.push(format!(
+            "history holds {} entr{} but none matches fingerprint {fingerprint}",
+            history.entries.len(),
+            if history.entries.len() == 1 { "y" } else { "ies" },
+        ));
+    }
+    let Some(baseline) = history.rolling_baseline(&fingerprint, window) else {
+        return GateReport { fingerprint, baseline_entries: 0, compare: None, warnings };
+    };
+    match perf::compare(&baseline.snapshot, new, threshold) {
+        Ok(compare) => GateReport {
+            fingerprint,
+            baseline_entries: baseline.entries,
+            compare: Some(compare),
+            warnings,
+        },
+        Err(e) => {
+            // Unreachable in practice (the fingerprint pins the schema
+            // version), but a broken comparison must degrade, not gate.
+            warnings.push(format!("baseline comparison failed: {e}"));
+            GateReport { fingerprint, baseline_entries: 0, compare: None, warnings }
+        }
+    }
+}
+
+// ── trend report ────────────────────────────────────────────────────
+
+/// Trend chart geometry (pixels), mirroring the dashboard's layout.
+const PLOT_W: f64 = 560.0;
+const PLOT_H: f64 = 140.0;
+const M_LEFT: f64 = 80.0;
+const M_TOP: f64 = 10.0;
+const M_RIGHT: f64 = 10.0;
+const M_BOTTOM: f64 = 26.0;
+
+fn sanitize_id(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+        .collect()
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Groups history entries by fingerprint, preserving first-appearance
+/// order; within a group entries stay oldest-first.
+fn fingerprint_groups(history: &BenchHistory) -> Vec<(String, Vec<&HistoryEntry>)> {
+    let mut groups: Vec<(String, Vec<&HistoryEntry>)> = Vec::new();
+    for e in history.entries() {
+        match groups.iter_mut().find(|(fp, _)| *fp == e.fingerprint) {
+            Some((_, v)) => v.push(e),
+            None => groups.push((e.fingerprint.clone(), vec![e])),
+        }
+    }
+    groups
+}
+
+/// The per-kernel trend table: one section per fingerprint group, one
+/// row per kernel with first/last/median means and the drift ratio of
+/// the newest entry against the K-window median.
+pub fn render_trend_table(history: &BenchHistory, window: usize) -> String {
+    let mut out = String::new();
+    if history.skipped_lines() > 0 {
+        out.push_str(&format!("skipped {} malformed history line(s)\n", history.skipped_lines()));
+    }
+    let groups = fingerprint_groups(history);
+    if groups.is_empty() {
+        out.push_str("history holds no entries — nothing to report\n");
+        return out;
+    }
+    for (fp, entries) in &groups {
+        let commits: Vec<&str> = entries.iter().map(|e| e.commit.as_str()).collect();
+        out.push_str(&format!(
+            "── {} — {} entr{} ({}) ──\n",
+            fp,
+            entries.len(),
+            if entries.len() == 1 { "y" } else { "ies" },
+            commits.join(" → ")
+        ));
+        out.push_str(&format!(
+            "{:<34} {:>5} {:>12} {:>12} {:>12} {:>12}\n",
+            "kernel", "runs", "first", "last", "median(K)", "last/median"
+        ));
+        let newest = entries.last().expect("group is non-empty");
+        let mut names: Vec<&str> =
+            newest.snapshot.kernels.iter().map(|k| k.name.as_str()).collect();
+        for e in entries {
+            for k in &e.snapshot.kernels {
+                if !names.contains(&k.name.as_str()) {
+                    names.push(&k.name);
+                }
+            }
+        }
+        for name in names {
+            let series: Vec<&KernelStats> =
+                entries.iter().filter_map(|e| e.snapshot.kernel(name)).collect();
+            let tail_median = median(series.iter().rev().take(window.max(1)).map(|k| k.mean_ns));
+            let first = series.first().expect("kernel appears at least once");
+            let last = series.last().expect("kernel appears at least once");
+            let ratio = if tail_median > 0.0 {
+                format!("{:.2}×", last.mean_ns / tail_median)
+            } else {
+                "—".to_string()
+            };
+            out.push_str(&format!(
+                "{:<34} {:>5} {:>12} {:>12} {:>12} {:>12}\n",
+                name,
+                series.len(),
+                timing::fmt_ns(first.mean_ns),
+                timing::fmt_ns(last.mean_ns),
+                timing::fmt_ns(tail_median),
+                ratio
+            ));
+        }
+    }
+    out
+}
+
+/// One kernel's trend chart: mean over entry index as a polyline, the
+/// mean±2σ noise band as a translucent polygon behind it.
+fn trend_chart(id: &str, title: &str, series: &[(f64, f64)]) -> String {
+    let w = M_LEFT + PLOT_W + M_RIGHT;
+    let h = M_TOP + PLOT_H + M_BOTTOM;
+    let mut out = format!(
+        r#"<svg id="{id}" viewBox="0 0 {w} {h}" width="{w}" height="{h}" xmlns="http://www.w3.org/2000/svg">"#
+    );
+    let finite: Vec<(usize, f64, f64)> = series
+        .iter()
+        .enumerate()
+        .filter(|(_, (m, s))| m.is_finite() && s.is_finite())
+        .map(|(i, &(m, s))| (i, m, s))
+        .collect();
+    if finite.is_empty() {
+        out.push_str(&format!(
+            r#"<text x="{}" y="{}" text-anchor="middle" class="empty">no data</text></svg>"#,
+            M_LEFT + PLOT_W / 2.0,
+            M_TOP + PLOT_H / 2.0
+        ));
+        return out;
+    }
+    let y_min = finite.iter().map(|&(_, m, s)| m - 2.0 * s).fold(f64::INFINITY, f64::min);
+    let y_max = finite.iter().map(|&(_, m, s)| m + 2.0 * s).fold(f64::NEG_INFINITY, f64::max);
+    let (y_min, y_max) = if y_max > y_min { (y_min, y_max) } else { (y_min - 1.0, y_max + 1.0) };
+    let x_max = (series.len().max(2) - 1) as f64;
+    let sx = |i: usize| M_LEFT + i as f64 / x_max * PLOT_W;
+    let sy = |y: f64| M_TOP + (1.0 - (y - y_min) / (y_max - y_min)) * PLOT_H;
+    out.push_str(&format!(
+        r#"<rect x="{M_LEFT}" y="{M_TOP}" width="{PLOT_W}" height="{PLOT_H}" class="frame"/>"#
+    ));
+    // ±2σ band: upper edge left→right, lower edge right→left.
+    if finite.len() >= 2 {
+        let upper: Vec<String> = finite
+            .iter()
+            .map(|&(i, m, s)| format!("{:.1},{:.1}", sx(i), sy(m + 2.0 * s)))
+            .collect();
+        let lower: Vec<String> = finite
+            .iter()
+            .rev()
+            .map(|&(i, m, s)| format!("{:.1},{:.1}", sx(i), sy(m - 2.0 * s)))
+            .collect();
+        out.push_str(&format!(
+            r##"<polygon fill="#2563eb" fill-opacity="0.15" stroke="none" points="{} {}"/>"##,
+            upper.join(" "),
+            lower.join(" ")
+        ));
+    }
+    if finite.len() >= 2 {
+        let path: Vec<String> =
+            finite.iter().map(|&(i, m, _)| format!("{:.1},{:.1}", sx(i), sy(m))).collect();
+        out.push_str(&format!(
+            r##"<polyline fill="none" stroke="#2563eb" stroke-width="1.5" points="{}"/>"##,
+            path.join(" ")
+        ));
+    }
+    for &(i, m, _) in &finite {
+        out.push_str(&format!(
+            r##"<circle cx="{:.1}" cy="{:.1}" r="2.5" fill="#2563eb"/>"##,
+            sx(i),
+            sy(m)
+        ));
+    }
+    out.push_str(&format!(
+        r#"<text x="{:.1}" y="{:.1}" text-anchor="end" class="tick">{}</text>"#,
+        M_LEFT - 4.0,
+        M_TOP + 10.0,
+        timing::fmt_ns(y_max)
+    ));
+    out.push_str(&format!(
+        r#"<text x="{:.1}" y="{:.1}" text-anchor="end" class="tick">{}</text>"#,
+        M_LEFT - 4.0,
+        M_TOP + PLOT_H,
+        timing::fmt_ns(y_min)
+    ));
+    out.push_str(&format!(
+        r#"<text x="{M_LEFT}" y="{:.1}" class="tick">run 0</text>"#,
+        M_TOP + PLOT_H + 16.0
+    ));
+    out.push_str(&format!(
+        r#"<text x="{:.1}" y="{:.1}" text-anchor="end" class="tick">run {}</text>"#,
+        M_LEFT + PLOT_W,
+        M_TOP + PLOT_H + 16.0,
+        series.len() - 1
+    ));
+    out.push_str(&format!(
+        r#"<text x="{:.1}" y="{:.1}" class="title">{}</text>"#,
+        M_LEFT + 6.0,
+        M_TOP + 14.0,
+        escape(title)
+    ));
+    out.push_str("</svg>");
+    out
+}
+
+/// Renders the self-contained HTML trend report: per fingerprint
+/// group, one inline-SVG chart per kernel (`id="trend-<kernel>"`, or
+/// `trend-g<i>-<kernel>` when several fingerprints share the file)
+/// showing the mean trend line over runs with its ±2σ noise band.
+/// No scripts, no external assets — same contract as the dashboard.
+pub fn render_trend_html(history: &BenchHistory) -> String {
+    let mut body = String::new();
+    if history.skipped_lines() > 0 {
+        body.push_str(&format!(
+            "<p class=\"warn\">skipped {} malformed history line(s)</p>",
+            history.skipped_lines()
+        ));
+    }
+    let groups = fingerprint_groups(history);
+    if groups.is_empty() {
+        body.push_str("<p>history holds no entries — nothing to chart</p>");
+    }
+    let multi = groups.len() > 1;
+    for (gi, (fp, entries)) in groups.iter().enumerate() {
+        body.push_str(&format!(
+            "<h2>{} — {} entr{}</h2>",
+            escape(fp),
+            entries.len(),
+            if entries.len() == 1 { "y" } else { "ies" }
+        ));
+        let newest = entries.last().expect("group is non-empty");
+        for kernel in &newest.snapshot.kernels {
+            let series: Vec<(f64, f64)> = entries
+                .iter()
+                .map(|e| {
+                    e.snapshot
+                        .kernel(&kernel.name)
+                        .map_or((f64::NAN, f64::NAN), |k| (k.mean_ns, k.std_ns))
+                })
+                .collect();
+            let id = if multi {
+                format!("trend-g{gi}-{}", sanitize_id(&kernel.name))
+            } else {
+                format!("trend-{}", sanitize_id(&kernel.name))
+            };
+            body.push_str(&format!(
+                "<section>{}</section>",
+                trend_chart(&id, &kernel.name, &series)
+            ));
+        }
+    }
+    format!(
+        "<!doctype html><html><head><meta charset=\"utf-8\">\
+         <title>FedL bench history</title><style>\
+         body{{font-family:system-ui,sans-serif;max-width:720px;margin:2rem auto;color:#111}}\
+         h2{{font-size:1rem;margin:1.2rem 0 0.3rem}}\
+         .frame{{fill:none;stroke:#9ca3af;stroke-width:1}}\
+         .tick{{font-size:10px;fill:#6b7280}}\
+         .title{{font-size:11px;fill:#374151}}\
+         .empty{{font-size:12px;fill:#6b7280}}\
+         .warn{{color:#b45309}}\
+         </style></head><body><h1>FedL bench history</h1>{body}</body></html>"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf::BENCH_SCHEMA_VERSION;
+
+    fn stats(name: &str, mean: f64, std: f64) -> KernelStats {
+        KernelStats {
+            name: name.to_string(),
+            mean_ns: mean,
+            std_ns: std,
+            min_ns: mean - std,
+            iters: 100,
+            samples: 5,
+        }
+    }
+
+    fn snapshot(kernels: Vec<KernelStats>) -> BenchSnapshot {
+        BenchSnapshot {
+            schema_version: BENCH_SCHEMA_VERSION,
+            profile: "quick".to_string(),
+            threads: 4,
+            kernels,
+        }
+    }
+
+    fn entry(mean: f64, std: f64) -> HistoryEntry {
+        HistoryEntry {
+            schema_version: HISTORY_SCHEMA_VERSION,
+            fingerprint: fingerprint_of(&snapshot(vec![])),
+            commit: "abc123".to_string(),
+            snapshot: snapshot(vec![stats("a", mean, std)]),
+        }
+    }
+
+    fn history_of(entries: Vec<HistoryEntry>) -> BenchHistory {
+        let text: String = entries.iter().map(|e| e.to_json_value().to_json() + "\n").collect();
+        BenchHistory::parse(&text)
+    }
+
+    #[test]
+    fn entry_json_round_trips() {
+        let e = HistoryEntry::capture(snapshot(vec![stats("a", 1000.0, 10.0)]));
+        assert_eq!(e.schema_version, HISTORY_SCHEMA_VERSION);
+        assert!(e.fingerprint.contains("quick"));
+        let back = HistoryEntry::from_json_value(&e.to_json_value()).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn append_and_load_round_trip_with_lenient_parsing() {
+        let dir = std::env::temp_dir().join("fedl_history_test_roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_HISTORY.jsonl");
+        std::fs::remove_file(&path).ok();
+        // Missing file loads as empty.
+        let empty = BenchHistory::load(&path).unwrap();
+        assert!(empty.entries().is_empty());
+        assert_eq!(empty.skipped_lines(), 0);
+        BenchHistory::append(&path, &entry(1000.0, 10.0)).unwrap();
+        BenchHistory::append(&path, &entry(1010.0, 10.0)).unwrap();
+        // A corrupt tail (killed writer) must not poison the file.
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        write!(f, "{{\"schema_version\":1,\"trunc").unwrap();
+        drop(f);
+        let loaded = BenchHistory::load(&path).unwrap();
+        assert_eq!(loaded.entries().len(), 2);
+        assert_eq!(loaded.skipped_lines(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rolling_baseline_is_the_windowed_median() {
+        // Five entries, kernel means 1000, 1100, 1200, 1300, 9000.
+        // Window 3 → median of (1200, 1300, 9000) = 1300.
+        let h = history_of(vec![
+            entry(1000.0, 10.0),
+            entry(1100.0, 10.0),
+            entry(1200.0, 10.0),
+            entry(1300.0, 10.0),
+            entry(9000.0, 10.0),
+        ]);
+        let fp = fingerprint_of(&snapshot(vec![]));
+        let b = h.rolling_baseline(&fp, 3).unwrap();
+        assert_eq!(b.entries, 3);
+        assert_eq!(b.snapshot.kernel("a").unwrap().mean_ns, 1300.0);
+        // Window larger than the history uses everything (median 1200).
+        let b = h.rolling_baseline(&fp, 50).unwrap();
+        assert_eq!(b.entries, 5);
+        assert_eq!(b.snapshot.kernel("a").unwrap().mean_ns, 1200.0);
+        // Even window: the two middle values average.
+        let b = h.rolling_baseline(&fp, 4).unwrap();
+        assert_eq!(b.snapshot.kernel("a").unwrap().mean_ns, 1250.0);
+    }
+
+    #[test]
+    fn gate_fails_on_a_regressed_snapshot_and_passes_on_a_clean_one() {
+        let h = history_of(vec![entry(1000.0, 10.0), entry(1010.0, 10.0), entry(990.0, 10.0)]);
+        // Clean: within noise of the 1000 median.
+        let clean = snapshot(vec![stats("a", 1005.0, 10.0)]);
+        let report = gate(&h, &clean, DEFAULT_BASELINE_WINDOW, 0.25);
+        assert!(report.passes(), "{}", report.render());
+        assert_eq!(report.baseline_entries, 3);
+        // Regressed: mean inflated 2× with tight bands — both the
+        // threshold and the band-separation condition trip.
+        let regressed = snapshot(vec![stats("a", 2000.0, 10.0)]);
+        let report = gate(&h, &regressed, DEFAULT_BASELINE_WINDOW, 0.25);
+        assert!(!report.passes());
+        assert!(report.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn gate_outlier_robustness_vs_single_pair() {
+        // One noisy outlier run in the history must not poison the
+        // baseline: the median shrugs it off where a previous-run
+        // pairwise gate would have compared against 5000.
+        let h = history_of(vec![entry(1000.0, 10.0), entry(1005.0, 10.0), entry(5000.0, 10.0)]);
+        let new = snapshot(vec![stats("a", 1002.0, 10.0)]);
+        let report = gate(&h, &new, DEFAULT_BASELINE_WINDOW, 0.25);
+        assert!(report.passes());
+        let b = h.rolling_baseline(&fingerprint_of(&new), DEFAULT_BASELINE_WINDOW).unwrap();
+        assert_eq!(b.snapshot.kernel("a").unwrap().mean_ns, 1005.0);
+    }
+
+    #[test]
+    fn empty_or_corrupt_history_passes_with_warning() {
+        let new = snapshot(vec![stats("a", 1000.0, 10.0)]);
+        // Empty.
+        let report = gate(&BenchHistory::empty(), &new, 5, 0.25);
+        assert!(report.passes());
+        assert!(report.compare.is_none());
+        assert!(report.render().contains("gate passes with warning"));
+        // Fully corrupt: every line skipped.
+        let corrupt = BenchHistory::parse("not json\n{\"half\":\n");
+        assert_eq!(corrupt.skipped_lines(), 2);
+        let report = gate(&corrupt, &new, 5, 0.25);
+        assert!(report.passes());
+        assert!(report.render().contains("malformed history line"));
+    }
+
+    #[test]
+    fn mismatched_fingerprints_never_form_a_baseline() {
+        let mut alien = entry(10.0, 1.0);
+        alien.fingerprint = "otheros-arm/t96/quick/bench-v1".to_string();
+        let h = history_of(vec![alien]);
+        // New snapshot is 100× the alien entry — but they are not
+        // comparable, so the gate passes with a warning instead.
+        let new = snapshot(vec![stats("a", 1000.0, 10.0)]);
+        let report = gate(&h, &new, 5, 0.25);
+        assert!(report.passes());
+        assert!(report.render().contains("none matches fingerprint"));
+    }
+
+    #[test]
+    fn entries_of_other_envelope_versions_are_kept_but_not_gated() {
+        let mut future = entry(1000.0, 10.0);
+        future.schema_version = HISTORY_SCHEMA_VERSION + 1;
+        let h = history_of(vec![future]);
+        assert_eq!(h.entries().len(), 1, "still readable");
+        let new = snapshot(vec![stats("a", 9000.0, 10.0)]);
+        assert!(gate(&h, &new, 5, 0.25).passes(), "never folded into a baseline");
+    }
+
+    #[test]
+    fn trend_table_reports_per_kernel_drift() {
+        let h = history_of(vec![entry(1000.0, 10.0), entry(2000.0, 10.0)]);
+        let table = render_trend_table(&h, DEFAULT_BASELINE_WINDOW);
+        assert!(table.contains("kernel"));
+        assert!(table.contains('a'));
+        assert!(table.contains("abc123 → abc123"), "commit provenance: {table}");
+        assert!(table.contains("1.33×"), "2000/median(1500): {table}");
+        // Empty history renders an explanation, not a panic.
+        assert!(render_trend_table(&BenchHistory::empty(), 5).contains("nothing to report"));
+    }
+
+    #[test]
+    fn trend_html_charts_every_kernel_with_stable_ids() {
+        let mk = |m: f64| HistoryEntry {
+            schema_version: HISTORY_SCHEMA_VERSION,
+            fingerprint: fingerprint_of(&snapshot(vec![])),
+            commit: "c".to_string(),
+            snapshot: snapshot(vec![
+                stats("gemm/square_48", m, 20.0),
+                stats("core/ucb_score_update_64", m / 2.0, 5.0),
+            ]),
+        };
+        let h = history_of(vec![mk(1000.0), mk(1100.0), mk(1050.0)]);
+        let html = render_trend_html(&h);
+        assert!(html.contains("<svg id=\"trend-gemm-square-48\""));
+        assert!(html.contains("<svg id=\"trend-core-ucb-score-update-64\""));
+        assert!(html.contains("polygon"), "±2σ band present");
+        assert!(html.contains("polyline"), "trend line present");
+        // Self-contained: no scripts or external assets.
+        for needle in ["<script", "<link", "src="] {
+            assert!(!html.contains(needle), "external reference via {needle}");
+        }
+        // Two fingerprints in one file get distinct chart id prefixes.
+        let mut other = mk(500.0);
+        other.fingerprint = "elsewhere/t8/quick/bench-v1".to_string();
+        let mixed = history_of(vec![mk(1000.0), other]);
+        let html = render_trend_html(&mixed);
+        assert!(html.contains("<svg id=\"trend-g0-gemm-square-48\""));
+        assert!(html.contains("<svg id=\"trend-g1-gemm-square-48\""));
+    }
+}

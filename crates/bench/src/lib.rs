@@ -19,7 +19,11 @@
 //!   by the `benches/` targets (offline replacement for criterion);
 //! * [`perf`] — the `experiments bench` perf-snapshot suite
 //!   (`BENCH.json`) and the `bench-compare` noise-aware regression gate
-//!   (DESIGN.md row **S13**, docs/OBSERVATORY.md).
+//!   (DESIGN.md row **S13**, docs/OBSERVATORY.md);
+//! * [`history`] — the `experiments bench-history` longitudinal layer:
+//!   `BENCH_HISTORY.jsonl` snapshot storage, the rolling-baseline
+//!   (median-of-last-K) CI gate, and per-kernel trend reports with
+//!   ±2σ bands (ASCII + self-contained HTML).
 //!
 //! The `experiments` binary is a thin CLI over [`experiments`]. All
 //! console tables go through `fedl_telemetry::log_line!`, so
@@ -33,6 +37,7 @@
 pub mod cli;
 pub mod experiments;
 pub mod harness;
+pub mod history;
 pub mod perf;
 pub mod plot;
 pub mod profile;

@@ -195,12 +195,9 @@ fn suite_linalg(kernels: &mut Vec<KernelStats>, budget: Duration, profile: Profi
         Profile::Quick => (128, 64),
     };
     let logits = Matrix::uniform(rows, cols, 1.0, &mut rng);
-    measure_kernel(
-        kernels,
-        budget,
-        &format!("linalg/softmax_rows_{rows}x{cols}"),
-        || std::hint::black_box(fedl_linalg::ops::softmax_rows(&logits)),
-    );
+    measure_kernel(kernels, budget, &format!("linalg/softmax_rows_{rows}x{cols}"), || {
+        std::hint::black_box(fedl_linalg::ops::softmax_rows(&logits))
+    });
 }
 
 /// One DANE local solve on a seeded synthetic client shard (S2).
@@ -221,12 +218,9 @@ fn suite_dane(kernels: &mut Vec<KernelStats>, budget: Duration, profile: Profile
     let (_, j) = model.loss_and_grad(&x, &y);
     let cfg = DaneConfig::default();
     let mut rng = rng_for(0xBE4, 0);
-    measure_kernel(
-        kernels,
-        budget,
-        &format!("ml/dane_local_solve_{samples}"),
-        || std::hint::black_box(local_update(&model, &train, &j, &cfg, &mut rng)),
-    );
+    measure_kernel(kernels, budget, &format!("ml/dane_local_solve_{samples}"), || {
+        std::hint::black_box(local_update(&model, &train, &j, &cfg, &mut rng))
+    });
 }
 
 /// RDCS dependent rounding over a seeded fractional vector (S5/S6).
@@ -289,19 +283,13 @@ fn suite_score_update(kernels: &mut Vec<KernelStats>, budget: Duration, profile:
         local_losses: vec![1.4f32; n],
         failed: vec![],
     };
-    let mut learner =
-        OnlineLearner::new(m, StepSizes::fixed(0.3, 0.3), 1.0, 10.0, 0.1);
-    measure_kernel(
-        kernels,
-        budget,
-        &format!("core/ucb_score_update_{m}"),
-        || {
-            let problem = learner.build_problem(&ctx);
-            let frac = learner.decide(&ctx, &problem);
-            learner.observe(&ctx, &report, &frac, &problem);
-            std::hint::black_box(frac.rho)
-        },
-    );
+    let mut learner = OnlineLearner::new(m, StepSizes::fixed(0.3, 0.3), 1.0, 10.0, 0.1);
+    measure_kernel(kernels, budget, &format!("core/ucb_score_update_{m}"), || {
+        let problem = learner.build_problem(&ctx);
+        let frac = learner.decide(&ctx, &problem);
+        learner.observe(&ctx, &report, &frac, &problem);
+        std::hint::black_box(frac.rho)
+    });
 }
 
 /// One full quick-profile federated epoch end-to-end: selection, local
@@ -412,16 +400,10 @@ impl CompareReport {
         ));
         for row in &self.rows {
             let fmt_side = |s: &Option<KernelStats>| match s {
-                Some(k) => format!(
-                    "{}±{}",
-                    timing::fmt_ns(k.mean_ns),
-                    timing::fmt_ns(k.std_ns)
-                ),
+                Some(k) => format!("{}±{}", timing::fmt_ns(k.mean_ns), timing::fmt_ns(k.std_ns)),
                 None => "—".to_string(),
             };
-            let ratio = row
-                .ratio
-                .map_or("—".to_string(), |r| format!("{r:.2}×"));
+            let ratio = row.ratio.map_or("—".to_string(), |r| format!("{r:.2}×"));
             out.push_str(&format!(
                 "{:<34} {:>22} {:>22} {:>7}  {}\n",
                 row.name,
@@ -530,17 +512,13 @@ mod tests {
     #[test]
     fn snapshot_json_round_trips() {
         let snap = snapshot(vec![stats("gemm/square_48", 1500.0, 30.0)]);
-        let back =
-            BenchSnapshot::from_json_value(&snap.to_json_value()).unwrap();
+        let back = BenchSnapshot::from_json_value(&snap.to_json_value()).unwrap();
         assert_eq!(snap, back);
     }
 
     #[test]
     fn identical_snapshots_pass() {
-        let snap = snapshot(vec![
-            stats("a", 1000.0, 20.0),
-            stats("b", 5000.0, 100.0),
-        ]);
+        let snap = snapshot(vec![stats("a", 1000.0, 20.0), stats("b", 5000.0, 100.0)]);
         let report = compare(&snap, &snap.clone(), 0.25).unwrap();
         assert!(!report.has_regression());
         assert!(report.rows.iter().all(|r| r.verdict == Verdict::Ok));
@@ -577,11 +555,8 @@ mod tests {
         let new = snapshot(vec![stats("a", 1000.0, 10.0), stats("fresh", 1.0, 0.1)]);
         let report = compare(&base, &new, 0.25).unwrap();
         assert!(!report.has_regression());
-        let verdicts: Vec<(String, Verdict)> = report
-            .rows
-            .iter()
-            .map(|r| (r.name.clone(), r.verdict))
-            .collect();
+        let verdicts: Vec<(String, Verdict)> =
+            report.rows.iter().map(|r| (r.name.clone(), r.verdict)).collect();
         assert!(verdicts.contains(&("gone".to_string(), Verdict::OnlyBase)));
         assert!(verdicts.contains(&("fresh".to_string(), Verdict::OnlyNew)));
         let table = report.render();

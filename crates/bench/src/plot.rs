@@ -52,12 +52,8 @@ pub fn render(series: &[Series], width: usize, height: usize) -> String {
     let mut canvas = vec![vec![' '; width]; height];
     for (si, s) in series.iter().enumerate() {
         let glyph = GLYPHS[si % GLYPHS.len()];
-        let mut pts: Vec<(f64, f64)> = s
-            .points
-            .iter()
-            .copied()
-            .filter(|(x, y)| x.is_finite() && y.is_finite())
-            .collect();
+        let mut pts: Vec<(f64, f64)> =
+            s.points.iter().copied().filter(|(x, y)| x.is_finite() && y.is_finite()).collect();
         pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite xs"));
         for (x, y) in pts {
             let col = (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
@@ -121,11 +117,7 @@ mod tests {
 
     #[test]
     fn legend_lists_all_series_with_distinct_glyphs() {
-        let plot = render(
-            &[series("FedL", &[(0.0, 1.0)]), series("FedAvg", &[(0.0, 2.0)])],
-            16,
-            5,
-        );
+        let plot = render(&[series("FedL", &[(0.0, 1.0)]), series("FedAvg", &[(0.0, 2.0)])], 16, 5);
         assert!(plot.contains("* FedL"));
         assert!(plot.contains("o FedAvg"));
     }

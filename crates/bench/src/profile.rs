@@ -79,16 +79,12 @@ impl Profile {
     /// given budget.
     pub fn scenario(self, task: TaskKind, iid: bool, budget: f64, seed: u64) -> ScenarioConfig {
         let mut s = match task {
-            TaskKind::FmnistLike => ScenarioConfig::small_fmnist(
-                self.num_clients(),
-                budget,
-                self.min_participants(),
-            ),
-            TaskKind::CifarLike => ScenarioConfig::small_cifar(
-                self.num_clients(),
-                budget,
-                self.min_participants(),
-            ),
+            TaskKind::FmnistLike => {
+                ScenarioConfig::small_fmnist(self.num_clients(), budget, self.min_participants())
+            }
+            TaskKind::CifarLike => {
+                ScenarioConfig::small_cifar(self.num_clients(), budget, self.min_participants())
+            }
         }
         .with_seed(seed);
         s.train_size = self.train_size();

@@ -70,11 +70,7 @@ impl Measurement {
     /// Population standard deviation of the per-sample times.
     pub fn std_ns(&self) -> f64 {
         let mean = self.mean_ns();
-        let var = self
-            .per_iter_ns
-            .iter()
-            .map(|t| (t - mean) * (t - mean))
-            .sum::<f64>()
+        let var = self.per_iter_ns.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>()
             / self.per_iter_ns.len().max(1) as f64;
         var.sqrt()
     }

@@ -46,9 +46,7 @@ impl SelectionPolicy for FedCsPolicy {
         // Sort by estimated latency, fastest first (greedy packing).
         let mut order: Vec<usize> = (0..ctx.available.len()).collect();
         order.sort_by(|&a, &b| {
-            ctx.latency_hint[a]
-                .partial_cmp(&ctx.latency_hint[b])
-                .expect("finite latency hints")
+            ctx.latency_hint[a].partial_cmp(&ctx.latency_hint[b]).expect("finite latency hints")
         });
         let budget_per_epoch = ctx.remaining_budget.max(0.0);
         let mut cohort = Vec::new();

@@ -38,9 +38,7 @@ impl SelectionPolicy for OraclePolicy {
         let n = ctx.effective_n();
         let mut order: Vec<usize> = (0..ctx.available.len()).collect();
         order.sort_by(|&a, &b| {
-            ctx.true_latency[a]
-                .partial_cmp(&ctx.true_latency[b])
-                .expect("finite latencies")
+            ctx.true_latency[a].partial_cmp(&ctx.true_latency[b]).expect("finite latencies")
         });
         let mut cohort: Vec<usize> =
             order.into_iter().take(n).map(|pos| ctx.available[pos]).collect();

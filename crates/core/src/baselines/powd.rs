@@ -78,15 +78,8 @@ impl SelectionPolicy for PowDPolicy {
     /// Cross-epoch state: the candidate-sampling RNG and the per-client
     /// loss memory (never-observed clients stored as `null`).
     fn snapshot_state(&self) -> Value {
-        let losses = self
-            .last_loss
-            .iter()
-            .map(|l| l.map_or(Value::Null, Value::Float))
-            .collect();
-        obj(vec![
-            ("rng", snapshot::rng_to_json(&self.rng)),
-            ("last_loss", Value::Arr(losses)),
-        ])
+        let losses = self.last_loss.iter().map(|l| l.map_or(Value::Null, Value::Float)).collect();
+        obj(vec![("rng", snapshot::rng_to_json(&self.rng)), ("last_loss", Value::Arr(losses))])
     }
 
     fn restore_state(&mut self, state: &Value) -> Result<(), Error> {
@@ -99,9 +92,11 @@ impl SelectionPolicy for PowDPolicy {
         for v in losses {
             last_loss.push(match v {
                 Value::Null => None,
-                other => Some(other.as_f64().ok_or_else(|| {
-                    Error::msg("last_loss entries must be numbers or null")
-                })?),
+                other => Some(
+                    other
+                        .as_f64()
+                        .ok_or_else(|| Error::msg("last_loss entries must be numbers or null"))?,
+                ),
             });
         }
         self.rng = rng;
@@ -128,7 +123,7 @@ mod tests {
     fn prefers_high_loss_clients_once_observed() {
         let c = ctx((0..6).collect(), vec![1.0; 6], 100.0, 2);
         let mut p = PowDPolicy::new(3); // d = 6 = all candidates
-        // Teach it: client 5 has huge loss, others tiny.
+                                        // Teach it: client 5 has huge loss, others tiny.
         let report = EpochReport {
             epoch: 0,
             cohort: vec![0, 1, 2, 3, 4, 5],

@@ -65,9 +65,7 @@ impl ToJson for FedLConfig {
     /// invalidates existing caches.
     fn to_json_value(&self) -> Value {
         let fixed_steps = match self.fixed_steps {
-            Some((beta, delta)) => {
-                Value::Arr(vec![Value::Float(beta), Value::Float(delta)])
-            }
+            Some((beta, delta)) => Value::Arr(vec![Value::Float(beta), Value::Float(delta)]),
             None => Value::Null,
         };
         obj(vec![
@@ -117,11 +115,9 @@ impl FedLPolicy {
         };
         // Anchor prior n/M: on average a budget-efficient policy keeps
         // about n of the M clients selected.
-        let prior_x =
-            (min_participants as f64 / num_clients.max(1) as f64).clamp(0.02, 0.5);
-        let learner =
-            OnlineLearner::new(num_clients, steps, config.theta, config.rho_max, prior_x)
-                .with_fairness(config.fairness_weight);
+        let prior_x = (min_participants as f64 / num_clients.max(1) as f64).clamp(0.02, 0.5);
+        let learner = OnlineLearner::new(num_clients, steps, config.theta, config.rho_max, prior_x)
+            .with_fairness(config.fairness_weight);
         Self {
             learner,
             tracker: RegretTracker::new(num_clients),
@@ -152,10 +148,7 @@ impl FedLPolicy {
     /// Restores a policy from a [`FedLPolicy::checkpoint`] snapshot.
     ///
     /// `num_clients` must match the checkpointed federation size.
-    pub fn restore(
-        snapshot: &str,
-        num_clients: usize,
-    ) -> Result<Self, fedl_json::Error> {
+    pub fn restore(snapshot: &str, num_clients: usize) -> Result<Self, fedl_json::Error> {
         let learner = OnlineLearner::from_json(snapshot)?;
         if learner.state().len() != num_clients {
             return Err(fedl_json::Error::msg(format!(
@@ -205,10 +198,7 @@ impl SelectionPolicy for FedLPolicy {
     }
 
     fn observe(&mut self, ctx: &EpochContext, report: &EpochReport) {
-        let (problem, frac) = self
-            .pending
-            .take()
-            .expect("observe without a preceding select");
+        let (problem, frac) = self.pending.take().expect("observe without a preceding select");
         self.tracker.record(&problem, &frac, report);
         self.learner.observe(ctx, report, &frac, &problem);
     }
@@ -231,10 +221,7 @@ impl SelectionPolicy for FedLPolicy {
     /// Panics when called between a `select` and its `observe`; the
     /// runner only checkpoints at epoch boundaries.
     fn snapshot_state(&self) -> Value {
-        assert!(
-            self.pending.is_none(),
-            "FedL snapshot mid-epoch: select() is awaiting observe()"
-        );
+        assert!(self.pending.is_none(), "FedL snapshot mid-epoch: select() is awaiting observe()");
         obj(vec![
             ("learner", self.learner.to_json_value()),
             ("tracker", self.tracker.to_json_value()),
@@ -316,11 +303,8 @@ mod tests {
             let d = p.select(&c_t);
             let k = d.cohort.len();
             let mut r = report_for(&c_t, &d);
-            r.per_client_iter_latency = d
-                .cohort
-                .iter()
-                .map(|&id| if id <= 1 { 0.02 } else { 2.0 })
-                .collect();
+            r.per_client_iter_latency =
+                d.cohort.iter().map(|&id| if id <= 1 { 0.02 } else { 2.0 }).collect();
             r.eta_hats = d.cohort.iter().map(|&id| if id <= 1 { 0.1 } else { 0.9 }).collect();
             r.grad_dot_delta =
                 d.cohort.iter().map(|&id| if id <= 1 { -1.0 } else { 0.5 }).collect();
@@ -345,10 +329,7 @@ mod tests {
             let r = report_for(&c_t, &d);
             p.observe(&c_t, &r);
         }
-        assert!(
-            good > bad,
-            "FedL failed to learn client quality: good {good} vs bad {bad}"
-        );
+        assert!(good > bad, "FedL failed to learn client quality: good {good} vs bad {bad}");
     }
 
     #[test]
@@ -371,10 +352,7 @@ mod tests {
     fn observe_before_select_rejected() {
         let c = ctx(vec![0], vec![1.0], 10.0, 1);
         let mut p = FedLPolicy::new(FedLConfig::default(), 1, 10.0, 1);
-        let r = report_for(
-            &c,
-            &SelectionDecision { cohort: vec![0], iterations: 1 },
-        );
+        let r = report_for(&c, &SelectionDecision { cohort: vec![0], iterations: 1 });
         p.observe(&c, &r);
     }
 }

@@ -51,6 +51,4 @@ pub mod state;
 
 pub use fedl::{FedLConfig, FedLPolicy};
 pub use policy::{EpochContext, PolicyKind, SelectionDecision, SelectionPolicy};
-pub use runner::{
-    ExperimentRunner, ResumeError, RunOutcome, ScenarioConfig, ScenarioError,
-};
+pub use runner::{ExperimentRunner, ResumeError, RunOutcome, ScenarioConfig, ScenarioError};

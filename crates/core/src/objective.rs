@@ -189,19 +189,14 @@ impl OneShot {
                     grad_f.iter().zip(z).zip(&z_prev).map(|((&g, &zi), &pi)| g * (zi - pi)).sum();
                 let mut dual = mu[0]
                     * (self.loss_all
-                        + rho
-                            * x.iter().zip(&self.g).map(|(xi, gi)| xi * gi).sum::<f64>()
-                            / avail
+                        + rho * x.iter().zip(&self.g).map(|(xi, gi)| xi * gi).sum::<f64>() / avail
                         - self.theta);
                 for i in 0..k {
                     dual += mu[1 + i] * (self.eta[i] * x[i] * rho - rho + 1.0);
                 }
-                let prox: f64 = z
-                    .iter()
-                    .zip(&z_prev)
-                    .map(|(&zi, &pi)| (zi - pi) * (zi - pi))
-                    .sum::<f64>()
-                    / (2.0 * beta);
+                let prox: f64 =
+                    z.iter().zip(&z_prev).map(|(&zi, &pi)| (zi - pi) * (zi - pi)).sum::<f64>()
+                        / (2.0 * beta);
                 let fair: f64 = x.iter().zip(&self.bonus).map(|(xi, bi)| xi * bi).sum();
                 lin + dual + prox - fair
             }
@@ -210,8 +205,7 @@ impl OneShot {
             let z_prev = z_prev.clone();
             move |z: &[f64], out: &mut [f64]| {
                 let rho = z[k];
-                let mix: f64 =
-                    z[..k].iter().zip(&self.g).map(|(xi, gi)| xi * gi).sum();
+                let mix: f64 = z[..k].iter().zip(&self.g).map(|(xi, gi)| xi * gi).sum();
                 let mut drho = grad_f[k] + mu[0] * mix / avail + (rho - z_prev[k]) / beta;
                 for i in 0..k {
                     out[i] = grad_f[i]

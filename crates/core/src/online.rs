@@ -37,10 +37,7 @@ impl StepSizes {
 
 impl ToJson for StepSizes {
     fn to_json_value(&self) -> Value {
-        obj(vec![
-            ("beta", self.beta.to_json_value()),
-            ("delta", self.delta.to_json_value()),
-        ])
+        obj(vec![("beta", self.beta.to_json_value()), ("delta", self.delta.to_json_value())])
     }
 }
 
@@ -178,9 +175,7 @@ impl OnlineLearner {
             .available
             .iter()
             .enumerate()
-            .map(|(pos, &k)| {
-                self.state.stats_mut(k, ctx.latency_hint[pos]).last_x
-            })
+            .map(|(pos, &k)| self.state.stats_mut(k, ctx.latency_hint[pos]).last_x)
             .collect();
         let anchor = FracDecision { x: anchor_x, rho: self.state.last_rho };
         let mut mu = Vec::with_capacity(ctx.available.len() + 1);
@@ -313,7 +308,11 @@ mod tests {
         let p = l.build_problem(&c);
         let d = l.decide(&c, &p);
         // Low realized loss: h0 negative, mu0 stays at 0.
-        let r = fake_report(&c, d.x.iter().enumerate().filter(|(_, &x)| x > 0.5).map(|(i, _)| c.available[i]).collect(), 0.1);
+        let r = fake_report(
+            &c,
+            d.x.iter().enumerate().filter(|(_, &x)| x > 0.5).map(|(i, _)| c.available[i]).collect(),
+            0.1,
+        );
         let cohort = if r.cohort.is_empty() { fake_report(&c, vec![0], 0.1) } else { r };
         l.observe(&c, &cohort, &d, &p);
         let (mu0, mu) = l.multipliers();
@@ -352,11 +351,7 @@ mod tests {
         // iterations; at minimum the decision must have moved.
         assert!(
             (after.rho - before.rho).abs() > 1e-6
-                || after
-                    .x
-                    .iter()
-                    .zip(&before.x)
-                    .any(|(a, b)| (a - b).abs() > 1e-6),
+                || after.x.iter().zip(&before.x).any(|(a, b)| (a - b).abs() > 1e-6),
             "dual ascent had no effect on the decision"
         );
     }

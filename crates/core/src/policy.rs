@@ -161,12 +161,9 @@ impl PolicyKind {
         fedl_config: FedLConfig,
     ) -> Box<dyn SelectionPolicy> {
         match self {
-            PolicyKind::FedL => Box::new(FedLPolicy::new(
-                fedl_config,
-                num_clients,
-                budget,
-                min_participants,
-            )),
+            PolicyKind::FedL => {
+                Box::new(FedLPolicy::new(fedl_config, num_clients, budget, min_participants))
+            }
             PolicyKind::FedAvg => Box::new(FedAvgPolicy::new()),
             PolicyKind::FedCS => Box::new(FedCsPolicy::default_deadline()),
             PolicyKind::PowD => Box::new(PowDPolicy::new(2)),

@@ -67,8 +67,7 @@ impl RegretTracker {
         let f_star = observed.f_value(&star.x, star.rho);
         self.f_online.push(f_t);
         self.f_hindsight.push(f_star);
-        let cum_regret =
-            self.regret_curve.last().copied().unwrap_or(0.0) + (f_t - f_star);
+        let cum_regret = self.regret_curve.last().copied().unwrap_or(0.0) + (f_t - f_star);
         self.regret_curve.push(cum_regret);
 
         let h = observed.h_value(&frac.x, frac.rho);
@@ -76,12 +75,7 @@ impl RegretTracker {
         for (pos, &k) in observed.ids.iter().enumerate() {
             self.h_cum[1 + k] += h[1 + pos];
         }
-        let fit: f64 = self
-            .h_cum
-            .iter()
-            .map(|&v| v.max(0.0).powi(2))
-            .sum::<f64>()
-            .sqrt();
+        let fit: f64 = self.h_cum.iter().map(|&v| v.max(0.0).powi(2)).sum::<f64>().sqrt();
         self.fit_curve.push(fit);
     }
 
@@ -148,8 +142,7 @@ pub fn hindsight_optimum(observed: &OneShot) -> FracDecision {
     };
     let gradient = |z: &[f64], out: &mut [f64]| {
         let rho = z[k];
-        let mix: f64 =
-            z[..k].iter().zip(&observed.g).map(|(xi, gi)| xi * gi).sum();
+        let mix: f64 = z[..k].iter().zip(&observed.g).map(|(xi, gi)| xi * gi).sum();
         let h0 = observed.loss_all + rho * mix / avail - observed.theta;
         let pen0 = if h0 > 0.0 { H_PENALTY } else { 0.0 };
         let mut drho: f64 = z[..k].iter().zip(&observed.tau).map(|(xi, ti)| xi * ti).sum::<f64>()

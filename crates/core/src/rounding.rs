@@ -45,8 +45,7 @@ pub fn rdcs(x: &mut [f64], rng: &mut impl Rng) -> Vec<usize> {
     }
     loop {
         // Collect the currently fractional coordinates.
-        let frac: Vec<usize> =
-            (0..x.len()).filter(|&i| is_fractional(x[i])).collect();
+        let frac: Vec<usize> = (0..x.len()).filter(|&i| is_fractional(x[i])).collect();
         if frac.len() < 2 {
             break;
         }

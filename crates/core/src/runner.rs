@@ -55,10 +55,9 @@ impl fmt::Display for ScenarioError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ScenarioError::Env(e) => write!(f, "{e}"),
-            ScenarioError::ModelShape { shape, dim } => write!(
-                f,
-                "CNN shape {shape:?} does not match the dataset dimension {dim}"
-            ),
+            ScenarioError::ModelShape { shape, dim } => {
+                write!(f, "CNN shape {shape:?} does not match the dataset dimension {dim}")
+            }
             ScenarioError::ParticipationFloor { min_participants, num_clients } => write!(
                 f,
                 "participation floor {min_participants} exceeds the {num_clients}-client population"
@@ -278,16 +277,14 @@ impl ScenarioConfig {
                 ("principal_frac", Value::Float(principal_frac)),
             ]),
             Partition::Shards => obj(vec![("kind", Value::from("shards"))]),
-            Partition::Dirichlet { alpha } => obj(vec![
-                ("kind", Value::from("dirichlet")),
-                ("alpha", Value::Float(alpha)),
-            ]),
+            Partition::Dirichlet { alpha } => {
+                obj(vec![("kind", Value::from("dirichlet")), ("alpha", Value::Float(alpha))])
+            }
         };
         let model = match &self.model {
-            ModelArch::Linear { l2 } => obj(vec![
-                ("kind", Value::from("linear")),
-                ("l2", l2.to_json_value()),
-            ]),
+            ModelArch::Linear { l2 } => {
+                obj(vec![("kind", Value::from("linear")), ("l2", l2.to_json_value())])
+            }
             ModelArch::Mlp { hidden, l2 } => obj(vec![
                 ("kind", Value::from("mlp")),
                 ("hidden", hidden.clone().to_json_value()),
@@ -308,9 +305,7 @@ impl ScenarioConfig {
                     Value::Arr(
                         blocks
                             .iter()
-                            .map(|&(oc, k)| {
-                                Value::Arr(vec![Value::from(oc), Value::from(k)])
-                            })
+                            .map(|&(oc, k)| Value::Arr(vec![Value::from(oc), Value::from(k)]))
                             .collect(),
                     ),
                 ),
@@ -320,10 +315,7 @@ impl ScenarioConfig {
         obj(vec![
             ("env", self.env.to_json_value()),
             ("task", Value::from(task)),
-            (
-                "dim_override",
-                self.dim_override.map_or(Value::Null, Value::from),
-            ),
+            ("dim_override", self.dim_override.map_or(Value::Null, Value::from)),
             ("train_size", self.train_size.to_json_value()),
             ("test_size", self.test_size.to_json_value()),
             ("partition", partition),
@@ -344,9 +336,7 @@ impl ScenarioConfig {
     ) -> Result<Box<dyn Model>, ScenarioError> {
         let mut rng = rng_for(self.env.seed, 0x40DE1);
         Ok(match &self.model {
-            ModelArch::Linear { l2 } => {
-                Box::new(SoftmaxRegression::new(input_dim, classes, *l2))
-            }
+            ModelArch::Linear { l2 } => Box::new(SoftmaxRegression::new(input_dim, classes, *l2)),
             ModelArch::Mlp { hidden, l2 } => {
                 Box::new(Mlp::new(input_dim, hidden, classes, *l2, &mut rng))
             }
@@ -382,14 +372,7 @@ impl ScenarioConfig {
         }
         let (train, test) = spec.generate();
         let model = self.try_build_model(train.dim(), train.num_classes)?;
-        Ok(EdgeEnvironment::new(
-            self.env.clone(),
-            train,
-            test,
-            self.partition,
-            model,
-            self.dane,
-        ))
+        Ok(EdgeEnvironment::new(self.env.clone(), train, test, self.partition, model, self.dane))
     }
 
     /// Builds the simulated environment for this scenario.
@@ -641,10 +624,7 @@ impl ExperimentRunner {
         let trace_events =
             Value::Arr(self.trace.events().iter().map(ToJson::to_json_value).collect());
         let payload = obj(vec![
-            (
-                "fingerprint",
-                Value::Str(Self::fingerprint(&self.scenario, self.policy.name())),
-            ),
+            ("fingerprint", Value::Str(Self::fingerprint(&self.scenario, self.policy.name()))),
             ("policy", Value::from(self.policy.name())),
             ("next_epoch", self.next_epoch.to_json_value()),
             ("sim_time", self.sim_time.to_json_value()),
@@ -755,14 +735,12 @@ impl ExperimentRunner {
 
     fn context_for(&self, epoch: usize) -> Option<EpochContext> {
         let views = self.env.views(epoch);
-        let available: Vec<usize> =
-            views.iter().filter(|v| v.available).map(|v| v.id).collect();
+        let available: Vec<usize> = views.iter().filter(|v| v.available).map(|v| v.id).collect();
         if available.is_empty() {
             return None;
         }
         let costs: Vec<f64> = available.iter().map(|&k| views[k].cost).collect();
-        let data_volumes: Vec<usize> =
-            available.iter().map(|&k| views[k].data_volume).collect();
+        let data_volumes: Vec<usize> = available.iter().map(|&k| views[k].data_volume).collect();
         // Latency estimates from the previous epoch's channel state
         // (epoch 0 uses its own state as the prior), under a nominal
         // FDMA share of n.
@@ -772,14 +750,10 @@ impl ExperimentRunner {
             &available,
             self.scenario.min_participants.max(1),
         );
-        let loss_hint: Vec<f64> =
-            available.iter().map(|&k| self.loss_hints[k]).collect();
+        let loss_hint: Vec<f64> = available.iter().map(|&k| self.loss_hints[k]).collect();
         // Current-epoch realized latencies: oracle-only 1-lookahead data.
-        let true_latency = self.env.latency_with_share(
-            epoch,
-            &available,
-            self.scenario.min_participants.max(1),
-        );
+        let true_latency =
+            self.env.latency_with_share(epoch, &available, self.scenario.min_participants.max(1));
         Some(EpochContext {
             epoch,
             num_clients: self.scenario.env.num_clients,
@@ -802,6 +776,7 @@ impl ExperimentRunner {
         self.telemetry.emit(
             "run_start",
             vec![
+                ("schema_version", Value::from(fedl_telemetry::RUN_LOG_SCHEMA_VERSION as usize)),
                 ("policy", Value::from(self.policy.name())),
                 ("budget", Value::Float(self.scenario.budget)),
                 ("num_clients", Value::from(self.scenario.env.num_clients)),
@@ -859,8 +834,7 @@ impl ExperimentRunner {
             sanitize_decision(&mut decision.cohort, &ctx.available);
             if decision.cohort.is_empty() {
                 // Defensive fallback: the floor-n cheapest clients.
-                decision.cohort =
-                    ctx.available.iter().copied().take(ctx.effective_n()).collect();
+                decision.cohort = ctx.available.iter().copied().take(ctx.effective_n()).collect();
             }
             drop(select_span);
             self.emit_select_event(epoch, &decision.cohort);
@@ -904,6 +878,8 @@ impl ExperimentRunner {
     /// counter hits it. A failed save is reported through telemetry but
     /// never interrupts the run — losing a checkpoint only costs resume
     /// granularity, while aborting would lose the run itself.
+    // `is_multiple_of` needs Rust 1.87; the workspace MSRV is 1.85.
+    #[allow(clippy::manual_is_multiple_of)]
     fn maybe_checkpoint(&mut self) {
         let Some((every, path)) = self.checkpoint.clone() else {
             return;
@@ -932,10 +908,8 @@ impl ExperimentRunner {
         if !self.telemetry.enabled() {
             return;
         }
-        let estimates: Vec<f64> = cohort
-            .iter()
-            .map(|&k| self.policy.client_estimate(k).unwrap_or(f64::NAN))
-            .collect();
+        let estimates: Vec<f64> =
+            cohort.iter().map(|&k| self.policy.client_estimate(k).unwrap_or(f64::NAN)).collect();
         self.telemetry.emit(
             "select",
             vec![
@@ -1284,8 +1258,7 @@ mod tests {
         };
         let back = RunOutcome::from_json_value(&out.to_json_value()).unwrap();
         assert_eq!(out, back);
-        let rec_back =
-            EpochRecord::from_json_value(&rec.to_json_value()).unwrap();
+        let rec_back = EpochRecord::from_json_value(&rec.to_json_value()).unwrap();
         assert_eq!(rec, rec_back);
     }
 }

@@ -11,28 +11,20 @@ use fedl_linalg::rng::Xoshiro256pp;
 /// `i64` — values at or above `2^63` would not survive an integer
 /// encoding, so each word is written as fixed-width hex text instead.
 pub fn rng_to_json(rng: &Xoshiro256pp) -> Value {
-    Value::Arr(
-        rng.state().iter().map(|w| Value::Str(format!("{w:016x}"))).collect(),
-    )
+    Value::Arr(rng.state().iter().map(|w| Value::Str(format!("{w:016x}"))).collect())
 }
 
 /// Decodes [`rng_to_json`] output back into an RNG that continues the
 /// exact stream.
 pub fn rng_from_json(v: &Value) -> Result<Xoshiro256pp, Error> {
-    let arr = v
-        .as_arr()
-        .ok_or_else(|| Error::msg("rng state must be an array"))?;
+    let arr = v.as_arr().ok_or_else(|| Error::msg("rng state must be an array"))?;
     if arr.len() != 4 {
-        return Err(Error::msg(format!(
-            "rng state must have 4 words, found {}",
-            arr.len()
-        )));
+        return Err(Error::msg(format!("rng state must have 4 words, found {}", arr.len())));
     }
     let mut s = [0u64; 4];
     for (slot, word) in s.iter_mut().zip(arr) {
-        let text = word
-            .as_str()
-            .ok_or_else(|| Error::msg("rng state word must be a hex string"))?;
+        let text =
+            word.as_str().ok_or_else(|| Error::msg("rng state word must be a hex string"))?;
         *slot = u64::from_str_radix(text, 16)
             .map_err(|e| Error::msg(format!("bad rng state word {text:?}: {e}")))?;
     }

@@ -93,16 +93,20 @@ fn full_run_emits_complete_event_stream() {
     // run_end totals agree with the outcome.
     let run_end = &events[events.len() - 2];
     assert_eq!(run_end.get("epochs").unwrap().as_i64(), Some(n as i64));
-    assert_eq!(
-        run_end.get("final_accuracy").unwrap().as_f64(),
-        Some(outcome.final_accuracy())
-    );
+    assert_eq!(run_end.get("final_accuracy").unwrap().as_f64(), Some(outcome.final_accuracy()));
 
     // Phase spans: every executed epoch times epoch/select/train/evaluate.
     let log = RunLog::parse(&handle.lines().join("\n"));
     assert!(log
         .missing_kinds(&[
-            "run_start", "select", "epoch", "train", "ledger", "span", "metrics", "run_end"
+            "run_start",
+            "select",
+            "epoch",
+            "train",
+            "ledger",
+            "span",
+            "metrics",
+            "run_end"
         ])
         .is_empty());
 
@@ -119,9 +123,10 @@ fn full_run_emits_complete_event_stream() {
     );
     let stats = log.phase_stats();
     for phase in ["epoch", "select", "train", "evaluate"] {
-        let s = stats.iter().find(|s| s.name == phase).unwrap_or_else(|| {
-            panic!("missing span stats for phase `{phase}`")
-        });
+        let s = stats
+            .iter()
+            .find(|s| s.name == phase)
+            .unwrap_or_else(|| panic!("missing span stats for phase `{phase}`"));
         assert_eq!(s.count, n, "phase `{phase}`");
     }
     // round spans: one per iteration, at least one iteration per epoch.
@@ -131,10 +136,7 @@ fn full_run_emits_complete_event_stream() {
     // The metrics snapshot aggregates the whole run.
     let metrics = events.last().unwrap().get("registry").unwrap();
     let counters = metrics.get("counters").unwrap();
-    assert_eq!(
-        counters.get("budget.epochs_charged").unwrap().as_i64(),
-        Some(n as i64)
-    );
+    assert_eq!(counters.get("budget.epochs_charged").unwrap().as_i64(), Some(n as i64));
     assert!(counters.get("ml.local_updates").unwrap().as_i64().unwrap() > 0);
     let histograms = metrics.get("histograms").unwrap();
     for name in ["span.epoch", "ml.eta_hat", "sim.epoch_latency_secs", "run.epoch_cost"] {
@@ -147,8 +149,8 @@ fn full_run_emits_complete_event_stream() {
 #[test]
 fn disabled_telemetry_matches_untelemetered_run() {
     let mut plain = ExperimentRunner::new(scenario(), PolicyKind::FedL);
-    let mut disabled = ExperimentRunner::new(scenario(), PolicyKind::FedL)
-        .with_telemetry(Telemetry::disabled());
+    let mut disabled =
+        ExperimentRunner::new(scenario(), PolicyKind::FedL).with_telemetry(Telemetry::disabled());
     let a = plain.run();
     let b = disabled.run();
     assert_eq!(a.epochs.len(), b.epochs.len());
@@ -162,8 +164,7 @@ fn disabled_telemetry_matches_untelemetered_run() {
 #[test]
 fn baseline_policies_report_nan_regret_terms() {
     let (tel, handle) = Telemetry::in_memory();
-    let mut runner =
-        ExperimentRunner::new(scenario(), PolicyKind::FedAvg).with_telemetry(tel);
+    let mut runner = ExperimentRunner::new(scenario(), PolicyKind::FedAvg).with_telemetry(tel);
     let outcome = runner.run();
     assert!(!outcome.epochs.is_empty());
     let events = handle.events().unwrap();

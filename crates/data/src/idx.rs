@@ -127,7 +127,11 @@ pub fn write_file(path: &Path, t: &IdxTensor) -> Result<(), IdxError> {
 
 /// Combines an image tensor and a label tensor into a [`Dataset`], pixel
 /// values normalized into `[0, 1]`.
-pub fn to_dataset(images: &IdxTensor, labels: &IdxTensor, num_classes: usize) -> Result<Dataset, IdxError> {
+pub fn to_dataset(
+    images: &IdxTensor,
+    labels: &IdxTensor,
+    num_classes: usize,
+) -> Result<Dataset, IdxError> {
     if images.items() != labels.items() {
         return Err(IdxError::Malformed(format!(
             "{} images but {} labels",

@@ -89,8 +89,7 @@ impl Partition {
                                 .find(|&c| !by_class[c].is_empty())
                                 .expect("non-empty dataset has a non-empty class");
                         }
-                        let n_principal =
-                            ((per_client as f64) * principal_frac).round() as usize;
+                        let n_principal = ((per_client as f64) * principal_frac).round() as usize;
                         let mut pool = Vec::with_capacity(per_client);
                         for _ in 0..n_principal {
                             let src = &by_class[principal];
@@ -193,12 +192,9 @@ pub fn label_skew(dataset: &Dataset, pools: &[Vec<usize>]) -> f64 {
             counts[dataset.labels[i]] += 1;
         }
         let n = pool.len() as f64;
-        let tv: f64 = counts
-            .iter()
-            .zip(&global_p)
-            .map(|(&c, &gp)| (c as f64 / n - gp).abs())
-            .sum::<f64>()
-            / 2.0;
+        let tv: f64 =
+            counts.iter().zip(&global_p).map(|(&c, &gp)| (c as f64 / n - gp).abs()).sum::<f64>()
+                / 2.0;
         acc += tv;
         used += 1;
     }
@@ -318,10 +314,7 @@ mod tests {
         };
         let very_skewed = skew_at(0.05);
         let mild = skew_at(100.0);
-        assert!(
-            very_skewed > mild + 0.2,
-            "alpha must control skew: {very_skewed} vs {mild}"
-        );
+        assert!(very_skewed > mild + 0.2, "alpha must control skew: {very_skewed} vs {mild}");
         assert!(mild < 0.25, "alpha=100 should be near IID, skew {mild}");
     }
 

@@ -114,8 +114,7 @@ mod tests {
             balanced.label_entropy_bits()
         );
         // A single-class subset has zero entropy.
-        let class0: Vec<usize> =
-            (0..train.len()).filter(|&i| train.labels[i] == 0).collect();
+        let class0: Vec<usize> = (0..train.len()).filter(|&i| train.labels[i] == 0).collect();
         let skewed = DatasetSummary::of(&train.subset(&class0));
         assert_eq!(skewed.label_entropy_bits(), 0.0);
         assert_eq!(skewed.dominant_class(), Some((0, 1.0)));

@@ -96,8 +96,7 @@ mod tests {
     fn mean_volume_tracks_lambda() {
         let s = stream();
         let n = 400;
-        let mean: f64 =
-            (0..n).map(|e| s.arrivals(e).len() as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|e| s.arrivals(e).len() as f64).sum::<f64>() / n as f64;
         assert!((mean - 12.0).abs() < 1.5, "empirical mean {mean} far from λ=12");
     }
 

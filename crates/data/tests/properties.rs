@@ -40,10 +40,8 @@ fn cifar_round_trips() {
         let mut rng = rng_for(seed, 0xC1F);
         let n = rng.gen_range(1..5usize);
         let labels: Vec<u8> = (0..n).map(|_| rng.gen_range(0..10u32) as u8).collect();
-        let recs: Vec<(u8, Vec<u8>)> = labels
-            .iter()
-            .map(|&l| (l, vec![l.wrapping_mul(25); cifar::IMAGE_BYTES]))
-            .collect();
+        let recs: Vec<(u8, Vec<u8>)> =
+            labels.iter().map(|&l| (l, vec![l.wrapping_mul(25); cifar::IMAGE_BYTES])).collect();
         let bytes = cifar::serialize(&recs).unwrap();
         let ds = cifar::parse(&bytes).unwrap();
         assert_eq!(ds.len(), labels.len());
@@ -58,9 +56,8 @@ fn iid_partition_is_exact_cover() {
         let mut rng = rng_for(seed, 0x11D);
         let clients = rng.gen_range(1..12usize);
         let n = rng.gen_range(20..80usize);
-        let (train, _) = SyntheticSpec::new(TaskKind::FmnistLike, n, 1, seed)
-            .with_dim(4)
-            .generate();
+        let (train, _) =
+            SyntheticSpec::new(TaskKind::FmnistLike, n, 1, seed).with_dim(4).generate();
         let pools = Partition::Iid.split(&train, clients, seed);
         let mut all: Vec<usize> = pools.iter().flatten().copied().collect();
         all.sort_unstable();
@@ -75,11 +72,9 @@ fn principal_mix_pools_have_requested_size() {
         let mut rng = rng_for(seed, 0x913);
         let clients = rng.gen_range(1..8usize);
         let frac = rng.gen_range(0.1f64..1.0);
-        let (train, _) = SyntheticSpec::new(TaskKind::FmnistLike, 120, 1, seed)
-            .with_dim(4)
-            .generate();
-        let pools =
-            Partition::PrincipalMix { principal_frac: frac }.split(&train, clients, seed);
+        let (train, _) =
+            SyntheticSpec::new(TaskKind::FmnistLike, 120, 1, seed).with_dim(4).generate();
+        let pools = Partition::PrincipalMix { principal_frac: frac }.split(&train, clients, seed);
         let per_client = 120 / clients;
         for pool in &pools {
             assert_eq!(pool.len(), per_client);

@@ -470,8 +470,10 @@ impl<'a> Parser<'a> {
                 }
                 Some(b'\\') => {
                     self.pos += 1;
-                    let esc =
-                        self.bytes.get(self.pos).ok_or_else(|| Error::at("bad escape", self.pos))?;
+                    let esc = self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error::at("bad escape", self.pos))?;
                     self.pos += 1;
                     match esc {
                         b'"' => out.push('"'),
@@ -689,8 +691,7 @@ pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Value)>) -> Value {
 
 /// Reads a required struct field of a [`FromJson`] type.
 pub fn read_field<T: FromJson>(obj: &Value, key: &str) -> Result<T, Error> {
-    T::from_json_value(obj.field(key)?)
-        .map_err(|e| Error::msg(format!("field `{key}`: {e}")))
+    T::from_json_value(obj.field(key)?).map_err(|e| Error::msg(format!("field `{key}`: {e}")))
 }
 
 #[cfg(test)]

@@ -153,9 +153,7 @@ mod tests {
     }
 
     fn test_mat(rows: usize, cols: usize, seed: f32) -> Matrix {
-        Matrix::from_fn(rows, cols, |r, c| {
-            ((r as f32 * 31.0 + c as f32 * 17.0 + seed) % 7.0) - 3.0
-        })
+        Matrix::from_fn(rows, cols, |r, c| ((r as f32 * 31.0 + c as f32 * 17.0 + seed) % 7.0) - 3.0)
     }
 
     #[test]

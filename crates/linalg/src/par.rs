@@ -110,8 +110,10 @@ where
             let in_slice = &input[range.start * in_chunk..range.end * in_chunk];
             let first = consumed;
             scope.spawn(move || {
-                for (j, (o, inp)) in
-                    mine.chunks_exact_mut(out_chunk).zip(in_slice.chunks_exact(in_chunk)).enumerate()
+                for (j, (o, inp)) in mine
+                    .chunks_exact_mut(out_chunk)
+                    .zip(in_slice.chunks_exact(in_chunk))
+                    .enumerate()
                 {
                     f(first + j, o, inp);
                 }

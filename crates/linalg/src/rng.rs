@@ -109,10 +109,7 @@ impl Xoshiro256pp {
     /// Next raw 64-bit output (the `++` scrambler).
     #[inline]
     pub fn next_raw(&mut self) -> u64 {
-        let result = self.s[0]
-            .wrapping_add(self.s[3])
-            .rotate_left(23)
-            .wrapping_add(self.s[0]);
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -503,10 +500,7 @@ impl Exponential {
     /// # Panics
     /// Panics if `lambda` is not finite and positive.
     pub fn new(lambda: f64) -> Self {
-        assert!(
-            lambda.is_finite() && lambda > 0.0,
-            "Exponential requires λ > 0 (got {lambda})"
-        );
+        assert!(lambda.is_finite() && lambda > 0.0, "Exponential requires λ > 0 (got {lambda})");
         Self { lambda }
     }
 }
@@ -556,7 +550,7 @@ impl Gamma {
             }
             let v3 = v * v * v;
             let u = 1.0 - rng.next_f64(); // (0, 1]
-            // Squeeze, then full acceptance check.
+                                          // Squeeze, then full acceptance check.
             if u < 1.0 - 0.0331 * (x * x) * (x * x) {
                 return d * v3;
             }
@@ -789,8 +783,7 @@ mod tests {
             let n = 40_000;
             let draws: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
             let mean = draws.iter().sum::<f64>() / n as f64;
-            let var =
-                draws.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / (n - 1) as f64;
+            let var = draws.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / (n - 1) as f64;
             // Poisson: mean = var = λ.
             let tol = 4.0 * (lambda / n as f64).sqrt() + 0.01;
             assert!((mean - lambda).abs() < tol, "λ={lambda}: mean {mean}");
@@ -827,8 +820,7 @@ mod tests {
             let n = 60_000;
             let draws: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
             let mean = draws.iter().sum::<f64>() / n as f64;
-            let var =
-                draws.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / (n - 1) as f64;
+            let var = draws.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / (n - 1) as f64;
             let want_mean = shape * scale;
             let want_var = shape * scale * scale;
             assert!((mean - want_mean).abs() < 0.05 * want_mean.max(1.0), "mean {mean}");

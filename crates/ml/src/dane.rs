@@ -157,11 +157,7 @@ pub fn local_update(
     assert!(!data.is_empty(), "local update on an empty working set");
     assert!(cfg.lr > 0.0, "non-positive DANE learning rate");
     assert!(cfg.local_steps > 0, "need at least one local step");
-    assert!(
-        (0.0..1.0).contains(&cfg.momentum),
-        "momentum must be in [0, 1), got {}",
-        cfg.momentum
-    );
+    assert!((0.0..1.0).contains(&cfg.momentum), "momentum must be in [0, 1), got {}", cfg.momentum);
 
     let (x_full, y_full) = full_batch(data);
     let w = model_at_w.params().clone();
@@ -362,8 +358,7 @@ mod tests {
         let cfg = DaneConfig { local_steps: 4, ..Default::default() };
         let plain = local_update(&model, &data, &j, &cfg, &mut rng_for(9, 0));
         let (tel, _handle) = Telemetry::in_memory();
-        let observed =
-            local_update_observed(&model, &data, &j, &cfg, &mut rng_for(9, 0), &tel);
+        let observed = local_update_observed(&model, &data, &j, &cfg, &mut rng_for(9, 0), &tel);
         // Instrumentation must not change the numerics.
         assert_eq!(observed.delta, plain.delta);
         assert_eq!(observed.eta_hat, plain.eta_hat);

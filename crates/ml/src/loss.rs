@@ -15,8 +15,7 @@ pub fn cross_entropy(logits: &Matrix, targets: &Matrix) -> f32 {
     let lse = ops::log_sum_exp_rows(logits);
     let mut total = 0.0f32;
     for (r, (logit_row, target_row)) in logits.row_iter().zip(targets.row_iter()).enumerate() {
-        let true_logit: f32 =
-            logit_row.iter().zip(target_row).map(|(l, t)| l * t).sum();
+        let true_logit: f32 = logit_row.iter().zip(target_row).map(|(l, t)| l * t).sum();
         total += lse[r] - true_logit;
     }
     total / logits.rows() as f32
@@ -89,8 +88,8 @@ mod tests {
                 plus.set(r, c, plus.get(r, c) + eps);
                 let mut minus = logits.clone();
                 minus.set(r, c, minus.get(r, c) - eps);
-                let fd =
-                    (cross_entropy(&plus, &targets) - cross_entropy(&minus, &targets)) / (2.0 * eps);
+                let fd = (cross_entropy(&plus, &targets) - cross_entropy(&minus, &targets))
+                    / (2.0 * eps);
                 assert!(
                     approx_eq(grad.get(r, c), fd, 1e-2),
                     "grad {} vs fd {} at ({r},{c})",

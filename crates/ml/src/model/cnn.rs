@@ -14,8 +14,8 @@
 //! image (`c · h · w` values, channel-major), matching the CIFAR binary
 //! format and the flattened IDX images.
 
-use fedl_linalg::{ops, Matrix};
 use fedl_linalg::rng::Rng;
+use fedl_linalg::{ops, Matrix};
 
 use crate::loss::{cross_entropy, cross_entropy_with_grad};
 use crate::params::ParamSet;
@@ -153,11 +153,7 @@ pub fn maxpool2(x: &Matrix, shape: MapShape) -> (Matrix, Vec<usize>) {
 
 /// Scatters pooled-gradient rows back through the recorded argmaxes —
 /// the adjoint of [`maxpool2`].
-pub fn maxpool2_backward(
-    dpooled: &Matrix,
-    argmax: &[usize],
-    shape: MapShape,
-) -> Matrix {
+pub fn maxpool2_backward(dpooled: &Matrix, argmax: &[usize], shape: MapShape) -> Matrix {
     let out = shape.after_pool();
     assert_eq!(dpooled.cols(), out.len(), "pooled width mismatch");
     assert_eq!(argmax.len(), dpooled.rows() * out.len(), "argmax length mismatch");
@@ -227,15 +223,7 @@ impl Cnn {
         let flat_dim = shape.len();
         tensors.push(Matrix::glorot(flat_dim, classes, rng));
         tensors.push(Matrix::zeros(1, classes));
-        Self {
-            params: ParamSet::new(tensors),
-            input,
-            blocks,
-            block_inputs,
-            flat_dim,
-            classes,
-            l2,
-        }
+        Self { params: ParamSet::new(tensors), input, blocks, block_inputs, flat_dim, classes, l2 }
     }
 
     /// The input map shape.
@@ -307,10 +295,7 @@ impl Cnn {
 
     /// Full forward pass with everything backprop needs.
     #[allow(clippy::type_complexity)]
-    fn forward_cached(
-        &self,
-        x: &Matrix,
-    ) -> (Matrix, Vec<(Matrix, Matrix, Vec<usize>)>, Matrix) {
+    fn forward_cached(&self, x: &Matrix) -> (Matrix, Vec<(Matrix, Matrix, Vec<usize>)>, Matrix) {
         assert_eq!(x.cols(), self.input.len(), "input dimension mismatch");
         let batch = x.rows();
         // Per block: (patches, pre-activation planar, pool argmax).

@@ -1,7 +1,7 @@
 //! Multinomial softmax regression.
 
-use fedl_linalg::{ops, Matrix};
 use fedl_linalg::rng::Rng;
+use fedl_linalg::{ops, Matrix};
 
 use crate::loss::{cross_entropy, cross_entropy_with_grad};
 use crate::params::ParamSet;
@@ -38,10 +38,8 @@ impl SoftmaxRegression {
     /// should start from distinct points).
     pub fn new_random(input_dim: usize, classes: usize, l2: f32, rng: &mut impl Rng) -> Self {
         let mut model = Self::new(input_dim, classes, l2);
-        model.params = ParamSet::new(vec![
-            Matrix::glorot(input_dim, classes, rng),
-            Matrix::zeros(1, classes),
-        ]);
+        model.params =
+            ParamSet::new(vec![Matrix::glorot(input_dim, classes, rng), Matrix::zeros(1, classes)]);
         model
     }
 

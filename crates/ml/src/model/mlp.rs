@@ -1,7 +1,7 @@
 //! Fully connected ReLU network of arbitrary depth.
 
-use fedl_linalg::{ops, Matrix};
 use fedl_linalg::rng::Rng;
+use fedl_linalg::{ops, Matrix};
 
 use crate::loss::{cross_entropy, cross_entropy_with_grad};
 use crate::params::ParamSet;
@@ -28,7 +28,13 @@ impl Mlp {
     /// Builds an MLP with the given hidden widths; `hidden` may be empty,
     /// in which case the model degenerates to (randomly initialized)
     /// softmax regression.
-    pub fn new(input_dim: usize, hidden: &[usize], classes: usize, l2: f32, rng: &mut impl Rng) -> Self {
+    pub fn new(
+        input_dim: usize,
+        hidden: &[usize],
+        classes: usize,
+        l2: f32,
+        rng: &mut impl Rng,
+    ) -> Self {
         assert!(input_dim > 0 && classes >= 2, "bad architecture");
         assert!(hidden.iter().all(|&h| h > 0), "zero-width hidden layer");
         assert!(l2 >= 0.0, "negative regularization");

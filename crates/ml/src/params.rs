@@ -229,10 +229,7 @@ mod tests {
 
     #[test]
     fn json_rejects_shape_mismatch() {
-        let v = Value::parse(
-            r#"{"tensors":[{"rows":2,"cols":2,"data":[1.0,2.0,3.0]}]}"#,
-        )
-        .unwrap();
+        let v = Value::parse(r#"{"tensors":[{"rows":2,"cols":2,"data":[1.0,2.0,3.0]}]}"#).unwrap();
         assert!(ParamSet::from_json_value(&v).is_err());
     }
 

@@ -1,7 +1,7 @@
 //! Mini-batch stochastic gradient descent.
 
-use fedl_linalg::Matrix;
 use fedl_linalg::rng::Rng;
+use fedl_linalg::Matrix;
 
 use fedl_data::Dataset;
 

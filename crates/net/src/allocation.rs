@@ -170,12 +170,16 @@ mod tests {
     fn cohort(n: usize, seed: u64) -> Vec<ClientRadio> {
         let m = ChannelModel::default();
         let mut rng = rng_for(seed, 0);
-        (0..n)
-            .map(|i| m.make_radio(50.0 + 80.0 * i as f64, 10.0, &mut rng))
-            .collect()
+        (0..n).map(|i| m.make_radio(50.0 + 80.0 * i as f64, 10.0, &mut rng)).collect()
     }
 
-    fn equal_share_makespan(radios: &[&ClientRadio], compute: &[f64], s: f64, b: f64, n0: f64) -> f64 {
+    fn equal_share_makespan(
+        radios: &[&ClientRadio],
+        compute: &[f64],
+        s: f64,
+        b: f64,
+        n0: f64,
+    ) -> f64 {
         let share = b / radios.len() as f64;
         radios
             .iter()
@@ -218,8 +222,7 @@ mod tests {
         let n0 = dbm_to_watts(-174.0);
         let strong = ClientRadio { distance_m: 50.0, tx_power_dbm: 10.0, gain: 1e-8 };
         let weak = ClientRadio { distance_m: 450.0, tx_power_dbm: 10.0, gain: 1e-11 };
-        let alloc =
-            min_makespan(&[&strong, &weak], &[0.0, 0.0], 1e6, 20e6, n0).unwrap();
+        let alloc = min_makespan(&[&strong, &weak], &[0.0, 0.0], 1e6, 20e6, n0).unwrap();
         assert!(
             alloc.bandwidth_hz[1] > alloc.bandwidth_hz[0],
             "weak channel should receive more bandwidth: {:?}",
@@ -235,11 +238,8 @@ mod tests {
         let radios = cohort(4, 5);
         let refs: Vec<&ClientRadio> = radios.iter().collect();
         let alloc = min_makespan(&refs, &[0.0; 4], 1e6, 20e6, n0).unwrap();
-        let times: Vec<f64> = refs
-            .iter()
-            .zip(&alloc.bandwidth_hz)
-            .map(|(r, &b)| 1e6 / rate_bps(r, b, n0))
-            .collect();
+        let times: Vec<f64> =
+            refs.iter().zip(&alloc.bandwidth_hz).map(|(r, &b)| 1e6 / rate_bps(r, b, n0)).collect();
         let max = times.iter().copied().fold(0.0f64, f64::max);
         let min = times.iter().copied().fold(f64::INFINITY, f64::min);
         assert!(max / min < 1.05, "unbalanced completion times {times:?}");

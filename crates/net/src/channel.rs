@@ -60,7 +60,12 @@ impl ChannelModel {
     }
 
     /// Builds a client radio at `distance_m` with the given power.
-    pub fn make_radio(&self, distance_m: f64, tx_power_dbm: f64, rng: &mut impl Rng) -> ClientRadio {
+    pub fn make_radio(
+        &self,
+        distance_m: f64,
+        tx_power_dbm: f64,
+        rng: &mut impl Rng,
+    ) -> ClientRadio {
         ClientRadio { distance_m, tx_power_dbm, gain: self.sample_gain(distance_m, rng) }
     }
 }

@@ -71,8 +71,7 @@ impl ClientProfile {
                         .gen_range(config.cycles_per_bit_range.0..=config.cycles_per_bit_range.1),
                     cpu_hz: rng.gen_range(config.cpu_hz_range.0..=config.cpu_hz_range.1),
                 };
-                let lambda =
-                    rng.gen_range(config.lambda_range.0..=config.lambda_range.1);
+                let lambda = rng.gen_range(config.lambda_range.0..=config.lambda_range.1);
                 let seed = derive_seed(config.seed, 0xC11E_0000 + id as u64);
                 let stream = OnlineStream::new(pool, lambda, seed);
                 ClientProfile {
@@ -105,8 +104,7 @@ impl ClientProfile {
                 // whichever epoch is queried first. Each step's draw is
                 // seeded independently, keeping the whole path a pure
                 // function of (client seed, epoch).
-                let mut on =
-                    rng_for(self.seed, 0xA40F).gen::<f64>() < config.p_available;
+                let mut on = rng_for(self.seed, 0xA40F).gen::<f64>() < config.p_available;
                 for e in 1..=epoch {
                     let u = rng_for(self.seed, 0xA40F ^ (e as u64) << 1).gen::<f64>();
                     on = if on { u < p_stay_on } else { u >= p_stay_off };

@@ -132,15 +132,14 @@ impl EnvConfig {
     /// A scaled-down setting for unit tests and examples: everything is
     /// the same shape, just smaller.
     pub fn small(num_clients: usize, seed: u64) -> Self {
-        Self {
-            num_clients,
-            lambda_range: (8.0, 24.0),
-            ..Self::paper_scale(seed)
-        }
+        Self { num_clients, lambda_range: (8.0, 24.0), ..Self::paper_scale(seed) }
     }
 
     /// Checks internal consistency, returning the first violated
     /// requirement as a [`SimError`] instead of panicking.
+    // The negated comparisons are load-bearing: `!(x > 0.0)` also
+    // rejects NaN, which `x <= 0.0` would let through.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn try_validate(&self) -> Result<(), SimError> {
         let fail = |msg: String| Err(SimError::InvalidConfig(msg));
         if self.num_clients == 0 {
@@ -157,10 +156,7 @@ impl EnvConfig {
         }
         self.availability.try_validate()?;
         if !(0.0..1.0).contains(&self.p_dropout) {
-            return fail(format!(
-                "dropout probability must be in [0, 1), got {}",
-                self.p_dropout
-            ));
+            return fail(format!("dropout probability must be in [0, 1), got {}", self.p_dropout));
         }
         if !(self.cost_range.0 > 0.0 && self.cost_range.0 <= self.cost_range.1) {
             return fail(format!("bad cost range {:?}", self.cost_range));
@@ -311,11 +307,7 @@ mod tests {
         assert!(c.try_validate().unwrap_err().to_string().contains("bad lambda range"));
         let mut c = EnvConfig::small(3, 0);
         c.availability = AvailabilityModel::Markov { p_stay_on: 1.5, p_stay_off: 0.5 };
-        assert!(c
-            .try_validate()
-            .unwrap_err()
-            .to_string()
-            .contains("Markov probabilities"));
+        assert!(c.try_validate().unwrap_err().to_string().contains("Markov probabilities"));
     }
 
     #[test]

@@ -151,19 +151,12 @@ impl EdgeEnvironment {
     /// (availability, cost, channel, data volume). Deterministic in the
     /// environment seed.
     pub fn views(&self, epoch: usize) -> Vec<EpochClientView> {
-        self.clients
-            .iter()
-            .map(|c| c.epoch_view(epoch, &self.config, &self.channel))
-            .collect()
+        self.clients.iter().map(|c| c.epoch_view(epoch, &self.config, &self.channel)).collect()
     }
 
     /// Ids of the clients available at epoch `t` (`E_t`).
     pub fn available(&self, epoch: usize) -> Vec<usize> {
-        self.views(epoch)
-            .into_iter()
-            .filter(|v| v.available)
-            .map(|v| v.id)
-            .collect()
+        self.views(epoch).into_iter().filter(|v| v.available).map(|v| v.id).collect()
     }
 
     /// Realized per-iteration latency `τ^loc + τ^cm` of each listed
@@ -195,9 +188,7 @@ impl EdgeEnvironment {
                 .iter()
                 .zip(&compute_secs)
                 .zip(&alloc.bandwidth_hz)
-                .map(|((r, &t), &b)| {
-                    t + self.latency.upload_bits / fedl_net::rate_bps(r, b, n0)
-                })
+                .map(|((r, &t), &b)| t + self.latency.upload_bits / fedl_net::rate_bps(r, b, n0))
                 .collect();
         }
         self.latency.per_iteration_secs(&radios, &computes, &samples)
@@ -243,8 +234,7 @@ impl EdgeEnvironment {
             assert!(k < self.clients.len(), "unknown client {k}");
             assert!(views[k].available, "client {k} is unavailable at epoch {epoch}");
         }
-        let available: Vec<usize> =
-            views.iter().filter(|v| v.available).map(|v| v.id).collect();
+        let available: Vec<usize> = views.iter().filter(|v| v.available).map(|v| v.id).collect();
 
         // Mid-epoch failures: each selected client independently drops
         // out with probability p_dropout. At least one client survives
@@ -314,15 +304,13 @@ impl EdgeEnvironment {
         // Rent is owed for the *full* selection (failures happen after
         // commitment); time is gated by the surviving stragglers.
         let per_client_iter_latency = self.per_iteration_latency(epoch, cohort);
-        let latency_secs = per_client_iter_latency.iter().copied().fold(0.0f64, f64::max)
-            * iterations as f64;
+        let latency_secs =
+            per_client_iter_latency.iter().copied().fold(0.0f64, f64::max) * iterations as f64;
         let cost: f64 = full_cohort.iter().map(|&k| views[k].cost).sum();
 
         // Global losses at the epoch-final model.
-        let global_loss_selected = weighted_loss(
-            self.server.model(),
-            cohort_data.iter().map(|(_, d)| d),
-        );
+        let global_loss_selected =
+            weighted_loss(self.server.model(), cohort_data.iter().map(|(_, d)| d));
         let all_data: Vec<Dataset> = available
             .iter()
             .map(|&k| self.clients[k].stream.epoch_dataset(&self.train, epoch))
@@ -334,19 +322,16 @@ impl EdgeEnvironment {
             // selection (failures happen after commitment), so `charged`
             // lists every rented client, survivor or not.
             let charged: Vec<usize> = full_cohort.to_vec();
-            let per_client_cost: Vec<f64> =
-                full_cohort.iter().map(|&k| views[k].cost).collect();
+            let per_client_cost: Vec<f64> = full_cohort.iter().map(|&k| views[k].cost).collect();
             // Phase split of the realized latencies (equal-share FDMA
             // only; the min-makespan allocator interleaves the phases).
             let splits = if self.config.optimal_bandwidth {
                 Vec::new()
             } else {
-                let radios: Vec<&ClientRadio> =
-                    cohort.iter().map(|&k| &views[k].radio).collect();
+                let radios: Vec<&ClientRadio> = cohort.iter().map(|&k| &views[k].radio).collect();
                 let computes: Vec<&ComputeProfile> =
                     cohort.iter().map(|&k| &self.clients[k].compute).collect();
-                let samples: Vec<usize> =
-                    cohort.iter().map(|&k| views[k].data_volume).collect();
+                let samples: Vec<usize> = cohort.iter().map(|&k| views[k].data_volume).collect();
                 self.latency.per_iteration_split(&radios, &computes, &samples)
             };
             let compute_split: Vec<f64> = splits.iter().map(|s| s.compute_secs).collect();
@@ -471,11 +456,7 @@ mod tests {
         assert_eq!(report.grad_dot_delta.len(), 2);
         assert!(report.latency_secs > 0.0);
         assert!(report.cost > 0.0);
-        let max_iter = report
-            .per_client_iter_latency
-            .iter()
-            .copied()
-            .fold(0.0f64, f64::max);
+        let max_iter = report.per_client_iter_latency.iter().copied().fold(0.0f64, f64::max);
         assert!((report.latency_secs - 3.0 * max_iter).abs() < 1e-9);
         assert!(report.global_loss_all.is_finite());
         assert!(report.global_loss_selected.is_finite());
@@ -589,10 +570,8 @@ mod tests {
                 continue;
             }
             let ids = &avail[..3];
-            let slow_eq =
-                equal.per_iteration_latency(t, ids).into_iter().fold(0.0f64, f64::max);
-            let slow_opt =
-                optimal.per_iteration_latency(t, ids).into_iter().fold(0.0f64, f64::max);
+            let slow_eq = equal.per_iteration_latency(t, ids).into_iter().fold(0.0f64, f64::max);
+            let slow_opt = optimal.per_iteration_latency(t, ids).into_iter().fold(0.0f64, f64::max);
             assert!(
                 slow_opt <= slow_eq * (1.0 + 1e-6),
                 "epoch {t}: optimal {slow_opt} > equal {slow_eq}"

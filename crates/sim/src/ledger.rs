@@ -100,6 +100,9 @@ impl BudgetLedger {
     /// the per-epoch charge history. Unlike [`BudgetLedger::charge`],
     /// replaying the history emits no `ledger` events and touches no
     /// metrics — the original run already reported those epochs.
+    // `!(c >= 0.0)` is load-bearing: it also rejects NaN, which
+    // `c < 0.0` would let through.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn restore(budget: f64, charges: Vec<f64>) -> Result<Self, SimError> {
         let mut ledger = Self::try_new(budget)?;
         if charges.iter().any(|&c| !(c >= 0.0)) {
@@ -131,7 +134,12 @@ impl BudgetLedger {
     /// least `n` participants per epoch and per-client costs in
     /// `[min_cost, max_cost]`:
     /// `C/(n·max_cost) ≤ T_C ≤ C/(n·min_cost)`.
-    pub fn stopping_epoch_bounds(budget: f64, n: usize, min_cost: f64, max_cost: f64) -> (f64, f64) {
+    pub fn stopping_epoch_bounds(
+        budget: f64,
+        n: usize,
+        min_cost: f64,
+        max_cost: f64,
+    ) -> (f64, f64) {
         assert!(n > 0 && min_cost > 0.0 && max_cost >= min_cost, "bad bound inputs");
         (budget / (n as f64 * max_cost), budget / (n as f64 * min_cost))
     }

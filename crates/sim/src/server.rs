@@ -158,13 +158,7 @@ mod tests {
         let y = train.one_hot_labels();
         let before = server.model().loss(&x, &y);
         for it in 0..12 {
-            server.run_iteration(
-                &[(0, &half_a), (1, &half_b)],
-                2,
-                AggregationNorm::Cohort,
-                0,
-                it,
-            );
+            server.run_iteration(&[(0, &half_a), (1, &half_b)], 2, AggregationNorm::Cohort, 0, it);
         }
         let after = server.model().loss(&x, &y);
         assert!(after < before * 0.85, "loss {before} -> {after}");

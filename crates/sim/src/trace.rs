@@ -141,11 +141,7 @@ impl RunTrace {
 
     /// Serializes as JSON lines (one event per line).
     pub fn to_jsonl(&self) -> String {
-        self.events
-            .iter()
-            .map(|e| e.to_json_value().to_json())
-            .collect::<Vec<_>>()
-            .join("\n")
+        self.events.iter().map(|e| e.to_json_value().to_json()).collect::<Vec<_>>().join("\n")
     }
 
     /// Parses a JSON-lines trace (inverse of [`RunTrace::to_jsonl`]).

@@ -180,9 +180,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "dimension")]
     fn rejects_dimension_mismatch() {
-        let _ = DykstraIntersection::new(vec![
-            Box::new(BoxSet::unit(2)),
-            Box::new(BoxSet::unit(3)),
-        ]);
+        let _ =
+            DykstraIntersection::new(vec![Box::new(BoxSet::unit(2)), Box::new(BoxSet::unit(3))]);
     }
 }

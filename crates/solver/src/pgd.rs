@@ -29,7 +29,14 @@ pub struct PgdOptions {
 
 impl Default for PgdOptions {
     fn default() -> Self {
-        Self { max_iters: 500, tol: 1e-9, step0: 1.0, shrink: 0.5, armijo: 1e-4, max_backtracks: 40 }
+        Self {
+            max_iters: 500,
+            tol: 1e-9,
+            step0: 1.0,
+            shrink: 0.5,
+            armijo: 1e-4,
+            max_backtracks: 40,
+        }
     }
 }
 
@@ -56,13 +63,7 @@ pub struct PgdResult {
 /// `f(x⁺) ≤ f(x) − c·‖x⁺ − x‖²/η` holds (the projected-gradient form of
 /// sufficient decrease). If backtracking exhausts its budget the current
 /// point is already numerically stationary and the loop stops.
-pub fn minimize<F, G>(
-    f: F,
-    grad: G,
-    set: &dyn Project,
-    x0: &[f64],
-    opts: &PgdOptions,
-) -> PgdResult
+pub fn minimize<F, G>(f: F, grad: G, set: &dyn Project, x0: &[f64], opts: &PgdOptions) -> PgdResult
 where
     F: Fn(&[f64]) -> f64,
     G: Fn(&[f64], &mut [f64]),

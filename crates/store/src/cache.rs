@@ -76,10 +76,7 @@ impl ResultCache {
     /// Stores `payload` under `key_text`, atomically replacing any
     /// previous entry (including a corrupt one).
     pub fn put(&self, key_text: &str, payload: &Value) -> Result<(), StoreError> {
-        let entry = obj(vec![
-            ("key", Value::from(key_text)),
-            ("payload", payload.clone()),
-        ]);
+        let entry = obj(vec![("key", Value::from(key_text)), ("payload", payload.clone())]);
         write_envelope(&self.entry_path(key_text), ENTRY_KIND, &entry)
     }
 
@@ -89,9 +86,7 @@ impl ResultCache {
         fs::read_dir(&self.dir)
             .map(|rd| {
                 rd.filter_map(|e| e.ok())
-                    .filter(|e| {
-                        e.path().extension().map_or(false, |ext| ext == "fedlstore")
-                    })
+                    .filter(|e| e.path().extension().is_some_and(|ext| ext == "fedlstore"))
                     .count()
             })
             .unwrap_or(0)

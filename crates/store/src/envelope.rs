@@ -175,10 +175,7 @@ mod tests {
             other => panic!("expected Version, got {other:?}"),
         }
         write_envelope(&path, "test", &payload()).unwrap();
-        assert!(matches!(
-            read_envelope(&path, "other-kind"),
-            Err(StoreError::Corrupt { .. })
-        ));
+        assert!(matches!(read_envelope(&path, "other-kind"), Err(StoreError::Corrupt { .. })));
     }
 
     #[test]

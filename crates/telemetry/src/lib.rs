@@ -50,10 +50,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod dashboard;
 pub mod event;
 pub mod logging;
 pub mod metrics;
-pub mod dashboard;
 pub mod report;
 mod span;
 
@@ -64,6 +64,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use fedl_json::Value;
+
+/// Version of the run-log event schema (docs/TELEMETRY.md). Emitters
+/// stamp it into `run_start.schema_version`; readers that combine
+/// several logs — the multi-run dashboard overlay — refuse to mix
+/// logs whose versions differ. Logs without the field predate the
+/// stamp and are treated as legacy version 0.
+pub const RUN_LOG_SCHEMA_VERSION: u32 = 1;
 
 pub use event::{EventSink, FileSink, MemoryHandle, MemorySink};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
@@ -255,10 +262,7 @@ mod tests {
         tel.emit_metrics();
         let events = handle.events().unwrap();
         let registry = events[0].get("registry").unwrap();
-        assert_eq!(
-            registry.get("counters").unwrap().get("c").unwrap().as_i64(),
-            Some(3)
-        );
+        assert_eq!(registry.get("counters").unwrap().get("c").unwrap().as_i64(), Some(3));
         assert_eq!(registry.get("gauges").unwrap().get("g").unwrap().as_f64(), Some(2.5));
         let h = registry.get("histograms").unwrap().get("h").unwrap();
         assert_eq!(h.get("count").unwrap().as_i64(), Some(1));

@@ -267,9 +267,7 @@ impl Registry {
         counters.sort_by(|a, b| a.0.cmp(&b.0));
         let mut gauges: Vec<(String, Value)> = lock(&self.gauges)
             .iter()
-            .map(|(n, c)| {
-                (n.clone(), Value::Float(f64::from_bits(c.load(Ordering::Relaxed))))
-            })
+            .map(|(n, c)| (n.clone(), Value::Float(f64::from_bits(c.load(Ordering::Relaxed)))))
             .collect();
         gauges.sort_by(|a, b| a.0.cmp(&b.0));
         let mut histograms: Vec<(String, Value)> = lock(&self.histograms)

@@ -110,14 +110,29 @@ impl RunLog {
         self.skipped
     }
 
+    /// The first `run_start` event, if the log holds one.
+    fn run_start(&self) -> Option<&Value> {
+        self.events.iter().find(|e| e.get("kind").and_then(Value::as_str) == Some("run_start"))
+    }
+
+    /// The run-log schema version stamped into `run_start`
+    /// (`crate::RUN_LOG_SCHEMA_VERSION` at emit time); `None` for
+    /// legacy logs that predate the stamp (or hold no `run_start`).
+    pub fn schema_version(&self) -> Option<u64> {
+        self.run_start()?.get("schema_version")?.as_i64().map(|v| v as u64)
+    }
+
+    /// The policy that produced this run (`run_start.policy`), if
+    /// recorded.
+    pub fn policy_name(&self) -> Option<&str> {
+        self.run_start()?.get("policy")?.as_str()
+    }
+
     /// How many events of each `kind` the log holds, sorted by kind.
     pub fn kind_counts(&self) -> Vec<(String, usize)> {
         let mut counts: BTreeMap<String, usize> = BTreeMap::new();
         for event in &self.events {
-            let kind = event
-                .get("kind")
-                .and_then(Value::as_str)
-                .unwrap_or("<missing kind>");
+            let kind = event.get("kind").and_then(Value::as_str).unwrap_or("<missing kind>");
             *counts.entry(kind.to_string()).or_default() += 1;
         }
         counts.into_iter().collect()
@@ -125,8 +140,7 @@ impl RunLog {
 
     /// The subset of `required` kinds absent from the log.
     pub fn missing_kinds(&self, required: &[&str]) -> Vec<String> {
-        let present: Vec<_> =
-            self.kind_counts().into_iter().map(|(kind, _)| kind).collect();
+        let present: Vec<_> = self.kind_counts().into_iter().map(|(kind, _)| kind).collect();
         required
             .iter()
             .filter(|kind| !present.iter().any(|p| p == *kind))
@@ -197,15 +211,11 @@ impl RunLog {
             event
                 .get(field)
                 .and_then(Value::as_arr)
-                .map(|arr| {
-                    arr.iter().map(|v| v.as_f64().unwrap_or(f64::NAN)).collect()
-                })
+                .map(|arr| arr.iter().map(|v| v.as_f64().unwrap_or(f64::NAN)).collect())
                 .unwrap_or_default()
         };
-        let has_select_events = self
-            .events
-            .iter()
-            .any(|e| e.get("kind").and_then(Value::as_str) == Some("select"));
+        let has_select_events =
+            self.events.iter().any(|e| e.get("kind").and_then(Value::as_str) == Some("select"));
         for event in &self.events {
             match event.get("kind").and_then(Value::as_str) {
                 Some("select") => {
@@ -240,10 +250,7 @@ impl RunLog {
                     }
                     // Time: survivors only (`cohort`), per-iteration
                     // latencies × iterations.
-                    let iters = event
-                        .get("iterations")
-                        .and_then(Value::as_f64)
-                        .unwrap_or(1.0);
+                    let iters = event.get("iterations").and_then(Value::as_f64).unwrap_or(1.0);
                     let cohort = ids(event, "cohort");
                     let latency = floats(event, "per_client_iter_latency");
                     let compute = floats(event, "per_client_compute_secs");
@@ -271,9 +278,7 @@ impl RunLog {
             }
         }
         let mut usage: Vec<ClientUsage> = usage.into_values().collect();
-        usage.sort_by(|a, b| {
-            b.payment.total_cmp(&a.payment).then(a.client.cmp(&b.client))
-        });
+        usage.sort_by(|a, b| b.payment.total_cmp(&a.payment).then(a.client.cmp(&b.client)));
         usage
     }
 
@@ -399,11 +404,7 @@ mod tests {
         assert_eq!(log.skipped_lines(), 0);
         assert_eq!(
             log.kind_counts(),
-            vec![
-                ("run_end".to_string(), 1),
-                ("run_start".to_string(), 1),
-                ("span".to_string(), 1)
-            ]
+            vec![("run_end".to_string(), 1), ("run_start".to_string(), 1), ("span".to_string(), 1)]
         );
         assert_eq!(log.missing_kinds(&["run_start", "ledger"]), vec!["ledger".to_string()]);
     }
@@ -461,9 +462,7 @@ mod tests {
     }
 
     fn select_line(epoch: usize, cohort: &str, estimates: &str) -> String {
-        format!(
-            r#"{{"kind":"select","epoch":{epoch},"cohort":{cohort},"estimates":{estimates}}}"#
-        )
+        format!(r#"{{"kind":"select","epoch":{epoch},"cohort":{cohort},"estimates":{estimates}}}"#)
     }
 
     fn train_line(epoch: usize) -> String {
@@ -519,6 +518,19 @@ mod tests {
         assert_eq!(usage.len(), 2);
         assert!(usage.iter().all(|u| u.selections == 1));
         assert!(usage.iter().all(|u| u.last_estimate.is_none()));
+    }
+
+    #[test]
+    fn run_start_surfaces_policy_and_schema_version() {
+        let log =
+            RunLog::parse(r#"{"kind":"run_start","policy":"FedL","schema_version":1,"seed":7}"#);
+        assert_eq!(log.policy_name(), Some("FedL"));
+        assert_eq!(log.schema_version(), Some(1));
+        // Legacy logs (no stamp / no run_start) report None.
+        let legacy = RunLog::parse(r#"{"kind":"run_start","policy":"FedAvg"}"#);
+        assert_eq!(legacy.policy_name(), Some("FedAvg"));
+        assert_eq!(legacy.schema_version(), None);
+        assert_eq!(RunLog::parse("").policy_name(), None);
     }
 
     #[test]

@@ -131,10 +131,8 @@ mod tests {
             }
         }
         let events = handle.events().unwrap();
-        let names: Vec<_> = events
-            .iter()
-            .map(|e| e.get("name").unwrap().as_str().unwrap().to_string())
-            .collect();
+        let names: Vec<_> =
+            events.iter().map(|e| e.get("name").unwrap().as_str().unwrap().to_string()).collect();
         assert_eq!(names, vec!["select", "evaluate", "epoch"]);
         assert_eq!(events[0].get("parent").unwrap().as_str(), Some("epoch"));
         assert_eq!(events[1].get("parent").unwrap().as_str(), Some("epoch"));

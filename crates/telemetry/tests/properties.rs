@@ -20,9 +20,7 @@ fn histogram_quantiles_track_seeded_reference() {
     // Long-tailed sample, like per-epoch latencies: exp(1) scaled into
     // a milliseconds-to-minutes range.
     let exp = Exponential::new(1.0);
-    let mut samples: Vec<f64> = (0..20_000)
-        .map(|_| 0.002 + 3.0 * exp.sample(&mut rng))
-        .collect();
+    let mut samples: Vec<f64> = (0..20_000).map(|_| 0.002 + 3.0 * exp.sample(&mut rng)).collect();
     for &s in &samples {
         hist.record(s);
     }
@@ -64,10 +62,7 @@ fn histogram_quantile_accuracy_across_distributions() {
         ),
         // Multiplicative spread: log-normal, the shape of per-client
         // compute times across heterogeneous hardware.
-        (
-            "log-normal",
-            Box::new(|rng: &mut Xoshiro256pp| Normal::new(-1.0, 0.8).sample(rng).exp()),
-        ),
+        ("log-normal", Box::new(|rng: &mut Xoshiro256pp| Normal::new(-1.0, 0.8).sample(rng).exp())),
     ];
     for (seed, (name, draw)) in cases.into_iter().enumerate() {
         let mut rng = Xoshiro256pp::seed_from_u64(0xACC0 + seed as u64);
@@ -132,11 +127,8 @@ fn span_tree_and_events_round_trip_as_jsonl() {
     let log = RunLog::parse(&handle.lines().join("\n"));
     assert!(log.missing_kinds(&["run_start", "span", "metrics", "run_end"]).is_empty());
 
-    let spans: Vec<&fedl_json::Value> = log
-        .events()
-        .iter()
-        .filter(|e| e.get("kind").unwrap().as_str() == Some("span"))
-        .collect();
+    let spans: Vec<&fedl_json::Value> =
+        log.events().iter().filter(|e| e.get("kind").unwrap().as_str() == Some("span")).collect();
     assert_eq!(spans.len(), 12, "3 epochs x (select + round + train + epoch)");
     for span in &spans {
         let name = span.get("name").unwrap().as_str().unwrap();
@@ -166,16 +158,10 @@ fn span_tree_and_events_round_trip_as_jsonl() {
     assert!(epoch.p50 <= epoch.p99 && epoch.p99 <= epoch.max);
 
     // The metrics snapshot in the log matches the live registry.
-    let metrics = log
-        .events()
-        .iter()
-        .find(|e| e.get("kind").unwrap().as_str() == Some("metrics"))
-        .unwrap();
+    let metrics =
+        log.events().iter().find(|e| e.get("kind").unwrap().as_str() == Some("metrics")).unwrap();
     let registry = metrics.get("registry").unwrap();
-    assert_eq!(
-        registry.get("counters").unwrap().get("epochs").unwrap().as_i64(),
-        Some(3)
-    );
+    assert_eq!(registry.get("counters").unwrap().get("epochs").unwrap().as_i64(), Some(3));
     assert_eq!(
         registry
             .get("histograms")

@@ -36,8 +36,7 @@ fn main() {
 
     // The same run, killed after 7 epochs. Periodic snapshots land
     // every 3 epochs; one explicit save marks the interruption point.
-    let telemetry =
-        Telemetry::to_file(out.join("checkpoint_run.jsonl")).expect("create run log");
+    let telemetry = Telemetry::to_file(out.join("checkpoint_run.jsonl")).expect("create run log");
     let mut interrupted = ExperimentRunner::new(scenario.clone(), PolicyKind::FedL)
         .checkpoint_every(3, &snapshot)
         .with_telemetry(telemetry.clone());

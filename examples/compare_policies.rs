@@ -21,9 +21,7 @@ fn main() {
         let scenario = ScenarioConfig::small_fmnist(30, 900.0, 5).with_seed(42);
         let mut runner = ExperimentRunner::new(scenario, kind);
         let out = runner.run();
-        let tta = out
-            .time_to_accuracy(target)
-            .map_or("never".to_string(), |t| format!("{t:.1}"));
+        let tta = out.time_to_accuracy(target).map_or("never".to_string(), |t| format!("{t:.1}"));
         println!(
             "{:<8} {:>7} {:>12.3} {:>14.1} {:>16}",
             out.policy,

@@ -1,0 +1,31 @@
+//! Produces one telemetry run log per policy on the same sample path —
+//! the input for the multi-run dashboard overlay (the paper's §6
+//! comparison protocol: identical clients, availability, costs and
+//! data arrivals; only the selection rule differs).
+//!
+//! ```bash
+//! cargo run --release --example policy_run_logs
+//! cargo run --release -p fedl-bench --bin experiments -- \
+//!     dashboard results/overlay_fedl_run.jsonl results/overlay_fedavg_run.jsonl \
+//!     --html results/overlay.html
+//! ```
+
+use fedl::prelude::*;
+
+fn main() {
+    for (kind, path) in [
+        (PolicyKind::FedL, "results/overlay_fedl_run.jsonl"),
+        (PolicyKind::FedAvg, "results/overlay_fedavg_run.jsonl"),
+    ] {
+        let scenario = ScenarioConfig::small_fmnist(15, 600.0, 4).with_seed(21);
+        let telemetry = Telemetry::to_file(path).expect("create run log");
+        let mut runner = ExperimentRunner::new(scenario, kind).with_telemetry(telemetry);
+        let out = runner.run();
+        println!(
+            "{:<8} {:>3} epochs, final acc {:.3} -> {path}",
+            out.policy,
+            out.epochs.len(),
+            out.final_accuracy(),
+        );
+    }
+}

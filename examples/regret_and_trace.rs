@@ -28,8 +28,7 @@ fn main() {
         scenario.min_participants,
     ));
     let telemetry = Telemetry::to_file(RUN_LOG).expect("create run log");
-    let mut runner =
-        ExperimentRunner::with_policy(scenario, env, policy).with_telemetry(telemetry);
+    let mut runner = ExperimentRunner::with_policy(scenario, env, policy).with_telemetry(telemetry);
     let outcome = runner.run();
 
     // ── Corollary 1: dynamic regret / fit curves ──

@@ -1,5 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 verification: hermetic offline build + tests + docs.
+# Tier-1 verification: hermetic offline build + tests + docs + the
+# observatory round-trips, organised as named stages.
+#
+#   scripts/ci.sh                 run every stage in order
+#   scripts/ci.sh --list          print the stage names and exit
+#   scripts/ci.sh --stage NAME    run one stage (repeatable, any order)
 #
 # --offline is load-bearing: the workspace must never need the crates.io
 # registry (see docs/BUILD.md). A PR that introduces a registry
@@ -7,77 +12,191 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release --offline"
-cargo build --release --offline --workspace
+STAGES=(build test doc fmt clippy telemetry checkpoint cache bench-gate bench-history dashboard overlay)
 
-echo "==> cargo test -q --offline"
-cargo test -q --offline --workspace
+run_exp() {
+    cargo run --release --offline -p fedl-bench --bin experiments -- "$@"
+}
 
-echo "==> cargo doc --no-deps --offline"
-RUSTDOCFLAGS="${RUSTDOCFLAGS:--D warnings}" cargo doc --no-deps --offline --workspace
+stage_build() {
+    cargo build --release --offline --workspace
+}
+
+stage_test() {
+    cargo test -q --offline --workspace
+}
+
+stage_doc() {
+    RUSTDOCFLAGS="${RUSTDOCFLAGS:--D warnings}" cargo doc --no-deps --offline --workspace
+}
+
+# Lint stages are guarded: the hermetic container may lack the rustfmt /
+# clippy components, and a missing tool must not fail CI — it must say
+# so, loudly, so the gap is visible in the log.
+stage_fmt() {
+    if cargo fmt --version > /dev/null 2>&1; then
+        cargo fmt --check
+    else
+        echo "SKIPPED (tool missing): rustfmt is not installed"
+    fi
+}
+
+stage_clippy() {
+    if cargo clippy --version > /dev/null 2>&1; then
+        cargo clippy --offline --workspace -- -D warnings
+    else
+        echo "SKIPPED (tool missing): clippy is not installed"
+    fi
+}
 
 # Telemetry smoke: a real run must emit a parseable JSONL log holding
 # every event kind in the schema (docs/TELEMETRY.md), and the
 # telemetry-report subcommand must accept it.
-echo "==> telemetry run log round-trip"
-cargo run --release --offline --example regret_and_trace > /dev/null
-cargo run --release --offline -p fedl-bench --bin experiments -- \
-    telemetry-report results/regret_trace_run.jsonl \
-    --require run_start,epoch,train,ledger,span,metrics,run_end
+stage_telemetry() {
+    cargo run --release --offline --example regret_and_trace > /dev/null
+    run_exp telemetry-report results/regret_trace_run.jsonl \
+        --require run_start,epoch,train,ledger,span,metrics,run_end
+}
 
 # Checkpoint round-trip (docs/CHECKPOINT.md): run a few epochs, "kill"
 # the process, resume from the snapshot, and demand a bit-identical
 # RunOutcome. The example exits non-zero on any divergence; the report
 # then proves the save/restore events actually flowed through telemetry.
-echo "==> checkpoint interrupt/resume round-trip"
-cargo run --release --offline --example checkpoint_resume > /dev/null
-cargo run --release --offline -p fedl-bench --bin experiments -- \
-    telemetry-report results/checkpoint_run.jsonl \
-    --require checkpoint.saved,checkpoint.restored,epoch,run_start,run_end
+stage_checkpoint() {
+    cargo run --release --offline --example checkpoint_resume > /dev/null
+    run_exp telemetry-report results/checkpoint_run.jsonl \
+        --require checkpoint.saved,checkpoint.restored,epoch,run_start,run_end
+}
 
 # Warm result cache: a repeat figure invocation must be served from the
 # content-addressed cache (cache.hit required in the run log) and must
 # regenerate byte-identical CSVs.
-echo "==> warm result cache serves identical figures"
-CACHE_OUT=target/ci_cache_stage
-rm -rf "$CACHE_OUT"
-cargo run --release --offline -p fedl-bench --bin experiments -- \
-    --quick --out "$CACHE_OUT" --resume fig6 > /dev/null
-cp "$CACHE_OUT"/fig6_iid.csv "$CACHE_OUT"/fig6_iid.cold.csv
-cp "$CACHE_OUT"/fig6_noniid.csv "$CACHE_OUT"/fig6_noniid.cold.csv
-cargo run --release --offline -p fedl-bench --bin experiments -- \
-    --quick --out "$CACHE_OUT" --resume fig6 > /dev/null
-cmp "$CACHE_OUT"/fig6_iid.cold.csv "$CACHE_OUT"/fig6_iid.csv
-cmp "$CACHE_OUT"/fig6_noniid.cold.csv "$CACHE_OUT"/fig6_noniid.csv
-cargo run --release --offline -p fedl-bench --bin experiments -- \
-    telemetry-report "$CACHE_OUT"/cache_run.jsonl --require cache.hit
-rm -rf "$CACHE_OUT"
+stage_cache() {
+    local out=target/ci_cache_stage
+    rm -rf "$out"
+    run_exp --quick --out "$out" --resume fig6 > /dev/null
+    cp "$out"/fig6_iid.csv "$out"/fig6_iid.cold.csv
+    cp "$out"/fig6_noniid.csv "$out"/fig6_noniid.cold.csv
+    run_exp --quick --out "$out" --resume fig6 > /dev/null
+    cmp "$out"/fig6_iid.cold.csv "$out"/fig6_iid.csv
+    cmp "$out"/fig6_noniid.cold.csv "$out"/fig6_noniid.csv
+    run_exp telemetry-report "$out"/cache_run.jsonl --require cache.hit
+    rm -rf "$out"
+}
 
-# Perf snapshot + regression gate (docs/OBSERVATORY.md): two quick
-# snapshots taken back-to-back on the same machine must compare clean —
-# the noise-aware gate exists precisely so this stage is not flaky.
-echo "==> bench snapshot + regression gate"
-BENCH_OUT=target/ci_bench_stage
-rm -rf "$BENCH_OUT"
-cargo run --release --offline -p fedl-bench --bin experiments -- \
-    bench --quick --out "$BENCH_OUT/BENCH_base.json" > /dev/null
-cargo run --release --offline -p fedl-bench --bin experiments -- \
-    bench --quick --out "$BENCH_OUT/BENCH_new.json" > /dev/null
-cargo run --release --offline -p fedl-bench --bin experiments -- \
-    bench-compare "$BENCH_OUT/BENCH_base.json" "$BENCH_OUT/BENCH_new.json"
-rm -rf "$BENCH_OUT"
+# Perf snapshot + pairwise regression gate (docs/OBSERVATORY.md): two
+# quick snapshots taken back-to-back on the same machine must compare
+# clean — the noise-aware gate exists precisely so this stage is not
+# flaky.
+stage_bench_gate() {
+    local out=target/ci_bench_stage
+    rm -rf "$out"
+    run_exp bench --quick --out "$out/BENCH_base.json" > /dev/null
+    run_exp bench --quick --out "$out/BENCH_new.json" > /dev/null
+    run_exp bench-compare "$out/BENCH_base.json" "$out/BENCH_new.json"
+    rm -rf "$out"
+}
 
-# Attribution dashboard: the telemetry round-trip log above must render
-# an HTML dashboard containing all four chart panels.
-echo "==> attribution dashboard renders all four charts"
-DASH_HTML=target/ci_dashboard.html
-rm -f "$DASH_HTML"
-cargo run --release --offline -p fedl-bench --bin experiments -- \
-    dashboard results/regret_trace_run.jsonl --html "$DASH_HTML" > /dev/null
-for chart in regret-curve budget-burndown selection-heatmap phase-breakdown; do
-    grep -q "svg id=\"$chart\"" "$DASH_HTML" \
-        || { echo "dashboard HTML is missing chart '$chart'" >&2; exit 1; }
+# Benchmark history round-trip (docs/OBSERVATORY.md): append two quick
+# snapshots to a fresh history file, gate the second against the rolling
+# baseline (must pass clean — same machine, back to back), and render
+# the trend report, whose HTML must contain a trend chart per kernel.
+stage_bench_history() {
+    local out=target/ci_bench_history
+    rm -rf "$out"
+    run_exp bench --quick --out "$out/s1.json" > /dev/null
+    run_exp bench --quick --out "$out/s2.json" > /dev/null
+    run_exp bench-history append "$out/s1.json" --history "$out/BENCH_HISTORY.jsonl"
+    run_exp bench-history append "$out/s2.json" --history "$out/BENCH_HISTORY.jsonl"
+    run_exp bench-history gate "$out/s2.json" --history "$out/BENCH_HISTORY.jsonl"
+    run_exp bench-history report --history "$out/BENCH_HISTORY.jsonl" \
+        --html "$out/trend.html" > /dev/null
+    grep -q 'svg id="trend-' "$out/trend.html" \
+        || { echo "trend report HTML is missing the trend charts" >&2; exit 1; }
+    rm -rf "$out"
+}
+
+# Attribution dashboard: the telemetry round-trip log must render an
+# HTML dashboard containing all four chart panels.
+stage_dashboard() {
+    [ -f results/regret_trace_run.jsonl ] \
+        || cargo run --release --offline --example regret_and_trace > /dev/null
+    local html=target/ci_dashboard.html
+    rm -f "$html"
+    run_exp dashboard results/regret_trace_run.jsonl --html "$html" > /dev/null
+    for chart in regret-curve budget-burndown selection-heatmap phase-breakdown; do
+        grep -q "svg id=\"$chart\"" "$html" \
+            || { echo "dashboard HTML is missing chart '$chart'" >&2; exit 1; }
+    done
+    rm -f "$html"
+}
+
+# Multi-run overlay: two policies on the same sample path must overlay
+# into one dashboard with both policy legends and both overlay charts.
+stage_overlay() {
+    cargo run --release --offline --example policy_run_logs > /dev/null
+    local html=target/ci_overlay.html
+    rm -f "$html"
+    run_exp dashboard results/overlay_fedl_run.jsonl results/overlay_fedavg_run.jsonl \
+        --html "$html" > /dev/null
+    for chart in regret-overlay budget-overlay; do
+        grep -q "svg id=\"$chart\"" "$html" \
+            || { echo "overlay HTML is missing chart '$chart'" >&2; exit 1; }
+    done
+    for policy in FedL FedAvg; do
+        grep -q "class=\"legend\">$policy<" "$html" \
+            || { echo "overlay HTML is missing the $policy legend" >&2; exit 1; }
+    done
+    rm -f "$html"
+}
+
+usage() {
+    echo "usage: scripts/ci.sh [--list] [--stage NAME]..." >&2
+    echo "stages: ${STAGES[*]}" >&2
+}
+
+SELECTED=()
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --list)
+            printf '%s\n' "${STAGES[@]}"
+            exit 0
+            ;;
+        --stage)
+            [ $# -ge 2 ] || { echo "--stage needs a name" >&2; usage; exit 1; }
+            SELECTED+=("$2")
+            shift 2
+            ;;
+        -h|--help)
+            usage
+            exit 0
+            ;;
+        *)
+            echo "unknown argument: $1" >&2
+            usage
+            exit 1
+            ;;
+    esac
 done
-rm -f "$DASH_HTML"
+[ ${#SELECTED[@]} -gt 0 ] || SELECTED=("${STAGES[@]}")
 
+# Validate the selection up front so a typo fails before any work runs.
+for name in "${SELECTED[@]}"; do
+    case " ${STAGES[*]} " in
+        *" $name "*) ;;
+        *) echo "unknown stage: $name" >&2; usage; exit 1 ;;
+    esac
+done
+
+SUMMARY=()
+for name in "${SELECTED[@]}"; do
+    echo "==> stage: $name"
+    start=$(date +%s)
+    "stage_${name//-/_}"
+    end=$(date +%s)
+    SUMMARY+=("$(printf '%-14s %4ds' "$name" "$((end - start))")")
+done
+
+echo "==> stage summary"
+printf '    %s\n' "${SUMMARY[@]}"
 echo "==> OK"

@@ -35,15 +35,11 @@ fn fedl_full_run_learns_and_respects_budget() {
 
 #[test]
 fn all_four_policies_run_on_the_same_sample_path() {
-    let outcomes: Vec<RunOutcome> = [
-        PolicyKind::FedL,
-        PolicyKind::FedCS,
-        PolicyKind::FedAvg,
-        PolicyKind::PowD,
-    ]
-    .into_iter()
-    .map(|kind| ExperimentRunner::new(tiny_scenario(2), kind).run())
-    .collect();
+    let outcomes: Vec<RunOutcome> =
+        [PolicyKind::FedL, PolicyKind::FedCS, PolicyKind::FedAvg, PolicyKind::PowD]
+            .into_iter()
+            .map(|kind| ExperimentRunner::new(tiny_scenario(2), kind).run())
+            .collect();
     for out in &outcomes {
         assert!(!out.epochs.is_empty(), "{} ran no epochs", out.policy);
         assert!(out.total_sim_time() > 0.0);
@@ -83,17 +79,13 @@ fn different_seeds_give_different_runs() {
     let a = ExperimentRunner::new(tiny_scenario(4), PolicyKind::FedAvg).run();
     let b = ExperimentRunner::new(tiny_scenario(5), PolicyKind::FedAvg).run();
     let same = a.epochs.len() == b.epochs.len()
-        && a.epochs
-            .iter()
-            .zip(&b.epochs)
-            .all(|(x, y)| (x.sim_time - y.sim_time).abs() < 1e-12);
+        && a.epochs.iter().zip(&b.epochs).all(|(x, y)| (x.sim_time - y.sim_time).abs() < 1e-12);
     assert!(!same, "independent seeds produced identical sample paths");
 }
 
 #[test]
 fn non_iid_scenario_runs_end_to_end() {
-    let mut runner =
-        ExperimentRunner::new(tiny_scenario(6).non_iid(), PolicyKind::FedL);
+    let mut runner = ExperimentRunner::new(tiny_scenario(6).non_iid(), PolicyKind::FedL);
     let out = runner.run();
     assert!(!out.epochs.is_empty());
     assert!(out.final_accuracy() > 0.1, "non-IID run collapsed");

@@ -23,12 +23,7 @@ fn idx_disk_round_trip_preserves_data() {
 
     let images = idx::IdxTensor {
         dims: vec![train.len() as u32, 7, 7],
-        data: train
-            .features
-            .as_slice()
-            .iter()
-            .map(|&v| (v * 255.0).round() as u8)
-            .collect(),
+        data: train.features.as_slice().iter().map(|&v| (v * 255.0).round() as u8).collect(),
     };
     let labels = idx::IdxTensor {
         dims: vec![train.len() as u32],
@@ -58,21 +53,14 @@ fn federated_run_on_cifar_binary_files() {
     let to_records = |ds: &fedl::data::Dataset| -> Vec<(u8, Vec<u8>)> {
         (0..ds.len())
             .map(|r| {
-                let img: Vec<u8> = ds
-                    .features
-                    .row(r)
-                    .iter()
-                    .map(|&v| (v * 255.0).round() as u8)
-                    .collect();
+                let img: Vec<u8> =
+                    ds.features.row(r).iter().map(|&v| (v * 255.0).round() as u8).collect();
                 (ds.labels[r] as u8, img)
             })
             .collect()
     };
-    std::fs::write(
-        dir.join("data_batch_1.bin"),
-        cifar::serialize(&to_records(&train)).unwrap(),
-    )
-    .unwrap();
+    std::fs::write(dir.join("data_batch_1.bin"), cifar::serialize(&to_records(&train)).unwrap())
+        .unwrap();
     let train_loaded = cifar::read_file(&dir.join("data_batch_1.bin")).unwrap();
     assert_eq!(train_loaded.len(), 240);
     assert_eq!(train_loaded.dim(), cifar::IMAGE_BYTES);

@@ -58,12 +58,7 @@ fn multipliers_stay_bounded_over_a_full_run() {
     // must not blow up over a full budget-length run.
     let scenario = ScenarioConfig::small_fmnist(10, 400.0, 3).with_seed(23);
     let env = scenario.build_env();
-    let policy = Box::new(FedLPolicy::new(
-        FedLConfig::default(),
-        10,
-        400.0,
-        3,
-    ));
+    let policy = Box::new(FedLPolicy::new(FedLConfig::default(), 10, 400.0, 3));
     let mut runner = ExperimentRunner::with_policy(scenario, env, policy);
     let out = runner.run();
     assert!(out.epochs.len() > 5, "run too short to be meaningful");
