@@ -182,7 +182,7 @@ pub const USAGE: &str = "usage: experiments [--quick] [--out DIR] \
 [--cache-dir DIR] [--resume] [--no-cache] \
 <fig2|fig3|fig4|fig5|fig6|fig7|headline|regret|rounding|stepsize|aggregation|oracle|fairness|bandwidth|dropout|replicate|all>\n\
        experiments telemetry-report FILE [--require kind1,kind2,...]\n\
-       experiments bench [--quick] [--out FILE.json|DIR]\n\
+       experiments bench [--quick] [--out FILE.json|DIR]  (incl. scale/ kernels: 10k tier quick, +100k/1m paper)\n\
        experiments bench-compare BASE.json NEW.json [--threshold PCT]\n\
        experiments bench-history append SNAP.json [--history FILE]\n\
        experiments bench-history report [--history FILE] [--html FILE.html]\n\

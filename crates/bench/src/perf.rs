@@ -4,8 +4,9 @@
 //!
 //! [`run_suite`] times a fixed, seeded set of micro- and macro-kernels
 //! — GEMM and softmax (S1), a DANE local solve (S2), RDCS dependent
-//! rounding (S5/S6), the FedL online-learner score update, and one full
-//! quick-profile federated epoch end-to-end — on the in-tree
+//! rounding (S5/S6), the FedL online-learner score update, the columnar
+//! scheduler at the 10k/100k/1M scale tiers (docs/SCALE.md), and one
+//! full quick-profile federated epoch end-to-end — on the in-tree
 //! [`crate::timing`] harness, and packages the per-kernel statistics
 //! into a [`BenchSnapshot`] serialisable to `BENCH.json` via
 //! `fedl-json`. [`compare`] loads two snapshots and applies a
@@ -23,8 +24,9 @@ use crate::timing::{self, measure_with_budget, Measurement};
 
 /// Version of the `BENCH.json` schema. Bump when kernel names, fields,
 /// or measurement semantics change; `bench-compare` refuses to compare
-/// snapshots across versions.
-pub const BENCH_SCHEMA_VERSION: u32 = 1;
+/// snapshots across versions. v2 added the `scale/` kernel family
+/// (columnar scheduler passes at the 10k/100k/1M tiers, docs/SCALE.md).
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
 
 /// Half-width multiplier of the noise band `mean ± K·std` used by the
 /// regression test.
@@ -292,6 +294,73 @@ fn suite_score_update(kernels: &mut Vec<KernelStats>, budget: Duration, profile:
     });
 }
 
+/// The columnar scheduler at scale-tier populations (docs/SCALE.md):
+/// one full FedL score update — dense problem assembly from the
+/// population/epoch columns plus the realized-epoch fold-back,
+/// everything except the PGD descent, whose iteration count does not
+/// grow with the population — and RDCS rounding over a tier-sized
+/// fractional vector. The quick profile measures the 10k tier; paper
+/// adds 100k and 1M.
+fn suite_scale(kernels: &mut Vec<KernelStats>, budget: Duration, profile: Profile) {
+    use fedl_core::columnar::scale_context;
+    use fedl_core::objective::FracDecision;
+    use fedl_core::online::{OnlineLearner, StepSizes};
+    use fedl_core::rounding;
+    use fedl_linalg::rng::{rng_for, Rng};
+    use fedl_net::{ChannelModel, LatencyModel};
+    use fedl_sim::{ClientColumns, EnvConfig, EpochReport, ScaleTier};
+
+    let tiers: &[ScaleTier] = match profile {
+        Profile::Paper => &ScaleTier::ALL,
+        Profile::Quick => &[ScaleTier::Tier10k],
+    };
+    for &tier in tiers {
+        let m = tier.num_clients();
+        let config = EnvConfig::scale(tier, 0xBE9);
+        let channel = ChannelModel::default();
+        let cols = ClientColumns::build(&config, &channel);
+        let e0 = cols.epoch_columns(0, &config, &channel);
+        let latency = LatencyModel::paper_defaults(config.upload_bits, 64.0);
+        let n = (m / 8).max(1);
+        // Epoch 0 hints from its own realization, like the runner.
+        let ctx = scale_context(&cols, &e0, &e0, &latency, 1e9, n, config.seed)
+            .expect("scale tiers leave someone available");
+        let avail = ctx.available.len();
+        let cohort: Vec<usize> = ctx.available.iter().copied().take(64).collect();
+        let nc = cohort.len();
+        let report = EpochReport {
+            epoch: 0,
+            cohort,
+            iterations: 2,
+            latency_secs: 0.4,
+            per_client_iter_latency: vec![0.2; nc],
+            cost: nc as f64,
+            eta_hats: vec![0.4f32; nc],
+            global_loss_all: 1.4,
+            global_loss_selected: 1.3,
+            grad_dot_delta: vec![-0.2f32; nc],
+            local_losses: vec![1.4f32; nc],
+            failed: vec![],
+        };
+        let frac = FracDecision { x: vec![0.1; avail], rho: 2.0 };
+        let mut learner = OnlineLearner::new(m, StepSizes::fixed(0.3, 0.3), 1.0, 10.0, 0.1);
+        let label = tier.label();
+        measure_kernel(kernels, budget, &format!("scale/score_update_{label}"), || {
+            let problem = learner.build_problem(&ctx);
+            learner.observe(&ctx, &report, &frac, &problem);
+            std::hint::black_box(learner.multipliers().0)
+        });
+
+        let mut seed_rng = rng_for(0xBEA, m as u64);
+        let x0: Vec<f64> = (0..m).map(|_| seed_rng.next_f64()).collect();
+        let mut rng = rng_for(0xBEB, m as u64);
+        measure_kernel(kernels, budget, &format!("scale/rounding_{label}"), || {
+            let mut x = x0.clone();
+            std::hint::black_box(rounding::rdcs(&mut x, &mut rng))
+        });
+    }
+}
+
 /// One full quick-profile federated epoch end-to-end: selection, local
 /// DANE solves, aggregation, payment, and evaluation — the unit of work
 /// every figure multiplies by hundreds. Always measured at quick scale
@@ -323,6 +392,7 @@ pub fn run_suite(profile: Profile) -> BenchSnapshot {
     suite_dane(&mut kernels, budget, profile);
     suite_rounding(&mut kernels, budget, profile);
     suite_score_update(&mut kernels, budget, profile);
+    suite_scale(&mut kernels, budget, profile);
     suite_epoch(&mut kernels, budget);
     BenchSnapshot {
         schema_version: BENCH_SCHEMA_VERSION,
@@ -572,14 +642,16 @@ mod tests {
     }
 
     #[test]
-    fn quick_suite_covers_the_five_kernel_families() {
+    fn quick_suite_covers_every_kernel_family() {
         // FEDL_BENCH_FAST-equivalent: the quick suite itself is the
         // smallest configuration; just run it once end-to-end.
         let snap = run_suite(Profile::Quick);
         assert_eq!(snap.schema_version, BENCH_SCHEMA_VERSION);
         assert_eq!(snap.profile, "quick");
         assert!(snap.threads >= 1);
-        for prefix in ["gemm/", "linalg/softmax", "ml/dane", "core/rdcs", "core/ucb", "epoch/"] {
+        for prefix in
+            ["gemm/", "linalg/softmax", "ml/dane", "core/rdcs", "core/ucb", "scale/", "epoch/"]
+        {
             assert!(
                 snap.kernels.iter().any(|k| k.name.starts_with(prefix)),
                 "suite is missing a {prefix} kernel: {:?}",

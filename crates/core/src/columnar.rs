@@ -1,0 +1,204 @@
+//! Compute-only bridge from the simulator's columnar population to the
+//! policy-facing [`EpochContext`] — the million-client scale path
+//! (docs/SCALE.md).
+//!
+//! The experiment runner builds its contexts through a full
+//! [`fedl_sim::EdgeEnvironment`] (datasets, partitions, a seated model).
+//! At 10⁵–10⁶ clients that apparatus is dead weight for the *scheduler*:
+//! selection touches only availability, prices, volumes, and latency
+//! estimates. [`scale_context`] derives all of those directly from
+//! [`ClientColumns`]/[`EpochColumns`] with dense parallel passes and no
+//! per-client structs, producing the same [`EpochContext`] the runner
+//! would (identical latency arithmetic, same never-observed loss prior),
+//! so a policy can be driven — and benchmarked — at population sizes the
+//! training loop cannot reach.
+
+use fedl_linalg::par::par_zip_chunks;
+use fedl_net::{rate_bps, ClientRadio, LatencyModel};
+use fedl_sim::{ClientColumns, EpochColumns};
+
+use crate::policy::EpochContext;
+
+/// Per-iteration latency estimate of each listed client from column
+/// data, under a nominal FDMA share of `bandwidth / share_count` — the
+/// columnar equivalent of `EdgeEnvironment::latency_with_share`, same
+/// arithmetic bit-for-bit: `τ = e_k·D_k·bits/π_k + s/rate(B/n)`.
+///
+/// `realized` supplies the epoch's channel gains and data volumes;
+/// `ids` are the clients to estimate (any subset, any order).
+///
+/// # Panics
+/// Panics if `share_count` is zero or an id is out of range.
+pub fn nominal_latency(
+    cols: &ClientColumns,
+    realized: &EpochColumns,
+    latency: &LatencyModel,
+    share_count: usize,
+    ids: &[usize],
+) -> Vec<f64> {
+    assert!(share_count > 0, "share count must be positive");
+    let share_hz = latency.bandwidth_hz / share_count as f64;
+    let n0 = fedl_net::dbm_to_watts(latency.noise_dbm_per_hz);
+    let mut out = vec![0.0f64; ids.len()];
+    par_zip_chunks(&mut out, 1, ids, 1, |_, tau, id| {
+        let k = id[0];
+        let radio = ClientRadio {
+            distance_m: cols.distance_m[k],
+            tx_power_dbm: cols.tx_power_dbm,
+            gain: realized.gain[k],
+        };
+        let data_bits = realized.data_volume[k] as f64 * latency.bits_per_sample;
+        let compute_secs = cols.cycles_per_bit[k] * data_bits / cols.cpu_hz[k];
+        let upload_secs = latency.upload_bits / rate_bps(&radio, share_hz, n0).max(1e-3);
+        tau[0] = compute_secs + upload_secs;
+    });
+    out
+}
+
+/// Assembles the epoch-`t` decision context straight from columns — no
+/// environment, no datasets. Mirrors the runner's context construction:
+/// availability, costs, and volumes come from the current epoch `now`;
+/// latency estimates use the *hint* epoch's channel state (0-lookahead —
+/// the runner passes epoch `t−1`'s realization, or `t`'s own at `t = 0`);
+/// `true_latency` is the current epoch's realization (oracle-only); the
+/// loss hint is the never-observed prior `ln 10` everywhere, matching a
+/// fresh runner before any training feedback. Returns `None` when no
+/// client is available (the runner skips such epochs).
+///
+/// This is the policy-scoring kernel the `scale/` benches drive:
+///
+/// ```
+/// use fedl_core::columnar::scale_context;
+/// use fedl_core::{FedLConfig, FedLPolicy, SelectionPolicy};
+/// use fedl_net::{ChannelModel, LatencyModel};
+/// use fedl_sim::{ClientColumns, EnvConfig};
+///
+/// let config = EnvConfig::small(48, 9);
+/// let channel = ChannelModel::default();
+/// let cols = ClientColumns::build(&config, &channel);
+/// let e0 = cols.epoch_columns(0, &config, &channel);
+/// let latency = LatencyModel::paper_defaults(config.upload_bits, 64.0);
+/// // Epoch 0 hints from its own realization, like the runner.
+/// let ctx = scale_context(&cols, &e0, &e0, &latency, 500.0, 6, config.seed)
+///     .expect("someone is available at epoch 0");
+/// ctx.validate();
+///
+/// let mut policy = FedLPolicy::new(FedLConfig::default(), cols.len(), 500.0, 6);
+/// let decision = policy.select(&ctx);
+/// assert!(decision.cohort.len() >= ctx.effective_n());
+/// assert!(decision.cohort.iter().all(|k| ctx.available.contains(k)));
+/// ```
+pub fn scale_context(
+    cols: &ClientColumns,
+    hint: &EpochColumns,
+    now: &EpochColumns,
+    latency: &LatencyModel,
+    remaining_budget: f64,
+    min_participants: usize,
+    seed: u64,
+) -> Option<EpochContext> {
+    let available = now.available_ids();
+    if available.is_empty() {
+        return None;
+    }
+    let k = available.len();
+    let share = min_participants.max(1);
+
+    let mut costs = vec![0.0f64; k];
+    par_zip_chunks(&mut costs, 1, &available, 1, |_, c, id| c[0] = now.cost[id[0]]);
+    let mut volumes = vec![0usize; k];
+    par_zip_chunks(&mut volumes, 1, &available, 1, |_, d, id| {
+        d[0] = now.data_volume[id[0]] as usize;
+    });
+
+    Some(EpochContext {
+        epoch: now.epoch,
+        num_clients: cols.len(),
+        latency_hint: nominal_latency(cols, hint, latency, share, &available),
+        true_latency: nominal_latency(cols, now, latency, share, &available),
+        loss_hint: vec![(10.0f64).ln(); k],
+        available,
+        costs,
+        data_volumes: volumes,
+        remaining_budget,
+        min_participants,
+        seed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedl_net::ChannelModel;
+    use fedl_sim::EnvConfig;
+
+    fn setup(n: usize, seed: u64) -> (EnvConfig, ChannelModel, ClientColumns) {
+        let config = EnvConfig::small(n, seed);
+        let channel = ChannelModel::default();
+        let cols = ClientColumns::build(&config, &channel);
+        (config, channel, cols)
+    }
+
+    #[test]
+    fn context_is_aligned_and_valid() {
+        let (config, channel, cols) = setup(80, 21);
+        let e0 = cols.epoch_columns(0, &config, &channel);
+        let e1 = cols.epoch_columns(1, &config, &channel);
+        let latency = LatencyModel::paper_defaults(config.upload_bits, 64.0);
+        let ctx = scale_context(&cols, &e0, &e1, &latency, 300.0, 5, config.seed).unwrap();
+        ctx.validate();
+        assert_eq!(ctx.epoch, 1);
+        assert_eq!(ctx.num_clients, 80);
+        assert_eq!(ctx.available, e1.available_ids());
+        for (slot, &k) in ctx.available.iter().enumerate() {
+            assert_eq!(ctx.costs[slot].to_bits(), e1.cost[k].to_bits());
+            assert_eq!(ctx.data_volumes[slot], e1.data_volume[k] as usize);
+        }
+        assert!(ctx.latency_hint.iter().all(|&t| t.is_finite() && t > 0.0));
+    }
+
+    #[test]
+    fn hint_and_truth_differ_when_the_channel_moves() {
+        let (config, channel, cols) = setup(60, 22);
+        assert!(config.time_varying_channel, "small config should vary the channel");
+        let e0 = cols.epoch_columns(0, &config, &channel);
+        let e1 = cols.epoch_columns(1, &config, &channel);
+        let latency = LatencyModel::paper_defaults(config.upload_bits, 64.0);
+        let ctx = scale_context(&cols, &e0, &e1, &latency, 300.0, 5, config.seed).unwrap();
+        // Same clients, different epochs realized: the 0-lookahead hint
+        // and the oracle column must disagree somewhere.
+        assert_ne!(ctx.latency_hint, ctx.true_latency);
+    }
+
+    #[test]
+    fn nominal_latency_matches_the_scalar_model() {
+        let (config, channel, cols) = setup(40, 23);
+        let ec = cols.epoch_columns(2, &config, &channel);
+        let latency = LatencyModel::paper_defaults(config.upload_bits, 64.0);
+        let ids = ec.available_ids();
+        let fast = nominal_latency(&cols, &ec, &latency, 4, &ids);
+        // Reference: the row-oriented LatencyModel on reconstructed rows.
+        let share_model = LatencyModel { bandwidth_hz: latency.bandwidth_hz / 4.0, ..latency };
+        let views = ec.views(&cols);
+        for (slot, &k) in ids.iter().enumerate() {
+            let radios = [&views[k].radio];
+            let compute = fedl_net::ComputeProfile {
+                cycles_per_bit: cols.cycles_per_bit[k],
+                cpu_hz: cols.cpu_hz[k],
+            };
+            let computes = [&compute];
+            let samples = [views[k].data_volume];
+            let want = share_model.per_iteration_secs(&radios, &computes, &samples)[0];
+            assert_eq!(fast[slot].to_bits(), want.to_bits(), "client {k}");
+        }
+    }
+
+    #[test]
+    fn empty_availability_yields_no_context() {
+        let (config, channel, cols) = setup(10, 24);
+        let mut ec = cols.epoch_columns(0, &config, &channel);
+        ec.available.iter_mut().for_each(|a| *a = false);
+        let latency = LatencyModel::paper_defaults(config.upload_bits, 64.0);
+        assert!(scale_context(&cols, &ec, &ec, &latency, 100.0, 3, 1).is_none());
+    }
+}

@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 
 pub mod baselines;
+pub mod columnar;
 pub mod fedl;
 pub mod objective;
 pub mod online;

@@ -6,6 +6,7 @@
 //! coefficients come from epoch-`t` *observations* (0-lookahead), except
 //! costs and availability, which are known at rental time.
 
+use fedl_linalg::par::{det_dot, det_sum};
 use fedl_solver::{minimize, BoxSet, DykstraIntersection, Halfspace, PgdOptions};
 
 /// Fractional decision `Φ̃ = (x̃, ρ)`.
@@ -99,7 +100,7 @@ impl OneShot {
         assert_eq!(x.len(), self.ids.len(), "x arity");
         let avail = self.ids.len() as f64;
         let mut h = Vec::with_capacity(self.dim());
-        let mix: f64 = x.iter().zip(&self.g).map(|(xi, gi)| xi * gi).sum();
+        let mix = det_dot(x, &self.g);
         h.push(self.loss_all + rho * mix / avail - self.theta);
         for (xi, ei) in x.iter().zip(&self.eta) {
             h.push(ei * xi * rho - rho + 1.0);
@@ -111,7 +112,7 @@ impl OneShot {
     /// sum upper-bounds the max via eq. (4)).
     pub fn f_value(&self, x: &[f64], rho: f64) -> f64 {
         assert_eq!(x.len(), self.tau.len(), "x arity");
-        rho * x.iter().zip(&self.tau).map(|(xi, ti)| xi * ti).sum::<f64>()
+        rho * det_dot(x, &self.tau)
     }
 
     /// Gradient of `f_t` at `(x_prev, rho_prev)` — the linearization
@@ -119,7 +120,7 @@ impl OneShot {
     pub fn f_grad_at(&self, x_prev: &[f64], rho_prev: f64) -> Vec<f64> {
         assert_eq!(x_prev.len(), self.tau.len(), "x arity");
         let mut grad: Vec<f64> = self.tau.iter().map(|&t| rho_prev * t).collect();
-        grad.push(x_prev.iter().zip(&self.tau).map(|(xi, ti)| xi * ti).sum());
+        grad.push(det_dot(x_prev, &self.tau));
         grad
     }
 
@@ -185,19 +186,12 @@ impl OneShot {
             let grad_f = grad_f.clone();
             move |z: &[f64]| {
                 let (x, rho) = (&z[..k], z[k]);
-                let lin: f64 =
-                    grad_f.iter().zip(z).zip(&z_prev).map(|((&g, &zi), &pi)| g * (zi - pi)).sum();
-                let mut dual = mu[0]
-                    * (self.loss_all
-                        + rho * x.iter().zip(&self.g).map(|(xi, gi)| xi * gi).sum::<f64>() / avail
-                        - self.theta);
-                for i in 0..k {
-                    dual += mu[1 + i] * (self.eta[i] * x[i] * rho - rho + 1.0);
-                }
-                let prox: f64 =
-                    z.iter().zip(&z_prev).map(|(&zi, &pi)| (zi - pi) * (zi - pi)).sum::<f64>()
-                        / (2.0 * beta);
-                let fair: f64 = x.iter().zip(&self.bonus).map(|(xi, bi)| xi * bi).sum();
+                let lin = det_sum(0.0, k + 1, |i| grad_f[i] * (z[i] - z_prev[i]));
+                let head = mu[0] * (self.loss_all + rho * det_dot(x, &self.g) / avail - self.theta);
+                let dual = det_sum(head, k, |i| mu[1 + i] * (self.eta[i] * x[i] * rho - rho + 1.0));
+                let prox =
+                    det_sum(0.0, k + 1, |i| (z[i] - z_prev[i]) * (z[i] - z_prev[i])) / (2.0 * beta);
+                let fair = det_dot(x, &self.bonus);
                 lin + dual + prox - fair
             }
         };
@@ -205,17 +199,16 @@ impl OneShot {
             let z_prev = z_prev.clone();
             move |z: &[f64], out: &mut [f64]| {
                 let rho = z[k];
-                let mix: f64 = z[..k].iter().zip(&self.g).map(|(xi, gi)| xi * gi).sum();
-                let mut drho = grad_f[k] + mu[0] * mix / avail + (rho - z_prev[k]) / beta;
+                let mix = det_dot(&z[..k], &self.g);
+                let head = grad_f[k] + mu[0] * mix / avail + (rho - z_prev[k]) / beta;
                 for i in 0..k {
                     out[i] = grad_f[i]
                         + mu[0] * rho * self.g[i] / avail
                         + mu[1 + i] * self.eta[i] * rho
                         + (z[i] - z_prev[i]) / beta
                         - self.bonus[i];
-                    drho += mu[1 + i] * (self.eta[i] * z[i] - 1.0);
                 }
-                out[k] = drho;
+                out[k] = det_sum(head, k, |i| mu[1 + i] * (self.eta[i] * z[i] - 1.0));
             }
         };
 

@@ -1,11 +1,20 @@
 //! The online learning algorithm (paper §4.3): alternating modified
 //! descent on the primal decision and standard ascent on the Lagrange
 //! multipliers, using only observed information.
+//!
+//! Since the million-client scale-out (docs/SCALE.md) the per-epoch
+//! bookkeeping runs as dense column passes: the latency fold and prior
+//! creation go through [`LearnerState::fold_latency`], the problem
+//! assembly gathers from [`crate::state::ScoreColumns`] slices, and the
+//! dual ascent is a masked dense kernel over the multiplier column —
+//! all sharded via `fedl_linalg::par` with per-element arithmetic
+//! identical to the scalar path, so results are bit-for-bit unchanged.
 
 use crate::objective::{FracDecision, OneShot};
 use crate::policy::EpochContext;
 use crate::state::LearnerState;
 use fedl_json::{obj, read_field, FromJson, ToJson, Value};
+use fedl_linalg::par::{det_sum, par_zip_chunks};
 use fedl_sim::EpochReport;
 
 /// Step sizes β (primal) and δ (dual).
@@ -127,30 +136,48 @@ impl OnlineLearner {
     }
 
     /// Assembles the one-shot problem for this epoch from current prices
-    /// and remembered observations.
+    /// and remembered observations, as dense column passes.
     pub fn build_problem(&mut self, ctx: &EpochContext) -> OneShot {
         ctx.validate();
-        let mut tau = Vec::with_capacity(ctx.available.len());
-        let mut eta = Vec::with_capacity(ctx.available.len());
-        let mut g = Vec::with_capacity(ctx.available.len());
-        let mut bonus = Vec::with_capacity(ctx.available.len());
-        let fairness = self.fairness_weight;
+        let m = self.state.len();
+        let a = ctx.available.len();
+        // Scatter the per-available hints into dense id-indexed columns
+        // (serial: writes land at arbitrary ids).
+        let mut mask = vec![false; m];
+        let mut hint = vec![0.0; m];
         for (pos, &k) in ctx.available.iter().enumerate() {
-            let stats = self.state.stats_mut(k, ctx.latency_hint[pos]);
-            // The latency hint is last epoch's realized channel state —
-            // fresh observable data for every available client, selected
-            // or not — so fold it into the estimate before reading it.
-            stats.observe_latency(ctx.latency_hint[pos]);
-            tau.push(stats.tau);
-            eta.push(stats.eta);
-            g.push(stats.g);
-            bonus.push(fairness / (1.0 + stats.observations as f64));
+            assert!(k < m, "unknown client {k}");
+            mask[k] = true;
+            hint[k] = ctx.latency_hint[pos];
         }
+        // The latency hint is last epoch's realized channel state —
+        // fresh observable data for every available client, selected
+        // or not — so fold it into the estimates before reading them
+        // (the dense UCB score-update kernel).
+        self.state.fold_latency(&mask, &hint);
+        // Gather the one-shot vectors from the columns at the available
+        // ids (sharded, read-only).
+        let cols = self.state.columns();
+        let gather = |col: &[f64]| {
+            let mut out = vec![0.0; a];
+            par_zip_chunks(&mut out, 1, &ctx.available, 1, |_, o, id| o[0] = col[id[0]]);
+            out
+        };
+        let tau = gather(&cols.tau);
+        let eta = gather(&cols.eta);
+        let g = gather(&cols.g);
+        let fairness = self.fairness_weight;
+        let observations = &cols.observations;
+        let mut bonus = vec![0.0; a];
+        par_zip_chunks(&mut bonus, 1, &ctx.available, 1, |_, o, id| {
+            o[0] = fairness / (1.0 + observations[id[0]] as f64);
+        });
         let loss_all = if self.state.last_global_loss.is_finite() {
             self.state.last_global_loss
         } else {
             // No observation yet: seed with the loss hints' mean.
-            ctx.loss_hint.iter().sum::<f64>() / ctx.loss_hint.len().max(1) as f64
+            det_sum(0.0, ctx.loss_hint.len(), |i| ctx.loss_hint[i])
+                / ctx.loss_hint.len().max(1) as f64
         };
         OneShot {
             ids: ctx.available.clone(),
@@ -171,18 +198,22 @@ impl OnlineLearner {
     /// decision for this epoch, anchored at each client's previous
     /// fractional value.
     pub fn decide(&mut self, ctx: &EpochContext, problem: &OneShot) -> FracDecision {
-        let anchor_x: Vec<f64> = ctx
-            .available
-            .iter()
-            .enumerate()
-            .map(|(pos, &k)| self.state.stats_mut(k, ctx.latency_hint[pos]).last_x)
-            .collect();
-        let anchor = FracDecision { x: anchor_x, rho: self.state.last_rho };
-        let mut mu = Vec::with_capacity(ctx.available.len() + 1);
-        mu.push(self.mu0);
-        for &k in &ctx.available {
-            mu.push(self.mu[k]);
+        // Priors normally exist after `build_problem`; create them here
+        // too so `decide` alone matches the scalar path's first-touch
+        // behavior.
+        for (pos, &k) in ctx.available.iter().enumerate() {
+            self.state.ensure_touched(k, ctx.latency_hint[pos]);
         }
+        let cols = self.state.columns();
+        let mut anchor_x = vec![0.0; ctx.available.len()];
+        par_zip_chunks(&mut anchor_x, 1, &ctx.available, 1, |_, o, id| {
+            o[0] = cols.last_x[id[0]];
+        });
+        let anchor = FracDecision { x: anchor_x, rho: self.state.last_rho };
+        let mut mu = vec![0.0; ctx.available.len() + 1];
+        mu[0] = self.mu0;
+        let mu_col = &self.mu;
+        par_zip_chunks(&mut mu[1..], 1, &ctx.available, 1, |_, o, id| o[0] = mu_col[id[0]]);
         problem.descend(&anchor, &mu, self.steps.beta)
     }
 
@@ -197,6 +228,17 @@ impl OnlineLearner {
         problem: &OneShot,
     ) {
         assert_eq!(frac.x.len(), ctx.available.len(), "decision arity");
+        // Position of client k within `available`. The runner builds the
+        // list ascending, so binary search covers the hot path; the
+        // linear fallback keeps arbitrary orders correct.
+        let sorted = ctx.available.windows(2).all(|w| w[0] < w[1]);
+        let pos_of = |k: usize| {
+            if sorted {
+                ctx.available.binary_search(&k).ok()
+            } else {
+                ctx.available.iter().position(|&a| a == k)
+            }
+        };
         // Update per-client memory from the realized cohort outcomes.
         for (slot, &k) in report.cohort.iter().enumerate() {
             let tau = report.per_client_iter_latency[slot];
@@ -204,15 +246,15 @@ impl OnlineLearner {
             let g = report.grad_dot_delta[slot] as f64;
             // The latency hint position for k (k is available, else it
             // could not have been selected).
-            let pos = ctx.available.iter().position(|&a| a == k);
-            let hint = pos.map_or(tau, |p| ctx.latency_hint[p]);
-            self.state.stats_mut(k, hint).observe(tau, eta, g);
+            let hint = pos_of(k).map_or(tau, |p| ctx.latency_hint[p]);
+            self.state.observe_cohort(k, hint, tau, eta, g);
         }
         self.state.last_global_loss = report.global_loss_all;
 
-        // Anchors for the next descent step.
+        // Anchors for the next descent step (dense scatter by id).
         for (pos, &k) in ctx.available.iter().enumerate() {
-            self.state.stats_mut(k, ctx.latency_hint[pos]).last_x = frac.x[pos];
+            self.state.ensure_touched(k, ctx.latency_hint[pos]);
+            self.state.set_anchor(k, frac.x[pos]);
         }
         self.state.last_rho = frac.rho;
 
@@ -221,16 +263,30 @@ impl OnlineLearner {
         let mut observed = problem.clone();
         observed.loss_all = report.global_loss_all;
         for (slot, &k) in report.cohort.iter().enumerate() {
-            if let Some(pos) = ctx.available.iter().position(|&a| a == k) {
+            if let Some(pos) = pos_of(k) {
                 observed.eta[pos] = report.eta_hats[slot] as f64;
                 observed.g[pos] = report.grad_dot_delta[slot] as f64;
             }
         }
         let h = observed.h_value(&frac.x, frac.rho);
         self.mu0 = (self.mu0 + self.steps.delta * h[0]).max(0.0);
+        // Dual ascent (eq. (9)) as a masked dense kernel pass over the
+        // multiplier column: scatter h into an id-indexed column, then
+        // update only the available rows (a client's multiplier persists
+        // untouched across the epochs it is unavailable).
+        let m = self.state.len();
+        let mut h_dense = vec![0.0; m];
+        let mut mask = vec![false; m];
         for (pos, &k) in ctx.available.iter().enumerate() {
-            self.mu[k] = (self.mu[k] + self.steps.delta * h[1 + pos]).max(0.0);
+            h_dense[k] = h[1 + pos];
+            mask[k] = true;
         }
+        let delta = self.steps.delta;
+        par_zip_chunks(&mut self.mu, 1, &h_dense, 1, |k, mu, h| {
+            if mask[k] {
+                mu[0] = (mu[0] + delta * h[0]).max(0.0);
+            }
+        });
     }
 }
 

@@ -1,6 +1,15 @@
 //! Online rounding: the randomized dependent client selection algorithm
 //! RDCS (paper Alg. 2) plus the independent-rounding baseline and the
 //! feasibility repair pass.
+//!
+//! [`rdcs`] tracks the fractional coordinate set in a Fenwick
+//! order-statistics tree, so one rounding pass over `K` candidates is
+//! `O(K log K)` instead of the reference implementation's `O(K²)`
+//! re-scan — the difference between microseconds and minutes at the
+//! 1M-client scale tier (docs/SCALE.md). The original implementation is
+//! retained as [`rdcs_reference`] and the two are held to identical RNG
+//! consumption (same draws, same outputs, bit for bit) by tests here and
+//! in `tests/columnar_parity.rs`.
 
 use fedl_linalg::rng::Rng;
 
@@ -9,6 +18,67 @@ const INT_TOL: f64 = 1e-9;
 
 fn is_fractional(v: f64) -> bool {
     v > INT_TOL && v < 1.0 - INT_TOL
+}
+
+/// Fenwick (binary-indexed) tree over a 0/1 membership vector,
+/// supporting `O(log n)` rank-`k` selection and removal. Ranks and
+/// returned indices are 0-based.
+struct ActiveSet {
+    tree: Vec<u32>,
+    len: usize,
+    count: usize,
+}
+
+impl ActiveSet {
+    /// Builds the tree in `O(n)` from a membership iterator.
+    fn new(members: impl ExactSizeIterator<Item = bool>) -> Self {
+        let len = members.len();
+        let mut tree = vec![0u32; len + 1];
+        let mut count = 0usize;
+        for (i, m) in members.enumerate() {
+            if m {
+                tree[i + 1] = 1;
+                count += 1;
+            }
+        }
+        for i in 1..=len {
+            let parent = i + (i & i.wrapping_neg());
+            if parent <= len {
+                tree[parent] += tree[i];
+            }
+        }
+        ActiveSet { tree, len, count }
+    }
+
+    /// Index of the rank-`k` member (the `k`-th smallest active index).
+    ///
+    /// Requires `k < self.count`.
+    fn select(&self, k: usize) -> usize {
+        let mut pos = 0usize;
+        let mut remaining = k + 1;
+        let mut step = self.len.next_power_of_two();
+        while step > 0 {
+            let next = pos + step;
+            if next <= self.len && (self.tree[next] as usize) < remaining {
+                remaining -= self.tree[next] as usize;
+                pos = next;
+            }
+            step >>= 1;
+        }
+        // `pos` 1-based is the predecessor of the answer, so 0-based the
+        // answer is exactly `pos`.
+        pos
+    }
+
+    /// Removes index `i` from the set (must currently be a member).
+    fn remove(&mut self, i: usize) {
+        let mut j = i + 1;
+        while j <= self.len {
+            self.tree[j] -= 1;
+            j += j & j.wrapping_neg();
+        }
+        self.count -= 1;
+    }
 }
 
 /// Rounds the fractional selection vector in place with RDCS.
@@ -37,6 +107,62 @@ fn is_fractional(v: f64) -> bool {
 /// assert!(x.iter().all(|&v| v == 0.0 || v == 1.0));
 /// ```
 pub fn rdcs(x: &mut [f64], rng: &mut impl Rng) -> Vec<usize> {
+    for (i, &v) in x.iter().enumerate() {
+        assert!(
+            (-INT_TOL..=1.0 + INT_TOL).contains(&v),
+            "selection fraction {v} at {i} outside [0,1]"
+        );
+    }
+    // The fractional set as an order-statistics tree: `select(r)` is
+    // exactly `frac[r]` of the reference's ascending re-scan, so the RNG
+    // stream below is consumed identically to `rdcs_reference`.
+    let mut active = ActiveSet::new(x.iter().map(|&v| is_fractional(v)));
+    while active.count >= 2 {
+        // Randomly choose the pair (Alg. 2 line 1).
+        let a = active.select(rng.gen_range(0..active.count));
+        let b = loop {
+            let cand = active.select(rng.gen_range(0..active.count));
+            if cand != a {
+                break cand;
+            }
+        };
+        let zeta1 = (1.0 - x[a]).min(x[b]);
+        let zeta2 = x[a].min(1.0 - x[b]);
+        debug_assert!(zeta1 > 0.0 && zeta2 > 0.0);
+        if rng.gen::<f64>() < zeta2 / (zeta1 + zeta2) {
+            x[a] += zeta1;
+            x[b] -= zeta1;
+        } else {
+            x[a] -= zeta2;
+            x[b] += zeta2;
+        }
+        // Only the pair changed; every shift drives at least one of the
+        // two to a bound (within INT_TOL), so the set shrinks each round.
+        if !is_fractional(x[a]) {
+            active.remove(a);
+        }
+        if !is_fractional(x[b]) {
+            active.remove(b);
+        }
+    }
+    // Tail: at most one fractional coordinate remains.
+    if active.count == 1 {
+        let i = active.select(0);
+        x[i] = if rng.gen::<f64>() < x[i] { 1.0 } else { 0.0 };
+    }
+    // Snap numerical residue.
+    for v in x.iter_mut() {
+        *v = if *v > 0.5 { 1.0 } else { 0.0 };
+    }
+    (0..x.len()).filter(|&i| x[i] == 1.0).collect()
+}
+
+/// The pre-Fenwick RDCS implementation — a direct transcription of
+/// paper Alg. 2 that re-scans the whole vector for fractional
+/// coordinates every round (`O(K²)`). Retained as the determinism
+/// reference: [`rdcs`] must draw the same RNG stream and produce the
+/// same output, bit for bit, for every input (docs/SCALE.md).
+pub fn rdcs_reference(x: &mut [f64], rng: &mut impl Rng) -> Vec<usize> {
     for (i, &v) in x.iter().enumerate() {
         assert!(
             (-INT_TOL..=1.0 + INT_TOL).contains(&v),
@@ -229,6 +355,39 @@ mod tests {
             let sel = rdcs(&mut x, &mut rng);
             assert_eq!(sel.len(), 4, "integral fractional mass must round exactly");
         }
+    }
+
+    #[test]
+    fn fenwick_rdcs_matches_reference_bit_for_bit() {
+        use fedl_linalg::rng::Rng as _;
+        for n in [1usize, 2, 3, 7, 50, 257] {
+            for seed in 0..20u64 {
+                let mut r = rng_for(seed, 123);
+                let mut x0: Vec<f64> = (0..n).map(|_| r.gen::<f64>()).collect();
+                // Sprinkle in exactly-integral coordinates.
+                if n >= 3 {
+                    x0[0] = 1.0;
+                    x0[n / 2] = 0.0;
+                }
+                let (mut xa, mut xb) = (x0.clone(), x0.clone());
+                let sel_new = rdcs(&mut xa, &mut rng_for(seed, 7));
+                let sel_ref = rdcs_reference(&mut xb, &mut rng_for(seed, 7));
+                assert_eq!(sel_new, sel_ref, "n={n} seed={seed}");
+                let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&xa), bits(&xb), "n={n} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn active_set_selects_in_ascending_order() {
+        let members = [true, false, true, true, false, false, true];
+        let set = ActiveSet::new(members.iter().copied());
+        assert_eq!(set.count, 4);
+        assert_eq!((0..4).map(|k| set.select(k)).collect::<Vec<_>>(), vec![0, 2, 3, 6]);
+        let mut set = set;
+        set.remove(3);
+        assert_eq!((0..3).map(|k| set.select(k)).collect::<Vec<_>>(), vec![0, 2, 6]);
     }
 
     #[test]

@@ -6,8 +6,21 @@
 //! objective (latency τ, local convergence accuracy η̂, loss-impact
 //! coefficient g = J·d) plus the last fractional decision (the proximal
 //! anchor Φ_t of eq. (8)).
+//!
+//! Since the million-client scale-out (docs/SCALE.md), [`LearnerState`]
+//! stores this memory as parallel columns ([`ScoreColumns`]) rather
+//! than a `Vec<Option<ClientStats>>`: the per-epoch UCB score update is
+//! then a handful of dense kernel passes over the columns instead of a
+//! per-client pointer chase. [`ClientStats`] is retained as the scalar
+//! reference — its `prior`/`observe`/`observe_latency` arithmetic is
+//! what every column kernel replicates, held bit-identical by the
+//! parity tests — and as the row view [`LearnerState::stats`]
+//! materializes. The JSON snapshot layout (a `clients` array of
+//! per-client objects or nulls) is unchanged from the row-oriented
+//! representation, so existing fedl-store checkpoints load unmodified.
 
 use fedl_json::{obj, read_field, FromJson, ToJson, Value};
+use fedl_linalg::par::par_zip_chunks;
 
 /// EMA smoothing factor: weight of the newest observation.
 const EMA_ALPHA: f64 = 0.5;
@@ -87,10 +100,36 @@ fn ema(old: f64, new: f64) -> f64 {
     (1.0 - EMA_ALPHA) * old + EMA_ALPHA * new
 }
 
+/// The per-client observation memory as parallel columns
+/// (struct-of-arrays; docs/SCALE.md). Row `k` across the columns is the
+/// [`ClientStats`] of client `k`; `touched[k]` distinguishes a real row
+/// from the all-zeros placeholder of a never-touched client.
+#[derive(Debug, Clone)]
+pub struct ScoreColumns {
+    /// Smoothed per-iteration latency estimates (seconds).
+    pub tau: Vec<f64>,
+    /// Smoothed local convergence accuracies η̂ ∈ [0, 1).
+    pub eta: Vec<f64>,
+    /// Smoothed loss-impact coefficients `g_k = J·d_k`.
+    pub g: Vec<f64>,
+    /// Last fractional selection values (proximal anchors).
+    pub last_x: Vec<f64>,
+    /// Cohort observation counts (drives the fairness bonus decay).
+    pub observations: Vec<usize>,
+    /// Whether client `k` has ever been touched (has a prior).
+    pub touched: Vec<bool>,
+}
+
 /// The whole federation's observation memory, indexed by client id.
+///
+/// Columnar since the scale-out: reads and the per-epoch latency fold
+/// run as dense kernel passes over [`ScoreColumns`]. Every mutation
+/// replicates the [`ClientStats`] scalar arithmetic exactly (same EMA,
+/// same prior, same clamps), which the parity tests check bit-for-bit
+/// against a `Vec<Option<ClientStats>>` shadow.
 #[derive(Debug, Clone)]
 pub struct LearnerState {
-    clients: Vec<Option<ClientStats>>,
+    cols: ScoreColumns,
     /// Anchor prior for never-observed clients.
     prior_x: f64,
     /// Last observed global loss `F_t(w_t^{l_t})` over all clients.
@@ -104,7 +143,14 @@ impl LearnerState {
     /// anchor prior.
     pub fn new(num_clients: usize, prior_x: f64) -> Self {
         Self {
-            clients: vec![None; num_clients],
+            cols: ScoreColumns {
+                tau: vec![0.0; num_clients],
+                eta: vec![0.0; num_clients],
+                g: vec![0.0; num_clients],
+                last_x: vec![0.0; num_clients],
+                observations: vec![0; num_clients],
+                touched: vec![false; num_clients],
+            },
             prior_x: prior_x.clamp(0.0, 1.0),
             last_global_loss: f64::NAN,
             last_rho: 2.0,
@@ -113,31 +159,127 @@ impl LearnerState {
 
     /// Number of clients tracked.
     pub fn len(&self) -> usize {
-        self.clients.len()
+        self.cols.touched.len()
     }
 
     /// `true` when tracking no clients.
     pub fn is_empty(&self) -> bool {
-        self.clients.is_empty()
+        self.cols.touched.is_empty()
     }
 
-    /// Stats for client `k`, creating the prior on first touch.
-    pub fn stats_mut(&mut self, k: usize, tau_hint: f64) -> &mut ClientStats {
-        assert!(k < self.clients.len(), "unknown client {k}");
-        let prior_x = self.prior_x;
-        self.clients[k].get_or_insert_with(|| ClientStats::prior(tau_hint, prior_x))
+    /// Read access to the columns (policy scoring gathers from these).
+    pub fn columns(&self) -> &ScoreColumns {
+        &self.cols
     }
 
-    /// Read-only stats for client `k` if ever touched.
-    pub fn stats(&self, k: usize) -> Option<&ClientStats> {
-        self.clients.get(k).and_then(Option::as_ref)
+    /// The anchor prior for never-observed clients.
+    pub fn prior_x(&self) -> f64 {
+        self.prior_x
+    }
+
+    /// Creates client `k`'s prior row if it has never been touched
+    /// (scalar form of the prior pass; [`ClientStats::prior`]).
+    ///
+    /// # Panics
+    /// Panics on an out-of-range client id.
+    pub fn ensure_touched(&mut self, k: usize, tau_hint: f64) {
+        assert!(k < self.len(), "unknown client {k}");
+        if !self.cols.touched[k] {
+            let p = ClientStats::prior(tau_hint, self.prior_x);
+            self.cols.tau[k] = p.tau;
+            self.cols.eta[k] = p.eta;
+            self.cols.g[k] = p.g;
+            self.cols.last_x[k] = p.last_x;
+            self.cols.observations[k] = p.observations;
+            self.cols.touched[k] = true;
+        }
+    }
+
+    /// The per-epoch UCB score-update kernel (docs/SCALE.md): for every
+    /// client with `mask[k]` set, create the prior row on first touch
+    /// and fold the dense latency hint into τ by EMA — exactly
+    /// `stats_mut(k, hint).observe_latency(hint)` of the scalar path,
+    /// for all masked clients at once, as sharded column passes.
+    ///
+    /// # Panics
+    /// Panics if `mask` or `hint` is not exactly one entry per client.
+    pub fn fold_latency(&mut self, mask: &[bool], hint: &[f64]) {
+        let m = self.len();
+        assert_eq!(mask.len(), m, "mask arity");
+        assert_eq!(hint.len(), m, "hint arity");
+        let touched = &self.cols.touched;
+        // τ pass: EMA for touched rows, prior-then-EMA for fresh ones.
+        par_zip_chunks(&mut self.cols.tau, 1, hint, 1, |k, tau, h| {
+            if mask[k] {
+                let old = if touched[k] { tau[0] } else { h[0].max(1e-6) };
+                tau[0] = ema(old, h[0]);
+            }
+        });
+        // Prior passes for the remaining columns of fresh rows.
+        let prior = ClientStats::prior(1.0, self.prior_x);
+        par_zip_chunks(&mut self.cols.eta, 1, mask, 1, |k, eta, m| {
+            if m[0] && !touched[k] {
+                eta[0] = prior.eta;
+            }
+        });
+        par_zip_chunks(&mut self.cols.g, 1, mask, 1, |k, g, m| {
+            if m[0] && !touched[k] {
+                g[0] = prior.g;
+            }
+        });
+        par_zip_chunks(&mut self.cols.last_x, 1, mask, 1, |k, x, m| {
+            if m[0] && !touched[k] {
+                x[0] = prior.last_x;
+            }
+        });
+        // Membership pass last — the other passes read the old mask.
+        par_zip_chunks(&mut self.cols.touched, 1, mask, 1, |_, t, m| t[0] |= m[0]);
+    }
+
+    /// Folds a realized cohort observation into client `k`'s row —
+    /// exactly `stats_mut(k, tau_hint).observe(tau, eta, g)` of the
+    /// scalar path (prior on first touch, then EMA folds and an
+    /// observation-count bump).
+    pub fn observe_cohort(&mut self, k: usize, tau_hint: f64, tau: f64, eta: f64, g: f64) {
+        self.ensure_touched(k, tau_hint);
+        self.cols.tau[k] = ema(self.cols.tau[k], tau);
+        self.cols.eta[k] = ema(self.cols.eta[k], eta.clamp(0.0, 0.999));
+        self.cols.g[k] = ema(self.cols.g[k], g);
+        self.cols.observations[k] += 1;
+    }
+
+    /// Overwrites client `k`'s proximal anchor with the latest
+    /// fractional decision.
+    pub fn set_anchor(&mut self, k: usize, x: f64) {
+        self.cols.last_x[k] = x;
+    }
+
+    /// Read-only stats for client `k` if ever touched, materialized as
+    /// the scalar row view.
+    pub fn stats(&self, k: usize) -> Option<ClientStats> {
+        if k < self.len() && self.cols.touched[k] {
+            Some(ClientStats {
+                tau: self.cols.tau[k],
+                eta: self.cols.eta[k],
+                g: self.cols.g[k],
+                last_x: self.cols.last_x[k],
+                observations: self.cols.observations[k],
+            })
+        } else {
+            None
+        }
     }
 }
 
 impl ToJson for LearnerState {
+    /// Serializes the columns as the original row-oriented layout (a
+    /// `clients` array of per-client objects, `null` for never-touched
+    /// rows) so checkpoints predating the columnar store stay loadable
+    /// and the snapshot schema version is unchanged (docs/CHECKPOINT.md).
     fn to_json_value(&self) -> Value {
+        let clients: Vec<Option<ClientStats>> = (0..self.len()).map(|k| self.stats(k)).collect();
         obj(vec![
-            ("clients", self.clients.to_json_value()),
+            ("clients", clients.to_json_value()),
             ("prior_x", self.prior_x.to_json_value()),
             ("last_global_loss", self.last_global_loss.to_json_value()),
             ("last_rho", self.last_rho.to_json_value()),
@@ -147,12 +289,22 @@ impl ToJson for LearnerState {
 
 impl FromJson for LearnerState {
     fn from_json_value(v: &Value) -> Result<Self, fedl_json::Error> {
-        Ok(Self {
-            clients: read_field(v, "clients")?,
-            prior_x: read_field(v, "prior_x")?,
-            last_global_loss: read_field(v, "last_global_loss")?,
-            last_rho: read_field(v, "last_rho")?,
-        })
+        let clients: Vec<Option<ClientStats>> = read_field(v, "clients")?;
+        let mut state = LearnerState::new(clients.len(), read_field(v, "prior_x")?);
+        state.prior_x = read_field(v, "prior_x")?;
+        state.last_global_loss = read_field(v, "last_global_loss")?;
+        state.last_rho = read_field(v, "last_rho")?;
+        for (k, row) in clients.into_iter().enumerate() {
+            if let Some(s) = row {
+                state.cols.tau[k] = s.tau;
+                state.cols.eta[k] = s.eta;
+                state.cols.g[k] = s.g;
+                state.cols.last_x[k] = s.last_x;
+                state.cols.observations[k] = s.observations;
+                state.cols.touched[k] = true;
+            }
+        }
+        Ok(state)
     }
 }
 
@@ -199,7 +351,7 @@ mod tests {
     fn state_creates_priors_lazily() {
         let mut st = LearnerState::new(4, 0.3);
         assert!(st.stats(2).is_none());
-        st.stats_mut(2, 0.7).observe(1.0, 0.3, 0.0);
+        st.observe_cohort(2, 0.7, 1.0, 0.3, 0.0);
         assert!(st.stats(2).is_some());
         assert!(st.stats(1).is_none());
         assert_eq!(st.len(), 4);
@@ -209,6 +361,57 @@ mod tests {
     #[should_panic(expected = "unknown client")]
     fn out_of_range_client_rejected() {
         let mut st = LearnerState::new(2, 0.3);
-        let _ = st.stats_mut(5, 0.1);
+        st.observe_cohort(5, 0.1, 1.0, 0.5, 0.0);
+    }
+
+    /// The columnar latency fold must replicate the scalar
+    /// `stats_mut(k, hint).observe_latency(hint)` loop bit-for-bit,
+    /// including prior creation on first touch.
+    #[test]
+    fn fold_latency_matches_scalar_shadow() {
+        let m = 50;
+        let mut st = LearnerState::new(m, 0.2);
+        let mut shadow: Vec<Option<ClientStats>> = vec![None; m];
+        for round in 0..7u64 {
+            let mask: Vec<bool> = (0..m).map(|k| (k as u64 + round) % 3 != 0).collect();
+            let hint: Vec<f64> =
+                (0..m).map(|k| 0.05 + 0.01 * ((k as u64 + round) % 9) as f64).collect();
+            st.fold_latency(&mask, &hint);
+            for k in 0..m {
+                if mask[k] {
+                    shadow[k]
+                        .get_or_insert_with(|| ClientStats::prior(hint[k], 0.2))
+                        .observe_latency(hint[k]);
+                }
+            }
+        }
+        for k in 0..m {
+            match (&shadow[k], st.stats(k)) {
+                (None, None) => {}
+                (Some(s), Some(c)) => {
+                    assert_eq!(s.tau.to_bits(), c.tau.to_bits(), "client {k}");
+                    assert_eq!(s.eta.to_bits(), c.eta.to_bits());
+                    assert_eq!(s.last_x.to_bits(), c.last_x.to_bits());
+                    assert_eq!(s.observations, c.observations);
+                }
+                (s, c) => panic!("client {k}: shadow {s:?} vs columns {c:?}"),
+            }
+        }
+    }
+
+    /// The snapshot layout must be the pre-columnar one: a `clients`
+    /// array of objects-or-nulls (docs/CHECKPOINT.md).
+    #[test]
+    fn json_layout_is_row_oriented_and_round_trips() {
+        let mut st = LearnerState::new(3, 0.4);
+        st.observe_cohort(1, 0.3, 2.0, 0.6, -1.0);
+        st.last_global_loss = 1.25;
+        let json = st.to_json_value().to_json();
+        assert!(json.starts_with("{\"clients\":[null,{\"tau\":"), "{json}");
+        let back = LearnerState::from_json_value(&fedl_json::Value::parse(&json).expect("parse"))
+            .expect("decode");
+        assert_eq!(back.to_json_value().to_json(), json);
+        assert_eq!(back.stats(1).unwrap().observations, 1);
+        assert!(back.stats(0).is_none());
     }
 }

@@ -10,6 +10,21 @@ use fedl_linalg::rng::{rng_for, Distribution, Poisson, Rng};
 
 use crate::Dataset;
 
+/// Clamped Poisson arrival count for epoch `epoch` of a client stream
+/// with rate `lambda` and root seed `seed`.
+///
+/// This is exactly `OnlineStream::arrivals(epoch).len()` — the count is
+/// the *first* draw of the per-epoch RNG stream, before any sample
+/// indices — but it can be computed without a pool in hand, which is
+/// what lets the columnar population store (`fedl-sim`'s
+/// `ClientColumns`) realize million-client data volumes without
+/// materializing per-client index pools (docs/SCALE.md).
+pub fn arrival_count(seed: u64, lambda: f64, epoch: usize) -> usize {
+    let max_batch = (lambda * 4.0).ceil() as usize + 8;
+    let mut rng = rng_for(seed, 0x57EA ^ (epoch as u64));
+    (Poisson::new(lambda).sample(&mut rng) as usize).clamp(1, max_batch)
+}
+
 /// Per-client online data source: each epoch yields a Poisson-sized
 /// multiset of sample indices drawn from the client's partition pool.
 #[derive(Debug, Clone)]
@@ -57,6 +72,12 @@ impl OnlineStream {
         let poisson = Poisson::new(self.lambda);
         let count = (poisson.sample(&mut rng) as usize).clamp(1, self.max_batch);
         (0..count).map(|_| self.pool[rng.gen_range(0..self.pool.len())]).collect()
+    }
+
+    /// The number of arrivals at `epoch`, without materializing them.
+    /// Always equal to `self.arrivals(epoch).len()`.
+    pub fn arrival_count(&self, epoch: usize) -> usize {
+        arrival_count(self.seed, self.lambda, epoch)
     }
 
     /// Materializes the epoch-`epoch` working set as a dataset.
@@ -107,6 +128,15 @@ mod tests {
         let min = sizes.iter().min().unwrap();
         let max = sizes.iter().max().unwrap();
         assert!(max > min, "Poisson volumes should fluctuate: {sizes:?}");
+    }
+
+    #[test]
+    fn arrival_count_equals_materialized_len() {
+        let s = stream();
+        for epoch in 0..200 {
+            assert_eq!(s.arrival_count(epoch), s.arrivals(epoch).len(), "epoch {epoch}");
+            assert_eq!(arrival_count(99, 12.0, epoch), s.arrivals(epoch).len());
+        }
     }
 
     #[test]

@@ -75,17 +75,24 @@ pub fn par_map<T: Sync, U: Send, F: Fn(&T) -> U + Sync>(items: &[T], f: F) -> Ve
 /// `out_chunk`-sized slice of `out` and `in_chunk`-sized slice of
 /// `input`, in parallel.
 ///
-/// This is the GEMM row loop: `out` is split into disjoint row slices
-/// (so each worker gets exclusive `&mut` access to its rows), `input`
-/// into the matching read-only slices. Trailing elements that do not
+/// This is the GEMM row loop — and, with chunk size 1, the columnar
+/// per-client kernel pass (docs/SCALE.md): `out` is split into disjoint
+/// row slices (so each worker gets exclusive `&mut` access to its rows),
+/// `input` into the matching read-only slices. Generic over the element
+/// types, so an `f64` column can be gathered through a `usize` id column
+/// just as well as `f32` GEMM rows. Extra read-only columns can be
+/// captured by the closure and indexed with the pair index `i` (chunk
+/// size 1 makes `i` the element index). Trailing elements that do not
 /// fill a complete chunk are ignored, matching
 /// `chunks_exact_mut`/`chunks_exact` semantics.
 ///
 /// # Panics
 /// Panics if either chunk size is zero.
-pub fn par_zip_chunks<F>(out: &mut [f32], out_chunk: usize, input: &[f32], in_chunk: usize, f: F)
+pub fn par_zip_chunks<T, S, F>(out: &mut [T], out_chunk: usize, input: &[S], in_chunk: usize, f: F)
 where
-    F: Fn(usize, &mut [f32], &[f32]) + Sync,
+    T: Send,
+    S: Sync,
+    F: Fn(usize, &mut [T], &[S]) + Sync,
 {
     assert!(out_chunk > 0 && in_chunk > 0, "chunk sizes must be positive");
     let pairs = (out.len() / out_chunk).min(input.len() / in_chunk);
@@ -121,6 +128,46 @@ where
             consumed += rows;
         }
     });
+}
+
+/// Fixed reduction-chunk width for [`det_sum`] / [`det_dot`].
+///
+/// Deliberately a constant (never a function of the thread count): the
+/// chunking fully determines the floating-point association of the
+/// reduction, so results are reproducible across machines, `FEDL_THREADS`
+/// settings, and serial/parallel paths. Any reduction over at most this
+/// many terms is bit-identical to the plain sequential left fold.
+pub const DET_CHUNK: usize = 8192;
+
+/// Deterministic (thread-count-independent) chunked sum
+/// `init + Σ_{i<n} term(i)`.
+///
+/// For `n <= DET_CHUNK` this is exactly the sequential left fold
+/// `((init + t₀) + t₁) + …` — bit-identical to the per-element loops it
+/// replaces in small scenarios. For larger `n` the terms are summed in
+/// fixed [`DET_CHUNK`]-sized chunks (each a 0-seeded sequential fold,
+/// evaluated in parallel) and the chunk partials are folded onto `init`
+/// in chunk order, so the association depends only on `(init, n)`, never
+/// on the thread count.
+pub fn det_sum<F: Fn(usize) -> f64 + Sync>(init: f64, n: usize, term: F) -> f64 {
+    if n <= DET_CHUNK {
+        return (0..n).fold(init, |acc, i| acc + term(i));
+    }
+    let chunks: Vec<usize> = (0..n.div_ceil(DET_CHUNK)).collect();
+    let partials = par_map(&chunks, |&c| {
+        let start = c * DET_CHUNK;
+        let end = (start + DET_CHUNK).min(n);
+        (start..end).fold(0.0, |acc, i| acc + term(i))
+    });
+    partials.into_iter().fold(init, |acc, p| acc + p)
+}
+
+/// Deterministic dot product `Σ aᵢ·bᵢ` over the common prefix of `a` and
+/// `b`, with [`det_sum`]'s fixed-chunk association (equals
+/// `a.iter().zip(b).map(|(x, y)| x * y).sum()` whenever the length is at
+/// most [`DET_CHUNK`]).
+pub fn det_dot(a: &[f64], b: &[f64]) -> f64 {
+    det_sum(0.0, a.len().min(b.len()), |i| a[i] * b[i])
 }
 
 #[cfg(test)]
@@ -171,6 +218,46 @@ mod tests {
             body(i, o, inp);
         }
         assert_eq!(par_out, ser_out);
+    }
+
+    #[test]
+    fn par_zip_chunks_is_generic_over_element_types() {
+        // A gather: f64 column indexed through a usize id column.
+        let col: Vec<f64> = (0..100).map(|i| i as f64 * 0.5).collect();
+        let ids: Vec<usize> = vec![3, 99, 0, 42, 7];
+        let mut out = vec![0.0f64; ids.len()];
+        par_zip_chunks(&mut out, 1, &ids, 1, |_, o, id| o[0] = col[id[0]]);
+        assert_eq!(out, vec![1.5, 49.5, 0.0, 21.0, 3.5]);
+    }
+
+    #[test]
+    fn det_sum_matches_sequential_fold_below_chunk() {
+        let terms: Vec<f64> = (0..1000).map(|i| (i as f64).sin()).collect();
+        let seq = terms.iter().fold(0.25, |acc, t| acc + t);
+        let det = det_sum(0.25, terms.len(), |i| terms[i]);
+        assert_eq!(seq.to_bits(), det.to_bits());
+    }
+
+    #[test]
+    fn det_sum_is_thread_count_independent_above_chunk() {
+        // The chunked association must be a pure function of (init, n):
+        // recomputing yields bit-identical results, and the value agrees
+        // with the sequential sum to reduction-rounding tolerance.
+        let n = 3 * DET_CHUNK + 17;
+        let term = |i: usize| ((i % 97) as f64) * 1e-3 - 0.048;
+        let a = det_sum(1.0, n, term);
+        let b = det_sum(1.0, n, term);
+        assert_eq!(a.to_bits(), b.to_bits());
+        let seq = (0..n).fold(1.0, |acc, i| acc + term(i));
+        assert!((a - seq).abs() < 1e-9, "{a} vs {seq}");
+    }
+
+    #[test]
+    fn det_dot_matches_iterator_dot_below_chunk() {
+        let a: Vec<f64> = (0..257).map(|i| (i as f64).cos()).collect();
+        let b: Vec<f64> = (0..257).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let seq: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert_eq!(seq.to_bits(), det_dot(&a, &b).to_bits());
     }
 
     #[test]

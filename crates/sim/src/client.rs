@@ -1,9 +1,10 @@
 //! Static client profiles and their per-epoch realizations.
 
 use fedl_data::stream::OnlineStream;
-use fedl_linalg::rng::{derive_seed, rng_for, Rng};
+use fedl_linalg::rng::{rng_for, Rng};
 use fedl_net::{ChannelModel, ClientRadio, ComputeProfile};
 
+use crate::columns::ClientColumns;
 use crate::config::{AvailabilityModel, EnvConfig};
 
 /// Everything about a client that does not change over time.
@@ -55,33 +56,37 @@ impl ClientProfile {
         channel: &ChannelModel,
         pools: Vec<Vec<usize>>,
     ) -> Vec<ClientProfile> {
-        assert_eq!(pools.len(), config.num_clients, "one partition pool per client");
-        let mut rng = rng_for(config.seed, 0xC11E);
+        let columns = ClientColumns::build(config, channel);
+        Self::from_columns(&columns, pools)
+    }
+
+    /// Materializes row-oriented profiles from the columnar population
+    /// store ([`ClientColumns`] is the authoritative source of every
+    /// static attribute; profiles add the per-client data stream, which
+    /// needs the partition pools).
+    ///
+    /// # Panics
+    /// Panics if `pools.len()` differs from the population size or any
+    /// pool is empty (every paper client owns data).
+    pub fn from_columns(columns: &ClientColumns, pools: Vec<Vec<usize>>) -> Vec<ClientProfile> {
+        assert_eq!(pools.len(), columns.len(), "one partition pool per client");
         pools
             .into_iter()
             .enumerate()
             .map(|(id, pool)| {
                 assert!(!pool.is_empty(), "client {id} has an empty data pool");
-                // Uniform placement over the disk: sqrt for area uniformity.
-                let r = config.cell_radius_m * rng.gen::<f64>().sqrt();
-                let distance_m = r.max(channel.min_distance_m);
-                let base_gain = channel.sample_gain(distance_m, &mut rng);
-                let compute = ComputeProfile {
-                    cycles_per_bit: rng
-                        .gen_range(config.cycles_per_bit_range.0..=config.cycles_per_bit_range.1),
-                    cpu_hz: rng.gen_range(config.cpu_hz_range.0..=config.cpu_hz_range.1),
-                };
-                let lambda = rng.gen_range(config.lambda_range.0..=config.lambda_range.1);
-                let seed = derive_seed(config.seed, 0xC11E_0000 + id as u64);
-                let stream = OnlineStream::new(pool, lambda, seed);
+                let stream = OnlineStream::new(pool, columns.lambda[id], columns.seed[id]);
                 ClientProfile {
                     id,
-                    distance_m,
-                    tx_power_dbm: config.tx_power_dbm,
-                    base_gain,
-                    compute,
+                    distance_m: columns.distance_m[id],
+                    tx_power_dbm: columns.tx_power_dbm,
+                    base_gain: columns.base_gain[id],
+                    compute: ComputeProfile {
+                        cycles_per_bit: columns.cycles_per_bit[id],
+                        cpu_hz: columns.cpu_hz[id],
+                    },
                     stream,
-                    seed,
+                    seed: columns.seed[id],
                 }
             })
             .collect()
@@ -90,6 +95,11 @@ impl ClientProfile {
     /// Realizes this client's epoch-`t` state. Deterministic in
     /// `(client seed, t)`, so policies can be compared on identical
     /// sample paths.
+    ///
+    /// This is the retained scalar *reference* realization
+    /// (docs/SCALE.md): [`ClientColumns::epoch_columns`] replays the
+    /// same draws for the whole population at once, and the parity
+    /// tests hold the two bit-identical.
     pub fn epoch_view(
         &self,
         epoch: usize,

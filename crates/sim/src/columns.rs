@@ -1,0 +1,306 @@
+//! Columnar (struct-of-arrays) client population — the million-client
+//! scale-out path (docs/SCALE.md).
+//!
+//! [`ClientColumns`] holds the static population as parallel columns
+//! (one `Vec` per attribute) instead of a `Vec` of per-client structs,
+//! and [`EpochColumns`] holds one epoch's realization of the time axis
+//! (availability, cost, channel gain, data volume) the same way. Dense
+//! kernels in `fedl-core` then scan column slices instead of chasing
+//! per-client structs, which is what makes one scheduler epoch over
+//! 10⁶ clients a handful of contiguous passes.
+//!
+//! Determinism contract: [`ClientColumns::build`] consumes the shared
+//! population RNG stream in exactly the order
+//! [`ClientProfile::build_population`](crate::ClientProfile::build_population) does, and
+//! [`ClientColumns::epoch_columns`] replays per-client draws in exactly
+//! the order [`ClientProfile::epoch_view`](crate::ClientProfile::epoch_view) does — the scalar methods are
+//! retained as the reference path, and `tests/columnar_parity.rs` in
+//! `fedl-core` holds the two bit-identical. Within an epoch every
+//! client's draws are seeded independently (`rng_for(seed_k, tag)`), so
+//! realization order — and therefore sharding — cannot change a single
+//! bit of the result.
+
+use fedl_data::stream::arrival_count;
+use fedl_linalg::par::par_map;
+use fedl_linalg::rng::{derive_seed, rng_for, Rng};
+use fedl_net::{ChannelModel, ClientRadio};
+
+use crate::client::EpochClientView;
+use crate::config::{AvailabilityModel, EnvConfig};
+
+/// Realization chunk width: epoch realization fans out over contiguous
+/// id ranges of this size. Purely a parallel-grain choice — per-client
+/// draws are independently seeded, so the chunking never affects values.
+const REALIZE_CHUNK: usize = 16 * 1024;
+
+/// The static client population as parallel columns (struct-of-arrays).
+///
+/// Row `k` across all columns describes client `k`; every column has
+/// length [`ClientColumns::len`]. At one million clients the store costs
+/// 48 bytes/client ≈ 48 MB (see docs/SCALE.md for the full memory
+/// budget).
+///
+/// ```
+/// use fedl_sim::{ClientColumns, EnvConfig};
+/// use fedl_net::ChannelModel;
+///
+/// let config = EnvConfig::small(64, 7);
+/// let channel = ChannelModel::default();
+/// let cols = ClientColumns::build(&config, &channel);
+/// assert_eq!(cols.len(), 64);
+/// assert_eq!(cols.distance_m.len(), cols.cpu_hz.len());
+/// // Placement respects the cell geometry.
+/// assert!(cols.distance_m.iter().all(|&d| d <= config.cell_radius_m));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClientColumns {
+    /// Distance from the server in metres.
+    pub distance_m: Vec<f64>,
+    /// Base channel gain drawn at creation (used when the channel is not
+    /// time-varying).
+    pub base_gain: Vec<f64>,
+    /// Computation cost in cycles per bit.
+    pub cycles_per_bit: Vec<f64>,
+    /// CPU frequency in Hz.
+    pub cpu_hz: Vec<f64>,
+    /// Mean Poisson data-arrival rate λ.
+    pub lambda: Vec<f64>,
+    /// Per-client root seed for epoch draws and the data stream.
+    pub seed: Vec<u64>,
+    /// Transmit power in dBm (constant across the population, §6.1).
+    pub tx_power_dbm: f64,
+}
+
+impl ClientColumns {
+    /// Draws the population columns from the environment config.
+    ///
+    /// Consumes the shared population RNG (`rng_for(config.seed,
+    /// 0xC11E)`) with exactly the per-client draw order of
+    /// [`ClientProfile::build_population`](crate::ClientProfile::build_population), so a columnar population and
+    /// a profile population built from the same config are the same
+    /// population.
+    pub fn build(config: &EnvConfig, channel: &ChannelModel) -> Self {
+        let m = config.num_clients;
+        let mut cols = ClientColumns {
+            distance_m: Vec::with_capacity(m),
+            base_gain: Vec::with_capacity(m),
+            cycles_per_bit: Vec::with_capacity(m),
+            cpu_hz: Vec::with_capacity(m),
+            lambda: Vec::with_capacity(m),
+            seed: Vec::with_capacity(m),
+            tx_power_dbm: config.tx_power_dbm,
+        };
+        // The draws share one sequential stream, so this loop is serial
+        // by construction; it runs once per environment.
+        let mut rng = rng_for(config.seed, 0xC11E);
+        for id in 0..m {
+            // Uniform placement over the disk: sqrt for area uniformity.
+            let r = config.cell_radius_m * rng.gen::<f64>().sqrt();
+            let distance_m = r.max(channel.min_distance_m);
+            cols.distance_m.push(distance_m);
+            cols.base_gain.push(channel.sample_gain(distance_m, &mut rng));
+            cols.cycles_per_bit
+                .push(rng.gen_range(config.cycles_per_bit_range.0..=config.cycles_per_bit_range.1));
+            cols.cpu_hz.push(rng.gen_range(config.cpu_hz_range.0..=config.cpu_hz_range.1));
+            cols.lambda.push(rng.gen_range(config.lambda_range.0..=config.lambda_range.1));
+            cols.seed.push(derive_seed(config.seed, 0xC11E_0000 + id as u64));
+        }
+        cols
+    }
+
+    /// Number of clients `M`.
+    pub fn len(&self) -> usize {
+        self.seed.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.seed.is_empty()
+    }
+
+    /// Realizes epoch `t` for the whole population as columns.
+    ///
+    /// Per-client draws replay [`ClientProfile::epoch_view`](crate::ClientProfile::epoch_view)'s stream
+    /// (`rng_for(seed_k, 0xE90C ^ t)`: availability, cost, then gain)
+    /// bit-for-bit; data volumes come from
+    /// [`fedl_data::stream::arrival_count`], which equals the
+    /// materialized arrival batch length. Clients are realized in
+    /// parallel over contiguous id chunks — each client's stream is
+    /// independently seeded, so the fan-out cannot perturb values.
+    pub fn epoch_columns(
+        &self,
+        epoch: usize,
+        config: &EnvConfig,
+        channel: &ChannelModel,
+    ) -> EpochColumns {
+        let m = self.len();
+        let starts: Vec<usize> = (0..m.div_ceil(REALIZE_CHUNK).max(1)).collect();
+        let chunks = par_map(&starts, |&c| {
+            let range = c * REALIZE_CHUNK..((c + 1) * REALIZE_CHUNK).min(m);
+            let mut available = Vec::with_capacity(range.len());
+            let mut cost = Vec::with_capacity(range.len());
+            let mut gain = Vec::with_capacity(range.len());
+            let mut data_volume = Vec::with_capacity(range.len());
+            for k in range {
+                let mut rng = rng_for(self.seed[k], 0xE90C ^ (epoch as u64));
+                let on = match config.availability {
+                    AvailabilityModel::Bernoulli => rng.gen::<f64>() < config.p_available,
+                    AvailabilityModel::Markov { p_stay_on, p_stay_off } => {
+                        // Replay the chain from epoch 0 (pure function of
+                        // (client seed, epoch)), then consume the
+                        // Bernoulli draw so the cost/channel stream is
+                        // identical across availability models.
+                        let mut on =
+                            rng_for(self.seed[k], 0xA40F).gen::<f64>() < config.p_available;
+                        for e in 1..=epoch {
+                            let u = rng_for(self.seed[k], 0xA40F ^ (e as u64) << 1).gen::<f64>();
+                            on = if on { u < p_stay_on } else { u >= p_stay_off };
+                        }
+                        let _ = rng.gen::<f64>();
+                        on
+                    }
+                };
+                available.push(on);
+                cost.push(rng.gen_range(config.cost_range.0..=config.cost_range.1));
+                gain.push(if config.time_varying_channel {
+                    channel.sample_gain(self.distance_m[k], &mut rng)
+                } else {
+                    self.base_gain[k]
+                });
+                data_volume.push(arrival_count(self.seed[k], self.lambda[k], epoch) as u32);
+            }
+            (available, cost, gain, data_volume)
+        });
+        let mut out = EpochColumns {
+            epoch,
+            available: Vec::with_capacity(m),
+            cost: Vec::with_capacity(m),
+            gain: Vec::with_capacity(m),
+            data_volume: Vec::with_capacity(m),
+        };
+        for (available, cost, gain, data_volume) in chunks {
+            out.available.extend(available);
+            out.cost.extend(cost);
+            out.gain.extend(gain);
+            out.data_volume.extend(data_volume);
+        }
+        out
+    }
+}
+
+/// One epoch's realization of the time axis for the whole population,
+/// as parallel columns aligned with [`ClientColumns`].
+#[derive(Debug, Clone)]
+pub struct EpochColumns {
+    /// The realized epoch index `t`.
+    pub epoch: usize,
+    /// Availability mask (`E_t` as a dense column).
+    pub available: Vec<bool>,
+    /// Rental cost `c_{t,k}`.
+    pub cost: Vec<f64>,
+    /// Realized channel gain.
+    pub gain: Vec<f64>,
+    /// Data volume `D_{t,k}` (freshly arrived samples).
+    pub data_volume: Vec<u32>,
+}
+
+impl EpochColumns {
+    /// Ids of the available clients, ascending (`E_t`).
+    pub fn available_ids(&self) -> Vec<usize> {
+        (0..self.available.len()).filter(|&k| self.available[k]).collect()
+    }
+
+    /// Materializes the row-oriented views (the pre-columnar interface;
+    /// the training loop and latency model still consume rows).
+    pub fn views(&self, cols: &ClientColumns) -> Vec<EpochClientView> {
+        (0..self.available.len())
+            .map(|k| EpochClientView {
+                id: k,
+                available: self.available[k],
+                cost: self.cost[k],
+                radio: ClientRadio {
+                    distance_m: cols.distance_m[k],
+                    tx_power_dbm: cols.tx_power_dbm,
+                    gain: self.gain[k],
+                },
+                data_volume: self.data_volume[k] as usize,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClientProfile;
+
+    fn setup(n: usize, seed: u64) -> (EnvConfig, ChannelModel) {
+        (EnvConfig::small(n, seed), ChannelModel::default())
+    }
+
+    #[test]
+    fn columns_match_profile_population() {
+        let (config, channel) = setup(40, 11);
+        let cols = ClientColumns::build(&config, &channel);
+        let pools = (0..40).map(|k| vec![k]).collect();
+        let profiles = ClientProfile::build_population(&config, &channel, pools);
+        assert_eq!(cols.len(), profiles.len());
+        for (k, p) in profiles.iter().enumerate() {
+            assert_eq!(cols.distance_m[k].to_bits(), p.distance_m.to_bits());
+            assert_eq!(cols.base_gain[k].to_bits(), p.base_gain.to_bits());
+            assert_eq!(cols.cycles_per_bit[k].to_bits(), p.compute.cycles_per_bit.to_bits());
+            assert_eq!(cols.cpu_hz[k].to_bits(), p.compute.cpu_hz.to_bits());
+            assert_eq!(cols.seed[k], p.seed);
+        }
+    }
+
+    #[test]
+    fn epoch_columns_match_scalar_views() {
+        let (config, channel) = setup(60, 12);
+        let cols = ClientColumns::build(&config, &channel);
+        let pools = (0..60).map(|k| vec![k]).collect();
+        let profiles = ClientProfile::build_population(&config, &channel, pools);
+        for epoch in [0usize, 1, 7, 33] {
+            let ec = cols.epoch_columns(epoch, &config, &channel);
+            let views = ec.views(&cols);
+            for p in &profiles {
+                let v = p.epoch_view(epoch, &config, &channel);
+                let w = &views[p.id];
+                assert_eq!(v.available, w.available);
+                assert_eq!(v.cost.to_bits(), w.cost.to_bits());
+                assert_eq!(v.radio.gain.to_bits(), w.radio.gain.to_bits());
+                assert_eq!(v.data_volume, w.data_volume);
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_columns_match_under_markov_and_frozen_channel() {
+        let (mut config, channel) = setup(25, 13);
+        config.availability =
+            crate::config::AvailabilityModel::Markov { p_stay_on: 0.9, p_stay_off: 0.8 };
+        config.time_varying_channel = false;
+        let cols = ClientColumns::build(&config, &channel);
+        let pools = (0..25).map(|k| vec![k]).collect();
+        let profiles = ClientProfile::build_population(&config, &channel, pools);
+        for epoch in [0usize, 5, 19] {
+            let ec = cols.epoch_columns(epoch, &config, &channel);
+            for p in &profiles {
+                let v = p.epoch_view(epoch, &config, &channel);
+                assert_eq!(v.available, ec.available[p.id], "epoch {epoch} client {}", p.id);
+                assert_eq!(v.radio.gain.to_bits(), ec.gain[p.id].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn available_ids_are_ascending_and_match_mask() {
+        let (config, channel) = setup(50, 14);
+        let cols = ClientColumns::build(&config, &channel);
+        let ec = cols.epoch_columns(3, &config, &channel);
+        let ids = ec.available_ids();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(ids.len(), ec.available.iter().filter(|&&a| a).count());
+        assert!(ids.iter().all(|&k| ec.available[k]));
+    }
+}

@@ -59,6 +59,46 @@ impl AvailabilityModel {
     }
 }
 
+/// Client-population tiers of the `scale` scenario family
+/// ([`EnvConfig::scale`], docs/SCALE.md). The tier sets only the
+/// population size; every per-client distribution keeps the paper's
+/// shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleTier {
+    /// 10 000 clients — small enough for debug-mode tests and the CI
+    /// quick bench, large enough that per-client loops already hurt.
+    Tier10k,
+    /// 100 000 clients — the acceptance tier: a full scheduler epoch
+    /// must complete through the columnar path.
+    Tier100k,
+    /// 1 000 000 clients — the ROADMAP north-star tier, exercised by the
+    /// paper-profile bench kernels.
+    Tier1M,
+}
+
+impl ScaleTier {
+    /// All tiers, ascending.
+    pub const ALL: [ScaleTier; 3] = [ScaleTier::Tier10k, ScaleTier::Tier100k, ScaleTier::Tier1M];
+
+    /// The population size `M` of this tier.
+    pub fn num_clients(self) -> usize {
+        match self {
+            ScaleTier::Tier10k => 10_000,
+            ScaleTier::Tier100k => 100_000,
+            ScaleTier::Tier1M => 1_000_000,
+        }
+    }
+
+    /// Short label used in bench kernel names (`scale/score_update_10k`).
+    pub fn label(self) -> &'static str {
+        match self {
+            ScaleTier::Tier10k => "10k",
+            ScaleTier::Tier100k => "100k",
+            ScaleTier::Tier1M => "1m",
+        }
+    }
+}
+
 /// Full specification of a simulated edge federation.
 #[derive(Debug, Clone)]
 pub struct EnvConfig {
@@ -133,6 +173,16 @@ impl EnvConfig {
     /// the same shape, just smaller.
     pub fn small(num_clients: usize, seed: u64) -> Self {
         Self { num_clients, lambda_range: (8.0, 24.0), ..Self::paper_scale(seed) }
+    }
+
+    /// The `scale` scenario family (docs/SCALE.md): the paper's §6.1
+    /// heterogeneity at production population sizes. Identical to
+    /// [`EnvConfig::small`] except for the client count, so the 10k tier
+    /// is directly comparable to the test-scale scenarios and the 1M
+    /// tier exercises the columnar scheduler path
+    /// ([`crate::ClientColumns`]) at the ROADMAP's north-star size.
+    pub fn scale(tier: ScaleTier, seed: u64) -> Self {
+        Self { num_clients: tier.num_clients(), ..Self::small(1, seed) }
     }
 
     /// Checks internal consistency, returning the first violated
@@ -277,6 +327,19 @@ mod tests {
         let c = EnvConfig::small(5, 1);
         assert_eq!(c.num_clients, 5);
         c.validate();
+    }
+
+    #[test]
+    fn scale_tiers_validate_and_share_the_small_shape() {
+        for tier in ScaleTier::ALL {
+            let c = EnvConfig::scale(tier, 3);
+            assert_eq!(c.num_clients, tier.num_clients());
+            assert_eq!(c.lambda_range, EnvConfig::small(1, 3).lambda_range);
+            assert_eq!(c.cost_range, EnvConfig::paper_scale(3).cost_range);
+            c.validate();
+        }
+        assert_eq!(ScaleTier::Tier1M.label(), "1m");
+        assert_eq!(ScaleTier::Tier1M.num_clients(), 1_000_000);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use fedl_net::{ChannelModel, ClientRadio, ComputeProfile, LatencyModel};
 use fedl_telemetry::Telemetry;
 
 use crate::client::{ClientProfile, EpochClientView};
+use crate::columns::{ClientColumns, EpochColumns};
 use crate::config::EnvConfig;
 use crate::server::FederatedServer;
 
@@ -63,6 +64,7 @@ pub struct EdgeEnvironment {
     config: EnvConfig,
     channel: ChannelModel,
     latency: LatencyModel,
+    columns: ClientColumns,
     clients: Vec<ClientProfile>,
     train: Dataset,
     test: Dataset,
@@ -86,7 +88,11 @@ impl EdgeEnvironment {
         assert_eq!(model.input_dim(), train.dim(), "model/dataset dimension mismatch");
         let channel = ChannelModel::default();
         let pools = partition.split(&train, config.num_clients, config.seed);
-        let clients = ClientProfile::build_population(&config, &channel, pools);
+        // The columnar store is the authoritative population; the
+        // row-oriented profiles are materialized from it for the
+        // training loop (docs/SCALE.md).
+        let columns = ClientColumns::build(&config, &channel);
+        let clients = ClientProfile::from_columns(&columns, pools);
         let latency = LatencyModel {
             bandwidth_hz: 20e6,
             noise_dbm_per_hz: -174.0,
@@ -98,6 +104,7 @@ impl EdgeEnvironment {
             config,
             channel,
             latency,
+            columns,
             clients,
             train,
             test,
@@ -147,10 +154,30 @@ impl EdgeEnvironment {
         &mut self.server
     }
 
+    /// The columnar population store (docs/SCALE.md).
+    pub fn columns(&self) -> &ClientColumns {
+        &self.columns
+    }
+
+    /// Realizes epoch `t` for the whole population as columns — the
+    /// scale path: dense parallel kernel passes, no per-client structs.
+    /// Deterministic in the environment seed and bit-identical to
+    /// [`EdgeEnvironment::views_reference`].
+    pub fn epoch_columns(&self, epoch: usize) -> EpochColumns {
+        self.columns.epoch_columns(epoch, &self.config, &self.channel)
+    }
+
     /// Everything the time axis does to every client at epoch `t`
     /// (availability, cost, channel, data volume). Deterministic in the
-    /// environment seed.
+    /// environment seed. Realized through the columnar path.
     pub fn views(&self, epoch: usize) -> Vec<EpochClientView> {
+        self.epoch_columns(epoch).views(&self.columns)
+    }
+
+    /// The retained per-client scalar realization (the pre-columnar
+    /// `views` implementation, kept as the determinism reference for
+    /// the parity tests — docs/SCALE.md).
+    pub fn views_reference(&self, epoch: usize) -> Vec<EpochClientView> {
         self.clients.iter().map(|c| c.epoch_view(epoch, &self.config, &self.channel)).collect()
     }
 

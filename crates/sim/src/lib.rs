@@ -11,8 +11,12 @@
 //!
 //! Module map:
 //!
-//! * [`config`] — [`EnvConfig`], all §6.1 constants in one place;
-//! * [`client`] — static per-client profiles and per-epoch realizations;
+//! * [`config`] — [`EnvConfig`], all §6.1 constants in one place, plus
+//!   the [`ScaleTier`] scenario family (10k/100k/1M clients);
+//! * [`client`] — static per-client profiles and per-epoch realizations
+//!   (the retained scalar reference path);
+//! * [`columns`] — the columnar (struct-of-arrays) population store
+//!   behind the million-client scale-out (docs/SCALE.md);
 //! * [`ledger`] — the long-term budget account of constraint (3a);
 //! * [`server`] — model aggregation (`w ← w + Σ d_k / norm`) and the
 //!   aggregated-gradient state `J`;
@@ -35,6 +39,7 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
+pub mod columns;
 pub mod config;
 pub mod env;
 pub mod error;
@@ -43,7 +48,8 @@ pub mod server;
 pub mod trace;
 
 pub use client::{ClientProfile, EpochClientView};
-pub use config::{AggregationNorm, EnvConfig};
+pub use columns::{ClientColumns, EpochColumns};
+pub use config::{AggregationNorm, EnvConfig, ScaleTier};
 pub use env::{EdgeEnvironment, EpochReport};
 pub use error::SimError;
 pub use ledger::BudgetLedger;

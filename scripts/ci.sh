@@ -12,7 +12,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-STAGES=(build test doc fmt clippy telemetry checkpoint cache bench-gate bench-history dashboard overlay)
+STAGES=(build test doc fmt clippy telemetry checkpoint cache bench-gate bench-history scale dashboard overlay)
 
 run_exp() {
     cargo run --release --offline -p fedl-bench --bin experiments -- "$@"
@@ -113,6 +113,23 @@ stage_bench_history() {
         --html "$out/trend.html" > /dev/null
     grep -q 'svg id="trend-' "$out/trend.html" \
         || { echo "trend report HTML is missing the trend charts" >&2; exit 1; }
+    rm -rf "$out"
+}
+
+# Columnar scale tier (docs/SCALE.md): the quick suite must measure the
+# 10k-tier scheduler kernels, and the snapshot must round-trip through
+# the bench-history append + gate pipeline on a fresh history file (the
+# v2 schema fingerprint starts its own rolling baseline).
+stage_scale() {
+    local out=target/ci_scale_stage
+    rm -rf "$out"
+    run_exp bench --quick --out "$out/BENCH.json" > /dev/null
+    for kernel in scale/score_update_10k scale/rounding_10k; do
+        grep -q "\"$kernel\"" "$out/BENCH.json" \
+            || { echo "quick snapshot is missing the $kernel kernel" >&2; exit 1; }
+    done
+    run_exp bench-history append "$out/BENCH.json" --history "$out/BENCH_HISTORY.jsonl"
+    run_exp bench-history gate "$out/BENCH.json" --history "$out/BENCH_HISTORY.jsonl"
     rm -rf "$out"
 }
 
