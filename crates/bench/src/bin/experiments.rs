@@ -221,8 +221,27 @@ fn bench_history(invocation: &cli::Invocation) -> ExitCode {
     }
 }
 
+/// Maps a service subcommand result onto an exit code.
+fn service_exit(result: Result<(), String>) -> ExitCode {
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
-    let invocation = match cli::parse(std::env::args().skip(1)) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // The federation service has its own flag grammar (fedl-serve);
+    // route its subcommands before the figure-CLI parser.
+    match args.first().map(String::as_str) {
+        Some("serve") => return service_exit(fedl_serve::cli::run_serve(&args[1..])),
+        Some("loadgen") => return service_exit(fedl_serve::cli::run_loadgen_cli(&args[1..])),
+        _ => {}
+    }
+    let invocation = match cli::parse(args) {
         Ok(inv) => inv,
         Err(msg) => {
             eprintln!("{msg}");

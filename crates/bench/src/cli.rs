@@ -187,7 +187,9 @@ pub const USAGE: &str = "usage: experiments [--quick] [--out DIR] \
        experiments bench-history append SNAP.json [--history FILE]\n\
        experiments bench-history report [--history FILE] [--html FILE.html]\n\
        experiments bench-history gate NEW.json [--history FILE] [--window K] [--threshold PCT]\n\
-       experiments dashboard RUN.jsonl [RUN2.jsonl ...] [--html FILE.html]";
+       experiments dashboard RUN.jsonl [RUN2.jsonl ...] [--html FILE.html]\n\
+       experiments serve --addr HOST:PORT [options]    (federation service; see docs/SERVE.md)\n\
+       experiments loadgen --addr HOST:PORT [options]  (replay clients against a server)";
 
 /// Parses the argument list (without the program name).
 pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, String> {

@@ -25,8 +25,10 @@ use crate::timing::{self, measure_with_budget, Measurement};
 /// Version of the `BENCH.json` schema. Bump when kernel names, fields,
 /// or measurement semantics change; `bench-compare` refuses to compare
 /// snapshots across versions. v2 added the `scale/` kernel family
-/// (columnar scheduler passes at the 10k/100k/1M tiers, docs/SCALE.md).
-pub const BENCH_SCHEMA_VERSION: u32 = 2;
+/// (columnar scheduler passes at the 10k/100k/1M tiers, docs/SCALE.md);
+/// v3 added the `serve/` family (cohort selection through the framed
+/// service protocol, docs/SERVE.md).
+pub const BENCH_SCHEMA_VERSION: u32 = 3;
 
 /// Half-width multiplier of the noise band `mean ± K·std` used by the
 /// regression test.
@@ -379,6 +381,43 @@ fn suite_epoch(kernels: &mut Vec<KernelStats>, budget: Duration) {
     });
 }
 
+/// The service path (S15): a 1k-client cohort selection driven through
+/// the full framed protocol — encode request, envelope-verify + decode
+/// on the server, sharded scoring + RDCS rounding, encode the cohort
+/// reply, then the synthesized `TrainResult` closing the epoch. What
+/// `experiments loadgen` measures end-to-end over TCP, minus sockets.
+fn suite_serve(kernels: &mut Vec<KernelStats>, budget: Duration) {
+    use fedl_core::policy::PolicyKind;
+    use fedl_net::ChannelModel;
+    use fedl_serve::{decode_frame, encode_frame, Message, ServeConfig, ServerState};
+    use fedl_sim::ClientColumns;
+    use fedl_telemetry::Telemetry;
+
+    let config = ServeConfig::new(1000, 0xE55, 1.0e15, 8, PolicyKind::FedL);
+    let mut server = ServerState::new(config.clone(), Telemetry::disabled());
+    for client in 0..config.env.num_clients {
+        server.handle_message(Message::ClientJoin { client });
+    }
+    let channel = ChannelModel::default();
+    let latency = config.latency_model();
+    let cols = ClientColumns::build(&config.env, &channel);
+    measure_kernel(kernels, budget, "serve/select_1k", || {
+        let epoch = server.next_epoch();
+        let (reply, _) = server.handle_frame(&encode_frame(&Message::SelectCohort { epoch }));
+        let Ok(Message::Cohort { cohort, iterations, .. }) = decode_frame(&reply) else {
+            panic!("serve/select_1k: server refused the selection request");
+        };
+        if !cohort.is_empty() {
+            let synth = fedl_serve::synth_train_result(
+                &cols, &config, &channel, &latency, epoch, &cohort, iterations,
+            );
+            let (ack, _) =
+                server.handle_frame(&encode_frame(&synth.to_message(epoch, &cohort, iterations)));
+            std::hint::black_box(ack);
+        }
+    });
+}
+
 /// Runs the whole seeded suite and packages the snapshot.
 pub fn run_suite(profile: Profile) -> BenchSnapshot {
     let budget = kernel_budget(profile);
@@ -393,6 +432,7 @@ pub fn run_suite(profile: Profile) -> BenchSnapshot {
     suite_rounding(&mut kernels, budget, profile);
     suite_score_update(&mut kernels, budget, profile);
     suite_scale(&mut kernels, budget, profile);
+    suite_serve(&mut kernels, budget);
     suite_epoch(&mut kernels, budget);
     BenchSnapshot {
         schema_version: BENCH_SCHEMA_VERSION,
@@ -649,9 +689,16 @@ mod tests {
         assert_eq!(snap.schema_version, BENCH_SCHEMA_VERSION);
         assert_eq!(snap.profile, "quick");
         assert!(snap.threads >= 1);
-        for prefix in
-            ["gemm/", "linalg/softmax", "ml/dane", "core/rdcs", "core/ucb", "scale/", "epoch/"]
-        {
+        for prefix in [
+            "gemm/",
+            "linalg/softmax",
+            "ml/dane",
+            "core/rdcs",
+            "core/ucb",
+            "scale/",
+            "serve/",
+            "epoch/",
+        ] {
             assert!(
                 snap.kernels.iter().any(|k| k.name.starts_with(prefix)),
                 "suite is missing a {prefix} kernel: {:?}",

@@ -1,0 +1,328 @@
+//! Command-line drivers behind `experiments serve` and
+//! `experiments loadgen` (the bench binary routes both subcommands
+//! here; see docs/SERVE.md for usage).
+
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use fedl_core::policy::PolicyKind;
+use fedl_telemetry::Telemetry;
+
+use crate::loadgen::{reference_run, run_loadgen, LoadgenOptions};
+use crate::server::{serve_connection, ServeConfig, ServeExit, ServerState};
+use crate::transport::TcpTransport;
+
+/// Usage text for both subcommands.
+pub const USAGE: &str = "\
+experiments serve --addr HOST:PORT [options]      start the coordinator
+experiments loadgen --addr HOST:PORT [options]    replay clients against it
+
+shared scenario options (server and loadgen must agree):
+  --clients N             population size (default 100)
+  --seed S                scenario seed (default 7)
+  --budget C              total rental budget (default 500)
+  --min-participants N    participation floor per epoch (default 3)
+  --policy P              fedl | fedavg | fedcs | powd | oracle (default fedl)
+
+serve options:
+  --checkpoint FILE       checkpoint envelope path
+  --checkpoint-every N    checkpoint after every N completed epochs (default 1)
+  --resume                restore state from --checkpoint before serving
+  --telemetry FILE        write a JSONL run log
+  --port-file FILE        write the bound port (for --addr HOST:0)
+
+loadgen options:
+  --epochs E              selection epochs to drive (default 10)
+  --start-epoch T         first epoch to request (default 0)
+  --out FILE              write selections as JSONL, one line per epoch
+  --verify-reference      compare against the in-process reference run
+  --shutdown              ask the server to exit when done
+  --connect-retries N     connection attempts, 100 ms apart (default 50)
+";
+
+fn parse_policy(s: &str) -> Result<PolicyKind, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "fedl" => Ok(PolicyKind::FedL),
+        "fedavg" => Ok(PolicyKind::FedAvg),
+        "fedcs" => Ok(PolicyKind::FedCS),
+        "powd" | "pow-d" => Ok(PolicyKind::PowD),
+        "oracle" => Ok(PolicyKind::Oracle),
+        other => Err(format!("unknown policy {other:?} (fedl|fedavg|fedcs|powd|oracle)")),
+    }
+}
+
+/// Flags shared by both subcommands plus each side's extras.
+#[derive(Debug)]
+struct Parsed {
+    addr: String,
+    config: ServeConfig,
+    // serve
+    checkpoint: Option<PathBuf>,
+    checkpoint_every: usize,
+    resume: bool,
+    telemetry: Option<PathBuf>,
+    port_file: Option<PathBuf>,
+    // loadgen
+    epochs: usize,
+    start_epoch: usize,
+    out: Option<PathBuf>,
+    verify_reference: bool,
+    shutdown: bool,
+    connect_retries: usize,
+}
+
+fn parse(args: &[String]) -> Result<Parsed, String> {
+    let mut addr = None;
+    let mut clients = 100usize;
+    let mut seed = 7u64;
+    let mut budget = 500.0f64;
+    let mut min_participants = 3usize;
+    let mut policy = PolicyKind::FedL;
+    let mut checkpoint = None;
+    let mut checkpoint_every = 1usize;
+    let mut resume = false;
+    let mut telemetry = None;
+    let mut port_file = None;
+    let mut epochs = 10usize;
+    let mut start_epoch = 0usize;
+    let mut out = None;
+    let mut verify_reference = false;
+    let mut shutdown = false;
+    let mut connect_retries = 50usize;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => addr = Some(value("--addr")?.clone()),
+            "--clients" => {
+                clients = value("--clients")?.parse().map_err(|e| format!("--clients: {e}"))?
+            }
+            "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--budget" => {
+                budget = value("--budget")?.parse().map_err(|e| format!("--budget: {e}"))?
+            }
+            "--min-participants" => {
+                min_participants = value("--min-participants")?
+                    .parse()
+                    .map_err(|e| format!("--min-participants: {e}"))?
+            }
+            "--policy" => policy = parse_policy(value("--policy")?)?,
+            "--checkpoint" => checkpoint = Some(PathBuf::from(value("--checkpoint")?)),
+            "--checkpoint-every" => {
+                checkpoint_every = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?
+            }
+            "--resume" => resume = true,
+            "--telemetry" => telemetry = Some(PathBuf::from(value("--telemetry")?)),
+            "--port-file" => port_file = Some(PathBuf::from(value("--port-file")?)),
+            "--epochs" => {
+                epochs = value("--epochs")?.parse().map_err(|e| format!("--epochs: {e}"))?
+            }
+            "--start-epoch" => {
+                start_epoch =
+                    value("--start-epoch")?.parse().map_err(|e| format!("--start-epoch: {e}"))?
+            }
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--verify-reference" => verify_reference = true,
+            "--shutdown" => shutdown = true,
+            "--connect-retries" => {
+                connect_retries = value("--connect-retries")?
+                    .parse()
+                    .map_err(|e| format!("--connect-retries: {e}"))?
+            }
+            other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
+        }
+    }
+    if clients == 0 {
+        return Err("--clients must be positive".into());
+    }
+    Ok(Parsed {
+        addr: addr.ok_or_else(|| format!("--addr is required\n\n{USAGE}"))?,
+        config: ServeConfig::new(clients, seed, budget, min_participants, policy),
+        checkpoint,
+        checkpoint_every,
+        resume,
+        telemetry,
+        port_file,
+        epochs,
+        start_epoch,
+        out,
+        verify_reference,
+        shutdown,
+        connect_retries,
+    })
+}
+
+/// `experiments serve`: bind, (optionally) resume from a checkpoint,
+/// then serve connections until a `Shutdown` message arrives.
+pub fn run_serve(args: &[String]) -> Result<(), String> {
+    let parsed = parse(args)?;
+    let telemetry = match &parsed.telemetry {
+        Some(path) => Telemetry::to_file(path)
+            .map_err(|e| format!("cannot open telemetry log {}: {e}", path.display()))?,
+        None => Telemetry::disabled(),
+    };
+    let listener =
+        TcpListener::bind(&parsed.addr).map_err(|e| format!("cannot bind {}: {e}", parsed.addr))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    if let Some(port_file) = &parsed.port_file {
+        std::fs::write(port_file, local.port().to_string())
+            .map_err(|e| format!("cannot write {}: {e}", port_file.display()))?;
+    }
+    let mut state = if parsed.resume {
+        let path = parsed
+            .checkpoint
+            .as_deref()
+            .ok_or_else(|| "--resume requires --checkpoint FILE".to_string())?;
+        ServerState::resume(parsed.config.clone(), telemetry, path)
+            .map_err(|e| format!("resume failed: {e}"))?
+    } else {
+        ServerState::new(parsed.config.clone(), telemetry)
+    };
+    if let Some(path) = &parsed.checkpoint {
+        state = state.with_checkpoint(path, parsed.checkpoint_every);
+    }
+    eprintln!(
+        "fedl-serve: listening on {local} ({} clients, budget {}, policy {}, epoch {})",
+        parsed.config.env.num_clients,
+        parsed.config.budget,
+        parsed.config.policy.label(),
+        state.next_epoch(),
+    );
+    for incoming in listener.incoming() {
+        let stream = incoming.map_err(|e| format!("accept failed: {e}"))?;
+        let mut transport = TcpTransport::new(stream);
+        match serve_connection(&mut transport, &mut state) {
+            Ok(ServeExit::Shutdown) => {
+                eprintln!(
+                    "fedl-serve: shutdown at epoch {} after {} selections",
+                    state.next_epoch(),
+                    state.selections(),
+                );
+                return Ok(());
+            }
+            Ok(ServeExit::PeerClosed) => continue,
+            Err(err) => {
+                // Framing desync on one connection; the server state is
+                // still consistent, keep accepting.
+                eprintln!("fedl-serve: connection dropped: {err}");
+                continue;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn connect(addr: &str, retries: usize) -> Result<TcpStream, String> {
+    let mut last = String::new();
+    for _ in 0..retries.max(1) {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                last = e.to_string();
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+    Err(format!("cannot connect to {addr} after {retries} attempts: {last}"))
+}
+
+/// `experiments loadgen`: connect (with retry), replay the population,
+/// report sustained selections/sec, and optionally verify the served
+/// selections against the in-process reference.
+pub fn run_loadgen_cli(args: &[String]) -> Result<(), String> {
+    let parsed = parse(args)?;
+    let stream = connect(&parsed.addr, parsed.connect_retries)?;
+    let mut transport = TcpTransport::new(stream);
+    let opts = LoadgenOptions {
+        epochs: parsed.epochs,
+        start_epoch: parsed.start_epoch,
+        shutdown: parsed.shutdown,
+    };
+    let report =
+        run_loadgen(&mut transport, &parsed.config, &opts).map_err(|e| format!("loadgen: {e}"))?;
+    println!(
+        "serve loadgen: {} epochs over {} clients in {:.3} s — {:.1} selections/sec{}",
+        report.selections.len(),
+        report.clients,
+        report.elapsed_secs,
+        report.selections_per_sec(),
+        if report.done { " (budget exhausted)" } else { "" },
+    );
+    if let Some(out) = &parsed.out {
+        let mut text = String::new();
+        for record in &report.selections {
+            text.push_str(&record.to_json_line());
+            text.push('\n');
+        }
+        std::fs::write(out, text).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+        println!("wrote selections: {}", out.display());
+    }
+    if parsed.verify_reference {
+        let reference = reference_run(&parsed.config, parsed.start_epoch + parsed.epochs);
+        let expected = &reference[parsed.start_epoch.min(reference.len())..];
+        if report.selections != expected {
+            return Err(format!(
+                "served selections diverge from the in-process reference \
+                 ({} served vs {} reference records)",
+                report.selections.len(),
+                expected.len(),
+            ));
+        }
+        println!("verified: served selections match the in-process reference bit-for-bit");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_the_shared_scenario_flags() {
+        let p = parse(&strs(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--clients",
+            "40",
+            "--seed",
+            "11",
+            "--budget",
+            "250",
+            "--min-participants",
+            "4",
+            "--policy",
+            "powd",
+            "--epochs",
+            "12",
+            "--shutdown",
+        ]))
+        .unwrap();
+        assert_eq!(p.config.env.num_clients, 40);
+        assert_eq!(p.config.env.seed, 11);
+        assert_eq!(p.config.budget, 250.0);
+        assert_eq!(p.config.min_participants, 4);
+        assert_eq!(p.config.policy, PolicyKind::PowD);
+        assert_eq!(p.epochs, 12);
+        assert!(p.shutdown && !p.resume && !p.verify_reference);
+    }
+
+    #[test]
+    fn missing_addr_and_unknown_flags_are_errors() {
+        assert!(parse(&strs(&["--clients", "10"])).unwrap_err().contains("--addr"));
+        assert!(parse(&strs(&["--addr", "x", "--bogus"])).unwrap_err().contains("--bogus"));
+        assert!(parse(&strs(&["--addr", "x", "--policy", "magic"]))
+            .unwrap_err()
+            .contains("unknown policy"));
+        assert!(parse(&strs(&["--addr", "x", "--epochs"])).unwrap_err().contains("needs a value"));
+    }
+}

@@ -1,0 +1,380 @@
+//! The replay load generator and the in-process reference driver.
+//!
+//! The load generator joins every client of a seeded scenario over one
+//! connection, then drives `SelectCohort` → train → `TrainResult`
+//! epochs, timing sustained selections/sec. Training feedback is
+//! *synthesized deterministically* from the scenario seed
+//! ([`synth_train_result`]): latencies and costs come from the same
+//! columnar epoch realizations the server prices with, and the learning
+//! signals from per-client seeded streams — so an in-process run of the
+//! identical policy over the identical contexts ([`reference_run`])
+//! must reproduce the served selections bit-for-bit. That equality is
+//! the protocol's determinism contract (docs/SERVE.md) and is enforced
+//! by `--verify-reference`, the determinism tests, and the `serve` CI
+//! stage.
+
+use std::time::Instant;
+
+use fedl_core::columnar::nominal_latency;
+use fedl_json::{obj, Value};
+use fedl_linalg::rng::{rng_for, Rng};
+use fedl_net::{ChannelModel, LatencyModel};
+use fedl_sim::{BudgetLedger, ClientColumns, EpochReport};
+use fedl_telemetry::Telemetry;
+
+use crate::proto::{decode_frame, encode_frame, Message, ProtocolError, PROTOCOL_VERSION};
+use crate::server::{select_for_epoch, ServeConfig};
+use crate::transport::FrameTransport;
+
+/// One served (or reference) selection, the unit the determinism
+/// checks compare. Epochs where nobody was available appear with an
+/// empty cohort so interrupted and uninterrupted runs stay aligned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectionRecord {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Selected client ids (empty when the epoch was skipped).
+    pub cohort: Vec<usize>,
+    /// Iterations the cohort was asked to run.
+    pub iterations: usize,
+}
+
+impl SelectionRecord {
+    /// One compact JSON line (`{"epoch":..,"cohort":[..],"iterations":..}`),
+    /// the loadgen `--out` format: concatenating the halves of an
+    /// interrupted run must byte-compare equal to the full run's file.
+    pub fn to_json_line(&self) -> String {
+        obj(vec![
+            ("epoch", Value::from(self.epoch)),
+            ("cohort", Value::Arr(self.cohort.iter().map(|&k| Value::from(k)).collect())),
+            ("iterations", Value::from(self.iterations)),
+        ])
+        .to_json()
+    }
+}
+
+/// Deterministic synthetic training feedback for one epoch.
+pub struct SynthResult {
+    /// Per-iteration latency of each cohort client (cohort order).
+    pub per_client_iter_latency: Vec<f64>,
+    /// Wall-clock epoch latency: slowest client × iterations.
+    pub latency_secs: f64,
+    /// Total rental cost (sum of the epoch's realized prices).
+    pub cost: f64,
+    /// Seeded local accuracies in `(0, 1)`.
+    pub eta_hats: Vec<f32>,
+    /// Decaying global loss.
+    pub global_loss: f64,
+    /// Seeded first-order coefficients (negative: descent).
+    pub grad_dot_delta: Vec<f32>,
+    /// Seeded local losses around the decaying global loss.
+    pub local_losses: Vec<f32>,
+}
+
+impl SynthResult {
+    /// The wire message carrying this feedback.
+    pub fn to_message(&self, epoch: usize, cohort: &[usize], iterations: usize) -> Message {
+        Message::TrainResult {
+            epoch,
+            cohort: cohort.to_vec(),
+            iterations,
+            latency_secs: self.latency_secs,
+            per_client_iter_latency: self.per_client_iter_latency.clone(),
+            cost: self.cost,
+            eta_hats: self.eta_hats.clone(),
+            global_loss: self.global_loss,
+            grad_dot_delta: self.grad_dot_delta.clone(),
+            local_losses: self.local_losses.clone(),
+        }
+    }
+
+    /// The [`EpochReport`] the server reconstructs from
+    /// [`Self::to_message`] — the reference driver feeds this to
+    /// `observe` directly.
+    pub fn to_report(&self, epoch: usize, cohort: &[usize], iterations: usize) -> EpochReport {
+        EpochReport {
+            epoch,
+            cohort: cohort.to_vec(),
+            iterations,
+            latency_secs: self.latency_secs,
+            per_client_iter_latency: self.per_client_iter_latency.clone(),
+            cost: self.cost,
+            eta_hats: self.eta_hats.clone(),
+            global_loss_all: self.global_loss,
+            global_loss_selected: self.global_loss,
+            grad_dot_delta: self.grad_dot_delta.clone(),
+            local_losses: self.local_losses.clone(),
+            failed: Vec::new(),
+        }
+    }
+}
+
+/// Synthesizes the cohort's training feedback for `epoch`: real
+/// latency/cost columns from the scenario realization, learning signals
+/// from per-client seeded streams (`rng_for(seed_k, tag(epoch))`), so
+/// every driver — loadgen, reference, tests — produces identical bytes.
+pub fn synth_train_result(
+    cols: &ClientColumns,
+    config: &ServeConfig,
+    channel: &ChannelModel,
+    latency: &LatencyModel,
+    epoch: usize,
+    cohort: &[usize],
+    iterations: usize,
+) -> SynthResult {
+    let now = cols.epoch_columns(epoch, &config.env, channel);
+    let share = config.min_participants.max(1);
+    let per_client_iter_latency = nominal_latency(cols, &now, latency, share, cohort);
+    let slowest = per_client_iter_latency.iter().fold(0.0f64, |a, &b| a.max(b));
+    let cost: f64 = cohort.iter().map(|&k| now.cost[k]).sum();
+    let decay = 0.97f64.powi(epoch as i32);
+    let base_loss = (10.0f64).ln();
+    let mut eta_hats = Vec::with_capacity(cohort.len());
+    let mut grad_dot_delta = Vec::with_capacity(cohort.len());
+    let mut local_losses = Vec::with_capacity(cohort.len());
+    for &k in cohort {
+        let mut rng = rng_for(cols.seed[k], 0x5E7E_0000 ^ epoch as u64);
+        eta_hats.push((0.05 + 0.9 * rng.next_f64()) as f32);
+        grad_dot_delta.push(-((0.05 + 0.45 * rng.next_f64()) * decay) as f32);
+        local_losses.push((base_loss * (0.85 + 0.3 * rng.next_f64()) * decay) as f32);
+    }
+    SynthResult {
+        latency_secs: slowest * iterations as f64,
+        per_client_iter_latency,
+        cost,
+        eta_hats,
+        global_loss: base_loss * decay,
+        grad_dot_delta,
+        local_losses,
+    }
+}
+
+/// Load-generator knobs.
+#[derive(Debug, Clone)]
+pub struct LoadgenOptions {
+    /// Selection epochs to drive.
+    pub epochs: usize,
+    /// First epoch to request (non-zero when resuming a served run).
+    pub start_epoch: usize,
+    /// Send [`Message::Shutdown`] when done.
+    pub shutdown: bool,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        Self { epochs: 10, start_epoch: 0, shutdown: false }
+    }
+}
+
+/// What a load-generator run produced.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// One record per driven epoch, in order.
+    pub selections: Vec<SelectionRecord>,
+    /// Simulated clients joined.
+    pub clients: usize,
+    /// Wall-clock seconds spent in the selection/train loop (joins and
+    /// handshake excluded).
+    pub elapsed_secs: f64,
+    /// `true` when the server reported budget exhaustion.
+    pub done: bool,
+}
+
+impl LoadgenReport {
+    /// Sustained selection throughput over the epoch loop.
+    pub fn selections_per_sec(&self) -> f64 {
+        if self.elapsed_secs > 0.0 {
+            self.selections.len() as f64 / self.elapsed_secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Sends one request and decodes the reply; a wire [`Message::Error`]
+/// comes back as the matching [`ProtocolError`] text.
+fn rpc(transport: &mut dyn FrameTransport, msg: &Message) -> Result<Message, ProtocolError> {
+    transport.send(&encode_frame(msg))?;
+    match transport.recv()? {
+        Some(frame) => match decode_frame(&frame)? {
+            Message::Error { code, detail } => Err(ProtocolError::UnexpectedMessage {
+                detail: format!("server refused ({code}): {detail}"),
+            }),
+            reply => Ok(reply),
+        },
+        None => Err(ProtocolError::Io { detail: "server closed mid-request".into() }),
+    }
+}
+
+/// Replays the scenario's client population against a server:
+/// handshake, join everyone, then drive `opts.epochs` selection epochs
+/// with deterministic synthetic training feedback.
+pub fn run_loadgen(
+    transport: &mut dyn FrameTransport,
+    config: &ServeConfig,
+    opts: &LoadgenOptions,
+) -> Result<LoadgenReport, ProtocolError> {
+    match rpc(
+        transport,
+        &Message::Hello { protocol_version: PROTOCOL_VERSION, node: "loadgen".to_string() },
+    )? {
+        Message::Hello { protocol_version, .. } if protocol_version == PROTOCOL_VERSION => {}
+        Message::Hello { protocol_version, .. } => {
+            return Err(ProtocolError::Version { ours: PROTOCOL_VERSION, theirs: protocol_version })
+        }
+        other => {
+            return Err(ProtocolError::UnexpectedMessage {
+                detail: format!("expected Hello, got {other:?}"),
+            })
+        }
+    }
+    let channel = ChannelModel::default();
+    let latency = config.latency_model();
+    let cols = ClientColumns::build(&config.env, &channel);
+    for client in 0..config.env.num_clients {
+        match rpc(transport, &Message::ClientJoin { client })? {
+            Message::Snapshot { .. } => {}
+            other => {
+                return Err(ProtocolError::UnexpectedMessage {
+                    detail: format!("expected Snapshot join ack, got {other:?}"),
+                })
+            }
+        }
+    }
+    let mut selections = Vec::with_capacity(opts.epochs);
+    let mut done = false;
+    let started = Instant::now();
+    for epoch in opts.start_epoch..opts.start_epoch + opts.epochs {
+        let reply = rpc(transport, &Message::SelectCohort { epoch })?;
+        let Message::Cohort { epoch: got, cohort, iterations, done: exhausted } = reply else {
+            return Err(ProtocolError::UnexpectedMessage {
+                detail: format!("expected Cohort, got {reply:?}"),
+            });
+        };
+        if got != epoch {
+            return Err(ProtocolError::BadEpoch { expected: epoch, got });
+        }
+        if exhausted {
+            done = true;
+            break;
+        }
+        if cohort.is_empty() {
+            selections.push(SelectionRecord { epoch, cohort, iterations: 0 });
+            continue;
+        }
+        let synth =
+            synth_train_result(&cols, config, &channel, &latency, epoch, &cohort, iterations);
+        match rpc(transport, &synth.to_message(epoch, &cohort, iterations))? {
+            Message::Snapshot { .. } => {}
+            other => {
+                return Err(ProtocolError::UnexpectedMessage {
+                    detail: format!("expected Snapshot train ack, got {other:?}"),
+                })
+            }
+        }
+        selections.push(SelectionRecord { epoch, cohort, iterations });
+    }
+    let elapsed_secs = started.elapsed().as_secs_f64();
+    if opts.shutdown {
+        match rpc(transport, &Message::Shutdown)? {
+            Message::Snapshot { .. } => {}
+            other => {
+                return Err(ProtocolError::UnexpectedMessage {
+                    detail: format!("expected Snapshot shutdown ack, got {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(LoadgenReport { selections, clients: config.env.num_clients, elapsed_secs, done })
+}
+
+/// Drives the identical policy over the identical contexts *without*
+/// the server or protocol: the in-process baseline a served run must
+/// match bit-for-bit. All clients count as registered, matching a
+/// loadgen that joined the full population.
+pub fn reference_run(config: &ServeConfig, epochs: usize) -> Vec<SelectionRecord> {
+    let channel = ChannelModel::default();
+    let latency = config.latency_model();
+    let cols = ClientColumns::build(&config.env, &channel);
+    let mut policy = config.policy.build(
+        config.env.num_clients,
+        config.budget,
+        config.min_participants,
+        config.fedl,
+    );
+    let mut ledger = BudgetLedger::new(config.budget);
+    ledger.set_telemetry(Telemetry::disabled());
+    let registered = vec![true; config.env.num_clients];
+    let mut records = Vec::with_capacity(epochs);
+    for epoch in 0..epochs {
+        if ledger.exhausted() {
+            break;
+        }
+        let Some((ctx, cohort, iterations)) = select_for_epoch(
+            &cols,
+            config,
+            &channel,
+            &latency,
+            &registered,
+            ledger.remaining(),
+            policy.as_mut(),
+            epoch,
+        ) else {
+            records.push(SelectionRecord { epoch, cohort: Vec::new(), iterations: 0 });
+            continue;
+        };
+        let synth =
+            synth_train_result(&cols, config, &channel, &latency, epoch, &cohort, iterations);
+        ledger.charge(synth.cost);
+        policy.observe(&ctx, &synth.to_report(epoch, &cohort, iterations));
+        records.push(SelectionRecord { epoch, cohort, iterations });
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerState;
+    use crate::transport::InProcessTransport;
+    use fedl_core::policy::PolicyKind;
+
+    #[test]
+    fn served_selections_match_the_reference_bit_for_bit() {
+        let config = ServeConfig::new(60, 17, 400.0, 4, PolicyKind::FedL);
+        let mut server = ServerState::new(config.clone(), Telemetry::in_memory().0);
+        let mut transport = InProcessTransport::new(&mut server);
+        let opts = LoadgenOptions { epochs: 8, ..Default::default() };
+        let served = run_loadgen(&mut transport, &config, &opts).expect("loadgen should succeed");
+        assert_eq!(served.selections.len(), 8, "budget 400 comfortably covers 8 epochs");
+        assert!(served.selections.iter().any(|r| !r.cohort.is_empty()));
+        let reference = reference_run(&config, 8);
+        assert_eq!(served.selections, reference);
+    }
+
+    #[test]
+    fn baseline_policies_also_match() {
+        for policy in [PolicyKind::FedAvg, PolicyKind::PowD] {
+            let config = ServeConfig::new(30, 5, 300.0, 3, policy);
+            let mut server = ServerState::new(config.clone(), Telemetry::disabled());
+            let mut transport = InProcessTransport::new(&mut server);
+            let opts = LoadgenOptions { epochs: 5, ..Default::default() };
+            let served = run_loadgen(&mut transport, &config, &opts).unwrap();
+            assert_eq!(served.selections, reference_run(&config, 5), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn synth_feedback_is_deterministic() {
+        let config = ServeConfig::new(20, 3, 100.0, 2, PolicyKind::FedL);
+        let channel = ChannelModel::default();
+        let latency = config.latency_model();
+        let cols = ClientColumns::build(&config.env, &channel);
+        let cohort = vec![1, 5, 9];
+        let a = synth_train_result(&cols, &config, &channel, &latency, 2, &cohort, 3);
+        let b = synth_train_result(&cols, &config, &channel, &latency, 2, &cohort, 3);
+        assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+        assert_eq!(a.eta_hats, b.eta_hats);
+        assert_eq!(a.per_client_iter_latency, b.per_client_iter_latency);
+    }
+}

@@ -1,0 +1,465 @@
+//! Wire messages and framing for the federation service.
+//!
+//! Every message travels as one *frame*: the UTF-8 text of a
+//! `fedl-store` envelope (kind [`FRAME_KIND`]) whose JSON payload is the
+//! message object, preceded on the byte stream by a 4-byte big-endian
+//! length prefix (the transport layer's job — see [`crate::transport`]).
+//! Reusing the checksummed envelope means a corrupt, truncated, or
+//! foreign frame surfaces as a typed [`ProtocolError`] long before any
+//! field is trusted; the decoder never panics on attacker-shaped bytes.
+//!
+//! ```text
+//! [len: u32 BE] fedl-store v1 kind=serve-msg crc=<16 hex>\n{"type":...}
+//! ```
+
+use std::fmt;
+
+use fedl_json::{obj, read_field, Value};
+use fedl_store::{decode_envelope, encode_envelope, StoreError};
+
+/// Version of the message schema; both sides send it in [`Message::Hello`]
+/// and refuse mismatched peers with [`ProtocolError::Version`].
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Envelope kind tag carried by every frame.
+pub const FRAME_KIND: &str = "serve-msg";
+
+/// Hard ceiling on a frame's byte length. A length prefix above this is
+/// treated as stream desync ([`ProtocolError::FrameTooLarge`]) rather
+/// than an allocation request — million-client cohorts fit comfortably.
+pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
+/// One protocol message, either direction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Version handshake; first message on a connection, echoed by the
+    /// server.
+    Hello {
+        /// Sender's [`PROTOCOL_VERSION`].
+        protocol_version: u32,
+        /// Free-form sender label (`"loadgen"`, `"fedl-serve"`, ...).
+        node: String,
+    },
+    /// Registers client `client` into the selectable population.
+    /// Idempotent; acknowledged with [`Message::Snapshot`].
+    ClientJoin {
+        /// Population id in `0..num_clients`.
+        client: usize,
+    },
+    /// Removes client `client` from the selectable population.
+    ClientLeave {
+        /// Population id in `0..num_clients`.
+        client: usize,
+    },
+    /// Asks the server to select the cohort for `epoch` (must be the
+    /// server's next epoch). Answered with [`Message::Cohort`].
+    SelectCohort {
+        /// Epoch index `t`.
+        epoch: usize,
+    },
+    /// The server's selection for an epoch.
+    Cohort {
+        /// Epoch index `t`.
+        epoch: usize,
+        /// Selected client ids (sorted, deduplicated). Empty when no
+        /// registered client was available this epoch.
+        cohort: Vec<usize>,
+        /// Local iterations `l_t` the cohort should run.
+        iterations: usize,
+        /// `true` once the budget is exhausted: no training happens and
+        /// no [`Message::TrainResult`] is expected.
+        done: bool,
+    },
+    /// The cohort's training feedback for an epoch; mirrors the fields
+    /// of `fedl_sim::EpochReport` that feed `SelectionPolicy::observe`.
+    TrainResult {
+        /// Epoch index `t`.
+        epoch: usize,
+        /// The cohort that trained (must equal the served cohort).
+        cohort: Vec<usize>,
+        /// Iterations executed.
+        iterations: usize,
+        /// Epoch wall-clock latency in seconds.
+        latency_secs: f64,
+        /// Per-iteration latency of each cohort client, cohort order.
+        per_client_iter_latency: Vec<f64>,
+        /// Total rental cost charged this epoch.
+        cost: f64,
+        /// Measured local accuracy per cohort client.
+        eta_hats: Vec<f32>,
+        /// Global loss after the epoch.
+        global_loss: f64,
+        /// First-order `J·d_k` coefficients per cohort client.
+        grad_dot_delta: Vec<f32>,
+        /// Local loss per cohort client.
+        local_losses: Vec<f32>,
+    },
+    /// Server state report: the acknowledgement for joins, leaves,
+    /// train results, and shutdown, and the reply to a client-sent
+    /// `Snapshot` (a status query).
+    Snapshot {
+        /// The server's next epoch index.
+        epoch: usize,
+        /// Number of currently registered clients.
+        registered: usize,
+        /// Cohort selections served so far.
+        selections: usize,
+        /// Budget remaining in the ledger.
+        budget_remaining: f64,
+        /// Active selection policy label.
+        policy: String,
+    },
+    /// Asks the server to checkpoint (if configured) and exit its
+    /// accept loop. Acknowledged with [`Message::Snapshot`].
+    Shutdown,
+    /// A typed refusal; `code` is stable (see [`ProtocolError::code`]),
+    /// `detail` is human-readable.
+    Error {
+        /// Stable machine-readable error class.
+        code: String,
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl Message {
+    fn type_tag(&self) -> &'static str {
+        match self {
+            Message::Hello { .. } => "hello",
+            Message::ClientJoin { .. } => "client_join",
+            Message::ClientLeave { .. } => "client_leave",
+            Message::SelectCohort { .. } => "select_cohort",
+            Message::Cohort { .. } => "cohort",
+            Message::TrainResult { .. } => "train_result",
+            Message::Snapshot { .. } => "snapshot",
+            Message::Shutdown => "shutdown",
+            Message::Error { .. } => "error",
+        }
+    }
+
+    /// The message as a JSON object (`type` field first).
+    pub fn to_json_value(&self) -> Value {
+        let mut fields: Vec<(&'static str, Value)> = vec![("type", Value::from(self.type_tag()))];
+        match self {
+            Message::Hello { protocol_version, node } => {
+                fields.push(("protocol_version", Value::from(*protocol_version as usize)));
+                fields.push(("node", Value::from(node.as_str())));
+            }
+            Message::ClientJoin { client } | Message::ClientLeave { client } => {
+                fields.push(("client", Value::from(*client)));
+            }
+            Message::SelectCohort { epoch } => fields.push(("epoch", Value::from(*epoch))),
+            Message::Cohort { epoch, cohort, iterations, done } => {
+                fields.push(("epoch", Value::from(*epoch)));
+                fields.push(("cohort", ids_to_json(cohort)));
+                fields.push(("iterations", Value::from(*iterations)));
+                fields.push(("done", Value::Bool(*done)));
+            }
+            Message::TrainResult {
+                epoch,
+                cohort,
+                iterations,
+                latency_secs,
+                per_client_iter_latency,
+                cost,
+                eta_hats,
+                global_loss,
+                grad_dot_delta,
+                local_losses,
+            } => {
+                fields.push(("epoch", Value::from(*epoch)));
+                fields.push(("cohort", ids_to_json(cohort)));
+                fields.push(("iterations", Value::from(*iterations)));
+                fields.push(("latency_secs", Value::Float(*latency_secs)));
+                fields.push((
+                    "per_client_iter_latency",
+                    Value::Arr(per_client_iter_latency.iter().map(|&t| Value::Float(t)).collect()),
+                ));
+                fields.push(("cost", Value::Float(*cost)));
+                fields.push(("eta_hats", f32s_to_json(eta_hats)));
+                fields.push(("global_loss", Value::Float(*global_loss)));
+                fields.push(("grad_dot_delta", f32s_to_json(grad_dot_delta)));
+                fields.push(("local_losses", f32s_to_json(local_losses)));
+            }
+            Message::Snapshot { epoch, registered, selections, budget_remaining, policy } => {
+                fields.push(("epoch", Value::from(*epoch)));
+                fields.push(("registered", Value::from(*registered)));
+                fields.push(("selections", Value::from(*selections)));
+                fields.push(("budget_remaining", Value::Float(*budget_remaining)));
+                fields.push(("policy", Value::from(policy.as_str())));
+            }
+            Message::Shutdown => {}
+            Message::Error { code, detail } => {
+                fields.push(("code", Value::from(code.as_str())));
+                fields.push(("detail", Value::from(detail.as_str())));
+            }
+        }
+        obj(fields)
+    }
+
+    /// Parses a message object; any shape mismatch is a
+    /// [`ProtocolError::Schema`].
+    pub fn from_json_value(v: &Value) -> Result<Message, ProtocolError> {
+        let schema = |e: fedl_json::Error| ProtocolError::Schema { detail: e.to_string() };
+        let tag: String = read_field(v, "type").map_err(schema)?;
+        let msg = match tag.as_str() {
+            "hello" => Message::Hello {
+                protocol_version: read_field::<usize>(v, "protocol_version").map_err(schema)?
+                    as u32,
+                node: read_field(v, "node").map_err(schema)?,
+            },
+            "client_join" => {
+                Message::ClientJoin { client: read_field(v, "client").map_err(schema)? }
+            }
+            "client_leave" => {
+                Message::ClientLeave { client: read_field(v, "client").map_err(schema)? }
+            }
+            "select_cohort" => {
+                Message::SelectCohort { epoch: read_field(v, "epoch").map_err(schema)? }
+            }
+            "cohort" => Message::Cohort {
+                epoch: read_field(v, "epoch").map_err(schema)?,
+                cohort: read_field(v, "cohort").map_err(schema)?,
+                iterations: read_field(v, "iterations").map_err(schema)?,
+                done: read_field(v, "done").map_err(schema)?,
+            },
+            "train_result" => Message::TrainResult {
+                epoch: read_field(v, "epoch").map_err(schema)?,
+                cohort: read_field(v, "cohort").map_err(schema)?,
+                iterations: read_field(v, "iterations").map_err(schema)?,
+                latency_secs: read_field(v, "latency_secs").map_err(schema)?,
+                per_client_iter_latency: read_field(v, "per_client_iter_latency")
+                    .map_err(schema)?,
+                cost: read_field(v, "cost").map_err(schema)?,
+                eta_hats: read_field(v, "eta_hats").map_err(schema)?,
+                global_loss: read_field(v, "global_loss").map_err(schema)?,
+                grad_dot_delta: read_field(v, "grad_dot_delta").map_err(schema)?,
+                local_losses: read_field(v, "local_losses").map_err(schema)?,
+            },
+            "snapshot" => Message::Snapshot {
+                epoch: read_field(v, "epoch").map_err(schema)?,
+                registered: read_field(v, "registered").map_err(schema)?,
+                selections: read_field(v, "selections").map_err(schema)?,
+                budget_remaining: read_field(v, "budget_remaining").map_err(schema)?,
+                policy: read_field(v, "policy").map_err(schema)?,
+            },
+            "shutdown" => Message::Shutdown,
+            "error" => Message::Error {
+                code: read_field(v, "code").map_err(schema)?,
+                detail: read_field(v, "detail").map_err(schema)?,
+            },
+            other => {
+                return Err(ProtocolError::Schema {
+                    detail: format!("unknown message type {other:?}"),
+                })
+            }
+        };
+        Ok(msg)
+    }
+}
+
+fn ids_to_json(ids: &[usize]) -> Value {
+    Value::Arr(ids.iter().map(|&k| Value::from(k)).collect())
+}
+
+fn f32s_to_json(xs: &[f32]) -> Value {
+    Value::Arr(xs.iter().map(|&x| Value::Float(x as f64)).collect())
+}
+
+/// Serializes a message into one frame (envelope text bytes; the
+/// transport adds the length prefix).
+pub fn encode_frame(msg: &Message) -> Vec<u8> {
+    encode_envelope(FRAME_KIND, &msg.to_json_value()).into_bytes()
+}
+
+/// Verifies and parses one frame. Non-UTF-8 bytes, header damage,
+/// checksum mismatches, and unknown message shapes all come back as
+/// typed errors.
+pub fn decode_frame(frame: &[u8]) -> Result<Message, ProtocolError> {
+    let text = std::str::from_utf8(frame)
+        .map_err(|e| ProtocolError::Envelope { detail: format!("frame is not UTF-8: {e}") })?;
+    let payload = decode_envelope(text, FRAME_KIND, "frame").map_err(ProtocolError::from)?;
+    Message::from_json_value(&payload)
+}
+
+/// Everything that can go wrong between raw bytes and an applied
+/// message — always a value, never a panic, mirroring the store's
+/// `StoreError` and the run log's lenient parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolError {
+    /// Socket-level failure.
+    Io {
+        /// OS error description.
+        detail: String,
+    },
+    /// Length prefix exceeds [`MAX_FRAME_BYTES`]; the stream is
+    /// desynchronized and the connection must be dropped.
+    FrameTooLarge {
+        /// Claimed frame length.
+        len: usize,
+        /// The enforced ceiling.
+        max: usize,
+    },
+    /// The stream ended inside a frame.
+    TruncatedFrame {
+        /// Bytes the prefix promised.
+        expected: usize,
+        /// Bytes actually read.
+        got: usize,
+    },
+    /// Frame bytes are not a valid `serve-msg` envelope (bad magic,
+    /// version, kind, checksum, or encoding).
+    Envelope {
+        /// What the envelope check rejected.
+        detail: String,
+    },
+    /// The envelope verified but its payload is not a known message.
+    Schema {
+        /// What the message parser rejected.
+        detail: String,
+    },
+    /// Peer speaks a different [`PROTOCOL_VERSION`].
+    Version {
+        /// Our version.
+        ours: u32,
+        /// The peer's version.
+        theirs: u32,
+    },
+    /// Client id outside the configured population.
+    UnknownClient {
+        /// The offending id.
+        client: usize,
+        /// Population size `num_clients`.
+        population: usize,
+    },
+    /// A request named an epoch other than the server's next.
+    BadEpoch {
+        /// The server's next epoch.
+        expected: usize,
+        /// The epoch the peer asked about.
+        got: usize,
+    },
+    /// The message is valid but illegal in the server's current phase
+    /// (e.g. a `TrainResult` with no selection pending).
+    UnexpectedMessage {
+        /// Why the message was refused.
+        detail: String,
+    },
+}
+
+impl ProtocolError {
+    /// Stable machine-readable class, carried in [`Message::Error`].
+    pub fn code(&self) -> &'static str {
+        match self {
+            ProtocolError::Io { .. } => "io",
+            ProtocolError::FrameTooLarge { .. } => "frame-too-large",
+            ProtocolError::TruncatedFrame { .. } => "truncated-frame",
+            ProtocolError::Envelope { .. } => "envelope",
+            ProtocolError::Schema { .. } => "schema",
+            ProtocolError::Version { .. } => "version",
+            ProtocolError::UnknownClient { .. } => "unknown-client",
+            ProtocolError::BadEpoch { .. } => "bad-epoch",
+            ProtocolError::UnexpectedMessage { .. } => "unexpected-message",
+        }
+    }
+
+    /// The wire form: a [`Message::Error`] carrying [`Self::code`] and
+    /// the display text.
+    pub fn to_wire(&self) -> Message {
+        Message::Error { code: self.code().to_string(), detail: self.to_string() }
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Io { detail } => write!(f, "transport error: {detail}"),
+            ProtocolError::FrameTooLarge { len, max } => {
+                write!(f, "frame length {len} exceeds the {max}-byte ceiling")
+            }
+            ProtocolError::TruncatedFrame { expected, got } => {
+                write!(f, "stream ended inside a frame: expected {expected} bytes, got {got}")
+            }
+            ProtocolError::Envelope { detail } => write!(f, "bad frame envelope: {detail}"),
+            ProtocolError::Schema { detail } => write!(f, "bad message payload: {detail}"),
+            ProtocolError::Version { ours, theirs } => {
+                write!(f, "protocol version mismatch: ours v{ours}, peer v{theirs}")
+            }
+            ProtocolError::UnknownClient { client, population } => {
+                write!(f, "client {client} outside the population of {population}")
+            }
+            ProtocolError::BadEpoch { expected, got } => {
+                write!(f, "epoch {got} requested, server is at epoch {expected}")
+            }
+            ProtocolError::UnexpectedMessage { detail } => {
+                write!(f, "unexpected message: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<StoreError> for ProtocolError {
+    fn from(err: StoreError) -> Self {
+        ProtocolError::Envelope { detail: err.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) {
+        let frame = encode_frame(&msg);
+        let back = decode_frame(&frame).expect("frame should decode");
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        roundtrip(Message::Hello { protocol_version: PROTOCOL_VERSION, node: "t".into() });
+        roundtrip(Message::ClientJoin { client: 7 });
+        roundtrip(Message::ClientLeave { client: 0 });
+        roundtrip(Message::SelectCohort { epoch: 3 });
+        roundtrip(Message::Cohort { epoch: 3, cohort: vec![1, 4, 9], iterations: 5, done: false });
+        roundtrip(Message::TrainResult {
+            epoch: 3,
+            cohort: vec![1, 4],
+            iterations: 5,
+            latency_secs: 1.25,
+            per_client_iter_latency: vec![0.2, 0.25],
+            cost: 11.5,
+            eta_hats: vec![0.5, 0.75],
+            global_loss: 2.302,
+            grad_dot_delta: vec![-0.25, -0.5],
+            local_losses: vec![2.0, 2.25],
+        });
+        roundtrip(Message::Snapshot {
+            epoch: 4,
+            registered: 100,
+            selections: 4,
+            budget_remaining: 312.5,
+            policy: "FedL".into(),
+        });
+        roundtrip(Message::Shutdown);
+        roundtrip(Message::Error { code: "bad-epoch".into(), detail: "nope".into() });
+    }
+
+    #[test]
+    fn garbage_and_damage_are_typed_errors() {
+        assert!(matches!(
+            decode_frame(b"not an envelope at all\n{}"),
+            Err(ProtocolError::Envelope { .. })
+        ));
+        assert!(matches!(decode_frame(&[0xFF, 0xFE, 0x00]), Err(ProtocolError::Envelope { .. })));
+        // Valid envelope, wrong payload shape.
+        let text = fedl_store::encode_envelope(FRAME_KIND, &obj(vec![("x", Value::Int(1))]));
+        assert!(matches!(decode_frame(text.as_bytes()), Err(ProtocolError::Schema { .. })));
+        // Flipping one payload byte breaks the checksum.
+        let mut frame = encode_frame(&Message::SelectCohort { epoch: 1 });
+        let n = frame.len();
+        frame[n - 2] ^= 0x01;
+        assert!(matches!(decode_frame(&frame), Err(ProtocolError::Envelope { .. })));
+    }
+}

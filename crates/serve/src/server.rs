@@ -1,0 +1,796 @@
+//! The coordinator: a single-threaded event loop owning the policy,
+//! the ledger, and the client registry, driven entirely by protocol
+//! frames (DESIGN.md row S15, docs/SERVE.md).
+//!
+//! Epoch flow per selection: `SelectCohort{t}` realizes the columnar
+//! population at epoch `t`, masks availability by the live registry,
+//! builds the same [`EpochContext`] the scale path does
+//! (`fedl_core::columnar::scale_context`), runs the policy's sharded
+//! scoring + RDCS rounding, and answers with the cohort. The matching
+//! `TrainResult{t}` charges the ledger and feeds `observe`, closing the
+//! epoch. Because every input is either a pure function of
+//! `(config, epoch)` or carried in a frame, the whole server is a
+//! deterministic state machine — which is what makes the checkpoint /
+//! restart bit-identity contract testable.
+
+use std::path::{Path, PathBuf};
+
+use fedl_core::columnar::scale_context;
+use fedl_core::policy::{EpochContext, PolicyKind, SelectionPolicy};
+use fedl_core::FedLConfig;
+use fedl_json::{obj, read_field, ToJson, Value};
+use fedl_net::{ChannelModel, LatencyModel};
+use fedl_sim::{BudgetLedger, ClientColumns, EnvConfig, EpochColumns, EpochReport};
+use fedl_store::{content_address, read_envelope, write_envelope, StoreError};
+use fedl_telemetry::Telemetry;
+
+use crate::proto::{decode_frame, encode_frame, Message, ProtocolError, PROTOCOL_VERSION};
+use crate::transport::FrameTransport;
+
+/// Envelope kind of a server checkpoint file.
+pub const SERVE_CHECKPOINT_KIND: &str = "serve-checkpoint";
+
+/// Version of the checkpoint payload layout; bump on incompatible
+/// change so stale files fail loud.
+pub const SERVE_SNAPSHOT_SCHEMA_VERSION: u32 = 1;
+
+/// The deployment a server coordinates: the seeded client population
+/// plus the selection problem (budget, floor, policy). Loadgen and
+/// server must agree on all of it — the fingerprint in each checkpoint
+/// and the determinism checks both hash this.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The columnar client population (sizes, seeds, heterogeneity).
+    pub env: EnvConfig,
+    /// Total rental budget `C`.
+    pub budget: f64,
+    /// Participation floor `n` per epoch.
+    pub min_participants: usize,
+    /// Selection policy to run.
+    pub policy: PolicyKind,
+    /// FedL hyper-parameters (ignored by the baselines).
+    pub fedl: FedLConfig,
+}
+
+impl ServeConfig {
+    /// A population of `num_clients` small-scenario clients under
+    /// `seed`, with the given budget, floor, and policy.
+    pub fn new(
+        num_clients: usize,
+        seed: u64,
+        budget: f64,
+        min_participants: usize,
+        policy: PolicyKind,
+    ) -> Self {
+        Self {
+            env: EnvConfig::small(num_clients, seed),
+            budget,
+            min_participants,
+            policy,
+            fedl: FedLConfig::default(),
+        }
+    }
+
+    /// The latency model every context in this deployment uses.
+    pub fn latency_model(&self) -> LatencyModel {
+        LatencyModel::paper_defaults(self.env.upload_bits, 64.0)
+    }
+
+    /// Content address of the full deployment (population, budget,
+    /// floor, policy, FedL hyper-parameters); a checkpoint resumes only
+    /// into a server with the same fingerprint.
+    pub fn fingerprint(&self) -> String {
+        let key = format!(
+            "fedl-serve v{SERVE_SNAPSHOT_SCHEMA_VERSION}\npolicy={}\nbudget={}\nn={}\nenv={}\nfedl={}",
+            self.policy.label(),
+            self.budget,
+            self.min_participants,
+            fedl_json::ToJson::to_json_value(&self.env).to_json(),
+            self.fedl.to_json_value().to_json(),
+        );
+        content_address(key.as_bytes())
+    }
+}
+
+/// Builds epoch `t`'s decision context from columns, masking
+/// availability by the live registry, and runs the policy — shared by
+/// the server and the in-process reference driver so "bit-identical to
+/// in-process" compares protocol plumbing, not reimplemented math.
+/// Returns `None` when no registered client is available this epoch.
+#[allow(clippy::too_many_arguments)]
+pub fn select_for_epoch(
+    cols: &ClientColumns,
+    config: &ServeConfig,
+    channel: &ChannelModel,
+    latency: &LatencyModel,
+    registered: &[bool],
+    remaining_budget: f64,
+    policy: &mut dyn SelectionPolicy,
+    epoch: usize,
+) -> Option<(EpochContext, Vec<usize>, usize)> {
+    let mut now = cols.epoch_columns(epoch, &config.env, channel);
+    for (avail, &reg) in now.available.iter_mut().zip(registered) {
+        *avail &= reg;
+    }
+    // 0-lookahead: latency hints come from the previous epoch's channel
+    // realization (epoch 0 hints from its own), exactly like the runner.
+    let hint: EpochColumns =
+        if epoch == 0 { now.clone() } else { cols.epoch_columns(epoch - 1, &config.env, channel) };
+    let ctx = scale_context(
+        cols,
+        &hint,
+        &now,
+        latency,
+        remaining_budget,
+        config.min_participants,
+        config.env.seed,
+    )?;
+    let mut decision = policy.select(&ctx);
+    decision.cohort.retain(|id| ctx.available.contains(id));
+    decision.cohort.sort_unstable();
+    decision.cohort.dedup();
+    if decision.cohort.is_empty() {
+        // Defensive fallback, mirroring the runner: the floor-n first
+        // available clients.
+        decision.cohort = ctx.available.iter().copied().take(ctx.effective_n()).collect();
+    }
+    let iterations = decision.iterations.clamp(1, 50);
+    Some((ctx, decision.cohort, iterations))
+}
+
+/// What a handled frame asks the connection loop to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep reading frames.
+    Continue,
+    /// The peer asked for shutdown; leave the accept loop.
+    Shutdown,
+}
+
+/// How a connection ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeExit {
+    /// A [`Message::Shutdown`] was served.
+    Shutdown,
+    /// The peer closed the stream at a frame boundary.
+    PeerClosed,
+}
+
+/// Errors establishing or resuming a server (the protocol has its own
+/// [`ProtocolError`]; this covers the checkpoint file path).
+#[derive(Debug)]
+pub enum ServeError {
+    /// Reading or writing the checkpoint envelope failed.
+    Store(StoreError),
+    /// The checkpoint parsed but its payload is malformed.
+    Schema(String),
+    /// The checkpoint belongs to a different deployment.
+    Fingerprint {
+        /// Fingerprint of the server's own config.
+        expected: String,
+        /// Fingerprint recorded in the file.
+        found: String,
+    },
+    /// The checkpoint's schema version is not ours.
+    Version {
+        /// Version found in the payload.
+        found: u32,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Store(e) => write!(f, "checkpoint store error: {e}"),
+            ServeError::Schema(detail) => write!(f, "checkpoint schema error: {detail}"),
+            ServeError::Fingerprint { expected, found } => write!(
+                f,
+                "checkpoint belongs to a different deployment (expected {expected}, found {found})"
+            ),
+            ServeError::Version { found } => write!(
+                f,
+                "checkpoint schema v{found} unsupported (this build reads v{SERVE_SNAPSHOT_SCHEMA_VERSION})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<StoreError> for ServeError {
+    fn from(e: StoreError) -> Self {
+        ServeError::Store(e)
+    }
+}
+
+struct PendingEpoch {
+    ctx: EpochContext,
+    cohort: Vec<usize>,
+    iterations: usize,
+}
+
+/// The coordinator's full state: population columns, live registry,
+/// policy, ledger, and epoch cursor. One instance serves any number of
+/// sequential connections; [`Self::handle_frame`] is the entire event
+/// loop body.
+pub struct ServerState {
+    config: ServeConfig,
+    channel: ChannelModel,
+    latency: LatencyModel,
+    cols: ClientColumns,
+    policy: Box<dyn SelectionPolicy>,
+    ledger: BudgetLedger,
+    registered: Vec<bool>,
+    next_epoch: usize,
+    selections: usize,
+    pending: Option<PendingEpoch>,
+    telemetry: Telemetry,
+    checkpoint: Option<(PathBuf, usize)>,
+}
+
+impl ServerState {
+    /// A fresh server for `config`; nothing registered, epoch 0.
+    pub fn new(config: ServeConfig, telemetry: Telemetry) -> Self {
+        let channel = ChannelModel::default();
+        let latency = config.latency_model();
+        let cols = ClientColumns::build(&config.env, &channel);
+        let policy = config.policy.build(
+            config.env.num_clients,
+            config.budget,
+            config.min_participants,
+            config.fedl,
+        );
+        let mut ledger = BudgetLedger::new(config.budget);
+        ledger.set_telemetry(telemetry.clone());
+        let registered = vec![false; config.env.num_clients];
+        telemetry.emit(
+            "serve.start",
+            vec![
+                ("clients", Value::from(config.env.num_clients)),
+                ("budget", Value::Float(config.budget)),
+                ("min_participants", Value::from(config.min_participants)),
+                ("policy", Value::from(config.policy.label())),
+            ],
+        );
+        Self {
+            config,
+            channel,
+            latency,
+            cols,
+            policy,
+            ledger,
+            registered,
+            next_epoch: 0,
+            selections: 0,
+            pending: None,
+            telemetry,
+            checkpoint: None,
+        }
+    }
+
+    /// Enables checkpointing: the full server state lands in `path`
+    /// after every `every`-th completed epoch (and on shutdown).
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>, every: usize) -> Self {
+        self.checkpoint = Some((path.into(), every.max(1)));
+        self
+    }
+
+    /// Restores a server from a checkpoint written by
+    /// [`Self::save_checkpoint`]. The config must fingerprint-match the
+    /// one that wrote the file; the restored server continues the run
+    /// bit-identically.
+    pub fn resume(
+        config: ServeConfig,
+        telemetry: Telemetry,
+        path: &Path,
+    ) -> Result<Self, ServeError> {
+        let payload = read_envelope(path, SERVE_CHECKPOINT_KIND)?;
+        let schema = |e: fedl_json::Error| ServeError::Schema(e.to_string());
+        let version: usize = read_field(&payload, "schema_version").map_err(schema)?;
+        if version as u32 != SERVE_SNAPSHOT_SCHEMA_VERSION {
+            return Err(ServeError::Version { found: version as u32 });
+        }
+        let found: String = read_field(&payload, "fingerprint").map_err(schema)?;
+        let expected = config.fingerprint();
+        if found != expected {
+            return Err(ServeError::Fingerprint { expected, found });
+        }
+        let mut server = Self::new(config, telemetry);
+        server.next_epoch = read_field(&payload, "next_epoch").map_err(schema)?;
+        server.selections = read_field(&payload, "selections").map_err(schema)?;
+        let joined: Vec<usize> = read_field(&payload, "registered").map_err(schema)?;
+        for id in joined {
+            if id >= server.registered.len() {
+                return Err(ServeError::Schema(format!("registered id {id} out of range")));
+            }
+            server.registered[id] = true;
+        }
+        let ledger = payload.field("ledger").map_err(schema)?;
+        let initial: f64 = read_field(ledger, "initial").map_err(schema)?;
+        let charges: Vec<f64> = read_field(ledger, "charges").map_err(schema)?;
+        let mut restored = BudgetLedger::restore(initial, charges)
+            .map_err(|e| ServeError::Schema(e.to_string()))?;
+        restored.set_telemetry(server.telemetry.clone());
+        server.ledger = restored;
+        let policy_state = payload.field("policy_state").map_err(schema)?;
+        server.policy.restore_state(policy_state).map_err(schema)?;
+        server.telemetry.emit(
+            "serve.checkpoint_restored",
+            vec![
+                ("path", Value::from(path.display().to_string())),
+                ("next_epoch", Value::from(server.next_epoch)),
+            ],
+        );
+        Ok(server)
+    }
+
+    /// Writes the full server state (registry, ledger, epoch cursor,
+    /// policy internals including RNG streams) to `path`.
+    ///
+    /// # Panics
+    /// Panics if a selection is awaiting its `TrainResult`; the server
+    /// only checkpoints at epoch boundaries.
+    pub fn save_checkpoint(&self, path: &Path) -> Result<(), ServeError> {
+        assert!(self.pending.is_none(), "serve checkpoint mid-epoch: awaiting TrainResult");
+        let joined: Vec<usize> =
+            self.registered.iter().enumerate().filter(|(_, &r)| r).map(|(k, _)| k).collect();
+        let payload = obj(vec![
+            ("schema_version", Value::from(SERVE_SNAPSHOT_SCHEMA_VERSION as usize)),
+            ("fingerprint", Value::from(self.config.fingerprint())),
+            ("next_epoch", Value::from(self.next_epoch)),
+            ("selections", Value::from(self.selections)),
+            ("registered", Value::Arr(joined.into_iter().map(Value::from).collect())),
+            (
+                "ledger",
+                obj(vec![
+                    ("initial", Value::Float(self.ledger.initial())),
+                    (
+                        "charges",
+                        Value::Arr(
+                            self.ledger.history().iter().map(|&c| Value::Float(c)).collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            ("policy_state", self.policy.snapshot_state()),
+        ]);
+        write_envelope(path, SERVE_CHECKPOINT_KIND, &payload)?;
+        self.telemetry.emit(
+            "serve.checkpoint_saved",
+            vec![
+                ("path", Value::from(path.display().to_string())),
+                ("next_epoch", Value::from(self.next_epoch)),
+            ],
+        );
+        Ok(())
+    }
+
+    /// The server's next epoch index.
+    pub fn next_epoch(&self) -> usize {
+        self.next_epoch
+    }
+
+    /// Number of currently registered clients.
+    pub fn registered_count(&self) -> usize {
+        self.registered.iter().filter(|&&r| r).count()
+    }
+
+    /// Cohort selections served so far.
+    pub fn selections(&self) -> usize {
+        self.selections
+    }
+
+    /// Handles one raw frame: decode, dispatch, encode the reply.
+    /// Malformed frames never panic — they produce a wire
+    /// [`Message::Error`] and bump the `serve.malformed_frames`
+    /// counter, mirroring the run log's lenient parsing.
+    pub fn handle_frame(&mut self, frame: &[u8]) -> (Vec<u8>, Control) {
+        self.telemetry.counter("serve.frames_in").incr();
+        let (reply, control) = match decode_frame(frame) {
+            Ok(msg) => self.handle_message(msg),
+            Err(err) => {
+                self.note_malformed(&err);
+                (err.to_wire(), Control::Continue)
+            }
+        };
+        self.telemetry.counter("serve.frames_out").incr();
+        (encode_frame(&reply), control)
+    }
+
+    /// Records a frame that failed decoding or framing.
+    pub fn note_malformed(&mut self, err: &ProtocolError) {
+        self.telemetry.counter("serve.malformed_frames").incr();
+        self.telemetry.emit(
+            "serve.malformed_frame",
+            vec![("code", Value::from(err.code())), ("detail", Value::from(err.to_string()))],
+        );
+    }
+
+    /// Count of malformed frames seen (from the telemetry counter).
+    pub fn malformed_frames(&self) -> u64 {
+        self.telemetry.counter("serve.malformed_frames").value()
+    }
+
+    fn snapshot_reply(&self) -> Message {
+        Message::Snapshot {
+            epoch: self.next_epoch,
+            registered: self.registered_count(),
+            selections: self.selections,
+            budget_remaining: self.ledger.remaining(),
+            policy: self.policy.name().to_string(),
+        }
+    }
+
+    /// Applies one decoded message; the returned message is the reply.
+    pub fn handle_message(&mut self, msg: Message) -> (Message, Control) {
+        match msg {
+            Message::Hello { protocol_version, node: _ } => {
+                if protocol_version != PROTOCOL_VERSION {
+                    let err =
+                        ProtocolError::Version { ours: PROTOCOL_VERSION, theirs: protocol_version };
+                    self.note_malformed(&err);
+                    return (err.to_wire(), Control::Continue);
+                }
+                (
+                    Message::Hello {
+                        protocol_version: PROTOCOL_VERSION,
+                        node: "fedl-serve".to_string(),
+                    },
+                    Control::Continue,
+                )
+            }
+            Message::ClientJoin { client } => {
+                if client >= self.registered.len() {
+                    let err =
+                        ProtocolError::UnknownClient { client, population: self.registered.len() };
+                    self.note_malformed(&err);
+                    return (err.to_wire(), Control::Continue);
+                }
+                if !self.registered[client] {
+                    self.registered[client] = true;
+                    self.telemetry.counter("serve.joins").incr();
+                    self.telemetry.emit("serve.client_join", vec![("client", Value::from(client))]);
+                }
+                (self.snapshot_reply(), Control::Continue)
+            }
+            Message::ClientLeave { client } => {
+                if client >= self.registered.len() {
+                    let err =
+                        ProtocolError::UnknownClient { client, population: self.registered.len() };
+                    self.note_malformed(&err);
+                    return (err.to_wire(), Control::Continue);
+                }
+                if self.registered[client] {
+                    self.registered[client] = false;
+                    self.telemetry.counter("serve.leaves").incr();
+                    self.telemetry
+                        .emit("serve.client_leave", vec![("client", Value::from(client))]);
+                }
+                (self.snapshot_reply(), Control::Continue)
+            }
+            Message::SelectCohort { epoch } => self.handle_select(epoch),
+            Message::TrainResult {
+                epoch,
+                cohort,
+                iterations,
+                latency_secs,
+                per_client_iter_latency,
+                cost,
+                eta_hats,
+                global_loss,
+                grad_dot_delta,
+                local_losses,
+            } => self.handle_train_result(
+                epoch,
+                cohort,
+                iterations,
+                latency_secs,
+                per_client_iter_latency,
+                cost,
+                eta_hats,
+                global_loss,
+                grad_dot_delta,
+                local_losses,
+            ),
+            Message::Snapshot { .. } => (self.snapshot_reply(), Control::Continue),
+            Message::Shutdown => {
+                if let Some((path, _)) = self.checkpoint.clone() {
+                    if self.pending.is_none() {
+                        if let Err(e) = self.save_checkpoint(&path) {
+                            eprintln!("fedl-serve: shutdown checkpoint failed: {e}");
+                        }
+                    }
+                }
+                self.telemetry.emit(
+                    "serve.shutdown",
+                    vec![
+                        ("epoch", Value::from(self.next_epoch)),
+                        ("selections", Value::from(self.selections)),
+                    ],
+                );
+                self.telemetry.emit_metrics();
+                self.telemetry.flush();
+                (self.snapshot_reply(), Control::Shutdown)
+            }
+            // Server-only replies arriving as requests are protocol misuse.
+            Message::Cohort { .. } | Message::Error { .. } => {
+                let err = ProtocolError::UnexpectedMessage {
+                    detail: "reply-only message sent as a request".to_string(),
+                };
+                self.note_malformed(&err);
+                (err.to_wire(), Control::Continue)
+            }
+        }
+    }
+
+    fn handle_select(&mut self, epoch: usize) -> (Message, Control) {
+        if epoch != self.next_epoch {
+            let err = ProtocolError::BadEpoch { expected: self.next_epoch, got: epoch };
+            self.note_malformed(&err);
+            return (err.to_wire(), Control::Continue);
+        }
+        if self.pending.is_some() {
+            let err = ProtocolError::UnexpectedMessage {
+                detail: format!("epoch {epoch} already selected; send its TrainResult first"),
+            };
+            self.note_malformed(&err);
+            return (err.to_wire(), Control::Continue);
+        }
+        if self.ledger.exhausted() {
+            return (
+                Message::Cohort { epoch, cohort: Vec::new(), iterations: 0, done: true },
+                Control::Continue,
+            );
+        }
+        let span = self.telemetry.span("serve.select");
+        let selected = select_for_epoch(
+            &self.cols,
+            &self.config,
+            &self.channel,
+            &self.latency,
+            &self.registered,
+            self.ledger.remaining(),
+            self.policy.as_mut(),
+            epoch,
+        );
+        drop(span);
+        let Some((ctx, cohort, iterations)) = selected else {
+            // Nobody available: the epoch passes with no training, same
+            // as the runner skipping it.
+            self.next_epoch += 1;
+            return (
+                Message::Cohort { epoch, cohort: Vec::new(), iterations: 0, done: false },
+                Control::Continue,
+            );
+        };
+        self.telemetry.counter("serve.selections").incr();
+        self.telemetry.emit(
+            "serve.select",
+            vec![
+                ("epoch", Value::from(epoch)),
+                ("cohort_size", Value::from(cohort.len())),
+                ("iterations", Value::from(iterations)),
+                ("available", Value::from(ctx.available.len())),
+            ],
+        );
+        let reply = Message::Cohort { epoch, cohort: cohort.clone(), iterations, done: false };
+        self.pending = Some(PendingEpoch { ctx, cohort, iterations });
+        (reply, Control::Continue)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_train_result(
+        &mut self,
+        epoch: usize,
+        cohort: Vec<usize>,
+        iterations: usize,
+        latency_secs: f64,
+        per_client_iter_latency: Vec<f64>,
+        cost: f64,
+        eta_hats: Vec<f32>,
+        global_loss: f64,
+        grad_dot_delta: Vec<f32>,
+        local_losses: Vec<f32>,
+    ) -> (Message, Control) {
+        let Some(pending) = self.pending.as_ref() else {
+            let err = ProtocolError::UnexpectedMessage {
+                detail: format!("TrainResult for epoch {epoch} with no selection pending"),
+            };
+            self.note_malformed(&err);
+            return (err.to_wire(), Control::Continue);
+        };
+        if epoch != pending.ctx.epoch {
+            let err = ProtocolError::BadEpoch { expected: pending.ctx.epoch, got: epoch };
+            self.note_malformed(&err);
+            return (err.to_wire(), Control::Continue);
+        }
+        let aligned = [
+            per_client_iter_latency.len(),
+            eta_hats.len(),
+            grad_dot_delta.len(),
+            local_losses.len(),
+        ]
+        .iter()
+        .all(|&n| n == cohort.len());
+        if cohort != pending.cohort || iterations != pending.iterations || !aligned {
+            let err = ProtocolError::UnexpectedMessage {
+                detail: format!(
+                    "TrainResult cohort does not match the served selection for epoch {epoch}"
+                ),
+            };
+            self.note_malformed(&err);
+            return (err.to_wire(), Control::Continue);
+        }
+        let pending = self.pending.take().expect("checked above");
+        let report = EpochReport {
+            epoch,
+            cohort,
+            iterations,
+            latency_secs,
+            per_client_iter_latency,
+            cost,
+            eta_hats,
+            global_loss_all: global_loss,
+            global_loss_selected: global_loss,
+            grad_dot_delta,
+            local_losses,
+            failed: Vec::new(),
+        };
+        self.ledger.charge(report.cost);
+        self.policy.observe(&pending.ctx, &report);
+        self.next_epoch += 1;
+        self.selections += 1;
+        self.telemetry.counter("serve.train_results").incr();
+        self.telemetry.emit(
+            "serve.train_result",
+            vec![
+                ("epoch", Value::from(epoch)),
+                ("cost", Value::Float(report.cost)),
+                ("remaining", Value::Float(self.ledger.remaining())),
+            ],
+        );
+        if let Some((path, every)) = self.checkpoint.clone() {
+            if self.next_epoch.is_multiple_of(every) {
+                if let Err(e) = self.save_checkpoint(&path) {
+                    eprintln!("fedl-serve: checkpoint failed: {e}");
+                }
+            }
+        }
+        (self.snapshot_reply(), Control::Continue)
+    }
+}
+
+/// Serves one connection until shutdown, clean close, or a framing
+/// error that desynchronizes the stream (the error is reported to the
+/// peer on a best-effort basis, then surfaced to the caller).
+pub fn serve_connection(
+    transport: &mut dyn FrameTransport,
+    state: &mut ServerState,
+) -> Result<ServeExit, ProtocolError> {
+    loop {
+        match transport.recv() {
+            Ok(Some(frame)) => {
+                let (reply, control) = state.handle_frame(&frame);
+                transport.send(&reply)?;
+                if control == Control::Shutdown {
+                    return Ok(ServeExit::Shutdown);
+                }
+            }
+            Ok(None) => return Ok(ServeExit::PeerClosed),
+            Err(err) => {
+                state.note_malformed(&err);
+                let _ = transport.send(&encode_frame(&err.to_wire()));
+                return Err(err);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server(clients: usize, budget: f64) -> ServerState {
+        let config = ServeConfig::new(clients, 11, budget, 3, PolicyKind::FedL);
+        ServerState::new(config, Telemetry::in_memory().0)
+    }
+
+    fn expect_cohort(reply: Message) -> (Vec<usize>, usize, bool) {
+        match reply {
+            Message::Cohort { cohort, iterations, done, .. } => (cohort, iterations, done),
+            other => panic!("expected Cohort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_select_train_advances_the_epoch() {
+        let mut s = server(20, 500.0);
+        for k in 0..20 {
+            let (reply, _) = s.handle_message(Message::ClientJoin { client: k });
+            assert!(matches!(reply, Message::Snapshot { .. }));
+        }
+        assert_eq!(s.registered_count(), 20);
+        let (reply, _) = s.handle_message(Message::SelectCohort { epoch: 0 });
+        let (cohort, iterations, done) = expect_cohort(reply);
+        assert!(!done && !cohort.is_empty() && iterations >= 1);
+        // Feed a train result for the served cohort.
+        let n = cohort.len();
+        let (reply, _) = s.handle_message(Message::TrainResult {
+            epoch: 0,
+            cohort,
+            iterations,
+            latency_secs: 1.0,
+            per_client_iter_latency: vec![0.1; n],
+            cost: 5.0,
+            eta_hats: vec![0.5; n],
+            global_loss: 2.3,
+            grad_dot_delta: vec![-0.1; n],
+            local_losses: vec![2.3; n],
+        });
+        assert!(matches!(reply, Message::Snapshot { epoch: 1, .. }));
+        assert_eq!(s.next_epoch(), 1);
+        assert_eq!(s.selections(), 1);
+    }
+
+    #[test]
+    fn empty_registry_skips_the_epoch() {
+        let mut s = server(10, 100.0);
+        let (reply, _) = s.handle_message(Message::SelectCohort { epoch: 0 });
+        let (cohort, _, done) = expect_cohort(reply);
+        assert!(cohort.is_empty() && !done);
+        assert_eq!(s.next_epoch(), 1, "an empty epoch still passes");
+    }
+
+    #[test]
+    fn protocol_misuse_is_refused_with_typed_errors() {
+        let mut s = server(10, 100.0);
+        let before = s.malformed_frames();
+        let (reply, _) = s.handle_message(Message::SelectCohort { epoch: 5 });
+        assert!(matches!(reply, Message::Error { ref code, .. } if code == "bad-epoch"));
+        let (reply, _) = s.handle_message(Message::ClientJoin { client: 99 });
+        assert!(matches!(reply, Message::Error { ref code, .. } if code == "unknown-client"));
+        let (reply, _) = s.handle_message(Message::TrainResult {
+            epoch: 0,
+            cohort: vec![0],
+            iterations: 1,
+            latency_secs: 0.1,
+            per_client_iter_latency: vec![0.1],
+            cost: 1.0,
+            eta_hats: vec![0.5],
+            global_loss: 2.3,
+            grad_dot_delta: vec![-0.1],
+            local_losses: vec![2.3],
+        });
+        assert!(matches!(reply, Message::Error { ref code, .. } if code == "unexpected-message"));
+        assert_eq!(s.malformed_frames(), before + 3);
+    }
+
+    #[test]
+    fn exhausted_budget_reports_done() {
+        let mut s = server(10, 1e-9);
+        for k in 0..10 {
+            s.handle_message(Message::ClientJoin { client: k });
+        }
+        // The ledger only exhausts after a charge crosses it; force one
+        // epoch through, then the next select must say done.
+        let (reply, _) = s.handle_message(Message::SelectCohort { epoch: 0 });
+        let (cohort, iterations, done) = expect_cohort(reply);
+        assert!(!done);
+        let n = cohort.len();
+        s.handle_message(Message::TrainResult {
+            epoch: 0,
+            cohort,
+            iterations,
+            latency_secs: 1.0,
+            per_client_iter_latency: vec![0.1; n],
+            cost: 10.0,
+            eta_hats: vec![0.5; n],
+            global_loss: 2.3,
+            grad_dot_delta: vec![-0.1; n],
+            local_losses: vec![2.3; n],
+        });
+        let (reply, _) = s.handle_message(Message::SelectCohort { epoch: 1 });
+        let (_, _, done) = expect_cohort(reply);
+        assert!(done);
+    }
+}

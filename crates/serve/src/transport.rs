@@ -1,0 +1,218 @@
+//! Frame transports: length-prefixed byte streams over TCP, an
+//! in-memory duplex pair for tests and examples, and a lock-step
+//! in-process transport that drives a [`ServerState`] directly (the
+//! bench kernel's zero-socket path through the full encode/decode
+//! pipeline).
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+use crate::proto::{ProtocolError, MAX_FRAME_BYTES};
+use crate::server::ServerState;
+
+/// A reliable, ordered frame pipe. `recv` returning `Ok(None)` means
+/// the peer closed cleanly at a frame boundary.
+pub trait FrameTransport {
+    /// Sends one frame.
+    fn send(&mut self, frame: &[u8]) -> Result<(), ProtocolError>;
+    /// Receives the next frame, `None` on clean end-of-stream.
+    fn recv(&mut self) -> Result<Option<Vec<u8>>, ProtocolError>;
+}
+
+/// Writes `frame` with its 4-byte big-endian length prefix as a single
+/// buffered write.
+pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> Result<(), ProtocolError> {
+    if frame.len() > MAX_FRAME_BYTES {
+        return Err(ProtocolError::FrameTooLarge { len: frame.len(), max: MAX_FRAME_BYTES });
+    }
+    let mut buf = Vec::with_capacity(4 + frame.len());
+    buf.extend_from_slice(&(frame.len() as u32).to_be_bytes());
+    buf.extend_from_slice(frame);
+    w.write_all(&buf).map_err(io_err)?;
+    w.flush().map_err(io_err)
+}
+
+/// Reads the next length-prefixed frame. Clean EOF before a prefix is
+/// `Ok(None)`; EOF inside a prefix or payload is
+/// [`ProtocolError::TruncatedFrame`]; a prefix above
+/// [`MAX_FRAME_BYTES`] is [`ProtocolError::FrameTooLarge`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ProtocolError> {
+    let mut prefix = [0u8; 4];
+    match read_some(r, &mut prefix)? {
+        0 => return Ok(None),
+        4 => {}
+        got => return Err(ProtocolError::TruncatedFrame { expected: 4, got }),
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(ProtocolError::FrameTooLarge { len, max: MAX_FRAME_BYTES });
+    }
+    let mut frame = vec![0u8; len];
+    let got = read_some(r, &mut frame)?;
+    if got != len {
+        return Err(ProtocolError::TruncatedFrame { expected: len, got });
+    }
+    Ok(Some(frame))
+}
+
+/// Fills as much of `buf` as the stream yields before EOF; returns the
+/// byte count (interrupted reads are retried).
+fn read_some(r: &mut impl Read, buf: &mut [u8]) -> Result<usize, ProtocolError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(io_err(e)),
+        }
+    }
+    Ok(filled)
+}
+
+fn io_err(e: std::io::Error) -> ProtocolError {
+    ProtocolError::Io { detail: e.to_string() }
+}
+
+/// [`FrameTransport`] over a connected [`TcpStream`].
+pub struct TcpTransport {
+    stream: TcpStream,
+}
+
+impl TcpTransport {
+    /// Wraps a connected stream (Nagle disabled: frames are
+    /// request/response sized and latency-bound).
+    pub fn new(stream: TcpStream) -> Self {
+        stream.set_nodelay(true).ok();
+        Self { stream }
+    }
+}
+
+impl FrameTransport for TcpTransport {
+    fn send(&mut self, frame: &[u8]) -> Result<(), ProtocolError> {
+        write_frame(&mut self.stream, frame)
+    }
+
+    fn recv(&mut self) -> Result<Option<Vec<u8>>, ProtocolError> {
+        read_frame(&mut self.stream)
+    }
+}
+
+/// In-memory duplex transport: a pair of connected endpoints backed by
+/// channels, usable across threads — the test/example stand-in for a
+/// TCP connection.
+pub struct DuplexTransport {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+}
+
+impl DuplexTransport {
+    /// Builds two connected endpoints; frames sent on one side arrive
+    /// on the other in order.
+    pub fn pair() -> (DuplexTransport, DuplexTransport) {
+        let (atx, brx) = channel();
+        let (btx, arx) = channel();
+        (DuplexTransport { tx: atx, rx: arx }, DuplexTransport { tx: btx, rx: brx })
+    }
+}
+
+impl FrameTransport for DuplexTransport {
+    fn send(&mut self, frame: &[u8]) -> Result<(), ProtocolError> {
+        if frame.len() > MAX_FRAME_BYTES {
+            return Err(ProtocolError::FrameTooLarge { len: frame.len(), max: MAX_FRAME_BYTES });
+        }
+        self.tx
+            .send(frame.to_vec())
+            .map_err(|_| ProtocolError::Io { detail: "peer endpoint dropped".into() })
+    }
+
+    fn recv(&mut self) -> Result<Option<Vec<u8>>, ProtocolError> {
+        // Disconnected sender == clean close, matching TCP EOF.
+        Ok(self.rx.recv().ok())
+    }
+}
+
+/// Lock-step transport that dispatches every sent frame straight into a
+/// [`ServerState`] and queues the reply for the next `recv` — the full
+/// encode → envelope-verify → decode → handle path with no sockets or
+/// threads. The bench `serve/select_1k` kernel and the determinism
+/// tests run the load generator over this.
+pub struct InProcessTransport<'a> {
+    server: &'a mut ServerState,
+    replies: VecDeque<Vec<u8>>,
+}
+
+impl<'a> InProcessTransport<'a> {
+    /// Connects a client directly to `server`.
+    pub fn new(server: &'a mut ServerState) -> Self {
+        Self { server, replies: VecDeque::new() }
+    }
+}
+
+impl FrameTransport for InProcessTransport<'_> {
+    fn send(&mut self, frame: &[u8]) -> Result<(), ProtocolError> {
+        let (reply, _control) = self.server.handle_frame(frame);
+        self.replies.push_back(reply);
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Option<Vec<u8>>, ProtocolError> {
+        Ok(self.replies.pop_front())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"alpha").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, b"bravo charlie").unwrap();
+        let mut r = Cursor::new(wire);
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"alpha"[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"bravo charlie"[..]));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn truncation_and_oversize_are_typed() {
+        // Cut inside the payload.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"some payload").unwrap();
+        wire.truncate(wire.len() - 3);
+        assert!(matches!(
+            read_frame(&mut Cursor::new(wire)),
+            Err(ProtocolError::TruncatedFrame { .. })
+        ));
+        // Cut inside the prefix.
+        assert!(matches!(
+            read_frame(&mut Cursor::new(vec![0u8, 0])),
+            Err(ProtocolError::TruncatedFrame { expected: 4, got: 2 })
+        ));
+        // Absurd length prefix.
+        let huge = 0xFFFF_FFFFu32.to_be_bytes().to_vec();
+        assert!(matches!(
+            read_frame(&mut Cursor::new(huge)),
+            Err(ProtocolError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn duplex_pair_carries_frames_both_ways() {
+        let (mut a, mut b) = DuplexTransport::pair();
+        a.send(b"ping").unwrap();
+        assert_eq!(b.recv().unwrap().as_deref(), Some(&b"ping"[..]));
+        b.send(b"pong").unwrap();
+        assert_eq!(a.recv().unwrap().as_deref(), Some(&b"pong"[..]));
+        drop(b);
+        assert_eq!(a.recv().unwrap(), None);
+        assert!(a.send(b"late").is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! Protocol robustness: a seeded fuzz loop throws truncated,
+//! bit-flipped, oversized-length, and garbage frames at the decoder
+//! and the server. Every case must come back as a typed
+//! [`ProtocolError`] (or a wire `error` message) — never a panic — and
+//! must bump the malformed-frame counter, mirroring the run log's
+//! lenient line parsing.
+
+use std::io::Cursor;
+
+use fedl_core::policy::PolicyKind;
+use fedl_linalg::rng::{rng_for, Rng};
+use fedl_serve::{
+    decode_frame, read_frame, write_frame, Message, ProtocolError, ServeConfig, ServerState,
+    MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+use fedl_telemetry::Telemetry;
+
+/// A rotating set of well-formed messages to mutate.
+fn valid_message(i: usize) -> Message {
+    match i % 6 {
+        0 => Message::Hello { protocol_version: PROTOCOL_VERSION, node: "fuzz".into() },
+        1 => Message::ClientJoin { client: i % 40 },
+        2 => Message::SelectCohort { epoch: i },
+        3 => Message::Cohort { epoch: i, cohort: vec![1, 2, 3], iterations: 4, done: false },
+        4 => Message::TrainResult {
+            epoch: i,
+            cohort: vec![0, 5],
+            iterations: 3,
+            latency_secs: 1.5,
+            per_client_iter_latency: vec![0.5, 0.25],
+            cost: 7.5,
+            eta_hats: vec![0.5, 0.625],
+            global_loss: 2.25,
+            grad_dot_delta: vec![-0.125, -0.5],
+            local_losses: vec![2.0, 2.5],
+        },
+        _ => Message::Shutdown,
+    }
+}
+
+#[test]
+fn mutated_frames_yield_typed_errors_and_count() {
+    let config = ServeConfig::new(40, 3, 1000.0, 3, PolicyKind::FedL);
+    let mut server = ServerState::new(config, Telemetry::in_memory().0);
+    let mut rng = rng_for(0xF022_2ED5, 1);
+    let rounds = 300usize;
+    for i in 0..rounds {
+        let mut frame = fedl_serve::encode_frame(&valid_message(i));
+        match i % 3 {
+            0 => {
+                // Truncate somewhere inside the frame.
+                let cut = (rng.next_u64() as usize) % frame.len();
+                frame.truncate(cut);
+            }
+            1 => {
+                // Flip one random bit.
+                let byte = (rng.next_u64() as usize) % frame.len();
+                let bit = (rng.next_u64() % 8) as u8;
+                frame[byte] ^= 1 << bit;
+            }
+            _ => {
+                // Replace with garbage bytes of random length.
+                let len = 1 + (rng.next_u64() as usize) % 64;
+                frame = (0..len).map(|_| rng.next_u64() as u8).collect();
+            }
+        }
+        let before = server.malformed_frames();
+        let (reply, _control) = server.handle_frame(&frame);
+        let decoded = decode_frame(&reply).expect("server replies are always well-formed");
+        assert!(
+            matches!(decoded, Message::Error { .. }),
+            "round {i}: mutated frame must be refused, got {decoded:?}"
+        );
+        assert_eq!(server.malformed_frames(), before + 1, "round {i}: counter must move");
+    }
+    assert_eq!(server.malformed_frames(), rounds as u64);
+    // The server survived 300 rounds of abuse and still works.
+    let (reply, _) = server.handle_message(Message::ClientJoin { client: 0 });
+    assert!(matches!(reply, Message::Snapshot { .. }));
+}
+
+#[test]
+fn stream_level_damage_is_typed() {
+    // Oversized length prefix: desync, not an allocation attempt.
+    let huge = ((MAX_FRAME_BYTES + 1) as u32).to_be_bytes().to_vec();
+    assert!(matches!(read_frame(&mut Cursor::new(huge)), Err(ProtocolError::FrameTooLarge { .. })));
+    // Stream cut inside the length prefix.
+    assert!(matches!(
+        read_frame(&mut Cursor::new(vec![0u8; 3])),
+        Err(ProtocolError::TruncatedFrame { expected: 4, got: 3 })
+    ));
+    // Stream cut inside the payload.
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &fedl_serve::encode_frame(&Message::Shutdown)).unwrap();
+    wire.truncate(wire.len() - 5);
+    assert!(matches!(
+        read_frame(&mut Cursor::new(wire)),
+        Err(ProtocolError::TruncatedFrame { .. })
+    ));
+    // An over-limit frame is refused on the send side too.
+    let mut sink = Vec::new();
+    assert!(matches!(
+        write_frame(&mut sink, &vec![0u8; MAX_FRAME_BYTES + 1]),
+        Err(ProtocolError::FrameTooLarge { .. })
+    ));
+}
+
+#[test]
+fn decoder_never_panics_on_seeded_garbage() {
+    let mut rng = rng_for(0xDECAF, 2);
+    for _ in 0..500 {
+        let len = (rng.next_u64() as usize) % 256;
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        // Must be an Err, and must not panic.
+        assert!(decode_frame(&bytes).is_err());
+    }
+}

@@ -28,39 +28,32 @@ pub const FORMAT_VERSION: u32 = 1;
 
 const MAGIC: &str = "fedl-store";
 
-/// Serializes `payload` under a `kind`-tagged, checksummed header and
-/// writes it atomically (temp file + rename) to `path`.
-pub fn write_envelope(path: &Path, kind: &str, payload: &Value) -> Result<(), StoreError> {
+/// Serializes `payload` into the envelope text — header line plus
+/// compact JSON body — without touching the filesystem. This is the
+/// unit `fedl-serve` frames over the wire; [`write_envelope`] is the
+/// same text landed atomically in a file.
+pub fn encode_envelope(kind: &str, payload: &Value) -> String {
     assert!(
         !kind.is_empty() && kind.chars().all(|c| c.is_ascii_graphic() && c != '='),
         "envelope kind must be non-empty printable ASCII without '=': {kind:?}"
     );
     let body = payload.to_json();
-    let text = format!(
-        "{MAGIC} v{FORMAT_VERSION} kind={kind} crc={:016x}\n{body}",
-        fnv1a64(body.as_bytes())
-    );
-    if let Some(dir) = path.parent() {
-        if !dir.as_os_str().is_empty() {
-            fs::create_dir_all(dir).map_err(|e| StoreError::io(dir, &e))?;
-        }
-    }
-    let tmp = path.with_extension("tmp");
-    fs::write(&tmp, text).map_err(|e| StoreError::io(&tmp, &e))?;
-    fs::rename(&tmp, path).map_err(|e| StoreError::io(path, &e))
+    format!("{MAGIC} v{FORMAT_VERSION} kind={kind} crc={:016x}\n{body}", fnv1a64(body.as_bytes()))
 }
 
-/// Reads, verifies, and parses an envelope written by
-/// [`write_envelope`]. The header's magic, version, `kind`, and
-/// checksum are all checked before the payload is parsed.
-pub fn read_envelope(path: &Path, kind: &str) -> Result<Value, StoreError> {
-    let text = fs::read_to_string(path).map_err(|e| StoreError::io(path, &e))?;
-    let display = path.display().to_string();
+/// Verifies and parses envelope text produced by [`encode_envelope`].
+/// `source` labels the origin in error values — a file path for stored
+/// envelopes, a peer address or `"frame"` for wire frames. The header's
+/// magic, version, `kind`, and checksum are all checked before the
+/// payload is parsed; every failure is a typed [`StoreError`], never a
+/// panic.
+pub fn decode_envelope(text: &str, kind: &str, source: &str) -> Result<Value, StoreError> {
+    let display = source.to_string();
     let corrupt = |reason: String| StoreError::Corrupt { path: display.clone(), reason };
     let Some((header, body)) = text.split_once('\n') else {
-        // No newline: either an empty/partial file or something that was
-        // never an envelope.
-        if text.starts_with(MAGIC) || text.is_empty() {
+        // No newline: either an empty/partial envelope or something that
+        // was never an envelope.
+        if text.starts_with(MAGIC) || text.is_empty() || MAGIC.starts_with(text) {
             return Err(StoreError::Truncated { path: display });
         }
         return Err(corrupt("missing envelope header".into()));
@@ -98,6 +91,28 @@ pub fn read_envelope(path: &Path, kind: &str) -> Result<Value, StoreError> {
         return Err(StoreError::ChecksumMismatch { path: display, expected, actual });
     }
     Value::parse(body).map_err(|e| StoreError::Schema { path: display, reason: e.to_string() })
+}
+
+/// Serializes `payload` under a `kind`-tagged, checksummed header and
+/// writes it atomically (temp file + rename) to `path`.
+pub fn write_envelope(path: &Path, kind: &str, payload: &Value) -> Result<(), StoreError> {
+    let text = encode_envelope(kind, payload);
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            fs::create_dir_all(dir).map_err(|e| StoreError::io(dir, &e))?;
+        }
+    }
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, text).map_err(|e| StoreError::io(&tmp, &e))?;
+    fs::rename(&tmp, path).map_err(|e| StoreError::io(path, &e))
+}
+
+/// Reads, verifies, and parses an envelope written by
+/// [`write_envelope`]. The header's magic, version, `kind`, and
+/// checksum are all checked before the payload is parsed.
+pub fn read_envelope(path: &Path, kind: &str) -> Result<Value, StoreError> {
+    let text = fs::read_to_string(path).map_err(|e| StoreError::io(path, &e))?;
+    decode_envelope(&text, kind, &path.display().to_string())
 }
 
 #[cfg(test)]

@@ -32,5 +32,7 @@ pub mod error;
 
 pub use cache::ResultCache;
 pub use checksum::{content_address, fnv1a64};
-pub use envelope::{read_envelope, write_envelope, FORMAT_VERSION};
+pub use envelope::{
+    decode_envelope, encode_envelope, read_envelope, write_envelope, FORMAT_VERSION,
+};
 pub use error::StoreError;

@@ -12,7 +12,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-STAGES=(build test doc fmt clippy telemetry checkpoint cache bench-gate bench-history scale dashboard overlay)
+STAGES=(build test doc fmt clippy telemetry checkpoint cache bench-gate bench-history scale serve dashboard overlay)
 
 run_exp() {
     cargo run --release --offline -p fedl-bench --bin experiments -- "$@"
@@ -130,6 +130,62 @@ stage_scale() {
     done
     run_exp bench-history append "$out/BENCH.json" --history "$out/BENCH_HISTORY.jsonl"
     run_exp bench-history gate "$out/BENCH.json" --history "$out/BENCH_HISTORY.jsonl"
+    rm -rf "$out"
+}
+
+# Federation service (docs/SERVE.md): a real loadgen round-trip over
+# localhost TCP, verified bit-for-bit against the in-process reference,
+# then the kill + checkpoint-restart determinism check — the two halves
+# of an interrupted served run concatenated must byte-compare equal to
+# the uninterrupted run's selections. The quick bench snapshot must
+# also carry the serve/select_1k service-path kernel.
+stage_serve() {
+    local out=target/ci_serve_stage
+    rm -rf "$out"
+    mkdir -p "$out"
+    local scenario=(--clients 40 --seed 11 --budget 1000000 --min-participants 3 --policy fedl)
+    # Compile up front so the backgrounded server below starts serving
+    # immediately instead of racing the port-file wait against a cold
+    # release build (and so two cargo invocations never contend for the
+    # build-directory lock).
+    cargo build --release --offline -p fedl-bench
+
+    # Uninterrupted served run over TCP, checked against the reference.
+    run_exp serve --addr 127.0.0.1:0 --port-file "$out/port" "${scenario[@]}" &
+    local server_pid=$!
+    for _ in $(seq 300); do [ -s "$out/port" ] && break; sleep 0.1; done
+    [ -s "$out/port" ] || { echo "server never wrote its port file" >&2; exit 1; }
+    local addr="127.0.0.1:$(cat "$out/port")"
+    run_exp loadgen --addr "$addr" "${scenario[@]}" --epochs 12 \
+        --out "$out/full.jsonl" --verify-reference --shutdown
+    wait "$server_pid"
+
+    # Kill + restart: 6 epochs with checkpoints, shutdown, resume, 6 more.
+    rm -f "$out/port"
+    run_exp serve --addr 127.0.0.1:0 --port-file "$out/port" "${scenario[@]}" \
+        --checkpoint "$out/ckpt.fedlstore" --checkpoint-every 2 &
+    server_pid=$!
+    for _ in $(seq 300); do [ -s "$out/port" ] && break; sleep 0.1; done
+    addr="127.0.0.1:$(cat "$out/port")"
+    run_exp loadgen --addr "$addr" "${scenario[@]}" --epochs 6 \
+        --out "$out/half1.jsonl" --shutdown
+    wait "$server_pid"
+    rm -f "$out/port"
+    run_exp serve --addr 127.0.0.1:0 --port-file "$out/port" "${scenario[@]}" \
+        --checkpoint "$out/ckpt.fedlstore" --resume &
+    server_pid=$!
+    for _ in $(seq 300); do [ -s "$out/port" ] && break; sleep 0.1; done
+    addr="127.0.0.1:$(cat "$out/port")"
+    run_exp loadgen --addr "$addr" "${scenario[@]}" --epochs 6 --start-epoch 6 \
+        --out "$out/half2.jsonl" --shutdown
+    wait "$server_pid"
+    cat "$out/half1.jsonl" "$out/half2.jsonl" | cmp - "$out/full.jsonl" \
+        || { echo "restarted server diverged from the uninterrupted run" >&2; exit 1; }
+
+    # The service-path kernel must be in the quick perf snapshot.
+    run_exp bench --quick --out "$out/BENCH.json" > /dev/null
+    grep -q '"serve/select_1k"' "$out/BENCH.json" \
+        || { echo "quick snapshot is missing the serve/select_1k kernel" >&2; exit 1; }
     rm -rf "$out"
 }
 

@@ -27,7 +27,11 @@
 //!   content-addressed result cache behind deterministic
 //!   checkpoint/resume (see `docs/CHECKPOINT.md`); drive it with
 //!   [`core::runner::ExperimentRunner::checkpoint_every`] /
-//!   [`core::runner::ExperimentRunner::resume_from`].
+//!   [`core::runner::ExperimentRunner::resume_from`];
+//! * [`serve`] — the long-running federation service: a framed
+//!   client protocol over TCP, an event-driven coordinator owning the
+//!   policy + ledger, checkpointed bit-identical restarts, and the
+//!   replay load generator (see `docs/SERVE.md`).
 //!
 //! ## Quickstart
 //!
@@ -54,6 +58,7 @@ pub use fedl_data as data;
 pub use fedl_linalg as linalg;
 pub use fedl_ml as ml;
 pub use fedl_net as net;
+pub use fedl_serve as serve;
 pub use fedl_sim as sim;
 pub use fedl_solver as solver;
 pub use fedl_store as store;
@@ -67,6 +72,7 @@ pub mod prelude {
     pub use fedl_data::synth::{SyntheticSpec, TaskKind};
     pub use fedl_data::Partition;
     pub use fedl_ml::model::Model;
+    pub use fedl_serve::{LoadgenOptions, ServeConfig, ServerState};
     pub use fedl_sim::EdgeEnvironment;
     pub use fedl_telemetry::{RunLog, Telemetry};
 }
