@@ -203,11 +203,13 @@ impl Message {
         let schema = |e: fedl_json::Error| ProtocolError::Schema { detail: e.to_string() };
         let tag: String = read_field(v, "type").map_err(schema)?;
         let msg = match tag.as_str() {
-            "hello" => Message::Hello {
-                protocol_version: read_field::<usize>(v, "protocol_version").map_err(schema)?
-                    as u32,
-                node: read_field(v, "node").map_err(schema)?,
-            },
+            "hello" => {
+                let raw: usize = read_field(v, "protocol_version").map_err(schema)?;
+                let protocol_version = u32::try_from(raw).map_err(|_| ProtocolError::Schema {
+                    detail: format!("protocol_version {raw} out of range"),
+                })?;
+                Message::Hello { protocol_version, node: read_field(v, "node").map_err(schema)? }
+            }
             "client_join" => {
                 Message::ClientJoin { client: read_field(v, "client").map_err(schema)? }
             }
@@ -444,6 +446,19 @@ mod tests {
         });
         roundtrip(Message::Shutdown);
         roundtrip(Message::Error { code: "bad-epoch".into(), detail: "nope".into() });
+    }
+
+    #[test]
+    fn oversized_protocol_version_is_a_schema_error() {
+        // 2^32 + 1 must not silently truncate to v1 and pass the
+        // handshake; it is refused at parse time.
+        let payload = obj(vec![
+            ("type", Value::from("hello")),
+            ("protocol_version", Value::Int(4_294_967_297)),
+            ("node", Value::from("peer")),
+        ]);
+        let text = fedl_store::encode_envelope(FRAME_KIND, &payload);
+        assert!(matches!(decode_frame(text.as_bytes()), Err(ProtocolError::Schema { .. })));
     }
 
     #[test]

@@ -287,8 +287,10 @@ impl ServerState {
         let payload = read_envelope(path, SERVE_CHECKPOINT_KIND)?;
         let schema = |e: fedl_json::Error| ServeError::Schema(e.to_string());
         let version: usize = read_field(&payload, "schema_version").map_err(schema)?;
-        if version as u32 != SERVE_SNAPSHOT_SCHEMA_VERSION {
-            return Err(ServeError::Version { found: version as u32 });
+        let version = u32::try_from(version)
+            .map_err(|_| ServeError::Schema(format!("schema_version {version} out of range")))?;
+        if version != SERVE_SNAPSHOT_SCHEMA_VERSION {
+            return Err(ServeError::Version { found: version });
         }
         let found: String = read_field(&payload, "fingerprint").map_err(schema)?;
         let expected = config.fingerprint();
@@ -411,6 +413,21 @@ impl ServerState {
         self.telemetry.counter("serve.malformed_frames").value()
     }
 
+    /// Advances the epoch cursor and writes the periodic checkpoint
+    /// when the new boundary is a `--checkpoint-every` multiple — the
+    /// single path for closing an epoch, whether it trained or was
+    /// skipped for lack of available clients.
+    fn advance_epoch(&mut self) {
+        self.next_epoch += 1;
+        if let Some((path, every)) = self.checkpoint.clone() {
+            if self.next_epoch.is_multiple_of(every) {
+                if let Err(e) = self.save_checkpoint(&path) {
+                    eprintln!("fedl-serve: checkpoint failed: {e}");
+                }
+            }
+        }
+    }
+
     fn snapshot_reply(&self) -> Message {
         Message::Snapshot {
             epoch: self.next_epoch,
@@ -499,6 +516,21 @@ impl ServerState {
                         if let Err(e) = self.save_checkpoint(&path) {
                             eprintln!("fedl-serve: shutdown checkpoint failed: {e}");
                         }
+                    } else {
+                        // The server only checkpoints at epoch
+                        // boundaries; make the skip loud so an operator
+                        // never believes unsaved state was persisted.
+                        eprintln!(
+                            "fedl-serve: shutdown checkpoint skipped: epoch {} is awaiting its TrainResult",
+                            self.next_epoch
+                        );
+                        self.telemetry.emit(
+                            "serve.checkpoint_skipped",
+                            vec![
+                                ("epoch", Value::from(self.next_epoch)),
+                                ("reason", Value::from("awaiting-train-result")),
+                            ],
+                        );
                     }
                 }
                 self.telemetry.emit(
@@ -557,7 +589,7 @@ impl ServerState {
         let Some((ctx, cohort, iterations)) = selected else {
             // Nobody available: the epoch passes with no training, same
             // as the runner skipping it.
-            self.next_epoch += 1;
+            self.advance_epoch();
             return (
                 Message::Cohort { epoch, cohort: Vec::new(), iterations: 0, done: false },
                 Control::Continue,
@@ -621,6 +653,28 @@ impl ServerState {
             self.note_malformed(&err);
             return (err.to_wire(), Control::Continue);
         }
+        // Feedback flows straight into the ledger (which refuses
+        // negative/NaN charges by panicking) and the policy's internal
+        // state; a frame must never be able to reach either with
+        // non-finite numbers, so refuse them here with a typed error.
+        let finite = cost.is_finite()
+            && cost >= 0.0
+            && latency_secs.is_finite()
+            && latency_secs >= 0.0
+            && global_loss.is_finite()
+            && per_client_iter_latency.iter().all(|t| t.is_finite() && *t >= 0.0)
+            && eta_hats.iter().all(|x| x.is_finite())
+            && grad_dot_delta.iter().all(|x| x.is_finite())
+            && local_losses.iter().all(|x| x.is_finite());
+        if !finite {
+            let err = ProtocolError::UnexpectedMessage {
+                detail: format!(
+                    "TrainResult for epoch {epoch} carries non-finite or negative feedback"
+                ),
+            };
+            self.note_malformed(&err);
+            return (err.to_wire(), Control::Continue);
+        }
         let pending = self.pending.take().expect("checked above");
         let report = EpochReport {
             epoch,
@@ -638,7 +692,6 @@ impl ServerState {
         };
         self.ledger.charge(report.cost);
         self.policy.observe(&pending.ctx, &report);
-        self.next_epoch += 1;
         self.selections += 1;
         self.telemetry.counter("serve.train_results").incr();
         self.telemetry.emit(
@@ -649,13 +702,7 @@ impl ServerState {
                 ("remaining", Value::Float(self.ledger.remaining())),
             ],
         );
-        if let Some((path, every)) = self.checkpoint.clone() {
-            if self.next_epoch.is_multiple_of(every) {
-                if let Err(e) = self.save_checkpoint(&path) {
-                    eprintln!("fedl-serve: checkpoint failed: {e}");
-                }
-            }
-        }
+        self.advance_epoch();
         (self.snapshot_reply(), Control::Continue)
     }
 }
@@ -763,6 +810,82 @@ mod tests {
         });
         assert!(matches!(reply, Message::Error { ref code, .. } if code == "unexpected-message"));
         assert_eq!(s.malformed_frames(), before + 3);
+    }
+
+    #[test]
+    fn hostile_feedback_is_refused_not_charged() {
+        let mut s = server(20, 500.0);
+        for k in 0..20 {
+            s.handle_message(Message::ClientJoin { client: k });
+        }
+        let (reply, _) = s.handle_message(Message::SelectCohort { epoch: 0 });
+        let (cohort, iterations, _) = expect_cohort(reply);
+        let n = cohort.len();
+        let result = |cost: f64, latency: f64, eta: f32| Message::TrainResult {
+            epoch: 0,
+            cohort: cohort.clone(),
+            iterations,
+            latency_secs: latency,
+            per_client_iter_latency: vec![0.1; n],
+            cost,
+            eta_hats: vec![eta; n],
+            global_loss: 2.3,
+            grad_dot_delta: vec![-0.1; n],
+            local_losses: vec![2.3; n],
+        };
+        // A negative or NaN cost must come back as a typed error — not
+        // reach `BudgetLedger::charge` (which would panic) — and leave
+        // the selection pending and the budget untouched.
+        for hostile in [
+            result(-1.0, 1.0, 0.5),
+            result(f64::NAN, 1.0, 0.5),
+            result(f64::INFINITY, 1.0, 0.5),
+            result(5.0, f64::NAN, 0.5),
+            result(5.0, 1.0, f32::NAN),
+        ] {
+            let (reply, control) = s.handle_message(hostile);
+            assert!(
+                matches!(reply, Message::Error { ref code, .. } if code == "unexpected-message"),
+                "hostile feedback must be refused, got {reply:?}"
+            );
+            assert_eq!(control, Control::Continue);
+        }
+        let query = Message::Snapshot {
+            epoch: 0,
+            registered: 0,
+            selections: 0,
+            budget_remaining: 0.0,
+            policy: String::new(),
+        };
+        let (reply, _) = s.handle_message(query);
+        match reply {
+            Message::Snapshot { budget_remaining, .. } => assert_eq!(budget_remaining, 500.0),
+            other => panic!("expected Snapshot, got {other:?}"),
+        }
+        // The epoch is still open: well-formed feedback closes it.
+        let (reply, _) = s.handle_message(result(5.0, 1.0, 0.5));
+        assert!(matches!(reply, Message::Snapshot { epoch: 1, .. }));
+        assert_eq!(s.selections(), 1);
+    }
+
+    #[test]
+    fn skipped_epochs_still_hit_checkpoint_boundaries() {
+        let dir = std::env::temp_dir().join("fedl_serve_server_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("skip_boundary.fedlstore");
+        std::fs::remove_file(&ckpt).ok();
+        let config = ServeConfig::new(10, 11, 100.0, 3, PolicyKind::FedL);
+        // Nobody registered: every epoch skips, yet `--checkpoint-every 2`
+        // boundaries crossed by skips must still land on disk.
+        let mut s =
+            ServerState::new(config.clone(), Telemetry::in_memory().0).with_checkpoint(&ckpt, 2);
+        s.handle_message(Message::SelectCohort { epoch: 0 });
+        assert!(!ckpt.exists(), "epoch 1 is not a boundary");
+        s.handle_message(Message::SelectCohort { epoch: 1 });
+        assert!(ckpt.exists(), "the skip that reaches epoch 2 must checkpoint");
+        let resumed = ServerState::resume(config, Telemetry::in_memory().0, &ckpt).expect("resume");
+        assert_eq!(resumed.next_epoch(), 2);
+        std::fs::remove_file(&ckpt).ok();
     }
 
     #[test]
