@@ -239,6 +239,8 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("serve") => return service_exit(fedl_serve::cli::run_serve(&args[1..])),
         Some("loadgen") => return service_exit(fedl_serve::cli::run_loadgen_cli(&args[1..])),
+        Some("dist") => return service_exit(fedl_dist::cli::run_dist(&args[1..])),
+        Some("dist-worker") => return service_exit(fedl_dist::cli::run_dist_worker(&args[1..])),
         _ => {}
     }
     let invocation = match cli::parse(args) {

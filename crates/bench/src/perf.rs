@@ -5,7 +5,10 @@
 //! [`run_suite`] times a fixed, seeded set of micro- and macro-kernels
 //! — GEMM and softmax (S1), a DANE local solve (S2), RDCS dependent
 //! rounding (S5/S6), the FedL online-learner score update, the columnar
-//! scheduler at the 10k/100k/1M scale tiers (docs/SCALE.md), and one
+//! scheduler at the 10k/100k/1M scale tiers (docs/SCALE.md), a
+//! 1k-cohort selection through the framed service protocol
+//! (docs/SERVE.md), a sharded 100k distributed epoch through the
+//! coordinator/worker protocol (docs/DIST.md), and one
 //! full quick-profile federated epoch end-to-end — on the in-tree
 //! [`crate::timing`] harness, and packages the per-kernel statistics
 //! into a [`BenchSnapshot`] serialisable to `BENCH.json` via
@@ -27,8 +30,10 @@ use crate::timing::{self, measure_with_budget, Measurement};
 /// snapshots across versions. v2 added the `scale/` kernel family
 /// (columnar scheduler passes at the 10k/100k/1M tiers, docs/SCALE.md);
 /// v3 added the `serve/` family (cohort selection through the framed
-/// service protocol, docs/SERVE.md).
-pub const BENCH_SCHEMA_VERSION: u32 = 3;
+/// service protocol, docs/SERVE.md); v4 added the `dist/` family (a
+/// full coordinator epoch over a sharded 100k population through the
+/// worker protocol, docs/DIST.md).
+pub const BENCH_SCHEMA_VERSION: u32 = 4;
 
 /// Half-width multiplier of the noise band `mean ± K·std` used by the
 /// regression test.
@@ -418,6 +423,43 @@ fn suite_serve(kernels: &mut Vec<KernelStats>, budget: Duration) {
     });
 }
 
+/// The distributed execution layer (S16): one full coordinator epoch
+/// over a 100k-client population sharded across two in-process workers
+/// — per-shard partial context realization, framed encode →
+/// envelope-verify → decode on every exchange, the fixed-shard-order
+/// merge, selection, and the training-feedback fold. What
+/// `experiments dist` measures end-to-end over TCP, minus sockets
+/// (docs/DIST.md). Driven under the FedAvg policy so the measured work
+/// is the distributed layer itself; the FedL solver's population
+/// scaling has its own `scale/` kernels.
+fn suite_dist(kernels: &mut Vec<KernelStats>, budget: Duration) {
+    use fedl_core::policy::PolicyKind;
+    use fedl_dist::{
+        shard_ranges, Coordinator, DistOptions, LocalWorkerLink, ShardWorker, WorkerState,
+    };
+    use fedl_serve::ServeConfig;
+    use fedl_telemetry::Telemetry;
+
+    let config = ServeConfig::new(100_000, 0xD157, 1.0e15, 64, PolicyKind::FedAvg);
+    let workers: Vec<ShardWorker> = shard_ranges(config.env.num_clients, 2)
+        .into_iter()
+        .map(|shard| ShardWorker {
+            shard,
+            link: Box::new(LocalWorkerLink::new(WorkerState::new(Telemetry::disabled()))),
+        })
+        .collect();
+    let mut coordinator = Coordinator::new(config, workers, Telemetry::disabled())
+        .expect("two contiguous shards cover the population");
+    // Each iteration re-drives epoch 0: the handshake is an (answered
+    // in-place) reassignment of the shard the workers already hold, so
+    // the measured work is the epoch itself.
+    let opts = DistOptions { epochs: 1, ..Default::default() };
+    measure_kernel(kernels, budget, "dist/epoch_100k", || {
+        let report = coordinator.run(&opts).expect("an in-process dist epoch cannot fail");
+        std::hint::black_box(report.selections.len())
+    });
+}
+
 /// Runs the whole seeded suite and packages the snapshot.
 pub fn run_suite(profile: Profile) -> BenchSnapshot {
     let budget = kernel_budget(profile);
@@ -433,6 +475,7 @@ pub fn run_suite(profile: Profile) -> BenchSnapshot {
     suite_score_update(&mut kernels, budget, profile);
     suite_scale(&mut kernels, budget, profile);
     suite_serve(&mut kernels, budget);
+    suite_dist(&mut kernels, budget);
     suite_epoch(&mut kernels, budget);
     BenchSnapshot {
         schema_version: BENCH_SCHEMA_VERSION,
@@ -697,6 +740,7 @@ mod tests {
             "core/ucb",
             "scale/",
             "serve/",
+            "dist/",
             "epoch/",
         ] {
             assert!(

@@ -126,6 +126,121 @@ pub fn scale_context(
     })
 }
 
+/// One shard's contribution to an [`EpochContext`] — the unit a
+/// `fedl-dist` worker computes locally and ships to the coordinator.
+///
+/// All vectors are aligned to `available` (the shard's available clients
+/// as *global* ids, ascending). Because shards are contiguous id ranges,
+/// concatenating parts in shard order reproduces the full context's
+/// ascending `available` ordering exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContextPart {
+    /// The realized epoch index.
+    pub epoch: usize,
+    /// Available clients of this shard (global ids, ascending).
+    pub available: Vec<usize>,
+    /// Rental cost per available client.
+    pub costs: Vec<f64>,
+    /// 0-lookahead latency estimate (hint epoch's channel state).
+    pub latency_hint: Vec<f64>,
+    /// The current epoch's realized latency (oracle-only column).
+    pub true_latency: Vec<f64>,
+    /// Fresh data volume per available client.
+    pub data_volumes: Vec<usize>,
+}
+
+/// Computes one shard's [`ContextPart`] from (possibly shard-partial)
+/// epoch realizations — the worker half of the distributed
+/// [`scale_context`] split.
+///
+/// `hint` and `now` only need valid rows inside `shard` (see
+/// [`fedl_sim::ClientColumns::epoch_columns_partial`]); ids outside the
+/// shard are never touched. The latency arithmetic is per-client
+/// independent, so each value is bit-identical to the one the
+/// single-process [`scale_context`] would compute for the same client.
+pub fn scale_context_part(
+    cols: &ClientColumns,
+    hint: &EpochColumns,
+    now: &EpochColumns,
+    latency: &LatencyModel,
+    min_participants: usize,
+    shard: std::ops::Range<usize>,
+) -> ContextPart {
+    let available: Vec<usize> = shard.filter(|&k| now.available[k]).collect();
+    let n = available.len();
+    let share = min_participants.max(1);
+    let mut costs = vec![0.0f64; n];
+    par_zip_chunks(&mut costs, 1, &available, 1, |_, c, id| c[0] = now.cost[id[0]]);
+    let mut volumes = vec![0usize; n];
+    par_zip_chunks(&mut volumes, 1, &available, 1, |_, d, id| {
+        d[0] = now.data_volume[id[0]] as usize;
+    });
+    ContextPart {
+        epoch: now.epoch,
+        latency_hint: nominal_latency(cols, hint, latency, share, &available),
+        true_latency: nominal_latency(cols, now, latency, share, &available),
+        available,
+        costs,
+        data_volumes: volumes,
+    }
+}
+
+/// Merges shard [`ContextPart`]s into the full [`EpochContext`] — the
+/// coordinator half of the distributed [`scale_context`] split.
+///
+/// `parts` must arrive in shard order (ascending id ranges); simple
+/// concatenation then reproduces the single-process context column for
+/// column, bit for bit — there is no floating-point reduction in this
+/// merge at all, which is what makes it trivially associative. Returns
+/// `None` when no client is available anywhere, matching
+/// [`scale_context`].
+///
+/// # Panics
+/// Panics if the parts disagree on the epoch or break ascending-id
+/// order (shards delivered out of order).
+pub fn assemble_context(
+    num_clients: usize,
+    parts: &[ContextPart],
+    remaining_budget: f64,
+    min_participants: usize,
+    seed: u64,
+) -> Option<EpochContext> {
+    let epoch = parts.first().map_or(0, |p| p.epoch);
+    let mut available = Vec::new();
+    let mut costs = Vec::new();
+    let mut latency_hint = Vec::new();
+    let mut true_latency = Vec::new();
+    let mut data_volumes = Vec::new();
+    for part in parts {
+        assert_eq!(part.epoch, epoch, "context parts span different epochs");
+        if let (Some(&last), Some(&first)) = (available.last(), part.available.first()) {
+            assert!(last < first, "context parts delivered out of shard order");
+        }
+        available.extend_from_slice(&part.available);
+        costs.extend_from_slice(&part.costs);
+        latency_hint.extend_from_slice(&part.latency_hint);
+        true_latency.extend_from_slice(&part.true_latency);
+        data_volumes.extend_from_slice(&part.data_volumes);
+    }
+    if available.is_empty() {
+        return None;
+    }
+    let k = available.len();
+    Some(EpochContext {
+        epoch,
+        num_clients,
+        latency_hint,
+        true_latency,
+        loss_hint: vec![(10.0f64).ln(); k],
+        available,
+        costs,
+        data_volumes,
+        remaining_budget,
+        min_participants,
+        seed,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +305,47 @@ mod tests {
             let samples = [views[k].data_volume];
             let want = share_model.per_iteration_secs(&radios, &computes, &samples)[0];
             assert_eq!(fast[slot].to_bits(), want.to_bits(), "client {k}");
+        }
+    }
+
+    #[test]
+    fn sharded_parts_assemble_to_the_exact_full_context() {
+        let (config, channel, cols) = setup(120, 25);
+        let latency = LatencyModel::paper_defaults(config.upload_bits, 64.0);
+        for epoch in [0usize, 3, 11] {
+            let hint_epoch = epoch.saturating_sub(1);
+            let full_hint = cols.epoch_columns(hint_epoch, &config, &channel);
+            let full_now = cols.epoch_columns(epoch, &config, &channel);
+            let want = scale_context(&cols, &full_hint, &full_now, &latency, 400.0, 5, config.seed)
+                .unwrap();
+            for bounds in [vec![0usize, 40, 80, 120], vec![0, 120], vec![0, 7, 64, 65, 120]] {
+                let parts: Vec<ContextPart> = bounds
+                    .windows(2)
+                    .map(|w| {
+                        let shard = w[0]..w[1];
+                        // Workers realize only their own rows.
+                        let hint = cols.epoch_columns_partial(
+                            hint_epoch,
+                            &config,
+                            &channel,
+                            shard.clone(),
+                        );
+                        let now =
+                            cols.epoch_columns_partial(epoch, &config, &channel, shard.clone());
+                        scale_context_part(&cols, &hint, &now, &latency, 5, shard)
+                    })
+                    .collect();
+                let got = assemble_context(cols.len(), &parts, 400.0, 5, config.seed).unwrap();
+                assert_eq!(got.available, want.available);
+                let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&got.costs), bits(&want.costs));
+                assert_eq!(bits(&got.latency_hint), bits(&want.latency_hint));
+                assert_eq!(bits(&got.true_latency), bits(&want.true_latency));
+                assert_eq!(got.data_volumes, want.data_volumes);
+                assert_eq!(got.loss_hint.len(), want.loss_hint.len());
+                assert_eq!(got.epoch, want.epoch);
+                assert_eq!(got.num_clients, want.num_clients);
+            }
         }
     }
 

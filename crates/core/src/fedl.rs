@@ -85,6 +85,7 @@ impl ToJson for FedLConfig {
 pub struct FedLPolicy {
     learner: OnlineLearner,
     tracker: RegretTracker,
+    track_regret: bool,
     rng: Xoshiro256pp,
     independent_rounding: bool,
     /// `(problem, fractional decision)` awaiting the epoch's outcome.
@@ -121,10 +122,23 @@ impl FedLPolicy {
         Self {
             learner,
             tracker: RegretTracker::new(num_clients),
+            track_regret: true,
             rng: Xoshiro256pp::seed_from_u64(derive_seed(0xFED1, num_clients as u64)),
             independent_rounding: config.independent_rounding,
             pending: None,
         }
+    }
+
+    /// Disables the per-epoch regret/fit accounting. The tracker's
+    /// hindsight comparator re-solves the observed epoch's problem,
+    /// which costs more than the selection itself at service-scale
+    /// populations; execution layers that never plot regret curves
+    /// (fedl-dist, the loadgen reference) opt out here. Selections are
+    /// bit-identical either way — the tracker never feeds back into
+    /// decisions.
+    pub fn without_regret_tracking(mut self) -> Self {
+        self.track_regret = false;
+        self
     }
 
     /// The regret/fit tracker accumulated so far.
@@ -159,6 +173,7 @@ impl FedLPolicy {
         Ok(Self {
             learner,
             tracker: RegretTracker::new(num_clients),
+            track_regret: true,
             rng: Xoshiro256pp::seed_from_u64(derive_seed(0xFED1, num_clients as u64)),
             independent_rounding: false,
             pending: None,
@@ -199,7 +214,9 @@ impl SelectionPolicy for FedLPolicy {
 
     fn observe(&mut self, ctx: &EpochContext, report: &EpochReport) {
         let (problem, frac) = self.pending.take().expect("observe without a preceding select");
-        self.tracker.record(&problem, &frac, report);
+        if self.track_regret {
+            self.tracker.record(&problem, &frac, report);
+        }
         self.learner.observe(ctx, report, &frac, &problem);
     }
 

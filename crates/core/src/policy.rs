@@ -171,6 +171,28 @@ impl PolicyKind {
         }
     }
 
+    /// [`Self::build`] minus FedL's per-epoch regret/fit accounting
+    /// (see [`FedLPolicy::without_regret_tracking`]): the tracker's
+    /// hindsight-comparator solve costs more than the epoch itself at
+    /// service-scale populations, and execution layers that never plot
+    /// regret curves don't need it. Selections are bit-identical to
+    /// [`Self::build`]'s; the baselines are unaffected.
+    pub fn build_untracked(
+        self,
+        num_clients: usize,
+        budget: f64,
+        min_participants: usize,
+        fedl_config: FedLConfig,
+    ) -> Box<dyn SelectionPolicy> {
+        match self {
+            PolicyKind::FedL => Box::new(
+                FedLPolicy::new(fedl_config, num_clients, budget, min_participants)
+                    .without_regret_tracking(),
+            ),
+            other => other.build(num_clients, budget, min_participants, fedl_config),
+        }
+    }
+
     /// Legend label.
     pub fn label(self) -> &'static str {
         match self {

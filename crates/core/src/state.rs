@@ -373,20 +373,19 @@ mod tests {
         let mut st = LearnerState::new(m, 0.2);
         let mut shadow: Vec<Option<ClientStats>> = vec![None; m];
         for round in 0..7u64 {
-            let mask: Vec<bool> = (0..m).map(|k| (k as u64 + round) % 3 != 0).collect();
+            let mask: Vec<bool> = (0..m).map(|k| !(k as u64 + round).is_multiple_of(3)).collect();
             let hint: Vec<f64> =
                 (0..m).map(|k| 0.05 + 0.01 * ((k as u64 + round) % 9) as f64).collect();
             st.fold_latency(&mask, &hint);
-            for k in 0..m {
+            for (k, slot) in shadow.iter_mut().enumerate() {
                 if mask[k] {
-                    shadow[k]
-                        .get_or_insert_with(|| ClientStats::prior(hint[k], 0.2))
+                    slot.get_or_insert_with(|| ClientStats::prior(hint[k], 0.2))
                         .observe_latency(hint[k]);
                 }
             }
         }
-        for k in 0..m {
-            match (&shadow[k], st.stats(k)) {
+        for (k, slot) in shadow.iter().enumerate() {
+            match (slot, st.stats(k)) {
                 (None, None) => {}
                 (Some(s), Some(c)) => {
                     assert_eq!(s.tau.to_bits(), c.tau.to_bits(), "client {k}");

@@ -40,6 +40,7 @@ fn population(m: usize, seed: u64) -> (EnvConfig, ChannelModel, ClientColumns, V
 /// The runner-shaped context assembled the pre-columnar way: one
 /// `epoch_view` per client, one scalar latency-model call per available
 /// client. This is the reference `scale_context` must reproduce.
+#[allow(clippy::too_many_arguments)]
 fn reference_context(
     profiles: &[ClientProfile],
     config: &EnvConfig,

@@ -170,5 +170,5 @@ fn baseline_policies_report_nan_regret_terms() {
     let events = handle.events().unwrap();
     let epoch = events.iter().find(|e| kind_of(e) == "epoch").unwrap();
     // FedAvg has no regret tracker; fedl-json serialises NaN as null.
-    assert!(epoch.get("regret").unwrap().as_f64().map_or(true, f64::is_nan));
+    assert!(epoch.get("regret").unwrap().as_f64().is_none_or(f64::is_nan));
 }

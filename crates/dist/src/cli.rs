@@ -1,0 +1,544 @@
+//! Command-line drivers behind `experiments dist` and
+//! `experiments dist-worker` (the bench binary routes both subcommands
+//! here; see docs/DIST.md for usage).
+
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command};
+use std::time::{Duration, Instant};
+
+use fedl_serve::cli::parse_policy;
+use fedl_serve::proto::{decode_frame, encode_frame, Message, ProtocolError};
+use fedl_serve::transport::{FrameTransport, TcpTransport};
+use fedl_serve::{reference_run, SelectionRecord, ServeConfig, ServeExit};
+use fedl_telemetry::Telemetry;
+
+use crate::coordinator::{Coordinator, DistOptions, ShardWorker, WorkerLink};
+use crate::shard::shard_ranges;
+use crate::worker::{run_worker, WorkerState};
+
+/// Usage text for both subcommands.
+pub const USAGE: &str = "\
+experiments dist [options]                        run a sharded federation
+experiments dist-worker --addr HOST:PORT [opts]   serve one population shard
+
+shared scenario options (every node must agree):
+  --clients N             population size (default 100)
+  --seed S                scenario seed (default 7)
+  --budget C              total rental budget (default 500)
+  --min-participants N    participation floor per epoch (default 3)
+  --policy P              fedl | fedavg | fedcs | powd | oracle (default fedl)
+
+dist options:
+  --workers N             local worker processes to spawn (default 2);
+                          0 with no --worker-addr runs the in-process
+                          reference instead (the CI comparison artifact)
+  --worker-addr HOST:PORT a pre-started remote worker (repeatable;
+                          remote shards come after the spawned ones)
+  --epochs E              selection epochs to drive (default 10)
+  --out FILE              write selections as JSONL, one line per epoch
+  --verify-reference      compare against the in-process reference run
+  --io-timeout SECS       per-call socket deadline (default 30)
+  --max-resets N          respawn/reconnect attempts per worker failure
+                          (default 2)
+  --telemetry FILE        write a JSONL run log
+  --shutdown              also shut down remote --worker-addr workers
+                          when done (spawned workers always shut down)
+
+dist-worker options:
+  --port-file FILE        write the bound port atomically (for HOST:0)
+  --checkpoint FILE       shard checkpoint envelope path
+  --resume                pin assignments to --checkpoint before serving
+  --telemetry FILE        write a JSONL run log
+  --io-timeout SECS       per-call socket deadline (default: none)
+";
+
+#[derive(Debug)]
+struct Parsed {
+    config: ServeConfig,
+    // dist
+    workers: usize,
+    worker_addrs: Vec<String>,
+    epochs: usize,
+    out: Option<PathBuf>,
+    verify_reference: bool,
+    io_timeout: Option<Duration>,
+    max_resets: usize,
+    telemetry: Option<PathBuf>,
+    shutdown_remote: bool,
+    // dist-worker
+    addr: Option<String>,
+    port_file: Option<PathBuf>,
+    checkpoint: Option<PathBuf>,
+    resume: bool,
+}
+
+fn parse(args: &[String], default_timeout: Option<Duration>) -> Result<Parsed, String> {
+    let mut clients = 100usize;
+    let mut seed = 7u64;
+    let mut budget = 500.0f64;
+    let mut min_participants = 3usize;
+    let mut policy = fedl_core::policy::PolicyKind::FedL;
+    let mut workers = 2usize;
+    let mut worker_addrs = Vec::new();
+    let mut epochs = 10usize;
+    let mut out = None;
+    let mut verify_reference = false;
+    let mut io_timeout = default_timeout;
+    let mut max_resets = 2usize;
+    let mut telemetry = None;
+    let mut shutdown_remote = false;
+    let mut addr = None;
+    let mut port_file = None;
+    let mut checkpoint = None;
+    let mut resume = false;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--clients" => {
+                clients = value("--clients")?.parse().map_err(|e| format!("--clients: {e}"))?
+            }
+            "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--budget" => {
+                budget = value("--budget")?.parse().map_err(|e| format!("--budget: {e}"))?
+            }
+            "--min-participants" => {
+                min_participants = value("--min-participants")?
+                    .parse()
+                    .map_err(|e| format!("--min-participants: {e}"))?
+            }
+            "--policy" => policy = parse_policy(value("--policy")?)?,
+            "--workers" => {
+                workers = value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?
+            }
+            "--worker-addr" => worker_addrs.push(value("--worker-addr")?.clone()),
+            "--epochs" => {
+                epochs = value("--epochs")?.parse().map_err(|e| format!("--epochs: {e}"))?
+            }
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--verify-reference" => verify_reference = true,
+            "--io-timeout" => {
+                let secs: f64 =
+                    value("--io-timeout")?.parse().map_err(|e| format!("--io-timeout: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--io-timeout must be a positive number of seconds".into());
+                }
+                io_timeout = Some(Duration::from_secs_f64(secs));
+            }
+            "--max-resets" => {
+                max_resets =
+                    value("--max-resets")?.parse().map_err(|e| format!("--max-resets: {e}"))?
+            }
+            "--telemetry" => telemetry = Some(PathBuf::from(value("--telemetry")?)),
+            "--shutdown" => shutdown_remote = true,
+            "--addr" => addr = Some(value("--addr")?.clone()),
+            "--port-file" => port_file = Some(PathBuf::from(value("--port-file")?)),
+            "--checkpoint" => checkpoint = Some(PathBuf::from(value("--checkpoint")?)),
+            "--resume" => resume = true,
+            other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
+        }
+    }
+    if clients == 0 {
+        return Err("--clients must be positive".into());
+    }
+    Ok(Parsed {
+        config: ServeConfig::new(clients, seed, budget, min_participants, policy),
+        workers,
+        worker_addrs,
+        epochs,
+        out,
+        verify_reference,
+        io_timeout,
+        max_resets,
+        telemetry,
+        shutdown_remote,
+        addr,
+        port_file,
+        checkpoint,
+        resume,
+    })
+}
+
+fn open_telemetry(path: &Option<PathBuf>) -> Result<Telemetry, String> {
+    match path {
+        Some(path) => Telemetry::to_file(path)
+            .map_err(|e| format!("cannot open telemetry log {}: {e}", path.display())),
+        None => Ok(Telemetry::disabled()),
+    }
+}
+
+fn connect_retry(addr: &str, attempts: usize) -> Result<TcpStream, String> {
+    let mut last = String::new();
+    for _ in 0..attempts.max(1) {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                last = e.to_string();
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+    Err(format!("cannot connect to {addr} after {attempts} attempts: {last}"))
+}
+
+/// Shared TCP half of both worker link kinds.
+struct TcpLink {
+    transport: Option<TcpTransport>,
+}
+
+impl TcpLink {
+    fn send(&mut self, msg: &Message) -> Result<(), ProtocolError> {
+        match &mut self.transport {
+            Some(t) => t.send(&encode_frame(msg)),
+            None => Err(ProtocolError::Io { detail: "worker link is down".to_string() }),
+        }
+    }
+
+    fn recv_reply(&mut self) -> Result<Message, ProtocolError> {
+        let Some(t) = &mut self.transport else {
+            return Err(ProtocolError::Io { detail: "worker link is down".to_string() });
+        };
+        match t.recv()? {
+            Some(frame) => decode_frame(&frame),
+            None => Err(ProtocolError::Io { detail: "worker closed the connection".to_string() }),
+        }
+    }
+}
+
+/// A worker process this coordinator spawned and may respawn.
+struct ProcessWorker {
+    exe: PathBuf,
+    scratch: PathBuf,
+    index: usize,
+    io_timeout: Option<Duration>,
+    child: Option<Child>,
+    link: TcpLink,
+}
+
+impl ProcessWorker {
+    fn spawn(
+        exe: PathBuf,
+        scratch: PathBuf,
+        index: usize,
+        io_timeout: Option<Duration>,
+    ) -> Result<Self, String> {
+        let mut worker = Self {
+            exe,
+            scratch,
+            index,
+            io_timeout,
+            child: None,
+            link: TcpLink { transport: None },
+        };
+        worker.start()?;
+        Ok(worker)
+    }
+
+    fn port_file(&self) -> PathBuf {
+        self.scratch.join(format!("worker-{}.port", self.index))
+    }
+
+    fn checkpoint_file(&self) -> PathBuf {
+        self.scratch.join(format!("worker-{}.fedlstore", self.index))
+    }
+
+    fn start(&mut self) -> Result<(), String> {
+        let port_file = self.port_file();
+        std::fs::remove_file(&port_file).ok();
+        let checkpoint = self.checkpoint_file();
+        let mut cmd = Command::new(&self.exe);
+        cmd.arg("dist-worker")
+            .arg("--addr")
+            .arg("127.0.0.1:0")
+            .arg("--port-file")
+            .arg(&port_file)
+            .arg("--checkpoint")
+            .arg(&checkpoint);
+        // A respawned worker resumes against its shard checkpoint, so a
+        // coordinator bug can never splice it into the wrong shard.
+        if checkpoint.exists() {
+            cmd.arg("--resume");
+        }
+        let child = cmd.spawn().map_err(|e| format!("cannot spawn worker {}: {e}", self.index))?;
+        self.child = Some(child);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let port: u16 = loop {
+            if let Ok(text) = std::fs::read_to_string(&port_file) {
+                if !text.trim().is_empty() {
+                    break text
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("worker {} wrote a bad port: {e}", self.index))?;
+                }
+            }
+            if let Some(child) = &mut self.child {
+                if let Ok(Some(status)) = child.try_wait() {
+                    return Err(format!("worker {} exited during startup: {status}", self.index));
+                }
+            }
+            if Instant::now() > deadline {
+                return Err(format!("worker {} never wrote its port file", self.index));
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        let stream = connect_retry(&format!("127.0.0.1:{port}"), 50)?;
+        self.link.transport = Some(TcpTransport::with_timeout(stream, self.io_timeout));
+        Ok(())
+    }
+
+    fn stop(&mut self) {
+        self.link.transport = None;
+        if let Some(mut child) = self.child.take() {
+            child.kill().ok();
+            child.wait().ok();
+        }
+    }
+}
+
+impl WorkerLink for ProcessWorker {
+    fn send(&mut self, msg: &Message) -> Result<(), ProtocolError> {
+        self.link.send(msg)
+    }
+
+    fn recv_reply(&mut self) -> Result<Message, ProtocolError> {
+        self.link.recv_reply()
+    }
+
+    fn reset(&mut self) -> Result<(), String> {
+        self.stop();
+        self.start()
+    }
+}
+
+impl Drop for ProcessWorker {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// A pre-started worker at a fixed address; reset reconnects.
+struct RemoteWorker {
+    addr: String,
+    io_timeout: Option<Duration>,
+    link: TcpLink,
+}
+
+impl RemoteWorker {
+    fn connect(addr: String, io_timeout: Option<Duration>) -> Result<Self, String> {
+        let mut worker = Self { addr, io_timeout, link: TcpLink { transport: None } };
+        worker.reset()?;
+        Ok(worker)
+    }
+}
+
+impl WorkerLink for RemoteWorker {
+    fn send(&mut self, msg: &Message) -> Result<(), ProtocolError> {
+        self.link.send(msg)
+    }
+
+    fn recv_reply(&mut self) -> Result<Message, ProtocolError> {
+        self.link.recv_reply()
+    }
+
+    fn reset(&mut self) -> Result<(), String> {
+        self.link.transport = None;
+        let stream = connect_retry(&self.addr, 50)?;
+        self.link.transport = Some(TcpTransport::with_timeout(stream, self.io_timeout));
+        Ok(())
+    }
+}
+
+fn write_selections(path: &Path, records: &[SelectionRecord]) -> Result<(), String> {
+    let mut text = String::new();
+    for record in records {
+        text.push_str(&record.to_json_line());
+        text.push('\n');
+    }
+    fedl_store::write_atomic(path, &text)
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+/// `experiments dist`: spawn/connect the workers, shard the population,
+/// drive the distributed epoch loop, and (optionally) verify the
+/// outcome against the in-process reference. `--workers 0` with no
+/// `--worker-addr` runs the reference itself, writing the identical
+/// `--out` artifact — the comparison base for the `dist` CI stage.
+pub fn run_dist(args: &[String]) -> Result<(), String> {
+    let parsed = parse(args, Some(Duration::from_secs(30)))?;
+    let telemetry = open_telemetry(&parsed.telemetry)?;
+    let total = parsed.workers + parsed.worker_addrs.len();
+    if total == 0 {
+        let records = reference_run(&parsed.config, parsed.epochs);
+        println!(
+            "dist reference: {} epochs over {} clients (single process)",
+            records.len(),
+            parsed.config.env.num_clients,
+        );
+        if let Some(out) = &parsed.out {
+            write_selections(out, &records)?;
+            println!("wrote selections: {}", out.display());
+        }
+        return Ok(());
+    }
+    if total > parsed.config.env.num_clients {
+        return Err(format!(
+            "{total} workers for {} clients: every shard must own at least one client",
+            parsed.config.env.num_clients
+        ));
+    }
+    let shards = shard_ranges(parsed.config.env.num_clients, total);
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate this binary: {e}"))?;
+    let scratch = std::env::temp_dir().join(format!("fedl-dist-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch)
+        .map_err(|e| format!("cannot create {}: {e}", scratch.display()))?;
+    let mut workers: Vec<ShardWorker> = Vec::with_capacity(total);
+    for (i, shard) in shards.iter().enumerate() {
+        let link: Box<dyn WorkerLink> = if i < parsed.workers {
+            Box::new(ProcessWorker::spawn(exe.clone(), scratch.clone(), i, parsed.io_timeout)?)
+        } else {
+            let addr = parsed.worker_addrs[i - parsed.workers].clone();
+            Box::new(RemoteWorker::connect(addr, parsed.io_timeout)?)
+        };
+        workers.push(ShardWorker { shard: shard.clone(), link });
+    }
+    let mut coordinator = Coordinator::new(parsed.config.clone(), workers, telemetry.clone())?;
+    let opts = DistOptions { epochs: parsed.epochs, max_resets: parsed.max_resets };
+    let report = coordinator.run(&opts)?;
+    for i in 0..total {
+        if i < parsed.workers || parsed.shutdown_remote {
+            coordinator.shutdown_worker(i);
+        }
+    }
+    drop(coordinator);
+    std::fs::remove_dir_all(&scratch).ok();
+    println!(
+        "dist: {} epochs over {} clients across {} workers in {:.3} s — {:.1} epochs/sec, \
+         {} recoveries{}",
+        report.selections.len(),
+        report.clients,
+        report.workers,
+        report.elapsed_secs,
+        report.selections.len() as f64 / report.elapsed_secs.max(1e-9),
+        report.recoveries,
+        if report.done { " (budget exhausted)" } else { "" },
+    );
+    if let Some(out) = &parsed.out {
+        write_selections(out, &report.selections)?;
+        println!("wrote selections: {}", out.display());
+    }
+    if parsed.verify_reference {
+        let reference = reference_run(&parsed.config, parsed.epochs);
+        if report.selections != reference {
+            return Err(format!(
+                "distributed selections diverge from the in-process reference \
+                 ({} distributed vs {} reference records)",
+                report.selections.len(),
+                reference.len(),
+            ));
+        }
+        println!("verified: distributed selections match the in-process reference bit-for-bit");
+    }
+    telemetry.emit_metrics();
+    telemetry.flush();
+    Ok(())
+}
+
+/// `experiments dist-worker`: bind, publish the port, then serve shard
+/// requests over sequential connections until a `Shutdown` arrives.
+pub fn run_dist_worker(args: &[String]) -> Result<(), String> {
+    let parsed = parse(args, None)?;
+    let addr = parsed.addr.ok_or_else(|| format!("--addr is required\n\n{USAGE}"))?;
+    let telemetry = open_telemetry(&parsed.telemetry)?;
+    let mut state = if parsed.resume {
+        let path = parsed
+            .checkpoint
+            .as_deref()
+            .ok_or_else(|| "--resume requires --checkpoint FILE".to_string())?;
+        WorkerState::resume(telemetry, path)?
+    } else {
+        let state = WorkerState::new(telemetry);
+        match &parsed.checkpoint {
+            Some(path) => state.with_checkpoint(path),
+            None => state,
+        }
+    };
+    let listener = TcpListener::bind(&addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    if let Some(port_file) = &parsed.port_file {
+        fedl_store::write_atomic(port_file, &local.port().to_string())
+            .map_err(|e| format!("cannot write {}: {e}", port_file.display()))?;
+    }
+    eprintln!("fedl-dist worker: listening on {local}");
+    for incoming in listener.incoming() {
+        let stream = incoming.map_err(|e| format!("accept failed: {e}"))?;
+        let mut transport = TcpTransport::with_timeout(stream, parsed.io_timeout);
+        match run_worker(&mut transport, &mut state) {
+            Ok(ServeExit::Shutdown) => {
+                eprintln!("fedl-dist worker: shutdown");
+                return Ok(());
+            }
+            Ok(ServeExit::PeerClosed) => continue,
+            Err(err) => {
+                // One desynced connection; the worker is stateless per
+                // request, keep accepting (the coordinator reconnects).
+                eprintln!("fedl-dist worker: connection dropped: {err}");
+                continue;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_dist_flags() {
+        let p = parse(
+            &strs(&[
+                "--clients",
+                "40",
+                "--seed",
+                "11",
+                "--workers",
+                "4",
+                "--worker-addr",
+                "10.0.0.5:4000",
+                "--worker-addr",
+                "10.0.0.6:4000",
+                "--epochs",
+                "12",
+                "--io-timeout",
+                "5",
+                "--max-resets",
+                "3",
+            ]),
+            Some(Duration::from_secs(30)),
+        )
+        .unwrap();
+        assert_eq!(p.config.env.num_clients, 40);
+        assert_eq!(p.config.env.seed, 11);
+        assert_eq!(p.workers, 4);
+        assert_eq!(p.worker_addrs, vec!["10.0.0.5:4000", "10.0.0.6:4000"]);
+        assert_eq!(p.epochs, 12);
+        assert_eq!(p.io_timeout, Some(Duration::from_secs(5)));
+        assert_eq!(p.max_resets, 3);
+    }
+
+    #[test]
+    fn bad_flags_are_errors() {
+        assert!(parse(&strs(&["--bogus"]), None).unwrap_err().contains("--bogus"));
+        assert!(parse(&strs(&["--clients", "0"]), None).unwrap_err().contains("positive"));
+        assert!(parse(&strs(&["--io-timeout", "-1"]), None).unwrap_err().contains("positive"));
+        assert!(parse(&strs(&["--workers"]), None).unwrap_err().contains("needs a value"));
+    }
+}

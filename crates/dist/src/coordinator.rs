@@ -1,0 +1,609 @@
+//! The distributed coordinator: owns the policy, the budget ledger,
+//! and the epoch loop; workers own only their shard of the population.
+//!
+//! Per epoch the coordinator broadcasts [`Message::ShardContext`] to
+//! every worker, concatenates the returned
+//! [`fedl_core::columnar::ContextPart`]s **in fixed shard order**
+//! (contiguous shards + ascending in-shard ids = global ascending
+//! order), and assembles the exact [`EpochContext`](fedl_core::EpochContext) a single process
+//! would build. The policy then selects; the cohort is split back into
+//! per-shard member lists for [`Message::ShardTrain`], and the returned
+//! per-member feedback columns are concatenated — again in shard order
+//! — before one shared scalar combination
+//! ([`fedl_serve::combine_feedback`]) folds them. No cross-shard float
+//! reduction happens in the merge at all, which is why an N-worker run
+//! is bit-identical to the in-process reference for every N
+//! (docs/DIST.md).
+//!
+//! Workers are pure functions of `(config, shard, epoch)`, so failure
+//! handling is re-asking: a worker whose link errors is reset
+//! (respawned or reconnected by the [`WorkerLink`] impl), re-handshaken
+//! with the same [`Message::ShardAssign`], and sent the in-flight
+//! request again — the retried reply carries the identical bytes.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::time::Instant;
+
+use fedl_core::columnar::{assemble_context, ContextPart};
+use fedl_core::policy::SelectionPolicy;
+use fedl_json::Value;
+use fedl_serve::proto::{decode_frame, encode_frame, Message, ProtocolError, PROTOCOL_VERSION};
+use fedl_serve::{combine_feedback, sanitize_decision, SelectionRecord, ServeConfig};
+use fedl_sim::BudgetLedger;
+use fedl_telemetry::Telemetry;
+
+use crate::shard::members_in;
+use crate::worker::WorkerState;
+
+/// One end of a coordinator ↔ worker pairing. `send`/`recv_reply` are
+/// split (not a single rpc) so the coordinator can broadcast a request
+/// to every worker before collecting any reply — remote workers compute
+/// their shards concurrently.
+pub trait WorkerLink {
+    /// Sends one request frame.
+    fn send(&mut self, msg: &Message) -> Result<(), ProtocolError>;
+    /// Receives and decodes the next reply. A wire [`Message::Error`]
+    /// is returned as a message (protocol refusals are hard bugs, not
+    /// transport failures), transport trouble as the typed error.
+    fn recv_reply(&mut self) -> Result<Message, ProtocolError>;
+    /// Tears the link down and re-establishes it — respawn the process,
+    /// reconnect the socket, restart the thread. After a successful
+    /// reset the coordinator re-runs the handshake.
+    fn reset(&mut self) -> Result<(), String>;
+}
+
+/// A worker and the contiguous client range it owns.
+pub struct ShardWorker {
+    /// Owned client ids `start..end`.
+    pub shard: Range<usize>,
+    /// The live link.
+    pub link: Box<dyn WorkerLink>,
+}
+
+/// Zero-socket [`WorkerLink`] driving a [`WorkerState`] in-process
+/// through the full encode → envelope-verify → decode pipeline — the
+/// `dist/epoch_100k` bench kernel's transport and the fastest way to
+/// embed a sharded run in tests.
+pub struct LocalWorkerLink {
+    state: WorkerState,
+    replies: VecDeque<Vec<u8>>,
+}
+
+impl LocalWorkerLink {
+    /// Wraps a worker state.
+    pub fn new(state: WorkerState) -> Self {
+        Self { state, replies: VecDeque::new() }
+    }
+}
+
+impl WorkerLink for LocalWorkerLink {
+    fn send(&mut self, msg: &Message) -> Result<(), ProtocolError> {
+        let (reply, _control) = self.state.handle_frame(&encode_frame(msg));
+        self.replies.push_back(reply);
+        Ok(())
+    }
+
+    fn recv_reply(&mut self) -> Result<Message, ProtocolError> {
+        let frame = self
+            .replies
+            .pop_front()
+            .ok_or_else(|| ProtocolError::Io { detail: "no reply queued".to_string() })?;
+        decode_frame(&frame)
+    }
+
+    fn reset(&mut self) -> Result<(), String> {
+        self.state = WorkerState::new(Telemetry::disabled());
+        self.replies.clear();
+        Ok(())
+    }
+}
+
+/// Coordinator knobs.
+#[derive(Debug, Clone)]
+pub struct DistOptions {
+    /// Selection epochs to drive.
+    pub epochs: usize,
+    /// Reset + re-handshake attempts per worker failure before the run
+    /// aborts with an error.
+    pub max_resets: usize,
+}
+
+impl Default for DistOptions {
+    fn default() -> Self {
+        Self { epochs: 10, max_resets: 2 }
+    }
+}
+
+/// What a distributed run produced.
+#[derive(Debug, Clone)]
+pub struct DistReport {
+    /// One record per driven epoch, in order — the artifact the
+    /// determinism checks byte-compare against the in-process
+    /// reference.
+    pub selections: Vec<SelectionRecord>,
+    /// Population size.
+    pub clients: usize,
+    /// Worker count.
+    pub workers: usize,
+    /// Wall-clock seconds spent in the epoch loop.
+    pub elapsed_secs: f64,
+    /// `true` when the budget exhausted before `epochs` ran out.
+    pub done: bool,
+    /// Worker failures recovered by reset + re-handshake + retry.
+    pub recoveries: usize,
+}
+
+/// The coordinator's full state. Build with [`Coordinator::new`], run
+/// with [`Coordinator::run`].
+pub struct Coordinator {
+    config: ServeConfig,
+    workers: Vec<ShardWorker>,
+    policy: Box<dyn SelectionPolicy>,
+    ledger: BudgetLedger,
+    telemetry: Telemetry,
+    max_resets: usize,
+    recoveries: usize,
+}
+
+impl Coordinator {
+    /// Validates the shard layout (contiguous, ascending, covering the
+    /// population exactly) and builds the policy + ledger.
+    pub fn new(
+        config: ServeConfig,
+        workers: Vec<ShardWorker>,
+        telemetry: Telemetry,
+    ) -> Result<Self, String> {
+        if workers.is_empty() {
+            return Err("at least one shard worker is required".to_string());
+        }
+        let mut cursor = 0;
+        for (i, w) in workers.iter().enumerate() {
+            if w.shard.start != cursor || w.shard.start >= w.shard.end {
+                return Err(format!(
+                    "worker {i} owns {}..{} but the shards must be non-empty, ascending, and \
+                     contiguous from 0",
+                    w.shard.start, w.shard.end
+                ));
+            }
+            cursor = w.shard.end;
+        }
+        if cursor != config.env.num_clients {
+            return Err(format!(
+                "shards cover 0..{cursor} but the population is 0..{}",
+                config.env.num_clients
+            ));
+        }
+        // `build_untracked`: the regret tracker's hindsight solve costs
+        // more than the epoch itself at 100k+ clients, and the dist
+        // layer never plots regret curves. Selections are bit-identical
+        // to the tracked build's.
+        let policy = config.policy.build_untracked(
+            config.env.num_clients,
+            config.budget,
+            config.min_participants,
+            config.fedl,
+        );
+        let mut ledger = BudgetLedger::new(config.budget);
+        ledger.set_telemetry(telemetry.clone());
+        telemetry.emit(
+            "dist.start",
+            vec![
+                ("clients", Value::from(config.env.num_clients)),
+                ("workers", Value::from(workers.len())),
+                ("budget", Value::Float(config.budget)),
+                ("policy", Value::from(config.policy.label())),
+            ],
+        );
+        Ok(Self {
+            config,
+            workers,
+            policy,
+            ledger,
+            telemetry,
+            max_resets: DistOptions::default().max_resets,
+            recoveries: 0,
+        })
+    }
+
+    fn assign_msg(&self, i: usize) -> Message {
+        let shard = &self.workers[i].shard;
+        Message::ShardAssign {
+            clients: self.config.env.num_clients,
+            seed: self.config.env.seed,
+            budget: self.config.budget,
+            min_participants: self.config.min_participants,
+            policy: self.config.policy.label().to_string(),
+            shard_start: shard.start,
+            shard_end: shard.end,
+        }
+    }
+
+    /// One request/reply against worker `i`, no recovery.
+    fn rpc(&mut self, i: usize, msg: &Message) -> Result<Message, ProtocolError> {
+        self.workers[i].link.send(msg)?;
+        self.workers[i].link.recv_reply()
+    }
+
+    /// Hello + ShardAssign + ShardReady against worker `i`, verifying
+    /// the protocol version, the echoed shard bounds, and that the
+    /// worker's deployment fingerprint matches ours.
+    fn handshake(&mut self, i: usize) -> Result<(), String> {
+        let hello =
+            Message::Hello { protocol_version: PROTOCOL_VERSION, node: "fedl-dist".to_string() };
+        match self.rpc(i, &hello).map_err(|e| format!("worker {i} handshake: {e}"))? {
+            Message::Hello { protocol_version, .. } if protocol_version == PROTOCOL_VERSION => {}
+            Message::Hello { protocol_version, .. } => {
+                return Err(format!(
+                    "worker {i} speaks protocol v{protocol_version}, this coordinator v{PROTOCOL_VERSION}"
+                ))
+            }
+            other => return Err(format!("worker {i} answered the hello with {other:?}")),
+        }
+        let assign = self.assign_msg(i);
+        let want = self.workers[i].shard.clone();
+        match self.rpc(i, &assign).map_err(|e| format!("worker {i} assignment: {e}"))? {
+            Message::ShardReady { shard_start, shard_end, fingerprint } => {
+                if shard_start != want.start || shard_end != want.end {
+                    return Err(format!(
+                        "worker {i} acknowledged shard {shard_start}..{shard_end}, expected \
+                         {}..{}",
+                        want.start, want.end
+                    ));
+                }
+                let ours = self.config.fingerprint();
+                if fingerprint != ours {
+                    return Err(format!(
+                        "worker {i} runs a different deployment (fingerprint {fingerprint}, \
+                         coordinator {ours})"
+                    ));
+                }
+            }
+            other => return Err(format!("worker {i} refused its assignment: {other:?}")),
+        }
+        self.telemetry.emit(
+            "dist.assign",
+            vec![
+                ("worker", Value::from(i)),
+                ("shard_start", Value::from(want.start)),
+                ("shard_end", Value::from(want.end)),
+            ],
+        );
+        Ok(())
+    }
+
+    /// Resets worker `i`'s link (respawn/reconnect) and re-handshakes,
+    /// up to `max_resets` attempts.
+    fn recover(&mut self, i: usize, why: &ProtocolError) -> Result<(), String> {
+        self.recoveries += 1;
+        self.telemetry.counter("dist.recoveries").incr();
+        self.telemetry.emit(
+            "dist.worker_recovered",
+            vec![("worker", Value::from(i)), ("code", Value::from(why.code()))],
+        );
+        let mut last = why.to_string();
+        for _ in 0..self.max_resets.max(1) {
+            match self.workers[i].link.reset() {
+                Ok(()) => match self.handshake(i) {
+                    Ok(()) => return Ok(()),
+                    Err(e) => last = e,
+                },
+                Err(e) => last = e,
+            }
+        }
+        Err(format!("worker {i} unrecoverable after {} resets: {last}", self.max_resets.max(1)))
+    }
+
+    /// Recovers worker `i` and replays one request/reply.
+    fn retry(
+        &mut self,
+        i: usize,
+        err: ProtocolError,
+        make: &dyn Fn(&Range<usize>) -> Message,
+    ) -> Result<Message, String> {
+        self.recover(i, &err)?;
+        let msg = make(&self.workers[i].shard);
+        self.rpc(i, &msg).map_err(|e| format!("worker {i} failed again after recovery: {e}"))
+    }
+
+    /// Broadcasts `make(shard)` to every worker, then collects one
+    /// reply per worker **in shard order**. A worker whose link fails
+    /// at either half is recovered and re-asked; replies stay aligned
+    /// to worker indices regardless.
+    fn gather(
+        &mut self,
+        phase: &'static str,
+        make: &dyn Fn(&Range<usize>) -> Message,
+    ) -> Result<Vec<Message>, String> {
+        let n = self.workers.len();
+        let mut send_failed: Vec<Option<ProtocolError>> = (0..n).map(|_| None).collect();
+        for (i, slot) in send_failed.iter_mut().enumerate() {
+            let msg = make(&self.workers[i].shard);
+            if let Err(e) = self.workers[i].link.send(&msg) {
+                *slot = Some(e);
+            }
+        }
+        let mut replies = Vec::with_capacity(n);
+        for (i, failure) in send_failed.into_iter().enumerate() {
+            let reply = match failure {
+                Some(err) => self.retry(i, err, make)?,
+                None => {
+                    let span = self.telemetry.span(phase);
+                    let got = self.workers[i].link.recv_reply();
+                    drop(span);
+                    match got {
+                        Ok(reply) => reply,
+                        Err(err) => self.retry(i, err, make)?,
+                    }
+                }
+            };
+            replies.push(reply);
+        }
+        Ok(replies)
+    }
+
+    /// Drives the distributed epoch loop. The returned selections are
+    /// bit-identical to `fedl_serve::reference_run` over the same
+    /// config for any worker count — the tentpole contract, pinned by
+    /// the crate's determinism tests and the `dist` CI stage.
+    pub fn run(&mut self, opts: &DistOptions) -> Result<DistReport, String> {
+        self.max_resets = opts.max_resets;
+        for i in 0..self.workers.len() {
+            self.handshake(i)?;
+        }
+        let num_clients = self.config.env.num_clients;
+        let mut records = Vec::with_capacity(opts.epochs);
+        let mut done = false;
+        let started = Instant::now();
+        for epoch in 0..opts.epochs {
+            if self.ledger.exhausted() {
+                done = true;
+                break;
+            }
+            let replies = self.gather("dist.context", &|_| Message::ShardContext { epoch })?;
+            let mut parts = Vec::with_capacity(replies.len());
+            for (i, reply) in replies.into_iter().enumerate() {
+                parts.push(parse_context_part(i, &self.workers[i].shard, epoch, reply)?);
+                self.telemetry.counter("dist.context_parts").incr();
+            }
+            let ctx = assemble_context(
+                num_clients,
+                &parts,
+                self.ledger.remaining(),
+                self.config.min_participants,
+                self.config.env.seed,
+            );
+            let Some(ctx) = ctx else {
+                // Nobody available anywhere: the epoch passes untrained,
+                // exactly like the reference run.
+                records.push(SelectionRecord { epoch, cohort: Vec::new(), iterations: 0 });
+                self.telemetry.emit("dist.epoch_skipped", vec![("epoch", Value::from(epoch))]);
+                continue;
+            };
+            let decision = self.policy.select(&ctx);
+            let (cohort, iterations) =
+                sanitize_decision(&ctx, decision.cohort, decision.iterations);
+            let replies = self.gather("dist.train", &|shard| Message::ShardTrain {
+                epoch,
+                members: members_in(shard, &cohort),
+                iterations,
+            })?;
+            let mut latencies = Vec::with_capacity(cohort.len());
+            let mut costs = Vec::with_capacity(cohort.len());
+            let mut eta_hats = Vec::with_capacity(cohort.len());
+            let mut grad_dot_delta = Vec::with_capacity(cohort.len());
+            let mut local_losses = Vec::with_capacity(cohort.len());
+            for (i, reply) in replies.into_iter().enumerate() {
+                let expected = members_in(&self.workers[i].shard, &cohort);
+                let part = parse_train_part(i, epoch, &expected, reply)?;
+                latencies.extend(part.per_client_iter_latency);
+                costs.extend(part.costs);
+                eta_hats.extend(part.eta_hats);
+                grad_dot_delta.extend(part.grad_dot_delta);
+                local_losses.extend(part.local_losses);
+                self.telemetry.counter("dist.train_parts").incr();
+            }
+            let synth = combine_feedback(
+                epoch,
+                iterations,
+                latencies,
+                &costs,
+                eta_hats,
+                grad_dot_delta,
+                local_losses,
+            );
+            self.ledger.charge(synth.cost);
+            self.policy.observe(&ctx, &synth.to_report(epoch, &cohort, iterations));
+            self.telemetry.counter("dist.selections").incr();
+            self.telemetry.emit(
+                "dist.epoch",
+                vec![
+                    ("epoch", Value::from(epoch)),
+                    ("cohort_size", Value::from(cohort.len())),
+                    ("iterations", Value::from(iterations)),
+                    ("cost", Value::Float(synth.cost)),
+                    ("remaining", Value::Float(self.ledger.remaining())),
+                ],
+            );
+            records.push(SelectionRecord { epoch, cohort, iterations });
+        }
+        let elapsed_secs = started.elapsed().as_secs_f64();
+        Ok(DistReport {
+            selections: records,
+            clients: num_clients,
+            workers: self.workers.len(),
+            elapsed_secs,
+            done,
+            recoveries: self.recoveries,
+        })
+    }
+
+    /// Best-effort shutdown of worker `i` (spawned workers exit their
+    /// accept loop); link failures are ignored.
+    pub fn shutdown_worker(&mut self, i: usize) {
+        let _ = self.rpc(i, &Message::Shutdown);
+    }
+}
+
+/// Decoded per-member training feedback columns.
+struct TrainPart {
+    per_client_iter_latency: Vec<f64>,
+    costs: Vec<f64>,
+    eta_hats: Vec<f32>,
+    grad_dot_delta: Vec<f32>,
+    local_losses: Vec<f32>,
+}
+
+fn parse_context_part(
+    i: usize,
+    shard: &Range<usize>,
+    epoch: usize,
+    reply: Message,
+) -> Result<ContextPart, String> {
+    match reply {
+        Message::ShardContextPart {
+            epoch: got,
+            available,
+            costs,
+            latency_hint,
+            true_latency,
+            data_volumes,
+        } => {
+            if got != epoch {
+                return Err(format!("worker {i} answered epoch {got}, asked for {epoch}"));
+            }
+            let k = available.len();
+            if [costs.len(), latency_hint.len(), true_latency.len(), data_volumes.len()]
+                .iter()
+                .any(|&n| n != k)
+            {
+                return Err(format!("worker {i} returned misaligned context columns"));
+            }
+            let ordered = available.windows(2).all(|w| w[0] < w[1]);
+            let in_shard = available.iter().all(|id| shard.contains(id));
+            if !ordered || !in_shard {
+                return Err(format!(
+                    "worker {i} returned ids outside its shard {}..{} or out of order",
+                    shard.start, shard.end
+                ));
+            }
+            if !costs.iter().chain(&latency_hint).chain(&true_latency).all(|v| v.is_finite()) {
+                return Err(format!("worker {i} returned non-finite context columns"));
+            }
+            Ok(ContextPart { epoch, available, costs, latency_hint, true_latency, data_volumes })
+        }
+        Message::Error { code, detail } => {
+            Err(format!("worker {i} refused the context request ({code}): {detail}"))
+        }
+        other => Err(format!("worker {i} answered the context request with {other:?}")),
+    }
+}
+
+fn parse_train_part(
+    i: usize,
+    epoch: usize,
+    expected_members: &[usize],
+    reply: Message,
+) -> Result<TrainPart, String> {
+    match reply {
+        Message::ShardTrainPart {
+            epoch: got,
+            members,
+            per_client_iter_latency,
+            costs,
+            eta_hats,
+            grad_dot_delta,
+            local_losses,
+        } => {
+            if got != epoch {
+                return Err(format!("worker {i} answered epoch {got}, asked for {epoch}"));
+            }
+            if members != expected_members {
+                return Err(format!("worker {i} echoed a different member list"));
+            }
+            let k = members.len();
+            if [
+                per_client_iter_latency.len(),
+                costs.len(),
+                eta_hats.len(),
+                grad_dot_delta.len(),
+                local_losses.len(),
+            ]
+            .iter()
+            .any(|&n| n != k)
+            {
+                return Err(format!("worker {i} returned misaligned feedback columns"));
+            }
+            // The merged columns flow straight into the ledger (panics
+            // on NaN charges) and the policy; refuse poisoned feedback
+            // with an error instead.
+            let finite = per_client_iter_latency.iter().all(|v| v.is_finite() && *v >= 0.0)
+                && costs.iter().all(|v| v.is_finite() && *v >= 0.0)
+                && eta_hats.iter().all(|v| v.is_finite())
+                && grad_dot_delta.iter().all(|v| v.is_finite())
+                && local_losses.iter().all(|v| v.is_finite());
+            if !finite {
+                return Err(format!("worker {i} returned non-finite training feedback"));
+            }
+            Ok(TrainPart { per_client_iter_latency, costs, eta_hats, grad_dot_delta, local_losses })
+        }
+        Message::Error { code, detail } => {
+            Err(format!("worker {i} refused the train request ({code}): {detail}"))
+        }
+        other => Err(format!("worker {i} answered the train request with {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::shard_ranges;
+    use fedl_core::policy::PolicyKind;
+    use fedl_serve::reference_run;
+
+    fn local_workers(config: &ServeConfig, count: usize) -> Vec<ShardWorker> {
+        shard_ranges(config.env.num_clients, count)
+            .into_iter()
+            .map(|shard| ShardWorker {
+                shard,
+                link: Box::new(LocalWorkerLink::new(WorkerState::new(Telemetry::disabled()))),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bad_shard_layouts_are_refused() {
+        let config = ServeConfig::new(30, 7, 100.0, 3, PolicyKind::FedL);
+        let cases: Vec<Vec<Range<usize>>> = vec![
+            vec![],
+            vec![0..10, 12..30],
+            vec![0..10, 10..10, 10..30],
+            vec![5..30],
+            vec![0..10, 10..29],
+        ];
+        for shards in cases {
+            let workers: Vec<ShardWorker> = shards
+                .into_iter()
+                .map(|shard| ShardWorker {
+                    shard,
+                    link: Box::new(LocalWorkerLink::new(WorkerState::new(Telemetry::disabled()))),
+                })
+                .collect();
+            assert!(Coordinator::new(config.clone(), workers, Telemetry::disabled()).is_err());
+        }
+    }
+
+    #[test]
+    fn in_process_sharded_run_matches_the_reference() {
+        let config = ServeConfig::new(45, 13, 350.0, 4, PolicyKind::FedL);
+        let reference = reference_run(&config, 6);
+        let workers = local_workers(&config, 3);
+        let mut coordinator =
+            Coordinator::new(config.clone(), workers, Telemetry::disabled()).unwrap();
+        let report =
+            coordinator.run(&DistOptions { epochs: 6, ..Default::default() }).expect("run");
+        assert_eq!(report.selections, reference);
+        assert_eq!(report.recoveries, 0);
+        assert!(report.selections.iter().any(|r| !r.cohort.is_empty()));
+    }
+}

@@ -1,0 +1,79 @@
+//! Shard geometry: how a population of `M` clients is split across
+//! `W` workers.
+//!
+//! Shards are contiguous, ascending, and cover `0..M` exactly; because
+//! cohorts are sorted ascending, concatenating per-shard results in
+//! shard order reproduces the global client order with no re-sorting —
+//! the property every merge in the coordinator leans on.
+
+use std::ops::Range;
+
+/// Splits `0..num_clients` into `workers` contiguous shards of
+/// near-equal size (the first `num_clients % workers` shards take one
+/// extra client). Shards are returned in ascending order and cover the
+/// population exactly.
+///
+/// # Panics
+/// Panics when `workers` is zero or exceeds `num_clients` (an empty
+/// shard would serve no purpose and complicates the merge invariants).
+pub fn shard_ranges(num_clients: usize, workers: usize) -> Vec<Range<usize>> {
+    assert!(workers > 0, "at least one worker is required");
+    assert!(workers <= num_clients, "more workers ({workers}) than clients ({num_clients})");
+    let base = num_clients / workers;
+    let extra = num_clients % workers;
+    let mut out = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let len = base + usize::from(w < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, num_clients);
+    out
+}
+
+/// The cohort members that fall inside `shard`, preserving order.
+/// Cohorts are ascending, so per-shard slices concatenated in shard
+/// order rebuild the cohort exactly.
+pub fn members_in(shard: &Range<usize>, cohort: &[usize]) -> Vec<usize> {
+    cohort.iter().copied().filter(|k| shard.contains(k)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_are_contiguous_cover_everything_and_balance() {
+        for (m, w) in [(10, 1), (10, 3), (100, 7), (5, 5), (1_000_003, 16)] {
+            let shards = shard_ranges(m, w);
+            assert_eq!(shards.len(), w);
+            assert_eq!(shards[0].start, 0);
+            assert_eq!(shards[w - 1].end, m);
+            for pair in shards.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start, "contiguous ({m}, {w})");
+            }
+            let sizes: Vec<usize> = shards.iter().map(|r| r.len()).collect();
+            let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(hi - lo <= 1, "near-equal split ({m}, {w}): {sizes:?}");
+            assert!(sizes.iter().all(|&s| s > 0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more workers")]
+    fn more_workers_than_clients_is_refused() {
+        shard_ranges(3, 4);
+    }
+
+    #[test]
+    fn shard_slices_concatenate_back_to_the_cohort() {
+        let cohort = vec![1, 4, 5, 9, 12, 17, 19];
+        let shards = shard_ranges(20, 3);
+        let mut rebuilt = Vec::new();
+        for shard in &shards {
+            rebuilt.extend(members_in(shard, &cohort));
+        }
+        assert_eq!(rebuilt, cohort);
+    }
+}

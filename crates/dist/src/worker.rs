@@ -1,0 +1,610 @@
+//! The shard worker: a pure function of `(config, shard, epoch)`
+//! behind the framed protocol.
+//!
+//! A worker owns one contiguous shard of the client population. On
+//! [`Message::ShardAssign`] it builds the columnar population and
+//! answers every subsequent [`Message::ShardContext`] /
+//! [`Message::ShardTrain`] by realizing only its shard
+//! ([`ClientColumns::epoch_columns_partial`]) — no policy, no ledger,
+//! no epoch cursor. Statelessness is the whole fault-tolerance story:
+//! a killed worker can be respawned and re-asked for any epoch's
+//! partials and must produce the identical bytes, which is what lets
+//! the coordinator recover mid-epoch without drift (docs/DIST.md).
+//!
+//! The only disk state is an S12-style shard checkpoint envelope
+//! recording `(fingerprint, shard bounds, epochs served)`; a respawned
+//! worker started with `--resume` refuses a [`Message::ShardAssign`]
+//! that names a different deployment or shard, so an operator can never
+//! silently splice a worker into the wrong federation.
+
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+use fedl_core::columnar::{nominal_latency, scale_context_part};
+use fedl_json::{obj, read_field, Value};
+use fedl_net::{ChannelModel, LatencyModel};
+use fedl_serve::cli::parse_policy;
+use fedl_serve::proto::{decode_frame, encode_frame, Message, ProtocolError, PROTOCOL_VERSION};
+use fedl_serve::transport::FrameTransport;
+use fedl_serve::{synth_learning_signals, Control, ServeConfig, ServeExit};
+use fedl_sim::ClientColumns;
+use fedl_store::{read_envelope, write_envelope};
+use fedl_telemetry::Telemetry;
+
+/// Envelope kind of a worker's shard checkpoint file.
+pub const DIST_SHARD_CHECKPOINT_KIND: &str = "dist-shard-checkpoint";
+
+/// Version of the shard checkpoint payload layout.
+pub const DIST_SHARD_SCHEMA_VERSION: u32 = 1;
+
+/// What a shard checkpoint records: enough to pin a respawned worker
+/// to the deployment and shard it served before dying.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardCheckpoint {
+    /// [`ServeConfig::fingerprint`] of the assigned deployment.
+    pub fingerprint: String,
+    /// First owned client id (inclusive).
+    pub shard_start: usize,
+    /// One past the last owned client id (exclusive).
+    pub shard_end: usize,
+    /// Highest `epoch + 1` this worker has computed partials for.
+    pub epochs_served: usize,
+}
+
+impl ShardCheckpoint {
+    fn to_payload(&self) -> Value {
+        obj(vec![
+            ("schema_version", Value::from(DIST_SHARD_SCHEMA_VERSION as usize)),
+            ("fingerprint", Value::from(self.fingerprint.as_str())),
+            ("shard_start", Value::from(self.shard_start)),
+            ("shard_end", Value::from(self.shard_end)),
+            ("epochs_served", Value::from(self.epochs_served)),
+        ])
+    }
+
+    fn from_payload(payload: &Value) -> Result<Self, String> {
+        let version: usize = read_field(payload, "schema_version").map_err(|e| e.to_string())?;
+        if version != DIST_SHARD_SCHEMA_VERSION as usize {
+            return Err(format!(
+                "shard checkpoint schema v{version} unsupported \
+                 (this build reads v{DIST_SHARD_SCHEMA_VERSION})"
+            ));
+        }
+        Ok(Self {
+            fingerprint: read_field(payload, "fingerprint").map_err(|e| e.to_string())?,
+            shard_start: read_field(payload, "shard_start").map_err(|e| e.to_string())?,
+            shard_end: read_field(payload, "shard_end").map_err(|e| e.to_string())?,
+            epochs_served: read_field(payload, "epochs_served").map_err(|e| e.to_string())?,
+        })
+    }
+}
+
+/// A live shard assignment: the deployment plus the built population.
+struct Assignment {
+    config: ServeConfig,
+    channel: ChannelModel,
+    latency: LatencyModel,
+    cols: ClientColumns,
+    shard: Range<usize>,
+    fingerprint: String,
+    epochs_served: usize,
+}
+
+/// The worker's event-loop state; [`Self::handle_frame`] is the entire
+/// loop body, mirroring `fedl_serve::ServerState`.
+pub struct WorkerState {
+    assignment: Option<Assignment>,
+    checkpoint: Option<PathBuf>,
+    expected: Option<ShardCheckpoint>,
+    telemetry: Telemetry,
+}
+
+impl WorkerState {
+    /// A fresh, unassigned worker.
+    pub fn new(telemetry: Telemetry) -> Self {
+        Self { assignment: None, checkpoint: None, expected: None, telemetry }
+    }
+
+    /// Enables shard checkpointing: the `(fingerprint, shard, epochs)`
+    /// envelope lands in `path` after every handled shard request.
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// A respawned worker: loads the shard checkpoint at `path` and
+    /// holds every future [`Message::ShardAssign`] to it — a mismatched
+    /// fingerprint or shard is refused with a typed error instead of
+    /// silently serving the wrong deployment. Checkpointing continues
+    /// into the same path.
+    pub fn resume(telemetry: Telemetry, path: &Path) -> Result<Self, String> {
+        let payload = read_envelope(path, DIST_SHARD_CHECKPOINT_KIND)
+            .map_err(|e| format!("cannot read shard checkpoint {}: {e}", path.display()))?;
+        let expected = ShardCheckpoint::from_payload(&payload)?;
+        telemetry.emit(
+            "dist.worker_resumed",
+            vec![
+                ("path", Value::from(path.display().to_string())),
+                ("shard_start", Value::from(expected.shard_start)),
+                ("shard_end", Value::from(expected.shard_end)),
+                ("epochs_served", Value::from(expected.epochs_served)),
+            ],
+        );
+        Ok(Self {
+            assignment: None,
+            checkpoint: Some(path.to_path_buf()),
+            expected: Some(expected),
+            telemetry,
+        })
+    }
+
+    /// The assigned shard, if any.
+    pub fn shard(&self) -> Option<Range<usize>> {
+        self.assignment.as_ref().map(|a| a.shard.clone())
+    }
+
+    fn save_checkpoint(&self) {
+        let (Some(path), Some(a)) = (&self.checkpoint, &self.assignment) else { return };
+        let record = ShardCheckpoint {
+            fingerprint: a.fingerprint.clone(),
+            shard_start: a.shard.start,
+            shard_end: a.shard.end,
+            epochs_served: a.epochs_served,
+        };
+        if let Err(e) = write_envelope(path, DIST_SHARD_CHECKPOINT_KIND, &record.to_payload()) {
+            eprintln!("fedl-dist worker: shard checkpoint failed: {e}");
+        }
+    }
+
+    fn note_malformed(&mut self, err: &ProtocolError) {
+        self.telemetry.counter("dist.worker_malformed_frames").incr();
+        self.telemetry.emit(
+            "dist.worker_malformed_frame",
+            vec![("code", Value::from(err.code())), ("detail", Value::from(err.to_string()))],
+        );
+    }
+
+    fn refuse(&mut self, err: ProtocolError) -> (Message, Control) {
+        self.note_malformed(&err);
+        (err.to_wire(), Control::Continue)
+    }
+
+    /// Handles one raw frame: decode, dispatch, encode the reply.
+    pub fn handle_frame(&mut self, frame: &[u8]) -> (Vec<u8>, Control) {
+        let (reply, control) = match decode_frame(frame) {
+            Ok(msg) => self.handle_message(msg),
+            Err(err) => {
+                self.note_malformed(&err);
+                (err.to_wire(), Control::Continue)
+            }
+        };
+        (encode_frame(&reply), control)
+    }
+
+    /// Applies one decoded message; the returned message is the reply.
+    pub fn handle_message(&mut self, msg: Message) -> (Message, Control) {
+        match msg {
+            Message::Hello { protocol_version, node: _ } => {
+                if protocol_version != PROTOCOL_VERSION {
+                    let err =
+                        ProtocolError::Version { ours: PROTOCOL_VERSION, theirs: protocol_version };
+                    return self.refuse(err);
+                }
+                (
+                    Message::Hello {
+                        protocol_version: PROTOCOL_VERSION,
+                        node: "fedl-dist-worker".to_string(),
+                    },
+                    Control::Continue,
+                )
+            }
+            Message::ShardAssign {
+                clients,
+                seed,
+                budget,
+                min_participants,
+                policy,
+                shard_start,
+                shard_end,
+            } => self.handle_assign(
+                clients,
+                seed,
+                budget,
+                min_participants,
+                &policy,
+                shard_start,
+                shard_end,
+            ),
+            Message::ShardContext { epoch } => self.handle_context(epoch),
+            Message::ShardTrain { epoch, members, iterations: _ } => {
+                self.handle_train(epoch, members)
+            }
+            Message::Shutdown => {
+                self.save_checkpoint();
+                self.telemetry.emit(
+                    "dist.worker_shutdown",
+                    vec![(
+                        "epochs_served",
+                        Value::from(self.assignment.as_ref().map_or(0, |a| a.epochs_served)),
+                    )],
+                );
+                self.telemetry.emit_metrics();
+                self.telemetry.flush();
+                (
+                    Message::Hello {
+                        protocol_version: PROTOCOL_VERSION,
+                        node: "fedl-dist-worker".to_string(),
+                    },
+                    Control::Shutdown,
+                )
+            }
+            // Everything else belongs to the federation server's
+            // protocol, not a shard worker.
+            other => {
+                let err = ProtocolError::UnexpectedMessage {
+                    detail: format!(
+                        "a dist worker serves only shard messages, got {:?}",
+                        type_name(&other)
+                    ),
+                };
+                self.refuse(err)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_assign(
+        &mut self,
+        clients: usize,
+        seed: u64,
+        budget: f64,
+        min_participants: usize,
+        policy: &str,
+        shard_start: usize,
+        shard_end: usize,
+    ) -> (Message, Control) {
+        if clients == 0 || shard_start > shard_end || shard_end > clients {
+            let err = ProtocolError::Schema {
+                detail: format!(
+                    "shard {shard_start}..{shard_end} is not a sub-range of 0..{clients}"
+                ),
+            };
+            return self.refuse(err);
+        }
+        let policy = match parse_policy(policy) {
+            Ok(kind) => kind,
+            Err(detail) => return self.refuse(ProtocolError::Schema { detail }),
+        };
+        let config = ServeConfig::new(clients, seed, budget, min_participants, policy);
+        let fingerprint = config.fingerprint();
+        let mut epochs_served = 0;
+        if let Some(expected) = &self.expected {
+            if expected.fingerprint != fingerprint
+                || expected.shard_start != shard_start
+                || expected.shard_end != shard_end
+            {
+                let err = ProtocolError::Schema {
+                    detail: format!(
+                        "assignment does not match the resumed shard checkpoint \
+                         (expected shard {}..{} of deployment {}, got {shard_start}..{shard_end} \
+                         of {fingerprint})",
+                        expected.shard_start, expected.shard_end, expected.fingerprint
+                    ),
+                };
+                return self.refuse(err);
+            }
+            epochs_served = expected.epochs_served;
+        }
+        // A re-handshake for the assignment we already hold (coordinator
+        // reconnect, recovery retry) reuses the built population — the
+        // columns are a pure function of the config, so rebuilding could
+        // only waste time, never change bits.
+        if let Some(a) = &self.assignment {
+            if a.fingerprint == fingerprint && a.shard == (shard_start..shard_end) {
+                return (
+                    Message::ShardReady { shard_start, shard_end, fingerprint },
+                    Control::Continue,
+                );
+            }
+        }
+        let channel = ChannelModel::default();
+        let latency = config.latency_model();
+        let cols = ClientColumns::build(&config.env, &channel);
+        self.telemetry.emit(
+            "dist.worker_assigned",
+            vec![
+                ("clients", Value::from(clients)),
+                ("shard_start", Value::from(shard_start)),
+                ("shard_end", Value::from(shard_end)),
+                ("policy", Value::from(config.policy.label())),
+            ],
+        );
+        self.assignment = Some(Assignment {
+            config,
+            channel,
+            latency,
+            cols,
+            shard: shard_start..shard_end,
+            fingerprint: fingerprint.clone(),
+            epochs_served,
+        });
+        self.save_checkpoint();
+        (Message::ShardReady { shard_start, shard_end, fingerprint }, Control::Continue)
+    }
+
+    fn handle_context(&mut self, epoch: usize) -> (Message, Control) {
+        let span = self.telemetry.span("dist.worker_context");
+        let Some(a) = self.assignment.as_mut() else {
+            drop(span);
+            return self.refuse(ProtocolError::UnexpectedMessage {
+                detail: format!("ShardContext for epoch {epoch} before any ShardAssign"),
+            });
+        };
+        let now = a.cols.epoch_columns_partial(epoch, &a.config.env, &a.channel, a.shard.clone());
+        // 0-lookahead hints from the previous epoch's realization
+        // (epoch 0 hints from its own), exactly like `select_for_epoch`.
+        let hint = if epoch == 0 {
+            now.clone()
+        } else {
+            a.cols.epoch_columns_partial(epoch - 1, &a.config.env, &a.channel, a.shard.clone())
+        };
+        let part = scale_context_part(
+            &a.cols,
+            &hint,
+            &now,
+            &a.latency,
+            a.config.min_participants,
+            a.shard.clone(),
+        );
+        a.epochs_served = a.epochs_served.max(epoch + 1);
+        drop(span);
+        self.telemetry.counter("dist.worker_context_parts").incr();
+        self.save_checkpoint();
+        (
+            Message::ShardContextPart {
+                epoch: part.epoch,
+                available: part.available,
+                costs: part.costs,
+                latency_hint: part.latency_hint,
+                true_latency: part.true_latency,
+                data_volumes: part.data_volumes,
+            },
+            Control::Continue,
+        )
+    }
+
+    fn handle_train(&mut self, epoch: usize, members: Vec<usize>) -> (Message, Control) {
+        let span = self.telemetry.span("dist.worker_train");
+        let Some(a) = self.assignment.as_mut() else {
+            drop(span);
+            return self.refuse(ProtocolError::UnexpectedMessage {
+                detail: format!("ShardTrain for epoch {epoch} before any ShardAssign"),
+            });
+        };
+        if let Some(&bad) = members.iter().find(|&&k| !a.shard.contains(&k)) {
+            let (start, end) = (a.shard.start, a.shard.end);
+            drop(span);
+            return self.refuse(ProtocolError::Schema {
+                detail: format!(
+                    "cohort member {bad} is outside this worker's shard {start}..{end}"
+                ),
+            });
+        }
+        let now = a.cols.epoch_columns_partial(epoch, &a.config.env, &a.channel, a.shard.clone());
+        let share = a.config.min_participants.max(1);
+        let per_client_iter_latency = nominal_latency(&a.cols, &now, &a.latency, share, &members);
+        let costs: Vec<f64> = members.iter().map(|&k| now.cost[k]).collect();
+        let mut eta_hats = Vec::with_capacity(members.len());
+        let mut grad_dot_delta = Vec::with_capacity(members.len());
+        let mut local_losses = Vec::with_capacity(members.len());
+        for &k in &members {
+            let (eta, grad, loss) = synth_learning_signals(a.cols.seed[k], epoch);
+            eta_hats.push(eta);
+            grad_dot_delta.push(grad);
+            local_losses.push(loss);
+        }
+        a.epochs_served = a.epochs_served.max(epoch + 1);
+        drop(span);
+        self.telemetry.counter("dist.worker_train_parts").incr();
+        self.save_checkpoint();
+        (
+            Message::ShardTrainPart {
+                epoch,
+                members,
+                per_client_iter_latency,
+                costs,
+                eta_hats,
+                grad_dot_delta,
+                local_losses,
+            },
+            Control::Continue,
+        )
+    }
+}
+
+fn type_name(msg: &Message) -> &'static str {
+    match msg {
+        Message::Hello { .. } => "Hello",
+        Message::ClientJoin { .. } => "ClientJoin",
+        Message::ClientLeave { .. } => "ClientLeave",
+        Message::SelectCohort { .. } => "SelectCohort",
+        Message::Cohort { .. } => "Cohort",
+        Message::TrainResult { .. } => "TrainResult",
+        Message::Snapshot { .. } => "Snapshot",
+        Message::Shutdown => "Shutdown",
+        Message::ShardAssign { .. } => "ShardAssign",
+        Message::ShardReady { .. } => "ShardReady",
+        Message::ShardContext { .. } => "ShardContext",
+        Message::ShardContextPart { .. } => "ShardContextPart",
+        Message::ShardTrain { .. } => "ShardTrain",
+        Message::ShardTrainPart { .. } => "ShardTrainPart",
+        Message::Error { .. } => "Error",
+    }
+}
+
+/// Serves one coordinator connection until shutdown, clean close, or a
+/// framing error (reported to the peer best-effort, then surfaced).
+pub fn run_worker(
+    transport: &mut dyn FrameTransport,
+    state: &mut WorkerState,
+) -> Result<ServeExit, ProtocolError> {
+    loop {
+        match transport.recv() {
+            Ok(Some(frame)) => {
+                let (reply, control) = state.handle_frame(&frame);
+                transport.send(&reply)?;
+                if control == Control::Shutdown {
+                    return Ok(ServeExit::Shutdown);
+                }
+            }
+            Ok(None) => return Ok(ServeExit::PeerClosed),
+            Err(err) => {
+                state.note_malformed(&err);
+                let _ = transport.send(&encode_frame(&err.to_wire()));
+                return Err(err);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedl_core::policy::PolicyKind;
+
+    fn assign_msg(clients: usize, seed: u64, shard: Range<usize>) -> Message {
+        Message::ShardAssign {
+            clients,
+            seed,
+            budget: 300.0,
+            min_participants: 3,
+            policy: "fedl".to_string(),
+            shard_start: shard.start,
+            shard_end: shard.end,
+        }
+    }
+
+    #[test]
+    fn assigned_worker_serves_partials_matching_direct_computation() {
+        let mut w = WorkerState::new(Telemetry::disabled());
+        let (reply, _) = w.handle_message(assign_msg(50, 19, 10..30));
+        let config = ServeConfig::new(50, 19, 300.0, 3, PolicyKind::FedL);
+        match reply {
+            Message::ShardReady { shard_start: 10, shard_end: 30, fingerprint } => {
+                assert_eq!(fingerprint, config.fingerprint());
+            }
+            other => panic!("expected ShardReady, got {other:?}"),
+        }
+        // Context partial == direct columnar computation, bit-for-bit.
+        let channel = ChannelModel::default();
+        let latency = config.latency_model();
+        let cols = ClientColumns::build(&config.env, &channel);
+        let epoch = 4;
+        let now = cols.epoch_columns_partial(epoch, &config.env, &channel, 10..30);
+        let hint = cols.epoch_columns_partial(epoch - 1, &config.env, &channel, 10..30);
+        let want = scale_context_part(&cols, &hint, &now, &latency, 3, 10..30);
+        let (reply, _) = w.handle_message(Message::ShardContext { epoch });
+        match reply {
+            Message::ShardContextPart { epoch: e, available, costs, true_latency, .. } => {
+                assert_eq!(e, epoch);
+                assert_eq!(available, want.available);
+                assert_eq!(costs, want.costs);
+                assert_eq!(true_latency, want.true_latency);
+            }
+            other => panic!("expected ShardContextPart, got {other:?}"),
+        }
+        // Train partial == direct latency/cost/signal computation.
+        let members: Vec<usize> = now.available_ids().into_iter().take(4).collect();
+        assert!(!members.is_empty(), "shard 10..30 should have available clients at epoch 4");
+        let want_lat = nominal_latency(&cols, &now, &latency, 3, &members);
+        let (reply, _) = w.handle_message(Message::ShardTrain {
+            epoch,
+            members: members.clone(),
+            iterations: 5,
+        });
+        match reply {
+            Message::ShardTrainPart {
+                members: got,
+                per_client_iter_latency,
+                costs,
+                eta_hats,
+                ..
+            } => {
+                assert_eq!(got, members);
+                assert_eq!(per_client_iter_latency, want_lat);
+                for (slot, &k) in members.iter().enumerate() {
+                    assert_eq!(costs[slot].to_bits(), now.cost[k].to_bits());
+                    let (eta, _, _) = synth_learning_signals(cols.seed[k], epoch);
+                    assert_eq!(eta_hats[slot], eta);
+                }
+            }
+            other => panic!("expected ShardTrainPart, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn misuse_is_refused_with_typed_errors_never_panics() {
+        let mut w = WorkerState::new(Telemetry::disabled());
+        let expect_code = |reply: Message, want: &str| match reply {
+            Message::Error { code, .. } => assert_eq!(code, want),
+            other => panic!("expected a wire error, got {other:?}"),
+        };
+        // Shard requests before assignment.
+        let (reply, _) = w.handle_message(Message::ShardContext { epoch: 0 });
+        expect_code(reply, "unexpected-message");
+        let (reply, _) =
+            w.handle_message(Message::ShardTrain { epoch: 0, members: vec![1], iterations: 1 });
+        expect_code(reply, "unexpected-message");
+        // Federation-server messages sent at a worker.
+        let (reply, _) = w.handle_message(Message::ClientJoin { client: 3 });
+        expect_code(reply, "unexpected-message");
+        // Degenerate shard bounds and unknown policy labels.
+        let (reply, _) = w.handle_message(assign_msg(10, 7, 4..20));
+        expect_code(reply, "schema");
+        let (reply, _) = w.handle_message(Message::ShardAssign {
+            clients: 10,
+            seed: 7,
+            budget: 10.0,
+            min_participants: 2,
+            policy: "magic".to_string(),
+            shard_start: 0,
+            shard_end: 10,
+        });
+        expect_code(reply, "schema");
+        // Version skew.
+        let (reply, _) = w.handle_message(Message::Hello {
+            protocol_version: PROTOCOL_VERSION + 1,
+            node: "old".to_string(),
+        });
+        expect_code(reply, "version");
+        // Out-of-shard cohort members.
+        w.handle_message(assign_msg(20, 7, 0..10));
+        let (reply, _) =
+            w.handle_message(Message::ShardTrain { epoch: 0, members: vec![15], iterations: 1 });
+        expect_code(reply, "schema");
+    }
+
+    #[test]
+    fn resumed_worker_pins_the_assignment_to_its_checkpoint() {
+        let dir = std::env::temp_dir().join("fedl_dist_worker_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("shard_guard.fedlstore");
+        std::fs::remove_file(&ckpt).ok();
+        let mut w = WorkerState::new(Telemetry::disabled()).with_checkpoint(&ckpt);
+        let (reply, _) = w.handle_message(assign_msg(40, 13, 0..20));
+        assert!(matches!(reply, Message::ShardReady { .. }));
+        w.handle_message(Message::ShardContext { epoch: 0 });
+        assert!(ckpt.exists(), "assignment and served epochs must checkpoint");
+        // Respawn: the same assignment is accepted...
+        let mut respawned = WorkerState::resume(Telemetry::disabled(), &ckpt).unwrap();
+        let (reply, _) = respawned.handle_message(assign_msg(40, 13, 0..20));
+        assert!(matches!(reply, Message::ShardReady { .. }));
+        // ...a different deployment (seed) or shard is refused.
+        let mut respawned = WorkerState::resume(Telemetry::disabled(), &ckpt).unwrap();
+        let (reply, _) = respawned.handle_message(assign_msg(40, 14, 0..20));
+        assert!(matches!(reply, Message::Error { ref code, .. } if code == "schema"));
+        let (reply, _) = respawned.handle_message(assign_msg(40, 13, 0..21));
+        assert!(matches!(reply, Message::Error { ref code, .. } if code == "schema"));
+        std::fs::remove_file(&ckpt).ok();
+    }
+}

@@ -1,0 +1,274 @@
+//! The tentpole contract: a distributed run over real transports is
+//! byte-identical to the in-process reference — for 2 and 4 workers,
+//! and through a worker kill + respawn + checkpoint-resume mid-run —
+//! and every transport failure surfaces as a typed error, never a
+//! panic or a hang.
+
+use std::ops::Range;
+use std::path::PathBuf;
+use std::thread::JoinHandle;
+
+use fedl_core::policy::PolicyKind;
+use fedl_dist::{
+    run_worker, shard_ranges, Coordinator, DistOptions, LocalWorkerLink, ShardWorker, WorkerLink,
+    WorkerState,
+};
+use fedl_serve::proto::{decode_frame, encode_frame, Message, ProtocolError};
+use fedl_serve::transport::{DuplexTransport, FrameTransport};
+use fedl_serve::{reference_run, SelectionRecord, ServeConfig};
+use fedl_telemetry::Telemetry;
+
+fn to_jsonl(records: &[SelectionRecord]) -> Vec<u8> {
+    let mut text = String::new();
+    for record in records {
+        text.push_str(&record.to_json_line());
+        text.push('\n');
+    }
+    text.into_bytes()
+}
+
+/// A worker living on its own thread behind a [`DuplexTransport`] —
+/// the in-repo stand-in for a worker process over TCP. `reset`
+/// tears the thread down and spawns a fresh one, the same recovery a
+/// process respawn performs.
+struct ThreadWorker {
+    endpoint: Option<DuplexTransport>,
+    handle: Option<JoinHandle<()>>,
+    make_state: Box<dyn Fn() -> WorkerState + Send>,
+}
+
+impl ThreadWorker {
+    fn spawn(make_state: Box<dyn Fn() -> WorkerState + Send>) -> Self {
+        let mut worker = Self { endpoint: None, handle: None, make_state };
+        worker.start();
+        worker
+    }
+
+    fn start(&mut self) {
+        let (coordinator_end, worker_end) = DuplexTransport::pair();
+        let mut state = (self.make_state)();
+        self.handle = Some(std::thread::spawn(move || {
+            let mut transport = worker_end;
+            let _ = run_worker(&mut transport, &mut state);
+        }));
+        self.endpoint = Some(coordinator_end);
+    }
+
+    /// Simulates the worker process dying: its thread exits, while the
+    /// coordinator keeps holding a now-dead link (send errors, recv
+    /// sees end-of-stream).
+    fn kill_peer(&mut self) {
+        let (dead, other_end) = DuplexTransport::pair();
+        drop(other_end);
+        // Dropping the old endpoint closes the worker thread's stream.
+        self.endpoint = Some(dead);
+        if let Some(handle) = self.handle.take() {
+            handle.join().ok();
+        }
+    }
+}
+
+impl WorkerLink for ThreadWorker {
+    fn send(&mut self, msg: &Message) -> Result<(), ProtocolError> {
+        self.endpoint.as_mut().expect("endpoint exists between resets").send(&encode_frame(msg))
+    }
+
+    fn recv_reply(&mut self) -> Result<Message, ProtocolError> {
+        let frame =
+            self.endpoint.as_mut().expect("endpoint exists between resets").recv()?.ok_or_else(
+                || ProtocolError::Io { detail: "worker closed the stream".to_string() },
+            )?;
+        decode_frame(&frame)
+    }
+
+    fn reset(&mut self) -> Result<(), String> {
+        self.endpoint = None;
+        if let Some(handle) = self.handle.take() {
+            handle.join().ok();
+        }
+        self.start();
+        Ok(())
+    }
+}
+
+impl Drop for ThreadWorker {
+    fn drop(&mut self) {
+        self.endpoint = None;
+        if let Some(handle) = self.handle.take() {
+            handle.join().ok();
+        }
+    }
+}
+
+/// Kills the inner worker right before its `die_at`-th request is
+/// sent, exactly once — a deterministic mid-run crash.
+struct FlakyWorker {
+    inner: ThreadWorker,
+    sends: usize,
+    die_at: usize,
+}
+
+impl WorkerLink for FlakyWorker {
+    fn send(&mut self, msg: &Message) -> Result<(), ProtocolError> {
+        self.sends += 1;
+        if self.sends == self.die_at {
+            self.inner.kill_peer();
+        }
+        self.inner.send(msg)
+    }
+
+    fn recv_reply(&mut self) -> Result<Message, ProtocolError> {
+        self.inner.recv_reply()
+    }
+
+    fn reset(&mut self) -> Result<(), String> {
+        self.inner.reset()
+    }
+}
+
+/// A worker that dies mid-run and whose resets keep failing — the
+/// unrecoverable-disconnect case.
+struct DoomedWorker {
+    inner: FlakyWorker,
+}
+
+impl WorkerLink for DoomedWorker {
+    fn send(&mut self, msg: &Message) -> Result<(), ProtocolError> {
+        self.inner.send(msg)
+    }
+
+    fn recv_reply(&mut self) -> Result<Message, ProtocolError> {
+        self.inner.recv_reply()
+    }
+
+    fn reset(&mut self) -> Result<(), String> {
+        Err("the worker host is gone".to_string())
+    }
+}
+
+fn config() -> ServeConfig {
+    ServeConfig::new(81, 17, 500.0, 4, PolicyKind::FedL)
+}
+
+fn thread_workers(config: &ServeConfig, count: usize) -> Vec<ShardWorker> {
+    shard_ranges(config.env.num_clients, count)
+        .into_iter()
+        .map(|shard| ShardWorker {
+            shard,
+            link: Box::new(ThreadWorker::spawn(Box::new(|| {
+                WorkerState::new(Telemetry::disabled())
+            }))),
+        })
+        .collect()
+}
+
+fn run(config: &ServeConfig, workers: Vec<ShardWorker>, epochs: usize) -> fedl_dist::DistReport {
+    let mut coordinator =
+        Coordinator::new(config.clone(), workers, Telemetry::disabled()).expect("layout is valid");
+    coordinator.run(&DistOptions { epochs, ..Default::default() }).expect("run succeeds")
+}
+
+#[test]
+fn two_and_four_worker_runs_are_byte_identical_to_the_reference() {
+    let config = config();
+    let epochs = 8;
+    let reference = to_jsonl(&reference_run(&config, epochs));
+    assert!(!reference.is_empty());
+    for count in [2, 4] {
+        let report = run(&config, thread_workers(&config, count), epochs);
+        assert_eq!(report.recoveries, 0);
+        assert!(report.selections.iter().any(|r| !r.cohort.is_empty()));
+        assert_eq!(
+            to_jsonl(&report.selections),
+            reference,
+            "{count}-worker run must byte-match the single-process reference"
+        );
+    }
+    // And the zero-socket local links the bench kernel uses.
+    let locals: Vec<ShardWorker> = shard_ranges(config.env.num_clients, 3)
+        .into_iter()
+        .map(|shard| ShardWorker {
+            shard,
+            link: Box::new(LocalWorkerLink::new(WorkerState::new(Telemetry::disabled()))),
+        })
+        .collect();
+    assert_eq!(to_jsonl(&run(&config, locals, epochs).selections), reference);
+}
+
+fn checkpointed_state(path: PathBuf) -> WorkerState {
+    // A respawned worker finds the checkpoint its predecessor wrote and
+    // resumes against it — the S12 shard-checkpoint path.
+    if path.exists() {
+        WorkerState::resume(Telemetry::disabled(), &path).expect("checkpoint is readable")
+    } else {
+        WorkerState::new(Telemetry::disabled()).with_checkpoint(path)
+    }
+}
+
+#[test]
+fn killed_worker_respawns_from_its_shard_checkpoint_and_the_run_still_matches() {
+    let config = config();
+    let epochs = 8;
+    let reference = to_jsonl(&reference_run(&config, epochs));
+    let dir = std::env::temp_dir().join(format!("fedl_dist_respawn_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let shards: Vec<Range<usize>> = shard_ranges(config.env.num_clients, 3);
+    let workers: Vec<ShardWorker> = shards
+        .into_iter()
+        .enumerate()
+        .map(|(i, shard)| {
+            let ckpt = dir.join(format!("worker-{i}.fedlstore"));
+            std::fs::remove_file(&ckpt).ok();
+            let inner = ThreadWorker::spawn(Box::new(move || checkpointed_state(ckpt.clone())));
+            // Worker 1 dies just before its 7th request: two handshake
+            // rpcs plus two per epoch puts the crash mid-epoch 2.
+            let link: Box<dyn WorkerLink> = if i == 1 {
+                Box::new(FlakyWorker { inner, sends: 0, die_at: 7 })
+            } else {
+                Box::new(inner)
+            };
+            ShardWorker { shard, link }
+        })
+        .collect();
+    let report = run(&config, workers, epochs);
+    assert!(report.recoveries >= 1, "the killed worker must have been recovered");
+    assert_eq!(
+        to_jsonl(&report.selections),
+        reference,
+        "a kill + respawn + checkpoint-resume mid-run must not change a single byte"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unrecoverable_worker_death_is_a_typed_error_not_a_hang() {
+    let config = config();
+    let mut workers = thread_workers(&config, 3);
+    // Worker 1 disconnects mid-epoch and every reset fails.
+    let inner = ThreadWorker::spawn(Box::new(|| WorkerState::new(Telemetry::disabled())));
+    workers[1] = ShardWorker {
+        shard: workers[1].shard.clone(),
+        link: Box::new(DoomedWorker { inner: FlakyWorker { inner, sends: 0, die_at: 5 } }),
+    };
+    let mut coordinator = Coordinator::new(config, workers, Telemetry::disabled()).unwrap();
+    let err = coordinator
+        .run(&DistOptions { epochs: 8, max_resets: 2 })
+        .expect_err("a dead worker with failing resets must abort the run");
+    assert!(err.contains("worker 1"), "error should name the worker: {err}");
+    assert!(err.contains("unrecoverable"), "error should say recovery was exhausted: {err}");
+}
+
+#[test]
+fn dropped_duplex_sender_surfaces_as_a_typed_error_at_the_coordinator() {
+    let (mut coordinator_end, worker_end) = DuplexTransport::pair();
+    drop(worker_end);
+    // Sending into the dropped peer is a typed Io error...
+    let msg = Message::ShardContext { epoch: 0 };
+    match coordinator_end.send(&encode_frame(&msg)) {
+        Err(ProtocolError::Io { .. }) => {}
+        other => panic!("expected a typed Io error, got {other:?}"),
+    }
+    // ...and receiving reports clean end-of-stream, which the link
+    // layer turns into a typed error rather than blocking forever.
+    assert!(matches!(coordinator_end.recv(), Ok(None)));
+}

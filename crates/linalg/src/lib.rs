@@ -14,24 +14,30 @@
 //! * [`rng`] — a from-scratch xoshiro256++ generator, distribution
 //!   samplers, and deterministic seed derivation so every experiment in
 //!   the harness is reproducible from a single seed.
-//! * [`par`] — scoped-thread data-parallel primitives (the workspace's
-//!   rayon replacement).
+//! * [`par`] — data-parallel primitives over a lazily initialized,
+//!   reusable worker pool (the workspace's rayon replacement).
 //!
 //! Everything is implemented from scratch (no BLAS, no ndarray, no
 //! registry crates at all) per the reproduction's hermetic-build ground
 //! rules (`docs/BUILD.md`); the GEMM kernel splits rows contiguously
-//! across a scoped thread team.
+//! across the pool's fixed thread team.
 //!
 //! System-inventory row **S1** in DESIGN.md §1.
+//!
+//! `unsafe` is denied crate-wide with one audited exception: the
+//! `pool`-internal lifetime erasure that lets the persistent worker
+//! threads run borrowed closures (see `pool.rs` for the safety
+//! argument). Everything else remains `unsafe`-free.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 pub mod dvec;
 mod gemm;
 mod matrix;
 pub mod ops;
 pub mod par;
+mod pool;
 pub mod rng;
 
 pub use matrix::Matrix;

@@ -1,17 +1,28 @@
-//! Minimal data-parallel primitives over `std::thread::scope`.
+//! Minimal data-parallel primitives over a reusable worker pool.
 //!
 //! A from-scratch replacement for the rayon call sites in this workspace
 //! (GEMM row loops, per-client local solves, replication fan-out). The
 //! work shapes here are coarse and regular — a few dozen to a few
 //! thousand equally sized items — so static contiguous splitting across
-//! a scoped thread team matches work stealing in practice while keeping
+//! a fixed thread team matches work stealing in practice while keeping
 //! the substrate dependency-free.
+//!
+//! Work is dispatched through the private `pool` module: a lazily initialized,
+//! process-lifetime worker pool (sized by [`max_threads`]) that replaces
+//! the original per-call `std::thread::scope` spawning, so a hot kernel
+//! calling `par_map` in a loop pays a queue push per call instead of a
+//! thread spawn per team member. Task panics still propagate to the
+//! caller, and nested parallel calls (GEMM inside a `par_map` task) are
+//! deadlock-free because the calling thread always drains its own batch
+//! before waiting.
 //!
 //! All entry points fall back to the serial path when the input is small
 //! or only one hardware thread is available, so callers never pay
 //! fork-join overhead on tiny inputs.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::pool;
 
 /// Thread-team size: `FEDL_THREADS` when set to a positive integer,
 /// otherwise [`std::thread::available_parallelism`].
@@ -49,8 +60,8 @@ fn split_ranges(len: usize, teams: usize) -> Vec<std::ops::Range<usize>> {
 /// Maps `f` over `items` in parallel, preserving order.
 ///
 /// Equivalent to `items.iter().map(f).collect()` but with the items
-/// statically split across a scoped thread team. `f` runs exactly once
-/// per item; panics propagate to the caller.
+/// statically split across the worker pool's thread team. `f` runs
+/// exactly once per item; panics propagate to the caller.
 pub fn par_map<T: Sync, U: Send, F: Fn(&T) -> U + Sync>(items: &[T], f: F) -> Vec<U> {
     let threads = max_threads();
     if threads <= 1 || items.len() <= 1 {
@@ -58,17 +69,18 @@ pub fn par_map<T: Sync, U: Send, F: Fn(&T) -> U + Sync>(items: &[T], f: F) -> Ve
     }
     let ranges = split_ranges(items.len(), threads);
     let f = &f;
-    let mut chunks: Vec<Vec<U>> = Vec::with_capacity(ranges.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
-            .into_iter()
-            .map(|range| scope.spawn(move || items[range].iter().map(f).collect::<Vec<U>>()))
-            .collect();
-        for h in handles {
-            chunks.push(h.join().expect("par_map worker panicked"));
-        }
-    });
-    chunks.into_iter().flatten().collect()
+    let mut slots: Vec<Option<Vec<U>>> =
+        std::iter::repeat_with(|| None).take(ranges.len()).collect();
+    let tasks: Vec<pool::Task<'_>> = slots
+        .iter_mut()
+        .zip(ranges)
+        .map(|(slot, range)| {
+            Box::new(move || *slot = Some(items[range].iter().map(f).collect::<Vec<U>>()))
+                as pool::Task<'_>
+        })
+        .collect();
+    pool::run_batch(tasks);
+    slots.into_iter().flat_map(|s| s.expect("batch ran every task")).collect()
 }
 
 /// Runs `f(i, out_chunk, in_chunk)` for every aligned pair of the `i`-th
@@ -107,27 +119,25 @@ where
     }
     let ranges = split_ranges(pairs, threads);
     let f = &f;
-    std::thread::scope(|scope| {
-        let mut rest = out;
-        let mut consumed = 0usize;
-        for range in ranges {
-            let rows = range.len();
-            let (mine, tail) = rest.split_at_mut(rows * out_chunk);
-            rest = tail;
-            let in_slice = &input[range.start * in_chunk..range.end * in_chunk];
-            let first = consumed;
-            scope.spawn(move || {
-                for (j, (o, inp)) in mine
-                    .chunks_exact_mut(out_chunk)
-                    .zip(in_slice.chunks_exact(in_chunk))
-                    .enumerate()
-                {
-                    f(first + j, o, inp);
-                }
-            });
-            consumed += rows;
-        }
-    });
+    let mut tasks: Vec<pool::Task<'_>> = Vec::with_capacity(ranges.len());
+    let mut rest = out;
+    let mut consumed = 0usize;
+    for range in ranges {
+        let rows = range.len();
+        let (mine, tail) = rest.split_at_mut(rows * out_chunk);
+        rest = tail;
+        let in_slice = &input[range.start * in_chunk..range.end * in_chunk];
+        let first = consumed;
+        tasks.push(Box::new(move || {
+            for (j, (o, inp)) in
+                mine.chunks_exact_mut(out_chunk).zip(in_slice.chunks_exact(in_chunk)).enumerate()
+            {
+                f(first + j, o, inp);
+            }
+        }));
+        consumed += rows;
+    }
+    pool::run_batch(tasks);
 }
 
 /// Fixed reduction-chunk width for [`det_sum`] / [`det_dot`].
@@ -258,6 +268,33 @@ mod tests {
         let b: Vec<f64> = (0..257).map(|i| 1.0 / (1.0 + i as f64)).collect();
         let seq: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
         assert_eq!(seq.to_bits(), det_dot(&a, &b).to_bits());
+    }
+
+    #[test]
+    fn par_map_nests_without_deadlock() {
+        // GEMM inside a par_map task is the real workload shape; the
+        // pool must let the outer tasks drain their own inner batches.
+        let outer: Vec<usize> = (0..8).collect();
+        let result = par_map(&outer, |&o| {
+            let inner: Vec<usize> = (0..256).collect();
+            par_map(&inner, |&i| i * o).iter().sum::<usize>()
+        });
+        let expected: Vec<usize> = outer.iter().map(|&o| o * (255 * 256) / 2).collect();
+        assert_eq!(result, expected);
+    }
+
+    #[test]
+    fn par_map_propagates_task_panics() {
+        let items: Vec<usize> = (0..100).collect();
+        let caught = std::panic::catch_unwind(|| {
+            par_map(&items, |&x| {
+                if x == 57 {
+                    panic!("bad item");
+                }
+                x
+            })
+        });
+        assert!(caught.is_err(), "panic inside par_map must reach the caller");
     }
 
     #[test]

@@ -30,7 +30,7 @@ serve options:
   --checkpoint-every N    checkpoint after every N completed epochs (default 1)
   --resume                restore state from --checkpoint before serving
   --telemetry FILE        write a JSONL run log
-  --port-file FILE        write the bound port (for --addr HOST:0)
+  --port-file FILE        write the bound port atomically (for --addr HOST:0)
 
 loadgen options:
   --epochs E              selection epochs to drive (default 10)
@@ -39,9 +39,11 @@ loadgen options:
   --verify-reference      compare against the in-process reference run
   --shutdown              ask the server to exit when done
   --connect-retries N     connection attempts, 100 ms apart (default 50)
+  --io-timeout SECS       per-call socket deadline (default: none, block forever)
 ";
 
-fn parse_policy(s: &str) -> Result<PolicyKind, String> {
+/// Parses a policy label as the serve/loadgen/dist CLIs spell them.
+pub fn parse_policy(s: &str) -> Result<PolicyKind, String> {
     match s.to_ascii_lowercase().as_str() {
         "fedl" => Ok(PolicyKind::FedL),
         "fedavg" => Ok(PolicyKind::FedAvg),
@@ -70,6 +72,7 @@ struct Parsed {
     verify_reference: bool,
     shutdown: bool,
     connect_retries: usize,
+    io_timeout: Option<Duration>,
 }
 
 fn parse(args: &[String]) -> Result<Parsed, String> {
@@ -90,6 +93,7 @@ fn parse(args: &[String]) -> Result<Parsed, String> {
     let mut verify_reference = false;
     let mut shutdown = false;
     let mut connect_retries = 50usize;
+    let mut io_timeout = None;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -135,6 +139,14 @@ fn parse(args: &[String]) -> Result<Parsed, String> {
                     .parse()
                     .map_err(|e| format!("--connect-retries: {e}"))?
             }
+            "--io-timeout" => {
+                let secs: f64 =
+                    value("--io-timeout")?.parse().map_err(|e| format!("--io-timeout: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--io-timeout must be a positive number of seconds".into());
+                }
+                io_timeout = Some(Duration::from_secs_f64(secs));
+            }
             other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
         }
     }
@@ -155,6 +167,7 @@ fn parse(args: &[String]) -> Result<Parsed, String> {
         verify_reference,
         shutdown,
         connect_retries,
+        io_timeout,
     })
 }
 
@@ -171,7 +184,9 @@ pub fn run_serve(args: &[String]) -> Result<(), String> {
         TcpListener::bind(&parsed.addr).map_err(|e| format!("cannot bind {}: {e}", parsed.addr))?;
     let local = listener.local_addr().map_err(|e| e.to_string())?;
     if let Some(port_file) = &parsed.port_file {
-        std::fs::write(port_file, local.port().to_string())
+        // Atomic (tmp + rename): a watcher polling the path never reads
+        // a half-written port number.
+        fedl_store::write_atomic(port_file, &local.port().to_string())
             .map_err(|e| format!("cannot write {}: {e}", port_file.display()))?;
     }
     let mut state = if parsed.resume {
@@ -196,7 +211,7 @@ pub fn run_serve(args: &[String]) -> Result<(), String> {
     );
     for incoming in listener.incoming() {
         let stream = incoming.map_err(|e| format!("accept failed: {e}"))?;
-        let mut transport = TcpTransport::new(stream);
+        let mut transport = TcpTransport::with_timeout(stream, parsed.io_timeout);
         match serve_connection(&mut transport, &mut state) {
             Ok(ServeExit::Shutdown) => {
                 eprintln!(
@@ -238,7 +253,7 @@ fn connect(addr: &str, retries: usize) -> Result<TcpStream, String> {
 pub fn run_loadgen_cli(args: &[String]) -> Result<(), String> {
     let parsed = parse(args)?;
     let stream = connect(&parsed.addr, parsed.connect_retries)?;
-    let mut transport = TcpTransport::new(stream);
+    let mut transport = TcpTransport::with_timeout(stream, parsed.io_timeout);
     let opts = LoadgenOptions {
         epochs: parsed.epochs,
         start_epoch: parsed.start_epoch,
@@ -314,6 +329,19 @@ mod tests {
         assert_eq!(p.config.policy, PolicyKind::PowD);
         assert_eq!(p.epochs, 12);
         assert!(p.shutdown && !p.resume && !p.verify_reference);
+    }
+
+    #[test]
+    fn io_timeout_parses_and_rejects_nonpositive() {
+        let p = parse(&strs(&["--addr", "x", "--io-timeout", "2.5"])).unwrap();
+        assert_eq!(p.io_timeout, Some(Duration::from_millis(2500)));
+        assert!(parse(&strs(&["--addr", "x"])).unwrap().io_timeout.is_none());
+        assert!(parse(&strs(&["--addr", "x", "--io-timeout", "0"]))
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse(&strs(&["--addr", "x", "--io-timeout", "-3"]))
+            .unwrap_err()
+            .contains("positive"));
     }
 
     #[test]

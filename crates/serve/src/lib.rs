@@ -47,15 +47,16 @@ pub mod server;
 pub mod transport;
 
 pub use loadgen::{
-    reference_run, run_loadgen, synth_train_result, LoadgenOptions, LoadgenReport, SelectionRecord,
+    combine_feedback, reference_run, run_loadgen, synth_learning_signals, synth_train_result,
+    LoadgenOptions, LoadgenReport, SelectionRecord,
 };
 pub use proto::{
     decode_frame, encode_frame, Message, ProtocolError, FRAME_KIND, MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
 };
 pub use server::{
-    select_for_epoch, serve_connection, Control, ServeConfig, ServeError, ServeExit, ServerState,
-    SERVE_CHECKPOINT_KIND, SERVE_SNAPSHOT_SCHEMA_VERSION,
+    sanitize_decision, select_for_epoch, serve_connection, Control, ServeConfig, ServeError,
+    ServeExit, ServerState, SERVE_CHECKPOINT_KIND, SERVE_SNAPSHOT_SCHEMA_VERSION,
 };
 pub use transport::{
     read_frame, write_frame, DuplexTransport, FrameTransport, InProcessTransport, TcpTransport,

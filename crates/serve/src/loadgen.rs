@@ -17,6 +17,7 @@ use std::time::Instant;
 
 use fedl_core::columnar::nominal_latency;
 use fedl_json::{obj, Value};
+use fedl_linalg::par::det_sum;
 use fedl_linalg::rng::{rng_for, Rng};
 use fedl_net::{ChannelModel, LatencyModel};
 use fedl_sim::{BudgetLedger, ClientColumns, EpochReport};
@@ -125,19 +126,62 @@ pub fn synth_train_result(
     let now = cols.epoch_columns(epoch, &config.env, channel);
     let share = config.min_participants.max(1);
     let per_client_iter_latency = nominal_latency(cols, &now, latency, share, cohort);
-    let slowest = per_client_iter_latency.iter().fold(0.0f64, |a, &b| a.max(b));
-    let cost: f64 = cohort.iter().map(|&k| now.cost[k]).sum();
-    let decay = 0.97f64.powi(epoch as i32);
-    let base_loss = (10.0f64).ln();
+    let member_costs: Vec<f64> = cohort.iter().map(|&k| now.cost[k]).collect();
     let mut eta_hats = Vec::with_capacity(cohort.len());
     let mut grad_dot_delta = Vec::with_capacity(cohort.len());
     let mut local_losses = Vec::with_capacity(cohort.len());
     for &k in cohort {
-        let mut rng = rng_for(cols.seed[k], 0x5E7E_0000 ^ epoch as u64);
-        eta_hats.push((0.05 + 0.9 * rng.next_f64()) as f32);
-        grad_dot_delta.push(-((0.05 + 0.45 * rng.next_f64()) * decay) as f32);
-        local_losses.push((base_loss * (0.85 + 0.3 * rng.next_f64()) * decay) as f32);
+        let (eta, grad, loss) = synth_learning_signals(cols.seed[k], epoch);
+        eta_hats.push(eta);
+        grad_dot_delta.push(grad);
+        local_losses.push(loss);
     }
+    combine_feedback(
+        epoch,
+        iterations,
+        per_client_iter_latency,
+        &member_costs,
+        eta_hats,
+        grad_dot_delta,
+        local_losses,
+    )
+}
+
+/// One client's synthetic learning signals for `epoch` — `(η̂, J·d_k,
+/// local loss)` drawn from `rng_for(seed_k, 0x5E7E_0000 ^ t)` in stream
+/// order. A pure function of `(seed_k, epoch)`, so a `fedl-dist` worker
+/// computing only its shard's members produces the exact values the
+/// single-process [`synth_train_result`] would.
+pub fn synth_learning_signals(seed_k: u64, epoch: usize) -> (f32, f32, f32) {
+    let decay = 0.97f64.powi(epoch as i32);
+    let base_loss = (10.0f64).ln();
+    let mut rng = rng_for(seed_k, 0x5E7E_0000 ^ epoch as u64);
+    let eta = (0.05 + 0.9 * rng.next_f64()) as f32;
+    let grad = -((0.05 + 0.45 * rng.next_f64()) * decay) as f32;
+    let loss = (base_loss * (0.85 + 0.3 * rng.next_f64()) * decay) as f32;
+    (eta, grad, loss)
+}
+
+/// Folds per-member feedback columns (cohort order) into the epoch's
+/// [`SynthResult`] — the one place the scalar combination lives, shared
+/// by [`synth_train_result`] and the `fedl-dist` coordinator's
+/// shard-order merge so both produce identical bits. The cost fold uses
+/// [`det_sum`]'s fixed-chunk association (bit-identical to the plain
+/// left fold for cohorts up to `DET_CHUNK`, and shard-count-independent
+/// beyond it); the latency fold is a max, associative outright.
+pub fn combine_feedback(
+    epoch: usize,
+    iterations: usize,
+    per_client_iter_latency: Vec<f64>,
+    member_costs: &[f64],
+    eta_hats: Vec<f32>,
+    grad_dot_delta: Vec<f32>,
+    local_losses: Vec<f32>,
+) -> SynthResult {
+    let slowest = per_client_iter_latency.iter().fold(0.0f64, |a, &b| a.max(b));
+    let cost = det_sum(0.0, member_costs.len(), |i| member_costs[i]);
+    let decay = 0.97f64.powi(epoch as i32);
+    let base_loss = (10.0f64).ln();
     SynthResult {
         latency_secs: slowest * iterations as f64,
         per_client_iter_latency,
@@ -296,7 +340,9 @@ pub fn reference_run(config: &ServeConfig, epochs: usize) -> Vec<SelectionRecord
     let channel = ChannelModel::default();
     let latency = config.latency_model();
     let cols = ClientColumns::build(&config.env, &channel);
-    let mut policy = config.policy.build(
+    // Untracked build: regret accounting never feeds back into
+    // selections, and the reference exists only to pin selection bytes.
+    let mut policy = config.policy.build_untracked(
         config.env.num_clients,
         config.budget,
         config.min_participants,

@@ -19,7 +19,13 @@ use fedl_store::{decode_envelope, encode_envelope, StoreError};
 
 /// Version of the message schema; both sides send it in [`Message::Hello`]
 /// and refuse mismatched peers with [`ProtocolError::Version`].
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// v2 added the `Shard*` message kinds that carry `fedl-dist` shard
+/// assignments and shard partials between a distributed coordinator and
+/// its workers (docs/DIST.md). A v1 peer never sent or accepted those
+/// kinds, so the bump refuses the pairing at the handshake instead of
+/// failing mid-epoch on an unknown message.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Envelope kind tag carried by every frame.
 pub const FRAME_KIND: &str = "serve-msg";
@@ -112,6 +118,93 @@ pub enum Message {
     /// Asks the server to checkpoint (if configured) and exit its
     /// accept loop. Acknowledged with [`Message::Snapshot`].
     Shutdown,
+    /// Coordinator → worker: adopt this scenario and own the contiguous
+    /// client shard `[shard_start, shard_end)`. Answered with
+    /// [`Message::ShardReady`]. The scenario fields mirror the
+    /// `experiments serve` grammar (a `ServeConfig::new` scenario), so
+    /// both sides derive the identical environment fingerprint.
+    ShardAssign {
+        /// Population size `M`.
+        clients: usize,
+        /// Environment seed.
+        seed: u64,
+        /// Total rental budget `b`.
+        budget: f64,
+        /// Minimum cohort size `n`.
+        min_participants: usize,
+        /// Selection policy label (`PolicyKind::label()` form).
+        policy: String,
+        /// First client id owned by the worker (inclusive).
+        shard_start: usize,
+        /// One past the last owned client id (exclusive).
+        shard_end: usize,
+    },
+    /// Worker → coordinator: the shard assignment is in effect and the
+    /// population columns are built.
+    ShardReady {
+        /// Echoed shard start.
+        shard_start: usize,
+        /// Echoed shard end.
+        shard_end: usize,
+        /// The worker's scenario fingerprint; the coordinator refuses a
+        /// worker whose fingerprint differs from its own.
+        fingerprint: String,
+    },
+    /// Coordinator → worker: realize epoch `epoch` for the worker's
+    /// shard and return its context partial. Answered with
+    /// [`Message::ShardContextPart`].
+    ShardContext {
+        /// Epoch index `t`.
+        epoch: usize,
+    },
+    /// Worker → coordinator: the shard's slice of the epoch decision
+    /// context (`fedl_core::columnar::ContextPart` on the wire). All
+    /// vectors are aligned to `available`.
+    ShardContextPart {
+        /// Epoch index `t`.
+        epoch: usize,
+        /// Available clients of the shard (global ids, ascending).
+        available: Vec<usize>,
+        /// Rental cost per available client.
+        costs: Vec<f64>,
+        /// 0-lookahead latency estimates (hint epoch channel state).
+        latency_hint: Vec<f64>,
+        /// Current-epoch realized latency (oracle column).
+        true_latency: Vec<f64>,
+        /// Fresh data volume per available client.
+        data_volumes: Vec<usize>,
+    },
+    /// Coordinator → worker: run `iterations` local iterations on the
+    /// cohort members that fall in the worker's shard and return their
+    /// training feedback. Answered with [`Message::ShardTrainPart`].
+    ShardTrain {
+        /// Epoch index `t`.
+        epoch: usize,
+        /// Cohort members owned by this shard (global ids, ascending).
+        members: Vec<usize>,
+        /// Local iterations `l_t`.
+        iterations: usize,
+    },
+    /// Worker → coordinator: per-member training feedback columns,
+    /// aligned to `members`. The coordinator concatenates these in
+    /// fixed shard order and applies the same scalar combination as the
+    /// single-process path, so distributed feedback is bit-identical.
+    ShardTrainPart {
+        /// Epoch index `t`.
+        epoch: usize,
+        /// Echoed shard cohort members.
+        members: Vec<usize>,
+        /// Per-iteration latency of each member.
+        per_client_iter_latency: Vec<f64>,
+        /// Rental cost of each member this epoch.
+        costs: Vec<f64>,
+        /// Measured local accuracy per member.
+        eta_hats: Vec<f32>,
+        /// First-order `J·d_k` coefficients per member.
+        grad_dot_delta: Vec<f32>,
+        /// Local loss per member.
+        local_losses: Vec<f32>,
+    },
     /// A typed refusal; `code` is stable (see [`ProtocolError::code`]),
     /// `detail` is human-readable.
     Error {
@@ -133,6 +226,12 @@ impl Message {
             Message::TrainResult { .. } => "train_result",
             Message::Snapshot { .. } => "snapshot",
             Message::Shutdown => "shutdown",
+            Message::ShardAssign { .. } => "shard_assign",
+            Message::ShardReady { .. } => "shard_ready",
+            Message::ShardContext { .. } => "shard_context",
+            Message::ShardContextPart { .. } => "shard_context_part",
+            Message::ShardTrain { .. } => "shard_train",
+            Message::ShardTrainPart { .. } => "shard_train_part",
             Message::Error { .. } => "error",
         }
     }
@@ -189,6 +288,68 @@ impl Message {
                 fields.push(("policy", Value::from(policy.as_str())));
             }
             Message::Shutdown => {}
+            Message::ShardAssign {
+                clients,
+                seed,
+                budget,
+                min_participants,
+                policy,
+                shard_start,
+                shard_end,
+            } => {
+                fields.push(("clients", Value::from(*clients)));
+                // Seeds ride as JSON ints; the CLI's seed grammar keeps
+                // them inside i64 range.
+                fields.push(("seed", Value::from(*seed as usize)));
+                fields.push(("budget", Value::Float(*budget)));
+                fields.push(("min_participants", Value::from(*min_participants)));
+                fields.push(("policy", Value::from(policy.as_str())));
+                fields.push(("shard_start", Value::from(*shard_start)));
+                fields.push(("shard_end", Value::from(*shard_end)));
+            }
+            Message::ShardReady { shard_start, shard_end, fingerprint } => {
+                fields.push(("shard_start", Value::from(*shard_start)));
+                fields.push(("shard_end", Value::from(*shard_end)));
+                fields.push(("fingerprint", Value::from(fingerprint.as_str())));
+            }
+            Message::ShardContext { epoch } => fields.push(("epoch", Value::from(*epoch))),
+            Message::ShardContextPart {
+                epoch,
+                available,
+                costs,
+                latency_hint,
+                true_latency,
+                data_volumes,
+            } => {
+                fields.push(("epoch", Value::from(*epoch)));
+                fields.push(("available", ids_to_json(available)));
+                fields.push(("costs", f64s_to_json(costs)));
+                fields.push(("latency_hint", f64s_to_json(latency_hint)));
+                fields.push(("true_latency", f64s_to_json(true_latency)));
+                fields.push(("data_volumes", ids_to_json(data_volumes)));
+            }
+            Message::ShardTrain { epoch, members, iterations } => {
+                fields.push(("epoch", Value::from(*epoch)));
+                fields.push(("members", ids_to_json(members)));
+                fields.push(("iterations", Value::from(*iterations)));
+            }
+            Message::ShardTrainPart {
+                epoch,
+                members,
+                per_client_iter_latency,
+                costs,
+                eta_hats,
+                grad_dot_delta,
+                local_losses,
+            } => {
+                fields.push(("epoch", Value::from(*epoch)));
+                fields.push(("members", ids_to_json(members)));
+                fields.push(("per_client_iter_latency", f64s_to_json(per_client_iter_latency)));
+                fields.push(("costs", f64s_to_json(costs)));
+                fields.push(("eta_hats", f32s_to_json(eta_hats)));
+                fields.push(("grad_dot_delta", f32s_to_json(grad_dot_delta)));
+                fields.push(("local_losses", f32s_to_json(local_losses)));
+            }
             Message::Error { code, detail } => {
                 fields.push(("code", Value::from(code.as_str())));
                 fields.push(("detail", Value::from(detail.as_str())));
@@ -246,6 +407,49 @@ impl Message {
                 policy: read_field(v, "policy").map_err(schema)?,
             },
             "shutdown" => Message::Shutdown,
+            "shard_assign" => {
+                let seed: usize = read_field(v, "seed").map_err(schema)?;
+                Message::ShardAssign {
+                    clients: read_field(v, "clients").map_err(schema)?,
+                    seed: seed as u64,
+                    budget: read_field(v, "budget").map_err(schema)?,
+                    min_participants: read_field(v, "min_participants").map_err(schema)?,
+                    policy: read_field(v, "policy").map_err(schema)?,
+                    shard_start: read_field(v, "shard_start").map_err(schema)?,
+                    shard_end: read_field(v, "shard_end").map_err(schema)?,
+                }
+            }
+            "shard_ready" => Message::ShardReady {
+                shard_start: read_field(v, "shard_start").map_err(schema)?,
+                shard_end: read_field(v, "shard_end").map_err(schema)?,
+                fingerprint: read_field(v, "fingerprint").map_err(schema)?,
+            },
+            "shard_context" => {
+                Message::ShardContext { epoch: read_field(v, "epoch").map_err(schema)? }
+            }
+            "shard_context_part" => Message::ShardContextPart {
+                epoch: read_field(v, "epoch").map_err(schema)?,
+                available: read_field(v, "available").map_err(schema)?,
+                costs: read_field(v, "costs").map_err(schema)?,
+                latency_hint: read_field(v, "latency_hint").map_err(schema)?,
+                true_latency: read_field(v, "true_latency").map_err(schema)?,
+                data_volumes: read_field(v, "data_volumes").map_err(schema)?,
+            },
+            "shard_train" => Message::ShardTrain {
+                epoch: read_field(v, "epoch").map_err(schema)?,
+                members: read_field(v, "members").map_err(schema)?,
+                iterations: read_field(v, "iterations").map_err(schema)?,
+            },
+            "shard_train_part" => Message::ShardTrainPart {
+                epoch: read_field(v, "epoch").map_err(schema)?,
+                members: read_field(v, "members").map_err(schema)?,
+                per_client_iter_latency: read_field(v, "per_client_iter_latency")
+                    .map_err(schema)?,
+                costs: read_field(v, "costs").map_err(schema)?,
+                eta_hats: read_field(v, "eta_hats").map_err(schema)?,
+                grad_dot_delta: read_field(v, "grad_dot_delta").map_err(schema)?,
+                local_losses: read_field(v, "local_losses").map_err(schema)?,
+            },
             "error" => Message::Error {
                 code: read_field(v, "code").map_err(schema)?,
                 detail: read_field(v, "detail").map_err(schema)?,
@@ -266,6 +470,10 @@ fn ids_to_json(ids: &[usize]) -> Value {
 
 fn f32s_to_json(xs: &[f32]) -> Value {
     Value::Arr(xs.iter().map(|&x| Value::Float(x as f64)).collect())
+}
+
+fn f64s_to_json(xs: &[f64]) -> Value {
+    Value::Arr(xs.iter().map(|&x| Value::Float(x)).collect())
 }
 
 /// Serializes a message into one frame (envelope text bytes; the
@@ -293,6 +501,14 @@ pub enum ProtocolError {
     Io {
         /// OS error description.
         detail: String,
+    },
+    /// The peer produced no bytes (or accepted none) within the
+    /// transport's configured I/O deadline (`--io-timeout`). Unlike
+    /// [`ProtocolError::Io`] this names a stalled-but-alive peer; the
+    /// caller may retry on a fresh connection.
+    Timeout {
+        /// The deadline that elapsed, in seconds.
+        secs: f64,
     },
     /// Length prefix exceeds [`MAX_FRAME_BYTES`]; the stream is
     /// desynchronized and the connection must be dropped.
@@ -354,6 +570,7 @@ impl ProtocolError {
     pub fn code(&self) -> &'static str {
         match self {
             ProtocolError::Io { .. } => "io",
+            ProtocolError::Timeout { .. } => "timeout",
             ProtocolError::FrameTooLarge { .. } => "frame-too-large",
             ProtocolError::TruncatedFrame { .. } => "truncated-frame",
             ProtocolError::Envelope { .. } => "envelope",
@@ -376,6 +593,9 @@ impl fmt::Display for ProtocolError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ProtocolError::Io { detail } => write!(f, "transport error: {detail}"),
+            ProtocolError::Timeout { secs } => {
+                write!(f, "peer stalled past the {secs}s I/O deadline")
+            }
             ProtocolError::FrameTooLarge { len, max } => {
                 write!(f, "frame length {len} exceeds the {max}-byte ceiling")
             }
@@ -446,6 +666,59 @@ mod tests {
         });
         roundtrip(Message::Shutdown);
         roundtrip(Message::Error { code: "bad-epoch".into(), detail: "nope".into() });
+    }
+
+    #[test]
+    fn every_shard_message_round_trips() {
+        roundtrip(Message::ShardAssign {
+            clients: 100,
+            seed: 7,
+            budget: 1e6,
+            min_participants: 3,
+            policy: "FedL".into(),
+            shard_start: 50,
+            shard_end: 100,
+        });
+        roundtrip(Message::ShardReady {
+            shard_start: 50,
+            shard_end: 100,
+            fingerprint: "deadbeefdeadbeef".into(),
+        });
+        roundtrip(Message::ShardContext { epoch: 9 });
+        // Awkward floats (subnormal, negative zero, many digits) must
+        // survive the JSON trip bit-for-bit — the distributed merge
+        // depends on it.
+        roundtrip(Message::ShardContextPart {
+            epoch: 9,
+            available: vec![51, 53, 99],
+            costs: vec![1.0000000000000002, -0.0, 5e-324],
+            latency_hint: vec![0.1, 0.2, 0.30000000000000004],
+            true_latency: vec![1.5, 2.5, f64::MIN_POSITIVE],
+            data_volumes: vec![10, 0, 3],
+        });
+        roundtrip(Message::ShardTrain { epoch: 9, members: vec![51, 99], iterations: 4 });
+        roundtrip(Message::ShardTrainPart {
+            epoch: 9,
+            members: vec![51, 99],
+            per_client_iter_latency: vec![0.25, 0.125],
+            costs: vec![3.5, 4.5],
+            eta_hats: vec![0.5, 0.9],
+            grad_dot_delta: vec![-0.25, -0.125],
+            local_losses: vec![2.0, 1.75],
+        });
+    }
+
+    #[test]
+    fn timeout_error_has_a_stable_code() {
+        let err = ProtocolError::Timeout { secs: 2.5 };
+        assert_eq!(err.code(), "timeout");
+        match err.to_wire() {
+            Message::Error { code, detail } => {
+                assert_eq!(code, "timeout");
+                assert!(detail.contains("2.5"));
+            }
+            other => panic!("unexpected wire form {other:?}"),
+        }
     }
 
     #[test]

@@ -125,17 +125,32 @@ pub fn select_for_epoch(
         config.min_participants,
         config.env.seed,
     )?;
-    let mut decision = policy.select(&ctx);
-    decision.cohort.retain(|id| ctx.available.contains(id));
-    decision.cohort.sort_unstable();
-    decision.cohort.dedup();
-    if decision.cohort.is_empty() {
+    let decision = policy.select(&ctx);
+    let (cohort, iterations) = sanitize_decision(&ctx, decision.cohort, decision.iterations);
+    Some((ctx, cohort, iterations))
+}
+
+/// Applies the server's post-selection hygiene to a raw policy decision:
+/// drop ids outside the availability set, sort, dedup, fall back to the
+/// floor-`n` first available clients when nothing survives, and clamp
+/// the iteration count to `1..=50`. Factored out so every driver of a
+/// policy over an [`EpochContext`] — this server, the reference run,
+/// and the `fedl-dist` coordinator — shares one pipeline and therefore
+/// one set of bits.
+pub fn sanitize_decision(
+    ctx: &EpochContext,
+    mut cohort: Vec<usize>,
+    iterations: usize,
+) -> (Vec<usize>, usize) {
+    cohort.retain(|id| ctx.available.contains(id));
+    cohort.sort_unstable();
+    cohort.dedup();
+    if cohort.is_empty() {
         // Defensive fallback, mirroring the runner: the floor-n first
         // available clients.
-        decision.cohort = ctx.available.iter().copied().take(ctx.effective_n()).collect();
+        cohort = ctx.available.iter().copied().take(ctx.effective_n()).collect();
     }
-    let iterations = decision.iterations.clamp(1, 50);
-    Some((ctx, decision.cohort, iterations))
+    (cohort, iterations.clamp(1, 50))
 }
 
 /// What a handled frame asks the connection loop to do next.
@@ -548,6 +563,22 @@ impl ServerState {
             Message::Cohort { .. } | Message::Error { .. } => {
                 let err = ProtocolError::UnexpectedMessage {
                     detail: "reply-only message sent as a request".to_string(),
+                };
+                self.note_malformed(&err);
+                (err.to_wire(), Control::Continue)
+            }
+            // The Shard* family belongs to the fedl-dist coordinator ↔
+            // worker pairing (docs/DIST.md); the federation server is
+            // neither side of it.
+            Message::ShardAssign { .. }
+            | Message::ShardReady { .. }
+            | Message::ShardContext { .. }
+            | Message::ShardContextPart { .. }
+            | Message::ShardTrain { .. }
+            | Message::ShardTrainPart { .. } => {
+                let err = ProtocolError::UnexpectedMessage {
+                    detail: "shard messages are for dist workers, not the federation server"
+                        .to_string(),
                 };
                 self.note_malformed(&err);
                 (err.to_wire(), Control::Continue)

@@ -73,30 +73,69 @@ fn read_some(r: &mut impl Read, buf: &mut [u8]) -> Result<usize, ProtocolError> 
 }
 
 fn io_err(e: std::io::Error) -> ProtocolError {
-    ProtocolError::Io { detail: e.to_string() }
+    // An expired SO_RCVTIMEO/SO_SNDTIMEO surfaces as WouldBlock (Unix)
+    // or TimedOut (Windows). Classify here, where the ErrorKind is still
+    // in hand; the transport that armed the deadline fills in its value
+    // (`secs` is 0 only on this placeholder, and a stream with no
+    // deadline can never produce these kinds).
+    match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => ProtocolError::Timeout { secs: 0.0 },
+        _ => ProtocolError::Io { detail: e.to_string() },
+    }
 }
 
 /// [`FrameTransport`] over a connected [`TcpStream`].
 pub struct TcpTransport {
     stream: TcpStream,
+    timeout: Option<std::time::Duration>,
 }
 
 impl TcpTransport {
     /// Wraps a connected stream (Nagle disabled: frames are
-    /// request/response sized and latency-bound).
+    /// request/response sized and latency-bound) with no I/O deadline —
+    /// a stalled peer blocks forever, like plain blocking sockets.
     pub fn new(stream: TcpStream) -> Self {
+        Self::with_timeout(stream, None)
+    }
+
+    /// Like [`TcpTransport::new`] but arms read/write deadlines: any
+    /// single `send`/`recv` that makes no progress for `timeout`
+    /// surfaces as [`ProtocolError::Timeout`] instead of blocking the
+    /// caller forever. This is the `--io-timeout` knob of the serve and
+    /// dist CLIs — a distributed coordinator must never hang on one
+    /// stalled worker.
+    ///
+    /// Retrying `recv` on the same transport is sound only when the
+    /// timeout fired with no bytes of the next frame consumed (a peer
+    /// that stalled between frames). A deadline that expires *inside* a
+    /// frame leaves the stream mid-frame; robust callers — the dist
+    /// coordinator — treat any timeout as grounds to reconnect.
+    pub fn with_timeout(stream: TcpStream, timeout: Option<std::time::Duration>) -> Self {
         stream.set_nodelay(true).ok();
-        Self { stream }
+        stream.set_read_timeout(timeout).ok();
+        stream.set_write_timeout(timeout).ok();
+        Self { stream, timeout }
+    }
+
+    fn classify(&self, err: ProtocolError) -> ProtocolError {
+        // `io_err` flags an expired socket deadline with a placeholder
+        // `Timeout`; stamp it with the deadline this transport armed.
+        match err {
+            ProtocolError::Timeout { .. } => {
+                ProtocolError::Timeout { secs: self.timeout.map_or(0.0, |t| t.as_secs_f64()) }
+            }
+            other => other,
+        }
     }
 }
 
 impl FrameTransport for TcpTransport {
     fn send(&mut self, frame: &[u8]) -> Result<(), ProtocolError> {
-        write_frame(&mut self.stream, frame)
+        write_frame(&mut self.stream, frame).map_err(|e| self.classify(e))
     }
 
     fn recv(&mut self) -> Result<Option<Vec<u8>>, ProtocolError> {
-        read_frame(&mut self.stream)
+        read_frame(&mut self.stream).map_err(|e| self.classify(e))
     }
 }
 
@@ -202,6 +241,41 @@ mod tests {
             read_frame(&mut Cursor::new(huge)),
             Err(ProtocolError::FrameTooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn stalled_tcp_peer_times_out_typed_then_late_frame_still_arrives() {
+        use std::net::TcpListener;
+        use std::time::Duration;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut peer, _) = listener.accept().unwrap();
+            // Stall well past the client's deadline, then deliver.
+            std::thread::sleep(Duration::from_millis(300));
+            write_frame(&mut peer, b"late frame").unwrap();
+            // Hold the socket open until the client is done reading.
+            std::thread::sleep(Duration::from_millis(500));
+        });
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut t = TcpTransport::with_timeout(stream, Some(Duration::from_millis(50)));
+        // First recv hits the deadline: typed timeout, not a hang and
+        // not a generic Io error.
+        match t.recv() {
+            Err(ProtocolError::Timeout { secs }) => assert!((secs - 0.05).abs() < 1e-9),
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        // The frame that arrives after the timeout is still readable on
+        // a later call — the deadline never desyncs the stream.
+        let late = loop {
+            match t.recv() {
+                Ok(Some(frame)) => break frame,
+                Err(ProtocolError::Timeout { .. }) => continue,
+                other => panic!("expected the late frame, got {other:?}"),
+            }
+        };
+        assert_eq!(late, b"late frame");
+        server.join().unwrap();
     }
 
     #[test]

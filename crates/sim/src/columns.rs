@@ -133,58 +133,111 @@ impl ClientColumns {
         config: &EnvConfig,
         channel: &ChannelModel,
     ) -> EpochColumns {
+        self.epoch_columns_partial(epoch, config, channel, 0..self.len())
+    }
+
+    /// Realizes epoch `t` for the contiguous id range `shard` only —
+    /// the per-worker realization path of `fedl-dist`.
+    ///
+    /// Columns come back full-length (so downstream kernels keep global
+    /// indexing), with rows outside `shard` left at their inert defaults
+    /// (`available = false`, zero cost/gain/volume). Because every
+    /// client's draws are independently seeded, the rows inside `shard`
+    /// are bit-identical to the same rows of a full
+    /// [`epoch_columns`](Self::epoch_columns) realization — this is the
+    /// invariant that makes shard boundaries invisible in distributed
+    /// runs, pinned by `partial_realization_matches_full_rows` below.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of bounds or reversed.
+    pub fn epoch_columns_partial(
+        &self,
+        epoch: usize,
+        config: &EnvConfig,
+        channel: &ChannelModel,
+        shard: std::ops::Range<usize>,
+    ) -> EpochColumns {
         let m = self.len();
-        let starts: Vec<usize> = (0..m.div_ceil(REALIZE_CHUNK).max(1)).collect();
+        assert!(
+            shard.start <= shard.end && shard.end <= m,
+            "shard {shard:?} out of bounds for population of {m}"
+        );
+        let len = shard.len();
+        let starts: Vec<usize> = (0..len.div_ceil(REALIZE_CHUNK).max(1)).collect();
         let chunks = par_map(&starts, |&c| {
-            let range = c * REALIZE_CHUNK..((c + 1) * REALIZE_CHUNK).min(m);
+            let range =
+                shard.start + c * REALIZE_CHUNK..shard.start + ((c + 1) * REALIZE_CHUNK).min(len);
             let mut available = Vec::with_capacity(range.len());
             let mut cost = Vec::with_capacity(range.len());
             let mut gain = Vec::with_capacity(range.len());
             let mut data_volume = Vec::with_capacity(range.len());
             for k in range {
-                let mut rng = rng_for(self.seed[k], 0xE90C ^ (epoch as u64));
-                let on = match config.availability {
-                    AvailabilityModel::Bernoulli => rng.gen::<f64>() < config.p_available,
-                    AvailabilityModel::Markov { p_stay_on, p_stay_off } => {
-                        // Replay the chain from epoch 0 (pure function of
-                        // (client seed, epoch)), then consume the
-                        // Bernoulli draw so the cost/channel stream is
-                        // identical across availability models.
-                        let mut on =
-                            rng_for(self.seed[k], 0xA40F).gen::<f64>() < config.p_available;
-                        for e in 1..=epoch {
-                            let u = rng_for(self.seed[k], 0xA40F ^ (e as u64) << 1).gen::<f64>();
-                            on = if on { u < p_stay_on } else { u >= p_stay_off };
-                        }
-                        let _ = rng.gen::<f64>();
-                        on
-                    }
-                };
+                let (on, c_k, g_k, d_k) = self.realize_client(k, epoch, config, channel);
                 available.push(on);
-                cost.push(rng.gen_range(config.cost_range.0..=config.cost_range.1));
-                gain.push(if config.time_varying_channel {
-                    channel.sample_gain(self.distance_m[k], &mut rng)
-                } else {
-                    self.base_gain[k]
-                });
-                data_volume.push(arrival_count(self.seed[k], self.lambda[k], epoch) as u32);
+                cost.push(c_k);
+                gain.push(g_k);
+                data_volume.push(d_k);
             }
             (available, cost, gain, data_volume)
         });
         let mut out = EpochColumns {
             epoch,
-            available: Vec::with_capacity(m),
-            cost: Vec::with_capacity(m),
-            gain: Vec::with_capacity(m),
-            data_volume: Vec::with_capacity(m),
+            available: vec![false; shard.start],
+            cost: vec![0.0; shard.start],
+            gain: vec![0.0; shard.start],
+            data_volume: vec![0; shard.start],
         };
+        out.available.reserve(m - shard.start);
+        out.cost.reserve(m - shard.start);
+        out.gain.reserve(m - shard.start);
+        out.data_volume.reserve(m - shard.start);
         for (available, cost, gain, data_volume) in chunks {
             out.available.extend(available);
             out.cost.extend(cost);
             out.gain.extend(gain);
             out.data_volume.extend(data_volume);
         }
+        out.available.resize(m, false);
+        out.cost.resize(m, 0.0);
+        out.gain.resize(m, 0.0);
+        out.data_volume.resize(m, 0);
         out
+    }
+
+    /// One client's epoch draws (`rng_for(seed_k, 0xE90C ^ t)`:
+    /// availability, cost, then gain — the `epoch_view` stream order).
+    fn realize_client(
+        &self,
+        k: usize,
+        epoch: usize,
+        config: &EnvConfig,
+        channel: &ChannelModel,
+    ) -> (bool, f64, f64, u32) {
+        let mut rng = rng_for(self.seed[k], 0xE90C ^ (epoch as u64));
+        let on = match config.availability {
+            AvailabilityModel::Bernoulli => rng.gen::<f64>() < config.p_available,
+            AvailabilityModel::Markov { p_stay_on, p_stay_off } => {
+                // Replay the chain from epoch 0 (pure function of
+                // (client seed, epoch)), then consume the
+                // Bernoulli draw so the cost/channel stream is
+                // identical across availability models.
+                let mut on = rng_for(self.seed[k], 0xA40F).gen::<f64>() < config.p_available;
+                for e in 1..=epoch {
+                    let u = rng_for(self.seed[k], 0xA40F ^ (e as u64) << 1).gen::<f64>();
+                    on = if on { u < p_stay_on } else { u >= p_stay_off };
+                }
+                let _ = rng.gen::<f64>();
+                on
+            }
+        };
+        let cost = rng.gen_range(config.cost_range.0..=config.cost_range.1);
+        let gain = if config.time_varying_channel {
+            channel.sample_gain(self.distance_m[k], &mut rng)
+        } else {
+            self.base_gain[k]
+        };
+        let data_volume = arrival_count(self.seed[k], self.lambda[k], epoch) as u32;
+        (on, cost, gain, data_volume)
     }
 }
 
@@ -289,6 +342,29 @@ mod tests {
                 let v = p.epoch_view(epoch, &config, &channel);
                 assert_eq!(v.available, ec.available[p.id], "epoch {epoch} client {}", p.id);
                 assert_eq!(v.radio.gain.to_bits(), ec.gain[p.id].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn partial_realization_matches_full_rows() {
+        let (config, channel) = setup(90, 15);
+        let cols = ClientColumns::build(&config, &channel);
+        for epoch in [0usize, 4, 21] {
+            let full = cols.epoch_columns(epoch, &config, &channel);
+            for shard in [0..30usize, 30..61, 61..90, 0..90, 45..45] {
+                let part = cols.epoch_columns_partial(epoch, &config, &channel, shard.clone());
+                assert_eq!(part.available.len(), 90);
+                for k in 0..90 {
+                    if shard.contains(&k) {
+                        assert_eq!(part.available[k], full.available[k], "epoch {epoch} k {k}");
+                        assert_eq!(part.cost[k].to_bits(), full.cost[k].to_bits());
+                        assert_eq!(part.gain[k].to_bits(), full.gain[k].to_bits());
+                        assert_eq!(part.data_volume[k], full.data_volume[k]);
+                    } else {
+                        assert!(!part.available[k], "row {k} outside {shard:?} must be inert");
+                    }
+                }
             }
         }
     }

@@ -93,10 +93,13 @@ pub fn decode_envelope(text: &str, kind: &str, source: &str) -> Result<Value, St
     Value::parse(body).map_err(|e| StoreError::Schema { path: display, reason: e.to_string() })
 }
 
-/// Serializes `payload` under a `kind`-tagged, checksummed header and
-/// writes it atomically (temp file + rename) to `path`.
-pub fn write_envelope(path: &Path, kind: &str, payload: &Value) -> Result<(), StoreError> {
-    let text = encode_envelope(kind, payload);
+/// Writes `text` to `path` atomically: parent directories are created,
+/// the bytes land in a sibling temp file, and a `rename` publishes them.
+/// A crash mid-write leaves either the old file or no file — readers can
+/// never observe a partially written `path`. This is the primitive under
+/// [`write_envelope`], exported for small non-envelope artifacts that
+/// need the same guarantee (e.g. `experiments serve --port-file`).
+pub fn write_atomic(path: &Path, text: &str) -> Result<(), StoreError> {
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
             fs::create_dir_all(dir).map_err(|e| StoreError::io(dir, &e))?;
@@ -105,6 +108,12 @@ pub fn write_envelope(path: &Path, kind: &str, payload: &Value) -> Result<(), St
     let tmp = path.with_extension("tmp");
     fs::write(&tmp, text).map_err(|e| StoreError::io(&tmp, &e))?;
     fs::rename(&tmp, path).map_err(|e| StoreError::io(path, &e))
+}
+
+/// Serializes `payload` under a `kind`-tagged, checksummed header and
+/// writes it atomically (temp file + rename) to `path`.
+pub fn write_envelope(path: &Path, kind: &str, payload: &Value) -> Result<(), StoreError> {
+    write_atomic(path, &encode_envelope(kind, payload))
 }
 
 /// Reads, verifies, and parses an envelope written by
@@ -133,6 +142,15 @@ mod tests {
             ("spent", Value::Float(12.5)),
             ("name", Value::from("snapshot")),
         ])
+    }
+
+    #[test]
+    fn write_atomic_replaces_contents_and_leaves_no_temp() {
+        let path = tmp("atomic.txt");
+        write_atomic(&path, "first\n").unwrap();
+        write_atomic(&path, "second\n").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "second\n");
+        assert!(!path.with_extension("tmp").exists());
     }
 
     #[test]

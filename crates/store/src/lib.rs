@@ -33,6 +33,6 @@ pub mod error;
 pub use cache::ResultCache;
 pub use checksum::{content_address, fnv1a64};
 pub use envelope::{
-    decode_envelope, encode_envelope, read_envelope, write_envelope, FORMAT_VERSION,
+    decode_envelope, encode_envelope, read_envelope, write_atomic, write_envelope, FORMAT_VERSION,
 };
 pub use error::StoreError;

@@ -51,6 +51,7 @@ fn histogram_quantiles_track_seeded_reference() {
 /// boundary), checked across three seeded distributions with very
 /// different shapes — flat, long-tailed, and multiplicative-spread.
 #[test]
+#[allow(clippy::type_complexity)]
 fn histogram_quantile_accuracy_across_distributions() {
     let cases: [(&str, Box<dyn Fn(&mut Xoshiro256pp) -> f64>); 3] = [
         // Flat: uniform seconds, the shape of evaluate-phase spans.

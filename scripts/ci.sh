@@ -12,7 +12,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-STAGES=(build test doc fmt clippy telemetry checkpoint cache bench-gate bench-history scale serve dashboard overlay)
+STAGES=(build test doc fmt clippy telemetry checkpoint cache bench-gate bench-history scale serve dist dashboard overlay)
 
 run_exp() {
     cargo run --release --offline -p fedl-bench --bin experiments -- "$@"
@@ -186,6 +186,33 @@ stage_serve() {
     run_exp bench --quick --out "$out/BENCH.json" > /dev/null
     grep -q '"serve/select_1k"' "$out/BENCH.json" \
         || { echo "quick snapshot is missing the serve/select_1k kernel" >&2; exit 1; }
+    rm -rf "$out"
+}
+
+# Distributed execution (docs/DIST.md): a real 2-worker run over
+# spawned worker processes must produce selections byte-identical to
+# the single-process reference (--workers 0 writes the reference
+# artifact through the same JSONL path), the quick perf snapshot must
+# carry the dist/epoch_100k kernel, and the snapshot must round-trip
+# through the bench-history append + gate pipeline (the v4 schema
+# fingerprint starts its own rolling baseline).
+stage_dist() {
+    local out=target/ci_dist_stage
+    rm -rf "$out"
+    mkdir -p "$out"
+    local scenario=(--clients 40 --seed 11 --budget 1000000 --min-participants 3 --policy fedl)
+    cargo build --release --offline -p fedl-bench
+    run_exp dist --workers 0 "${scenario[@]}" --epochs 10 --out "$out/reference.jsonl"
+    run_exp dist --workers 2 "${scenario[@]}" --epochs 10 --out "$out/dist.jsonl" \
+        --verify-reference
+    cmp "$out/dist.jsonl" "$out/reference.jsonl" \
+        || { echo "2-worker dist run diverged from the single-process reference" >&2; exit 1; }
+
+    run_exp bench --quick --out "$out/BENCH.json" > /dev/null
+    grep -q '"dist/epoch_100k"' "$out/BENCH.json" \
+        || { echo "quick snapshot is missing the dist/epoch_100k kernel" >&2; exit 1; }
+    run_exp bench-history append "$out/BENCH.json" --history "$out/BENCH_HISTORY.jsonl"
+    run_exp bench-history gate "$out/BENCH.json" --history "$out/BENCH_HISTORY.jsonl"
     rm -rf "$out"
 }
 

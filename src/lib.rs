@@ -31,7 +31,11 @@
 //! * [`serve`] — the long-running federation service: a framed
 //!   client protocol over TCP, an event-driven coordinator owning the
 //!   policy + ledger, checkpointed bit-identical restarts, and the
-//!   replay load generator (see `docs/SERVE.md`).
+//!   replay load generator (see `docs/SERVE.md`);
+//! * [`dist`] — multi-process sharded execution: workers own
+//!   contiguous shards of the population, the coordinator merges their
+//!   partials in fixed shard order, and an N-worker run reproduces the
+//!   single-process outcome bit-for-bit (see `docs/DIST.md`).
 //!
 //! ## Quickstart
 //!
@@ -55,6 +59,7 @@
 
 pub use fedl_core as core;
 pub use fedl_data as data;
+pub use fedl_dist as dist;
 pub use fedl_linalg as linalg;
 pub use fedl_ml as ml;
 pub use fedl_net as net;
