@@ -140,6 +140,48 @@ fn dashboard(invocation: &cli::Invocation) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Merges a coordinator run log with its per-worker sibling logs into
+/// one causally-ordered cross-process trace: linkage rate, per-epoch
+/// waterfall, and critical-path attribution (ASCII, plus a
+/// self-contained HTML file with `--html`).
+fn trace_report(invocation: &cli::Invocation) -> ExitCode {
+    let mut runs: Vec<(String, RunLog)> = Vec::new();
+    for path in &invocation.inputs {
+        let log = match RunLog::read(path) {
+            Ok(log) => log,
+            Err(err) => {
+                eprintln!("failed to load run log {}: {err}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let stem = path
+            .file_stem()
+            .map_or_else(|| path.display().to_string(), |s| s.to_string_lossy().into_owned());
+        runs.push((stem, log));
+    }
+    match fedl_telemetry::render_trace_report(&runs) {
+        Ok(text) => print!("{text}"),
+        Err(err) => {
+            eprintln!("{err}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(html_path) = &invocation.html {
+        let html = match fedl_telemetry::render_trace_html(&runs) {
+            Ok(html) => html,
+            Err(err) => {
+                eprintln!("{err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if write_html(html_path, html) == ExitCode::FAILURE {
+            return ExitCode::FAILURE;
+        }
+        log_line!("wrote trace report: {}", html_path.display());
+    }
+    ExitCode::SUCCESS
+}
+
 /// The `bench-history` actions: append a snapshot to the history file,
 /// render the trend report, or gate a snapshot against the rolling
 /// baseline (docs/OBSERVATORY.md).
@@ -241,6 +283,7 @@ fn main() -> ExitCode {
         Some("loadgen") => return service_exit(fedl_serve::cli::run_loadgen_cli(&args[1..])),
         Some("dist") => return service_exit(fedl_dist::cli::run_dist(&args[1..])),
         Some("dist-worker") => return service_exit(fedl_dist::cli::run_dist_worker(&args[1..])),
+        Some("stats") => return service_exit(fedl_serve::cli::run_stats(&args[1..])),
         _ => {}
     }
     let invocation = match cli::parse(args) {
@@ -258,6 +301,7 @@ fn main() -> ExitCode {
             return bench_history(&invocation)
         }
         Command::Dashboard => return dashboard(&invocation),
+        Command::TraceReport => return trace_report(&invocation),
         _ => {}
     }
     let (profile, out_dir) = (invocation.profile, invocation.out_dir.clone());
@@ -333,7 +377,8 @@ fn main() -> ExitCode {
         | Command::BenchHistoryAppend
         | Command::BenchHistoryReport
         | Command::BenchHistoryGate
-        | Command::Dashboard => {
+        | Command::Dashboard
+        | Command::TraceReport => {
             unreachable!("dispatched before the experiment match")
         }
     }

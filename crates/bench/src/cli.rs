@@ -56,6 +56,10 @@ pub enum Command {
     /// telemetry JSONL run log; two or more logs switch to the
     /// multi-run policy-overlay mode.
     Dashboard,
+    /// Cross-process distributed-trace report (ASCII + optional HTML)
+    /// merging a coordinator run log with its per-worker sibling logs
+    /// into one causally-ordered timeline.
+    TraceReport,
 }
 
 impl Command {
@@ -72,6 +76,7 @@ impl Command {
                 | Command::BenchHistoryReport
                 | Command::BenchHistoryGate
                 | Command::Dashboard
+                | Command::TraceReport
         )
     }
 
@@ -188,6 +193,8 @@ pub const USAGE: &str = "usage: experiments [--quick] [--out DIR] \
        experiments bench-history report [--history FILE] [--html FILE.html]\n\
        experiments bench-history gate NEW.json [--history FILE] [--window K] [--threshold PCT]\n\
        experiments dashboard RUN.jsonl [RUN2.jsonl ...] [--html FILE.html]\n\
+       experiments trace-report COORD.jsonl [WORKER.jsonl ...] [--html FILE.html]\n\
+       experiments stats --addr HOST:PORT [options]    (live registry snapshot from a coordinator)\n\
        experiments serve --addr HOST:PORT [options]    (federation service; see docs/SERVE.md)\n\
        experiments loadgen --addr HOST:PORT [options]  (replay clients against a server)";
 
@@ -302,10 +309,11 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, Stri
                     "bench" => Command::Bench,
                     "bench-compare" => Command::BenchCompare,
                     "dashboard" => Command::Dashboard,
+                    "trace-report" => Command::TraceReport,
                     unknown => return Err(format!("unknown experiment: {unknown}")),
                 });
             }
-            other if command == Some(Command::Dashboard) => {
+            other if matches!(command, Some(Command::Dashboard) | Some(Command::TraceReport)) => {
                 inputs.push(PathBuf::from(other));
             }
             other
@@ -337,6 +345,14 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, Stri
         }
         input = inputs.first().cloned();
     }
+    if command == Command::TraceReport {
+        if inputs.is_empty() {
+            return Err("trace-report requires a coordinator JSONL run log \
+                        (plus any worker logs to merge)"
+                .to_string());
+        }
+        input = inputs.first().cloned();
+    }
     if command == Command::TelemetryReport && input.is_none() {
         return Err("telemetry-report requires a JSONL run-log file".to_string());
     }
@@ -355,8 +371,15 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, Stri
     if threshold_given && !matches!(command, Command::BenchCompare | Command::BenchHistoryGate) {
         return Err("--threshold only applies to bench-compare and bench-history gate".to_string());
     }
-    if html.is_some() && !matches!(command, Command::Dashboard | Command::BenchHistoryReport) {
-        return Err("--html only applies to dashboard and bench-history report".to_string());
+    if html.is_some()
+        && !matches!(
+            command,
+            Command::Dashboard | Command::BenchHistoryReport | Command::TraceReport
+        )
+    {
+        return Err(
+            "--html only applies to dashboard, trace-report, and bench-history report".to_string()
+        );
     }
     if history.is_some() && !command.is_bench_history() {
         return Err("--history only applies to the bench-history actions".to_string());
@@ -663,7 +686,40 @@ mod tests {
             .contains("only applies to bench-compare and bench-history gate"));
         assert!(parse(args(&["bench-history", "gate", "a.json", "--html", "x.html"]))
             .unwrap_err()
-            .contains("only applies to dashboard and bench-history report"));
+            .contains("only applies to dashboard, trace-report, and bench-history report"));
+    }
+
+    #[test]
+    fn trace_report_takes_coordinator_plus_worker_logs_and_optional_html() {
+        let inv = parse(args(&["trace-report", "coord.jsonl"])).unwrap();
+        assert_eq!(inv.command, Command::TraceReport);
+        assert_eq!(inv.input, Some(PathBuf::from("coord.jsonl")));
+        assert_eq!(inv.inputs, vec![PathBuf::from("coord.jsonl")]);
+        let inv = parse(args(&[
+            "trace-report",
+            "coord.jsonl",
+            "coord.worker-0.jsonl",
+            "coord.worker-1.jsonl",
+            "--html",
+            "trace.html",
+        ]))
+        .unwrap();
+        assert_eq!(inv.inputs.len(), 3);
+        assert_eq!(inv.input, Some(PathBuf::from("coord.jsonl")), "first log mirrors input");
+        assert_eq!(inv.html, Some(PathBuf::from("trace.html")));
+    }
+
+    #[test]
+    fn trace_report_rejects_bad_shapes() {
+        assert!(parse(args(&["trace-report"]))
+            .unwrap_err()
+            .contains("requires a coordinator JSONL run log"));
+        assert!(parse(args(&["trace-report", "coord.jsonl", "--resume"]))
+            .unwrap_err()
+            .contains("do not apply"));
+        assert!(parse(args(&["trace-report", "coord.jsonl", "--require", "epoch"]))
+            .unwrap_err()
+            .contains("only applies to telemetry-report"));
     }
 
     #[test]
@@ -675,6 +731,7 @@ mod tests {
             &["bench-history", "report"],
             &["bench-history", "gate", "a.json"],
             &["dashboard", "run.jsonl"],
+            &["trace-report", "coord.jsonl"],
         ] {
             let mut a = cmd.to_vec();
             a.push("--resume");

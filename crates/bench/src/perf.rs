@@ -408,7 +408,10 @@ fn suite_serve(kernels: &mut Vec<KernelStats>, budget: Duration) {
     let cols = ClientColumns::build(&config.env, &channel);
     measure_kernel(kernels, budget, "serve/select_1k", || {
         let epoch = server.next_epoch();
-        let (reply, _) = server.handle_frame(&encode_frame(&Message::SelectCohort { epoch }));
+        let (reply, _) = server.handle_frame(&encode_frame(&Message::SelectCohort {
+            epoch,
+            trace: fedl_serve::Trace::Absent,
+        }));
         let Ok(Message::Cohort { cohort, iterations, .. }) = decode_frame(&reply) else {
             panic!("serve/select_1k: server refused the selection request");
         };

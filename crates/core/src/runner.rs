@@ -828,7 +828,7 @@ impl ExperimentRunner {
         }
         let epoch = self.next_epoch;
         let epoch_span = self.telemetry.span("epoch");
-        let select_span = self.telemetry.span("select");
+        let select_span = epoch_span.child("select");
         if let Some(ctx) = self.context_for(epoch) {
             let mut decision = self.policy.select(&ctx);
             sanitize_decision(&mut decision.cohort, &ctx.available);
@@ -839,7 +839,8 @@ impl ExperimentRunner {
             drop(select_span);
             self.emit_select_event(epoch, &decision.cohort);
             let iterations = decision.iterations.clamp(1, 50);
-            let report = self.env.run_epoch(epoch, &decision.cohort, iterations);
+            let report =
+                self.env.run_epoch_in(epoch, &decision.cohort, iterations, Some(&epoch_span));
             self.ledger.charge(report.cost);
             self.trace.record(&report, self.ledger.remaining());
             for (slot, &k) in report.cohort.iter().enumerate() {
@@ -847,7 +848,7 @@ impl ExperimentRunner {
             }
             self.policy.observe(&ctx, &report);
             self.sim_time += report.latency_secs;
-            let evaluate_span = self.telemetry.span("evaluate");
+            let evaluate_span = epoch_span.child("evaluate");
             let accuracy = self.env.test_accuracy();
             let test_loss = self.env.test_loss();
             drop(evaluate_span);

@@ -8,7 +8,10 @@ use std::process::{Child, Command};
 use std::time::{Duration, Instant};
 
 use fedl_serve::cli::parse_policy;
-use fedl_serve::proto::{decode_frame, encode_frame, Message, ProtocolError};
+use fedl_serve::proto::{
+    decode_frame_traced, encode_frame, encode_frame_traced, Message, ProtocolError,
+    PROTOCOL_VERSION,
+};
 use fedl_serve::transport::{FrameTransport, TcpTransport};
 use fedl_serve::{reference_run, SelectionRecord, ServeConfig, ServeExit};
 use fedl_telemetry::Telemetry;
@@ -41,9 +44,15 @@ dist options:
   --io-timeout SECS       per-call socket deadline (default 30)
   --max-resets N          respawn/reconnect attempts per worker failure
                           (default 2)
-  --telemetry FILE        write a JSONL run log
+  --telemetry FILE        write a JSONL run log; spawned workers write
+                          sibling logs FILE.worker-N.jsonl, the inputs
+                          to `experiments trace-report`
   --shutdown              also shut down remote --worker-addr workers
                           when done (spawned workers always shut down)
+  --stats-addr HOST:PORT  answer `experiments stats` polls on this
+                          address while the run is in flight
+  --stats-port-file FILE  write the stats listener's bound port
+                          atomically (for HOST:0)
 
 dist-worker options:
   --port-file FILE        write the bound port atomically (for HOST:0)
@@ -66,6 +75,8 @@ struct Parsed {
     max_resets: usize,
     telemetry: Option<PathBuf>,
     shutdown_remote: bool,
+    stats_addr: Option<String>,
+    stats_port_file: Option<PathBuf>,
     // dist-worker
     addr: Option<String>,
     port_file: Option<PathBuf>,
@@ -88,6 +99,8 @@ fn parse(args: &[String], default_timeout: Option<Duration>) -> Result<Parsed, S
     let mut max_resets = 2usize;
     let mut telemetry = None;
     let mut shutdown_remote = false;
+    let mut stats_addr = None;
+    let mut stats_port_file = None;
     let mut addr = None;
     let mut port_file = None;
     let mut checkpoint = None;
@@ -135,6 +148,10 @@ fn parse(args: &[String], default_timeout: Option<Duration>) -> Result<Parsed, S
             }
             "--telemetry" => telemetry = Some(PathBuf::from(value("--telemetry")?)),
             "--shutdown" => shutdown_remote = true,
+            "--stats-addr" => stats_addr = Some(value("--stats-addr")?.clone()),
+            "--stats-port-file" => {
+                stats_port_file = Some(PathBuf::from(value("--stats-port-file")?))
+            }
             "--addr" => addr = Some(value("--addr")?.clone()),
             "--port-file" => port_file = Some(PathBuf::from(value("--port-file")?)),
             "--checkpoint" => checkpoint = Some(PathBuf::from(value("--checkpoint")?)),
@@ -156,6 +173,8 @@ fn parse(args: &[String], default_timeout: Option<Duration>) -> Result<Parsed, S
         max_resets,
         telemetry,
         shutdown_remote,
+        stats_addr,
+        stats_port_file,
         addr,
         port_file,
         checkpoint,
@@ -185,15 +204,21 @@ fn connect_retry(addr: &str, attempts: usize) -> Result<TcpStream, String> {
     Err(format!("cannot connect to {addr} after {attempts} attempts: {last}"))
 }
 
-/// Shared TCP half of both worker link kinds.
+/// Shared TCP half of both worker link kinds. Frames pass through the
+/// traced codec, so the coordinator's live stats carry `proto.*` wire
+/// histograms for its side of every exchange.
 struct TcpLink {
     transport: Option<TcpTransport>,
+    telemetry: Telemetry,
 }
 
 impl TcpLink {
     fn send(&mut self, msg: &Message) -> Result<(), ProtocolError> {
         match &mut self.transport {
-            Some(t) => t.send(&encode_frame(msg)),
+            Some(t) => {
+                let (frame, _encode_ns) = encode_frame_traced(msg, &self.telemetry);
+                t.send(&frame)
+            }
             None => Err(ProtocolError::Io { detail: "worker link is down".to_string() }),
         }
     }
@@ -203,7 +228,7 @@ impl TcpLink {
             return Err(ProtocolError::Io { detail: "worker link is down".to_string() });
         };
         match t.recv()? {
-            Some(frame) => decode_frame(&frame),
+            Some(frame) => decode_frame_traced(&frame, &self.telemetry).0,
             None => Err(ProtocolError::Io { detail: "worker closed the connection".to_string() }),
         }
     }
@@ -215,6 +240,7 @@ struct ProcessWorker {
     scratch: PathBuf,
     index: usize,
     io_timeout: Option<Duration>,
+    telemetry_file: Option<PathBuf>,
     child: Option<Child>,
     link: TcpLink,
 }
@@ -225,14 +251,17 @@ impl ProcessWorker {
         scratch: PathBuf,
         index: usize,
         io_timeout: Option<Duration>,
+        telemetry_file: Option<PathBuf>,
+        telemetry: Telemetry,
     ) -> Result<Self, String> {
         let mut worker = Self {
             exe,
             scratch,
             index,
             io_timeout,
+            telemetry_file,
             child: None,
-            link: TcpLink { transport: None },
+            link: TcpLink { transport: None, telemetry },
         };
         worker.start()?;
         Ok(worker)
@@ -258,6 +287,9 @@ impl ProcessWorker {
             .arg(&port_file)
             .arg("--checkpoint")
             .arg(&checkpoint);
+        if let Some(telemetry_file) = &self.telemetry_file {
+            cmd.arg("--telemetry").arg(telemetry_file);
+        }
         // A respawned worker resumes against its shard checkpoint, so a
         // coordinator bug can never splice it into the wrong shard.
         if checkpoint.exists() {
@@ -328,8 +360,12 @@ struct RemoteWorker {
 }
 
 impl RemoteWorker {
-    fn connect(addr: String, io_timeout: Option<Duration>) -> Result<Self, String> {
-        let mut worker = Self { addr, io_timeout, link: TcpLink { transport: None } };
+    fn connect(
+        addr: String,
+        io_timeout: Option<Duration>,
+        telemetry: Telemetry,
+    ) -> Result<Self, String> {
+        let mut worker = Self { addr, io_timeout, link: TcpLink { transport: None, telemetry } };
         worker.reset()?;
         Ok(worker)
     }
@@ -352,6 +388,60 @@ impl WorkerLink for RemoteWorker {
     }
 }
 
+/// Sibling run-log path for spawned worker `i` of a coordinator whose
+/// own log is `base`: `trace.jsonl` → `trace.worker-0.jsonl`. These are
+/// exactly the extra inputs `experiments trace-report` expects.
+fn worker_telemetry_path(base: &Path, i: usize) -> PathBuf {
+    let stem = base.file_stem().and_then(|s| s.to_str()).unwrap_or("telemetry");
+    base.with_file_name(format!("{stem}.worker-{i}.jsonl"))
+}
+
+/// Binds the live-stats endpoint and answers `experiments stats` polls
+/// from a detached thread: `Stats` gets a fresh registry snapshot,
+/// `Hello` a handshake, anything else a typed wire error. The thread
+/// holds only a [`Telemetry`] handle and dies with the process.
+fn start_stats_listener(
+    addr: &str,
+    port_file: Option<&Path>,
+    telemetry: Telemetry,
+) -> Result<(), String> {
+    let listener =
+        TcpListener::bind(addr).map_err(|e| format!("cannot bind stats listener {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    if let Some(port_file) = port_file {
+        fedl_store::write_atomic(port_file, &local.port().to_string())
+            .map_err(|e| format!("cannot write {}: {e}", port_file.display()))?;
+    }
+    eprintln!("fedl-dist stats: listening on {local}");
+    std::thread::spawn(move || {
+        for incoming in listener.incoming() {
+            let Ok(stream) = incoming else { continue };
+            let mut transport = TcpTransport::with_timeout(stream, Some(Duration::from_secs(10)));
+            while let Ok(Some(frame)) = transport.recv() {
+                let (decoded, _decode_ns) = decode_frame_traced(&frame, &telemetry);
+                let reply = match decoded {
+                    Ok(Message::Stats) => {
+                        Message::StatsSnapshot { registry: telemetry.registry_snapshot() }
+                    }
+                    Ok(Message::Hello { .. }) => Message::Hello {
+                        protocol_version: PROTOCOL_VERSION,
+                        node: "fedl-dist".to_string(),
+                    },
+                    Ok(_) => ProtocolError::UnexpectedMessage {
+                        detail: "the dist stats endpoint answers only hello/stats".to_string(),
+                    }
+                    .to_wire(),
+                    Err(err) => err.to_wire(),
+                };
+                if transport.send(&encode_frame(&reply)).is_err() {
+                    break;
+                }
+            }
+        }
+    });
+    Ok(())
+}
+
 fn write_selections(path: &Path, records: &[SelectionRecord]) -> Result<(), String> {
     let mut text = String::new();
     for record in records {
@@ -370,6 +460,9 @@ fn write_selections(path: &Path, records: &[SelectionRecord]) -> Result<(), Stri
 pub fn run_dist(args: &[String]) -> Result<(), String> {
     let parsed = parse(args, Some(Duration::from_secs(30)))?;
     let telemetry = open_telemetry(&parsed.telemetry)?;
+    if let Some(stats_addr) = &parsed.stats_addr {
+        start_stats_listener(stats_addr, parsed.stats_port_file.as_deref(), telemetry.clone())?;
+    }
     let total = parsed.workers + parsed.worker_addrs.len();
     if total == 0 {
         let records = reference_run(&parsed.config, parsed.epochs);
@@ -398,10 +491,18 @@ pub fn run_dist(args: &[String]) -> Result<(), String> {
     let mut workers: Vec<ShardWorker> = Vec::with_capacity(total);
     for (i, shard) in shards.iter().enumerate() {
         let link: Box<dyn WorkerLink> = if i < parsed.workers {
-            Box::new(ProcessWorker::spawn(exe.clone(), scratch.clone(), i, parsed.io_timeout)?)
+            let worker_log = parsed.telemetry.as_deref().map(|base| worker_telemetry_path(base, i));
+            Box::new(ProcessWorker::spawn(
+                exe.clone(),
+                scratch.clone(),
+                i,
+                parsed.io_timeout,
+                worker_log,
+                telemetry.clone(),
+            )?)
         } else {
             let addr = parsed.worker_addrs[i - parsed.workers].clone();
-            Box::new(RemoteWorker::connect(addr, parsed.io_timeout)?)
+            Box::new(RemoteWorker::connect(addr, parsed.io_timeout, telemetry.clone())?)
         };
         workers.push(ShardWorker { shard: shard.clone(), link });
     }

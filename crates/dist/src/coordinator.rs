@@ -28,10 +28,12 @@ use std::time::Instant;
 use fedl_core::columnar::{assemble_context, ContextPart};
 use fedl_core::policy::SelectionPolicy;
 use fedl_json::Value;
-use fedl_serve::proto::{decode_frame, encode_frame, Message, ProtocolError, PROTOCOL_VERSION};
+use fedl_serve::proto::{
+    decode_frame, encode_frame, version_accepted, Message, ProtocolError, Trace, PROTOCOL_VERSION,
+};
 use fedl_serve::{combine_feedback, sanitize_decision, SelectionRecord, ServeConfig};
 use fedl_sim::BudgetLedger;
-use fedl_telemetry::Telemetry;
+use fedl_telemetry::{SpanContext, Telemetry};
 
 use crate::shard::members_in;
 use crate::worker::WorkerState;
@@ -232,7 +234,7 @@ impl Coordinator {
         let hello =
             Message::Hello { protocol_version: PROTOCOL_VERSION, node: "fedl-dist".to_string() };
         match self.rpc(i, &hello).map_err(|e| format!("worker {i} handshake: {e}"))? {
-            Message::Hello { protocol_version, .. } if protocol_version == PROTOCOL_VERSION => {}
+            Message::Hello { protocol_version, .. } if version_accepted(protocol_version) => {}
             Message::Hello { protocol_version, .. } => {
                 return Err(format!(
                     "worker {i} speaks protocol v{protocol_version}, this coordinator v{PROTOCOL_VERSION}"
@@ -313,6 +315,8 @@ impl Coordinator {
     fn gather(
         &mut self,
         phase: &'static str,
+        epoch: usize,
+        parent: Option<SpanContext>,
         make: &dyn Fn(&Range<usize>) -> Message,
     ) -> Result<Vec<Message>, String> {
         let n = self.workers.len();
@@ -328,7 +332,9 @@ impl Coordinator {
             let reply = match failure {
                 Some(err) => self.retry(i, err, make)?,
                 None => {
-                    let span = self.telemetry.span(phase);
+                    let mut span = self.telemetry.span_in(phase, parent);
+                    span.field("worker", Value::from(i));
+                    span.field("epoch", Value::from(epoch));
                     let got = self.workers[i].link.recv_reply();
                     drop(span);
                     match got {
@@ -340,6 +346,18 @@ impl Coordinator {
             replies.push(reply);
         }
         Ok(replies)
+    }
+
+    /// Counts a malformed or mismatched shard reply before propagating
+    /// the parse error: the `dist.bad_replies` counter shows up in
+    /// live stats, the `dist.bad_reply` event in `telemetry-report
+    /// --require` — even when the run aborts.
+    fn bad_reply<T>(&self, result: Result<T, String>) -> Result<T, String> {
+        if let Err(detail) = &result {
+            self.telemetry.counter("dist.bad_replies").incr();
+            self.telemetry.emit("dist.bad_reply", vec![("detail", Value::from(detail.as_str()))]);
+        }
+        result
     }
 
     /// Drives the distributed epoch loop. The returned selections are
@@ -360,12 +378,21 @@ impl Coordinator {
                 done = true;
                 break;
             }
-            let replies = self.gather("dist.context", &|_| Message::ShardContext { epoch })?;
+            let mut epoch_span = self.telemetry.span("dist.epoch");
+            epoch_span.field("epoch", Value::from(epoch));
+            let parent = epoch_span.ctx();
+            let trace = Trace::from_context(parent);
+            let replies = self.gather("dist.context", epoch, parent, &|_| {
+                Message::ShardContext { epoch, trace }
+            })?;
             let mut parts = Vec::with_capacity(replies.len());
             for (i, reply) in replies.into_iter().enumerate() {
-                parts.push(parse_context_part(i, &self.workers[i].shard, epoch, reply)?);
+                let part =
+                    self.bad_reply(parse_context_part(i, &self.workers[i].shard, epoch, reply))?;
+                parts.push(part);
                 self.telemetry.counter("dist.context_parts").incr();
             }
+            let merge_span = epoch_span.child("dist.merge");
             let ctx = assemble_context(
                 num_clients,
                 &parts,
@@ -373,6 +400,7 @@ impl Coordinator {
                 self.config.min_participants,
                 self.config.env.seed,
             );
+            drop(merge_span);
             let Some(ctx) = ctx else {
                 // Nobody available anywhere: the epoch passes untrained,
                 // exactly like the reference run.
@@ -383,11 +411,14 @@ impl Coordinator {
             let decision = self.policy.select(&ctx);
             let (cohort, iterations) =
                 sanitize_decision(&ctx, decision.cohort, decision.iterations);
-            let replies = self.gather("dist.train", &|shard| Message::ShardTrain {
-                epoch,
-                members: members_in(shard, &cohort),
-                iterations,
-            })?;
+            let replies =
+                self.gather("dist.train", epoch, parent, &|shard| Message::ShardTrain {
+                    epoch,
+                    members: members_in(shard, &cohort),
+                    iterations,
+                    trace,
+                })?;
+            let merge_span = epoch_span.child("dist.merge");
             let mut latencies = Vec::with_capacity(cohort.len());
             let mut costs = Vec::with_capacity(cohort.len());
             let mut eta_hats = Vec::with_capacity(cohort.len());
@@ -395,7 +426,7 @@ impl Coordinator {
             let mut local_losses = Vec::with_capacity(cohort.len());
             for (i, reply) in replies.into_iter().enumerate() {
                 let expected = members_in(&self.workers[i].shard, &cohort);
-                let part = parse_train_part(i, epoch, &expected, reply)?;
+                let part = self.bad_reply(parse_train_part(i, epoch, &expected, reply))?;
                 latencies.extend(part.per_client_iter_latency);
                 costs.extend(part.costs);
                 eta_hats.extend(part.eta_hats);
@@ -412,6 +443,7 @@ impl Coordinator {
                 grad_dot_delta,
                 local_losses,
             );
+            drop(merge_span);
             self.ledger.charge(synth.cost);
             self.policy.observe(&ctx, &synth.to_report(epoch, &cohort, iterations));
             self.telemetry.counter("dist.selections").incr();
@@ -605,5 +637,58 @@ mod tests {
         assert_eq!(report.selections, reference);
         assert_eq!(report.recoveries, 0);
         assert!(report.selections.iter().any(|r| !r.cohort.is_empty()));
+    }
+
+    /// Replies with a context part for the wrong epoch — structurally
+    /// valid, semantically mismatched — and refuses resets so the run
+    /// aborts after counting the bad reply.
+    struct WrongEpochLink {
+        inner: LocalWorkerLink,
+    }
+
+    impl WorkerLink for WrongEpochLink {
+        fn send(&mut self, msg: &Message) -> Result<(), ProtocolError> {
+            let shifted = match msg.clone() {
+                Message::ShardContext { epoch, trace } => {
+                    Message::ShardContext { epoch: epoch + 1, trace }
+                }
+                other => other,
+            };
+            self.inner.send(&shifted)
+        }
+
+        fn recv_reply(&mut self) -> Result<Message, ProtocolError> {
+            self.inner.recv_reply()
+        }
+
+        fn reset(&mut self) -> Result<(), String> {
+            Err("no recovery in this test".to_string())
+        }
+    }
+
+    #[test]
+    fn mismatched_shard_replies_are_counted_and_emitted() {
+        let config = ServeConfig::new(30, 7, 100.0, 3, PolicyKind::FedL);
+        let (telemetry, sink) = Telemetry::in_memory();
+        let mut workers = local_workers(&config, 2);
+        workers[1] = ShardWorker {
+            shard: workers[1].shard.clone(),
+            link: Box::new(WrongEpochLink {
+                inner: LocalWorkerLink::new(WorkerState::new(Telemetry::disabled())),
+            }),
+        };
+        let mut coordinator = Coordinator::new(config, workers, telemetry.clone()).unwrap();
+        let err = coordinator
+            .run(&DistOptions { epochs: 3, max_resets: 1 })
+            .expect_err("a persistently mismatched reply must abort the run");
+        assert!(err.contains("epoch"), "error should describe the mismatch: {err}");
+        assert!(
+            telemetry.registry_snapshot().to_json().contains("\"dist.bad_replies\""),
+            "the counter must appear in the live-stats snapshot"
+        );
+        assert!(
+            sink.lines().iter().any(|l| l.contains("\"dist.bad_reply\"")),
+            "the event must appear in the run log for telemetry-report --require"
+        );
     }
 }

@@ -24,7 +24,10 @@ use fedl_core::columnar::{nominal_latency, scale_context_part};
 use fedl_json::{obj, read_field, Value};
 use fedl_net::{ChannelModel, LatencyModel};
 use fedl_serve::cli::parse_policy;
-use fedl_serve::proto::{decode_frame, encode_frame, Message, ProtocolError, PROTOCOL_VERSION};
+use fedl_serve::proto::{
+    decode_frame_traced, encode_frame, encode_frame_traced, version_accepted, Message,
+    ProtocolError, Trace, PROTOCOL_VERSION,
+};
 use fedl_serve::transport::FrameTransport;
 use fedl_serve::{synth_learning_signals, Control, ServeConfig, ServeExit};
 use fedl_sim::ClientColumns;
@@ -156,6 +159,20 @@ impl WorkerState {
         }
     }
 
+    /// Opens a shard-request span under the coordinator's epoch span
+    /// when the request carried a trace context; a missing context
+    /// (v2 peer, tracing disabled) still gets a local span, and a
+    /// malformed one is counted, dropped, and never refuses the
+    /// request — trace fields are observability metadata only.
+    fn adopt_span(&self, name: &'static str, epoch: usize, trace: Trace) -> fedl_telemetry::Span {
+        if trace == Trace::Invalid {
+            self.telemetry.counter("proto.bad_trace_ids").incr();
+        }
+        let mut span = self.telemetry.span_in(name, trace.to_context());
+        span.field("epoch", Value::from(epoch));
+        span
+    }
+
     fn note_malformed(&mut self, err: &ProtocolError) {
         self.telemetry.counter("dist.worker_malformed_frames").incr();
         self.telemetry.emit(
@@ -170,22 +187,45 @@ impl WorkerState {
     }
 
     /// Handles one raw frame: decode, dispatch, encode the reply.
+    ///
+    /// Besides the `proto.*` wire histograms recorded by the traced
+    /// codec, every frame leaves a `dist.worker_frame` event carrying
+    /// its type, sizes, and per-direction codec nanoseconds — the raw
+    /// material for the trace report's wire-time attribution.
     pub fn handle_frame(&mut self, frame: &[u8]) -> (Vec<u8>, Control) {
-        let (reply, control) = match decode_frame(frame) {
-            Ok(msg) => self.handle_message(msg),
+        let (decoded, decode_ns) = decode_frame_traced(frame, &self.telemetry);
+        let (reply, control, kind, epoch) = match decoded {
+            Ok(msg) => {
+                let kind = type_name(&msg);
+                let epoch = frame_epoch(&msg);
+                let (reply, control) = self.handle_message(msg);
+                (reply, control, kind, epoch)
+            }
             Err(err) => {
                 self.note_malformed(&err);
-                (err.to_wire(), Control::Continue)
+                (err.to_wire(), Control::Continue, "Malformed", None)
             }
         };
-        (encode_frame(&reply), control)
+        let (bytes, encode_ns) = encode_frame_traced(&reply, &self.telemetry);
+        let mut fields = vec![
+            ("type", Value::from(kind)),
+            ("bytes_in", Value::from(frame.len())),
+            ("bytes_out", Value::from(bytes.len())),
+            ("decode_ns", Value::Int(decode_ns as i64)),
+            ("encode_ns", Value::Int(encode_ns as i64)),
+        ];
+        if let Some(epoch) = epoch {
+            fields.push(("epoch", Value::from(epoch)));
+        }
+        self.telemetry.emit("dist.worker_frame", fields);
+        (bytes, control)
     }
 
     /// Applies one decoded message; the returned message is the reply.
     pub fn handle_message(&mut self, msg: Message) -> (Message, Control) {
         match msg {
             Message::Hello { protocol_version, node: _ } => {
-                if protocol_version != PROTOCOL_VERSION {
+                if !version_accepted(protocol_version) {
                     let err =
                         ProtocolError::Version { ours: PROTOCOL_VERSION, theirs: protocol_version };
                     return self.refuse(err);
@@ -215,9 +255,16 @@ impl WorkerState {
                 shard_start,
                 shard_end,
             ),
-            Message::ShardContext { epoch } => self.handle_context(epoch),
-            Message::ShardTrain { epoch, members, iterations: _ } => {
-                self.handle_train(epoch, members)
+            Message::ShardContext { epoch, trace } => self.handle_context(epoch, trace),
+            Message::ShardTrain { epoch, members, iterations: _, trace } => {
+                self.handle_train(epoch, members, trace)
+            }
+            Message::Stats => {
+                self.telemetry.counter("dist.worker_stats_requests").incr();
+                (
+                    Message::StatsSnapshot { registry: self.telemetry.registry_snapshot() },
+                    Control::Continue,
+                )
             }
             Message::Shutdown => {
                 self.save_checkpoint();
@@ -332,8 +379,8 @@ impl WorkerState {
         (Message::ShardReady { shard_start, shard_end, fingerprint }, Control::Continue)
     }
 
-    fn handle_context(&mut self, epoch: usize) -> (Message, Control) {
-        let span = self.telemetry.span("dist.worker_context");
+    fn handle_context(&mut self, epoch: usize, trace: Trace) -> (Message, Control) {
+        let span = self.adopt_span("dist.worker_context", epoch, trace);
         let Some(a) = self.assignment.as_mut() else {
             drop(span);
             return self.refuse(ProtocolError::UnexpectedMessage {
@@ -373,8 +420,13 @@ impl WorkerState {
         )
     }
 
-    fn handle_train(&mut self, epoch: usize, members: Vec<usize>) -> (Message, Control) {
-        let span = self.telemetry.span("dist.worker_train");
+    fn handle_train(
+        &mut self,
+        epoch: usize,
+        members: Vec<usize>,
+        trace: Trace,
+    ) -> (Message, Control) {
+        let span = self.adopt_span("dist.worker_train", epoch, trace);
         let Some(a) = self.assignment.as_mut() else {
             drop(span);
             return self.refuse(ProtocolError::UnexpectedMessage {
@@ -438,7 +490,24 @@ fn type_name(msg: &Message) -> &'static str {
         Message::ShardContextPart { .. } => "ShardContextPart",
         Message::ShardTrain { .. } => "ShardTrain",
         Message::ShardTrainPart { .. } => "ShardTrainPart",
+        Message::Stats => "Stats",
+        Message::StatsSnapshot { .. } => "StatsSnapshot",
         Message::Error { .. } => "Error",
+    }
+}
+
+/// The epoch a message is about, when it names one — used to tag
+/// per-frame wire events so codec time can be charged to an epoch.
+fn frame_epoch(msg: &Message) -> Option<usize> {
+    match msg {
+        Message::SelectCohort { epoch, .. }
+        | Message::Cohort { epoch, .. }
+        | Message::TrainResult { epoch, .. }
+        | Message::ShardContext { epoch, .. }
+        | Message::ShardContextPart { epoch, .. }
+        | Message::ShardTrain { epoch, .. }
+        | Message::ShardTrainPart { epoch, .. } => Some(*epoch),
+        _ => None,
     }
 }
 
@@ -503,7 +572,7 @@ mod tests {
         let now = cols.epoch_columns_partial(epoch, &config.env, &channel, 10..30);
         let hint = cols.epoch_columns_partial(epoch - 1, &config.env, &channel, 10..30);
         let want = scale_context_part(&cols, &hint, &now, &latency, 3, 10..30);
-        let (reply, _) = w.handle_message(Message::ShardContext { epoch });
+        let (reply, _) = w.handle_message(Message::ShardContext { epoch, trace: Trace::Absent });
         match reply {
             Message::ShardContextPart { epoch: e, available, costs, true_latency, .. } => {
                 assert_eq!(e, epoch);
@@ -521,6 +590,7 @@ mod tests {
             epoch,
             members: members.clone(),
             iterations: 5,
+            trace: Trace::Absent,
         });
         match reply {
             Message::ShardTrainPart {
@@ -550,10 +620,14 @@ mod tests {
             other => panic!("expected a wire error, got {other:?}"),
         };
         // Shard requests before assignment.
-        let (reply, _) = w.handle_message(Message::ShardContext { epoch: 0 });
+        let (reply, _) = w.handle_message(Message::ShardContext { epoch: 0, trace: Trace::Absent });
         expect_code(reply, "unexpected-message");
-        let (reply, _) =
-            w.handle_message(Message::ShardTrain { epoch: 0, members: vec![1], iterations: 1 });
+        let (reply, _) = w.handle_message(Message::ShardTrain {
+            epoch: 0,
+            members: vec![1],
+            iterations: 1,
+            trace: Trace::Absent,
+        });
         expect_code(reply, "unexpected-message");
         // Federation-server messages sent at a worker.
         let (reply, _) = w.handle_message(Message::ClientJoin { client: 3 });
@@ -579,8 +653,12 @@ mod tests {
         expect_code(reply, "version");
         // Out-of-shard cohort members.
         w.handle_message(assign_msg(20, 7, 0..10));
-        let (reply, _) =
-            w.handle_message(Message::ShardTrain { epoch: 0, members: vec![15], iterations: 1 });
+        let (reply, _) = w.handle_message(Message::ShardTrain {
+            epoch: 0,
+            members: vec![15],
+            iterations: 1,
+            trace: Trace::Absent,
+        });
         expect_code(reply, "schema");
     }
 
@@ -593,7 +671,7 @@ mod tests {
         let mut w = WorkerState::new(Telemetry::disabled()).with_checkpoint(&ckpt);
         let (reply, _) = w.handle_message(assign_msg(40, 13, 0..20));
         assert!(matches!(reply, Message::ShardReady { .. }));
-        w.handle_message(Message::ShardContext { epoch: 0 });
+        w.handle_message(Message::ShardContext { epoch: 0, trace: Trace::Absent });
         assert!(ckpt.exists(), "assignment and served epochs must checkpoint");
         // Respawn: the same assignment is accepted...
         let mut respawned = WorkerState::resume(Telemetry::disabled(), &ckpt).unwrap();

@@ -258,12 +258,93 @@ fn unrecoverable_worker_death_is_a_typed_error_not_a_hang() {
     assert!(err.contains("unrecoverable"), "error should say recovery was exhausted: {err}");
 }
 
+/// Simulates a protocol-v2 peer on the wire: outgoing shard requests
+/// lose their trace fields (v2 frames never carry them) and the
+/// worker's hello is rewritten to advertise version 2. Selections must
+/// not notice — tracing is observability metadata, never an input.
+struct V2PeerLink {
+    inner: ThreadWorker,
+}
+
+impl WorkerLink for V2PeerLink {
+    fn send(&mut self, msg: &Message) -> Result<(), ProtocolError> {
+        let stripped = match msg.clone() {
+            Message::ShardContext { epoch, .. } => {
+                Message::ShardContext { epoch, trace: fedl_serve::Trace::Absent }
+            }
+            Message::ShardTrain { epoch, members, iterations, .. } => {
+                Message::ShardTrain { epoch, members, iterations, trace: fedl_serve::Trace::Absent }
+            }
+            other => other,
+        };
+        self.inner.send(&stripped)
+    }
+
+    fn recv_reply(&mut self) -> Result<Message, ProtocolError> {
+        match self.inner.recv_reply()? {
+            Message::Hello { node, .. } => Ok(Message::Hello { protocol_version: 2, node }),
+            other => Ok(other),
+        }
+    }
+
+    fn reset(&mut self) -> Result<(), String> {
+        self.inner.reset()
+    }
+}
+
+#[test]
+fn tracing_and_v2_peers_never_change_a_selection_byte() {
+    let config = config();
+    let epochs = 8;
+    let reference = to_jsonl(&reference_run(&config, epochs));
+
+    // Tracing fully on at both ends: coordinator spans ride the wire,
+    // workers adopt them — and the selections stay bit-identical.
+    let (coord_tel, coord_sink) = Telemetry::in_memory();
+    let workers: Vec<ShardWorker> = shard_ranges(config.env.num_clients, 2)
+        .into_iter()
+        .map(|shard| ShardWorker {
+            shard,
+            link: Box::new(ThreadWorker::spawn(Box::new(|| {
+                WorkerState::new(Telemetry::in_memory().0)
+            }))),
+        })
+        .collect();
+    let mut coordinator = Coordinator::new(config.clone(), workers, coord_tel).unwrap();
+    let report = coordinator.run(&DistOptions { epochs, ..Default::default() }).unwrap();
+    assert_eq!(
+        to_jsonl(&report.selections),
+        reference,
+        "tracing enabled must be bit-identical to tracing disabled"
+    );
+    assert!(
+        coord_sink.lines().iter().any(|l| l.contains("\"dist.epoch\"")),
+        "the traced run must actually have emitted epoch spans"
+    );
+
+    // A v2 peer that never sees trace fields selects identically too.
+    let workers: Vec<ShardWorker> = shard_ranges(config.env.num_clients, 2)
+        .into_iter()
+        .map(|shard| ShardWorker {
+            shard,
+            link: Box::new(V2PeerLink {
+                inner: ThreadWorker::spawn(Box::new(|| WorkerState::new(Telemetry::disabled()))),
+            }),
+        })
+        .collect();
+    assert_eq!(
+        to_jsonl(&run(&config, workers, epochs).selections),
+        reference,
+        "a v2 peer (no trace fields on the wire) must select identically"
+    );
+}
+
 #[test]
 fn dropped_duplex_sender_surfaces_as_a_typed_error_at_the_coordinator() {
     let (mut coordinator_end, worker_end) = DuplexTransport::pair();
     drop(worker_end);
     // Sending into the dropped peer is a typed Io error...
-    let msg = Message::ShardContext { epoch: 0 };
+    let msg = Message::ShardContext { epoch: 0, trace: fedl_serve::Trace::Absent };
     match coordinator_end.send(&encode_frame(&msg)) {
         Err(ProtocolError::Io { .. }) => {}
         other => panic!("expected a typed Io error, got {other:?}"),

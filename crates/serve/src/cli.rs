@@ -7,16 +7,20 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use fedl_core::policy::PolicyKind;
+use fedl_json::Value;
 use fedl_telemetry::Telemetry;
 
 use crate::loadgen::{reference_run, run_loadgen, LoadgenOptions};
+use crate::proto::{decode_frame, encode_frame, Message};
 use crate::server::{serve_connection, ServeConfig, ServeExit, ServerState};
-use crate::transport::TcpTransport;
+use crate::transport::{FrameTransport, TcpTransport};
 
-/// Usage text for both subcommands.
+/// Usage text for the serve-family subcommands.
 pub const USAGE: &str = "\
 experiments serve --addr HOST:PORT [options]      start the coordinator
 experiments loadgen --addr HOST:PORT [options]    replay clients against it
+experiments stats --addr HOST:PORT [options]      poll live metrics from a
+                                                  running coordinator
 
 shared scenario options (server and loadgen must agree):
   --clients N             population size (default 100)
@@ -40,6 +44,11 @@ loadgen options:
   --shutdown              ask the server to exit when done
   --connect-retries N     connection attempts, 100 ms apart (default 50)
   --io-timeout SECS       per-call socket deadline (default: none, block forever)
+
+stats options:
+  --json                  print the raw registry snapshot as one JSON object
+  --connect-retries N     connection attempts, 100 ms apart (default 50)
+  --io-timeout SECS       per-call socket deadline (default 10)
 ";
 
 /// Parses a policy label as the serve/loadgen/dist CLIs spell them.
@@ -73,6 +82,8 @@ struct Parsed {
     shutdown: bool,
     connect_retries: usize,
     io_timeout: Option<Duration>,
+    // stats
+    json: bool,
 }
 
 fn parse(args: &[String]) -> Result<Parsed, String> {
@@ -94,6 +105,7 @@ fn parse(args: &[String]) -> Result<Parsed, String> {
     let mut shutdown = false;
     let mut connect_retries = 50usize;
     let mut io_timeout = None;
+    let mut json = false;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -134,6 +146,7 @@ fn parse(args: &[String]) -> Result<Parsed, String> {
             "--out" => out = Some(PathBuf::from(value("--out")?)),
             "--verify-reference" => verify_reference = true,
             "--shutdown" => shutdown = true,
+            "--json" => json = true,
             "--connect-retries" => {
                 connect_retries = value("--connect-retries")?
                     .parse()
@@ -168,6 +181,7 @@ fn parse(args: &[String]) -> Result<Parsed, String> {
         shutdown,
         connect_retries,
         io_timeout,
+        json,
     })
 }
 
@@ -294,12 +308,114 @@ pub fn run_loadgen_cli(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `experiments stats`: one `Stats` round-trip against a running
+/// coordinator — `fedl-serve`, or an `experiments dist` run started
+/// with `--stats-addr` — printing the live registry snapshot without
+/// restarting or otherwise disturbing it.
+pub fn run_stats(args: &[String]) -> Result<(), String> {
+    let parsed = parse(args)?;
+    let stream = connect(&parsed.addr, parsed.connect_retries)?;
+    let io_timeout = parsed.io_timeout.or(Some(Duration::from_secs(10)));
+    let mut transport = TcpTransport::with_timeout(stream, io_timeout);
+    transport.send(&encode_frame(&Message::Stats)).map_err(|e| format!("stats: {e}"))?;
+    let frame = transport
+        .recv()
+        .map_err(|e| format!("stats: {e}"))?
+        .ok_or_else(|| "stats: coordinator closed the connection".to_string())?;
+    let registry = match decode_frame(&frame).map_err(|e| format!("stats: {e}"))? {
+        Message::StatsSnapshot { registry } => registry,
+        Message::Error { code, detail } => {
+            return Err(format!("stats: coordinator refused: {code}: {detail}"))
+        }
+        other => return Err(format!("stats: unexpected reply {other:?}")),
+    };
+    if parsed.json {
+        println!("{}", registry.to_json());
+    } else {
+        print!("{}", render_stats(&parsed.addr, &registry));
+    }
+    Ok(())
+}
+
+/// The human-readable `experiments stats` layout: counters and gauges
+/// one per line, histograms as count/mean/p50/p90/p99 summaries.
+fn render_stats(addr: &str, registry: &Value) -> String {
+    let mut out = format!("live stats from {addr}\n");
+    let section = |v: Option<&Value>| -> Vec<(String, Value)> {
+        match v {
+            Some(Value::Obj(pairs)) => pairs.clone(),
+            _ => Vec::new(),
+        }
+    };
+    let counters = section(registry.get("counters"));
+    let gauges = section(registry.get("gauges"));
+    let histograms = section(registry.get("histograms"));
+    if counters.is_empty() && gauges.is_empty() && histograms.is_empty() {
+        out.push_str("  (registry is empty — was the coordinator started with telemetry?)\n");
+        return out;
+    }
+    let num = |v: &Value, key: &str| -> String {
+        match v.get(key) {
+            Some(Value::Int(i)) => i.to_string(),
+            Some(Value::Float(f)) => format!("{f:.6}"),
+            _ => "-".to_string(),
+        }
+    };
+    if !counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, value) in &counters {
+            out.push_str(&format!("  {name} = {}\n", value.as_i64().unwrap_or(0)));
+        }
+    }
+    if !gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, value) in &gauges {
+            match value {
+                Value::Float(f) => out.push_str(&format!("  {name} = {f}\n")),
+                other => out.push_str(&format!("  {name} = {}\n", other.to_json())),
+            }
+        }
+    }
+    if !histograms.is_empty() {
+        out.push_str("histograms:\n");
+        for (name, summary) in &histograms {
+            out.push_str(&format!(
+                "  {name}: count {} mean {} p50 {} p90 {} p99 {}\n",
+                num(summary, "count"),
+                num(summary, "mean"),
+                num(summary, "p50"),
+                num(summary, "p90"),
+                num(summary, "p99"),
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn strs(args: &[&str]) -> Vec<String> {
         args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn stats_rendering_covers_all_sections_and_empty_registries() {
+        let (tel, sink) = Telemetry::in_memory();
+        tel.counter("serve.selections").add(4);
+        tel.gauge("budget.remaining").set(123.5);
+        for i in 0..100 {
+            tel.histogram("proto.frame_bytes").record(i as f64);
+        }
+        let _ = sink;
+        let text = render_stats("127.0.0.1:9", &tel.registry_snapshot());
+        assert!(text.contains("serve.selections = 4"), "{text}");
+        assert!(text.contains("budget.remaining = 123.5"), "{text}");
+        assert!(text.contains("proto.frame_bytes: count 100"), "{text}");
+        assert!(text.contains("p99"), "{text}");
+        let empty = render_stats("x", &Telemetry::disabled().registry_snapshot());
+        assert!(empty.contains("registry is empty"), "{empty}");
     }
 
     #[test]

@@ -51,7 +51,8 @@ pub use loadgen::{
     LoadgenOptions, LoadgenReport, SelectionRecord,
 };
 pub use proto::{
-    decode_frame, encode_frame, Message, ProtocolError, FRAME_KIND, MAX_FRAME_BYTES,
+    decode_frame, decode_frame_traced, encode_frame, encode_frame_traced, version_accepted,
+    Message, ProtocolError, Trace, FRAME_KIND, MAX_FRAME_BYTES, MIN_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
 };
 pub use server::{

@@ -262,7 +262,8 @@ pub fn run_loadgen(
         transport,
         &Message::Hello { protocol_version: PROTOCOL_VERSION, node: "loadgen".to_string() },
     )? {
-        Message::Hello { protocol_version, .. } if protocol_version == PROTOCOL_VERSION => {}
+        Message::Hello { protocol_version, .. }
+            if crate::proto::version_accepted(protocol_version) => {}
         Message::Hello { protocol_version, .. } => {
             return Err(ProtocolError::Version { ours: PROTOCOL_VERSION, theirs: protocol_version })
         }
@@ -289,7 +290,8 @@ pub fn run_loadgen(
     let mut done = false;
     let started = Instant::now();
     for epoch in opts.start_epoch..opts.start_epoch + opts.epochs {
-        let reply = rpc(transport, &Message::SelectCohort { epoch })?;
+        let reply =
+            rpc(transport, &Message::SelectCohort { epoch, trace: crate::proto::Trace::Absent })?;
         let Message::Cohort { epoch: got, cohort, iterations, done: exhausted } = reply else {
             return Err(ProtocolError::UnexpectedMessage {
                 detail: format!("expected Cohort, got {reply:?}"),

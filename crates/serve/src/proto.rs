@@ -16,16 +16,36 @@ use std::fmt;
 
 use fedl_json::{obj, read_field, Value};
 use fedl_store::{decode_envelope, encode_envelope, StoreError};
+use fedl_telemetry::{SpanContext, Telemetry};
 
 /// Version of the message schema; both sides send it in [`Message::Hello`]
-/// and refuse mismatched peers with [`ProtocolError::Version`].
+/// and refuse peers outside [`MIN_PROTOCOL_VERSION`]`..=`this with
+/// [`ProtocolError::Version`].
 ///
 /// v2 added the `Shard*` message kinds that carry `fedl-dist` shard
 /// assignments and shard partials between a distributed coordinator and
 /// its workers (docs/DIST.md). A v1 peer never sent or accepted those
 /// kinds, so the bump refuses the pairing at the handshake instead of
 /// failing mid-epoch on an unknown message.
-pub const PROTOCOL_VERSION: u32 = 2;
+///
+/// v3 added *optional* trace-context fields (`trace_id`/`span_id`) on
+/// the request messages that start remote work
+/// ([`Message::SelectCohort`], [`Message::ShardContext`],
+/// [`Message::ShardTrain`]), the [`Message::Stats`] /
+/// [`Message::StatsSnapshot`] live-metrics pair, and nothing else —
+/// every v2 message still parses unchanged, so v2 peers are accepted
+/// (their requests simply carry no trace context and their spans stay
+/// unlinked; see docs/TELEMETRY.md).
+pub const PROTOCOL_VERSION: u32 = 3;
+
+/// Oldest peer version this build still pairs with. v2 omitted only
+/// additive, optional features, so it remains wire-compatible.
+pub const MIN_PROTOCOL_VERSION: u32 = 2;
+
+/// Whether a peer's advertised version can be served by this build.
+pub fn version_accepted(theirs: u32) -> bool {
+    (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&theirs)
+}
 
 /// Envelope kind tag carried by every frame.
 pub const FRAME_KIND: &str = "serve-msg";
@@ -34,6 +54,74 @@ pub const FRAME_KIND: &str = "serve-msg";
 /// treated as stream desync ([`ProtocolError::FrameTooLarge`]) rather
 /// than an allocation request — million-client cohorts fit comfortably.
 pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
+/// Trace context riding on a request message (v3+). Optional on the
+/// wire: both fields present and valid hex parse to
+/// [`Trace::Context`]; both absent (a v2 peer, or tracing disabled) is
+/// [`Trace::Absent`]; anything else — one field missing, non-hex
+/// garbage, overlong digits — is [`Trace::Invalid`], which the
+/// receiver counts (`proto.bad_trace_ids`) and otherwise treats as
+/// absent. Trace fields never affect selection: they are observability
+/// metadata only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Trace {
+    /// No trace fields on the wire.
+    #[default]
+    Absent,
+    /// A valid trace context: link spans under this parent.
+    Context {
+        /// The originator's trace id.
+        trace_id: u64,
+        /// The requesting span's id (the remote parent).
+        span_id: u64,
+    },
+    /// Trace fields were present but malformed. Never re-encoded (an
+    /// invalid context encodes as absent).
+    Invalid,
+}
+
+impl Trace {
+    /// Wraps a span's context for the wire (`None` — a disabled
+    /// telemetry handle — becomes [`Trace::Absent`]).
+    pub fn from_context(ctx: Option<SpanContext>) -> Trace {
+        match ctx {
+            Some(SpanContext { trace_id, span_id }) => Trace::Context { trace_id, span_id },
+            None => Trace::Absent,
+        }
+    }
+
+    /// The parent context to open spans under, if the wire carried a
+    /// valid one.
+    pub fn to_context(self) -> Option<SpanContext> {
+        match self {
+            Trace::Context { trace_id, span_id } => Some(SpanContext { trace_id, span_id }),
+            Trace::Absent | Trace::Invalid => None,
+        }
+    }
+
+    fn encode_into(self, fields: &mut Vec<(&'static str, Value)>) {
+        if let Trace::Context { trace_id, span_id } = self {
+            fields.push(("trace_id", Value::from(SpanContext::fmt_id(trace_id))));
+            fields.push(("span_id", Value::from(SpanContext::fmt_id(span_id))));
+        }
+    }
+
+    /// Lenient parse: absence is normal (v2 peer), garbage is
+    /// [`Trace::Invalid`], never an error — a bad trace id must not
+    /// fail the request it rides on.
+    fn decode_from(v: &Value) -> Trace {
+        let (t, s) = (v.get("trace_id"), v.get("span_id"));
+        if t.is_none() && s.is_none() {
+            return Trace::Absent;
+        }
+        let parse =
+            |field: Option<&Value>| field.and_then(Value::as_str).and_then(SpanContext::parse_id);
+        match (parse(t), parse(s)) {
+            (Some(trace_id), Some(span_id)) => Trace::Context { trace_id, span_id },
+            _ => Trace::Invalid,
+        }
+    }
+}
 
 /// One protocol message, either direction.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,6 +150,8 @@ pub enum Message {
     SelectCohort {
         /// Epoch index `t`.
         epoch: usize,
+        /// Optional trace context (v3+).
+        trace: Trace,
     },
     /// The server's selection for an epoch.
     Cohort {
@@ -156,6 +246,8 @@ pub enum Message {
     ShardContext {
         /// Epoch index `t`.
         epoch: usize,
+        /// Optional trace context (v3+).
+        trace: Trace,
     },
     /// Worker → coordinator: the shard's slice of the epoch decision
     /// context (`fedl_core::columnar::ContextPart` on the wire). All
@@ -184,6 +276,8 @@ pub enum Message {
         members: Vec<usize>,
         /// Local iterations `l_t`.
         iterations: usize,
+        /// Optional trace context (v3+).
+        trace: Trace,
     },
     /// Worker → coordinator: per-member training feedback columns,
     /// aligned to `members`. The coordinator concatenates these in
@@ -204,6 +298,18 @@ pub enum Message {
         grad_dot_delta: Vec<f32>,
         /// Local loss per member.
         local_losses: Vec<f32>,
+    },
+    /// Asks a running service (serve server, dist coordinator, dist
+    /// worker) for a live snapshot of its telemetry registry, without
+    /// disturbing it. Answered with [`Message::StatsSnapshot`]. v3+.
+    Stats,
+    /// The live metrics snapshot: the same
+    /// `{"counters":…,"gauges":…,"histograms":…}` object a `metrics`
+    /// run-log event carries (histograms as count/mean/p50/p90/p99/
+    /// min/max summaries). Empty object when telemetry is disabled.
+    StatsSnapshot {
+        /// The registry snapshot.
+        registry: Value,
     },
     /// A typed refusal; `code` is stable (see [`ProtocolError::code`]),
     /// `detail` is human-readable.
@@ -232,6 +338,8 @@ impl Message {
             Message::ShardContextPart { .. } => "shard_context_part",
             Message::ShardTrain { .. } => "shard_train",
             Message::ShardTrainPart { .. } => "shard_train_part",
+            Message::Stats => "stats",
+            Message::StatsSnapshot { .. } => "stats_snapshot",
             Message::Error { .. } => "error",
         }
     }
@@ -247,7 +355,10 @@ impl Message {
             Message::ClientJoin { client } | Message::ClientLeave { client } => {
                 fields.push(("client", Value::from(*client)));
             }
-            Message::SelectCohort { epoch } => fields.push(("epoch", Value::from(*epoch))),
+            Message::SelectCohort { epoch, trace } => {
+                fields.push(("epoch", Value::from(*epoch)));
+                trace.encode_into(&mut fields);
+            }
             Message::Cohort { epoch, cohort, iterations, done } => {
                 fields.push(("epoch", Value::from(*epoch)));
                 fields.push(("cohort", ids_to_json(cohort)));
@@ -312,7 +423,10 @@ impl Message {
                 fields.push(("shard_end", Value::from(*shard_end)));
                 fields.push(("fingerprint", Value::from(fingerprint.as_str())));
             }
-            Message::ShardContext { epoch } => fields.push(("epoch", Value::from(*epoch))),
+            Message::ShardContext { epoch, trace } => {
+                fields.push(("epoch", Value::from(*epoch)));
+                trace.encode_into(&mut fields);
+            }
             Message::ShardContextPart {
                 epoch,
                 available,
@@ -328,10 +442,11 @@ impl Message {
                 fields.push(("true_latency", f64s_to_json(true_latency)));
                 fields.push(("data_volumes", ids_to_json(data_volumes)));
             }
-            Message::ShardTrain { epoch, members, iterations } => {
+            Message::ShardTrain { epoch, members, iterations, trace } => {
                 fields.push(("epoch", Value::from(*epoch)));
                 fields.push(("members", ids_to_json(members)));
                 fields.push(("iterations", Value::from(*iterations)));
+                trace.encode_into(&mut fields);
             }
             Message::ShardTrainPart {
                 epoch,
@@ -349,6 +464,10 @@ impl Message {
                 fields.push(("eta_hats", f32s_to_json(eta_hats)));
                 fields.push(("grad_dot_delta", f32s_to_json(grad_dot_delta)));
                 fields.push(("local_losses", f32s_to_json(local_losses)));
+            }
+            Message::Stats => {}
+            Message::StatsSnapshot { registry } => {
+                fields.push(("registry", registry.clone()));
             }
             Message::Error { code, detail } => {
                 fields.push(("code", Value::from(code.as_str())));
@@ -377,9 +496,10 @@ impl Message {
             "client_leave" => {
                 Message::ClientLeave { client: read_field(v, "client").map_err(schema)? }
             }
-            "select_cohort" => {
-                Message::SelectCohort { epoch: read_field(v, "epoch").map_err(schema)? }
-            }
+            "select_cohort" => Message::SelectCohort {
+                epoch: read_field(v, "epoch").map_err(schema)?,
+                trace: Trace::decode_from(v),
+            },
             "cohort" => Message::Cohort {
                 epoch: read_field(v, "epoch").map_err(schema)?,
                 cohort: read_field(v, "cohort").map_err(schema)?,
@@ -424,9 +544,10 @@ impl Message {
                 shard_end: read_field(v, "shard_end").map_err(schema)?,
                 fingerprint: read_field(v, "fingerprint").map_err(schema)?,
             },
-            "shard_context" => {
-                Message::ShardContext { epoch: read_field(v, "epoch").map_err(schema)? }
-            }
+            "shard_context" => Message::ShardContext {
+                epoch: read_field(v, "epoch").map_err(schema)?,
+                trace: Trace::decode_from(v),
+            },
             "shard_context_part" => Message::ShardContextPart {
                 epoch: read_field(v, "epoch").map_err(schema)?,
                 available: read_field(v, "available").map_err(schema)?,
@@ -439,6 +560,7 @@ impl Message {
                 epoch: read_field(v, "epoch").map_err(schema)?,
                 members: read_field(v, "members").map_err(schema)?,
                 iterations: read_field(v, "iterations").map_err(schema)?,
+                trace: Trace::decode_from(v),
             },
             "shard_train_part" => Message::ShardTrainPart {
                 epoch: read_field(v, "epoch").map_err(schema)?,
@@ -449,6 +571,12 @@ impl Message {
                 eta_hats: read_field(v, "eta_hats").map_err(schema)?,
                 grad_dot_delta: read_field(v, "grad_dot_delta").map_err(schema)?,
                 local_losses: read_field(v, "local_losses").map_err(schema)?,
+            },
+            "stats" => Message::Stats,
+            "stats_snapshot" => Message::StatsSnapshot {
+                registry: v.get("registry").cloned().ok_or_else(|| ProtocolError::Schema {
+                    detail: "stats_snapshot is missing the registry field".to_string(),
+                })?,
             },
             "error" => Message::Error {
                 code: read_field(v, "code").map_err(schema)?,
@@ -490,6 +618,37 @@ pub fn decode_frame(frame: &[u8]) -> Result<Message, ProtocolError> {
         .map_err(|e| ProtocolError::Envelope { detail: format!("frame is not UTF-8: {e}") })?;
     let payload = decode_envelope(text, FRAME_KIND, "frame").map_err(ProtocolError::from)?;
     Message::from_json_value(&payload)
+}
+
+/// [`encode_frame`] with wire instrumentation: records the frame's
+/// byte length into the `proto.frame_bytes` histogram and the encode
+/// time into `proto.encode_ns`, and returns the elapsed nanoseconds so
+/// callers can attribute them to the request (`frame` events, the
+/// trace report's critical path). No-ops on a disabled handle.
+pub fn encode_frame_traced(msg: &Message, telemetry: &Telemetry) -> (Vec<u8>, u64) {
+    let start = std::time::Instant::now();
+    let frame = encode_frame(msg);
+    let ns = start.elapsed().as_nanos() as u64;
+    telemetry.histogram("proto.frame_bytes").record(frame.len() as f64);
+    telemetry.histogram("proto.encode_ns").record(ns as f64);
+    (frame, ns)
+}
+
+/// [`decode_frame`] with wire instrumentation: records the frame's
+/// byte length into `proto.frame_bytes` and the decode time into
+/// `proto.decode_ns`, returning the elapsed nanoseconds alongside the
+/// parse result (errors are timed too — rejecting garbage costs real
+/// wall clock).
+pub fn decode_frame_traced(
+    frame: &[u8],
+    telemetry: &Telemetry,
+) -> (Result<Message, ProtocolError>, u64) {
+    let start = std::time::Instant::now();
+    let result = decode_frame(frame);
+    let ns = start.elapsed().as_nanos() as u64;
+    telemetry.histogram("proto.frame_bytes").record(frame.len() as f64);
+    telemetry.histogram("proto.decode_ns").record(ns as f64);
+    (result, ns)
 }
 
 /// Everything that can go wrong between raw bytes and an applied
@@ -643,7 +802,11 @@ mod tests {
         roundtrip(Message::Hello { protocol_version: PROTOCOL_VERSION, node: "t".into() });
         roundtrip(Message::ClientJoin { client: 7 });
         roundtrip(Message::ClientLeave { client: 0 });
-        roundtrip(Message::SelectCohort { epoch: 3 });
+        roundtrip(Message::SelectCohort { epoch: 3, trace: Trace::Absent });
+        roundtrip(Message::SelectCohort {
+            epoch: 3,
+            trace: Trace::Context { trace_id: 0xdead_beef, span_id: u64::MAX },
+        });
         roundtrip(Message::Cohort { epoch: 3, cohort: vec![1, 4, 9], iterations: 5, done: false });
         roundtrip(Message::TrainResult {
             epoch: 3,
@@ -665,6 +828,14 @@ mod tests {
             policy: "FedL".into(),
         });
         roundtrip(Message::Shutdown);
+        roundtrip(Message::Stats);
+        roundtrip(Message::StatsSnapshot {
+            registry: obj(vec![
+                ("counters", obj(vec![("serve.frames_in", Value::Int(12))])),
+                ("gauges", obj(vec![])),
+                ("histograms", obj(vec![])),
+            ]),
+        });
         roundtrip(Message::Error { code: "bad-epoch".into(), detail: "nope".into() });
     }
 
@@ -684,7 +855,11 @@ mod tests {
             shard_end: 100,
             fingerprint: "deadbeefdeadbeef".into(),
         });
-        roundtrip(Message::ShardContext { epoch: 9 });
+        roundtrip(Message::ShardContext { epoch: 9, trace: Trace::Absent });
+        roundtrip(Message::ShardContext {
+            epoch: 9,
+            trace: Trace::Context { trace_id: 1, span_id: 0x0123_4567_89ab_cdef },
+        });
         // Awkward floats (subnormal, negative zero, many digits) must
         // survive the JSON trip bit-for-bit — the distributed merge
         // depends on it.
@@ -696,7 +871,18 @@ mod tests {
             true_latency: vec![1.5, 2.5, f64::MIN_POSITIVE],
             data_volumes: vec![10, 0, 3],
         });
-        roundtrip(Message::ShardTrain { epoch: 9, members: vec![51, 99], iterations: 4 });
+        roundtrip(Message::ShardTrain {
+            epoch: 9,
+            members: vec![51, 99],
+            iterations: 4,
+            trace: Trace::Absent,
+        });
+        roundtrip(Message::ShardTrain {
+            epoch: 9,
+            members: vec![51, 99],
+            iterations: 4,
+            trace: Trace::Context { trace_id: 0xfeed, span_id: 0xf00d },
+        });
         roundtrip(Message::ShardTrainPart {
             epoch: 9,
             members: vec![51, 99],
@@ -706,6 +892,116 @@ mod tests {
             grad_dot_delta: vec![-0.25, -0.125],
             local_losses: vec![2.0, 1.75],
         });
+    }
+
+    #[test]
+    fn v2_messages_without_trace_fields_parse_as_absent() {
+        // A v2 peer encodes select_cohort/shard_context/shard_train
+        // with no trace fields at all — exactly what Trace::Absent
+        // produces, so the old wire form round-trips unchanged.
+        for (tag, extra) in [
+            ("select_cohort", vec![]),
+            ("shard_context", vec![]),
+            ("shard_train", vec![("members", Value::Arr(vec![])), ("iterations", Value::Int(1))]),
+        ] {
+            let mut fields = vec![("type", Value::from(tag)), ("epoch", Value::Int(5))];
+            fields.extend(extra);
+            let text = fedl_store::encode_envelope(FRAME_KIND, &obj(fields));
+            let msg = decode_frame(text.as_bytes()).expect("v2 shape should decode");
+            let trace = match msg {
+                Message::SelectCohort { trace, .. }
+                | Message::ShardContext { trace, .. }
+                | Message::ShardTrain { trace, .. } => trace,
+                other => panic!("unexpected message {other:?}"),
+            };
+            assert_eq!(trace, Trace::Absent, "{tag}");
+        }
+    }
+
+    #[test]
+    fn garbage_trace_ids_parse_as_invalid_never_panic() {
+        let cases: [(Value, Value); 6] = [
+            (Value::from("zzzz"), Value::from("1234")),
+            (Value::from(""), Value::from("1234")),
+            (Value::from("12345678901234567"), Value::from("1")),
+            (Value::Int(42), Value::from("1")),
+            (Value::Null, Value::Null),
+            (Value::Arr(vec![Value::Int(1)]), Value::from("1")),
+        ];
+        for (trace_id, span_id) in cases {
+            let payload = obj(vec![
+                ("type", Value::from("select_cohort")),
+                ("epoch", Value::Int(0)),
+                ("trace_id", trace_id.clone()),
+                ("span_id", span_id.clone()),
+            ]);
+            let text = fedl_store::encode_envelope(FRAME_KIND, &payload);
+            let msg = decode_frame(text.as_bytes()).expect("garbage trace must not fail parse");
+            assert_eq!(
+                msg,
+                Message::SelectCohort { epoch: 0, trace: Trace::Invalid },
+                "trace_id={trace_id:?} span_id={span_id:?}"
+            );
+        }
+        // One field present, one absent: also invalid, not absent.
+        let payload = obj(vec![
+            ("type", Value::from("select_cohort")),
+            ("epoch", Value::Int(0)),
+            ("trace_id", Value::from("abc")),
+        ]);
+        let text = fedl_store::encode_envelope(FRAME_KIND, &payload);
+        assert_eq!(
+            decode_frame(text.as_bytes()).unwrap(),
+            Message::SelectCohort { epoch: 0, trace: Trace::Invalid }
+        );
+        // An invalid context is never re-encoded: it goes out absent.
+        let reencoded = encode_frame(&Message::SelectCohort { epoch: 0, trace: Trace::Invalid });
+        assert_eq!(
+            decode_frame(&reencoded).unwrap(),
+            Message::SelectCohort { epoch: 0, trace: Trace::Absent }
+        );
+    }
+
+    #[test]
+    fn trace_context_round_trips_and_links() {
+        let ctx = fedl_telemetry::SpanContext { trace_id: 0xa1b2_c3d4, span_id: 7 };
+        let trace = Trace::from_context(Some(ctx));
+        let frame = encode_frame(&Message::ShardContext { epoch: 2, trace });
+        match decode_frame(&frame).unwrap() {
+            Message::ShardContext { trace, .. } => assert_eq!(trace.to_context(), Some(ctx)),
+            other => panic!("unexpected message {other:?}"),
+        }
+        assert_eq!(Trace::from_context(None), Trace::Absent);
+        assert_eq!(Trace::Invalid.to_context(), None);
+    }
+
+    #[test]
+    fn traced_codec_records_wire_histograms() {
+        let (tel, _handle) = Telemetry::in_memory();
+        let msg = Message::SelectCohort { epoch: 1, trace: Trace::Absent };
+        let (frame, encode_ns) = encode_frame_traced(&msg, &tel);
+        let (decoded, _decode_ns) = decode_frame_traced(&frame, &tel);
+        assert_eq!(decoded.unwrap(), msg);
+        let _ = encode_ns;
+        assert_eq!(tel.histogram("proto.frame_bytes").count(), 2);
+        assert_eq!(tel.histogram("proto.encode_ns").count(), 1);
+        assert_eq!(tel.histogram("proto.decode_ns").count(), 1);
+        // A frame that fails to decode is still timed and counted.
+        let (bad, _) = decode_frame_traced(b"garbage", &tel);
+        assert!(bad.is_err());
+        assert_eq!(tel.histogram("proto.decode_ns").count(), 2);
+        // Disabled telemetry: the codec still works, records nothing.
+        let off = Telemetry::disabled();
+        let (frame2, _) = encode_frame_traced(&msg, &off);
+        assert_eq!(frame2, encode_frame(&msg));
+    }
+
+    #[test]
+    fn version_window_accepts_v2_refuses_v1_and_v4() {
+        assert!(version_accepted(PROTOCOL_VERSION));
+        assert!(version_accepted(MIN_PROTOCOL_VERSION));
+        assert!(!version_accepted(MIN_PROTOCOL_VERSION - 1));
+        assert!(!version_accepted(PROTOCOL_VERSION + 1));
     }
 
     #[test]
@@ -745,7 +1041,7 @@ mod tests {
         let text = fedl_store::encode_envelope(FRAME_KIND, &obj(vec![("x", Value::Int(1))]));
         assert!(matches!(decode_frame(text.as_bytes()), Err(ProtocolError::Schema { .. })));
         // Flipping one payload byte breaks the checksum.
-        let mut frame = encode_frame(&Message::SelectCohort { epoch: 1 });
+        let mut frame = encode_frame(&Message::SelectCohort { epoch: 1, trace: Trace::Absent });
         let n = frame.len();
         frame[n - 2] ^= 0x01;
         assert!(matches!(decode_frame(&frame), Err(ProtocolError::Envelope { .. })));

@@ -24,7 +24,10 @@ use fedl_sim::{BudgetLedger, ClientColumns, EnvConfig, EpochColumns, EpochReport
 use fedl_store::{content_address, read_envelope, write_envelope, StoreError};
 use fedl_telemetry::Telemetry;
 
-use crate::proto::{decode_frame, encode_frame, Message, ProtocolError, PROTOCOL_VERSION};
+use crate::proto::{
+    decode_frame_traced, encode_frame, encode_frame_traced, version_accepted, Message,
+    ProtocolError, Trace, PROTOCOL_VERSION,
+};
 use crate::transport::FrameTransport;
 
 /// Envelope kind of a server checkpoint file.
@@ -403,7 +406,8 @@ impl ServerState {
     /// counter, mirroring the run log's lenient parsing.
     pub fn handle_frame(&mut self, frame: &[u8]) -> (Vec<u8>, Control) {
         self.telemetry.counter("serve.frames_in").incr();
-        let (reply, control) = match decode_frame(frame) {
+        let (decoded, _decode_ns) = decode_frame_traced(frame, &self.telemetry);
+        let (reply, control) = match decoded {
             Ok(msg) => self.handle_message(msg),
             Err(err) => {
                 self.note_malformed(&err);
@@ -411,7 +415,8 @@ impl ServerState {
             }
         };
         self.telemetry.counter("serve.frames_out").incr();
-        (encode_frame(&reply), control)
+        let (bytes, _encode_ns) = encode_frame_traced(&reply, &self.telemetry);
+        (bytes, control)
     }
 
     /// Records a frame that failed decoding or framing.
@@ -457,7 +462,7 @@ impl ServerState {
     pub fn handle_message(&mut self, msg: Message) -> (Message, Control) {
         match msg {
             Message::Hello { protocol_version, node: _ } => {
-                if protocol_version != PROTOCOL_VERSION {
+                if !version_accepted(protocol_version) {
                     let err =
                         ProtocolError::Version { ours: PROTOCOL_VERSION, theirs: protocol_version };
                     self.note_malformed(&err);
@@ -500,7 +505,7 @@ impl ServerState {
                 }
                 (self.snapshot_reply(), Control::Continue)
             }
-            Message::SelectCohort { epoch } => self.handle_select(epoch),
+            Message::SelectCohort { epoch, trace } => self.handle_select(epoch, trace),
             Message::TrainResult {
                 epoch,
                 cohort,
@@ -525,6 +530,13 @@ impl ServerState {
                 local_losses,
             ),
             Message::Snapshot { .. } => (self.snapshot_reply(), Control::Continue),
+            Message::Stats => {
+                self.telemetry.counter("serve.stats_requests").incr();
+                (
+                    Message::StatsSnapshot { registry: self.telemetry.registry_snapshot() },
+                    Control::Continue,
+                )
+            }
             Message::Shutdown => {
                 if let Some((path, _)) = self.checkpoint.clone() {
                     if self.pending.is_none() {
@@ -560,7 +572,7 @@ impl ServerState {
                 (self.snapshot_reply(), Control::Shutdown)
             }
             // Server-only replies arriving as requests are protocol misuse.
-            Message::Cohort { .. } | Message::Error { .. } => {
+            Message::Cohort { .. } | Message::StatsSnapshot { .. } | Message::Error { .. } => {
                 let err = ProtocolError::UnexpectedMessage {
                     detail: "reply-only message sent as a request".to_string(),
                 };
@@ -586,7 +598,12 @@ impl ServerState {
         }
     }
 
-    fn handle_select(&mut self, epoch: usize) -> (Message, Control) {
+    fn handle_select(&mut self, epoch: usize, trace: Trace) -> (Message, Control) {
+        if trace == Trace::Invalid {
+            // A garbled trace context never fails the request it rides
+            // on — selection must not depend on observability metadata.
+            self.telemetry.counter("proto.bad_trace_ids").incr();
+        }
         if epoch != self.next_epoch {
             let err = ProtocolError::BadEpoch { expected: self.next_epoch, got: epoch };
             self.note_malformed(&err);
@@ -605,7 +622,8 @@ impl ServerState {
                 Control::Continue,
             );
         }
-        let span = self.telemetry.span("serve.select");
+        let mut span = self.telemetry.span_in("serve.select", trace.to_context());
+        span.field("epoch", Value::from(epoch));
         let selected = select_for_epoch(
             &self.cols,
             &self.config,
@@ -788,7 +806,7 @@ mod tests {
             assert!(matches!(reply, Message::Snapshot { .. }));
         }
         assert_eq!(s.registered_count(), 20);
-        let (reply, _) = s.handle_message(Message::SelectCohort { epoch: 0 });
+        let (reply, _) = s.handle_message(Message::SelectCohort { epoch: 0, trace: Trace::Absent });
         let (cohort, iterations, done) = expect_cohort(reply);
         assert!(!done && !cohort.is_empty() && iterations >= 1);
         // Feed a train result for the served cohort.
@@ -813,7 +831,7 @@ mod tests {
     #[test]
     fn empty_registry_skips_the_epoch() {
         let mut s = server(10, 100.0);
-        let (reply, _) = s.handle_message(Message::SelectCohort { epoch: 0 });
+        let (reply, _) = s.handle_message(Message::SelectCohort { epoch: 0, trace: Trace::Absent });
         let (cohort, _, done) = expect_cohort(reply);
         assert!(cohort.is_empty() && !done);
         assert_eq!(s.next_epoch(), 1, "an empty epoch still passes");
@@ -823,7 +841,7 @@ mod tests {
     fn protocol_misuse_is_refused_with_typed_errors() {
         let mut s = server(10, 100.0);
         let before = s.malformed_frames();
-        let (reply, _) = s.handle_message(Message::SelectCohort { epoch: 5 });
+        let (reply, _) = s.handle_message(Message::SelectCohort { epoch: 5, trace: Trace::Absent });
         assert!(matches!(reply, Message::Error { ref code, .. } if code == "bad-epoch"));
         let (reply, _) = s.handle_message(Message::ClientJoin { client: 99 });
         assert!(matches!(reply, Message::Error { ref code, .. } if code == "unknown-client"));
@@ -849,7 +867,7 @@ mod tests {
         for k in 0..20 {
             s.handle_message(Message::ClientJoin { client: k });
         }
-        let (reply, _) = s.handle_message(Message::SelectCohort { epoch: 0 });
+        let (reply, _) = s.handle_message(Message::SelectCohort { epoch: 0, trace: Trace::Absent });
         let (cohort, iterations, _) = expect_cohort(reply);
         let n = cohort.len();
         let result = |cost: f64, latency: f64, eta: f32| Message::TrainResult {
@@ -910,9 +928,9 @@ mod tests {
         // boundaries crossed by skips must still land on disk.
         let mut s =
             ServerState::new(config.clone(), Telemetry::in_memory().0).with_checkpoint(&ckpt, 2);
-        s.handle_message(Message::SelectCohort { epoch: 0 });
+        s.handle_message(Message::SelectCohort { epoch: 0, trace: Trace::Absent });
         assert!(!ckpt.exists(), "epoch 1 is not a boundary");
-        s.handle_message(Message::SelectCohort { epoch: 1 });
+        s.handle_message(Message::SelectCohort { epoch: 1, trace: Trace::Absent });
         assert!(ckpt.exists(), "the skip that reaches epoch 2 must checkpoint");
         let resumed = ServerState::resume(config, Telemetry::in_memory().0, &ckpt).expect("resume");
         assert_eq!(resumed.next_epoch(), 2);
@@ -927,7 +945,7 @@ mod tests {
         }
         // The ledger only exhausts after a charge crosses it; force one
         // epoch through, then the next select must say done.
-        let (reply, _) = s.handle_message(Message::SelectCohort { epoch: 0 });
+        let (reply, _) = s.handle_message(Message::SelectCohort { epoch: 0, trace: Trace::Absent });
         let (cohort, iterations, done) = expect_cohort(reply);
         assert!(!done);
         let n = cohort.len();
@@ -943,7 +961,7 @@ mod tests {
             grad_dot_delta: vec![-0.1; n],
             local_losses: vec![2.3; n],
         });
-        let (reply, _) = s.handle_message(Message::SelectCohort { epoch: 1 });
+        let (reply, _) = s.handle_message(Message::SelectCohort { epoch: 1, trace: Trace::Absent });
         let (_, _, done) = expect_cohort(reply);
         assert!(done);
     }

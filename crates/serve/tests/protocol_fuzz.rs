@@ -20,7 +20,7 @@ fn valid_message(i: usize) -> Message {
     match i % 6 {
         0 => Message::Hello { protocol_version: PROTOCOL_VERSION, node: "fuzz".into() },
         1 => Message::ClientJoin { client: i % 40 },
-        2 => Message::SelectCohort { epoch: i },
+        2 => Message::SelectCohort { epoch: i, trace: fedl_serve::Trace::Absent },
         3 => Message::Cohort { epoch: i, cohort: vec![1, 2, 3], iterations: 4, done: false },
         4 => Message::TrainResult {
             epoch: i,
@@ -103,6 +103,43 @@ fn stream_level_damage_is_typed() {
         write_frame(&mut sink, &vec![0u8; MAX_FRAME_BYTES + 1]),
         Err(ProtocolError::FrameTooLarge { .. })
     ));
+}
+
+#[test]
+fn fuzzed_trace_ids_never_panic_and_are_counted() {
+    use fedl_json::{obj, Value};
+    let config = ServeConfig::new(40, 3, 1000.0, 3, PolicyKind::FedL);
+    let tel = Telemetry::in_memory().0;
+    let mut server = ServerState::new(config, tel.clone());
+    let mut rng = rng_for(0x7_2ACE, 3);
+    let mut invalid = 0u64;
+    for i in 0..200 {
+        // Random bytes rendered as a JSON string: sometimes valid hex,
+        // mostly garbage (overlong, non-hex, empty, signed).
+        let mut gen_id = || {
+            let len = (rng.next_u64() % 24) as usize;
+            (0..len).map(|_| (rng.next_u64() % 96 + 32) as u8 as char).collect::<String>()
+        };
+        let trace_id = gen_id();
+        let span_id = gen_id();
+        let valid =
+            |s: &str| !s.is_empty() && s.len() <= 16 && s.bytes().all(|b| b.is_ascii_hexdigit());
+        if !(valid(&trace_id) && valid(&span_id)) {
+            invalid += 1;
+        }
+        let payload = obj(vec![
+            ("type", Value::from("select_cohort")),
+            ("epoch", Value::Int(i as i64)),
+            ("trace_id", Value::from(trace_id)),
+            ("span_id", Value::from(span_id)),
+        ]);
+        let frame = fedl_store::encode_envelope("serve-msg", &payload).into_bytes();
+        // Must never panic; the reply is always a well-formed frame.
+        let (reply, _) = server.handle_frame(&frame);
+        decode_frame(&reply).expect("server replies are always well-formed");
+    }
+    assert!(invalid > 0, "the generator should produce garbage ids");
+    assert_eq!(tel.counter("proto.bad_trace_ids").value(), invalid);
 }
 
 #[test]

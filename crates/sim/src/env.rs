@@ -254,6 +254,20 @@ impl EdgeEnvironment {
     /// selecting an offline client is a policy bug the simulator surfaces
     /// immediately.
     pub fn run_epoch(&mut self, epoch: usize, cohort: &[usize], iterations: usize) -> EpochReport {
+        self.run_epoch_in(epoch, cohort, iterations, None)
+    }
+
+    /// [`Self::run_epoch`] with an explicit parent span: the `train`
+    /// phase timer (and everything the server nests under it) becomes a
+    /// child of `parent`, so the runner's `epoch` span heads the whole
+    /// phase tree in the run log.
+    pub fn run_epoch_in(
+        &mut self,
+        epoch: usize,
+        cohort: &[usize],
+        iterations: usize,
+        parent: Option<&fedl_telemetry::Span>,
+    ) -> EpochReport {
         assert!(!cohort.is_empty(), "epoch with empty cohort");
         assert!(iterations > 0, "epoch needs at least one iteration");
         let views = self.views(epoch);
@@ -301,17 +315,21 @@ impl EdgeEnvironment {
         let cohort_refs: Vec<(usize, &Dataset)> =
             cohort_data.iter().map(|(k, d)| (*k, d)).collect();
 
-        let train_span = self.telemetry.span("train");
+        let train_span = match parent {
+            Some(p) => p.child("train"),
+            None => self.telemetry.span("train"),
+        };
         let mut eta_max = vec![0.0f32; cohort.len()];
         let mut last_deltas = Vec::new();
         let mut local_losses = vec![0.0f32; cohort.len()];
         for it in 0..iterations {
-            let stats = self.server.run_iteration(
+            let stats = self.server.run_iteration_in(
                 &cohort_refs,
                 available.len(),
                 self.config.aggregation,
                 epoch,
                 it,
+                Some(&train_span),
             );
             for (m, &e) in eta_max.iter_mut().zip(&stats.eta_hats) {
                 *m = m.max(e);

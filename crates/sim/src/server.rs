@@ -95,16 +95,34 @@ impl FederatedServer {
         epoch: usize,
         iteration: usize,
     ) -> IterationStats {
+        self.run_iteration_in(cohort, available_count, aggregation, epoch, iteration, None)
+    }
+
+    /// [`Self::run_iteration`] with an explicit parent span: the
+    /// `round` timer (and its `local-train`/`aggregate` children) nests
+    /// under `parent` — normally the environment's `train` span.
+    pub fn run_iteration_in(
+        &mut self,
+        cohort: &[(usize, &Dataset)],
+        available_count: usize,
+        aggregation: AggregationNorm,
+        epoch: usize,
+        iteration: usize,
+        parent: Option<&fedl_telemetry::Span>,
+    ) -> IterationStats {
         assert!(!cohort.is_empty(), "iteration with empty cohort");
         assert!(available_count >= cohort.len(), "cohort larger than availability");
-        let _round = self.telemetry.span("round");
+        let round = match parent {
+            Some(p) => p.child("round"),
+            None => self.telemetry.span("round"),
+        };
 
         let model = &self.model;
         let j_agg = &self.j_agg;
         let dane = &self.dane;
         let seed = self.seed;
         let telemetry = &self.telemetry;
-        let local_train = telemetry.span("local-train");
+        let local_train = round.child("local-train");
         let outcomes: Vec<_> = fedl_linalg::par::par_map(cohort, |(id, data)| {
             let label = (epoch as u64) << 32 | (iteration as u64) << 16 | (*id as u64);
             let mut rng = rng_for(derive_seed(seed, 0x10CA1), label);
@@ -112,7 +130,7 @@ impl FederatedServer {
         });
         drop(local_train);
 
-        let aggregate = self.telemetry.span("aggregate");
+        let aggregate = round.child("aggregate");
         let norm = match aggregation {
             AggregationNorm::Available => available_count as f32,
             AggregationNorm::Cohort => cohort.len() as f32,

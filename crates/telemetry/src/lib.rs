@@ -56,6 +56,7 @@ pub mod logging;
 pub mod metrics;
 pub mod report;
 mod span;
+pub mod trace;
 
 use std::fmt;
 use std::io;
@@ -75,7 +76,8 @@ pub const RUN_LOG_SCHEMA_VERSION: u32 = 1;
 pub use event::{EventSink, FileSink, MemoryHandle, MemorySink};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
 pub use report::{ClientUsage, PhaseStats, RunLog};
-pub use span::Span;
+pub use span::{Span, SpanContext};
+pub use trace::{merge_traces, render_trace_html, render_trace_report, TraceModel};
 
 use metrics::lock;
 
@@ -84,12 +86,53 @@ pub(crate) struct Inner {
     pub(crate) registry: Registry,
     sink: Mutex<Box<dyn EventSink>>,
     seq: AtomicU64,
-    pub(crate) span_stack: Mutex<Vec<(u64, String)>>,
+    trace_id: u64,
     next_span_id: AtomicU64,
     write_errors: AtomicU64,
 }
 
+/// One FNV-1a round over the little-endian bytes of `v`.
+fn fnv1a(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// A fresh process-unique trace id: FNV-1a over the wall clock, the
+/// process id, and a per-process counter (so two handles created in
+/// the same nanosecond still differ). Never zero.
+fn fresh_trace_id() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos() as u64);
+    let mut h = 0xcbf2_9ce4_8422_2325;
+    h = fnv1a(h, nanos);
+    h = fnv1a(h, u64::from(std::process::id()));
+    h = fnv1a(h, COUNTER.fetch_add(1, Ordering::Relaxed));
+    if h == 0 {
+        1
+    } else {
+        h
+    }
+}
+
 impl Inner {
+    /// Allocates a span id unique within this trace and, with high
+    /// probability, across cooperating processes (the sequential
+    /// counter is mixed with this handle's trace id, so two processes
+    /// never hand out the same small integers).
+    pub(crate) fn alloc_span_id(&self) -> u64 {
+        let n = self.next_span_id.fetch_add(1, Ordering::Relaxed);
+        let id = fnv1a(fnv1a(0xcbf2_9ce4_8422_2325, self.trace_id), n);
+        if id == 0 {
+            1
+        } else {
+            id
+        }
+    }
     /// Serialises one event and appends it to the sink. The `kind`
     /// field leads the object and a monotonically increasing `seq`
     /// closes it, so logs merge and re-sort deterministically. Write
@@ -131,7 +174,7 @@ impl Telemetry {
                 registry: Registry::new(),
                 sink: Mutex::new(sink),
                 seq: AtomicU64::new(0),
-                span_stack: Mutex::new(Vec::new()),
+                trace_id: fresh_trace_id(),
                 next_span_id: AtomicU64::new(1),
                 write_errors: AtomicU64::new(0),
             })),
@@ -180,15 +223,36 @@ impl Telemetry {
         }
     }
 
-    /// Opens a phase timer; the measurement lands when the returned
-    /// [`Span`] drops.
+    /// Opens a root phase timer; the measurement lands when the
+    /// returned [`Span`] drops. Nest further phases under it with
+    /// [`Span::child`] — parentage is recorded explicitly, never
+    /// inferred from call order or thread state.
     pub fn span(&self, name: &'static str) -> Span {
         match &self.inner {
             Some(inner) => {
-                let id = inner.next_span_id.fetch_add(1, Ordering::Relaxed);
-                lock(&inner.span_stack).push((id, name.to_string()));
-                Span::start(Arc::clone(inner), id, name)
+                let ctx = SpanContext { trace_id: inner.trace_id, span_id: inner.alloc_span_id() };
+                Span::start(Arc::clone(inner), ctx, None, None, 0, name)
             }
+            None => Span::noop(),
+        }
+    }
+
+    /// Opens a span under a parent identified only by its
+    /// [`SpanContext`] — the cross-boundary variant of [`Span::child`]
+    /// for parents living in another thread or another process. The
+    /// span adopts the parent's trace id and records its span id as
+    /// `parent_id`; the parent's *name* is unknown here, so the `parent`
+    /// field stays null. With `parent == None` (a peer that sent no
+    /// trace context) the span is still emitted, just unlinked.
+    pub fn span_in(&self, name: &'static str, parent: Option<SpanContext>) -> Span {
+        match &self.inner {
+            Some(inner) => match parent {
+                Some(p) => {
+                    let ctx = SpanContext { trace_id: p.trace_id, span_id: inner.alloc_span_id() };
+                    Span::start(Arc::clone(inner), ctx, Some(p), None, 1, name)
+                }
+                None => self.span(name),
+            },
             None => Span::noop(),
         }
     }
@@ -198,6 +262,17 @@ impl Telemetry {
     pub fn emit(&self, kind: &'static str, fields: Vec<(&'static str, Value)>) {
         if let Some(inner) = &self.inner {
             inner.emit(kind, fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect());
+        }
+    }
+
+    /// The full registry snapshot as a JSON value — the same shape the
+    /// `metrics` event carries (`{"counters":…,"gauges":…,"histograms":…}`).
+    /// This is what a live `Stats` protocol request answers with. A
+    /// disabled handle returns an empty object.
+    pub fn registry_snapshot(&self) -> Value {
+        match &self.inner {
+            Some(inner) => inner.registry.snapshot(),
+            None => Value::Obj(Vec::new()),
         }
     }
 

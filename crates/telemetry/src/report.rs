@@ -287,9 +287,9 @@ impl RunLog {
     pub fn render_client_table(&self) -> String {
         let usage = self.client_usage();
         let mut out = String::new();
-        if self.skipped > 0 {
-            out.push_str(&format!("skipped {} malformed line(s)\n", self.skipped));
-        }
+        // Always printed, even at zero, so multi-log output lines up
+        // with `experiments trace-report`'s per-input summaries.
+        out.push_str(&format!("skipped {} malformed line(s)\n", self.skipped));
         if usage.is_empty() {
             out.push_str("no select/train events in log — nothing to attribute\n");
             return out;
@@ -326,9 +326,9 @@ impl RunLog {
     pub fn render_report(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("events: {}\n", self.events.len()));
-        if self.skipped > 0 {
-            out.push_str(&format!("skipped {} malformed line(s)\n", self.skipped));
-        }
+        // Always printed, even at zero, so multi-log output lines up
+        // with `experiments trace-report`'s per-input summaries.
+        out.push_str(&format!("skipped {} malformed line(s)\n", self.skipped));
         for (kind, count) in self.kind_counts() {
             out.push_str(&format!("  {kind:<12} {count:>6}\n"));
         }
@@ -373,7 +373,7 @@ fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
 }
 
 /// Scales seconds to a readable unit (s / ms / µs).
-fn fmt_secs(secs: f64) -> String {
+pub(crate) fn fmt_secs(secs: f64) -> String {
     if secs >= 1.0 {
         format!("{secs:.3}s")
     } else if secs >= 1e-3 {

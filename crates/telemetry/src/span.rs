@@ -1,26 +1,55 @@
-//! RAII span timers with parent/child nesting.
+//! RAII span timers with explicit parent/child linkage and a
+//! cross-process trace context.
 //!
 //! A [`Span`] measures the wall-clock time between its creation
-//! (via [`crate::Telemetry::span`]) and its drop. On close it records
-//! the duration into the histogram `span.<name>` and emits a `span`
-//! event carrying the parent span's name and the nesting depth, so a
-//! run log reconstructs the phase tree
-//! (`epoch` → `select` / `train` → `round` → `local-train` /
-//! `aggregate`).
+//! (via [`crate::Telemetry::span`], [`crate::Telemetry::span_in`], or
+//! [`Span::child`]) and its drop. On close it records the duration into
+//! the histogram `span.<name>` and emits a `span` event carrying the
+//! parent span's name, the nesting depth, and the trace context
+//! (`trace_id`/`span_id`/`parent_id`), so run logs from several
+//! processes merge into one causal tree (docs/TELEMETRY.md).
 //!
-//! Nesting is tracked on a per-[`crate::Telemetry`] stack: the
-//! orchestration path that opens spans is single-threaded in this
-//! workspace (worker threads record plain metrics instead), and a span
-//! closed out of order simply removes itself from wherever it sits in
-//! the stack.
+//! Parentage is **passed, not inferred**: a child span records the
+//! identity of the span it was created under. There is no thread-local
+//! or global stack, so spans opened concurrently on pool threads can
+//! never nest under an unrelated thread's span.
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use fedl_json::Value;
 
-use crate::metrics::lock;
 use crate::Inner;
+
+/// The cross-process identity of a span: which trace it belongs to and
+/// which span it is. Serialised as zero-padded 16-digit lowercase hex
+/// in `span` events and protocol trace fields.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SpanContext {
+    /// Identifies one logical run across every participating process.
+    /// Remote spans adopt the originator's trace id.
+    pub trace_id: u64,
+    /// Identifies this span within the trace.
+    pub span_id: u64,
+}
+
+impl SpanContext {
+    /// Renders an id the way the wire and the run log carry it:
+    /// zero-padded 16-digit lowercase hex.
+    pub fn fmt_id(id: u64) -> String {
+        format!("{id:016x}")
+    }
+
+    /// Parses an id rendered by [`SpanContext::fmt_id`]. Accepts 1–16
+    /// ASCII hex digits; anything else — empty, overlong, stray signs
+    /// or whitespace — is `None`, never a panic.
+    pub fn parse_id(s: &str) -> Option<u64> {
+        if s.is_empty() || s.len() > 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok()
+    }
+}
 
 /// A live phase timer; the measurement is taken when it drops.
 #[must_use = "a span measures until it is dropped; binding it to _ closes it immediately"]
@@ -30,8 +59,12 @@ pub struct Span {
 
 struct ActiveSpan {
     inner: Arc<Inner>,
-    id: u64,
+    ctx: SpanContext,
+    parent: Option<SpanContext>,
+    parent_name: Option<&'static str>,
+    depth: u64,
     name: &'static str,
+    fields: Vec<(String, Value)>,
     start: Instant,
 }
 
@@ -42,19 +75,69 @@ impl Span {
         Self { active: None }
     }
 
-    pub(crate) fn start(inner: Arc<Inner>, id: u64, name: &'static str) -> Self {
-        Self { active: Some(ActiveSpan { inner, id, name, start: Instant::now() }) }
+    pub(crate) fn start(
+        inner: Arc<Inner>,
+        ctx: SpanContext,
+        parent: Option<SpanContext>,
+        parent_name: Option<&'static str>,
+        depth: u64,
+        name: &'static str,
+    ) -> Self {
+        Self {
+            active: Some(ActiveSpan {
+                inner,
+                ctx,
+                parent,
+                parent_name,
+                depth,
+                name,
+                fields: Vec::new(),
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// Opens a child span under this one: same trace, this span as the
+    /// recorded parent, depth one deeper. A noop span hands out noop
+    /// children.
+    pub fn child(&self, name: &'static str) -> Span {
+        match &self.active {
+            Some(span) => {
+                let ctx = SpanContext {
+                    trace_id: span.ctx.trace_id,
+                    span_id: span.inner.alloc_span_id(),
+                };
+                Span::start(
+                    Arc::clone(&span.inner),
+                    ctx,
+                    Some(span.ctx),
+                    Some(span.name),
+                    span.depth + 1,
+                    name,
+                )
+            }
+            None => Span::noop(),
+        }
+    }
+
+    /// This span's trace context, for threading across a process
+    /// boundary (`None` for a noop span).
+    pub fn ctx(&self) -> Option<SpanContext> {
+        self.active.as_ref().map(|span| span.ctx)
+    }
+
+    /// Attaches an extra field to the `span` event this span will emit
+    /// on close (e.g. the epoch or worker index it covers).
+    pub fn field(&mut self, key: &'static str, value: Value) {
+        if let Some(span) = &mut self.active {
+            span.fields.push((key.to_string(), value));
+        }
     }
 
     /// Discards the span without recording it (used when the phase it
     /// was opened for turns out not to happen).
     pub fn cancel(mut self) {
-        if let Some(span) = self.active.take() {
-            let mut stack = lock(&span.inner.span_stack);
-            if let Some(pos) = stack.iter().position(|(id, _)| *id == span.id) {
-                stack.remove(pos);
-            }
-        }
+        self.active.take();
     }
 }
 
@@ -62,41 +145,36 @@ impl Drop for Span {
     fn drop(&mut self) {
         let Some(span) = self.active.take() else { return };
         let secs = span.start.elapsed().as_secs_f64();
-        let (depth, parent) = {
-            let mut stack = lock(&span.inner.span_stack);
-            match stack.iter().position(|(id, _)| *id == span.id) {
-                Some(pos) => {
-                    let parent = (pos > 0).then(|| stack[pos - 1].1.clone());
-                    stack.remove(pos);
-                    (pos, parent)
-                }
-                None => (0, None), // already cancelled elsewhere; still record
-            }
-        };
         span.inner.registry.histogram(&format!("span.{}", span.name)).record(secs);
-        span.inner.emit(
-            "span",
-            vec![
-                ("name".to_string(), Value::from(span.name)),
-                ("parent".to_string(), parent.map_or(Value::Null, Value::from)),
-                ("depth".to_string(), Value::from(depth)),
-                ("secs".to_string(), Value::Float(secs)),
-            ],
-        );
+        let mut fields = vec![
+            ("name".to_string(), Value::from(span.name)),
+            ("parent".to_string(), span.parent_name.map_or(Value::Null, Value::from)),
+            ("depth".to_string(), Value::Int(span.depth as i64)),
+            ("trace_id".to_string(), Value::from(SpanContext::fmt_id(span.ctx.trace_id))),
+            ("span_id".to_string(), Value::from(SpanContext::fmt_id(span.ctx.span_id))),
+            (
+                "parent_id".to_string(),
+                span.parent.map_or(Value::Null, |p| Value::from(SpanContext::fmt_id(p.span_id))),
+            ),
+            ("secs".to_string(), Value::Float(secs)),
+        ];
+        fields.extend(span.fields);
+        span.inner.emit("span", fields);
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::SpanContext;
     use crate::Telemetry;
 
     #[test]
     fn spans_nest_and_report_parents() {
         let (tel, handle) = Telemetry::in_memory();
         {
-            let _outer = tel.span("outer");
+            let outer = tel.span("outer");
             {
-                let _inner = tel.span("inner");
+                let _inner = outer.child("inner");
             }
         }
         let events = handle.events().unwrap();
@@ -109,6 +187,14 @@ mod tests {
         assert_eq!(outer.get("name").unwrap().as_str(), Some("outer"));
         assert!(outer.get("parent").unwrap().is_null());
         assert_eq!(outer.get("depth").unwrap().as_i64(), Some(0));
+        // Ids link the child to its parent and share a trace.
+        let outer_span = outer.get("span_id").unwrap().as_str().unwrap();
+        assert_eq!(inner.get("parent_id").unwrap().as_str(), Some(outer_span));
+        assert_eq!(
+            inner.get("trace_id").unwrap().as_str(),
+            outer.get("trace_id").unwrap().as_str()
+        );
+        assert!(outer.get("parent_id").unwrap().is_null());
         // Durations recorded into span histograms, outer >= inner.
         let outer_h = tel.histogram("span.outer");
         let inner_h = tel.histogram("span.inner");
@@ -121,13 +207,13 @@ mod tests {
     fn sibling_spans_share_a_parent() {
         let (tel, handle) = Telemetry::in_memory();
         {
-            let _epoch = tel.span("epoch");
-            tel.span("select").cancel();
+            let epoch = tel.span("epoch");
+            epoch.child("select").cancel();
             {
-                let _a = tel.span("select");
+                let _a = epoch.child("select");
             }
             {
-                let _b = tel.span("evaluate");
+                let _b = epoch.child("evaluate");
             }
         }
         let events = handle.events().unwrap();
@@ -136,16 +222,125 @@ mod tests {
         assert_eq!(names, vec!["select", "evaluate", "epoch"]);
         assert_eq!(events[0].get("parent").unwrap().as_str(), Some("epoch"));
         assert_eq!(events[1].get("parent").unwrap().as_str(), Some("epoch"));
+        let epoch_span = events[2].get("span_id").unwrap().as_str().unwrap();
+        assert_eq!(events[0].get("parent_id").unwrap().as_str(), Some(epoch_span));
+        assert_eq!(events[1].get("parent_id").unwrap().as_str(), Some(epoch_span));
         // The cancelled span left no event and no histogram sample.
         assert_eq!(tel.histogram("span.select").count(), 1);
+    }
+
+    #[test]
+    fn custom_fields_ride_on_the_span_event() {
+        let (tel, handle) = Telemetry::in_memory();
+        {
+            let mut span = tel.span("phase");
+            span.field("epoch", fedl_json::Value::Int(4));
+            span.field("worker", fedl_json::Value::Int(1));
+        }
+        let events = handle.events().unwrap();
+        assert_eq!(events[0].get("epoch").unwrap().as_i64(), Some(4));
+        assert_eq!(events[0].get("worker").unwrap().as_i64(), Some(1));
+    }
+
+    #[test]
+    fn remote_parents_link_by_id_not_name() {
+        let (tel, handle) = Telemetry::in_memory();
+        let remote = SpanContext { trace_id: 0xabc, span_id: 0x123 };
+        {
+            let _adopted = tel.span_in("worker-phase", Some(remote));
+        }
+        {
+            let _unlinked = tel.span_in("worker-phase", None);
+        }
+        let events = handle.events().unwrap();
+        let adopted = &events[0];
+        assert_eq!(adopted.get("trace_id").unwrap().as_str(), Some("0000000000000abc"));
+        assert_eq!(adopted.get("parent_id").unwrap().as_str(), Some("0000000000000123"));
+        // The remote parent's name is unknown to this process.
+        assert!(adopted.get("parent").unwrap().is_null());
+        assert_eq!(adopted.get("depth").unwrap().as_i64(), Some(1));
+        // No context supplied: the span is still emitted, just unlinked.
+        let unlinked = &events[1];
+        assert!(unlinked.get("parent_id").unwrap().is_null());
+        assert_eq!(unlinked.get("depth").unwrap().as_i64(), Some(0));
+    }
+
+    #[test]
+    fn cross_thread_spans_keep_their_recorded_parents() {
+        // The regression this pins: a global span stack would let a
+        // pool thread's span nest under whatever span another thread
+        // happened to have open. With pass-the-parent, every child
+        // records the parent it was created under, concurrency be
+        // damned.
+        let (tel, handle) = Telemetry::in_memory();
+        let root = tel.span("root");
+        let root_ctx = root.ctx();
+        let threads: Vec<_> = (0..4)
+            .map(|i| {
+                let tel = tel.clone();
+                std::thread::spawn(move || {
+                    let mut worker = tel.span_in("worker", root_ctx);
+                    worker.field("thread", fedl_json::Value::Int(i));
+                    let _step = worker.child("step");
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        drop(root);
+        let events = handle.events().unwrap();
+        let root_id = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("root"))
+            .unwrap()
+            .get("span_id")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        let workers: Vec<_> =
+            events.iter().filter(|e| e.get("name").unwrap().as_str() == Some("worker")).collect();
+        assert_eq!(workers.len(), 4);
+        for w in &workers {
+            assert_eq!(w.get("parent_id").unwrap().as_str(), Some(root_id.as_str()));
+        }
+        // Each step span links to *its own* thread's worker span.
+        let steps: Vec<_> =
+            events.iter().filter(|e| e.get("name").unwrap().as_str() == Some("step")).collect();
+        assert_eq!(steps.len(), 4);
+        let worker_ids: std::collections::HashSet<&str> =
+            workers.iter().map(|w| w.get("span_id").unwrap().as_str().unwrap()).collect();
+        let step_parents: std::collections::HashSet<&str> =
+            steps.iter().map(|s| s.get("parent_id").unwrap().as_str().unwrap()).collect();
+        assert_eq!(step_parents, worker_ids);
+        assert_eq!(
+            steps.iter().map(|s| s.get("parent").unwrap().as_str()).collect::<Vec<_>>(),
+            vec![Some("worker"); 4]
+        );
+    }
+
+    #[test]
+    fn ids_round_trip_through_hex() {
+        for id in [0u64, 1, 0xdead_beef, u64::MAX] {
+            assert_eq!(SpanContext::parse_id(&SpanContext::fmt_id(id)), Some(id));
+        }
+        for bad in ["", "  12", "12 ", "+12", "-12", "0x12", "12345678901234567", "zz"] {
+            assert_eq!(SpanContext::parse_id(bad), None, "{bad:?} must not parse");
+        }
+        assert_eq!(SpanContext::parse_id("ff"), Some(255));
+        assert_eq!(SpanContext::parse_id("FF"), Some(255));
     }
 
     #[test]
     fn disabled_spans_do_nothing() {
         let tel = Telemetry::disabled();
         let span = tel.span("phase");
+        assert!(span.ctx().is_none());
+        assert!(span.child("sub").ctx().is_none());
         drop(span);
         tel.span("phase").cancel();
+        tel.span_in("phase", None).cancel();
         assert!(!tel.enabled());
     }
 }

@@ -110,13 +110,13 @@ fn span_tree_and_events_round_trip_as_jsonl() {
         vec![("seed", fedl_json::Value::Int(7)), ("budget", fedl_json::Value::Float(200.0))],
     );
     for _epoch in 0..3 {
-        let _e = tel.span("epoch");
+        let epoch = tel.span("epoch");
         {
-            let _s = tel.span("select");
+            let _s = epoch.child("select");
         }
         {
-            let _t = tel.span("train");
-            let _r = tel.span("round");
+            let train = epoch.child("train");
+            let _r = train.child("round");
         }
         tel.counter("epochs").incr();
     }
@@ -151,6 +151,24 @@ fn span_tree_and_events_round_trip_as_jsonl() {
             other => panic!("unexpected span {other}"),
         }
         assert!(span.get("secs").unwrap().as_f64().unwrap() >= 0.0);
+    }
+    // Id linkage agrees with name linkage: every child's parent_id is
+    // the span_id of a span carrying the claimed parent name, and all
+    // spans share one trace id.
+    let id_to_name: std::collections::HashMap<&str, &str> = spans
+        .iter()
+        .map(|s| {
+            (s.get("span_id").unwrap().as_str().unwrap(), s.get("name").unwrap().as_str().unwrap())
+        })
+        .collect();
+    let trace_ids: std::collections::HashSet<&str> =
+        spans.iter().map(|s| s.get("trace_id").unwrap().as_str().unwrap()).collect();
+    assert_eq!(trace_ids.len(), 1, "one process, one trace");
+    for span in &spans {
+        if let Some(parent_id) = span.get("parent_id").unwrap().as_str() {
+            let claimed = span.get("parent").unwrap().as_str().unwrap();
+            assert_eq!(id_to_name.get(parent_id).copied(), Some(claimed));
+        }
     }
 
     let stats = log.phase_stats();

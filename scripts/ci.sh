@@ -12,7 +12,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-STAGES=(build test doc fmt clippy telemetry checkpoint cache bench-gate bench-history scale serve dist dashboard overlay)
+STAGES=(build test doc fmt clippy telemetry checkpoint cache bench-gate bench-history scale serve dist trace dashboard overlay)
 
 run_exp() {
     cargo run --release --offline -p fedl-bench --bin experiments -- "$@"
@@ -213,6 +213,55 @@ stage_dist() {
         || { echo "quick snapshot is missing the dist/epoch_100k kernel" >&2; exit 1; }
     run_exp bench-history append "$out/BENCH.json" --history "$out/BENCH_HISTORY.jsonl"
     run_exp bench-history gate "$out/BENCH.json" --history "$out/BENCH_HISTORY.jsonl"
+    rm -rf "$out"
+}
+
+# Distributed tracing + live metrics plane (docs/TELEMETRY.md): a real
+# 2-worker spawned run with tracing on must merge into a cross-process
+# trace where every worker shard span resolves to a coordinator epoch
+# span (the "(100%)" linkage line), the HTML report must carry both
+# SVG panels, and a live `experiments stats` poll against the running
+# coordinator must answer with a non-empty registry snapshot mid-run.
+stage_trace() {
+    local out=target/ci_trace_stage
+    rm -rf "$out"
+    mkdir -p "$out"
+    local scenario=(--clients 40 --seed 11 --budget 1000000 --min-participants 3 --policy fedl)
+    cargo build --release --offline -p fedl-bench
+    run_exp dist --workers 2 "${scenario[@]}" --epochs 10 --out "$out/dist.jsonl" \
+        --telemetry "$out/trace.jsonl" \
+        --stats-addr 127.0.0.1:0 --stats-port-file "$out/stats.port"
+    for log in trace.jsonl trace.worker-0.jsonl trace.worker-1.jsonl; do
+        [ -s "$out/$log" ] || { echo "dist run did not write $log" >&2; exit 1; }
+    done
+    run_exp trace-report "$out/trace.jsonl" \
+        "$out/trace.worker-0.jsonl" "$out/trace.worker-1.jsonl" \
+        --html "$out/trace.html" | tee "$out/trace.txt"
+    grep -q '(100%)' "$out/trace.txt" \
+        || { echo "not every worker span resolved to a coordinator epoch" >&2; exit 1; }
+    grep -q 'critical-path attribution' "$out/trace.txt" \
+        || { echo "trace report is missing the critical-path table" >&2; exit 1; }
+    for panel in trace-waterfall trace-critical-path; do
+        grep -q "svg id=\"$panel\"" "$out/trace.html" \
+            || { echo "trace HTML is missing the $panel panel" >&2; exit 1; }
+    done
+
+    # Live stats: poll a running coordinator (the serve binary blocks
+    # until loadgen sends --shutdown, so the window is not racy).
+    rm -f "$out/port"
+    run_exp serve --addr 127.0.0.1:0 --port-file "$out/port" "${scenario[@]}" \
+        --telemetry "$out/serve.jsonl" &
+    local server_pid=$!
+    for _ in $(seq 300); do [ -s "$out/port" ] && break; sleep 0.1; done
+    [ -s "$out/port" ] || { echo "server never wrote its port file" >&2; exit 1; }
+    local addr="127.0.0.1:$(cat "$out/port")"
+    run_exp stats --addr "$addr" | tee "$out/stats.txt"
+    grep -q 'live stats from' "$out/stats.txt" \
+        || { echo "stats poll printed no snapshot header" >&2; exit 1; }
+    grep -q 'proto.frame_bytes' "$out/stats.txt" \
+        || { echo "stats snapshot is missing the wire histograms" >&2; exit 1; }
+    run_exp loadgen --addr "$addr" "${scenario[@]}" --epochs 4 --shutdown > /dev/null
+    wait "$server_pid"
     rm -rf "$out"
 }
 
