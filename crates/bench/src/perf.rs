@@ -315,7 +315,9 @@ fn suite_scale(kernels: &mut Vec<KernelStats>, budget: Duration, profile: Profil
     use fedl_core::rounding;
     use fedl_linalg::rng::{rng_for, Rng};
     use fedl_net::{ChannelModel, LatencyModel};
-    use fedl_sim::{ClientColumns, EnvConfig, EpochReport, ScaleTier};
+    use fedl_sim::{
+        ClientColumns, EnvConfig, EpochColumns, EpochRealizeScratch, EpochReport, ScaleTier,
+    };
 
     let tiers: &[ScaleTier] = match profile {
         Profile::Paper => &ScaleTier::ALL,
@@ -364,6 +366,18 @@ fn suite_scale(kernels: &mut Vec<KernelStats>, budget: Duration, profile: Profil
         measure_kernel(kernels, budget, &format!("scale/rounding_{label}"), || {
             let mut x = x0.clone();
             std::hint::black_box(rounding::rdcs(&mut x, &mut rng))
+        });
+
+        // The allocation-free time-axis realization (the serve/dist
+        // per-epoch front door); the warm scratch keeps steady-state
+        // iterations heap-free, so this measures draws, not malloc.
+        let mut scratch = EpochRealizeScratch::new();
+        let mut realized = EpochColumns::default();
+        let mut epoch = 0usize;
+        measure_kernel(kernels, budget, &format!("scale/epoch_realize_{label}"), || {
+            epoch += 1;
+            cols.epoch_columns_into(epoch, &config, &channel, &mut scratch, &mut realized);
+            std::hint::black_box(realized.cost[m - 1])
         });
     }
 }

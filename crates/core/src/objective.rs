@@ -33,7 +33,7 @@ impl FracDecision {
 }
 
 /// Coefficients of one epoch's decision problem.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct OneShot {
     /// Available client ids `E` (decision coordinates map 1:1 to these).
     pub ids: Vec<usize>,
@@ -96,16 +96,41 @@ impl OneShot {
     /// the first-order loss model scales with ρ) and
     /// `h^k = η̂_k·x_k·ρ − ρ + 1` (local convergence).
     pub fn h_value(&self, x: &[f64], rho: f64) -> Vec<f64> {
+        let mut h = Vec::with_capacity(self.dim());
+        self.h_value_into(x, rho, &mut h);
+        h
+    }
+
+    /// [`OneShot::h_value`] written into a caller-owned vector (cleared
+    /// first); steady-state reuse performs no allocation.
+    pub fn h_value_into(&self, x: &[f64], rho: f64, h: &mut Vec<f64>) {
         self.check();
         assert_eq!(x.len(), self.ids.len(), "x arity");
         let avail = self.ids.len() as f64;
-        let mut h = Vec::with_capacity(self.dim());
+        h.clear();
+        h.reserve(self.dim());
         let mix = det_dot(x, &self.g);
         h.push(self.loss_all + rho * mix / avail - self.theta);
         for (xi, ei) in x.iter().zip(&self.eta) {
             h.push(ei * xi * rho - rho + 1.0);
         }
-        h
+    }
+
+    /// Overwrites `self` with `other`, reusing the existing vector
+    /// buffers (a `clone_from` that actually recycles capacity — the
+    /// derived `Clone` would reallocate).
+    pub fn copy_from(&mut self, other: &OneShot) {
+        self.ids.clone_from(&other.ids);
+        self.tau.clone_from(&other.tau);
+        self.costs.clone_from(&other.costs);
+        self.eta.clone_from(&other.eta);
+        self.g.clone_from(&other.g);
+        self.bonus.clone_from(&other.bonus);
+        self.loss_all = other.loss_all;
+        self.theta = other.theta;
+        self.min_participants = other.min_participants;
+        self.budget = other.budget;
+        self.rho_max = other.rho_max;
     }
 
     /// The (latency) objective `f_t(z) = ρ·Σ x_k·τ_k` (paper §4.2 — the
@@ -169,16 +194,29 @@ impl OneShot {
     /// over the feasible set, via projected gradient descent. `mu` is
     /// `[μ⁰, μ¹ … μ^K]` aligned with [`OneShot::h_value`].
     pub fn descend(&self, prev: &FracDecision, mu: &[f64], beta: f64) -> FracDecision {
+        self.descend_from(&prev.x, prev.rho, mu, beta)
+    }
+
+    /// [`OneShot::descend`] with the anchor passed as bare slices, so
+    /// callers holding the anchor in reusable buffers need not assemble
+    /// a [`FracDecision`] first.
+    pub fn descend_from(
+        &self,
+        x_prev: &[f64],
+        rho_prev: f64,
+        mu: &[f64],
+        beta: f64,
+    ) -> FracDecision {
         self.check();
         let k = self.ids.len();
-        assert_eq!(prev.x.len(), k, "anchor arity");
+        assert_eq!(x_prev.len(), k, "anchor arity");
         assert_eq!(mu.len(), k + 1, "multiplier arity");
         assert!(beta > 0.0, "non-positive step size");
         assert!(mu.iter().all(|&m| m >= 0.0), "negative multiplier");
 
-        let mut z_prev: Vec<f64> = prev.x.clone();
-        z_prev.push(prev.rho.clamp(1.0, self.rho_max));
-        let grad_f = self.f_grad_at(&prev.x, z_prev[k]);
+        let mut z_prev: Vec<f64> = x_prev.to_vec();
+        z_prev.push(rho_prev.clamp(1.0, self.rho_max));
+        let grad_f = self.f_grad_at(x_prev, z_prev[k]);
         let avail = k as f64;
 
         let objective = {

@@ -14,8 +14,37 @@ use crate::objective::{FracDecision, OneShot};
 use crate::policy::EpochContext;
 use crate::state::LearnerState;
 use fedl_json::{obj, read_field, FromJson, ToJson, Value};
-use fedl_linalg::par::{det_sum, par_zip_chunks};
+use fedl_linalg::par::{det_sum, par_zip_chunks_grained};
 use fedl_sim::EpochReport;
+
+/// Sequential grain for the learner's columnar passes: cohorts up to
+/// this size run inline on the caller with zero dispatch overhead (and
+/// zero allocation); only the large scale tiers fan out to the pool.
+/// Purely a scheduling knob — results are bit-identical either way
+/// because every pass is element-independent.
+const COLUMN_GRAIN: usize = 2048;
+
+/// Reusable buffers for the learner's per-epoch passes
+/// ([`OnlineLearner::build_problem_into`] / [`OnlineLearner::decide`] /
+/// [`OnlineLearner::observe`]). Not part of the learner's logical state:
+/// excluded from snapshots and comparisons, rebuilt empty on restore.
+#[derive(Debug, Clone, Default)]
+struct LearnerScratch {
+    /// Dense availability mask by client id.
+    mask: Vec<bool>,
+    /// Dense latency hints by client id.
+    hint: Vec<f64>,
+    /// Anchor decision for the descent step.
+    anchor_x: Vec<f64>,
+    /// Gathered multipliers `[μ⁰, μ^k…]` for the available clients.
+    mu_gather: Vec<f64>,
+    /// Observed-constraint copy of the decision problem.
+    observed: OneShot,
+    /// Observed constraint vector `h_t(Φ̃_t)`.
+    h: Vec<f64>,
+    /// `h` scattered into a dense id-indexed column.
+    h_dense: Vec<f64>,
+}
 
 /// Step sizes β (primal) and δ (dual).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,6 +102,8 @@ pub struct OnlineLearner {
     /// rarely-selected clients a standing objective discount — the
     /// paper's stated future-work direction).
     fairness_weight: f64,
+    /// Reusable per-epoch buffers (not logical state; not serialized).
+    scratch: LearnerScratch,
 }
 
 impl OnlineLearner {
@@ -97,6 +128,7 @@ impl OnlineLearner {
             theta,
             rho_max,
             fairness_weight: 0.0,
+            scratch: LearnerScratch::default(),
         }
     }
 
@@ -138,13 +170,27 @@ impl OnlineLearner {
     /// Assembles the one-shot problem for this epoch from current prices
     /// and remembered observations, as dense column passes.
     pub fn build_problem(&mut self, ctx: &EpochContext) -> OneShot {
+        let mut out = OneShot::default();
+        self.build_problem_into(ctx, &mut out);
+        out
+    }
+
+    /// [`OnlineLearner::build_problem`] written into a caller-owned
+    /// problem (all coefficient vectors reshaped in place); steady-state
+    /// reuse of the same `OneShot` performs no allocation.
+    pub fn build_problem_into(&mut self, ctx: &EpochContext, out: &mut OneShot) {
         ctx.validate();
         let m = self.state.len();
         let a = ctx.available.len();
+        let scratch = &mut self.scratch;
         // Scatter the per-available hints into dense id-indexed columns
         // (serial: writes land at arbitrary ids).
-        let mut mask = vec![false; m];
-        let mut hint = vec![0.0; m];
+        let mask = &mut scratch.mask;
+        mask.clear();
+        mask.resize(m, false);
+        let hint = &mut scratch.hint;
+        hint.clear();
+        hint.resize(m, 0.0);
         for (pos, &k) in ctx.available.iter().enumerate() {
             assert!(k < m, "unknown client {k}");
             mask[k] = true;
@@ -154,44 +200,41 @@ impl OnlineLearner {
         // fresh observable data for every available client, selected
         // or not — so fold it into the estimates before reading them
         // (the dense UCB score-update kernel).
-        self.state.fold_latency(&mask, &hint);
+        self.state.fold_latency(mask, hint);
         // Gather the one-shot vectors from the columns at the available
-        // ids (sharded, read-only).
+        // ids (sharded above the grain, read-only).
         let cols = self.state.columns();
-        let gather = |col: &[f64]| {
-            let mut out = vec![0.0; a];
-            par_zip_chunks(&mut out, 1, &ctx.available, 1, |_, o, id| o[0] = col[id[0]]);
-            out
+        let gather = |col: &[f64], out: &mut Vec<f64>| {
+            out.clear();
+            out.resize(a, 0.0);
+            par_zip_chunks_grained(out, 1, &ctx.available, 1, COLUMN_GRAIN, |_, o, id| {
+                o[0] = col[id[0]]
+            });
         };
-        let tau = gather(&cols.tau);
-        let eta = gather(&cols.eta);
-        let g = gather(&cols.g);
+        gather(&cols.tau, &mut out.tau);
+        gather(&cols.eta, &mut out.eta);
+        gather(&cols.g, &mut out.g);
         let fairness = self.fairness_weight;
         let observations = &cols.observations;
-        let mut bonus = vec![0.0; a];
-        par_zip_chunks(&mut bonus, 1, &ctx.available, 1, |_, o, id| {
+        let bonus = &mut out.bonus;
+        bonus.clear();
+        bonus.resize(a, 0.0);
+        par_zip_chunks_grained(bonus, 1, &ctx.available, 1, COLUMN_GRAIN, |_, o, id| {
             o[0] = fairness / (1.0 + observations[id[0]] as f64);
         });
-        let loss_all = if self.state.last_global_loss.is_finite() {
+        out.loss_all = if self.state.last_global_loss.is_finite() {
             self.state.last_global_loss
         } else {
             // No observation yet: seed with the loss hints' mean.
             det_sum(0.0, ctx.loss_hint.len(), |i| ctx.loss_hint[i])
                 / ctx.loss_hint.len().max(1) as f64
         };
-        OneShot {
-            ids: ctx.available.clone(),
-            tau,
-            costs: ctx.costs.clone(),
-            eta,
-            g,
-            bonus,
-            loss_all,
-            theta: self.theta,
-            min_participants: ctx.min_participants,
-            budget: ctx.remaining_budget,
-            rho_max: self.rho_max,
-        }
+        out.ids.clone_from(&ctx.available);
+        out.costs.clone_from(&ctx.costs);
+        out.theta = self.theta;
+        out.min_participants = ctx.min_participants;
+        out.budget = ctx.remaining_budget;
+        out.rho_max = self.rho_max;
     }
 
     /// The modified descent step (paper eq. (8)): produces the fractional
@@ -205,16 +248,21 @@ impl OnlineLearner {
             self.state.ensure_touched(k, ctx.latency_hint[pos]);
         }
         let cols = self.state.columns();
-        let mut anchor_x = vec![0.0; ctx.available.len()];
-        par_zip_chunks(&mut anchor_x, 1, &ctx.available, 1, |_, o, id| {
+        let anchor_x = &mut self.scratch.anchor_x;
+        anchor_x.clear();
+        anchor_x.resize(ctx.available.len(), 0.0);
+        par_zip_chunks_grained(anchor_x, 1, &ctx.available, 1, COLUMN_GRAIN, |_, o, id| {
             o[0] = cols.last_x[id[0]];
         });
-        let anchor = FracDecision { x: anchor_x, rho: self.state.last_rho };
-        let mut mu = vec![0.0; ctx.available.len() + 1];
+        let mu = &mut self.scratch.mu_gather;
+        mu.clear();
+        mu.resize(ctx.available.len() + 1, 0.0);
         mu[0] = self.mu0;
         let mu_col = &self.mu;
-        par_zip_chunks(&mut mu[1..], 1, &ctx.available, 1, |_, o, id| o[0] = mu_col[id[0]]);
-        problem.descend(&anchor, &mu, self.steps.beta)
+        par_zip_chunks_grained(&mut mu[1..], 1, &ctx.available, 1, COLUMN_GRAIN, |_, o, id| {
+            o[0] = mu_col[id[0]]
+        });
+        problem.descend_from(anchor_x, self.state.last_rho, mu, self.steps.beta)
     }
 
     /// Observation + dual ascent (paper eq. (9)): fold the realized epoch
@@ -260,7 +308,9 @@ impl OnlineLearner {
 
         // Observed constraint vector h_t(Φ̃_t): same structure as the
         // decision problem but with realized η̂ and realized global loss.
-        let mut observed = problem.clone();
+        let scratch = &mut self.scratch;
+        let observed = &mut scratch.observed;
+        observed.copy_from(problem);
         observed.loss_all = report.global_loss_all;
         for (slot, &k) in report.cohort.iter().enumerate() {
             if let Some(pos) = pos_of(k) {
@@ -268,21 +318,26 @@ impl OnlineLearner {
                 observed.g[pos] = report.grad_dot_delta[slot] as f64;
             }
         }
-        let h = observed.h_value(&frac.x, frac.rho);
+        let h = &mut scratch.h;
+        observed.h_value_into(&frac.x, frac.rho, h);
         self.mu0 = (self.mu0 + self.steps.delta * h[0]).max(0.0);
         // Dual ascent (eq. (9)) as a masked dense kernel pass over the
         // multiplier column: scatter h into an id-indexed column, then
         // update only the available rows (a client's multiplier persists
         // untouched across the epochs it is unavailable).
         let m = self.state.len();
-        let mut h_dense = vec![0.0; m];
-        let mut mask = vec![false; m];
+        let h_dense = &mut scratch.h_dense;
+        h_dense.clear();
+        h_dense.resize(m, 0.0);
+        let mask = &mut scratch.mask;
+        mask.clear();
+        mask.resize(m, false);
         for (pos, &k) in ctx.available.iter().enumerate() {
             h_dense[k] = h[1 + pos];
             mask[k] = true;
         }
         let delta = self.steps.delta;
-        par_zip_chunks(&mut self.mu, 1, &h_dense, 1, |k, mu, h| {
+        par_zip_chunks_grained(&mut self.mu, 1, h_dense, 1, COLUMN_GRAIN, |k, mu, h| {
             if mask[k] {
                 mu[0] = (mu[0] + delta * h[0]).max(0.0);
             }
@@ -314,6 +369,7 @@ impl FromJson for OnlineLearner {
             theta: read_field(v, "theta")?,
             rho_max: read_field(v, "rho_max")?,
             fairness_weight: read_field(v, "fairness_weight")?,
+            scratch: LearnerScratch::default(),
         })
     }
 }

@@ -11,6 +11,8 @@
 //! consumption (same draws, same outputs, bit for bit) by tests here and
 //! in `tests/columnar_parity.rs`.
 
+use std::cell::RefCell;
+
 use fedl_linalg::rng::Rng;
 
 /// Tolerance below/above which a coordinate counts as integral.
@@ -23,17 +25,32 @@ fn is_fractional(v: f64) -> bool {
 /// Fenwick (binary-indexed) tree over a 0/1 membership vector,
 /// supporting `O(log n)` rank-`k` selection and removal. Ranks and
 /// returned indices are 0-based.
+#[derive(Default)]
 struct ActiveSet {
     tree: Vec<u32>,
     len: usize,
     count: usize,
+    /// `len.next_power_of_two()`, the starting stride of `select`.
+    top: usize,
 }
 
 impl ActiveSet {
     /// Builds the tree in `O(n)` from a membership iterator.
+    #[cfg(test)]
     fn new(members: impl ExactSizeIterator<Item = bool>) -> Self {
+        let mut set = ActiveSet::default();
+        set.rebuild(members);
+        set
+    }
+
+    /// Builds the tree into this instance's existing storage; reusing
+    /// an `ActiveSet` across calls performs no allocation once the tree
+    /// capacity has grown to the largest vector seen.
+    fn rebuild(&mut self, members: impl ExactSizeIterator<Item = bool>) {
         let len = members.len();
-        let mut tree = vec![0u32; len + 1];
+        let tree = &mut self.tree;
+        tree.clear();
+        tree.resize(len + 1, 0);
         let mut count = 0usize;
         for (i, m) in members.enumerate() {
             if m {
@@ -47,7 +64,9 @@ impl ActiveSet {
                 tree[parent] += tree[i];
             }
         }
-        ActiveSet { tree, len, count }
+        self.len = len;
+        self.count = count;
+        self.top = len.next_power_of_two();
     }
 
     /// Index of the rank-`k` member (the `k`-th smallest active index).
@@ -56,7 +75,7 @@ impl ActiveSet {
     fn select(&self, k: usize) -> usize {
         let mut pos = 0usize;
         let mut remaining = k + 1;
-        let mut step = self.len.next_power_of_two();
+        let mut step = self.top;
         while step > 0 {
             let next = pos + step;
             if next <= self.len && (self.tree[next] as usize) < remaining {
@@ -79,6 +98,25 @@ impl ActiveSet {
         }
         self.count -= 1;
     }
+}
+
+/// Reusable working storage for [`rdcs_with`]: the Fenwick tree over the
+/// fractional coordinate set. Reusing one of these across rounding calls
+/// makes the steady-state pass allocation-free.
+#[derive(Default)]
+pub struct RdcsScratch {
+    active: ActiveSet,
+}
+
+impl RdcsScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<RdcsScratch> = RefCell::new(RdcsScratch::new());
 }
 
 /// Rounds the fractional selection vector in place with RDCS.
@@ -107,6 +145,24 @@ impl ActiveSet {
 /// assert!(x.iter().all(|&v| v == 0.0 || v == 1.0));
 /// ```
 pub fn rdcs(x: &mut [f64], rng: &mut impl Rng) -> Vec<usize> {
+    let mut selected = Vec::new();
+    // Move the thread's scratch out and back (rather than holding the
+    // borrow) so a re-entrant call cannot panic.
+    let mut scratch = SCRATCH.with(|s| s.take());
+    rdcs_with(x, rng, &mut scratch, &mut selected);
+    SCRATCH.with(|s| *s.borrow_mut() = scratch);
+    selected
+}
+
+/// [`rdcs`] with caller-owned working storage and output vector: the
+/// steady-state form performs no heap allocation. Consumes the same RNG
+/// stream and produces the same rounding as [`rdcs`] bit for bit.
+pub fn rdcs_with(
+    x: &mut [f64],
+    rng: &mut impl Rng,
+    scratch: &mut RdcsScratch,
+    selected: &mut Vec<usize>,
+) {
     for (i, &v) in x.iter().enumerate() {
         assert!(
             (-INT_TOL..=1.0 + INT_TOL).contains(&v),
@@ -116,7 +172,8 @@ pub fn rdcs(x: &mut [f64], rng: &mut impl Rng) -> Vec<usize> {
     // The fractional set as an order-statistics tree: `select(r)` is
     // exactly `frac[r]` of the reference's ascending re-scan, so the RNG
     // stream below is consumed identically to `rdcs_reference`.
-    let mut active = ActiveSet::new(x.iter().map(|&v| is_fractional(v)));
+    let active = &mut scratch.active;
+    active.rebuild(x.iter().map(|&v| is_fractional(v)));
     while active.count >= 2 {
         // Randomly choose the pair (Alg. 2 line 1).
         let a = active.select(rng.gen_range(0..active.count));
@@ -154,7 +211,8 @@ pub fn rdcs(x: &mut [f64], rng: &mut impl Rng) -> Vec<usize> {
     for v in x.iter_mut() {
         *v = if *v > 0.5 { 1.0 } else { 0.0 };
     }
-    (0..x.len()).filter(|&i| x[i] == 1.0).collect()
+    selected.clear();
+    selected.extend((0..x.len()).filter(|&i| x[i] == 1.0));
 }
 
 /// The pre-Fenwick RDCS implementation — a direct transcription of

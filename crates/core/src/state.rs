@@ -20,10 +20,16 @@
 //! representation, so existing fedl-store checkpoints load unmodified.
 
 use fedl_json::{obj, read_field, FromJson, ToJson, Value};
-use fedl_linalg::par::par_zip_chunks;
+use fedl_linalg::par::par_zip_chunks_grained;
 
 /// EMA smoothing factor: weight of the newest observation.
 const EMA_ALPHA: f64 = 0.5;
+
+/// Sequential grain for the column passes: federations up to this size
+/// run the fold inline (zero dispatch, zero allocation); the large scale
+/// tiers fan out to the worker pool. Scheduling only — per-element
+/// arithmetic is independent, so results are bit-identical either way.
+const COLUMN_GRAIN: usize = 2048;
 
 /// Observation memory for one client.
 #[derive(Debug, Clone)]
@@ -209,7 +215,7 @@ impl LearnerState {
         assert_eq!(hint.len(), m, "hint arity");
         let touched = &self.cols.touched;
         // τ pass: EMA for touched rows, prior-then-EMA for fresh ones.
-        par_zip_chunks(&mut self.cols.tau, 1, hint, 1, |k, tau, h| {
+        par_zip_chunks_grained(&mut self.cols.tau, 1, hint, 1, COLUMN_GRAIN, |k, tau, h| {
             if mask[k] {
                 let old = if touched[k] { tau[0] } else { h[0].max(1e-6) };
                 tau[0] = ema(old, h[0]);
@@ -217,23 +223,25 @@ impl LearnerState {
         });
         // Prior passes for the remaining columns of fresh rows.
         let prior = ClientStats::prior(1.0, self.prior_x);
-        par_zip_chunks(&mut self.cols.eta, 1, mask, 1, |k, eta, m| {
+        par_zip_chunks_grained(&mut self.cols.eta, 1, mask, 1, COLUMN_GRAIN, |k, eta, m| {
             if m[0] && !touched[k] {
                 eta[0] = prior.eta;
             }
         });
-        par_zip_chunks(&mut self.cols.g, 1, mask, 1, |k, g, m| {
+        par_zip_chunks_grained(&mut self.cols.g, 1, mask, 1, COLUMN_GRAIN, |k, g, m| {
             if m[0] && !touched[k] {
                 g[0] = prior.g;
             }
         });
-        par_zip_chunks(&mut self.cols.last_x, 1, mask, 1, |k, x, m| {
+        par_zip_chunks_grained(&mut self.cols.last_x, 1, mask, 1, COLUMN_GRAIN, |k, x, m| {
             if m[0] && !touched[k] {
                 x[0] = prior.last_x;
             }
         });
         // Membership pass last — the other passes read the old mask.
-        par_zip_chunks(&mut self.cols.touched, 1, mask, 1, |_, t, m| t[0] |= m[0]);
+        par_zip_chunks_grained(&mut self.cols.touched, 1, mask, 1, COLUMN_GRAIN, |_, t, m| {
+            t[0] |= m[0]
+        });
     }
 
     /// Folds a realized cohort observation into client `k`'s row —

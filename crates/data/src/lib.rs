@@ -90,11 +90,18 @@ impl Dataset {
     /// One-hot label matrix (`n_samples x num_classes`), the target format
     /// for the cross-entropy loss.
     pub fn one_hot_labels(&self) -> Matrix {
-        let mut m = Matrix::zeros(self.len(), self.num_classes);
-        for (r, &l) in self.labels.iter().enumerate() {
-            m.set(r, l, 1.0);
-        }
+        let mut m = Matrix::default();
+        self.one_hot_labels_into(&mut m);
         m
+    }
+
+    /// [`Dataset::one_hot_labels`] written into a caller-owned matrix
+    /// (reshaped and zeroed); steady-state reuse performs no allocation.
+    pub fn one_hot_labels_into(&self, out: &mut Matrix) {
+        out.resize_to(self.len(), self.num_classes);
+        for (r, &l) in self.labels.iter().enumerate() {
+            out.set(r, l, 1.0);
+        }
     }
 
     /// Per-class sample counts.

@@ -30,7 +30,7 @@ use fedl_serve::proto::{
 };
 use fedl_serve::transport::FrameTransport;
 use fedl_serve::{synth_learning_signals, Control, ServeConfig, ServeExit};
-use fedl_sim::ClientColumns;
+use fedl_sim::{ClientColumns, EpochColumns, EpochRealizeScratch};
 use fedl_store::{read_envelope, write_envelope};
 use fedl_telemetry::Telemetry;
 
@@ -91,6 +91,13 @@ struct Assignment {
     shard: Range<usize>,
     fingerprint: String,
     epochs_served: usize,
+    /// Reusable epoch-realization buffers: context frames realize two
+    /// epochs and train frames one, so steady state refills these in
+    /// place instead of allocating full-length columns per frame.
+    /// Runtime-only — the shard checkpoint never records them.
+    realize: EpochRealizeScratch,
+    now: EpochColumns,
+    hint: EpochColumns,
 }
 
 /// The worker's event-loop state; [`Self::handle_frame`] is the entire
@@ -374,6 +381,9 @@ impl WorkerState {
             shard: shard_start..shard_end,
             fingerprint: fingerprint.clone(),
             epochs_served,
+            realize: EpochRealizeScratch::new(),
+            now: EpochColumns::default(),
+            hint: EpochColumns::default(),
         });
         self.save_checkpoint();
         (Message::ShardReady { shard_start, shard_end, fingerprint }, Control::Continue)
@@ -387,18 +397,29 @@ impl WorkerState {
                 detail: format!("ShardContext for epoch {epoch} before any ShardAssign"),
             });
         };
-        let now = a.cols.epoch_columns_partial(epoch, &a.config.env, &a.channel, a.shard.clone());
+        a.cols.epoch_columns_partial_into(
+            epoch,
+            &a.config.env,
+            &a.channel,
+            a.shard.clone(),
+            &mut a.realize,
+            &mut a.now,
+        );
         // 0-lookahead hints from the previous epoch's realization
-        // (epoch 0 hints from its own), exactly like `select_for_epoch`.
-        let hint = if epoch == 0 {
-            now.clone()
-        } else {
-            a.cols.epoch_columns_partial(epoch - 1, &a.config.env, &a.channel, a.shard.clone())
-        };
+        // (epoch 0 hints from its own — re-realized rather than cloned,
+        // identical bits either way), exactly like `select_for_epoch`.
+        a.cols.epoch_columns_partial_into(
+            epoch.saturating_sub(1),
+            &a.config.env,
+            &a.channel,
+            a.shard.clone(),
+            &mut a.realize,
+            &mut a.hint,
+        );
         let part = scale_context_part(
             &a.cols,
-            &hint,
-            &now,
+            &a.hint,
+            &a.now,
             &a.latency,
             a.config.min_participants,
             a.shard.clone(),
@@ -442,9 +463,17 @@ impl WorkerState {
                 ),
             });
         }
-        let now = a.cols.epoch_columns_partial(epoch, &a.config.env, &a.channel, a.shard.clone());
+        a.cols.epoch_columns_partial_into(
+            epoch,
+            &a.config.env,
+            &a.channel,
+            a.shard.clone(),
+            &mut a.realize,
+            &mut a.now,
+        );
+        let now = &a.now;
         let share = a.config.min_participants.max(1);
-        let per_client_iter_latency = nominal_latency(&a.cols, &now, &a.latency, share, &members);
+        let per_client_iter_latency = nominal_latency(&a.cols, now, &a.latency, share, &members);
         let costs: Vec<f64> = members.iter().map(|&k| now.cost[k]).collect();
         let mut eta_hats = Vec::with_capacity(members.len());
         let mut grad_dot_delta = Vec::with_capacity(members.len());

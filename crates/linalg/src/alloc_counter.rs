@@ -1,0 +1,91 @@
+//! Counting global allocator for allocation-regression tests.
+//!
+//! [`CountingAllocator`] wraps [`std::alloc::System`] and counts every
+//! allocation (and reallocation) it serves. Integration-test binaries
+//! that assert zero-steady-state-allocation hot paths install it as
+//! their `#[global_allocator]`:
+//!
+//! ```text
+//! use fedl_linalg::alloc_counter::CountingAllocator;
+//!
+//! #[global_allocator]
+//! static ALLOC: CountingAllocator = CountingAllocator::new();
+//!
+//! let before = ALLOC.allocations();
+//! hot_path();
+//! assert_eq!(ALLOC.allocations(), before);
+//! ```
+//!
+//! The module ships in the library (a `#[global_allocator]` cannot be
+//! exported from another crate's `#[cfg(test)]` code), but production
+//! binaries never install it — counting only happens in the dedicated
+//! test binaries that declare the static, so the default allocator
+//! elsewhere is untouched.
+//!
+//! Counters use relaxed atomics: the regression tests run their
+//! measured region single-threaded (see `force_max_threads` in
+//! [`crate::par`]), so precise cross-thread ordering is not needed.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A [`System`]-backed allocator that counts allocations and bytes.
+#[derive(Debug)]
+pub struct CountingAllocator {
+    allocations: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl CountingAllocator {
+    /// A fresh counter around the system allocator.
+    pub const fn new() -> Self {
+        Self { allocations: AtomicU64::new(0), bytes: AtomicU64::new(0) }
+    }
+
+    /// Total allocations served so far (allocs + grows/shrinks that
+    /// moved memory through `realloc`).
+    pub fn allocations(&self) -> u64 {
+        self.allocations.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes requested so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for CountingAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY (audited exception to the crate-wide `deny(unsafe_code)`,
+// like the pool's lifetime erasure): every method forwards verbatim to
+// `System`, which upholds the `GlobalAlloc` contract; the only added
+// behavior is relaxed counter increments, which cannot affect the
+// returned memory.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}

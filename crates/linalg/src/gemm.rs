@@ -1,33 +1,310 @@
-//! Thread-parallel GEMM kernels.
+//! Cache-blocked, SIMD-friendly GEMM kernels (docs/PERF.md).
 //!
-//! The training substrate's hot loop is `batch × weights` products. The
-//! kernel here is a classic row-parallel, k-outer "axpy" formulation that
-//! vectorizes well: for each output row we accumulate `a[r][k] * b[k][..]`
-//! into the row, which walks both `b` and the output contiguously (unit
-//! stride), avoiding the column gather of a naive inner-product GEMM.
-//! Rows are distributed across the [`crate::par`] scoped thread team
-//! above a size threshold; small products stay sequential to avoid
-//! fork-join overhead.
+//! All three products (`A·B`, `Aᵀ·B`, `A·Bᵀ`) share one blocked driver:
+//! the k dimension is split into [`KC`]-deep slabs, `B` is packed once
+//! per slab into [`NR`]-wide column panels, and the output rows are
+//! split into [`MC`]-high blocks whose `A` strips are packed into
+//! [`MR`]-high row panels, feeding an `MR×NR` register micro-kernel.
+//! Packing turns every inner-loop access into a unit-stride streaming
+//! read, which is what lets the compiler vectorize the micro-kernel.
+//!
+//! Determinism: each output element is accumulated strictly in
+//! ascending-`k` order — the micro-kernel seeds its accumulator tile
+//! from `C` and the `KC` slabs are walked in order — so the
+//! floating-point association is a pure function of the operand shapes.
+//! Parallelism only ever distributes whole [`MC`] row blocks (disjoint
+//! output rows, no cross-task reduction), so the result is bit-identical
+//! for any thread count, any `FEDL_THREADS` setting, and across
+//! repeated calls; `tests/gemm_parity.rs` pins this. The ascending-`k`
+//! fold also matches the pre-blocking kernels bit-for-bit on finite
+//! inputs, so historical results stay valid.
+//!
+//! Packing buffers are thread-local and reused across calls: a
+//! steady-state product performs zero heap allocation once each
+//! thread's buffers have grown to the workload's high-water mark.
+
+use std::cell::RefCell;
+use std::sync::OnceLock;
 
 use crate::par;
+use crate::pool;
 use crate::Matrix;
 
-/// Below this many multiply-adds the parallel dispatch costs more than it
-/// saves, so the kernel runs sequentially. Chosen by the `linalg` bench
-/// on an 8-core box; correctness does not depend on it.
-const PAR_THRESHOLD_FLOPS: usize = 64 * 64 * 64;
+/// Micro-kernel tile height: rows of `C` updated per register tile.
+const MR: usize = 8;
+/// Micro-kernel tile width: columns of `C` updated per register tile.
+const NR: usize = 16;
+/// k-depth of one packed slab (`B` panel reuse distance).
+const KC: usize = 256;
+/// Rows per parallel work unit; a multiple of [`MR`]. One `A` block is
+/// `MC×KC×4 B = 64 KiB`, sized to live in L2 while its packed `B` slab
+/// streams through.
+const MC: usize = 64;
 
-#[inline]
-fn matmul_row(a_row: &[f32], b: &Matrix, out_row: &mut [f32]) {
-    out_row.fill(0.0);
-    for (k, &aik) in a_row.iter().enumerate() {
-        if aik == 0.0 {
-            continue;
+/// Default sequential/parallel cutover in multiply-adds.
+///
+/// Derivation (docs/PERF.md has the full procedure): dispatching a
+/// batch through the worker pool costs on the order of 10 µs, and one
+/// core sustains roughly 10 Gflop/s in the blocked kernel, i.e. ~100 k
+/// multiply-adds per 10 µs. Requiring the kernel body to outweigh the
+/// dispatch by ~2.5× gives 256 k flops (≈ a 64³ product). Override
+/// with `FEDL_GEMM_PAR_FLOPS` (read once per process) when tuning for
+/// different hardware.
+const DEFAULT_PAR_THRESHOLD_FLOPS: usize = 256 * 1024;
+
+/// The active sequential/parallel cutover in multiply-adds:
+/// `FEDL_GEMM_PAR_FLOPS` when set to a positive integer, otherwise the
+/// built-in default (256 Ki flops). Cached on first use.
+pub fn gemm_par_threshold_flops() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::env::var("FEDL_GEMM_PAR_FLOPS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_PAR_THRESHOLD_FLOPS)
+    })
+}
+
+thread_local! {
+    /// Per-thread packed `A` block (`MC×KC` high-water mark).
+    static PACK_A: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread packed `B` slab (`KC×n` high-water mark).
+    static PACK_B: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Whether an operand participates transposed (without materializing).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Orient {
+    /// Element `(i, k)` lives at `data[i * ld + k]`.
+    Normal,
+    /// Element `(i, k)` lives at `data[k * ld + i]`.
+    Transposed,
+}
+
+/// Packs the `kc`-deep, `mrows`-high block of `A` starting at
+/// `(i0, k0)` into `MR`-high panels: panel `ip`, depth `kk` holds the
+/// `MR` values `A[i0 + ip·MR .. ][k0 + kk]`, zero-padded past the last
+/// row. Padded lanes only ever feed discarded accumulator rows.
+#[allow(clippy::too_many_arguments)] // blocking geometry is the signature
+fn pack_a(
+    a: &[f32],
+    lda: usize,
+    orient: Orient,
+    i0: usize,
+    mrows: usize,
+    k0: usize,
+    kc: usize,
+    buf: &mut Vec<f32>,
+) {
+    let panels = mrows.div_ceil(MR);
+    buf.clear();
+    buf.resize(panels * kc * MR, 0.0);
+    for ip in 0..panels {
+        let rows = MR.min(mrows - ip * MR);
+        let panel = &mut buf[ip * kc * MR..(ip + 1) * kc * MR];
+        match orient {
+            Orient::Normal => {
+                for ir in 0..rows {
+                    let src = &a[(i0 + ip * MR + ir) * lda + k0..][..kc];
+                    for (kk, &v) in src.iter().enumerate() {
+                        panel[kk * MR + ir] = v;
+                    }
+                }
+            }
+            Orient::Transposed => {
+                for kk in 0..kc {
+                    let src = &a[(k0 + kk) * lda + i0 + ip * MR..][..rows];
+                    panel[kk * MR..kk * MR + rows].copy_from_slice(src);
+                }
+            }
         }
-        let b_row = b.row(k);
-        for (o, &bkj) in out_row.iter_mut().zip(b_row) {
-            *o += aik * bkj;
+    }
+}
+
+/// Packs the `kc`-deep slab of `B` starting at row `k0` into `NR`-wide
+/// column panels: panel `jp`, depth `kk` holds the `NR` values
+/// `B[k0 + kk][jp·NR ..]`, zero-padded past the last column.
+fn pack_b(
+    b: &[f32],
+    ldb: usize,
+    orient: Orient,
+    k0: usize,
+    kc: usize,
+    n: usize,
+    buf: &mut Vec<f32>,
+) {
+    let panels = n.div_ceil(NR);
+    buf.clear();
+    buf.resize(panels * kc * NR, 0.0);
+    for jp in 0..panels {
+        let cols = NR.min(n - jp * NR);
+        let panel = &mut buf[jp * kc * NR..(jp + 1) * kc * NR];
+        match orient {
+            Orient::Normal => {
+                for kk in 0..kc {
+                    let src = &b[(k0 + kk) * ldb + jp * NR..][..cols];
+                    panel[kk * NR..kk * NR + cols].copy_from_slice(src);
+                }
+            }
+            Orient::Transposed => {
+                for jr in 0..cols {
+                    let src = &b[(jp * NR + jr) * ldb + k0..][..kc];
+                    for (kk, &v) in src.iter().enumerate() {
+                        panel[kk * NR + jr] = v;
+                    }
+                }
+            }
         }
+    }
+}
+
+// The unrolled micro-kernel below spells out one accumulator row per
+// MR line; keep the constant honest.
+const _: () = assert!(MR == 8, "micro_kernel is unrolled for MR == 8");
+
+/// One fused row update `acc + a·b` over an `NR`-wide lane group.
+/// By-value arrays keep the accumulator rows SSA values, which is what
+/// lets the compiler pin each row to a vector register instead of
+/// round-tripping a stack slot per `k` step.
+#[inline(always)]
+fn fma_row(mut acc: [f32; NR], a: f32, b: &[f32; NR]) -> [f32; NR] {
+    let mut j = 0;
+    while j < NR {
+        acc[j] += a * b[j];
+        j += 1;
+    }
+    acc
+}
+
+/// The register micro-kernel: folds one `kc`-deep `MR×NR` tile into
+/// `acc` in ascending-`k` order. Both panels are read at unit stride;
+/// the fixed-size row updates unroll and vectorize.
+#[inline(always)]
+fn micro_kernel(a_panel: &[f32], b_panel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    let [mut r0, mut r1, mut r2, mut r3, mut r4, mut r5, mut r6, mut r7] = *acc;
+    for (av, bv) in a_panel.chunks_exact(MR).zip(b_panel.chunks_exact(NR)) {
+        let b: &[f32; NR] = bv.try_into().expect("NR-wide chunk");
+        r0 = fma_row(r0, av[0], b);
+        r1 = fma_row(r1, av[1], b);
+        r2 = fma_row(r2, av[2], b);
+        r3 = fma_row(r3, av[3], b);
+        r4 = fma_row(r4, av[4], b);
+        r5 = fma_row(r5, av[5], b);
+        r6 = fma_row(r6, av[6], b);
+        r7 = fma_row(r7, av[7], b);
+    }
+    *acc = [r0, r1, r2, r3, r4, r5, r6, r7];
+}
+
+/// Computes one `MC`-block's contribution for one `KC` slab:
+/// `C[rows i0..i0+mrows] += A_slab · B_slab`, with the accumulator tile
+/// seeded from `C` so the per-element fold stays ascending in `k`
+/// across slabs. `c_block` is the block's `mrows × n` row window.
+#[allow(clippy::too_many_arguments)] // blocking geometry is the signature
+fn compute_block(
+    a: &[f32],
+    lda: usize,
+    orient_a: Orient,
+    i0: usize,
+    mrows: usize,
+    k0: usize,
+    kc: usize,
+    packed_b: &[f32],
+    n: usize,
+    c_block: &mut [f32],
+) {
+    PACK_A.with(|cell| {
+        let abuf = &mut *cell.borrow_mut();
+        pack_a(a, lda, orient_a, i0, mrows, k0, kc, abuf);
+        let mpanels = mrows.div_ceil(MR);
+        for (jp, b_panel) in packed_b.chunks_exact(kc * NR).enumerate() {
+            let j0 = jp * NR;
+            let cols = NR.min(n - j0);
+            for ip in 0..mpanels {
+                let a_panel = &abuf[ip * kc * MR..(ip + 1) * kc * MR];
+                let r0 = ip * MR;
+                let rows = MR.min(mrows - r0);
+                let mut acc = [[0.0f32; NR]; MR];
+                for (i, accrow) in acc.iter_mut().enumerate().take(rows) {
+                    let c_row = &c_block[(r0 + i) * n + j0..][..cols];
+                    accrow[..cols].copy_from_slice(c_row);
+                }
+                micro_kernel(a_panel, b_panel, &mut acc);
+                for (i, accrow) in acc.iter().enumerate().take(rows) {
+                    let c_row = &mut c_block[(r0 + i) * n + j0..][..cols];
+                    c_row.copy_from_slice(&accrow[..cols]);
+                }
+            }
+        }
+    });
+}
+
+/// The blocked driver shared by all three products. `out` must be the
+/// zero-initialized (or seed-value) `m × n` destination; `threads`
+/// bounds how many contiguous groups the `MC` row blocks are split
+/// into (the grouping never affects bits — see the module docs).
+#[allow(clippy::too_many_arguments)] // blocking geometry is the signature
+fn gemm_blocked(
+    a: &[f32],
+    lda: usize,
+    orient_a: Orient,
+    b: &[f32],
+    ldb: usize,
+    orient_b: Orient,
+    m: usize,
+    kdim: usize,
+    n: usize,
+    out: &mut [f32],
+    threads: usize,
+) {
+    if m == 0 || n == 0 || kdim == 0 {
+        return;
+    }
+    debug_assert_eq!(out.len(), m * n);
+    let nblocks = m.div_ceil(MC);
+    let teams =
+        if m * kdim * n >= gemm_par_threshold_flops() { threads.min(nblocks).max(1) } else { 1 };
+    let mut k0 = 0;
+    while k0 < kdim {
+        let kc = KC.min(kdim - k0);
+        PACK_B.with(|cell| {
+            let bbuf = &mut *cell.borrow_mut();
+            pack_b(b, ldb, orient_b, k0, kc, n, bbuf);
+            if teams <= 1 {
+                for blk in 0..nblocks {
+                    let i0 = blk * MC;
+                    let mrows = MC.min(m - i0);
+                    let c_block = &mut out[i0 * n..(i0 + mrows) * n];
+                    compute_block(a, lda, orient_a, i0, mrows, k0, kc, bbuf, n, c_block);
+                }
+            } else {
+                let ranges = par::split_ranges(nblocks, teams);
+                let bbuf = &*bbuf;
+                let mut rest = &mut *out;
+                let mut consumed_rows = 0usize;
+                let mut tasks: Vec<pool::Task<'_>> = Vec::with_capacity(ranges.len());
+                for range in ranges {
+                    let first_row = range.start * MC;
+                    let last_row = (range.end * MC).min(m);
+                    debug_assert_eq!(consumed_rows, first_row);
+                    let (mine, tail) = rest.split_at_mut((last_row - first_row) * n);
+                    rest = tail;
+                    consumed_rows = last_row;
+                    tasks.push(Box::new(move || {
+                        for blk in range {
+                            let i0 = blk * MC;
+                            let mrows = MC.min(m - i0);
+                            let local = (i0 - first_row) * n;
+                            let c_block = &mut mine[local..local + mrows * n];
+                            compute_block(a, lda, orient_a, i0, mrows, k0, kc, bbuf, n, c_block);
+                        }
+                    }));
+                }
+                pool::run_batch(tasks);
+            }
+        });
+        k0 += kc;
     }
 }
 
@@ -37,6 +314,49 @@ impl Matrix {
     /// # Panics
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul`] into a caller-owned destination, reusing its
+    /// storage (zero allocation once `out`'s capacity has grown to
+    /// `self.rows() * rhs.cols()`).
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols(),
+            rhs.rows(),
+            "matmul shape mismatch: {:?} * {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        out.resize_to(self.rows(), rhs.cols());
+        gemm_blocked(
+            self.as_slice(),
+            self.cols().max(1),
+            Orient::Normal,
+            rhs.as_slice(),
+            rhs.cols().max(1),
+            Orient::Normal,
+            self.rows(),
+            self.cols(),
+            rhs.cols(),
+            out.as_mut_slice(),
+            par::max_threads(),
+        );
+    }
+
+    /// `self * rhs` computed with an explicit row-block grouping width.
+    ///
+    /// Exists so the thread-count bit-parity suite can exercise the
+    /// exact task partitions a `FEDL_THREADS=n` run would produce
+    /// without re-launching the process; production code should call
+    /// [`Matrix::matmul`].
+    #[doc(hidden)]
+    pub fn matmul_with_threads(&self, rhs: &Matrix, threads: usize) -> Matrix {
         assert_eq!(
             self.cols(),
             rhs.rows(),
@@ -45,26 +365,19 @@ impl Matrix {
             rhs.shape()
         );
         let mut out = Matrix::zeros(self.rows(), rhs.cols());
-        let flops = self.rows() * self.cols() * rhs.cols();
-        let cols = rhs.cols().max(1);
-        if flops >= PAR_THRESHOLD_FLOPS {
-            let a_cols = self.cols().max(1);
-            par::par_zip_chunks(
-                out.as_mut_slice(),
-                cols,
-                self.as_slice(),
-                a_cols,
-                |_, out_row, a_row| matmul_row(a_row, rhs, out_row),
-            );
-        } else {
-            for (out_row, a_row) in out
-                .as_mut_slice()
-                .chunks_exact_mut(cols)
-                .zip(self.as_slice().chunks_exact(self.cols().max(1)))
-            {
-                matmul_row(a_row, rhs, out_row);
-            }
-        }
+        gemm_blocked(
+            self.as_slice(),
+            self.cols().max(1),
+            Orient::Normal,
+            rhs.as_slice(),
+            rhs.cols().max(1),
+            Orient::Normal,
+            self.rows(),
+            self.cols(),
+            rhs.cols(),
+            out.as_mut_slice(),
+            threads.max(1),
+        );
         out
     }
 
@@ -73,6 +386,16 @@ impl Matrix {
     /// This is the shape that appears in backprop (`activationsᵀ × delta`),
     /// where `self` and `rhs` share the batch dimension as their rows.
     pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.t_matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Matrix::t_matmul`] into a caller-owned destination.
+    ///
+    /// # Panics
+    /// Panics if `self.rows() != rhs.rows()`.
+    pub fn t_matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows(),
             rhs.rows(),
@@ -80,27 +403,36 @@ impl Matrix {
             self.shape(),
             rhs.shape()
         );
-        let mut out = Matrix::zeros(self.cols(), rhs.cols());
-        // Accumulate outer products row by row of the shared batch axis.
-        for (a_row, b_row) in self.row_iter().zip(rhs.row_iter()) {
-            for (i, &ai) in a_row.iter().enumerate() {
-                if ai == 0.0 {
-                    continue;
-                }
-                let out_row = out.row_mut(i);
-                for (o, &bj) in out_row.iter_mut().zip(b_row) {
-                    *o += ai * bj;
-                }
-            }
-        }
-        out
+        out.resize_to(self.cols(), rhs.cols());
+        gemm_blocked(
+            self.as_slice(),
+            self.cols().max(1),
+            Orient::Transposed,
+            rhs.as_slice(),
+            rhs.cols().max(1),
+            Orient::Normal,
+            self.cols(),
+            self.rows(),
+            rhs.cols(),
+            out.as_mut_slice(),
+            par::max_threads(),
+        );
     }
 
     /// `self * rhsᵀ` without materializing the transpose.
     ///
-    /// Appears in backprop as `delta × weightsᵀ`. Each output element is an
-    /// inner product of two contiguous rows, so this needs no gather.
+    /// Appears in backprop as `delta × weightsᵀ`.
     pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_t_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_t`] into a caller-owned destination.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn matmul_t_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols(),
             rhs.cols(),
@@ -108,29 +440,20 @@ impl Matrix {
             self.shape(),
             rhs.shape()
         );
-        let mut out = Matrix::zeros(self.rows(), rhs.rows());
-        let flops = self.rows() * self.cols() * rhs.rows();
-        let out_cols = rhs.rows().max(1);
-        let body = |out_row: &mut [f32], a_row: &[f32]| {
-            for (j, b_row) in rhs.row_iter().enumerate() {
-                out_row[j] = a_row.iter().zip(b_row).map(|(x, y)| x * y).sum();
-            }
-        };
-        if flops >= PAR_THRESHOLD_FLOPS {
-            par::par_zip_chunks(
-                out.as_mut_slice(),
-                out_cols,
-                self.as_slice(),
-                self.cols().max(1),
-                |_, out_row, a_row| body(out_row, a_row),
-            );
-        } else {
-            out.as_mut_slice()
-                .chunks_exact_mut(out_cols)
-                .zip(self.as_slice().chunks_exact(self.cols().max(1)))
-                .for_each(|(out_row, a_row)| body(out_row, a_row));
-        }
-        out
+        out.resize_to(self.rows(), rhs.rows());
+        gemm_blocked(
+            self.as_slice(),
+            self.cols().max(1),
+            Orient::Normal,
+            rhs.as_slice(),
+            rhs.cols().max(1),
+            Orient::Transposed,
+            self.rows(),
+            self.cols(),
+            rhs.rows(),
+            out.as_mut_slice(),
+            par::max_threads(),
+        );
     }
 }
 
@@ -175,6 +498,19 @@ mod tests {
     }
 
     #[test]
+    fn matmul_matches_naive_across_blocking_boundaries() {
+        // Shapes straddling every blocking parameter: MR/NR tails,
+        // multiple MC row blocks, and multiple KC slabs. Values are
+        // small integers, so any summation order is exact and the
+        // blocked result must equal the naive one bit-for-bit.
+        for (m, k, n) in [(1, 1, 1), (7, 9, 5), (8, 256, 8), (65, 300, 17), (130, 520, 11)] {
+            let a = test_mat(m, k, 1.0);
+            let b = test_mat(k, n, 2.0);
+            assert_eq!(a.matmul(&b), naive(&a, &b), "shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
     fn identity_is_neutral() {
         let a = test_mat(4, 4, 3.0);
         let i = Matrix::identity(4);
@@ -197,6 +533,42 @@ mod tests {
     }
 
     #[test]
+    fn transposed_variants_match_across_blocking_boundaries() {
+        let a = test_mat(300, 70, 1.0);
+        let b = test_mat(300, 33, 2.0);
+        assert_eq!(a.t_matmul(&b), a.transpose().matmul(&b));
+        let c = test_mat(70, 300, 1.0);
+        let d = test_mat(33, 300, 2.0);
+        assert_eq!(c.matmul_t(&d), c.matmul(&d.transpose()));
+    }
+
+    #[test]
+    fn into_variants_reuse_storage_and_match() {
+        let a = test_mat(20, 30, 1.0);
+        let b = test_mat(30, 10, 2.0);
+        let mut out = Matrix::zeros(0, 0);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        // A second product of a different shape reuses the buffer.
+        let c = test_mat(5, 30, 3.0);
+        c.matmul_into(&b, &mut out);
+        assert_eq!(out, c.matmul(&b));
+        let mut t_out = Matrix::zeros(0, 0);
+        a.t_matmul_into(&a, &mut t_out);
+        assert_eq!(t_out, a.t_matmul(&a));
+        let mut tt_out = Matrix::zeros(0, 0);
+        a.matmul_t_into(&a, &mut tt_out);
+        assert_eq!(tt_out, a.matmul_t(&a));
+    }
+
+    #[test]
+    fn default_par_threshold_is_active_without_override() {
+        if std::env::var("FEDL_GEMM_PAR_FLOPS").is_err() {
+            assert_eq!(gemm_par_threshold_flops(), DEFAULT_PAR_THRESHOLD_FLOPS);
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "matmul shape mismatch")]
     fn matmul_rejects_bad_shapes() {
         let a = Matrix::zeros(2, 3);
@@ -210,5 +582,10 @@ mod tests {
         let b = Matrix::zeros(3, 2);
         let out = a.matmul(&b);
         assert_eq!(out.shape(), (0, 2));
+        let c = Matrix::zeros(2, 0);
+        let d = Matrix::zeros(0, 3);
+        let out = c.matmul(&d);
+        assert_eq!(out.shape(), (2, 3));
+        assert!(out.as_slice().iter().all(|&v| v == 0.0));
     }
 }

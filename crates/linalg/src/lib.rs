@@ -32,7 +32,9 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod alloc_counter;
 pub mod dvec;
+pub mod fastexp;
 mod gemm;
 mod matrix;
 pub mod ops;
@@ -40,6 +42,7 @@ pub mod par;
 mod pool;
 pub mod rng;
 
+pub use gemm::gemm_par_threshold_flops;
 pub use matrix::Matrix;
 
 /// Absolute tolerance used by the crate's approximate float comparisons.

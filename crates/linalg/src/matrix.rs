@@ -132,6 +132,37 @@ impl Matrix {
         self.data
     }
 
+    /// Reshapes to `rows x cols` with every element zeroed, reusing the
+    /// backing allocation (no heap traffic once the capacity has grown
+    /// to the workload's high-water mark). This is the entry point of
+    /// every `*_into` kernel destination.
+    pub fn resize_to(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Makes `self` an exact copy of `other`, reusing the backing
+    /// allocation when capacity allows.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
+    /// Column sums written into `out` (reshaped to `1 x cols`).
+    pub fn col_sums_into(&self, out: &mut Matrix) {
+        out.resize_to(1, self.cols);
+        let acc = out.as_mut_slice();
+        for row in self.row_iter() {
+            for (o, v) in acc.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+    }
+
     /// Element at `(r, c)`.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
@@ -303,6 +334,14 @@ impl Matrix {
     }
 }
 
+impl Default for Matrix {
+    /// An empty `0 x 0` matrix — the natural seed for `*_into`
+    /// destinations and scratch buffers.
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
+}
+
 impl fmt::Debug for Matrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Matrix({}x{})", self.rows, self.cols)?;
@@ -442,6 +481,27 @@ mod tests {
         let s = Matrix::vstack(&[&a, &b]);
         assert_eq!(s.shape(), (3, 2));
         assert_eq!(s.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn resize_to_zeroes_and_reuses_capacity() {
+        let mut m = Matrix::from_vec(2, 3, vec![1.0; 6]);
+        let cap = m.data.capacity();
+        m.resize_to(3, 2);
+        assert_eq!(m.shape(), (3, 2));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(m.data.capacity(), cap);
+    }
+
+    #[test]
+    fn copy_from_and_col_sums_into_match_owned_forms() {
+        let a = Matrix::from_fn(3, 4, |r, c| (r * 7 + c) as f32);
+        let mut b = Matrix::default();
+        b.copy_from(&a);
+        assert_eq!(a, b);
+        let mut sums = Matrix::default();
+        a.col_sums_into(&mut sums);
+        assert_eq!(sums, a.col_sums());
     }
 
     #[test]

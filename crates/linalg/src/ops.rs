@@ -1,7 +1,38 @@
 //! Numerically careful element-wise and row-wise kernels shared by the
 //! training substrate: softmax, log-sum-exp, ReLU, and broadcast helpers.
 
+use crate::fastexp;
 use crate::Matrix;
+
+/// Row maximum as a 16-lane tree reduction (vectorizable, unlike the
+/// strictly sequential left fold, which chains every `max` through one
+/// accumulator).
+///
+/// Returns the same value as `row.iter().copied().fold(NEG_INFINITY,
+/// f32::max)` for every input: `f32::max` is associative and commutative
+/// on its value result (NaN is ignored symmetrically, and a `-0.0` vs
+/// `+0.0` ambiguity cannot reach the callers' outputs — the maximum is
+/// only subtracted before `exp`, where `exp(±0.0) == 1.0` exactly, or
+/// added to a `ln` that never returns `-0.0`).
+#[inline]
+fn row_max(row: &[f32]) -> f32 {
+    const LANES: usize = 16;
+    let mut chunks = row.chunks_exact(LANES);
+    let mut lanes = [f32::NEG_INFINITY; LANES];
+    for c in chunks.by_ref() {
+        for (l, &v) in lanes.iter_mut().zip(c) {
+            *l = l.max(v);
+        }
+    }
+    let mut m = f32::NEG_INFINITY;
+    for &l in &lanes {
+        m = m.max(l);
+    }
+    for &v in chunks.remainder() {
+        m = m.max(v);
+    }
+    m
+}
 
 /// Row-wise softmax with the max-subtraction trick.
 ///
@@ -9,13 +40,28 @@ use crate::Matrix;
 /// `-inf`/huge magnitudes stay finite because the row maximum is
 /// subtracted before exponentiation.
 pub fn softmax_rows(logits: &Matrix) -> Matrix {
-    let mut out = logits.clone();
+    let mut out = Matrix::default();
+    softmax_rows_into(logits, &mut out);
+    out
+}
+
+/// [`softmax_rows`] writing into a caller-owned matrix (reshaped to match
+/// `logits`); steady-state reuse performs no allocation.
+pub fn softmax_rows_into(logits: &Matrix, out: &mut Matrix) {
+    out.copy_from(logits);
     for row in out.as_mut_slice().chunks_exact_mut(logits.cols().max(1)) {
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0;
+        let max = row_max(row);
+        // Three vectorizable passes (subtract, exp, normalize) with a
+        // sequential in-order sum between them: same values and same
+        // accumulation order as the fused scalar loop, so the result is
+        // bit-identical — `fastexp` matches libm bit for bit.
         for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            sum += *v;
+            *v -= max;
+        }
+        fastexp::exp_inplace(row);
+        let mut sum = 0.0;
+        for &v in row.iter() {
+            sum += v;
         }
         if sum > 0.0 {
             for v in row.iter_mut() {
@@ -23,22 +69,41 @@ pub fn softmax_rows(logits: &Matrix) -> Matrix {
             }
         }
     }
-    out
 }
 
 /// Row-wise `log(sum(exp(row)))`, stabilized by max subtraction.
 pub fn log_sum_exp_rows(logits: &Matrix) -> Vec<f32> {
-    logits
-        .row_iter()
-        .map(|row| {
-            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            if !max.is_finite() {
-                return max;
+    let mut out = Vec::new();
+    log_sum_exp_rows_into(logits, &mut out);
+    out
+}
+
+/// [`log_sum_exp_rows`] writing into a caller-owned vector (cleared and
+/// refilled); steady-state reuse performs no allocation.
+pub fn log_sum_exp_rows_into(logits: &Matrix, out: &mut Vec<f32>) {
+    out.clear();
+    out.extend(logits.row_iter().map(|row| {
+        let max = row_max(row);
+        if !max.is_finite() {
+            return max;
+        }
+        // Exponentiate through a stack tile so `fastexp` can batch; the
+        // sum still accumulates in row order, so the bits match the
+        // scalar `map(exp).sum()` form exactly.
+        let mut sum = 0.0f32;
+        let mut tile = [0.0f32; 64];
+        for chunk in row.chunks(tile.len()) {
+            let t = &mut tile[..chunk.len()];
+            for (d, &v) in t.iter_mut().zip(chunk) {
+                *d = v - max;
             }
-            let sum: f32 = row.iter().map(|v| (v - max).exp()).sum();
-            max + sum.ln()
-        })
-        .collect()
+            fastexp::exp_inplace(t);
+            for &v in t.iter() {
+                sum += v;
+            }
+        }
+        max + sum.ln()
+    }));
 }
 
 /// ReLU applied element-wise, returning a new matrix.
@@ -46,10 +111,32 @@ pub fn relu(m: &Matrix) -> Matrix {
     m.map(|v| v.max(0.0))
 }
 
+/// ReLU written into a caller-owned matrix (reshaped to match `m`).
+pub fn relu_into(m: &Matrix, out: &mut Matrix) {
+    out.copy_from(m);
+    for v in out.as_mut_slice() {
+        *v = v.max(0.0);
+    }
+}
+
 /// Derivative mask of ReLU at the *pre-activation* values: 1 where
 /// `pre > 0`, else 0.
 pub fn relu_grad_mask(pre: &Matrix) -> Matrix {
     pre.map(|v| if v > 0.0 { 1.0 } else { 0.0 })
+}
+
+/// Backward ReLU in place: multiplies each element of `delta` by the
+/// ReLU derivative at the matching pre-activation. Bit-identical to
+/// `delta.hadamard(&relu_grad_mask(pre))` (same `*` by `1.0`/`0.0`)
+/// without the two temporaries.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn relu_backward_inplace(delta: &mut Matrix, pre: &Matrix) {
+    assert_eq!(delta.shape(), pre.shape(), "relu backward shape mismatch");
+    for (d, &p) in delta.as_mut_slice().iter_mut().zip(pre.as_slice()) {
+        *d *= if p > 0.0 { 1.0 } else { 0.0 };
+    }
 }
 
 /// Adds the `1 x cols` row `bias` to every row of `m` in place.
@@ -150,10 +237,48 @@ mod tests {
     }
 
     #[test]
+    fn into_variants_match_owned_forms() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, -2.0, 3.0, 0.5, 0.0, -1.5]);
+        let mut s = Matrix::default();
+        softmax_rows_into(&m, &mut s);
+        assert_eq!(s.as_slice(), softmax_rows(&m).as_slice());
+        let mut lse = vec![99.0; 7]; // stale contents must be discarded
+        log_sum_exp_rows_into(&m, &mut lse);
+        assert_eq!(lse, log_sum_exp_rows(&m));
+        let mut r = Matrix::default();
+        relu_into(&m, &mut r);
+        assert_eq!(r.as_slice(), relu(&m).as_slice());
+        let mut d = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, -5.0, 6.0]);
+        let expected = d.hadamard(&relu_grad_mask(&m));
+        relu_backward_inplace(&mut d, &m);
+        assert_eq!(d.as_slice(), expected.as_slice());
+    }
+
+    #[test]
     fn clip_counts_and_bounds() {
         let mut m = Matrix::from_vec(1, 4, vec![-5.0, -0.5, 0.5, 5.0]);
         let n = clip_inplace(&mut m, 1.0);
         assert_eq!(n, 2);
         assert_eq!(m.as_slice(), &[-1.0, -0.5, 0.5, 1.0]);
+    }
+
+    /// The lane-reduced row maximum must equal the sequential left fold
+    /// bit for bit on every length (full lanes, remainders, empty) and
+    /// ignore NaN the same way.
+    #[test]
+    fn row_max_matches_sequential_fold() {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        for len in [0usize, 1, 5, 15, 16, 17, 31, 32, 64, 100, 257] {
+            let row: Vec<f32> = (0..len).map(|_| next() * 8.0).collect();
+            let seq = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            assert_eq!(super::row_max(&row).to_bits(), seq.to_bits(), "len {len}");
+        }
+        let with_nan = [1.0, f32::NAN, 3.0, f32::NAN, 2.0];
+        assert_eq!(super::row_max(&with_nan), 3.0);
+        assert_eq!(super::row_max(&[f32::NEG_INFINITY; 4]), f32::NEG_INFINITY);
     }
 }

@@ -24,11 +24,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::pool;
 
+/// Cached thread-team size (0 = not yet resolved).
+static CACHED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
 /// Thread-team size: `FEDL_THREADS` when set to a positive integer,
 /// otherwise [`std::thread::available_parallelism`].
 pub fn max_threads() -> usize {
-    static CACHED: AtomicUsize = AtomicUsize::new(0);
-    let cached = CACHED.load(Ordering::Relaxed);
+    let cached = CACHED_THREADS.load(Ordering::Relaxed);
     if cached != 0 {
         return cached;
     }
@@ -37,13 +39,25 @@ pub fn max_threads() -> usize {
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&n| n > 0)
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
-    CACHED.store(n, Ordering::Relaxed);
+    CACHED_THREADS.store(n, Ordering::Relaxed);
     n
+}
+
+/// Pins [`max_threads`] to `n` for the rest of the process.
+///
+/// Test-harness hook: the allocation-regression suites force the
+/// sequential path without relaunching under a different
+/// `FEDL_THREADS` (the value is cached after first read, so flipping
+/// the environment mid-process has no effect). Not for production use —
+/// the worker pool may already be sized from the previous value.
+#[doc(hidden)]
+pub fn force_max_threads(n: usize) {
+    CACHED_THREADS.store(n.max(1), Ordering::Relaxed);
 }
 
 /// Splits `len` items into at most `teams` contiguous index ranges of
 /// near-equal size (first ranges get the remainder).
-fn split_ranges(len: usize, teams: usize) -> Vec<std::ops::Range<usize>> {
+pub(crate) fn split_ranges(len: usize, teams: usize) -> Vec<std::ops::Range<usize>> {
     let teams = teams.min(len).max(1);
     let base = len / teams;
     let extra = len % teams;
@@ -106,10 +120,31 @@ where
     S: Sync,
     F: Fn(usize, &mut [T], &[S]) + Sync,
 {
+    par_zip_chunks_grained(out, out_chunk, input, in_chunk, 1, f)
+}
+
+/// [`par_zip_chunks`] with an explicit sequential grain: when the pair
+/// count is at most `grain` the loop runs inline on the caller (zero
+/// dispatch, zero allocation), bit-identical to the parallel split
+/// because every pair's computation is independent. Columnar passes
+/// over small cohorts use this to stay allocation-free; the 10k+ scale
+/// tiers still fan out.
+pub fn par_zip_chunks_grained<T, S, F>(
+    out: &mut [T],
+    out_chunk: usize,
+    input: &[S],
+    in_chunk: usize,
+    grain: usize,
+    f: F,
+) where
+    T: Send,
+    S: Sync,
+    F: Fn(usize, &mut [T], &[S]) + Sync,
+{
     assert!(out_chunk > 0 && in_chunk > 0, "chunk sizes must be positive");
     let pairs = (out.len() / out_chunk).min(input.len() / in_chunk);
     let threads = max_threads();
-    if threads <= 1 || pairs <= 1 {
+    if threads <= 1 || pairs <= grain.max(1) {
         for (i, (o, inp)) in
             out.chunks_exact_mut(out_chunk).zip(input.chunks_exact(in_chunk)).enumerate()
         {
@@ -238,6 +273,17 @@ mod tests {
         let mut out = vec![0.0f64; ids.len()];
         par_zip_chunks(&mut out, 1, &ids, 1, |_, o, id| o[0] = col[id[0]]);
         assert_eq!(out, vec![1.5, 49.5, 0.0, 21.0, 3.5]);
+    }
+
+    #[test]
+    fn grained_variant_matches_plain_zip_chunks() {
+        let input: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        let mut a = vec![0.0f32; 64];
+        let mut b = vec![0.0f32; 64];
+        let body = |i: usize, o: &mut [f32], inp: &[f32]| o[0] = inp[0] * 2.0 + i as f32;
+        par_zip_chunks(&mut a, 1, &input, 1, body);
+        par_zip_chunks_grained(&mut b, 1, &input, 1, 4096, body);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! Thread-count bit-parity for the blocked GEMM.
+//!
+//! The cache-blocked kernel partitions work by row panels; every panel is
+//! computed by the same sequential micro-kernel in the same order no
+//! matter which worker runs it, so the product must be byte-identical
+//! for any thread count. These tests pin that contract: a future change
+//! that makes the split point (and therefore the reduction order) depend
+//! on thread count would show up here as a bit diff.
+
+use fedl_linalg::rng::rng_for;
+use fedl_linalg::Matrix;
+
+/// Shapes chosen to straddle the parallel-dispatch threshold: the small
+/// ones stay on the sequential path for every thread count, the large
+/// ones cross `gemm_par_threshold_flops()` (default 256 Ki flops, i.e.
+/// any product with `2*m*k*n >= 262144`) and exercise the panel split.
+const SHAPES: [(usize, usize, usize); 6] = [
+    (3, 5, 4),      // tiny, sequential everywhere
+    (17, 33, 9),    // odd remainders in every blocking dimension
+    (64, 64, 64),   // exactly at the MC boundary
+    (96, 96, 96),   // crosses the parallel threshold
+    (128, 300, 65), // wide K remainder, crosses threshold
+    (257, 48, 130), // row count not a multiple of any block size
+];
+
+fn filled(rows: usize, cols: usize, salt: u64) -> Matrix {
+    let mut rng = rng_for(salt, 7);
+    Matrix::uniform(rows, cols, 2.0, &mut rng)
+}
+
+/// The product must be byte-identical for sequential, 2-thread, and
+/// 8-thread dispatch, and identical to the public `matmul` entry point.
+#[test]
+fn matmul_is_bit_identical_across_thread_counts() {
+    for (idx, &(m, k, n)) in SHAPES.iter().enumerate() {
+        let a = filled(m, k, idx as u64);
+        let b = filled(k, n, idx as u64 + 100);
+        let reference = a.matmul_with_threads(&b, 1);
+        for threads in [2usize, 8] {
+            let got = a.matmul_with_threads(&b, threads);
+            assert_eq!(reference.shape(), got.shape());
+            for (i, (x, y)) in reference.as_slice().iter().zip(got.as_slice()).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "shape {m}x{k}x{n}, {threads} threads, element {i}: \
+                     {x:?} vs {y:?}"
+                );
+            }
+        }
+        let public = a.matmul(&b);
+        assert_eq!(reference.as_slice(), public.as_slice());
+    }
+}
+
+/// Repeated calls on the same inputs must reproduce the same bytes —
+/// no dependence on allocator state or scratch reuse.
+#[test]
+fn matmul_is_deterministic_across_repeated_calls() {
+    let a = filled(96, 96, 42);
+    let b = filled(96, 96, 43);
+    let first = a.matmul(&b);
+    for _ in 0..3 {
+        let again = a.matmul(&b);
+        for (x, y) in first.as_slice().iter().zip(again.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+    // Reuse of a caller-owned output buffer must not change the bytes
+    // either, including when the buffer held stale contents.
+    let mut out = Matrix::from_vec(2, 2, vec![9.0; 4]);
+    a.matmul_into(&b, &mut out);
+    assert_eq!(first.as_slice(), out.as_slice());
+}

@@ -1,0 +1,37 @@
+//! `FEDL_GEMM_PAR_FLOPS` override test.
+//!
+//! Lives in its own integration-test binary because the threshold is
+//! cached in a process-wide `OnceLock` on first use: the variable must
+//! be set before *any* GEMM runs in the process, which an in-crate unit
+//! test sharing the test harness process cannot guarantee.
+
+use fedl_linalg::rng::rng_for;
+use fedl_linalg::{gemm_par_threshold_flops, Matrix};
+
+/// Setting the environment variable before the first query must override
+/// the built-in default, and products computed under the override must
+/// still be bit-identical to the sequential kernel (the threshold is a
+/// scheduling knob, never a numerics knob).
+#[test]
+fn env_override_is_honored_and_bit_safe() {
+    // Set before the first call; the OnceLock caches this value for the
+    // remainder of the process.
+    std::env::set_var("FEDL_GEMM_PAR_FLOPS", "4096");
+    assert_eq!(gemm_par_threshold_flops(), 4096);
+
+    // 2*24*24*24 = 27648 flops > 4096: with the lowered threshold this
+    // product takes the parallel-dispatch path even though the default
+    // threshold (256 Ki flops) would have kept it sequential.
+    let mut rng = rng_for(11, 3);
+    let a = Matrix::uniform(24, 24, 2.0, &mut rng);
+    let b = Matrix::uniform(24, 24, 2.0, &mut rng);
+    let seq = a.matmul_with_threads(&b, 1);
+    let par = a.matmul_with_threads(&b, 8);
+    for (x, y) in seq.as_slice().iter().zip(par.as_slice()) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+
+    // The cached value must not change even if the variable does.
+    std::env::set_var("FEDL_GEMM_PAR_FLOPS", "123");
+    assert_eq!(gemm_par_threshold_flops(), 4096);
+}

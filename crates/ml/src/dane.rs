@@ -33,15 +33,17 @@
 //! `G(d) − G* ≤ η·[G(0) − G*]` criterion. FedL's constraint (3c) compares
 //! this observed value against the iteration-control decision ηₜ.
 
+use std::cell::RefCell;
+
 use fedl_linalg::rng::Rng;
 
 use fedl_data::Dataset;
 use fedl_linalg::Matrix;
 use fedl_telemetry::Telemetry;
 
-use crate::model::Model;
+use crate::model::{Model, ModelScratch};
 use crate::params::ParamSet;
-use crate::sgd::sample_batch;
+use crate::sgd::sample_batch_into;
 
 /// Hyper-parameters of the local surrogate solve.
 #[derive(Debug, Clone, Copy)]
@@ -112,6 +114,55 @@ pub struct LocalOutcome {
     pub loss_after: f32,
 }
 
+/// Reusable workspace for [`local_update_scratch`].
+///
+/// Holds every intermediate the local solve needs — the working model
+/// clone, the DANE parameter-vector temporaries, the mini-batch
+/// matrices, and the model's forward/backward workspace. Buffers grow to
+/// the workload's high-water mark and are then reused, so a steady-state
+/// solve performs zero heap allocation (pinned by
+/// `crates/ml/tests/alloc_free.rs`).
+///
+/// The cached working-model clone is revalidated against the incoming
+/// model by parameter shapes only; hyper-parameters the shapes cannot
+/// see (such as a different L2 coefficient on the same architecture) are
+/// the caller's responsibility — use one scratch per model, or go
+/// through [`local_update`], which refreshes the clone on every call.
+pub struct DaneScratch {
+    work: Option<Box<dyn Model>>,
+    wd: ParamSet,
+    velocity: ParamSet,
+    neg_linear: ParamSet,
+    g: ParamSet,
+    bx: Matrix,
+    by: Matrix,
+    y_full: Matrix,
+    ws: ModelScratch,
+}
+
+impl DaneScratch {
+    /// An empty workspace; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self {
+            work: None,
+            wd: ParamSet::new(Vec::new()),
+            velocity: ParamSet::new(Vec::new()),
+            neg_linear: ParamSet::new(Vec::new()),
+            g: ParamSet::new(Vec::new()),
+            bx: Matrix::default(),
+            by: Matrix::default(),
+            y_full: Matrix::default(),
+            ws: ModelScratch::new(),
+        }
+    }
+}
+
+impl Default for DaneScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Value of the surrogate `G(d)` on the client's full working set —
 /// used by tests and the theory-validation benches.
 pub fn surrogate_value(
@@ -154,53 +205,109 @@ pub fn local_update(
     cfg: &DaneConfig,
     rng: &mut impl Rng,
 ) -> LocalOutcome {
+    thread_local! {
+        static SCRATCH: RefCell<DaneScratch> = RefCell::new(DaneScratch::new());
+    }
+    let mut out = LocalOutcome {
+        delta: ParamSet::new(Vec::new()),
+        grad_at_w: ParamSet::new(Vec::new()),
+        eta_hat: 0.0,
+        loss_at_w: 0.0,
+        loss_after: 0.0,
+    };
+    SCRATCH.with(|s| {
+        let mut scratch = s.borrow_mut();
+        // The cached work clone can go stale in hyper-parameters that
+        // parameter shapes cannot distinguish (e.g. a different L2 on
+        // the same architecture), so the safe entry point re-clones per
+        // call — the same clone count as the historical implementation.
+        scratch.work = Some(model_at_w.clone_model());
+        local_update_scratch(model_at_w, data, j_agg, cfg, rng, &mut scratch, &mut out);
+    });
+    out
+}
+
+/// `true` when the two sets have identical tensor arity and shapes.
+fn same_shapes(a: &ParamSet, b: &ParamSet) -> bool {
+    a.len() == b.len() && a.tensors().iter().zip(b.tensors()).all(|(x, y)| x.shape() == y.shape())
+}
+
+/// [`local_update`] with caller-owned workspace and outcome buffers.
+///
+/// Bit-identical to [`local_update`] (same operations in the same order,
+/// same draws from `rng`), but a warmed `scratch`/`out` pair makes the
+/// whole solve — including the per-step model forward/backward — free of
+/// heap allocation. See [`DaneScratch`] for the working-model caching
+/// contract.
+pub fn local_update_scratch(
+    model_at_w: &dyn Model,
+    data: &Dataset,
+    j_agg: &ParamSet,
+    cfg: &DaneConfig,
+    rng: &mut impl Rng,
+    scratch: &mut DaneScratch,
+    out: &mut LocalOutcome,
+) {
     assert!(!data.is_empty(), "local update on an empty working set");
     assert!(cfg.lr > 0.0, "non-positive DANE learning rate");
     assert!(cfg.local_steps > 0, "need at least one local step");
     assert!((0.0..1.0).contains(&cfg.momentum), "momentum must be in [0, 1), got {}", cfg.momentum);
 
-    let (x_full, y_full) = full_batch(data);
-    let w = model_at_w.params().clone();
-    let (loss_at_w, grad_at_w) = model_at_w.loss_and_grad(&x_full, &y_full);
+    let x_full = &data.features;
+    data.one_hot_labels_into(&mut scratch.y_full);
+    let w = model_at_w.params();
+    out.loss_at_w = model_at_w.loss_and_grad_scratch(
+        x_full,
+        &scratch.y_full,
+        &mut out.grad_at_w,
+        &mut scratch.ws,
+    );
     // Constant linear term of ∇G: −∇F(w) + σ₂·J.
-    let mut neg_linear = grad_at_w.clone();
-    neg_linear.scale(-1.0);
-    neg_linear.axpy(cfg.sigma2, j_agg);
+    scratch.neg_linear.copy_from(&out.grad_at_w);
+    scratch.neg_linear.scale(-1.0);
+    scratch.neg_linear.axpy(cfg.sigma2, j_agg);
 
     // ‖∇G(0)‖ on the full batch = ‖σ₂·J‖ (denominator of η̂).
     let grad0_norm = cfg.sigma2 * j_agg.norm();
 
-    let mut work = model_at_w.clone_model();
-    let mut delta = w.zeros_like();
-    let mut velocity = w.zeros_like();
+    if scratch.work.as_ref().is_none_or(|m| !same_shapes(m.params(), w)) {
+        scratch.work = Some(model_at_w.clone_model());
+    }
+    let work = scratch.work.as_mut().expect("work model ensured above");
+    out.delta.set_zeros_like(w);
+    scratch.velocity.set_zeros_like(w);
     for _ in 0..cfg.local_steps {
-        work.set_params(w.added(1.0, &delta));
-        let (bx, by) = sample_batch(data, cfg.batch, rng);
-        let (_, mut g) = work.loss_and_grad(&bx, &by);
+        scratch.wd.copy_from(w);
+        scratch.wd.axpy(1.0, &out.delta);
+        work.set_params_from(&scratch.wd);
+        sample_batch_into(data, cfg.batch, rng, &mut scratch.bx, &mut scratch.by);
+        let _ =
+            work.loss_and_grad_scratch(&scratch.bx, &scratch.by, &mut scratch.g, &mut scratch.ws);
         // ∇G(d) = ∇F(w+d) + σ₁·d − ∇F(w) + σ₂·J.
-        g.axpy(cfg.sigma1, &delta);
-        g.axpy(1.0, &neg_linear);
-        g.clip(cfg.clip);
+        scratch.g.axpy(cfg.sigma1, &out.delta);
+        scratch.g.axpy(1.0, &scratch.neg_linear);
+        scratch.g.clip(cfg.clip);
         // Heavy-ball update: v ← γ·v − α·∇G, d ← d + v.
-        velocity.scale(cfg.momentum);
-        velocity.axpy(-cfg.lr, &g);
-        delta.axpy(1.0, &velocity);
+        scratch.velocity.scale(cfg.momentum);
+        scratch.velocity.axpy(-cfg.lr, &scratch.g);
+        out.delta.axpy(1.0, &scratch.velocity);
     }
 
     // Final full-batch surrogate gradient for η̂ and the post-solve loss.
-    work.set_params(w.added(1.0, &delta));
-    let (loss_after, mut g_final) = work.loss_and_grad(&x_full, &y_full);
-    g_final.axpy(cfg.sigma1, &delta);
-    g_final.axpy(1.0, &neg_linear);
-    let eta_hat = if grad0_norm > 1e-12 {
-        (g_final.norm() / grad0_norm).clamp(0.0, 0.999)
+    scratch.wd.copy_from(w);
+    scratch.wd.axpy(1.0, &out.delta);
+    work.set_params_from(&scratch.wd);
+    out.loss_after =
+        work.loss_and_grad_scratch(x_full, &scratch.y_full, &mut scratch.g, &mut scratch.ws);
+    scratch.g.axpy(cfg.sigma1, &out.delta);
+    scratch.g.axpy(1.0, &scratch.neg_linear);
+    out.eta_hat = if grad0_norm > 1e-12 {
+        (scratch.g.norm() / grad0_norm).clamp(0.0, 0.999)
     } else {
         // No aggregated direction yet (first iteration): the surrogate
         // started at its stationary point, so the solve is "exact".
         0.0
     };
-
-    LocalOutcome { delta, grad_at_w, eta_hat, loss_at_w, loss_after }
 }
 
 /// [`local_update`] with the solve's observables recorded into
@@ -348,6 +455,41 @@ mod tests {
         let j = model.params().zeros_like();
         let cfg = DaneConfig { momentum: 1.0, ..Default::default() };
         let _ = local_update(&model, &data, &j, &cfg, &mut rng_for(0, 0));
+    }
+
+    #[test]
+    fn scratch_solve_matches_plain_bitwise() {
+        let (model, data) = setup();
+        let (x, y) = (data.features.clone(), data.one_hot_labels());
+        let (_, j) = model.loss_and_grad(&x, &y);
+        let cfg = DaneConfig { local_steps: 6, momentum: 0.3, ..Default::default() };
+        let plain = local_update(&model, &data, &j, &cfg, &mut rng_for(21, 0));
+        let mut scratch = DaneScratch::new();
+        let mut out = LocalOutcome {
+            delta: ParamSet::new(Vec::new()),
+            grad_at_w: ParamSet::new(Vec::new()),
+            eta_hat: 0.0,
+            loss_at_w: 0.0,
+            loss_after: 0.0,
+        };
+        // Twice: the second call runs with fully warmed buffers and a
+        // cached work model, and must still match bit-for-bit.
+        for round in 0..2 {
+            local_update_scratch(
+                &model,
+                &data,
+                &j,
+                &cfg,
+                &mut rng_for(21, 0),
+                &mut scratch,
+                &mut out,
+            );
+            assert_eq!(out.delta, plain.delta, "round {round}");
+            assert_eq!(out.grad_at_w, plain.grad_at_w, "round {round}");
+            assert_eq!(out.eta_hat.to_bits(), plain.eta_hat.to_bits(), "round {round}");
+            assert_eq!(out.loss_at_w.to_bits(), plain.loss_at_w.to_bits(), "round {round}");
+            assert_eq!(out.loss_after.to_bits(), plain.loss_after.to_bits(), "round {round}");
+        }
     }
 
     #[test]

@@ -37,6 +37,6 @@ pub mod model;
 pub mod params;
 pub mod sgd;
 
-pub use dane::{DaneConfig, LocalOutcome};
-pub use model::Model;
+pub use dane::{DaneConfig, DaneScratch, LocalOutcome};
+pub use model::{Model, ModelScratch};
 pub use params::ParamSet;

@@ -10,9 +10,15 @@ use fedl_linalg::{ops, Matrix};
 /// # Panics
 /// Panics on shape mismatch or empty batch.
 pub fn cross_entropy(logits: &Matrix, targets: &Matrix) -> f32 {
+    cross_entropy_scratch(logits, targets, &mut Vec::new())
+}
+
+/// [`cross_entropy`] with a caller-owned log-sum-exp buffer; steady-state
+/// reuse performs no allocation. Same fold order, same result bits.
+pub fn cross_entropy_scratch(logits: &Matrix, targets: &Matrix, lse: &mut Vec<f32>) -> f32 {
     assert_eq!(logits.shape(), targets.shape(), "loss shape mismatch");
     assert!(logits.rows() > 0, "cross entropy of an empty batch");
-    let lse = ops::log_sum_exp_rows(logits);
+    ops::log_sum_exp_rows_into(logits, lse);
     let mut total = 0.0f32;
     for (r, (logit_row, target_row)) in logits.row_iter().zip(targets.row_iter()).enumerate() {
         let true_logit: f32 = logit_row.iter().zip(target_row).map(|(l, t)| l * t).sum();
@@ -24,11 +30,25 @@ pub fn cross_entropy(logits: &Matrix, targets: &Matrix) -> f32 {
 /// Cross-entropy and its gradient with respect to the logits:
 /// `(softmax(logits) − targets) / batch`.
 pub fn cross_entropy_with_grad(logits: &Matrix, targets: &Matrix) -> (f32, Matrix) {
-    let loss = cross_entropy(logits, targets);
-    let mut grad = ops::softmax_rows(logits);
+    let mut grad = Matrix::default();
+    let loss = cross_entropy_with_grad_into(logits, targets, &mut Vec::new(), &mut grad);
+    (loss, grad)
+}
+
+/// [`cross_entropy_with_grad`] writing the gradient into a caller-owned
+/// matrix (reshaped to match `logits`) with a reusable log-sum-exp
+/// buffer; steady-state reuse performs no allocation.
+pub fn cross_entropy_with_grad_into(
+    logits: &Matrix,
+    targets: &Matrix,
+    lse: &mut Vec<f32>,
+    grad: &mut Matrix,
+) -> f32 {
+    let loss = cross_entropy_scratch(logits, targets, lse);
+    ops::softmax_rows_into(logits, grad);
     grad.axpy(-1.0, targets);
     grad.scale(1.0 / logits.rows() as f32);
-    (loss, grad)
+    loss
 }
 
 #[cfg(test)]

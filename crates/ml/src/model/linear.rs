@@ -3,10 +3,10 @@
 use fedl_linalg::rng::Rng;
 use fedl_linalg::{ops, Matrix};
 
-use crate::loss::{cross_entropy, cross_entropy_with_grad};
+use crate::loss::{cross_entropy_scratch, cross_entropy_with_grad_into};
 use crate::params::ParamSet;
 
-use super::{check_shapes, Model};
+use super::{check_shapes, Model, ModelScratch};
 
 /// Linear classifier `logits = x·W + b` with cross-entropy loss and L2
 /// regularization on `W`.
@@ -59,6 +59,15 @@ impl SoftmaxRegression {
     fn l2_term(&self) -> f32 {
         0.5 * self.l2 * self.weights().norm_sq()
     }
+
+    /// Logits into `ws.acts[0]` without allocating.
+    fn forward_scratch(&self, x: &Matrix, ws: &mut ModelScratch) {
+        assert_eq!(x.cols(), self.input_dim, "input dimension mismatch");
+        ws.acts.resize_with(1, Matrix::default);
+        let logits = &mut ws.acts[0];
+        x.matmul_into(self.weights(), logits);
+        ops::add_row_broadcast(logits, self.bias());
+    }
 }
 
 impl Model for SoftmaxRegression {
@@ -78,18 +87,42 @@ impl Model for SoftmaxRegression {
         self.params = params;
     }
 
+    fn set_params_from(&mut self, params: &ParamSet) {
+        check_shapes(&self.params, params);
+        self.params.copy_from(params);
+    }
+
     fn loss_and_grad(&self, x: &Matrix, y: &Matrix) -> (f32, ParamSet) {
-        let logits = self.forward(x);
-        let (ce, dlogits) = cross_entropy_with_grad(&logits, y);
-        // dW = xᵀ·dlogits + l2·W ; db = column sums of dlogits.
-        let mut dw = x.t_matmul(&dlogits);
-        dw.axpy(self.l2, self.weights());
-        let db = dlogits.col_sums();
-        (ce + self.l2_term(), ParamSet::new(vec![dw, db]))
+        let mut grad = ParamSet::new(Vec::new());
+        let loss = self.loss_and_grad_scratch(x, y, &mut grad, &mut ModelScratch::new());
+        (loss, grad)
     }
 
     fn loss(&self, x: &Matrix, y: &Matrix) -> f32 {
-        cross_entropy(&self.forward(x), y) + self.l2_term()
+        self.loss_scratch(x, y, &mut ModelScratch::new())
+    }
+
+    fn loss_and_grad_scratch(
+        &self,
+        x: &Matrix,
+        y: &Matrix,
+        grad: &mut ParamSet,
+        ws: &mut ModelScratch,
+    ) -> f32 {
+        self.forward_scratch(x, ws);
+        let ce = cross_entropy_with_grad_into(&ws.acts[0], y, &mut ws.lse, &mut ws.delta);
+        // dW = xᵀ·dlogits + l2·W ; db = column sums of dlogits.
+        grad.set_zeros_like(&self.params);
+        let tensors = grad.tensors_mut();
+        x.t_matmul_into(&ws.delta, &mut tensors[0]);
+        tensors[0].axpy(self.l2, self.weights());
+        ws.delta.col_sums_into(&mut tensors[1]);
+        ce + self.l2_term()
+    }
+
+    fn loss_scratch(&self, x: &Matrix, y: &Matrix, ws: &mut ModelScratch) -> f32 {
+        self.forward_scratch(x, ws);
+        cross_entropy_scratch(&ws.acts[0], y, &mut ws.lse) + self.l2_term()
     }
 
     fn clone_model(&self) -> Box<dyn Model> {

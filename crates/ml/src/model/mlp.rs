@@ -3,10 +3,10 @@
 use fedl_linalg::rng::Rng;
 use fedl_linalg::{ops, Matrix};
 
-use crate::loss::{cross_entropy, cross_entropy_with_grad};
+use crate::loss::{cross_entropy_scratch, cross_entropy_with_grad_into};
 use crate::params::ParamSet;
 
-use super::{check_shapes, Model};
+use super::{check_shapes, Model, ModelScratch};
 
 /// Multi-layer perceptron: `x → [Linear → ReLU]* → Linear → logits`,
 /// cross-entropy loss, L2 regularization on all weight matrices.
@@ -74,33 +74,36 @@ impl Mlp {
         0.5 * self.l2 * w_norm
     }
 
-    /// Forward pass caching pre-activations (needed by backprop).
-    /// Returns `(activations, pre_activations)` where `activations[0]` is
-    /// the input and `pre_activations[l]` is layer `l`'s linear output.
-    fn forward_cached(&self, x: &Matrix) -> (Vec<Matrix>, Vec<Matrix>) {
+    /// Forward pass caching pre-activations (needed by backprop) into the
+    /// workspace without allocating: `ws.pres[l]` is layer `l`'s linear
+    /// output and `ws.acts[l]` its activation (`ws.acts[depth-1]` is the
+    /// logits; the input itself is never copied).
+    fn forward_scratch(&self, x: &Matrix, ws: &mut ModelScratch) {
         assert_eq!(x.cols(), self.layer_dims[0], "input dimension mismatch");
         let depth = self.depth();
-        let mut activations = Vec::with_capacity(depth + 1);
-        let mut pres = Vec::with_capacity(depth);
-        activations.push(x.clone());
+        ws.acts.resize_with(depth, Matrix::default);
+        ws.pres.resize_with(depth, Matrix::default);
+        let (acts, pres) = (&mut ws.acts, &mut ws.pres);
         for l in 0..depth {
-            let mut z = activations[l].matmul(self.weight(l));
-            ops::add_row_broadcast(&mut z, self.bias(l));
-            if l + 1 < depth {
-                activations.push(ops::relu(&z));
-            } else {
-                activations.push(z.clone());
+            {
+                let input: &Matrix = if l == 0 { x } else { &acts[l - 1] };
+                input.matmul_into(self.weight(l), &mut pres[l]);
             }
-            pres.push(z);
+            ops::add_row_broadcast(&mut pres[l], self.bias(l));
+            if l + 1 < depth {
+                ops::relu_into(&pres[l], &mut acts[l]);
+            } else {
+                acts[l].copy_from(&pres[l]);
+            }
         }
-        (activations, pres)
     }
 }
 
 impl Model for Mlp {
     fn forward(&self, x: &Matrix) -> Matrix {
-        let (mut activations, _) = self.forward_cached(x);
-        activations.pop().expect("at least one layer")
+        let mut ws = ModelScratch::new();
+        self.forward_scratch(x, &mut ws);
+        ws.acts.pop().expect("at least one layer")
     }
 
     fn params(&self) -> &ParamSet {
@@ -112,35 +115,55 @@ impl Model for Mlp {
         self.params = params;
     }
 
-    fn loss_and_grad(&self, x: &Matrix, y: &Matrix) -> (f32, ParamSet) {
-        let depth = self.depth();
-        let (activations, pres) = self.forward_cached(x);
-        let logits = activations.last().expect("non-empty network");
-        let (ce, mut delta) = cross_entropy_with_grad(logits, y);
+    fn set_params_from(&mut self, params: &ParamSet) {
+        check_shapes(&self.params, params);
+        self.params.copy_from(params);
+    }
 
-        let mut grads: Vec<Option<(Matrix, Matrix)>> = (0..depth).map(|_| None).collect();
-        for l in (0..depth).rev() {
-            // dW_l = a_lᵀ · delta + l2·W_l ; db_l = col sums of delta.
-            let mut dw = activations[l].t_matmul(&delta);
-            dw.axpy(self.l2, self.weight(l));
-            let db = delta.col_sums();
-            grads[l] = Some((dw, db));
-            if l > 0 {
-                // delta_{l-1} = (delta · W_lᵀ) ⊙ relu'(z_{l-1}).
-                let upstream = delta.matmul_t(self.weight(l));
-                delta = upstream.hadamard(&ops::relu_grad_mask(&pres[l - 1]));
-            }
-        }
-        let mut tensors = Vec::with_capacity(2 * depth);
-        for g in grads.into_iter().flatten() {
-            tensors.push(g.0);
-            tensors.push(g.1);
-        }
-        (ce + self.l2_term(), ParamSet::new(tensors))
+    fn loss_and_grad(&self, x: &Matrix, y: &Matrix) -> (f32, ParamSet) {
+        let mut grad = ParamSet::new(Vec::new());
+        let loss = self.loss_and_grad_scratch(x, y, &mut grad, &mut ModelScratch::new());
+        (loss, grad)
     }
 
     fn loss(&self, x: &Matrix, y: &Matrix) -> f32 {
-        cross_entropy(&self.forward(x), y) + self.l2_term()
+        self.loss_scratch(x, y, &mut ModelScratch::new())
+    }
+
+    fn loss_and_grad_scratch(
+        &self,
+        x: &Matrix,
+        y: &Matrix,
+        grad: &mut ParamSet,
+        ws: &mut ModelScratch,
+    ) -> f32 {
+        let depth = self.depth();
+        self.forward_scratch(x, ws);
+        let ce = cross_entropy_with_grad_into(&ws.acts[depth - 1], y, &mut ws.lse, &mut ws.delta);
+
+        grad.set_zeros_like(&self.params);
+        for l in (0..depth).rev() {
+            // dW_l = a_lᵀ · delta + l2·W_l ; db_l = col sums of delta.
+            {
+                let a_l: &Matrix = if l == 0 { x } else { &ws.acts[l - 1] };
+                a_l.t_matmul_into(&ws.delta, &mut grad.tensors_mut()[2 * l]);
+            }
+            grad.tensors_mut()[2 * l].axpy(self.l2, self.weight(l));
+            ws.delta.col_sums_into(&mut grad.tensors_mut()[2 * l + 1]);
+            if l > 0 {
+                // delta_{l-1} = (delta · W_lᵀ) ⊙ relu'(z_{l-1}).
+                ws.delta.matmul_t_into(self.weight(l), &mut ws.upstream);
+                ops::relu_backward_inplace(&mut ws.upstream, &ws.pres[l - 1]);
+                std::mem::swap(&mut ws.delta, &mut ws.upstream);
+            }
+        }
+        ce + self.l2_term()
+    }
+
+    fn loss_scratch(&self, x: &Matrix, y: &Matrix, ws: &mut ModelScratch) -> f32 {
+        let depth = self.depth();
+        self.forward_scratch(x, ws);
+        cross_entropy_scratch(&ws.acts[depth - 1], y, &mut ws.lse) + self.l2_term()
     }
 
     fn clone_model(&self) -> Box<dyn Model> {

@@ -12,6 +12,35 @@ use fedl_linalg::Matrix;
 
 use crate::params::ParamSet;
 
+/// Reusable forward/backward workspace for the `_scratch` model methods.
+///
+/// Holds every intermediate a model's loss/gradient computation needs
+/// (logits, per-layer activations and pre-activations, the backprop
+/// delta, the log-sum-exp buffer). All buffers grow to the workload's
+/// high-water mark and are then reused, so a steady-state training step
+/// performs zero heap allocation. One scratch serves any model and any
+/// batch size; buffers reshape on use.
+#[derive(Debug, Default)]
+pub struct ModelScratch {
+    /// Log-sum-exp per row (cross-entropy).
+    pub(crate) lse: Vec<f32>,
+    /// Loss gradient w.r.t. the current layer's output during backprop.
+    pub(crate) delta: Matrix,
+    /// Ping-pong buffer for the next backprop delta.
+    pub(crate) upstream: Matrix,
+    /// `acts[l]`: activation after layer `l` (`acts[depth-1]` = logits).
+    pub(crate) acts: Vec<Matrix>,
+    /// `pres[l]`: layer `l`'s linear output before the nonlinearity.
+    pub(crate) pres: Vec<Matrix>,
+}
+
+impl ModelScratch {
+    /// An empty workspace; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// An object-safe trainable classifier.
 ///
 /// The federated machinery only ever needs four things from a model:
@@ -40,6 +69,42 @@ pub trait Model: Send + Sync {
 
     /// Regularized loss only (cheaper: skips the backward pass).
     fn loss(&self, x: &Matrix, y: &Matrix) -> f32;
+
+    /// [`Model::loss_and_grad`] writing the gradient into a caller-owned
+    /// [`ParamSet`] using a reusable workspace. [`SoftmaxRegression`] and
+    /// [`Mlp`] implement their numerics here (zero steady-state
+    /// allocation) and derive the allocating form from it, so both paths
+    /// are bit-identical by construction. The default delegates the
+    /// other way for models without a scratch path (e.g. [`Cnn`]).
+    fn loss_and_grad_scratch(
+        &self,
+        x: &Matrix,
+        y: &Matrix,
+        grad: &mut ParamSet,
+        ws: &mut ModelScratch,
+    ) -> f32 {
+        let _ = ws;
+        let (loss, g) = self.loss_and_grad(x, y);
+        *grad = g;
+        loss
+    }
+
+    /// [`Model::loss`] using a reusable workspace (see
+    /// [`Model::loss_and_grad_scratch`]).
+    fn loss_scratch(&self, x: &Matrix, y: &Matrix, ws: &mut ModelScratch) -> f32 {
+        let _ = ws;
+        self.loss(x, y)
+    }
+
+    /// Replaces the parameters by copying from a borrowed set, reusing
+    /// the model's tensor storage (the allocation-free twin of
+    /// [`Model::set_params`]).
+    ///
+    /// # Panics
+    /// Implementations panic if the shapes don't match the architecture.
+    fn set_params_from(&mut self, params: &ParamSet) {
+        self.set_params(params.clone());
+    }
 
     /// Deep copy behind the trait object.
     fn clone_model(&self) -> Box<dyn Model>;

@@ -36,6 +36,25 @@ impl ParamSet {
         ParamSet(self.0.iter().map(|m| Matrix::zeros(m.rows(), m.cols())).collect())
     }
 
+    /// Makes `self` an exact copy of `other`, reusing tensor storage when
+    /// capacity allows; steady-state reuse performs no allocation.
+    pub fn copy_from(&mut self, other: &ParamSet) {
+        self.0.resize_with(other.0.len(), Matrix::default);
+        for (dst, src) in self.0.iter_mut().zip(&other.0) {
+            dst.copy_from(src);
+        }
+    }
+
+    /// Reshapes `self` into zero tensors with `like`'s shapes, reusing
+    /// tensor storage when capacity allows (the allocation-free twin of
+    /// `like.zeros_like()`).
+    pub fn set_zeros_like(&mut self, like: &ParamSet) {
+        self.0.resize_with(like.0.len(), Matrix::default);
+        for (dst, src) in self.0.iter_mut().zip(&like.0) {
+            dst.resize_to(src.rows(), src.cols());
+        }
+    }
+
     /// Tensor views.
     pub fn tensors(&self) -> &[Matrix] {
         &self.0
@@ -207,6 +226,16 @@ mod tests {
         let z = a.zeros_like();
         assert_eq!(z.tensors()[0].shape(), (1, 2));
         assert_eq!(z.norm(), 0.0);
+    }
+
+    #[test]
+    fn copy_from_and_set_zeros_like_reuse_storage() {
+        let a = ps(&[1.0, 2.0, 3.0]);
+        let mut b = ParamSet::new(vec![Matrix::zeros(4, 4)]);
+        b.copy_from(&a);
+        assert_eq!(b, a);
+        b.set_zeros_like(&a);
+        assert_eq!(b, a.zeros_like());
     }
 
     #[test]

@@ -28,12 +28,31 @@ impl Default for SgdConfig {
 
 /// Draws a mini-batch (indices with replacement) as feature/one-hot pair.
 pub fn sample_batch(data: &Dataset, batch: usize, rng: &mut impl Rng) -> (Matrix, Matrix) {
+    let (mut x, mut y) = (Matrix::default(), Matrix::default());
+    sample_batch_into(data, batch, rng, &mut x, &mut y);
+    (x, y)
+}
+
+/// [`sample_batch`] writing into caller-owned matrices; steady-state
+/// reuse performs no allocation. Draws the same index sequence from
+/// `rng` as [`sample_batch`] (one `gen_range` per sample, in order), so
+/// the two forms are interchangeable mid-stream.
+pub fn sample_batch_into(
+    data: &Dataset,
+    batch: usize,
+    rng: &mut impl Rng,
+    x: &mut Matrix,
+    y: &mut Matrix,
+) {
     assert!(!data.is_empty(), "cannot batch an empty dataset");
     let b = batch.clamp(1, data.len());
-    let idx: Vec<usize> = (0..b).map(|_| rng.gen_range(0..data.len())).collect();
-    let sub = data.subset(&idx);
-    let y = sub.one_hot_labels();
-    (sub.features, y)
+    x.resize_to(b, data.dim());
+    y.resize_to(b, data.num_classes);
+    for r in 0..b {
+        let i = rng.gen_range(0..data.len());
+        x.row_mut(r).copy_from_slice(data.features.row(i));
+        y.set(r, data.labels[i], 1.0);
+    }
 }
 
 /// Runs `config.steps` SGD steps on `model` over `data`, returning the

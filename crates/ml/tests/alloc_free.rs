@@ -1,0 +1,69 @@
+//! Zero-steady-state-allocation regression test for the DANE local solve.
+//!
+//! Installs the counting allocator as this binary's global allocator and
+//! asserts that, once the reusable scratch is warmed, repeated local
+//! solves perform no heap allocation at all. A regression here means a
+//! buffer stopped being reused somewhere inside the mini-batch / loss /
+//! gradient / momentum pipeline.
+//!
+//! Kept to a single `#[test]` so no sibling test can allocate
+//! concurrently while the measured region runs.
+
+use fedl_data::synth::small_fmnist;
+use fedl_linalg::alloc_counter::CountingAllocator;
+use fedl_linalg::rng::rng_for;
+use fedl_ml::dane::{local_update_scratch, DaneConfig, DaneScratch, LocalOutcome};
+use fedl_ml::model::{Mlp, Model};
+use fedl_ml::params::ParamSet;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+/// Asserts that some execution of `run` allocates nothing. The libtest
+/// harness's main thread can allocate concurrently with the measured
+/// window (event plumbing), so a dirty window is retried — a hot loop
+/// that genuinely allocates per call fails every attempt.
+fn assert_allocation_free(what: &str, mut run: impl FnMut()) {
+    for attempt in 0..5 {
+        let allocs = ALLOC.allocations();
+        let bytes = ALLOC.bytes();
+        run();
+        if ALLOC.allocations() == allocs && ALLOC.bytes() == bytes {
+            return;
+        }
+        eprintln!("{what}: allocation in measured window (attempt {attempt}); retrying");
+    }
+    panic!("{what} allocated in every measured window");
+}
+
+#[test]
+fn dane_local_solve_is_allocation_free_once_warm() {
+    fedl_linalg::par::force_max_threads(1);
+    let (train, _) = small_fmnist(64, 10, 0xA11);
+    let mut rng = rng_for(0xA12, 0);
+    let model = Mlp::new(train.dim(), &[16], train.num_classes, 0.0005, &mut rng);
+    let (_, j) = model.loss_and_grad(&train.features, &train.one_hot_labels());
+    let cfg = DaneConfig::default();
+
+    let mut scratch = DaneScratch::new();
+    let mut out = LocalOutcome {
+        delta: ParamSet::new(Vec::new()),
+        grad_at_w: ParamSet::new(Vec::new()),
+        eta_hat: 0.0,
+        loss_at_w: 0.0,
+        loss_after: 0.0,
+    };
+    let mut rng = rng_for(0xA13, 0);
+    // Warm-up: sizes the scratch buffers and clones the work model once.
+    for _ in 0..2 {
+        local_update_scratch(&model, &train, &j, &cfg, &mut rng, &mut scratch, &mut out);
+    }
+
+    assert_allocation_free("DANE local solve", || {
+        for _ in 0..5 {
+            local_update_scratch(&model, &train, &j, &cfg, &mut rng, &mut scratch, &mut out);
+        }
+    });
+    // The solve still did real work.
+    assert!(out.loss_at_w.is_finite() && out.eta_hat >= 0.0);
+}

@@ -21,17 +21,37 @@
 //! bit of the result.
 
 use fedl_data::stream::arrival_count;
-use fedl_linalg::par::par_map;
+use fedl_linalg::par::par_zip_chunks_grained;
 use fedl_linalg::rng::{derive_seed, rng_for, Rng};
 use fedl_net::{ChannelModel, ClientRadio};
 
 use crate::client::EpochClientView;
 use crate::config::{AvailabilityModel, EnvConfig};
 
-/// Realization chunk width: epoch realization fans out over contiguous
-/// id ranges of this size. Purely a parallel-grain choice — per-client
-/// draws are independently seeded, so the chunking never affects values.
+/// Realization grain: populations at most this large are realized
+/// inline on the caller (zero dispatch); larger ones fan out across the
+/// worker team. Purely a parallel-grain choice — per-client draws are
+/// independently seeded, so the split never affects values.
 const REALIZE_CHUNK: usize = 16 * 1024;
+
+/// Reusable staging buffer for the `*_into` epoch-realization paths
+/// ([`ClientColumns::epoch_columns_into`] /
+/// [`ClientColumns::epoch_columns_partial_into`]): one
+/// `(available, cost, gain, data_volume)` row per shard client, written
+/// in parallel and then scattered into the column vectors. Holding it
+/// outside the call lets a steady-state epoch loop realize the time
+/// axis with zero heap allocation once the buffer is warm.
+#[derive(Debug, Default)]
+pub struct EpochRealizeScratch {
+    staged: Vec<(bool, f64, f64, u32)>,
+}
+
+impl EpochRealizeScratch {
+    /// An empty scratch; the buffer is sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// The static client population as parallel columns (struct-of-arrays).
 ///
@@ -136,6 +156,24 @@ impl ClientColumns {
         self.epoch_columns_partial(epoch, config, channel, 0..self.len())
     }
 
+    /// [`epoch_columns`](Self::epoch_columns) into caller-owned buffers:
+    /// `out`'s columns are resized and overwritten in place. Once
+    /// `scratch` and `out` are warm (one prior call at this population
+    /// size), a steady-state epoch loop allocates nothing per epoch —
+    /// this is the hot path of the serve/dist planes and the scale-tier
+    /// bench kernels. Bit-identical to the owned variant at any thread
+    /// count.
+    pub fn epoch_columns_into(
+        &self,
+        epoch: usize,
+        config: &EnvConfig,
+        channel: &ChannelModel,
+        scratch: &mut EpochRealizeScratch,
+        out: &mut EpochColumns,
+    ) {
+        self.epoch_columns_partial_into(epoch, config, channel, 0..self.len(), scratch, out);
+    }
+
     /// Realizes epoch `t` for the contiguous id range `shard` only —
     /// the per-worker realization path of `fedl-dist`.
     ///
@@ -157,51 +195,73 @@ impl ClientColumns {
         channel: &ChannelModel,
         shard: std::ops::Range<usize>,
     ) -> EpochColumns {
+        let mut out = EpochColumns::default();
+        self.epoch_columns_partial_into(
+            epoch,
+            config,
+            channel,
+            shard,
+            &mut EpochRealizeScratch::new(),
+            &mut out,
+        );
+        out
+    }
+
+    /// [`epoch_columns_partial`](Self::epoch_columns_partial) into
+    /// caller-owned buffers (see
+    /// [`epoch_columns_into`](Self::epoch_columns_into) for the
+    /// allocation contract). Rows outside `shard` are reset to their
+    /// inert defaults on every call.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of bounds or reversed.
+    pub fn epoch_columns_partial_into(
+        &self,
+        epoch: usize,
+        config: &EnvConfig,
+        channel: &ChannelModel,
+        shard: std::ops::Range<usize>,
+        scratch: &mut EpochRealizeScratch,
+        out: &mut EpochColumns,
+    ) {
         let m = self.len();
         assert!(
             shard.start <= shard.end && shard.end <= m,
             "shard {shard:?} out of bounds for population of {m}"
         );
-        let len = shard.len();
-        let starts: Vec<usize> = (0..len.div_ceil(REALIZE_CHUNK).max(1)).collect();
-        let chunks = par_map(&starts, |&c| {
-            let range =
-                shard.start + c * REALIZE_CHUNK..shard.start + ((c + 1) * REALIZE_CHUNK).min(len);
-            let mut available = Vec::with_capacity(range.len());
-            let mut cost = Vec::with_capacity(range.len());
-            let mut gain = Vec::with_capacity(range.len());
-            let mut data_volume = Vec::with_capacity(range.len());
-            for k in range {
-                let (on, c_k, g_k, d_k) = self.realize_client(k, epoch, config, channel);
-                available.push(on);
-                cost.push(c_k);
-                gain.push(g_k);
-                data_volume.push(d_k);
-            }
-            (available, cost, gain, data_volume)
-        });
-        let mut out = EpochColumns {
-            epoch,
-            available: vec![false; shard.start],
-            cost: vec![0.0; shard.start],
-            gain: vec![0.0; shard.start],
-            data_volume: vec![0; shard.start],
-        };
-        out.available.reserve(m - shard.start);
-        out.cost.reserve(m - shard.start);
-        out.gain.reserve(m - shard.start);
-        out.data_volume.reserve(m - shard.start);
-        for (available, cost, gain, data_volume) in chunks {
-            out.available.extend(available);
-            out.cost.extend(cost);
-            out.gain.extend(gain);
-            out.data_volume.extend(data_volume);
-        }
+        out.epoch = epoch;
+        out.available.clear();
         out.available.resize(m, false);
+        out.cost.clear();
         out.cost.resize(m, 0.0);
+        out.gain.clear();
         out.gain.resize(m, 0.0);
+        out.data_volume.clear();
         out.data_volume.resize(m, 0);
-        out
+        if shard.is_empty() {
+            return;
+        }
+        let start = shard.start;
+        scratch.staged.clear();
+        scratch.staged.resize(shard.len(), (false, 0.0, 0.0, 0));
+        // Stage rows keyed off the shard's seed column so each worker
+        // owns a disjoint `&mut` slice; the scatter below is a straight
+        // sequential unzip into the four columns.
+        par_zip_chunks_grained(
+            &mut scratch.staged,
+            1,
+            &self.seed[shard],
+            1,
+            REALIZE_CHUNK,
+            |i, row, _seed| row[0] = self.realize_client(start + i, epoch, config, channel),
+        );
+        for (i, &(on, cost, gain, volume)) in scratch.staged.iter().enumerate() {
+            let k = start + i;
+            out.available[k] = on;
+            out.cost[k] = cost;
+            out.gain[k] = gain;
+            out.data_volume[k] = volume;
+        }
     }
 
     /// One client's epoch draws (`rng_for(seed_k, 0xE90C ^ t)`:
@@ -242,8 +302,10 @@ impl ClientColumns {
 }
 
 /// One epoch's realization of the time axis for the whole population,
-/// as parallel columns aligned with [`ClientColumns`].
-#[derive(Debug, Clone)]
+/// as parallel columns aligned with [`ClientColumns`]. The `Default`
+/// value is an empty realization — a valid `*_into` target whose
+/// buffers are sized on first use.
+#[derive(Debug, Clone, Default)]
 pub struct EpochColumns {
     /// The realized epoch index `t`.
     pub epoch: usize,
@@ -367,6 +429,33 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn into_realization_matches_fresh_and_reuses_buffers() {
+        let (config, channel) = setup(70, 16);
+        let cols = ClientColumns::build(&config, &channel);
+        let mut scratch = EpochRealizeScratch::new();
+        let mut out = EpochColumns::default();
+        cols.epoch_columns_into(0, &config, &channel, &mut scratch, &mut out);
+        let ptr = out.cost.as_ptr();
+        for epoch in [1usize, 2, 9] {
+            cols.epoch_columns_into(epoch, &config, &channel, &mut scratch, &mut out);
+            let fresh = cols.epoch_columns(epoch, &config, &channel);
+            assert_eq!(out.epoch, fresh.epoch);
+            assert_eq!(out.available, fresh.available);
+            for k in 0..cols.len() {
+                assert_eq!(out.cost[k].to_bits(), fresh.cost[k].to_bits(), "epoch {epoch} k {k}");
+                assert_eq!(out.gain[k].to_bits(), fresh.gain[k].to_bits());
+                assert_eq!(out.data_volume[k], fresh.data_volume[k]);
+            }
+            assert_eq!(out.cost.as_ptr(), ptr, "steady state must reuse the column buffers");
+        }
+        // A partial refill resets the rows outside the shard.
+        cols.epoch_columns_partial_into(3, &config, &channel, 10..20, &mut scratch, &mut out);
+        let part = cols.epoch_columns_partial(3, &config, &channel, 10..20);
+        assert_eq!(out.available, part.available);
+        assert!(out.cost[..10].iter().chain(&out.cost[20..]).all(|&c| c == 0.0));
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod server;
 pub mod trace;
 
 pub use client::{ClientProfile, EpochClientView};
-pub use columns::{ClientColumns, EpochColumns};
+pub use columns::{ClientColumns, EpochColumns, EpochRealizeScratch};
 pub use config::{AggregationNorm, EnvConfig, ScaleTier};
 pub use env::{EdgeEnvironment, EpochReport};
 pub use error::SimError;

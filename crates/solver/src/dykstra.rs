@@ -6,7 +6,31 @@
 //! gradient descent relies on projections being (approximately) the true
 //! Euclidean projection to inherit its convergence guarantees.
 
+use std::cell::RefCell;
+
 use crate::projection::Project;
+
+/// Reusable buffers for one [`DykstraIntersection::project`] call.
+///
+/// Projection is the inner loop of projected gradient descent — it runs
+/// once per backtrack of every PGD iteration — so allocating the
+/// correction vectors per call dominated the allocator profile of the
+/// online decision step. Each thread keeps one of these in thread-local
+/// storage instead; a warmed steady-state `project` call performs no
+/// heap allocation.
+#[derive(Default)]
+struct DykstraScratch {
+    /// One correction (increment) vector per member set.
+    corrections: Vec<Vec<f64>>,
+    /// Iterate at the start of the current sweep.
+    prev: Vec<f64>,
+    /// Iterate before the current member projection.
+    before: Vec<f64>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<DykstraScratch> = RefCell::new(DykstraScratch::default());
+}
 
 /// Intersection `S₁ ∩ … ∩ Sₘ` projected via Dykstra's algorithm.
 pub struct DykstraIntersection {
@@ -49,13 +73,24 @@ impl DykstraIntersection {
     }
 }
 
-impl Project for DykstraIntersection {
-    fn project(&self, v: &mut [f64]) {
+impl DykstraIntersection {
+    /// [`Project::project`] with caller-provided buffers. Numerically
+    /// identical to allocating fresh zeroed buffers: every buffer is
+    /// reshaped and (for the corrections) re-zeroed before use.
+    fn project_with(&self, v: &mut [f64], scratch: &mut DykstraScratch) {
         let n = v.len();
-        // One correction (increment) vector per member set.
-        let mut corrections = vec![vec![0.0f64; n]; self.sets.len()];
-        let mut prev = vec![0.0f64; n];
-        let mut before = vec![0.0f64; n];
+        let corrections = &mut scratch.corrections;
+        corrections.resize_with(self.sets.len(), Vec::new);
+        for c in corrections.iter_mut() {
+            c.clear();
+            c.resize(n, 0.0);
+        }
+        let prev = &mut scratch.prev;
+        prev.clear();
+        prev.resize(n, 0.0);
+        let before = &mut scratch.before;
+        before.clear();
+        before.resize(n, 0.0);
         for _ in 0..self.max_sweeps {
             prev.copy_from_slice(v);
             // Movement of the iterate alone is not a safe stopping rule:
@@ -65,20 +100,20 @@ impl Project for DykstraIntersection {
             // optimal dual variables. True convergence is when iterate AND
             // corrections have both stopped moving.
             let mut corr_moved = 0.0f64;
-            for (set, corr) in self.sets.iter().zip(&mut corrections) {
+            for (set, corr) in self.sets.iter().zip(corrections.iter_mut()) {
                 // y = v + correction; project; new correction = y - P(y).
                 for (vi, ci) in v.iter_mut().zip(corr.iter()) {
                     *vi += *ci;
                 }
                 before.copy_from_slice(v);
                 set.project(v);
-                for ((ci, &bi), &vi) in corr.iter_mut().zip(&before).zip(v.iter()) {
+                for ((ci, &bi), &vi) in corr.iter_mut().zip(before.iter()).zip(v.iter()) {
                     let new_ci = bi - vi;
                     corr_moved += (new_ci - *ci).abs();
                     *ci = new_ci;
                 }
             }
-            let moved = fedl_linalg::dvec::dist(v, &prev);
+            let moved = fedl_linalg::dvec::dist(v, prev);
             if moved <= self.tol && corr_moved <= self.tol && self.contains(v, 1e-9) {
                 return;
             }
@@ -92,10 +127,22 @@ impl Project for DykstraIntersection {
             for set in &self.sets {
                 set.project(v);
             }
-            if fedl_linalg::dvec::dist(v, &prev) <= self.tol {
+            if fedl_linalg::dvec::dist(v, prev) <= self.tol {
                 break;
             }
         }
+    }
+}
+
+impl Project for DykstraIntersection {
+    fn project(&self, v: &mut [f64]) {
+        // Borrow the thread's scratch by moving it out and back: a nested
+        // projection (an intersection containing another intersection)
+        // then simply starts from a fresh default instead of panicking on
+        // a second borrow.
+        let mut scratch = SCRATCH.with(|s| s.take());
+        self.project_with(v, &mut scratch);
+        SCRATCH.with(|s| *s.borrow_mut() = scratch);
     }
 
     fn contains(&self, v: &[f64], tol: f64) -> bool {

@@ -1,0 +1,61 @@
+//! Zero-steady-state-allocation regression test for the Dykstra
+//! projection — the inner loop of every PGD descent step in the FedL
+//! score update. After the thread-local scratch is warmed by a first
+//! projection, repeated projections (and therefore the entire PGD
+//! iteration loop, which allocates nothing else per iteration) must not
+//! touch the heap.
+//!
+//! Kept to a single `#[test]` so no sibling test can allocate
+//! concurrently while the measured region runs.
+
+use fedl_linalg::alloc_counter::CountingAllocator;
+use fedl_solver::{BoxSet, DykstraIntersection, Halfspace, Project};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+/// Asserts that some execution of `run` allocates nothing. The libtest
+/// harness's main thread can allocate concurrently with the measured
+/// window (event plumbing), so a dirty window is retried — a hot loop
+/// that genuinely allocates per call fails every attempt.
+fn assert_allocation_free(what: &str, mut run: impl FnMut()) {
+    for attempt in 0..5 {
+        let allocs = ALLOC.allocations();
+        let bytes = ALLOC.bytes();
+        run();
+        if ALLOC.allocations() == allocs && ALLOC.bytes() == bytes {
+            return;
+        }
+        eprintln!("{what}: allocation in measured window (attempt {attempt}); retrying");
+    }
+    panic!("{what} allocated in every measured window");
+}
+
+#[test]
+fn dykstra_projection_is_allocation_free_once_warm() {
+    fedl_linalg::par::force_max_threads(1);
+    let n = 64;
+    let proj = DykstraIntersection::new(vec![
+        Box::new(BoxSet::unit(n)),
+        Box::new(Halfspace::new(vec![1.0; n], 8.0)),
+    ]);
+    let mut v = vec![0.0f64; n];
+
+    // Warm-up sizes the thread-local correction buffers.
+    for (i, x) in v.iter_mut().enumerate() {
+        *x = (i as f64 / 7.0).sin();
+    }
+    proj.project(&mut v);
+
+    assert_allocation_free("Dykstra projection", || {
+        for round in 0..10u32 {
+            for (i, x) in v.iter_mut().enumerate() {
+                *x = ((i as u32 + round) as f64 / 5.0).cos();
+            }
+            proj.project(&mut v);
+        }
+    });
+    // The projection still lands in the feasible set.
+    assert!(v.iter().all(|&x| (-1e-9..=1.0 + 1e-9).contains(&x)));
+    assert!(v.iter().sum::<f64>() <= 8.0 + 1e-6);
+}

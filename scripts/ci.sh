@@ -12,11 +12,56 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-STAGES=(build test doc fmt clippy telemetry checkpoint cache bench-gate bench-history scale serve dist trace dashboard overlay)
+STAGES=(build test doc fmt clippy telemetry checkpoint cache bench-gate bench-history perf scale serve dist trace dashboard overlay)
 
 run_exp() {
     cargo run --release --offline -p fedl-bench --bin experiments -- "$@"
 }
+
+# Machine-readable stage ledger (stage name -> wall seconds + status),
+# written to results/ci_stages.json on every exit — including failures,
+# so the artifact always shows which stage died and how long the ones
+# before it took. Stages may set CI_STAGE_STATUS=skip (tool missing) or
+# CI_STAGE_NOTE=<path> (surfaced in the summary and the ledger).
+STAGE_JSON=results/ci_stages.json
+STAGE_RECORDS=()
+CURRENT_STAGE=""
+CURRENT_START=0
+CI_STAGE_STATUS=pass
+CI_STAGE_NOTE=""
+
+write_stage_json() {
+    mkdir -p results
+    {
+        echo '{'
+        echo '  "stages": ['
+        local i last=$(( ${#STAGE_RECORDS[@]} - 1 ))
+        for i in "${!STAGE_RECORDS[@]}"; do
+            local sep=','
+            [ "$i" -eq "$last" ] && sep=''
+            echo "    ${STAGE_RECORDS[$i]}$sep"
+        done
+        echo '  ]'
+        echo '}'
+    } > "$STAGE_JSON"
+}
+
+record_stage() {
+    local name=$1 seconds=$2 status=$3 note=$4
+    local json="{\"stage\": \"$name\", \"seconds\": $seconds, \"status\": \"$status\""
+    [ -n "$note" ] && json+=", \"note\": \"$note\""
+    STAGE_RECORDS+=("$json}")
+}
+
+on_exit() {
+    local code=$?
+    if [ -n "$CURRENT_STAGE" ]; then
+        record_stage "$CURRENT_STAGE" "$(( $(date +%s) - CURRENT_START ))" fail "$CI_STAGE_NOTE"
+    fi
+    [ ${#STAGE_RECORDS[@]} -gt 0 ] && write_stage_json
+    exit "$code"
+}
+trap on_exit EXIT
 
 stage_build() {
     cargo build --release --offline --workspace
@@ -38,6 +83,7 @@ stage_fmt() {
         cargo fmt --check
     else
         echo "SKIPPED (tool missing): rustfmt is not installed"
+        CI_STAGE_STATUS=skip
     fi
 }
 
@@ -46,6 +92,7 @@ stage_clippy() {
         cargo clippy --offline --workspace -- -D warnings
     else
         echo "SKIPPED (tool missing): clippy is not installed"
+        CI_STAGE_STATUS=skip
     fi
 }
 
@@ -114,6 +161,22 @@ stage_bench_history() {
     grep -q 'svg id="trend-' "$out/trend.html" \
         || { echo "trend report HTML is missing the trend charts" >&2; exit 1; }
     rm -rf "$out"
+}
+
+# Hot-kernel perf gate (docs/PERF.md): take a fresh quick snapshot at
+# the *persistent* history path, append it, and gate it against the
+# rolling per-machine baseline. Unlike bench-gate/bench-history (which
+# use throwaway files to test the tooling itself), this stage carries
+# perf state across CI runs: an integer-factor regression in any hot
+# kernel fails CI here with a non-zero exit from the gate subcommand.
+# The snapshot lands at results/BENCH.json so the workflow can upload
+# it as an artifact next to the stage ledger.
+stage_perf() {
+    mkdir -p results
+    run_exp bench --quick --out results/BENCH.json > /dev/null
+    run_exp bench-history append results/BENCH.json --history results/BENCH_HISTORY.jsonl
+    run_exp bench-history gate results/BENCH.json --history results/BENCH_HISTORY.jsonl
+    CI_STAGE_NOTE="results/BENCH.json"
 }
 
 # Columnar scale tier (docs/SCALE.md): the quick suite must measure the
@@ -340,12 +403,20 @@ done
 SUMMARY=()
 for name in "${SELECTED[@]}"; do
     echo "==> stage: $name"
-    start=$(date +%s)
+    CURRENT_STAGE=$name
+    CURRENT_START=$(date +%s)
+    CI_STAGE_STATUS=pass
+    CI_STAGE_NOTE=""
     "stage_${name//-/_}"
     end=$(date +%s)
-    SUMMARY+=("$(printf '%-14s %4ds' "$name" "$((end - start))")")
+    record_stage "$name" "$((end - CURRENT_START))" "$CI_STAGE_STATUS" "$CI_STAGE_NOTE"
+    SUMMARY+=("$(printf '%-14s %4ds  %-4s %s' "$name" "$((end - CURRENT_START))" \
+        "$CI_STAGE_STATUS" "$CI_STAGE_NOTE")")
+    CURRENT_STAGE=""
 done
+write_stage_json
 
 echo "==> stage summary"
 printf '    %s\n' "${SUMMARY[@]}"
+echo "==> stage ledger: $STAGE_JSON"
 echo "==> OK"
